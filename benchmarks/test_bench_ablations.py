@@ -1,0 +1,155 @@
+"""Ablation benches for the reproduction's own design choices.
+
+A1 — supercapacitor fidelity: does the three-branch model of survey
+     ref. [9] change outcomes vs an ideal capacitor? (It must: leakage and
+     redistribution dominate overnight retention.)
+A2 — harvest predictor: flat EWMA vs Kansal-style slot EWMA on a solar
+     site (the substrate behind energy-neutral management).
+A3 — P&O tuning: perturbation size / update period sensitivity (the knob
+     a real MPPT firmware must pick).
+A4 — manager control period: how often must the intelligence wake for
+     threshold adaptation to keep its benefit?
+"""
+
+import math
+
+from repro.analysis.reporting import render_table
+from repro.analysis.experiments import make_reference_system
+from repro.conditioning import PerturbObserve
+from repro.core import EWMAPredictor, SlotEWMAPredictor, ThresholdManager
+from repro.environment import SolarModel, outdoor_environment
+from repro.harvesters import MicroWindTurbine, PhotovoltaicCell
+from repro.simulation import simulate
+from repro.storage import IdealStorage, Supercapacitor
+
+DAY = 86_400.0
+
+
+def test_bench_a1_supercap_fidelity(once):
+    """Three-branch supercap vs ideal buffer: overnight retention."""
+
+    def run():
+        results = {}
+        env = outdoor_environment(duration=3 * DAY, dt=300.0, seed=81)
+        for label, store in (
+            ("three-branch supercap", Supercapacitor(capacitance_f=25.0,
+                                                     initial_soc=0.8)),
+            ("ideal buffer", IdealStorage(capacity_j=309.4, initial_soc=0.8,
+                                          nominal_voltage=3.5)),
+        ):
+            system = make_reference_system(
+                [PhotovoltaicCell(area_cm2=10.0, efficiency=0.16)],
+                stores=[store], measurement_interval_s=120.0)
+            m = simulate(system, env).metrics
+            results[label] = m
+        return results
+
+    results = once(run)
+    rows = [(label, f"{m.uptime_fraction * 100:.1f} %",
+             f"{m.node_consumed_j:.1f}", f"{m.dead_time_s / 3600:.1f} h")
+            for label, m in results.items()]
+    print()
+    print(render_table(["buffer model", "uptime", "node J", "dead"],
+                       rows, title="A1 storage-model fidelity"))
+    # The ideal buffer must look at least as good: ref [9]'s losses are
+    # real and pessimise the supercap run.
+    ideal = results["ideal buffer"]
+    real = results["three-branch supercap"]
+    assert ideal.node_consumed_j >= real.node_consumed_j - 1e-6
+
+
+def test_bench_a2_predictor_ablation(once):
+    """Flat EWMA vs slot EWMA prediction error on a solar profile."""
+
+    def run():
+        trace = SolarModel(cloudiness=0.25, seed=83).trace(6 * DAY, 600.0)
+        samples = [(i * 600.0, v * 1e-4) for i, v in enumerate(trace.values)]
+        train = [s for s in samples if s[0] < 4 * DAY]
+        test = [s for s in samples if s[0] >= 4 * DAY]
+        predictors = {
+            "flat EWMA (6 h)": EWMAPredictor(tau_s=6 * 3600.0),
+            "slot EWMA (24 slots)": SlotEWMAPredictor(n_slots=24, alpha=0.5),
+            "slot EWMA (96 slots)": SlotEWMAPredictor(n_slots=96, alpha=0.5),
+        }
+        errors = {}
+        for label, predictor in predictors.items():
+            for t, p in train:
+                predictor.observe(t, p, 600.0)
+            mae = sum(predictor.error(t, p) for t, p in test) / len(test)
+            rms = math.sqrt(sum(predictor.error(t, p) ** 2
+                                for t, p in test) / len(test))
+            errors[label] = (mae, rms)
+        return errors
+
+    errors = once(run)
+    rows = [(label, f"{mae * 1e3:.3f} mW", f"{rms * 1e3:.3f} mW")
+            for label, (mae, rms) in errors.items()]
+    print()
+    print(render_table(["predictor", "MAE", "RMSE"], rows,
+                       title="A2 harvest-predictor ablation (2 test days)"))
+    assert errors["slot EWMA (24 slots)"][0] < 0.7 * \
+        errors["flat EWMA (6 h)"][0]
+
+
+def test_bench_a3_po_tuning(once):
+    """P&O perturbation-size / update-period sensitivity."""
+
+    def run():
+        env = outdoor_environment(duration=DAY, dt=60.0, seed=85,
+                                  cloudiness=0.4)
+        results = {}
+        for step_fraction in (0.005, 0.02, 0.08):
+            for period in (1.0, 10.0):
+                system = make_reference_system(
+                    [PhotovoltaicCell(area_cm2=40.0, efficiency=0.16)],
+                    tracker_factory=lambda: PerturbObserve(
+                        step_fraction=step_fraction, update_period=period),
+                    capacitance_f=100.0, measurement_interval_s=600.0)
+                m = simulate(system, env).metrics
+                results[(step_fraction, period)] = m.tracking_efficiency
+        return results
+
+    results = once(run)
+    rows = [(f"{sf:g}", f"{per:g} s", f"{eff * 100:.2f} %")
+            for (sf, per), eff in sorted(results.items())]
+    print()
+    print(render_table(["step fraction", "update period", "tracking eff"],
+                       rows, title="A3 P&O tuning (cloudy outdoor day)"))
+    # Shape: the limit-cycle oscillation loss grows with the perturbation
+    # size, so at weather-scale ambient dynamics smaller steps track
+    # better; even the coarsest tuning stays above 90 %.
+    assert results[(0.005, 1.0)] >= results[(0.08, 1.0)]
+    assert results[(0.02, 1.0)] >= results[(0.08, 1.0)] - 0.02
+    assert all(eff > 0.9 for eff in results.values())
+
+
+def test_bench_a4_control_period(once):
+    """How often must the threshold manager wake to keep its benefit?"""
+
+    def run():
+        lull = ((2 * DAY, 4 * DAY),)
+        env = outdoor_environment(duration=6 * DAY, dt=300.0, seed=87,
+                                  overcast_windows=lull, calm_windows=lull)
+        results = {}
+        for period in (300.0, 3600.0, 6 * 3600.0, 24 * 3600.0):
+            system = make_reference_system(
+                [PhotovoltaicCell(area_cm2=30.0, efficiency=0.16),
+                 MicroWindTurbine(rotor_diameter_m=0.08)],
+                capacitance_f=10.0, initial_soc=0.7,
+                measurement_interval_s=1.0,
+                manager=ThresholdManager(control_period=period))
+            m = simulate(system, env).metrics
+            results[period] = m
+        return results
+
+    results = once(run)
+    rows = [(f"{period / 3600:g} h", f"{m.uptime_fraction * 100:.1f} %",
+             f"{m.dead_time_s / 3600:.1f} h", f"{m.measurements:.0f}")
+            for period, m in sorted(results.items())]
+    print()
+    print(render_table(["control period", "uptime", "dead", "measurements"],
+                       rows, title="A4 manager control-period sweep"))
+    # Minute-scale control keeps the node alive through the lull; a
+    # manager that wakes daily cannot react in time.
+    assert results[300.0].dead_time_s <= results[24 * 3600.0].dead_time_s
+    assert results[300.0].dead_time_s == 0.0

@@ -1,0 +1,13 @@
+"""E4 — minimum buffer for zero dead time vs source diversity (Sec. I)."""
+
+from repro.analysis.experiments import run_buffer_sizing
+
+
+def test_bench_buffer_sizing(once):
+    result = once(run_buffer_sizing, days=5.0, dt=180.0, seed=21)
+    print()
+    print(result.report())
+    assert result.buffer_reduction > 1.5
+    multi = result.by_label("pv+wind").min_capacitance_f
+    for label in ("pv-only", "wind-only"):
+        assert multi <= result.by_label(label).min_capacitance_f + 1e-9

@@ -1,0 +1,46 @@
+"""Deployment-specificity (survey Sec. IV): rank the seven platforms on
+each deployment archetype. The survey's design-guidance purpose, executed:
+the winning platform changes with the environment."""
+
+from repro.analysis import advise
+from repro.environment import (
+    agricultural_environment,
+    indoor_industrial_environment,
+    outdoor_environment,
+    urban_rf_environment,
+)
+
+DAY = 86_400.0
+
+
+def test_bench_deployment_advice(once):
+    def run():
+        envs = {
+            "outdoor": outdoor_environment(duration=3 * DAY, dt=300.0,
+                                           seed=13),
+            "indoor": indoor_industrial_environment(duration=3 * DAY,
+                                                    dt=300.0, seed=13),
+            "agricultural": agricultural_environment(duration=3 * DAY,
+                                                     dt=300.0, seed=13),
+            "urban-rf": urban_rf_environment(duration=3 * DAY, dt=300.0,
+                                             seed=13),
+        }
+        return {name: advise(env) for name, env in envs.items()}
+
+    advices = once(run)
+    print()
+    for name, advice in advices.items():
+        print(advice.report())
+        print()
+
+    # Deployment-specificity: the ranking is not constant across sites.
+    winners = {name: advice.best.letter for name, advice in advices.items()}
+    print("winners:", winners)
+    assert len(set(winners.values())) >= 2
+    # The vibration/RF-only platform can never win outdoors, and the
+    # outdoor specialists never win indoors.
+    assert winners["outdoor"] != "G"
+    assert winners["indoor"] not in ("C", "D")
+    # Every platform stays assessed (no crashes) on every deployment.
+    for advice in advices.values():
+        assert len(advice.assessments) == 7

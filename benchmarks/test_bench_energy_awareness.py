@@ -1,0 +1,12 @@
+"""E7 — energy-aware duty adaptation through a scripted lull (Sec. IV)."""
+
+from repro.analysis.experiments import run_awareness_study
+
+
+def test_bench_energy_awareness(once):
+    result = once(run_awareness_study, days=7.0, dt=120.0, seed=41)
+    print()
+    print(result.report())
+    assert result.by_manager("fixed").dead_hours > 4.0
+    assert result.by_manager("threshold").dead_hours == 0.0
+    assert result.by_manager("energy-neutral").dead_hours == 0.0

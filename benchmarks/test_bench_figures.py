@@ -1,0 +1,43 @@
+"""F1/F2 — regenerate the architecture diagrams of Figures 1 and 2 as
+block graphs and print their ASCII renditions."""
+
+import networkx as nx
+
+from repro.analysis import architecture_graph, render_architecture
+from repro.systems import build_system
+
+
+def test_bench_figure1_smart_power_unit(once):
+    system = once(build_system, "A")
+    graph = architecture_graph(system)
+    print()
+    print(render_architecture(system))
+    # Fig. 1 invariants: 3 MPPT inputs, 3 stores (fuel cell discharge-only),
+    # buck-boost output, bidirectional MCU link.
+    inputs = [n for n, d in graph.nodes(data=True)
+              if d.get("role") == "input_conditioner"]
+    stores = [n for n, d in graph.nodes(data=True)
+              if d.get("role") == "storage"]
+    assert len(inputs) == 3 and len(stores) == 3
+    assert graph.has_edge("power-unit-mcu", "embedded-device")
+    power = nx.DiGraph((u, v) for u, v, d in graph.edges(data=True)
+                       if d["kind"] == "power")
+    for n, d in graph.nodes(data=True):
+        if d.get("role") == "harvester":
+            assert nx.has_path(power, n, "embedded-device")
+
+
+def test_bench_figure2_plug_and_play(once):
+    system = once(build_system, "B")
+    graph = architecture_graph(system)
+    print()
+    print(render_architecture(system))
+    # Fig. 2 invariants: six datasheet-carrying slots, no power-unit MCU,
+    # LDO output.
+    slots = [n for n, d in graph.nodes(data=True)
+             if d.get("role") == "module_slot"]
+    assert len(slots) == 6
+    assert all(graph.nodes[s]["has_datasheet"] for s in slots)
+    assert "power-unit-mcu" not in graph.nodes
+    assert graph.nodes["output-conditioner"]["converter"] == \
+        "LinearRegulator"

@@ -1,0 +1,15 @@
+"""E10 — fuel-cell backup activation through a multi-day lull (Sec. II.1)."""
+
+from repro.analysis.experiments import run_fuel_cell_study
+
+
+def test_bench_fuel_cell_backup(once):
+    result = once(run_fuel_cell_study, days=8.0, dt=120.0, seed=71,
+                  lull_start_day=3.0, lull_days=3.0)
+    print()
+    print(result.report())
+    assert result.uptime_gain > 0.02
+    with_fc = result.by_config("with-fuel-cell")
+    no_fc = result.by_config("no-fuel-cell")
+    assert with_fc.backup_used_j > 0.0
+    assert with_fc.dead_hours < 0.25 * no_fc.dead_hours

@@ -1,0 +1,11 @@
+"""E8 — storage hot-swap recognition and monitoring integrity (Sec. III.2)."""
+
+from repro.analysis.experiments import run_swap_study
+
+
+def test_bench_hotswap(once):
+    result = once(run_swap_study, days=4.0, dt=120.0, seed=51)
+    print()
+    print(result.report())
+    assert result.by_platform("stale-belief (A/C-style)").error_after > 0.25
+    assert result.by_platform("recognizing (B-style)").error_after < 0.1

@@ -1,0 +1,18 @@
+"""E11 (extension) — buffer chemistry lifetime under harvesting cycling."""
+
+from repro.analysis.experiments import run_lifetime_study
+
+
+def test_bench_lifetime(once):
+    result = once(run_lifetime_study, days=7.0, dt=300.0, seed=91)
+    print()
+    print(result.report())
+    # Capacitive stores must outlive every battery chemistry under the
+    # same duty (the trade Table I's storage row embodies).
+    batteries = [e for e in result.lifetimes if "battery" in e.chemistry]
+    caps = [e for e in result.lifetimes if "battery" not in e.chemistry]
+    worst_cap = min(c.projected_years_to_eol for c in caps)
+    best_battery = max(b.projected_years_to_eol for b in batteries)
+    assert worst_cap >= best_battery
+    # Everything degrades: no chemistry is at 100 % after a week of duty.
+    assert all(e.health_after_run < 1.0 for e in result.lifetimes)

@@ -1,0 +1,11 @@
+"""E5 — MPPT benefit vs overhead across deployments (survey Sec. IV)."""
+
+from repro.analysis.experiments import run_mppt_study
+
+
+def test_bench_mppt_tradeoff(once):
+    result = once(run_mppt_study, days=3.0, dt=60.0, seed=31)
+    print()
+    print(result.report())
+    assert result.mppt_advantage("bright-outdoor") > 1.0
+    assert result.mppt_advantage("dim-indoor") < 1.05

@@ -1,0 +1,11 @@
+"""E3 — multi-source vs single-source energy and coverage (survey Sec. I)."""
+
+from repro.analysis.experiments import run_multisource_gain
+
+
+def test_bench_multisource_gain(once):
+    result = once(run_multisource_gain, days=7.0, dt=120.0, seed=11)
+    print()
+    print(result.report())
+    assert result.energy_gain > 1.1
+    assert result.coverage_gain_hours > 0.0

@@ -1,0 +1,13 @@
+"""E6 — quiescent draw vs harvest level across Table I platforms."""
+
+from repro.analysis.experiments import run_quiescent_study
+
+
+def test_bench_quiescent(once):
+    result = once(run_quiescent_study)
+    print()
+    print(result.report())
+    be = {p.letter: p.breakeven_harvest_w for p in result.platforms}
+    assert be["E"] == min(be.values())
+    assert be["D"] == max(be.values())
+    assert result.breakeven_spread > 50.0

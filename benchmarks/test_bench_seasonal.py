@@ -1,0 +1,17 @@
+"""E12 (extension) — seasonal buffer sizing: winter vs summer, single vs
+multi source. The survey's 'temporal availability' argument at the
+seasonal timescale."""
+
+from repro.analysis.experiments import run_seasonal_study
+
+
+def test_bench_seasonal_buffer_sizing(once):
+    result = once(run_seasonal_study, days=28.0, dt=900.0, seed=95)
+    print()
+    print(result.report())
+    # Winter inflates the PV-only buffer; the multi-source mix suffers a
+    # materially smaller seasonal penalty.
+    assert result.winter_penalty("pv-only") > 1.3
+    assert result.winter_penalty("pv+wind") < \
+        result.winter_penalty("pv-only")
+    assert all(r.feasible for r in result.requirements)

@@ -1,0 +1,11 @@
+"""E9 — the 'smart harvester' future-work scheme vs systems A and B."""
+
+from repro.analysis.experiments import run_smart_harvester_study
+
+
+def test_bench_smart_harvester(once):
+    result = once(run_smart_harvester_study, days=4.0, dt=120.0, seed=61)
+    print()
+    print(result.report())
+    assert result.by_scheme("smart-harvester").estimate_error_after_swap < 0.1
+    assert result.by_scheme("system-A-style").estimate_error_after_swap > 0.25

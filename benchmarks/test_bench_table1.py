@@ -1,0 +1,14 @@
+"""T1 — regenerate Table I from the live system models and diff it
+against the paper's transcription. The headline reproduction artifact."""
+
+from repro.analysis import compare_with_paper, generate_table1, render_table1
+
+
+def test_bench_table1(once):
+    rows = once(generate_table1)
+    print()
+    print(render_table1(rows))
+    comparison = compare_with_paper(rows)
+    print()
+    print(comparison.report())
+    assert comparison.agreement == 1.0, comparison.report()

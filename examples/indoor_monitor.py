@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Indoor industrial monitor: System B's opportunistic harvesting.
+
+System B (the Plug-and-Play Architecture, survey Fig. 2) targets indoor
+industrial monitoring where the useful energy source depends on the
+mounting spot. This example runs the platform at three spots in the same
+plant — near a window, on a machine, in a dark corridor — and shows which
+modules carry the load at each, using the per-channel telemetry the
+plug-and-play datasheets enable.
+
+Run:  python examples/indoor_monitor.py
+"""
+
+from repro import build_system, simulate
+from repro.analysis import render_table
+from repro.environment import (
+    BroadcastRFModel,
+    Environment,
+    MachineThermalModel,
+    MachineVibrationModel,
+    OfficeLightingModel,
+    SourceType,
+    Trace,
+)
+
+DAY = 86_400.0
+
+
+def spot_environments(duration: float, dt: float, seed: int) -> dict:
+    """Three mounting spots in the same plant."""
+    window = Environment({
+        SourceType.LIGHT: OfficeLightingModel(
+            work_lux=600.0, ambient_lux=300.0, seed=seed).trace(duration, dt),
+        SourceType.VIBRATION: Trace.zeros(duration, dt),
+        SourceType.THERMAL: Trace.zeros(duration, dt),
+        SourceType.RF: BroadcastRFModel(mean_density=0.004,
+                                        seed=seed).trace(duration, dt),
+    }, name="window")
+
+    machine = Environment({
+        SourceType.LIGHT: OfficeLightingModel(
+            work_lux=150.0, ambient_lux=10.0, seed=seed).trace(duration, dt),
+        SourceType.VIBRATION: MachineVibrationModel(
+            accel_rms=4.0, seed=seed + 1).trace(duration, dt),
+        SourceType.THERMAL: MachineThermalModel(
+            delta_t_running=30.0, seed=seed + 2).trace(duration, dt),
+        SourceType.RF: BroadcastRFModel(mean_density=0.004,
+                                        seed=seed + 3).trace(duration, dt),
+    }, name="machine")
+
+    corridor = Environment({
+        SourceType.LIGHT: OfficeLightingModel(
+            work_lux=80.0, ambient_lux=5.0, seed=seed).trace(duration, dt),
+        SourceType.VIBRATION: Trace.zeros(duration, dt),
+        SourceType.THERMAL: Trace.zeros(duration, dt),
+        SourceType.RF: BroadcastRFModel(mean_density=0.01,
+                                        seed=seed + 4).trace(duration, dt),
+    }, name="corridor")
+
+    return {"window": window, "machine": machine, "corridor": corridor}
+
+
+def main() -> None:
+    duration, dt = 7 * DAY, 300.0
+    print("System B (Plug-and-Play) at three mounting spots, one week each\n")
+
+    for spot, env in spot_environments(duration, dt, seed=99).items():
+        system = build_system("B", initial_soc=0.6)
+        result = simulate(system, env)
+        m = result.metrics
+
+        # Which module carried the load? Per-channel delivered energy.
+        rows = []
+        for i, channel in enumerate(system.channels):
+            delivered = result.recorder.channel_delivered_trace(i).integral()
+            rows.append((channel.name, f"{delivered:.2f} J",
+                         f"{delivered / max(m.harvested_delivered_j, 1e-12) * 100:.0f} %"))
+        print(f"--- spot: {spot} ---")
+        print(render_table(["module", "delivered", "share"], rows))
+        print(f"total {m.harvested_delivered_j:.1f} J, "
+              f"uptime {m.uptime_fraction * 100:.1f} %, "
+              f"{m.measurements_per_day:.0f} measurements/day\n")
+
+    print("The dominant module changes with the mounting spot — the "
+          "deployment-specificity that motivates\nSystem B's swappable, "
+          "self-describing energy modules (survey Sec. II.2, IV).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate the Smart Power Unit (System A) for a week.
+
+Builds the survey's Fig. 1 reference platform, runs it against a seeded
+outdoor environment, and prints the headline run metrics plus the
+regenerated Table I row for the platform.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import build_system, classify, outdoor_environment, simulate
+from repro.analysis import render_architecture, render_kv
+
+DAY = 86_400.0
+
+
+def main() -> None:
+    # 1. Build System A — the survey's 'Smart Power Unit' (Fig. 1).
+    system = build_system("A", initial_soc=0.5)
+    print(render_architecture(system))
+    print()
+
+    # 2. A deterministic week of temperate outdoor weather.
+    env = outdoor_environment(duration=7 * DAY, dt=120.0, seed=42)
+
+    # 3. Simulate.
+    result = simulate(system, env)
+    m = result.metrics
+
+    # 4. Report.
+    print(render_kv(
+        [
+            ("uptime", f"{m.uptime_fraction * 100:.2f} %"),
+            ("harvested (raw)", f"{m.harvested_raw_j:.0f} J"),
+            ("harvested (to bus)", f"{m.harvested_delivered_j:.0f} J"),
+            ("tracking efficiency", f"{m.tracking_efficiency * 100:.1f} %"),
+            ("conversion efficiency", f"{m.conversion_efficiency * 100:.1f} %"),
+            ("quiescent losses", f"{m.quiescent_j:.2f} J"),
+            ("node energy used", f"{m.node_consumed_j:.0f} J"),
+            ("measurements/day", f"{m.measurements_per_day:.0f}"),
+            ("fuel-cell energy used", f"{m.backup_used_j:.1f} J"),
+        ],
+        title="One week outdoors — Smart Power Unit",
+    ))
+    print()
+
+    # 5. Where this platform sits in the survey's Table I.
+    row = classify(system, device="A")
+    for label, value in row.as_dict().items():
+        print(f"  {label:<24} {value}")
+
+
+if __name__ == "__main__":
+    main()

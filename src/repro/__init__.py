@@ -1,0 +1,91 @@
+"""repro — multi-source energy harvesting systems, simulated.
+
+A reproduction of *A Survey of Multi-Source Energy Harvesting Systems*
+(Weddell, Magno, Merrett, Brunelli, Al-Hashimi, Benini — DATE 2013) as an
+executable library: the survey's taxonomy as typed design axes, the seven
+surveyed platforms (Table I) as runnable system models, synthetic
+deployment environments, and experiment harnesses that regenerate the
+paper's table and figures and validate its qualitative claims.
+
+Quickstart::
+
+    from repro import build_system, outdoor_environment, simulate
+
+    system = build_system("A")          # the Smart Power Unit
+    env = outdoor_environment(duration=7 * 86_400, dt=60)
+    result = simulate(system, env)
+    print(result.metrics.uptime_fraction)
+"""
+
+from .analysis import (
+    compare_with_paper,
+    generate_table1,
+    render_architecture,
+    render_table1,
+)
+from .core import (
+    ArchitectureDescriptor,
+    EnergyManager,
+    EnergyNeutralManager,
+    HarvestingChannel,
+    MultiSourceSystem,
+    SmartHarvesterCoordinator,
+    SmartModule,
+    StaticManager,
+    StorageBank,
+    ThresholdManager,
+    classify,
+    score_system,
+)
+from .environment import (
+    Environment,
+    SourceType,
+    Trace,
+    agricultural_environment,
+    indoor_industrial_environment,
+    outdoor_environment,
+    urban_rf_environment,
+)
+from .simulation import SimulationResult, Simulator, simulate
+from .systems import SYSTEM_NAMES, all_systems, build_system
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # systems
+    "build_system",
+    "all_systems",
+    "SYSTEM_NAMES",
+    # composition
+    "MultiSourceSystem",
+    "HarvestingChannel",
+    "StorageBank",
+    "ArchitectureDescriptor",
+    # managers
+    "EnergyManager",
+    "StaticManager",
+    "ThresholdManager",
+    "EnergyNeutralManager",
+    "SmartModule",
+    "SmartHarvesterCoordinator",
+    # environments
+    "Environment",
+    "SourceType",
+    "Trace",
+    "outdoor_environment",
+    "indoor_industrial_environment",
+    "agricultural_environment",
+    "urban_rf_environment",
+    # simulation
+    "Simulator",
+    "SimulationResult",
+    "simulate",
+    # analysis
+    "classify",
+    "score_system",
+    "generate_table1",
+    "render_table1",
+    "compare_with_paper",
+    "render_architecture",
+]

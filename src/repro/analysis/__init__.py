@@ -1,0 +1,38 @@
+"""Analysis and reproduction harnesses: Table I, figures, experiments."""
+
+from .advisor import DeploymentAdvice, PlatformAssessment, advise
+from .audit import EnergyAudit, audit_run
+from .export import dump_json, dumps_json, to_jsonable
+from .figures import architecture_graph, render_architecture
+from .reporting import format_si, render_kv, render_table
+from .robustness import SeedSweep, sweep_seeds
+from .table1 import (
+    PAPER_TABLE_I,
+    Table1Comparison,
+    compare_with_paper,
+    generate_table1,
+    render_table1,
+)
+
+__all__ = [
+    "render_table",
+    "render_kv",
+    "format_si",
+    "PAPER_TABLE_I",
+    "generate_table1",
+    "render_table1",
+    "compare_with_paper",
+    "Table1Comparison",
+    "architecture_graph",
+    "EnergyAudit",
+    "audit_run",
+    "advise",
+    "DeploymentAdvice",
+    "PlatformAssessment",
+    "SeedSweep",
+    "sweep_seeds",
+    "to_jsonable",
+    "dumps_json",
+    "dump_json",
+    "render_architecture",
+]

@@ -1,0 +1,158 @@
+"""Deployment advisor: which surveyed platform fits this environment?
+
+The survey exists to "aid the effective design of multi-source energy
+harvesters" and stresses that the right choice is deployment-specific
+(Sec. IV). The advisor operationalises that: given an
+:class:`~repro.environment.Environment`, it simulates every Table I
+platform on it, scores the outcomes, and produces a ranked recommendation
+with the reasons (uptime, delivered work, quiescent burden, source match).
+
+Scoring deliberately mirrors the survey's discussion axes:
+
+* *viability* — node uptime (a platform that browns out is disqualified
+  from the top ranks regardless of throughput);
+* *productivity* — measurements delivered per day;
+* *efficiency* — net harvested energy after quiescent losses;
+* *source match* — fraction of the environment's available channels the
+  platform can actually exploit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..environment.ambient import Environment
+from ..simulation.engine import simulate
+from ..systems.registry import SYSTEM_NAMES, all_systems
+from .reporting import render_table
+
+__all__ = ["PlatformAssessment", "DeploymentAdvice", "advise"]
+
+
+@dataclass(frozen=True)
+class PlatformAssessment:
+    """One platform's simulated fit for the deployment."""
+
+    letter: str
+    name: str
+    uptime_fraction: float
+    measurements_per_day: float
+    harvested_j_per_day: float
+    quiescent_j_per_day: float
+    source_match: float   # exploitable channels / available channels
+    score: float
+
+    @property
+    def net_j_per_day(self) -> float:
+        return self.harvested_j_per_day - self.quiescent_j_per_day
+
+
+@dataclass(frozen=True)
+class DeploymentAdvice:
+    """Ranked assessment of all platforms for one environment."""
+
+    environment_name: str
+    days: float
+    assessments: tuple  # sorted best-first
+
+    @property
+    def best(self) -> PlatformAssessment:
+        return self.assessments[0]
+
+    def by_letter(self, letter: str) -> PlatformAssessment:
+        for assessment in self.assessments:
+            if assessment.letter == letter:
+                return assessment
+        raise KeyError(letter)
+
+    def report(self) -> str:
+        rows = []
+        for rank, a in enumerate(self.assessments, start=1):
+            rows.append((rank, a.letter, a.name,
+                         f"{a.uptime_fraction * 100:.1f} %",
+                         f"{a.measurements_per_day:.0f}",
+                         f"{a.harvested_j_per_day:.1f}",
+                         f"{a.source_match * 100:.0f} %",
+                         f"{a.score:.3f}"))
+        table = render_table(
+            ["#", "sys", "platform", "uptime", "meas/day", "J/day",
+             "source match", "score"],
+            rows,
+            title=f"Deployment advice — {self.environment_name} "
+                  f"({self.days:.0f}-day simulation)")
+        best = self.best
+        return (f"{table}\n"
+                f"recommendation: System {best.letter} ({best.name})")
+
+
+def _source_match(system, environment: Environment) -> float:
+    """Fraction of the environment's non-trivial channels the platform
+    can transduce."""
+    available = [s for s in environment.sources
+                 if environment.trace(s).mean() > 0.0]
+    if not available:
+        return 0.0
+    exploitable = set(system.harvester_types)
+    return sum(1 for s in available if s in exploitable) / len(available)
+
+
+def _score(uptime: float, measurements_per_day: float,
+           net_j_per_day: float, source_match: float) -> float:
+    """Composite fit score in [0, ~1.3].
+
+    Uptime is the gate (weight 0.6 and multiplicative on productivity);
+    productivity and net-energy use saturating transforms so a platform
+    cannot buy rank with raw harvest it does not need.
+    """
+    productivity = measurements_per_day / (measurements_per_day + 500.0)
+    energy = max(0.0, net_j_per_day)
+    energy_term = energy / (energy + 100.0)
+    return (0.6 * uptime +
+            0.3 * uptime * productivity +
+            0.2 * energy_term +
+            0.2 * source_match)
+
+
+def advise(environment: Environment, days: float | None = None,
+           initial_soc: float = 0.5) -> DeploymentAdvice:
+    """Simulate all seven Table I platforms on ``environment`` and rank.
+
+    Parameters
+    ----------
+    environment:
+        The deployment's channel traces.
+    days:
+        Simulated duration (default: the environment's full length).
+    initial_soc:
+        Starting state of charge for every platform.
+    """
+    duration = days * 86_400.0 if days is not None else environment.duration
+    if duration <= 0:
+        raise ValueError("environment has no duration to simulate")
+    sim_days = duration / 86_400.0
+
+    assessments = []
+    for letter, system in all_systems(initial_soc=initial_soc).items():
+        result = simulate(system, environment, duration=duration)
+        m = result.metrics
+        match = _source_match(system, environment)
+        assessment = PlatformAssessment(
+            letter=letter,
+            name=SYSTEM_NAMES[letter],
+            uptime_fraction=m.uptime_fraction,
+            measurements_per_day=m.measurements_per_day,
+            harvested_j_per_day=m.harvested_delivered_j / sim_days,
+            quiescent_j_per_day=m.quiescent_j / sim_days,
+            source_match=match,
+            score=_score(m.uptime_fraction, m.measurements_per_day,
+                         (m.harvested_delivered_j - m.quiescent_j) / sim_days,
+                         match),
+        )
+        assessments.append(assessment)
+
+    assessments.sort(key=lambda a: a.score, reverse=True)
+    return DeploymentAdvice(
+        environment_name=environment.name,
+        days=sim_days,
+        assessments=tuple(assessments),
+    )

@@ -1,0 +1,111 @@
+"""Energy audit: where every joule went.
+
+The survey's efficiency discussion spreads losses across the whole chain —
+tracking deficit, conversion loss, storage rejection/leakage, quiescent
+draw, output-stage loss. :func:`audit_run` folds a recorded simulation
+into a single waterfall from "available at the MPP" down to "consumed by
+the node", so design alternatives can be compared loss-by-loss rather
+than only end-to-end (used by the ablation benches and the examples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..simulation.recorder import Recorder
+from .reporting import render_table
+
+__all__ = ["EnergyAudit", "audit_run"]
+
+
+@dataclass(frozen=True)
+class EnergyAudit:
+    """Waterfall of a run's energy, all in joules.
+
+    ``mpp_available`` is the chain's input; each loss row subtracts from
+    it; ``node_consumed`` is what survived. ``storage_delta`` (may be
+    negative) closes the balance: energy parked in (or withdrawn from)
+    the buffer during the run.
+    """
+
+    mpp_available: float
+    tracking_loss: float      # MPP minus what the tracker extracted
+    conversion_loss: float    # input converter losses
+    storage_rejected: float   # delivered to the bus but not accepted
+    quiescent_loss: float     # standing draw of the platform
+    output_and_misc_loss: float  # output-stage + manager + leakage residual
+    node_consumed: float
+    storage_delta: float      # end-of-run stored energy minus start
+
+    @property
+    def end_to_end_efficiency(self) -> float:
+        if self.mpp_available <= 0:
+            return 0.0
+        return self.node_consumed / self.mpp_available
+
+    @property
+    def rows(self) -> tuple:
+        return (
+            ("available at MPP", self.mpp_available),
+            ("tracking loss", -self.tracking_loss),
+            ("conversion loss", -self.conversion_loss),
+            ("storage rejected (spill)", -self.storage_rejected),
+            ("quiescent draw", -self.quiescent_loss),
+            ("output/storage/misc loss", -self.output_and_misc_loss),
+            ("parked in storage (delta)", -self.storage_delta),
+            ("consumed by node", self.node_consumed),
+        )
+
+    def report(self, title: str = "Energy audit") -> str:
+        body = [(label, f"{value:+.2f} J",
+                 f"{abs(value) / max(self.mpp_available, 1e-12) * 100:.1f} %")
+                for label, value in self.rows]
+        table = render_table(["flow", "energy", "of MPP"], body, title=title)
+        return (f"{table}\n"
+                f"end-to-end efficiency: "
+                f"{self.end_to_end_efficiency * 100:.1f} %")
+
+
+def audit_run(recorder: Recorder) -> EnergyAudit:
+    """Fold a recorded run into an :class:`EnergyAudit`.
+
+    The residual row (``output_and_misc_loss``) is computed by balance:
+    whatever left the chain without reaching the node or the named loss
+    rows — output-converter loss, manager wake energy, bus transactions,
+    and storage leakage/round-trip losses all land there.
+    """
+    records = recorder.records
+    if not records:
+        raise ValueError("recorder is empty")
+    dt = recorder.dt
+
+    mpp = sum(r.harvest_mpp_w for r in records) * dt
+    raw = sum(r.harvest_raw_w for r in records) * dt
+    delivered = sum(r.harvest_delivered_w for r in records) * dt
+    accepted = sum(r.charge_accepted_w for r in records) * dt
+    quiescent = sum(r.quiescent_w for r in records) * dt
+    consumed = sum(r.node_result.consumed_w * dt for r in records)
+    backup_in = sum(r.backup_power_w for r in records) * dt
+
+    stored_start = sum(records[0].store_energies_j)
+    stored_end = sum(records[-1].store_energies_j)
+    delta = stored_end - stored_start
+
+    tracking_loss = max(0.0, mpp - raw)
+    conversion_loss = max(0.0, raw - delivered)
+    rejected = max(0.0, delivered - accepted)
+    # Balance: accepted + backup drawn = delta + quiescent + node-side
+    # draw + residual losses.
+    residual = accepted + backup_in - delta - quiescent - consumed
+    residual = max(0.0, residual)
+
+    return EnergyAudit(
+        mpp_available=mpp,
+        tracking_loss=tracking_loss,
+        conversion_loss=conversion_loss,
+        storage_rejected=rejected,
+        quiescent_loss=quiescent,
+        output_and_misc_loss=residual,
+        node_consumed=consumed,
+        storage_delta=delta,
+    )

@@ -1,0 +1,40 @@
+"""Claim-validation experiment harnesses (DESIGN.md E3-E10)."""
+
+from .awareness_study import AwarenessStudyResult, run_awareness_study
+from .buffer_sizing import BufferSizingResult, run_buffer_sizing
+from .common import make_reference_system
+from .fuel_cell_study import FuelCellStudyResult, run_fuel_cell_study
+from .lifetime_study import LifetimeStudyResult, run_lifetime_study
+from .seasonal_study import SeasonalStudyResult, run_seasonal_study
+from .mppt_study import MPPTStudyResult, run_mppt_study
+from .multisource_gain import MultisourceGainResult, run_multisource_gain
+from .quiescent_study import QuiescentStudyResult, run_quiescent_study
+from .smart_harvester_study import (
+    SmartHarvesterStudyResult,
+    run_smart_harvester_study,
+)
+from .swap_study import SwapStudyResult, run_swap_study
+
+__all__ = [
+    "make_reference_system",
+    "run_multisource_gain",
+    "MultisourceGainResult",
+    "run_buffer_sizing",
+    "BufferSizingResult",
+    "run_mppt_study",
+    "MPPTStudyResult",
+    "run_quiescent_study",
+    "QuiescentStudyResult",
+    "run_awareness_study",
+    "AwarenessStudyResult",
+    "run_swap_study",
+    "SwapStudyResult",
+    "run_smart_harvester_study",
+    "SmartHarvesterStudyResult",
+    "run_fuel_cell_study",
+    "run_lifetime_study",
+    "LifetimeStudyResult",
+    "run_seasonal_study",
+    "SeasonalStudyResult",
+    "FuelCellStudyResult",
+]

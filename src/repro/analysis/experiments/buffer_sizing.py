@@ -1,0 +1,115 @@
+"""Experiment E4 — energy-buffer sizing versus source diversity.
+
+Survey Sec. I: "the size of the energy buffer (e.g. a supercapacitor or
+rechargeable battery) can potentially be reduced as there may be a shorter
+period where energy is not generated."
+
+For each source configuration the experiment binary-searches the smallest
+supercapacitor that keeps the node alive (zero dead time) through an
+outdoor week. Expected shape: the multi-source configuration needs a
+substantially smaller buffer because its generation gaps are shorter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...environment.composite import outdoor_environment
+from ...harvesters.photovoltaic import PhotovoltaicCell
+from ...harvesters.wind_turbine import MicroWindTurbine
+from ...simulation.engine import simulate
+from ..reporting import render_table
+from .common import DAY, make_reference_system
+
+__all__ = ["BufferSizingResult", "run_buffer_sizing"]
+
+
+@dataclass(frozen=True)
+class BufferRequirement:
+    label: str
+    min_capacitance_f: float
+    min_capacity_j: float   # usable energy of that capacitance
+    feasible: bool          # False if even the max probe fails
+
+
+@dataclass(frozen=True)
+class BufferSizingResult:
+    requirements: tuple
+    days: float
+
+    def by_label(self, label: str) -> BufferRequirement:
+        for req in self.requirements:
+            if req.label == label:
+                return req
+        raise KeyError(label)
+
+    @property
+    def buffer_reduction(self) -> float:
+        """Best-single buffer / multi-source buffer (>1 means reduction)."""
+        multi = self.by_label("pv+wind").min_capacitance_f
+        singles = [r.min_capacitance_f for r in self.requirements
+                   if r.label != "pv+wind" and r.feasible]
+        if not singles or multi <= 0:
+            return float("inf")
+        return min(singles) / multi
+
+    def report(self) -> str:
+        rows = [(r.label,
+                 f"{r.min_capacitance_f:.1f} F" if r.feasible else "infeasible",
+                 f"{r.min_capacity_j:.0f} J" if r.feasible else "-")
+                for r in self.requirements]
+        table = render_table(
+            ["config", "min supercap", "usable energy"],
+            rows,
+            title=f"E4 buffer sizing for zero dead time ({self.days:.0f} days)")
+        return (f"{table}\n"
+                f"multi-source buffer reduction vs best single: "
+                f"{self.buffer_reduction:.2f}x")
+
+
+def _survives(harvesters, capacitance_f, env, duration, interval_s) -> bool:
+    system = make_reference_system(
+        [h() for h in harvesters], capacitance_f=capacitance_f,
+        initial_soc=0.8, measurement_interval_s=interval_s)
+    result = simulate(system, env, duration=duration)
+    return result.metrics.dead_time_s == 0.0
+
+
+def run_buffer_sizing(days: float = 5.0, dt: float = 180.0, seed: int = 21,
+                      interval_s: float = 5.0, cap_min: float = 0.2,
+                      cap_max: float = 2000.0, tolerance: float = 0.05
+                      ) -> BufferSizingResult:
+    """Run E4: smallest surviving buffer per source configuration."""
+    duration = days * DAY
+    env = outdoor_environment(duration=duration, dt=dt, seed=seed)
+
+    pv = lambda: PhotovoltaicCell(area_cm2=40.0, efficiency=0.16, name="pv")
+    wind = lambda: MicroWindTurbine(rotor_diameter_m=0.12, name="wind")
+    configs = (
+        ("pv-only", [pv]),
+        ("wind-only", [wind]),
+        ("pv+wind", [pv, wind]),
+    )
+
+    requirements = []
+    for label, harvesters in configs:
+        if not _survives(harvesters, cap_max, env, duration, interval_s):
+            requirements.append(BufferRequirement(
+                label=label, min_capacitance_f=float("inf"),
+                min_capacity_j=float("inf"), feasible=False))
+            continue
+        lo, hi = cap_min, cap_max
+        if _survives(harvesters, lo, env, duration, interval_s):
+            hi = lo
+        else:
+            while (hi - lo) / hi > tolerance:
+                mid = (lo * hi) ** 0.5  # geometric bisection
+                if _survives(harvesters, mid, env, duration, interval_s):
+                    hi = mid
+                else:
+                    lo = mid
+        usable = 0.5 * hi * (5.0 ** 2 - 0.5 ** 2)
+        requirements.append(BufferRequirement(
+            label=label, min_capacitance_f=hi, min_capacity_j=usable,
+            feasible=True))
+    return BufferSizingResult(requirements=tuple(requirements), days=days)

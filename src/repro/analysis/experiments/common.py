@@ -1,0 +1,104 @@
+"""Shared builders for the experiment harnesses.
+
+Experiments that probe a single design axis (buffer size, tracker choice,
+manager choice) need a platform where everything else is held constant;
+:func:`make_reference_system` builds that minimal, fully-parameterised
+platform instead of reusing a Table I system whose other design choices
+would confound the sweep.
+"""
+
+from __future__ import annotations
+
+from ...conditioning.base import InputConditioner, OutputConditioner
+from ...conditioning.converters import BuckBoostConverter
+from ...conditioning.mppt import MPPTracker, PerturbObserve
+from ...core.manager import StaticManager
+from ...core.system import HarvestingChannel, MultiSourceSystem, StorageBank
+from ...core.taxonomy import (
+    ArchitectureDescriptor,
+    ControlCapability,
+    MonitoringCapability,
+)
+from ...load.node import WirelessSensorNode
+from ...storage.supercapacitor import Supercapacitor
+
+__all__ = ["make_reference_system", "DAY"]
+
+DAY = 86_400.0
+
+
+def make_reference_system(harvesters, *, tracker_factory=None,
+                          capacitance_f: float = 50.0,
+                          initial_soc: float = 0.5,
+                          measurement_interval_s: float = 60.0,
+                          manager=None, stores=None,
+                          monitoring: MonitoringCapability =
+                          MonitoringCapability.FULL,
+                          channel_quiescent_a: float = 1e-6,
+                          name: str = "reference") -> MultiSourceSystem:
+    """A minimal constant-everything platform for controlled sweeps.
+
+    Parameters
+    ----------
+    harvesters:
+        Transducers; one channel is created per harvester.
+    tracker_factory:
+        Zero-argument callable making one tracker per channel (default:
+        P&O). Pass e.g. ``lambda: FixedVoltage(2.0)`` to change the
+        conditioning style of all channels at once.
+    capacitance_f:
+        Buffer size when ``stores`` is not given (single supercap).
+    stores:
+        Explicit storage list overriding the default supercap.
+    manager:
+        Energy manager (default: none).
+    monitoring:
+        Monitoring capability of the platform.
+    channel_quiescent_a:
+        Standing current per channel.
+    """
+    if tracker_factory is None:
+        tracker_factory = PerturbObserve
+    channels = []
+    for harvester in harvesters:
+        tracker = tracker_factory()
+        if not isinstance(tracker, MPPTracker):
+            raise TypeError("tracker_factory must produce MPPTracker instances")
+        channels.append(HarvestingChannel(
+            harvester,
+            InputConditioner(
+                tracker=tracker,
+                converter=BuckBoostConverter(peak_efficiency=0.9,
+                                             overhead_power=60e-6),
+                quiescent_current_a=channel_quiescent_a,
+                name=harvester.name,
+            ),
+            name=harvester.name,
+        ))
+    if stores is None:
+        stores = [Supercapacitor(capacitance_f=capacitance_f,
+                                 rated_voltage=5.0,
+                                 initial_soc=initial_soc,
+                                 name="buffer")]
+    bank = StorageBank(stores)
+    output = OutputConditioner(
+        converter=BuckBoostConverter(peak_efficiency=0.9,
+                                     overhead_power=40e-6),
+        output_voltage=3.0,
+        min_input_voltage=0.8,
+        quiescent_current_a=0.5e-6,
+    )
+    node = WirelessSensorNode(measurement_interval_s=measurement_interval_s)
+    architecture = ArchitectureDescriptor(
+        name=name,
+        monitoring=monitoring,
+        control=ControlCapability.TWO_WAY,
+    )
+    return MultiSourceSystem(
+        architecture=architecture,
+        channels=channels,
+        bank=bank,
+        output=output,
+        node=node,
+        manager=manager if manager is not None else StaticManager(),
+    )

@@ -1,0 +1,139 @@
+"""Experiment E11 (extension) — storage lifetime under harvesting cycling.
+
+The survey's opening motivation (Sec. I): batteries "have a finite
+capacity and must be replaced or recharged when depleted. For this reason,
+energy harvesting is an attractive power source as it potentially offers a
+perpetual source of energy." But a harvesting platform still *cycles* its
+buffer daily, so the buffer chemistry sets a maintenance interval of its
+own — the consideration behind Table I's storage-technology spread and the
+survey's refs [9]/[10].
+
+The study runs the same outdoor duty on each buffer chemistry wrapped in
+the :class:`~repro.storage.AgingStorage` fade model, extrapolates the
+measured cycling rate to the time each chemistry reaches end of life
+(80 % capacity), and reports the projected replacement interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...environment.composite import outdoor_environment
+from ...harvesters.photovoltaic import PhotovoltaicCell
+from ...harvesters.wind_turbine import MicroWindTurbine
+from ...simulation.engine import simulate
+from ...storage.aging import AgingStorage
+from ...storage.batteries import LiIonBattery, NiMHBattery, ThinFilmBattery
+from ...storage.lic import LithiumIonCapacitor
+from ...storage.supercapacitor import Supercapacitor
+from ..reporting import render_table
+from .common import DAY, make_reference_system
+
+__all__ = ["LifetimeStudyResult", "run_lifetime_study"]
+
+#: Representative cycle lives: batteries from their chemistry models,
+#: capacitive stores from vendor figures (hundreds of thousands).
+CAPACITIVE_CYCLE_LIFE = 500_000
+
+
+@dataclass(frozen=True)
+class ChemistryLifetime:
+    chemistry: str
+    cycle_life: int
+    cycles_per_day: float
+    projected_years_to_eol: float
+    health_after_run: float
+
+
+@dataclass(frozen=True)
+class LifetimeStudyResult:
+    lifetimes: tuple
+    days: float
+
+    def by_chemistry(self, name: str) -> ChemistryLifetime:
+        for entry in self.lifetimes:
+            if entry.chemistry == name:
+                return entry
+        raise KeyError(name)
+
+    @property
+    def longest(self) -> ChemistryLifetime:
+        return max(self.lifetimes, key=lambda e: e.projected_years_to_eol)
+
+    @property
+    def shortest(self) -> ChemistryLifetime:
+        return min(self.lifetimes, key=lambda e: e.projected_years_to_eol)
+
+    def report(self) -> str:
+        rows = [(e.chemistry, e.cycle_life, f"{e.cycles_per_day:.2f}",
+                 f"{e.projected_years_to_eol:.1f} y",
+                 f"{e.health_after_run * 100:.2f} %")
+                for e in self.lifetimes]
+        table = render_table(
+            ["chemistry", "rated cycles", "cycles/day", "projected EOL",
+             "health after run"],
+            rows,
+            title=f"E11 buffer lifetime under harvesting cycling "
+                  f"({self.days:.0f}-day duty, extrapolated)")
+        return (f"{table}\n"
+                f"spread: {self.longest.chemistry} outlives "
+                f"{self.shortest.chemistry} by "
+                f"{self.longest.projected_years_to_eol / max(self.shortest.projected_years_to_eol, 1e-9):.0f}x")
+
+
+def _buffers():
+    # Comparable usable capacities (~300-900 J) so the duty cycles them
+    # at similar depth.
+    return (
+        ("supercapacitor", Supercapacitor(capacitance_f=25.0,
+                                          initial_soc=0.6),
+         CAPACITIVE_CYCLE_LIFE),
+        ("li-ion capacitor", LithiumIonCapacitor(capacitance_f=80.0,
+                                                 initial_soc=0.6),
+         CAPACITIVE_CYCLE_LIFE),
+        ("li-ion battery", LiIonBattery(capacity_mah=60.0, initial_soc=0.6),
+         None),
+        ("NiMH battery", NiMHBattery(capacity_mah=150.0, initial_soc=0.6),
+         None),
+        ("thin-film battery", ThinFilmBattery(capacity_uah=50_000.0,
+                                              initial_soc=0.6),
+         None),
+    )
+
+
+def run_lifetime_study(days: float = 7.0, dt: float = 300.0, seed: int = 91
+                       ) -> LifetimeStudyResult:
+    """Run E11: identical duty on each chemistry, project time to EOL."""
+    duration = days * DAY
+    env = outdoor_environment(duration=duration, dt=dt, seed=seed)
+
+    lifetimes = []
+    for label, store, cycle_life in _buffers():
+        aged = AgingStorage(store, cycle_life=cycle_life,
+                            calendar_fade_per_year=0.02)
+        system = make_reference_system(
+            [PhotovoltaicCell(area_cm2=20.0, efficiency=0.16),
+             MicroWindTurbine(rotor_diameter_m=0.08)],
+            stores=[aged], measurement_interval_s=2.0)
+        simulate(system, env, duration=duration)
+
+        cycles_per_day = aged.equivalent_cycles / days
+        fade_per_cycle = (1.0 - aged.end_of_life_fraction) / aged.cycle_life
+        if cycles_per_day > 0:
+            cycle_years = (1.0 - aged.end_of_life_fraction) / \
+                (fade_per_cycle * cycles_per_day * 365.25)
+        else:
+            cycle_years = float("inf")
+        # Combine with calendar fade: 1/total = 1/cycle + 1/calendar.
+        calendar_years = (1.0 - aged.end_of_life_fraction) / \
+            max(aged.calendar_fade_per_year, 1e-12)
+        projected = 1.0 / (1.0 / cycle_years + 1.0 / calendar_years)
+
+        lifetimes.append(ChemistryLifetime(
+            chemistry=label,
+            cycle_life=aged.cycle_life,
+            cycles_per_day=cycles_per_day,
+            projected_years_to_eol=projected,
+            health_after_run=aged.health,
+        ))
+    return LifetimeStudyResult(lifetimes=tuple(lifetimes), days=days)

@@ -1,0 +1,100 @@
+"""Experiment E6 — quiescent current versus harvest level.
+
+Table I's quiescent row spans two orders of magnitude (< 1 uA for the
+MAX17710 kit to 75 uA for MPWiNode). At micropower harvest levels the
+platform's standing draw decides whether the system gains or loses energy;
+this experiment computes, for each surveyed platform's quiescent figure,
+the net stored energy per day across a sweep of average harvest power, and
+the break-even harvest level. Expected shape: System D (75 uA) needs
+~100x the harvest of System E (< 1 uA) just to break even.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...systems.registry import SYSTEM_NAMES, all_systems
+from ..reporting import format_si, render_table
+
+__all__ = ["QuiescentStudyResult", "run_quiescent_study"]
+
+#: Nominal bus voltage used to convert quiescent current to power.
+BUS_VOLTAGE = 3.3
+
+DAY = 86_400.0
+
+
+@dataclass(frozen=True)
+class PlatformQuiescent:
+    letter: str
+    name: str
+    quiescent_a: float
+    quiescent_w: float
+    breakeven_harvest_w: float
+    net_j_per_day: tuple  # aligned with the sweep levels
+
+
+@dataclass(frozen=True)
+class QuiescentStudyResult:
+    harvest_levels_w: tuple
+    platforms: tuple
+
+    def by_letter(self, letter: str) -> PlatformQuiescent:
+        for p in self.platforms:
+            if p.letter == letter:
+                return p
+        raise KeyError(letter)
+
+    @property
+    def breakeven_spread(self) -> float:
+        """Worst platform break-even / best platform break-even."""
+        levels = [p.breakeven_harvest_w for p in self.platforms]
+        return max(levels) / min(levels)
+
+    def report(self) -> str:
+        rows = []
+        for p in self.platforms:
+            rows.append((
+                p.letter, p.name,
+                format_si(p.quiescent_a, "A"),
+                format_si(p.quiescent_w, "W"),
+                format_si(p.breakeven_harvest_w, "W"),
+            ))
+        table = render_table(
+            ["sys", "name", "Iq", "Pq @3.3V", "break-even harvest"],
+            rows, title="E6 quiescent draw vs harvest level")
+        return (f"{table}\n"
+                f"break-even spread across the surveyed platforms: "
+                f"{self.breakeven_spread:.0f}x")
+
+
+def run_quiescent_study(levels_w: tuple = (1e-6, 3e-6, 1e-5, 3e-5, 1e-4,
+                                           3e-4, 1e-3)) -> QuiescentStudyResult:
+    """Run E6 from the live platform models' quiescent figures."""
+    systems = all_systems()
+    platforms = []
+    for letter, system in systems.items():
+        iq = system.total_quiescent_current_a
+        pq = iq * BUS_VOLTAGE
+        net = tuple((level - pq) * DAY for level in levels_w)
+        platforms.append(PlatformQuiescent(
+            letter=letter,
+            name=SYSTEM_NAMES[letter],
+            quiescent_a=iq,
+            quiescent_w=pq,
+            breakeven_harvest_w=pq,
+            net_j_per_day=net,
+        ))
+    return QuiescentStudyResult(
+        harvest_levels_w=tuple(levels_w),
+        platforms=tuple(platforms),
+    )
+
+
+def net_energy_curve(platform: PlatformQuiescent,
+                     levels_w: tuple) -> np.ndarray:
+    """Net stored J/day as an array aligned with ``levels_w``."""
+    pq = platform.quiescent_w
+    return (np.asarray(levels_w, dtype=float) - pq) * DAY

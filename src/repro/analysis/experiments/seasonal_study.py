@@ -1,0 +1,126 @@
+"""Experiment E12 (extension) — seasonal buffer sizing.
+
+Survey Sec. I frames energy availability as "a temporal as well as
+spatial effect"; E4 probed the diurnal component. This study probes the
+*seasonal* one: the minimum buffer for zero dead time over a winter month
+versus a summer month, for PV-only versus PV+wind. Expected shape:
+
+* winter inflates the PV-only buffer requirement severely (short, dim,
+  cloudy days);
+* the multi-source platform's winter penalty is far smaller, because the
+  wind model's storm-season boost is anti-correlated with the sun —
+  the seasonal version of the survey's complementarity argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...environment.seasonal import seasonal_outdoor_environment
+from ...harvesters.photovoltaic import PhotovoltaicCell
+from ...harvesters.wind_turbine import MicroWindTurbine
+from ...simulation.engine import simulate
+from ..reporting import render_table
+from .common import DAY, make_reference_system
+
+__all__ = ["SeasonalStudyResult", "run_seasonal_study"]
+
+#: Day-of-year anchors: 0 = winter solstice, 182.6 = summer solstice.
+WINTER_DOY = 0.0
+SUMMER_DOY = 182.6
+
+
+@dataclass(frozen=True)
+class SeasonalRequirement:
+    config: str
+    season: str
+    min_capacitance_f: float
+    feasible: bool
+
+
+@dataclass(frozen=True)
+class SeasonalStudyResult:
+    requirements: tuple
+    days: float
+
+    def get(self, config: str, season: str) -> SeasonalRequirement:
+        for req in self.requirements:
+            if req.config == config and req.season == season:
+                return req
+        raise KeyError((config, season))
+
+    def winter_penalty(self, config: str) -> float:
+        """Winter buffer / summer buffer for one source mix."""
+        winter = self.get(config, "winter").min_capacitance_f
+        summer = self.get(config, "summer").min_capacitance_f
+        if summer <= 0:
+            return float("inf")
+        return winter / summer
+
+    def report(self) -> str:
+        rows = [(r.config, r.season,
+                 f"{r.min_capacitance_f:.1f} F" if r.feasible else "infeasible")
+                for r in self.requirements]
+        table = render_table(
+            ["config", "season", "min supercap"],
+            rows,
+            title=f"E12 seasonal buffer sizing ({self.days:.0f}-day months)")
+        lines = [table]
+        for config in dict.fromkeys(r.config for r in self.requirements):
+            lines.append(f"  {config}: winter penalty = "
+                         f"{self.winter_penalty(config):.1f}x")
+        return "\n".join(lines)
+
+
+def _survives(harvesters, capacitance_f, env, duration, interval_s) -> bool:
+    system = make_reference_system(
+        [h() for h in harvesters], capacitance_f=capacitance_f,
+        initial_soc=0.8, measurement_interval_s=interval_s)
+    result = simulate(system, env, duration=duration)
+    return result.metrics.dead_time_s == 0.0
+
+
+def _min_buffer(harvesters, env, duration, interval_s, cap_min, cap_max,
+                tolerance) -> SeasonalRequirement | tuple:
+    if not _survives(harvesters, cap_max, env, duration, interval_s):
+        return float("inf"), False
+    lo, hi = cap_min, cap_max
+    if _survives(harvesters, lo, env, duration, interval_s):
+        return lo, True
+    while (hi - lo) / hi > tolerance:
+        mid = (lo * hi) ** 0.5
+        if _survives(harvesters, mid, env, duration, interval_s):
+            hi = mid
+        else:
+            lo = mid
+    return hi, True
+
+
+def run_seasonal_study(days: float = 28.0, dt: float = 900.0, seed: int = 95,
+                       interval_s: float = 10.0, cap_min: float = 0.2,
+                       cap_max: float = 5000.0, tolerance: float = 0.07
+                       ) -> SeasonalStudyResult:
+    """Run E12: minimum buffer per source mix per season."""
+    duration = days * DAY
+    seasons = {
+        "winter": seasonal_outdoor_environment(
+            duration=duration, dt=dt, start_day_of_year=WINTER_DOY,
+            seed=seed),
+        "summer": seasonal_outdoor_environment(
+            duration=duration, dt=dt, start_day_of_year=SUMMER_DOY,
+            seed=seed),
+    }
+    pv = lambda: PhotovoltaicCell(area_cm2=40.0, efficiency=0.16, name="pv")
+    wind = lambda: MicroWindTurbine(rotor_diameter_m=0.12, name="wind")
+    configs = (("pv-only", [pv]), ("pv+wind", [pv, wind]))
+
+    requirements = []
+    for config, harvesters in configs:
+        for season, env in seasons.items():
+            cap, feasible = _min_buffer(harvesters, env, duration,
+                                        interval_s, cap_min, cap_max,
+                                        tolerance)
+            requirements.append(SeasonalRequirement(
+                config=config, season=season, min_capacitance_f=cap,
+                feasible=feasible))
+    return SeasonalStudyResult(requirements=tuple(requirements), days=days)

@@ -1,0 +1,195 @@
+"""Experiment E9 — the 'smart harvester' scheme versus systems A and B.
+
+Survey Sec. IV proposes per-device intelligence as the open research
+direction. This experiment builds a smart-module platform from the same
+transducers as System B's demonstration set, gives every module its own
+local MPPT and self-description, and compares three architectures on the
+same indoor week:
+
+* System B (fixed-point modules, node-side intelligence),
+* System A's style (central MPPT, power-unit MCU) transplanted to the
+  same devices,
+* the smart-harvester scheme (per-module MPPT + coordinator).
+
+Reported: delivered energy, total platform quiescent current, and whether
+energy awareness survives a storage swap. Expected shape: the smart scheme
+matches central-MPPT energy (each module tracks its own device), keeps
+System B's swap-proof awareness, and pays for it with the highest standing
+current — the trade the survey predicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...conditioning.mppt import FixedVoltage, PerturbObserve
+from ...core.manager import EnergyNeutralManager
+from ...core.smart_harvester import (
+    SmartHarvesterCoordinator,
+    SmartModule,
+    smart_channel,
+)
+from ...core.system import MultiSourceSystem, StorageBank
+from ...core.taxonomy import (
+    ArchitectureDescriptor,
+    ControlCapability,
+    IntelligenceLocation,
+    MonitoringCapability,
+)
+from ...environment.composite import indoor_industrial_environment
+from ...harvesters.photovoltaic import PhotovoltaicCell
+from ...harvesters.piezoelectric import PiezoelectricHarvester
+from ...harvesters.thermoelectric import ThermoelectricGenerator
+from ...simulation.engine import Simulator
+from ...simulation.events import EventSchedule, swap_storage_event
+from ...storage.supercapacitor import Supercapacitor
+from ..reporting import render_table
+from .common import DAY, make_reference_system
+
+__all__ = ["SmartHarvesterStudyResult", "run_smart_harvester_study"]
+
+
+@dataclass(frozen=True)
+class SchemeResult:
+    scheme: str
+    delivered_j: float
+    quiescent_ua: float
+    estimate_error_after_swap: float
+    uptime_fraction: float
+
+
+@dataclass(frozen=True)
+class SmartHarvesterStudyResult:
+    results: tuple
+    days: float
+
+    def by_scheme(self, name: str) -> SchemeResult:
+        for r in self.results:
+            if r.scheme == name:
+                return r
+        raise KeyError(name)
+
+    def report(self) -> str:
+        rows = [(r.scheme, f"{r.delivered_j:.2f}",
+                 f"{r.quiescent_ua:.2f}",
+                 f"{r.estimate_error_after_swap * 100:.1f} %",
+                 f"{r.uptime_fraction * 100:.1f} %") for r in self.results]
+        table = render_table(
+            ["scheme", "delivered J", "Iq (uA)", "est. err after swap",
+             "uptime"],
+            rows, title=f"E9 smart-harvester scheme ({self.days:.0f} days, "
+                        f"indoor)")
+        return table
+
+
+def _devices():
+    pv = PhotovoltaicCell(area_cm2=20.0, efficiency=0.07, cells_in_series=6,
+                          name="pv-indoor")
+    teg = ThermoelectricGenerator(couples=120, internal_resistance=3.0,
+                                  name="teg")
+    piezo = PiezoelectricHarvester(proof_mass_g=8.0, resonant_frequency=50.0,
+                                   name="piezo")
+    return [pv, teg, piezo]
+
+
+def _run_scheme(scheme: str, env, duration, dt, swap_time) -> SchemeResult:
+    if scheme == "smart-harvester":
+        modules = [SmartModule(d) for d in _devices()]
+        store = Supercapacitor(capacitance_f=25.0, initial_soc=0.6,
+                               name="buffer")
+        store_module = SmartModule(store)
+        coordinator = SmartHarvesterCoordinator(modules + [store_module])
+        channels = [smart_channel(m) for m in modules]
+        from ...conditioning.base import OutputConditioner
+        from ...conditioning.converters import LinearRegulator
+        from ...load.node import WirelessSensorNode
+        system = MultiSourceSystem(
+            architecture=ArchitectureDescriptor(
+                name="smart-harvester",
+                monitoring=MonitoringCapability.FULL,
+                control=ControlCapability.TWO_WAY,
+                intelligence=IntelligenceLocation.ENERGY_DEVICES,
+                auto_recognition=True,
+            ),
+            channels=channels,
+            bank=StorageBank([store]),
+            output=OutputConditioner(converter=LinearRegulator(),
+                                     output_voltage=3.0,
+                                     min_input_voltage=3.15,
+                                     quiescent_current_a=0.6e-6),
+            node=WirelessSensorNode(measurement_interval_s=300.0),
+            manager=coordinator,
+        )
+        replacement_store = Supercapacitor(capacitance_f=50.0,
+                                           initial_soc=0.6, name="buffer-2x")
+        SmartModule(replacement_store)  # self-describes on attach
+    elif scheme == "system-B-style":
+        system = make_reference_system(
+            _devices(), tracker_factory=lambda: FixedVoltage(1.8),
+            capacitance_f=25.0, initial_soc=0.6,
+            measurement_interval_s=300.0,
+            manager=EnergyNeutralManager(), name="system-B-style")
+        system.architecture.auto_recognition = True
+        # System B's demonstration modules each fix their *own* operating
+        # point from the module datasheet — tune per device (half-Voc for
+        # the Thevenin devices, ~3/4 Voc for the PV cell at office light).
+        per_device_points = {"pv-indoor": 1.4, "teg": 0.3, "piezo": 1.0}
+        for channel in system.channels:
+            point = per_device_points.get(channel.harvester.name)
+            if point is not None:
+                channel.conditioner.tracker = FixedVoltage(
+                    point, quiescent_current_a=0.2e-6)
+        replacement_store = Supercapacitor(capacitance_f=50.0,
+                                           initial_soc=0.6, name="buffer-2x")
+        from ...harvesters.datasheet import (DeviceKind, ElectronicDatasheet,
+                                             attach_datasheet)
+        attach_datasheet(replacement_store, ElectronicDatasheet(
+            kind=DeviceKind.STORAGE, model="supercap-50F",
+            capacity_j=replacement_store.capacity_j, nominal_voltage=5.0))
+    else:  # "system-A-style": central MPPT, no recognition
+        system = make_reference_system(
+            _devices(), tracker_factory=lambda: PerturbObserve(
+                quiescent_current_a=2e-6),
+            capacitance_f=25.0, initial_soc=0.6,
+            measurement_interval_s=300.0,
+            manager=EnergyNeutralManager(), name="system-A-style")
+        system.architecture.auto_recognition = False
+        replacement_store = Supercapacitor(capacitance_f=50.0,
+                                           initial_soc=0.6, name="buffer-2x")
+
+    events = EventSchedule([swap_storage_event(swap_time, 0,
+                                               replacement_store)])
+    simulator = Simulator(system, env, events=events, dt=dt)
+    first = simulator.run(duration=swap_time)
+    second = simulator.run(duration=duration - swap_time)
+
+    truth = sum(s.energy_j for s in system.bank.stores if not s.is_backup)
+    estimate = system.monitor.estimated_stored_energy() or 0.0
+    error = abs(estimate - truth) / max(truth, 1.0)
+
+    delivered = (first.metrics.harvested_delivered_j +
+                 second.metrics.harvested_delivered_j)
+    steps = len(first.recorder.records) + len(second.recorder.records)
+    uptime = (first.metrics.uptime_fraction * len(first.recorder.records) +
+              second.metrics.uptime_fraction *
+              len(second.recorder.records)) / steps
+    return SchemeResult(
+        scheme=scheme,
+        delivered_j=delivered,
+        quiescent_ua=system.total_quiescent_current_a * 1e6,
+        estimate_error_after_swap=error,
+        uptime_fraction=uptime,
+    )
+
+
+def run_smart_harvester_study(days: float = 4.0, dt: float = 120.0,
+                              seed: int = 61) -> SmartHarvesterStudyResult:
+    """Run E9 on an indoor industrial week with a mid-run storage swap."""
+    duration = days * DAY
+    swap_time = duration / 2.0
+    env = indoor_industrial_environment(duration=duration, dt=dt, seed=seed)
+    results = tuple(
+        _run_scheme(scheme, env, duration, dt, swap_time)
+        for scheme in ("system-B-style", "system-A-style", "smart-harvester")
+    )
+    return SmartHarvesterStudyResult(results=results, days=days)

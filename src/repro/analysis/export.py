@@ -1,0 +1,60 @@
+"""JSON export for experiment results.
+
+Every harness in :mod:`repro.analysis.experiments` returns a frozen
+dataclass tree; these helpers serialise any of them (and the Table I
+rows, trade-off scores, audits...) to JSON so downstream tooling —
+plotting scripts, CI dashboards, regression trackers — can consume the
+reproduction's numbers without importing the library.
+
+Enums become their values, tuples become lists, infinities become the
+strings ``"inf"`` / ``"-inf"`` (JSON has no infinity), and nested
+dataclasses recurse.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+import math
+
+__all__ = ["to_jsonable", "dump_json", "dumps_json"]
+
+
+def to_jsonable(obj):
+    """Recursively convert a result object into JSON-safe primitives."""
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        if math.isinf(obj):
+            return "inf" if obj > 0 else "-inf"
+        if math.isnan(obj):
+            return "nan"
+        return obj
+    if isinstance(obj, enum.Enum):
+        return obj.value
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {field.name: to_jsonable(getattr(obj, field.name))
+                for field in dataclasses.fields(obj)}
+    if isinstance(obj, dict):
+        return {str(key): to_jsonable(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return [to_jsonable(item) for item in obj]
+    # numpy scalars/arrays without importing numpy explicitly here.
+    if hasattr(obj, "tolist"):
+        return to_jsonable(obj.tolist())
+    if hasattr(obj, "item"):
+        return to_jsonable(obj.item())
+    raise TypeError(f"cannot serialise {type(obj).__name__} to JSON")
+
+
+def dumps_json(obj, indent: int = 2) -> str:
+    """Serialise a result object to a JSON string."""
+    return json.dumps(to_jsonable(obj), indent=indent, sort_keys=True)
+
+
+def dump_json(obj, path, indent: int = 2) -> None:
+    """Serialise a result object to a JSON file."""
+    with open(path, "w") as handle:
+        handle.write(dumps_json(obj, indent=indent))
+        handle.write("\n")

@@ -1,0 +1,74 @@
+"""Plain-text rendering helpers for tables and experiment reports.
+
+All experiment harnesses print through these so benchmark output matches
+the paper's presentation (rows/series) without plotting dependencies.
+"""
+
+from __future__ import annotations
+
+__all__ = ["render_table", "render_kv", "format_si"]
+
+
+def render_table(headers, rows, title: str = "") -> str:
+    """Fixed-width ASCII table.
+
+    Parameters
+    ----------
+    headers:
+        Column header strings.
+    rows:
+        Iterable of row value sequences (stringified with ``str``).
+    title:
+        Optional caption printed above the table.
+    """
+    headers = [str(h) for h in headers]
+    str_rows = [[str(v) for v in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells):
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(sep))
+    lines.append(fmt(headers))
+    lines.append(sep)
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def render_kv(pairs, title: str = "") -> str:
+    """Aligned key-value listing."""
+    pairs = [(str(k), str(v)) for k, v in pairs]
+    width = max((len(k) for k, _ in pairs), default=0)
+    lines = [title] if title else []
+    lines.extend(f"{k.ljust(width)} : {v}" for k, v in pairs)
+    return "\n".join(lines)
+
+
+_SI_PREFIXES = (
+    (1e9, "G"), (1e6, "M"), (1e3, "k"), (1.0, ""),
+    (1e-3, "m"), (1e-6, "u"), (1e-9, "n"), (1e-12, "p"),
+)
+
+
+def format_si(value: float, unit: str = "", digits: int = 3) -> str:
+    """Engineering-notation formatting: 0.00042 W -> '420 uW'."""
+    if value == 0:
+        return f"0 {unit}".strip()
+    magnitude = abs(value)
+    for scale, prefix in _SI_PREFIXES:
+        if magnitude >= scale:
+            return f"{value / scale:.{digits}g} {prefix}{unit}".strip()
+    scale, prefix = _SI_PREFIXES[-1]
+    return f"{value / scale:.{digits}g} {prefix}{unit}".strip()

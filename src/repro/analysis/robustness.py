@@ -1,0 +1,99 @@
+"""Seed-robustness analysis for the claim experiments.
+
+A reproduction claim that only holds at one random seed is not a
+reproduction. :func:`sweep_seeds` reruns any experiment across a seed
+population and aggregates a chosen scalar metric; :class:`SeedSweep`
+reports mean, spread, and the fraction of seeds on which a predicate
+(e.g. "multi-source gain > 1") holds — the number quoted in
+EXPERIMENTS.md's robustness notes and checked by
+``benchmarks/test_bench_robustness.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .reporting import render_table
+
+__all__ = ["SeedSweep", "sweep_seeds"]
+
+
+@dataclass(frozen=True)
+class SeedSweep:
+    """Aggregated outcomes of one metric across seeds."""
+
+    label: str
+    seeds: tuple
+    values: tuple
+
+    def __post_init__(self):
+        if len(self.seeds) != len(self.values):
+            raise ValueError("seeds and values must align")
+        if not self.seeds:
+            raise ValueError("sweep needs at least one seed")
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values)
+
+    @property
+    def std(self) -> float:
+        if len(self.values) < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(sum((v - mu) ** 2 for v in self.values) /
+                         (len(self.values) - 1))
+
+    @property
+    def min(self) -> float:
+        return min(self.values)
+
+    @property
+    def max(self) -> float:
+        return max(self.values)
+
+    def holds_fraction(self, predicate) -> float:
+        """Fraction of seeds on which ``predicate(value)`` is true."""
+        return sum(1 for v in self.values if predicate(v)) / len(self.values)
+
+    def report(self) -> str:
+        rows = [(seed, f"{value:.4g}")
+                for seed, value in zip(self.seeds, self.values)]
+        table = render_table(["seed", self.label], rows,
+                             title=f"Seed sweep — {self.label}")
+        return (f"{table}\n"
+                f"mean={self.mean:.4g}  std={self.std:.4g}  "
+                f"range=[{self.min:.4g}, {self.max:.4g}]  n={len(self.seeds)}")
+
+
+def sweep_seeds(experiment, metric, seeds=range(8), label: str = "",
+                **kwargs) -> SeedSweep:
+    """Run ``experiment(seed=s, **kwargs)`` per seed and extract a metric.
+
+    Parameters
+    ----------
+    experiment:
+        Callable accepting a ``seed`` keyword (every ``run_*`` harness in
+        :mod:`repro.analysis.experiments` qualifies).
+    metric:
+        Callable mapping the experiment's result object to a scalar.
+    seeds:
+        Iterable of integer seeds.
+    label:
+        Metric name in the report (default: metric function name).
+    kwargs:
+        Forwarded to the experiment (durations, timesteps, ...).
+    """
+    seeds = tuple(seeds)
+    if not seeds:
+        raise ValueError("need at least one seed")
+    values = []
+    for seed in seeds:
+        result = experiment(seed=seed, **kwargs)
+        values.append(float(metric(result)))
+    return SeedSweep(
+        label=label or getattr(metric, "__name__", "metric"),
+        seeds=seeds,
+        values=tuple(values),
+    )

@@ -1,0 +1,240 @@
+"""Table I regeneration and diff against the paper (experiment T1).
+
+``PAPER_TABLE_I`` transcribes the survey's Table I verbatim. The
+regeneration derives the same rows from the live system models
+(:func:`repro.core.classify`) and :func:`compare_with_paper` reports
+agreement cell-by-cell, with bound-aware comparison for the "< x uA"
+quiescent entries and set comparison for device-type lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.classification import TableRow, classify
+from ..systems.registry import all_systems
+from .reporting import render_table
+
+__all__ = [
+    "PAPER_TABLE_I",
+    "generate_table1",
+    "render_table1",
+    "compare_with_paper",
+    "Table1Comparison",
+]
+
+#: The survey's Table I, transcribed. Keys are device letters; values are
+#: row-label -> printed cell. Quiescent entries keep the paper's "< " marks.
+PAPER_TABLE_I = {
+    "A": {
+        "Name": "Smart Power Unit",
+        "No. Harvesters/Stores": "3/3",
+        "Swappable Sensor Node": "Yes",
+        "Swappable Storage": "No",
+        "Swappable Harvesters": "No",
+        "Energy Monitoring": "Yes",
+        "Digital Interface": "Yes",
+        "Quiescent Current Draw": "5 uA",
+        "Harvesters": ("Light", "Wind"),
+        "Storage": ("Fuel cell", "Li-ion rech. batt.", "Supercap."),
+        "Commercial Product": "No",
+    },
+    "B": {
+        "Name": "Plug-and-Play",
+        "No. Harvesters/Stores": "6 (shared)",
+        "Swappable Sensor Node": "Yes",
+        "Swappable Storage": "Yes, 6",
+        "Swappable Harvesters": "Yes, 6",
+        "Energy Monitoring": "Yes",
+        "Digital Interface": "No",
+        "Quiescent Current Draw": "7 uA",
+        "Harvesters": ("Light", "Wind", "Thermal", "Vibration"),
+        "Storage": ("Supercap.", "NiMH rech. batt.", "Li non-rech. batt."),
+        "Commercial Product": "No",
+    },
+    "C": {
+        "Name": "AmbiMax",
+        "No. Harvesters/Stores": "3/2",
+        "Swappable Sensor Node": "Yes",
+        "Swappable Storage": "Yes, battery",
+        "Swappable Harvesters": "Yes, 3",
+        "Energy Monitoring": "No",
+        "Digital Interface": "No",
+        "Quiescent Current Draw": "< 5 uA",
+        "Harvesters": ("Light", "Wind"),
+        "Storage": ("Supercaps", "Li-ion/poly", "2xAA rech. batts."),
+        "Commercial Product": "No",
+    },
+    "D": {
+        "Name": "MPWiNode",
+        "No. Harvesters/Stores": "3/1",
+        "Swappable Sensor Node": "No",
+        "Swappable Storage": "Yes, battery",
+        "Swappable Harvesters": "Yes",
+        "Energy Monitoring": "Limited",
+        "Digital Interface": "No",
+        "Quiescent Current Draw": "75 uA",
+        "Harvesters": ("Light", "Wind", "Water Flow"),
+        "Storage": ("AA rech. batts.",),
+        "Commercial Product": "No",
+    },
+    "E": {
+        "Name": "Maxim MAX17710 Eval",
+        "No. Harvesters/Stores": "2/1",
+        "Swappable Sensor Node": "Yes",
+        "Swappable Storage": "No",
+        "Swappable Harvesters": "Yes, 1 of 2",
+        "Energy Monitoring": "No",
+        "Digital Interface": "No",
+        "Quiescent Current Draw": "< 1 uA",
+        "Harvesters": ("Piezo/Mech", "Light", "Radio"),
+        "Storage": ("Thin-film battery",),
+        "Commercial Product": "Yes",
+    },
+    "F": {
+        "Name": "Cymbet EVAL-09",
+        "No. Harvesters/Stores": "4/2",
+        "Swappable Sensor Node": "Yes",
+        "Swappable Storage": "Yes, battery",
+        "Swappable Harvesters": "Yes, 4",
+        "Energy Monitoring": "Yes",
+        "Digital Interface": "Yes",
+        "Quiescent Current Draw": "20 uA",
+        "Harvesters": ("Light", "Radio", "Thermal", "Vibration"),
+        "Storage": ("Thin-film batt.", "optional ext. Li batt."),
+        "Commercial Product": "Yes",
+    },
+    "G": {
+        "Name": "Microstrain EH-Link",
+        "No. Harvesters/Stores": "3/1",
+        "Swappable Sensor Node": "No",
+        "Swappable Storage": "Yes",
+        "Swappable Harvesters": "Yes, 3",
+        "Energy Monitoring": "No",
+        "Digital Interface": "No",
+        "Quiescent Current Draw": "< 32 uA",
+        "Harvesters": ("Piezo", "Inductive", "Radio",
+                       "General AC/DC > 5 V"),
+        "Storage": ("Aux: supercap/thin-film",),
+        "Commercial Product": "Yes",
+    },
+}
+
+ROW_LABELS = (
+    "No. Harvesters/Stores",
+    "Swappable Sensor Node",
+    "Swappable Storage",
+    "Swappable Harvesters",
+    "Energy Monitoring",
+    "Digital Interface",
+    "Quiescent Current Draw",
+    "Harvesters",
+    "Storage",
+    "Commercial Product",
+)
+
+
+def generate_table1(systems: dict | None = None) -> dict:
+    """Classify the seven systems; returns letter -> :class:`TableRow`."""
+    if systems is None:
+        systems = all_systems()
+    return {letter: classify(system, device=letter)
+            for letter, system in systems.items()}
+
+
+def render_table1(rows: dict | None = None) -> str:
+    """Render the regenerated Table I in the paper's layout (rows are
+    attributes, columns are devices)."""
+    if rows is None:
+        rows = generate_table1()
+    letters = sorted(rows)
+    headers = ["Device"] + letters
+    body = [["Name"] + [rows[letter].name for letter in letters]]
+    for label in ROW_LABELS:
+        body.append([label] + [rows[letter].as_dict()[label]
+                               for letter in letters])
+    return render_table(headers, body,
+                        title="TABLE I — CATEGORIZATION OF MULTI-SOURCE "
+                              "ENERGY HARVESTING SYSTEMS (regenerated)")
+
+
+def _parse_quiescent(text: str) -> tuple:
+    """Parse '5 uA' / '< 32 uA' -> (amps, is_bound)."""
+    text = text.strip()
+    bound = text.startswith("<")
+    number = text.lstrip("< ").split()[0]
+    return float(number) * 1e-6, bound
+
+
+@dataclass(frozen=True)
+class CellResult:
+    device: str
+    row: str
+    paper: str
+    model: str
+    match: bool
+
+
+@dataclass(frozen=True)
+class Table1Comparison:
+    cells: tuple
+
+    @property
+    def mismatches(self) -> tuple:
+        return tuple(c for c in self.cells if not c.match)
+
+    @property
+    def agreement(self) -> float:
+        if not self.cells:
+            return 0.0
+        return sum(c.match for c in self.cells) / len(self.cells)
+
+    def report(self) -> str:
+        lines = [f"Table I agreement: {sum(c.match for c in self.cells)}"
+                 f"/{len(self.cells)} cells "
+                 f"({self.agreement * 100:.1f} %)"]
+        for cell in self.mismatches:
+            lines.append(f"  MISMATCH {cell.device} / {cell.row}: "
+                         f"paper={cell.paper!r} model={cell.model!r}")
+        return "\n".join(lines)
+
+
+def compare_with_paper(rows: dict | None = None) -> Table1Comparison:
+    """Cell-by-cell diff of the regenerated table against the paper.
+
+    Comparison rules:
+
+    * Quiescent: "< x" paper entries require the modelled platform draw to
+      be strictly below x; exact entries must match to the microamp.
+    * Harvesters/Storage: compared as ordered tuples of labels.
+    * All other rows: exact string match.
+    """
+    if rows is None:
+        rows = generate_table1()
+    cells = []
+    for letter, paper_row in PAPER_TABLE_I.items():
+        model_row: TableRow = rows[letter]
+        model_cells = model_row.as_dict()
+        for label in ROW_LABELS:
+            paper_value = paper_row[label]
+            if label == "Quiescent Current Draw":
+                paper_amps, paper_bound = _parse_quiescent(paper_value)
+                model_amps, _ = _parse_quiescent(model_cells[label])
+                if paper_bound:
+                    match = model_amps < paper_amps
+                else:
+                    match = abs(model_amps - paper_amps) < 0.5e-6
+                model_value = model_cells[label]
+            elif label in ("Harvesters", "Storage"):
+                model_value = model_cells[label]
+                match = tuple(paper_value) == tuple(
+                    v.strip() for v in model_value.split(","))
+            else:
+                model_value = model_cells[label]
+                match = paper_value == model_value
+            cells.append(CellResult(
+                device=letter, row=label,
+                paper=str(paper_value), model=str(model_value),
+                match=match,
+            ))
+    return Table1Comparison(cells=tuple(cells))

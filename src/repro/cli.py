@@ -1,0 +1,184 @@
+"""Command-line interface for the reproduction.
+
+Subcommands:
+
+* ``table1``      — regenerate Table I and diff it against the paper.
+* ``figure A|B``  — print the architecture rendition of Fig. 1 / Fig. 2.
+* ``simulate X``  — run one of the seven systems on a chosen environment.
+* ``experiment``  — run a claim-validation experiment (e3..e11).
+* ``advise``      — rank all seven platforms for a deployment.
+* ``audit X``     — run a system and print the energy waterfall.
+
+Examples::
+
+    python -m repro table1
+    python -m repro simulate A --env outdoor --days 7
+    python -m repro experiment e5
+    python -m repro audit B --env indoor --days 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import (advise, compare_with_paper, render_architecture,
+                       render_table1)
+from .analysis.audit import audit_run
+from .environment import (
+    agricultural_environment,
+    indoor_industrial_environment,
+    outdoor_environment,
+    urban_rf_environment,
+)
+from .simulation import simulate
+from .systems import SYSTEM_NAMES, build_system
+
+__all__ = ["main"]
+
+DAY = 86_400.0
+
+ENVIRONMENTS = {
+    "outdoor": outdoor_environment,
+    "indoor": indoor_industrial_environment,
+    "agricultural": agricultural_environment,
+    "urban-rf": urban_rf_environment,
+}
+
+EXPERIMENTS = {
+    "e3": ("multisource gain", "run_multisource_gain", {}),
+    "e4": ("buffer sizing", "run_buffer_sizing", {}),
+    "e5": ("MPPT trade-off", "run_mppt_study", {}),
+    "e6": ("quiescent study", "run_quiescent_study", {}),
+    "e7": ("energy awareness", "run_awareness_study", {}),
+    "e8": ("hot-swap", "run_swap_study", {}),
+    "e9": ("smart harvester", "run_smart_harvester_study", {}),
+    "e10": ("fuel-cell backup", "run_fuel_cell_study", {}),
+    "e11": ("storage lifetime", "run_lifetime_study", {}),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Multi-source energy harvesting systems "
+                    "(DATE 2013 survey reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="regenerate Table I and diff vs the paper")
+
+    p_fig = sub.add_parser("figure", help="print an architecture figure")
+    p_fig.add_argument("system", choices=sorted(SYSTEM_NAMES),
+                       help="system letter (A = Fig. 1, B = Fig. 2)")
+
+    p_sim = sub.add_parser("simulate", help="simulate a surveyed system")
+    p_sim.add_argument("system", choices=sorted(SYSTEM_NAMES))
+    p_sim.add_argument("--env", choices=sorted(ENVIRONMENTS),
+                       default="outdoor")
+    p_sim.add_argument("--days", type=float, default=7.0)
+    p_sim.add_argument("--dt", type=float, default=120.0)
+    p_sim.add_argument("--seed", type=int, default=0)
+
+    p_exp = sub.add_parser("experiment", help="run a claim experiment")
+    p_exp.add_argument("id", choices=sorted(EXPERIMENTS),
+                       help="experiment id (e3..e10)")
+
+    p_adv = sub.add_parser("advise",
+                           help="rank all platforms for a deployment")
+    p_adv.add_argument("--env", choices=sorted(ENVIRONMENTS),
+                       default="outdoor")
+    p_adv.add_argument("--days", type=float, default=3.0)
+    p_adv.add_argument("--dt", type=float, default=300.0)
+    p_adv.add_argument("--seed", type=int, default=0)
+
+    p_audit = sub.add_parser("audit", help="energy waterfall for a system")
+    p_audit.add_argument("system", choices=sorted(SYSTEM_NAMES))
+    p_audit.add_argument("--env", choices=sorted(ENVIRONMENTS),
+                         default="outdoor")
+    p_audit.add_argument("--days", type=float, default=3.0)
+    p_audit.add_argument("--dt", type=float, default=120.0)
+    p_audit.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_table1() -> int:
+    print(render_table1())
+    print()
+    comparison = compare_with_paper()
+    print(comparison.report())
+    return 0 if comparison.agreement == 1.0 else 1
+
+
+def _cmd_figure(letter: str) -> int:
+    print(render_architecture(build_system(letter)))
+    return 0
+
+
+def _run_system(letter: str, env_name: str, days: float, dt: float,
+                seed: int):
+    system = build_system(letter)
+    env = ENVIRONMENTS[env_name](duration=days * DAY, dt=dt, seed=seed)
+    return system, simulate(system, env)
+
+
+def _cmd_simulate(args) -> int:
+    system, result = _run_system(args.system, args.env, args.days, args.dt,
+                                 args.seed)
+    m = result.metrics
+    print(f"{SYSTEM_NAMES[args.system]} on {args.env}, "
+          f"{args.days:g} days (seed {args.seed})")
+    print(f"  uptime                {m.uptime_fraction * 100:.2f} %")
+    print(f"  harvested (raw)       {m.harvested_raw_j:.1f} J")
+    print(f"  harvested (to bus)    {m.harvested_delivered_j:.1f} J")
+    print(f"  tracking efficiency   {m.tracking_efficiency * 100:.1f} %")
+    print(f"  conversion efficiency {m.conversion_efficiency * 100:.1f} %")
+    print(f"  quiescent losses      {m.quiescent_j:.2f} J")
+    print(f"  node consumed         {m.node_consumed_j:.2f} J")
+    print(f"  measurements/day      {m.measurements_per_day:.0f}")
+    print(f"  backup used           {m.backup_used_j:.2f} J")
+    print(f"  brownouts             {m.brownouts}")
+    return 0
+
+
+def _cmd_experiment(exp_id: str) -> int:
+    from .analysis import experiments as exp_pkg
+    label, fn_name, kwargs = EXPERIMENTS[exp_id]
+    print(f"running {exp_id}: {label} ...")
+    result = getattr(exp_pkg, fn_name)(**kwargs)
+    print(result.report())
+    return 0
+
+
+def _cmd_audit(args) -> int:
+    system, result = _run_system(args.system, args.env, args.days, args.dt,
+                                 args.seed)
+    audit = audit_run(result.recorder)
+    print(audit.report(
+        title=f"Energy audit — {SYSTEM_NAMES[args.system]} on {args.env}, "
+              f"{args.days:g} days"))
+    return 0
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "table1":
+        return _cmd_table1()
+    if args.command == "figure":
+        return _cmd_figure(args.system)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args.id)
+    if args.command == "advise":
+        env = ENVIRONMENTS[args.env](duration=args.days * DAY, dt=args.dt,
+                                     seed=args.seed)
+        print(advise(env).report())
+        return 0
+    if args.command == "audit":
+        return _cmd_audit(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

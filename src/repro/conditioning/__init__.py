@@ -1,0 +1,47 @@
+"""Power conditioning: MPPT, converters, and per-module interfaces.
+
+Implements the survey's power-conditioning taxonomy axis (Sec. II.1): the
+efficiency-versus-quiescent-draw trade-off between MPPT arrangements
+(System A) and fixed operating points (System B), converter loss curves,
+and System B's per-module interface circuits.
+"""
+
+from .base import HarvestStep, InputConditioner, OutputConditioner
+from .converters import (
+    BoostConverter,
+    BuckBoostConverter,
+    Converter,
+    DiodeRectifier,
+    IdealConverter,
+    LinearRegulator,
+)
+from .interface_circuit import ModuleInterfaceCircuit
+from .mppt import (
+    FixedVoltage,
+    FractionalOpenCircuit,
+    IncrementalConductance,
+    MPPTracker,
+    OracleMPPT,
+    PerturbObserve,
+    TrackerStep,
+)
+
+__all__ = [
+    "HarvestStep",
+    "InputConditioner",
+    "OutputConditioner",
+    "Converter",
+    "IdealConverter",
+    "BuckBoostConverter",
+    "BoostConverter",
+    "LinearRegulator",
+    "DiodeRectifier",
+    "MPPTracker",
+    "TrackerStep",
+    "OracleMPPT",
+    "PerturbObserve",
+    "FractionalOpenCircuit",
+    "IncrementalConductance",
+    "FixedVoltage",
+    "ModuleInterfaceCircuit",
+]

@@ -1,0 +1,162 @@
+"""Input and output conditioning stages.
+
+Survey Sec. II.1: "As a minimum, an input power conditioning circuit is
+required to go between the harvester and the storage device — to prevent
+the backflow of energy to the harvester, and in many cases to rectify and
+regulate its output. ... Most devices also have an output conditioning
+circuit between the storage device and the load, to supply a suitable
+voltage to the embedded device."
+
+:class:`InputConditioner` = operating-point tracker + conversion stage +
+standing (quiescent) current. :class:`OutputConditioner` = conversion
+stage + quiescent + an input-voltage window (the converter cut-off that
+makes the node brown out when the store runs low).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..harvesters.base import Harvester
+from .converters import Converter, IdealConverter
+from .mppt import MPPTracker, OracleMPPT
+
+__all__ = ["HarvestStep", "InputConditioner", "OutputConditioner"]
+
+
+@dataclass(frozen=True)
+class HarvestStep:
+    """Accounting record for one input-conditioning step."""
+
+    raw_power: float        # W extracted from the transducer
+    delivered_power: float  # W delivered to the storage bus
+    operating_voltage: float
+    mpp_power: float        # W a perfect tracker would have extracted
+
+    @property
+    def conversion_loss(self) -> float:
+        return max(0.0, self.raw_power - self.delivered_power)
+
+    @property
+    def tracking_efficiency(self) -> float:
+        """raw / mpp — how close the tracker got to the true MPP."""
+        if self.mpp_power <= 0:
+            return 1.0
+        return min(1.0, self.raw_power / self.mpp_power)
+
+
+class InputConditioner:
+    """Harvester-side conditioning chain.
+
+    Parameters
+    ----------
+    tracker:
+        Operating-point strategy (:mod:`repro.conditioning.mppt`).
+    converter:
+        Conversion stage between harvester and storage bus.
+    quiescent_current_a:
+        Standing current of this channel's conditioning electronics
+        (added to the tracker's own), drawn from the bus continuously.
+    name:
+        Channel label in reports.
+    """
+
+    def __init__(self, tracker: MPPTracker | None = None,
+                 converter: Converter | None = None,
+                 quiescent_current_a: float = 0.0, name: str = ""):
+        if quiescent_current_a < 0:
+            raise ValueError("quiescent_current_a must be non-negative")
+        self.tracker = tracker if tracker is not None else OracleMPPT()
+        self.converter = converter if converter is not None else IdealConverter()
+        self.quiescent_current_a = quiescent_current_a
+        self.name = name or type(self).__name__
+
+    @property
+    def total_quiescent_a(self) -> float:
+        """Channel + tracker standing current, amps."""
+        return self.quiescent_current_a + self.tracker.quiescent_current_a
+
+    def step(self, harvester: Harvester, ambient: float, dt: float,
+             bus_voltage: float) -> HarvestStep:
+        """Run one conditioning step; returns the power accounting record."""
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        decision = self.tracker.step(harvester, ambient, dt)
+        mpp_power = harvester.max_power(ambient)
+        if not decision.harvesting or decision.voltage <= 0:
+            return HarvestStep(0.0, 0.0, decision.voltage, mpp_power)
+        raw = harvester.power_at(decision.voltage, ambient) * decision.duty
+        delivered = self.converter.output_power(raw, decision.voltage, bus_voltage)
+        if delivered == 0.0 and raw > 0.0:
+            # Converter shut down (input outside its window, or boost asked
+            # to step down): the input stage disconnects the harvester, so
+            # nothing is actually extracted either.
+            raw = 0.0
+        return HarvestStep(raw, delivered, decision.voltage, mpp_power)
+
+    def reset(self) -> None:
+        """Clear tracker state (hot-swap of the attached harvester)."""
+        self.tracker.reset()
+
+    def __repr__(self) -> str:
+        return (f"InputConditioner(name={self.name!r}, tracker={self.tracker!r}, "
+                f"converter={self.converter!r})")
+
+
+class OutputConditioner:
+    """Store-to-load conditioning stage.
+
+    Parameters
+    ----------
+    converter:
+        Conversion stage (buck-boost for System A, LDO for System B).
+    output_voltage:
+        Regulated supply voltage delivered to the embedded device, V.
+    min_input_voltage:
+        Store voltage below which the stage shuts down (brown-out).
+    quiescent_current_a:
+        Standing current of the output stage.
+    name:
+        Label in reports.
+    """
+
+    def __init__(self, converter: Converter | None = None,
+                 output_voltage: float = 3.0, min_input_voltage: float = 0.8,
+                 quiescent_current_a: float = 0.0, name: str = ""):
+        if output_voltage <= 0:
+            raise ValueError("output_voltage must be positive")
+        if min_input_voltage < 0:
+            raise ValueError("min_input_voltage must be non-negative")
+        if quiescent_current_a < 0:
+            raise ValueError("quiescent_current_a must be non-negative")
+        self.converter = converter if converter is not None else IdealConverter()
+        self.output_voltage = output_voltage
+        self.min_input_voltage = min_input_voltage
+        self.quiescent_current_a = quiescent_current_a
+        self.name = name or type(self).__name__
+
+    def can_supply(self, store_voltage: float) -> bool:
+        """Whether the stage can run from the given store voltage."""
+        if store_voltage < self.min_input_voltage:
+            return False
+        return self.converter.efficiency(1e-3, store_voltage,
+                                         self.output_voltage) > 0.0
+
+    def input_power_for(self, demand_w: float, store_voltage: float) -> float:
+        """Store-side power needed to deliver ``demand_w`` at the output.
+
+        Returns ``inf`` when the stage cannot supply at this store voltage
+        (brown-out condition).
+        """
+        if demand_w < 0:
+            raise ValueError(f"demand_w must be non-negative, got {demand_w}")
+        if demand_w == 0.0:
+            return 0.0
+        if not self.can_supply(store_voltage):
+            return float("inf")
+        return self.converter.input_power(demand_w, store_voltage,
+                                          self.output_voltage)
+
+    def __repr__(self) -> str:
+        return (f"OutputConditioner(name={self.name!r}, vout={self.output_voltage}, "
+                f"converter={self.converter!r})")

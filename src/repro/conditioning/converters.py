@@ -1,0 +1,187 @@
+"""Power converter efficiency models.
+
+The survey's Sec. II.1 contrasts the two output stages of its reference
+systems: System A "uses a Buck-Boost converter", System B "a low quiescent
+current linear regulator, which again is a compromise between its
+conversion efficiency and quiescent current draw". These models carry
+exactly that trade-off:
+
+* switching converters (buck-boost, boost) have high mid-load efficiency
+  that collapses at light load as fixed switching losses dominate;
+* linear regulators have efficiency pinned at ``v_out / v_in`` — poor when
+  dropping a large voltage, but with almost no fixed overhead;
+* diode rectifiers model the input-side backflow blocker ("to prevent the
+  backflow of energy to the harvester") whose forward drop taxes
+  low-voltage sources.
+
+Quiescent *standby* current (drawn even at zero throughput) is accounted
+separately by the system model; these classes model throughput-dependent
+conversion loss only.
+"""
+
+from __future__ import annotations
+
+import abc
+
+__all__ = [
+    "Converter",
+    "BuckBoostConverter",
+    "BoostConverter",
+    "LinearRegulator",
+    "DiodeRectifier",
+    "IdealConverter",
+]
+
+
+class Converter(abc.ABC):
+    """Abstract DC-DC conversion stage."""
+
+    def __init__(self, name: str = ""):
+        self.name = name or type(self).__name__
+
+    @abc.abstractmethod
+    def efficiency(self, p_in: float, v_in: float, v_out: float) -> float:
+        """Conversion efficiency in [0, 1] for the given operating point."""
+
+    def output_power(self, p_in: float, v_in: float, v_out: float) -> float:
+        """Output power (W) for a given input power."""
+        if p_in < 0:
+            raise ValueError(f"p_in must be non-negative, got {p_in}")
+        if p_in == 0.0:
+            return 0.0
+        return p_in * self.efficiency(p_in, v_in, v_out)
+
+    def input_power(self, p_out: float, v_in: float, v_out: float) -> float:
+        """Input power (W) needed to deliver ``p_out`` (fixed-point solve).
+
+        Efficiency depends on input power, so invert by a few damped
+        fixed-point iterations — the efficiency curves used here are
+        monotone in ``p_in``, which makes this converge quickly.
+        """
+        if p_out < 0:
+            raise ValueError(f"p_out must be non-negative, got {p_out}")
+        if p_out == 0.0:
+            return 0.0
+        p_in = p_out  # start from the lossless guess
+        for _ in range(30):
+            eff = self.efficiency(p_in, v_in, v_out)
+            if eff <= 0:
+                return float("inf")
+            p_new = p_out / eff
+            if abs(p_new - p_in) < 1e-12 * max(1.0, p_in):
+                return p_new
+            p_in = 0.5 * (p_in + p_new)
+        return p_in
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class IdealConverter(Converter):
+    """Lossless stage — the oracle reference for efficiency studies."""
+
+    def efficiency(self, p_in: float, v_in: float, v_out: float) -> float:
+        return 1.0
+
+
+class BuckBoostConverter(Converter):
+    """Switching buck-boost (System A's output stage).
+
+    Efficiency model: ``eta(P) = eta_peak * P / (P + P_overhead)`` — a
+    single-knee curve capturing the light-load collapse of switchers.
+
+    Parameters
+    ----------
+    peak_efficiency:
+        Plateau efficiency at healthy load (0.85-0.95 for modern parts).
+    overhead_power:
+        Fixed switching loss, W; sets the light-load knee (its value is
+        where efficiency is half the peak).
+    min_input_voltage / max_input_voltage:
+        Operating input-voltage window; outside it output is zero.
+    """
+
+    def __init__(self, peak_efficiency: float = 0.9, overhead_power: float = 100e-6,
+                 min_input_voltage: float = 0.5, max_input_voltage: float = 20.0,
+                 name: str = ""):
+        super().__init__(name=name)
+        if not 0.0 < peak_efficiency <= 1.0:
+            raise ValueError("peak_efficiency must be in (0, 1]")
+        if overhead_power < 0:
+            raise ValueError("overhead_power must be non-negative")
+        if not 0.0 <= min_input_voltage < max_input_voltage:
+            raise ValueError("need 0 <= min_input_voltage < max_input_voltage")
+        self.peak_efficiency = peak_efficiency
+        self.overhead_power = overhead_power
+        self.min_input_voltage = min_input_voltage
+        self.max_input_voltage = max_input_voltage
+
+    def efficiency(self, p_in: float, v_in: float, v_out: float) -> float:
+        if p_in <= 0:
+            return 0.0
+        if not self.min_input_voltage <= v_in <= self.max_input_voltage:
+            return 0.0
+        return self.peak_efficiency * p_in / (p_in + self.overhead_power)
+
+
+class BoostConverter(BuckBoostConverter):
+    """Step-up switcher: like buck-boost but requires ``v_out >= v_in``."""
+
+    def efficiency(self, p_in: float, v_in: float, v_out: float) -> float:
+        if v_out < v_in:
+            return 0.0
+        return super().efficiency(p_in, v_in, v_out)
+
+
+class LinearRegulator(Converter):
+    """LDO linear regulator (System B's output stage).
+
+    Efficiency is structurally ``v_out / v_in`` (same current flows in and
+    out); requires ``v_in >= v_out + dropout``. No load-dependent knee —
+    the LDO's virtue is its tiny fixed overhead, accounted as quiescent
+    current at the system level.
+    """
+
+    def __init__(self, dropout_voltage: float = 0.15, name: str = ""):
+        super().__init__(name=name)
+        if dropout_voltage < 0:
+            raise ValueError("dropout_voltage must be non-negative")
+        self.dropout_voltage = dropout_voltage
+
+    def efficiency(self, p_in: float, v_in: float, v_out: float) -> float:
+        if p_in <= 0 or v_in <= 0 or v_out <= 0:
+            return 0.0
+        if v_in < v_out + self.dropout_voltage:
+            return 0.0
+        return min(1.0, v_out / v_in)
+
+
+class DiodeRectifier(Converter):
+    """Series diode / bridge: backflow prevention with a forward-drop tax.
+
+    Efficiency is ``(v_in - n*v_drop) / v_in`` — the voltage-proportional
+    loss that makes diode front-ends punishing for low-voltage sources
+    (TEGs, inductive harvesters), one of the input-conditioning constraints
+    behind Table I's restrictive voltage windows.
+    """
+
+    def __init__(self, forward_drop: float = 0.3, diodes_in_path: int = 1,
+                 name: str = ""):
+        super().__init__(name=name)
+        if forward_drop < 0:
+            raise ValueError("forward_drop must be non-negative")
+        if diodes_in_path < 1:
+            raise ValueError("diodes_in_path must be >= 1")
+        self.forward_drop = forward_drop
+        self.diodes_in_path = diodes_in_path
+
+    @property
+    def total_drop(self) -> float:
+        return self.forward_drop * self.diodes_in_path
+
+    def efficiency(self, p_in: float, v_in: float, v_out: float) -> float:
+        if p_in <= 0 or v_in <= 0:
+            return 0.0
+        if v_in <= self.total_drop:
+            return 0.0
+        return (v_in - self.total_drop) / v_in

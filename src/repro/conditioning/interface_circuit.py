@@ -1,0 +1,170 @@
+"""Per-module interface circuits (System B's plug-and-play enabler).
+
+Survey Sec. III.1: "System B has a power conditioning board for each energy
+harvester/storage device; these boards act as interfaces between the energy
+devices and the power unit, meaning that voltages can be converted and
+devices can be swapped easily (provided that they have the required
+interface)." And Sec. IV: "The drawback of this architecture, however, is
+that each device must have a suitable interface circuit" — i.e. flexibility
+is bought with a per-module efficiency tax and standing current.
+
+:class:`ModuleInterfaceCircuit` wraps an energy device (harvester or
+storage) and presents it to the shared power unit at a standard bus
+voltage, carrying the device's electronic datasheet so the plug-and-play
+protocol (:mod:`repro.interfaces.plug_and_play`) can enumerate it.
+"""
+
+from __future__ import annotations
+
+from ..harvesters.base import Harvester
+from ..harvesters.datasheet import DeviceKind, ElectronicDatasheet
+from ..storage.base import EnergyStorage
+from .base import HarvestStep, InputConditioner
+from .converters import BuckBoostConverter, Converter
+from .mppt import FixedVoltage, MPPTracker
+
+__all__ = ["ModuleInterfaceCircuit"]
+
+
+class ModuleInterfaceCircuit:
+    """Standard-interface wrapper around one energy device.
+
+    Parameters
+    ----------
+    device:
+        A :class:`~repro.harvesters.Harvester` or
+        :class:`~repro.storage.EnergyStorage`.
+    bus_voltage:
+        The standard voltage the module presents to the power unit.
+    converter:
+        Conversion stage to/from the bus (default: a small buck-boost with
+        modest peak efficiency — the interface tax).
+    tracker:
+        For harvester modules: the operating-point strategy. System B's
+        demonstration modules use a fixed point; default fixes the point
+        at the device datasheet's ``mpp_fraction`` of a nominal Voc when a
+        datasheet is present, else a plain half-Voc fixed point is set on
+        first use.
+    quiescent_current_a:
+        Standing current of the interface board.
+    name:
+        Module label on the bus.
+    """
+
+    def __init__(self, device, bus_voltage: float = 3.3,
+                 converter: Converter | None = None,
+                 tracker: MPPTracker | None = None,
+                 quiescent_current_a: float = 1e-6, name: str = ""):
+        if not isinstance(device, (Harvester, EnergyStorage)):
+            raise TypeError(
+                f"device must be a Harvester or EnergyStorage, got {type(device).__name__}"
+            )
+        if bus_voltage <= 0:
+            raise ValueError("bus_voltage must be positive")
+        if quiescent_current_a < 0:
+            raise ValueError("quiescent_current_a must be non-negative")
+        self.device = device
+        self.bus_voltage = bus_voltage
+        self.converter = converter if converter is not None else \
+            BuckBoostConverter(peak_efficiency=0.85, overhead_power=20e-6)
+        self.quiescent_current_a = quiescent_current_a
+        self.name = name or getattr(device, "name", type(device).__name__)
+
+        if self.is_harvester:
+            if tracker is None:
+                tracker = self._default_fixed_tracker()
+            self._input = InputConditioner(
+                tracker=tracker, converter=self.converter,
+                quiescent_current_a=0.0, name=f"{self.name}-if",
+            )
+        else:
+            self._input = None
+
+    # ------------------------------------------------------------------
+    @property
+    def is_harvester(self) -> bool:
+        return isinstance(self.device, Harvester)
+
+    @property
+    def is_storage(self) -> bool:
+        return isinstance(self.device, EnergyStorage)
+
+    @property
+    def datasheet(self) -> ElectronicDatasheet | None:
+        return getattr(self.device, "datasheet", None)
+
+    @property
+    def kind(self) -> DeviceKind:
+        return DeviceKind.HARVESTER if self.is_harvester else DeviceKind.STORAGE
+
+    @property
+    def total_quiescent_a(self) -> float:
+        iq = self.quiescent_current_a
+        if self._input is not None:
+            iq += self._input.total_quiescent_a
+        return iq
+
+    def _default_fixed_tracker(self) -> MPPTracker:
+        """Fixed operating point from the datasheet, else a generic 1.5 V."""
+        ds = self.datasheet
+        if ds is not None and ds.mpp_fraction > 0 and ds.nominal_voltage > 0:
+            return FixedVoltage(ds.mpp_fraction * ds.nominal_voltage)
+        return FixedVoltage(1.5)
+
+    # ------------------------------------------------------------------
+    # Harvester-module operation
+    # ------------------------------------------------------------------
+    def harvest(self, ambient: float, dt: float) -> HarvestStep:
+        """Harvest for one step, delivering power at the bus voltage."""
+        if not self.is_harvester:
+            raise TypeError(f"module {self.name!r} is a storage module")
+        return self._input.step(self.device, ambient, dt, self.bus_voltage)
+
+    # ------------------------------------------------------------------
+    # Storage-module operation (bus-side accounting through the converter)
+    # ------------------------------------------------------------------
+    def store(self, power_w: float, dt: float) -> float:
+        """Push bus power into the storage device; returns power accepted
+        at the bus (device receives less: the interface tax)."""
+        if not self.is_storage:
+            raise TypeError(f"module {self.name!r} is a harvester module")
+        if power_w < 0:
+            raise ValueError(f"power_w must be non-negative, got {power_w}")
+        if power_w == 0.0:
+            return 0.0
+        eff = self.converter.efficiency(power_w, self.bus_voltage,
+                                        max(self.device.voltage(), 1e-6))
+        if eff <= 0:
+            return 0.0
+        accepted_device = self.device.charge(power_w * eff, dt)
+        return accepted_device / eff
+
+    def retrieve(self, power_w: float, dt: float) -> float:
+        """Pull power from the storage device onto the bus; returns power
+        delivered at the bus."""
+        if not self.is_storage:
+            raise TypeError(f"module {self.name!r} is a harvester module")
+        if power_w < 0:
+            raise ValueError(f"power_w must be non-negative, got {power_w}")
+        if power_w == 0.0:
+            return 0.0
+        v_dev = max(self.device.voltage(), 1e-6)
+        eff = self.converter.efficiency(power_w, v_dev, self.bus_voltage)
+        if eff <= 0:
+            return 0.0
+        delivered_device = self.device.discharge(power_w / eff, dt)
+        return delivered_device * eff
+
+    def swap_device(self, new_device) -> None:
+        """Hot-swap the wrapped device (same kind required)."""
+        if self.is_harvester != isinstance(new_device, Harvester):
+            raise TypeError("replacement device must be the same kind")
+        self.device = new_device
+        if self._input is not None:
+            self._input.tracker = self._default_fixed_tracker() \
+                if isinstance(self._input.tracker, FixedVoltage) else self._input.tracker
+            self._input.reset()
+
+    def __repr__(self) -> str:
+        return (f"ModuleInterfaceCircuit(name={self.name!r}, kind={self.kind.value}, "
+                f"bus={self.bus_voltage} V)")

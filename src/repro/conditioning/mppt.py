@@ -1,0 +1,331 @@
+"""Maximum power point tracking algorithms and fixed-point alternatives.
+
+Survey Sec. II.1: "System A uses a maximum power point tracking (MPPT)
+arrangement that works to ensure that the energy harvesters operate at
+their optimal point. Conversely, System B ... operate[s] at a fixed point
+which offers a compromise between efficiency and quiescent current draw."
+And Sec. IV: "Many of the systems implement some form of MPPT, which is
+important providing that the overhead of implementing it does not exceed
+the delivered benefits. Often this is deployment-specific."
+
+Each tracker is a strategy object consumed by
+:class:`repro.conditioning.InputConditioner`. A tracker selects the
+harvester's operating voltage each step and declares its costs:
+
+* ``quiescent_current_a`` — standing current of the tracker electronics
+  (an MPPT controller IC draws more than a resistor divider);
+* a *sampling blackout*: fractional open-circuit-voltage trackers must
+  periodically disconnect the harvester to sample Voc, losing harvest
+  during the sample window.
+
+Implemented trackers:
+
+* :class:`OracleMPPT` — always at the true MPP; zero overhead. The upper
+  bound used to normalise tracking efficiency in experiment E5.
+* :class:`PerturbObserve` — classic hill climbing with direction memory.
+* :class:`FractionalOpenCircuit` — ``V = k * Voc`` with periodic Voc
+  sampling (k ~ 0.76 for PV; 0.5 exact for Thevenin sources).
+* :class:`IncrementalConductance` — dI/dV vs -I/V comparison.
+* :class:`FixedVoltage` — System-B-style static operating point.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ..harvesters.base import Harvester
+
+__all__ = [
+    "MPPTracker",
+    "TrackerStep",
+    "OracleMPPT",
+    "PerturbObserve",
+    "FractionalOpenCircuit",
+    "IncrementalConductance",
+    "FixedVoltage",
+]
+
+
+class TrackerStep:
+    """Result of one tracker decision.
+
+    Attributes
+    ----------
+    voltage:
+        Selected operating voltage, V.
+    harvesting:
+        False while the tracker has the harvester disconnected (Voc
+        sampling blackout); no power is extracted in that state.
+    duty:
+        Fraction of the step during which harvesting actually occurs, in
+        [0, 1]. Trackers whose sampling blackout is shorter than the
+        simulation step express the average loss here instead of a full
+        ``harvesting=False`` step.
+    """
+
+    __slots__ = ("voltage", "harvesting", "duty")
+
+    def __init__(self, voltage: float, harvesting: bool = True, duty: float = 1.0):
+        if voltage < 0:
+            raise ValueError(f"voltage must be non-negative, got {voltage}")
+        if not 0.0 <= duty <= 1.0:
+            raise ValueError(f"duty must be in [0, 1], got {duty}")
+        self.voltage = voltage
+        self.harvesting = harvesting
+        self.duty = duty
+
+
+class MPPTracker(abc.ABC):
+    """Operating-point selection strategy.
+
+    Parameters
+    ----------
+    quiescent_current_a:
+        Standing supply current of the tracker electronics, amps. The
+        system model charges this against the storage continuously — the
+        "overhead" side of the survey's MPPT trade-off.
+    """
+
+    def __init__(self, quiescent_current_a: float = 0.0):
+        if quiescent_current_a < 0:
+            raise ValueError("quiescent_current_a must be non-negative")
+        self.quiescent_current_a = quiescent_current_a
+
+    @abc.abstractmethod
+    def step(self, harvester: Harvester, ambient: float, dt: float) -> TrackerStep:
+        """Select the operating point for the coming ``dt`` seconds."""
+
+    def reset(self) -> None:
+        """Clear internal state (called on hot-swap of the harvester)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(iq={self.quiescent_current_a * 1e6:.2f} uA)"
+
+
+class OracleMPPT(MPPTracker):
+    """Perfect tracker: always at the true MPP, no overhead.
+
+    Physically unrealisable; used as the normalising upper bound in the
+    MPPT trade-off experiment (E5).
+    """
+
+    def step(self, harvester: Harvester, ambient: float, dt: float) -> TrackerStep:
+        return TrackerStep(harvester.mpp(ambient).voltage)
+
+
+class PerturbObserve(MPPTracker):
+    """Classic perturb-and-observe hill climbing.
+
+    Perturbs the operating voltage by ``step_fraction`` of Voc each cycle;
+    keeps direction while power rises, reverses when it falls. Converges to
+    a limit cycle around the MPP (the oscillation loss is the algorithm's
+    intrinsic tracking deficit) and momentarily walks the wrong way when
+    conditions change fast — both visible in experiment E5.
+
+    Parameters
+    ----------
+    step_fraction:
+        Perturbation size as a fraction of the current Voc.
+    update_period:
+        Seconds between perturbations (the algorithm's control rate).
+    quiescent_current_a:
+        Controller standing current (MPPT ICs: a few uA to tens of uA).
+    """
+
+    def __init__(self, step_fraction: float = 0.02, update_period: float = 1.0,
+                 quiescent_current_a: float = 5e-6):
+        super().__init__(quiescent_current_a)
+        if not 0.0 < step_fraction < 0.5:
+            raise ValueError("step_fraction must be in (0, 0.5)")
+        if update_period <= 0:
+            raise ValueError("update_period must be positive")
+        self.step_fraction = step_fraction
+        self.update_period = update_period
+        self.reset()
+
+    def reset(self) -> None:
+        self._voltage = None
+        self._last_power = None
+        self._direction = 1.0
+        self._elapsed = 0.0
+
+    def step(self, harvester: Harvester, ambient: float, dt: float) -> TrackerStep:
+        voc = harvester.open_circuit_voltage(ambient)
+        if voc <= 0:
+            # Source dead: hold position, re-seed on recovery.
+            self._voltage = None
+            self._last_power = None
+            return TrackerStep(0.0)
+
+        if self._voltage is None:
+            # Seed at half Voc (safe for every curve shape in the library).
+            self._voltage = 0.5 * voc
+
+        self._elapsed += dt
+        updates = int(self._elapsed / self.update_period)
+        self._elapsed -= updates * self.update_period
+        # At coarse simulation steps several control updates elapse per dt;
+        # apply them sequentially against the same ambient value.
+        for _ in range(min(updates, 64)):
+            power = harvester.power_at(self._voltage, ambient)
+            if self._last_power is not None and power < self._last_power:
+                self._direction = -self._direction
+            self._last_power = power
+            self._voltage += self._direction * self.step_fraction * voc
+            self._voltage = min(max(self._voltage, 0.0), voc)
+        return TrackerStep(self._voltage)
+
+
+class FractionalOpenCircuit(MPPTracker):
+    """Fractional open-circuit-voltage tracking: ``V = k * Voc``.
+
+    The cheapest MPPT in silicon: periodically disconnect the harvester,
+    sample Voc, then regulate the operating point at a fixed fraction of
+    it. For single-diode PV the MPP sits near 0.72-0.82 of Voc; for any
+    Thevenin source exactly 0.5. The cost is the sampling blackout — no
+    harvest during the sample window — plus a small standing current.
+
+    Parameters
+    ----------
+    fraction:
+        k in ``V = k * Voc``.
+    sample_period:
+        Seconds between Voc samples.
+    sample_time:
+        Blackout duration per sample, seconds.
+    quiescent_current_a:
+        Controller standing current.
+    """
+
+    def __init__(self, fraction: float = 0.76, sample_period: float = 60.0,
+                 sample_time: float = 0.5, quiescent_current_a: float = 1e-6):
+        super().__init__(quiescent_current_a)
+        if not 0.0 < fraction < 1.0:
+            raise ValueError("fraction must be in (0, 1)")
+        if sample_period <= 0 or sample_time < 0:
+            raise ValueError("sample_period must be positive, sample_time >= 0")
+        if sample_time >= sample_period:
+            raise ValueError("sample_time must be < sample_period")
+        self.fraction = fraction
+        self.sample_period = sample_period
+        self.sample_time = sample_time
+        self.reset()
+
+    def reset(self) -> None:
+        self._since_sample = float("inf")  # force an immediate first sample
+        self._target = 0.0
+
+    @property
+    def blackout_fraction(self) -> float:
+        """Fraction of time lost to Voc sampling."""
+        return self.sample_time / self.sample_period
+
+    def step(self, harvester: Harvester, ambient: float, dt: float) -> TrackerStep:
+        self._since_sample += dt
+        if self._since_sample >= self.sample_period:
+            voc = harvester.open_circuit_voltage(ambient)
+            self._target = self.fraction * voc
+            if dt <= self.sample_time:
+                # Blackout fully resolvable: this whole step is a sample.
+                self._since_sample = 0.0
+                return TrackerStep(self._target, harvesting=False)
+            if dt < self.sample_period:
+                # One sample inside this step: shave its duty.
+                self._since_sample = 0.0
+                return TrackerStep(self._target, duty=1.0 - self.sample_time / dt)
+            # Coarse step spanning >= one sample period: charge the
+            # long-run average blackout fraction.
+            self._since_sample = 0.0
+            return TrackerStep(self._target, duty=1.0 - self.blackout_fraction)
+        return TrackerStep(self._target)
+
+
+class IncrementalConductance(MPPTracker):
+    """Incremental conductance tracking.
+
+    Compares dI/dV against -I/V: at the MPP they are equal, to the left
+    of it dI/dV > -I/V, to the right dI/dV < -I/V. Probes the local slope
+    with a small voltage delta and steps toward the MPP. More stable than
+    P&O under fast irradiance ramps because the *sign* test does not
+    confuse a condition change with a self-induced perturbation.
+
+    Parameters
+    ----------
+    step_fraction:
+        Correction step size as a fraction of Voc.
+    probe_fraction:
+        Voltage delta used to estimate dI/dV, as a fraction of Voc.
+    update_period:
+        Seconds between corrections.
+    quiescent_current_a:
+        Controller standing current (needs a multiplier: more than P&O).
+    """
+
+    def __init__(self, step_fraction: float = 0.02, probe_fraction: float = 0.005,
+                 update_period: float = 1.0, quiescent_current_a: float = 8e-6):
+        super().__init__(quiescent_current_a)
+        if not 0.0 < step_fraction < 0.5:
+            raise ValueError("step_fraction must be in (0, 0.5)")
+        if not 0.0 < probe_fraction < step_fraction:
+            raise ValueError("probe_fraction must be in (0, step_fraction)")
+        if update_period <= 0:
+            raise ValueError("update_period must be positive")
+        self.step_fraction = step_fraction
+        self.probe_fraction = probe_fraction
+        self.update_period = update_period
+        self.reset()
+
+    def reset(self) -> None:
+        self._voltage = None
+        self._elapsed = 0.0
+
+    def step(self, harvester: Harvester, ambient: float, dt: float) -> TrackerStep:
+        voc = harvester.open_circuit_voltage(ambient)
+        if voc <= 0:
+            self._voltage = None
+            return TrackerStep(0.0)
+        if self._voltage is None:
+            self._voltage = 0.5 * voc
+
+        self._elapsed += dt
+        updates = int(self._elapsed / self.update_period)
+        self._elapsed -= updates * self.update_period
+        for _ in range(min(updates, 64)):
+            v = min(max(self._voltage, 1e-6), voc)
+            dv = max(self.probe_fraction * voc, 1e-9)
+            i0 = harvester.current_at(v, ambient)
+            i1 = harvester.current_at(min(v + dv, voc), ambient)
+            di_dv = (i1 - i0) / dv
+            target_slope = -i0 / v
+            if di_dv > target_slope:
+                self._voltage = min(v + self.step_fraction * voc, voc)
+            elif di_dv < target_slope:
+                self._voltage = max(v - self.step_fraction * voc, 0.0)
+        return TrackerStep(self._voltage)
+
+
+class FixedVoltage(MPPTracker):
+    """Static operating point — System B's per-module compromise.
+
+    "The demonstration modules produced operate at a fixed point which
+    offers a compromise between efficiency and quiescent current draw"
+    (survey Sec. II.1). Near-zero standing current; efficiency depends on
+    how well the chosen point matches the deployment.
+
+    Parameters
+    ----------
+    voltage:
+        The fixed operating voltage, V (clipped to Voc at runtime).
+    quiescent_current_a:
+        Standing current (a voltage reference + comparator: well under 1 uA).
+    """
+
+    def __init__(self, voltage: float, quiescent_current_a: float = 0.3e-6):
+        super().__init__(quiescent_current_a)
+        if voltage <= 0:
+            raise ValueError("voltage must be positive")
+        self.voltage = voltage
+
+    def step(self, harvester: Harvester, ambient: float, dt: float) -> TrackerStep:
+        voc = harvester.open_circuit_voltage(ambient)
+        return TrackerStep(min(self.voltage, voc))

@@ -1,0 +1,74 @@
+"""The survey's primary contribution: taxonomy, composition, management.
+
+The taxonomy of Sec. II as typed vocabulary, the multi-source system
+composition the taxonomy describes, capability-limited energy monitoring,
+energy managers, the Table-I classifier, trade-off scoring, and the
+'smart harvester' future-work scheme of Sec. IV.
+"""
+
+from .classification import TableRow, classify, classify_all
+from .gating import ChannelGatingManager
+from .predictive_manager import PredictiveEnergyManager
+from .prediction import EWMAPredictor, HarvestPredictor, SlotEWMAPredictor
+from .manager import (
+    EnergyManager,
+    EnergyNeutralManager,
+    StaticManager,
+    ThresholdManager,
+)
+from .smart_harvester import SmartHarvesterCoordinator, SmartModule, smart_channel
+from .system import (
+    EnergyMonitor,
+    HarvestingChannel,
+    MultiSourceSystem,
+    StorageBank,
+    StorageBelief,
+    SystemStepRecord,
+)
+from .taxonomy import (
+    ArchitectureDescriptor,
+    CommunicationStyle,
+    ConditioningLocation,
+    ControlCapability,
+    HardwareFlexibility,
+    InputConditioningStyle,
+    IntelligenceLocation,
+    MonitoringCapability,
+    OutputStageStyle,
+)
+from .tradeoffs import TradeoffScores, score_system
+
+__all__ = [
+    "ArchitectureDescriptor",
+    "ConditioningLocation",
+    "InputConditioningStyle",
+    "OutputStageStyle",
+    "HardwareFlexibility",
+    "MonitoringCapability",
+    "ControlCapability",
+    "IntelligenceLocation",
+    "CommunicationStyle",
+    "HarvestingChannel",
+    "StorageBank",
+    "StorageBelief",
+    "EnergyMonitor",
+    "MultiSourceSystem",
+    "SystemStepRecord",
+    "EnergyManager",
+    "StaticManager",
+    "ThresholdManager",
+    "EnergyNeutralManager",
+    "TableRow",
+    "classify",
+    "classify_all",
+    "TradeoffScores",
+    "score_system",
+    "SmartModule",
+    "SmartHarvesterCoordinator",
+    "smart_channel",
+    "HarvestPredictor",
+    "EWMAPredictor",
+    "SlotEWMAPredictor",
+    "PredictiveEnergyManager",
+    "ChannelGatingManager",
+]

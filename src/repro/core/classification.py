@@ -1,0 +1,110 @@
+"""Classification of multi-source systems: Table I, derived live.
+
+Survey Sec. III classifies seven systems along the taxonomy; this module
+derives the same categorization *from the executable models* — counts and
+device types are read off the live channels and storage bank, capability
+rows come from the taxonomy descriptor. :mod:`repro.analysis.table1`
+renders the result and diffs it against the paper's transcription.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .system import MultiSourceSystem
+from .taxonomy import MonitoringCapability
+
+__all__ = ["TableRow", "classify", "classify_all"]
+
+
+@dataclass(frozen=True)
+class TableRow:
+    """One column of Table I (the paper's table is device-per-column)."""
+
+    device: str                 # letter A-G (or other identifier)
+    name: str
+    reference: str
+    harvesters_stores: str      # e.g. "3/3" or "6 (shared)"
+    swappable_sensor_node: str  # "Yes"/"No"
+    swappable_storage: str
+    swappable_harvesters: str
+    energy_monitoring: str      # "Yes"/"Limited"/"No"
+    digital_interface: str
+    quiescent_current: str
+    harvesters: tuple           # technology labels
+    storage: tuple
+    commercial: str
+
+    def as_dict(self) -> dict:
+        """Row-label -> value mapping in Table I's row order."""
+        return {
+            "No. Harvesters/Stores": self.harvesters_stores,
+            "Swappable Sensor Node": self.swappable_sensor_node,
+            "Swappable Storage": self.swappable_storage,
+            "Swappable Harvesters": self.swappable_harvesters,
+            "Energy Monitoring": self.energy_monitoring,
+            "Digital Interface": self.digital_interface,
+            "Quiescent Current Draw": self.quiescent_current,
+            "Harvesters": ", ".join(self.harvesters),
+            "Storage": ", ".join(self.storage),
+            "Commercial Product": self.commercial,
+        }
+
+
+_MONITORING_DISPLAY = {
+    MonitoringCapability.NONE: "No",
+    MonitoringCapability.STORE_VOLTAGE: "Limited",
+    MonitoringCapability.DEVICE_ACTIVITY: "Yes",
+    MonitoringCapability.FULL: "Yes",
+}
+
+
+def _yesno(flag: bool) -> str:
+    return "Yes" if flag else "No"
+
+
+def _dedupe(labels) -> tuple:
+    """Order-preserving de-duplication."""
+    return tuple(dict.fromkeys(labels))
+
+
+def classify(system: MultiSourceSystem, device: str = "") -> TableRow:
+    """Derive the Table I categorization of a live system model."""
+    arch = system.architecture
+
+    if arch.shared_slots > 0:
+        counts = f"{arch.shared_slots} (shared)"
+    else:
+        counts = f"{len(system.channels)}/{len(system.bank.stores)}"
+
+    harvester_labels = arch.supported_harvester_labels or _dedupe(
+        getattr(c.harvester, "table_label", type(c.harvester).__name__)
+        for c in system.channels
+    )
+    storage_labels = arch.supported_storage_labels or _dedupe(
+        getattr(s, "table_label", type(s).__name__)
+        for s in system.bank.stores
+    )
+
+    return TableRow(
+        device=device or arch.short_name,
+        name=arch.name,
+        reference=arch.reference,
+        harvesters_stores=counts,
+        swappable_sensor_node=_yesno(arch.swappable_sensor_node),
+        swappable_storage=arch.swappable_storage_detail,
+        swappable_harvesters=arch.swappable_harvester_detail,
+        energy_monitoring=arch.energy_monitoring_detail or
+        _MONITORING_DISPLAY[arch.monitoring],
+        digital_interface=_yesno(arch.has_digital_interface),
+        quiescent_current=arch.quiescent_display,
+        harvesters=harvester_labels,
+        storage=storage_labels,
+        commercial=_yesno(arch.commercial),
+    )
+
+
+def classify_all(systems: dict) -> list:
+    """Classify a mapping of device letter -> system into rows."""
+    return [classify(system, device=letter)
+            for letter, system in systems.items()]

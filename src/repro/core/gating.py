@@ -1,0 +1,119 @@
+"""Opportunistic channel gating.
+
+System B harvests "opportunistically from a selection of modules as
+appropriate to the available energy in the deployment environment"
+(survey Sec. II). A channel whose source is absent at this deployment
+still costs its conditioning chain's standing current — so an energy-aware
+platform should *disable* net-negative channels and only re-probe them
+occasionally. This manager implements that policy (and composes with a
+duty-cycle manager, which it wraps).
+
+Accounting per channel over a rolling window:
+
+    net = delivered energy - quiescent energy of the channel's chain
+
+Channels with negative net are gated off (their conditioning chain is
+powered down, removing the quiescent draw); every ``probe_period`` a gated
+channel is re-enabled for ``probe_duration`` to see whether its source has
+appeared — the behaviour that makes one hardware build deployable across
+sites.
+"""
+
+from __future__ import annotations
+
+from .manager import EnergyManager
+
+__all__ = ["ChannelGatingManager"]
+
+
+class ChannelGatingManager(EnergyManager):
+    """Net-benefit channel gating, wrapping an inner manager.
+
+    Parameters
+    ----------
+    inner:
+        The duty-cycle/backup manager to run alongside (its control
+        decisions are preserved; gating only touches channel enables).
+    window_s:
+        Rolling accounting window for the net-benefit decision. Must span
+        at least one diurnal cycle (default 24 h), or a source that is
+        productive by day and idle by night would be gated every evening.
+    probe_period / probe_duration:
+        How often and for how long a gated channel is re-probed.
+    bus_voltage:
+        Voltage used to convert channel quiescent current to power.
+    """
+
+    def __init__(self, inner: EnergyManager | None = None,
+                 window_s: float = 86_400.0, probe_period: float = 6 * 3600.0,
+                 probe_duration: float = 600.0, bus_voltage: float = 3.3,
+                 control_period: float = 60.0,
+                 wakeup_energy_j: float = 5e-6):
+        super().__init__(control_period=control_period,
+                         wakeup_energy_j=wakeup_energy_j)
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        if probe_period <= 0 or probe_duration <= 0:
+            raise ValueError("probe timings must be positive")
+        if probe_duration >= probe_period:
+            raise ValueError("probe_duration must be < probe_period")
+        if bus_voltage <= 0:
+            raise ValueError("bus_voltage must be positive")
+        self.inner = inner
+        self.window_s = window_s
+        self.probe_period = probe_period
+        self.probe_duration = probe_duration
+        self.bus_voltage = bus_voltage
+        # Per-channel rolling accounting: name -> [net_j, window_elapsed].
+        self._accounts: dict = {}
+        self._probe_clocks: dict = {}
+        self.gate_events = 0
+
+    def control(self, t: float, dt: float, system) -> None:
+        # Run the inner manager on its own schedule first.
+        if self.inner is not None:
+            self.inner.control(t, dt, system)
+        # Accumulate per-channel accounting every step (cheap), then make
+        # gate decisions on this manager's own schedule via the base class.
+        self._accumulate(dt, system)
+        super().control(t, dt, system)
+
+    def _accumulate(self, dt: float, system) -> None:
+        for index, channel in enumerate(system.channels):
+            account = self._accounts.setdefault(channel.name, [0.0, 0.0])
+            delivered = channel.last_step.delivered_power \
+                if channel.last_step is not None else 0.0
+            iq_power = channel.quiescent_current_a * self.bus_voltage
+            if channel.enabled:
+                account[0] += (delivered - iq_power) * dt
+            account[1] += dt
+            if account[1] >= self.window_s:
+                # Exponential-forget the window rather than hard reset.
+                account[0] *= 0.5
+                account[1] *= 0.5
+
+    def _policy(self, t, dt, system) -> None:
+        for channel in system.channels:
+            account = self._accounts.get(channel.name)
+            if account is None or account[1] < 0.5 * self.window_s:
+                continue  # not enough evidence yet
+            net_j = account[0]
+            if channel.enabled and net_j < 0.0:
+                channel.enabled = False
+                self._probe_clocks[channel.name] = 0.0
+                self.gate_events += 1
+            elif not channel.enabled:
+                clock = self._probe_clocks.get(channel.name, 0.0)
+                clock += self.control_period
+                if clock >= self.probe_period:
+                    # Probe window: re-enable and reset the account so the
+                    # fresh evidence decides.
+                    channel.enabled = True
+                    self._accounts[channel.name] = [0.0, 0.0]
+                    clock = 0.0
+                    self.gate_events += 1
+                self._probe_clocks[channel.name] = clock
+
+    def gated_channels(self, system) -> tuple:
+        """Names of currently gated channels."""
+        return tuple(c.name for c in system.channels if not c.enabled)

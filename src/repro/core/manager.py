@@ -1,0 +1,155 @@
+"""Energy managers: the intelligence of the platform.
+
+Survey Sec. II.4 asks *where* the intelligence lives; this module provides
+*what* it computes. A manager runs periodically, reads whatever the
+platform's :class:`~repro.core.system.EnergyMonitor` exposes, and acts
+through the controls the architecture allows: the node's duty cycle and
+the storage bank's backup permission.
+
+* :class:`StaticManager` — no management (systems C, D, E, G: "no
+  'intelligence' on board").
+* :class:`ThresholdManager` — staircase duty-cycle adaptation + SoC-gated
+  backup activation; what System A's SPU firmware implements.
+* :class:`EnergyNeutralManager` — harvest-tracking energy-neutral
+  operation; needs FULL monitoring.
+
+Managers also account their own execution overhead: each control pass
+costs ``wakeup_energy_j``, charged against the storage bank, so "the
+complexity and loss of efficiency by adding the extra functionality"
+(Sec. II.3) is measurable.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ..load.duty_cycle import (
+    DutyCycleController,
+    EnergyNeutralController,
+    ThresholdDutyCycle,
+)
+
+__all__ = [
+    "EnergyManager",
+    "StaticManager",
+    "ThresholdManager",
+    "EnergyNeutralManager",
+]
+
+
+class EnergyManager(abc.ABC):
+    """Base: periodic control with execution-cost accounting.
+
+    Parameters
+    ----------
+    control_period:
+        Seconds between control passes.
+    wakeup_energy_j:
+        Energy per control pass (MCU wake + measurements + decisions).
+    """
+
+    def __init__(self, control_period: float = 60.0,
+                 wakeup_energy_j: float = 20e-6):
+        if control_period <= 0:
+            raise ValueError("control_period must be positive")
+        if wakeup_energy_j < 0:
+            raise ValueError("wakeup_energy_j must be non-negative")
+        self.control_period = control_period
+        self.wakeup_energy_j = wakeup_energy_j
+        self._since_control = float("inf")  # run on the first step
+        self.control_passes = 0
+        self.energy_spent_j = 0.0
+
+    def control(self, t: float, dt: float, system) -> None:
+        """Called by the system every step; runs the policy on schedule."""
+        self._since_control += dt
+        if self._since_control < self.control_period:
+            return
+        self._since_control = 0.0
+        self.control_passes += 1
+        self.energy_spent_j += self.wakeup_energy_j
+        if self.wakeup_energy_j > 0:
+            system.bank.discharge(self.wakeup_energy_j / dt, dt)
+        self._policy(t, dt, system)
+
+    @abc.abstractmethod
+    def _policy(self, t: float, dt: float, system) -> None:
+        """The actual decision logic, run once per control period."""
+
+
+class StaticManager(EnergyManager):
+    """No adaptation; zero execution cost. The blind-platform baseline."""
+
+    def __init__(self):
+        super().__init__(control_period=3600.0, wakeup_energy_j=0.0)
+
+    def _policy(self, t, dt, system) -> None:
+        return None
+
+
+class ThresholdManager(EnergyManager):
+    """SoC-staircase duty adaptation with gated backup activation.
+
+    Parameters
+    ----------
+    controller:
+        Duty-cycle controller driven with the visible SoC (defaults to
+        :class:`~repro.load.ThresholdDutyCycle`).
+    backup_on_soc / backup_off_soc:
+        Hysteresis band for enabling the backup store: enable when the
+        ambient-store SoC estimate falls below ``backup_on_soc``, disable
+        above ``backup_off_soc``.
+    """
+
+    def __init__(self, controller: DutyCycleController | None = None,
+                 backup_on_soc: float = 0.1, backup_off_soc: float = 0.3,
+                 control_period: float = 60.0, wakeup_energy_j: float = 20e-6):
+        super().__init__(control_period=control_period,
+                         wakeup_energy_j=wakeup_energy_j)
+        if not 0.0 <= backup_on_soc < backup_off_soc <= 1.0:
+            raise ValueError("need 0 <= backup_on_soc < backup_off_soc <= 1")
+        self.controller = controller if controller is not None else \
+            ThresholdDutyCycle()
+        self.backup_on_soc = backup_on_soc
+        self.backup_off_soc = backup_off_soc
+
+    def _policy(self, t, dt, system) -> None:
+        soc = system.monitor.soc_estimate()
+        input_power = system.monitor.input_power()
+        self.controller.update(system.node, soc, input_power, dt)
+        if soc is not None:
+            if soc <= self.backup_on_soc:
+                system.bank.backup_enabled = True
+            elif soc >= self.backup_off_soc:
+                system.bank.backup_enabled = False
+
+
+class EnergyNeutralManager(EnergyManager):
+    """Energy-neutral operation from full telemetry.
+
+    Wraps :class:`~repro.load.EnergyNeutralController`; also gates the
+    backup like :class:`ThresholdManager`, since energy-neutral operation
+    still wants a reserve for estimation error.
+    """
+
+    def __init__(self, controller: EnergyNeutralController | None = None,
+                 backup_on_soc: float = 0.08, backup_off_soc: float = 0.25,
+                 control_period: float = 60.0, wakeup_energy_j: float = 25e-6):
+        super().__init__(control_period=control_period,
+                         wakeup_energy_j=wakeup_energy_j)
+        if not 0.0 <= backup_on_soc < backup_off_soc <= 1.0:
+            raise ValueError("need 0 <= backup_on_soc < backup_off_soc <= 1")
+        self.controller = controller if controller is not None else \
+            EnergyNeutralController()
+        self.backup_on_soc = backup_on_soc
+        self.backup_off_soc = backup_off_soc
+
+    def _policy(self, t, dt, system) -> None:
+        soc = system.monitor.soc_estimate()
+        input_power = system.monitor.input_power()
+        self.controller.update(system.node, soc, input_power, dt)
+        if soc is not None:
+            if soc <= self.backup_on_soc:
+                system.bank.backup_enabled = True
+            elif soc >= self.backup_off_soc:
+                system.bank.backup_enabled = False

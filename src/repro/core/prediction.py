@@ -1,0 +1,172 @@
+"""Harvest prediction for energy-neutral management.
+
+The survey's energy-awareness axis (Sec. II.3) is about *reacting* to the
+energy status; energy-neutral operation additionally needs to *predict*
+incoming energy. This module provides the two classic predictor families
+used by harvesting-aware schedulers, so managers can be ablated against
+each other (bench A2 in benchmarks/test_bench_ablations.py):
+
+* :class:`EWMAPredictor` — a single exponentially-weighted moving average
+  of harvested power. Cheap, but blind to diurnal structure: it under-
+  predicts mornings and over-predicts evenings on solar-driven sites.
+* :class:`SlotEWMAPredictor` — Kansal-style: the day is divided into
+  slots, each holding its own EWMA fed only by samples from that
+  time-of-day. Captures the diurnal profile at the cost of ``n_slots``
+  words of state (still trivially cheap for a power-unit MCU).
+
+Both expose the same protocol: feed ``observe(t, power, dt)`` every step,
+read ``predict(t)`` (expected power now) or ``predict_horizon(t, h)``
+(mean power over the next ``h`` seconds).
+"""
+
+from __future__ import annotations
+
+import abc
+
+__all__ = ["HarvestPredictor", "EWMAPredictor", "SlotEWMAPredictor"]
+
+DAY = 86_400.0
+
+
+class HarvestPredictor(abc.ABC):
+    """Protocol for incoming-power predictors."""
+
+    @abc.abstractmethod
+    def observe(self, t: float, power_w: float, dt: float) -> None:
+        """Feed one observation of harvested power at absolute time ``t``."""
+
+    @abc.abstractmethod
+    def predict(self, t: float) -> float:
+        """Expected harvest power (W) at absolute time ``t``."""
+
+    def predict_horizon(self, t: float, horizon_s: float,
+                        resolution_s: float = 900.0) -> float:
+        """Mean predicted power over ``[t, t + horizon_s)`` (W)."""
+        if horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+        if resolution_s <= 0:
+            raise ValueError("resolution_s must be positive")
+        n = max(1, int(horizon_s / resolution_s))
+        total = 0.0
+        for i in range(n):
+            total += self.predict(t + (i + 0.5) * horizon_s / n)
+        return total / n
+
+    def error(self, t: float, actual_w: float) -> float:
+        """Absolute prediction error at ``t`` (W)."""
+        return abs(self.predict(t) - actual_w)
+
+
+class EWMAPredictor(HarvestPredictor):
+    """Single time-constant EWMA — the flat baseline predictor.
+
+    Parameters
+    ----------
+    tau_s:
+        Averaging time constant, seconds.
+    initial_w:
+        Estimate before any observation.
+    """
+
+    def __init__(self, tau_s: float = 6 * 3600.0, initial_w: float = 0.0):
+        if tau_s <= 0:
+            raise ValueError("tau_s must be positive")
+        if initial_w < 0:
+            raise ValueError("initial_w must be non-negative")
+        self.tau_s = tau_s
+        self._estimate = initial_w
+        self.observations = 0
+
+    def observe(self, t: float, power_w: float, dt: float) -> None:
+        if power_w < 0:
+            raise ValueError("power_w must be non-negative")
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        alpha = min(1.0, dt / self.tau_s)
+        self._estimate += alpha * (power_w - self._estimate)
+        self.observations += 1
+
+    def predict(self, t: float) -> float:
+        return self._estimate
+
+
+class SlotEWMAPredictor(HarvestPredictor):
+    """Per-time-of-day-slot EWMA (Kansal-style diurnal profile).
+
+    Each slot's estimate blends the same slot on previous days (weight
+    ``alpha`` per day) — so after a few days the predictor has learned the
+    site's daily energy profile and ``predict`` returns the profile value
+    for the queried time of day.
+
+    Parameters
+    ----------
+    n_slots:
+        Slots per day (48 = half-hour resolution).
+    alpha:
+        Day-over-day blending weight in (0, 1]; higher adapts faster.
+    initial_w:
+        Estimate for slots never yet observed.
+    """
+
+    def __init__(self, n_slots: int = 48, alpha: float = 0.3,
+                 initial_w: float = 0.0):
+        if n_slots < 1:
+            raise ValueError("n_slots must be >= 1")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if initial_w < 0:
+            raise ValueError("initial_w must be non-negative")
+        self.n_slots = n_slots
+        self.alpha = alpha
+        self._slots = [initial_w] * n_slots
+        self._seen = [False] * n_slots
+        # Within-day accumulation: average samples landing in the current
+        # slot before committing them with weight alpha at slot rollover.
+        self._accum_slot = None
+        self._accum_sum = 0.0
+        self._accum_time = 0.0
+        self.observations = 0
+
+    def _slot_of(self, t: float) -> int:
+        return int((t % DAY) / DAY * self.n_slots) % self.n_slots
+
+    def _commit(self) -> None:
+        if self._accum_slot is None or self._accum_time <= 0:
+            return
+        mean = self._accum_sum / self._accum_time
+        i = self._accum_slot
+        if self._seen[i]:
+            self._slots[i] += self.alpha * (mean - self._slots[i])
+        else:
+            self._slots[i] = mean
+            self._seen[i] = True
+
+    def observe(self, t: float, power_w: float, dt: float) -> None:
+        if power_w < 0:
+            raise ValueError("power_w must be non-negative")
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        slot = self._slot_of(t)
+        if slot != self._accum_slot:
+            self._commit()
+            self._accum_slot = slot
+            self._accum_sum = 0.0
+            self._accum_time = 0.0
+        self._accum_sum += power_w * dt
+        self._accum_time += dt
+        self.observations += 1
+
+    def predict(self, t: float) -> float:
+        slot = self._slot_of(t)
+        # Include any partial current-slot data for the live slot.
+        if slot == self._accum_slot and self._accum_time > 0:
+            live = self._accum_sum / self._accum_time
+            if not self._seen[slot]:
+                return live
+            return 0.5 * (self._slots[slot] + live)
+        return self._slots[slot]
+
+    @property
+    def profile(self) -> list:
+        """The learned daily profile (W per slot), for inspection."""
+        return list(self._slots)

@@ -1,0 +1,119 @@
+"""Prediction-driven energy management.
+
+The reactive managers in :mod:`repro.core.manager` respond to the current
+state of charge; this manager *plans*: it learns the deployment's daily
+harvest profile with a :class:`~repro.core.SlotEWMAPredictor` and sets the
+node's duty cycle so that expected consumption over a planning horizon
+matches expected harvest plus the energy the buffer can safely contribute.
+On solar-driven sites this removes the reactive manager's characteristic
+evening over-spend (it keeps sensing fast until the SoC actually sags)
+and morning under-spend.
+
+This is an *extension* beyond the survey — the direction its Sec. IV
+"energy awareness" discussion points toward — and is ablated against the
+reactive managers in ``benchmarks/test_bench_predictive_manager.py``.
+"""
+
+from __future__ import annotations
+
+from .manager import EnergyManager
+from .prediction import HarvestPredictor, SlotEWMAPredictor
+
+__all__ = ["PredictiveEnergyManager"]
+
+
+class PredictiveEnergyManager(EnergyManager):
+    """Horizon-planning duty-cycle manager.
+
+    Each control pass it:
+
+    1. feeds the predictor with the latest measured input power;
+    2. computes the energy budget for the planning horizon:
+       ``expected harvest + usable buffer margin`` where the margin is the
+       stored energy above (below) the target SoC, released (reclaimed)
+       over one horizon;
+    3. sets the measurement interval so node consumption matches the
+       budget, clamped to ``[min_interval, max_interval]``;
+    4. gates the backup store exactly like the reactive managers.
+
+    Requires FULL monitoring (input-power telemetry); on platforms without
+    it the manager degrades to holding the current rate.
+
+    Parameters
+    ----------
+    predictor:
+        Harvest predictor (default: 48-slot EWMA).
+    horizon_s:
+        Planning horizon (default 6 h — long enough to see the night
+        coming, short enough to react to weather).
+    target_soc:
+        Buffer level the plan steers toward.
+    margin:
+        Fraction of the predicted harvest the plan may commit.
+    min_interval_s / max_interval_s:
+        Duty-cycle clamp.
+    """
+
+    def __init__(self, predictor: HarvestPredictor | None = None,
+                 horizon_s: float = 6 * 3600.0, target_soc: float = 0.6,
+                 margin: float = 0.85, min_interval_s: float = 5.0,
+                 max_interval_s: float = 3600.0,
+                 backup_on_soc: float = 0.08, backup_off_soc: float = 0.25,
+                 control_period: float = 60.0,
+                 wakeup_energy_j: float = 30e-6):
+        super().__init__(control_period=control_period,
+                         wakeup_energy_j=wakeup_energy_j)
+        if horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+        if not 0.0 < target_soc < 1.0:
+            raise ValueError("target_soc must be in (0, 1)")
+        if not 0.0 < margin <= 1.0:
+            raise ValueError("margin must be in (0, 1]")
+        if not 0.0 < min_interval_s < max_interval_s:
+            raise ValueError("need 0 < min_interval_s < max_interval_s")
+        if not 0.0 <= backup_on_soc < backup_off_soc <= 1.0:
+            raise ValueError("need 0 <= backup_on_soc < backup_off_soc <= 1")
+        self.predictor = predictor if predictor is not None else \
+            SlotEWMAPredictor(n_slots=48, alpha=0.4)
+        self.horizon_s = horizon_s
+        self.target_soc = target_soc
+        self.margin = margin
+        self.min_interval_s = min_interval_s
+        self.max_interval_s = max_interval_s
+        self.backup_on_soc = backup_on_soc
+        self.backup_off_soc = backup_off_soc
+
+    def _policy(self, t, dt, system) -> None:
+        input_power = system.monitor.input_power()
+        soc = system.monitor.soc_estimate()
+        if input_power is not None:
+            self.predictor.observe(t, input_power, dt)
+        if input_power is None and soc is None:
+            return  # blind platform: nothing to plan with
+
+        expected_w = self.predictor.predict_horizon(t, self.horizon_s)
+        budget_w = self.margin * expected_w
+
+        if soc is not None:
+            # Buffer contribution: release surplus above the target (or
+            # reclaim deficit) spread over one horizon.
+            capacity = sum(b.capacity_j for s, b in
+                           zip(system.bank.stores, system.bank.beliefs)
+                           if not s.is_backup)
+            surplus_j = (soc - self.target_soc) * capacity
+            budget_w += surplus_j / self.horizon_s
+
+        node = system.node
+        spendable = budget_w - node.sleep_power_w
+        if spendable <= 0:
+            node.set_measurement_interval(self.max_interval_s)
+        else:
+            interval = node.measurement_energy() / spendable
+            node.set_measurement_interval(
+                min(max(interval, self.min_interval_s), self.max_interval_s))
+
+        if soc is not None:
+            if soc <= self.backup_on_soc:
+                system.bank.backup_enabled = True
+            elif soc >= self.backup_off_soc:
+                system.bank.backup_enabled = False

@@ -1,0 +1,188 @@
+"""The 'smart harvester' scheme — the survey's proposed future direction.
+
+Survey Sec. IV closes with: "An open research challenge ... is the
+development of a 'smart harvester' scheme. This would require each energy
+harvester and storage device to be energy-aware, operating with a common
+hardware interface and incorporating a low-power microprocessor to
+interface with each other and the embedded device."
+
+This module implements that proposal so experiment E9 can measure what it
+buys and what it costs:
+
+* :class:`SmartModule` — an energy device (harvester or store) bundled
+  with its own micro-MCU: local MPPT appropriate to the device, a
+  datasheet, self-metering (it *knows* its own power and state), and a
+  standing current for the local intelligence.
+* :class:`SmartHarvesterCoordinator` — the distributed manager: each
+  control period it polls the modules (bus cost), aggregates their
+  self-reports, and steers the node's duty cycle energy-neutrally. Because
+  every module self-describes, hardware swaps are always recognized —
+  System B's flexibility with System A's awareness, paid for with per-
+  module quiescent current.
+"""
+
+from __future__ import annotations
+
+from ..conditioning.base import InputConditioner
+from ..conditioning.converters import BuckBoostConverter
+from ..conditioning.mppt import PerturbObserve
+from ..harvesters.base import Harvester
+from ..harvesters.datasheet import DeviceKind, ElectronicDatasheet
+from ..load.duty_cycle import EnergyNeutralController
+from ..storage.base import EnergyStorage
+from .manager import EnergyManager
+from .system import HarvestingChannel, StorageBelief
+
+__all__ = ["SmartModule", "SmartHarvesterCoordinator", "smart_channel"]
+
+#: Standing current of one module's local micro-MCU, amps. Modern sub-
+#: threshold micros idle near a microamp; this is the scheme's overhead.
+SMART_MCU_QUIESCENT_A = 1.2e-6
+
+
+class SmartModule:
+    """An energy device with on-board intelligence.
+
+    Parameters
+    ----------
+    device:
+        Harvester or storage device.
+    datasheet:
+        The module's self-description. Mandatory — self-description is the
+        point of the scheme. If the device already carries one it may be
+        omitted.
+    mcu_quiescent_a:
+        Standing current of the module's local microprocessor.
+    """
+
+    def __init__(self, device, datasheet: ElectronicDatasheet | None = None,
+                 mcu_quiescent_a: float = SMART_MCU_QUIESCENT_A):
+        if not isinstance(device, (Harvester, EnergyStorage)):
+            raise TypeError("device must be a Harvester or EnergyStorage")
+        if mcu_quiescent_a < 0:
+            raise ValueError("mcu_quiescent_a must be non-negative")
+        if datasheet is None:
+            datasheet = getattr(device, "datasheet", None)
+        if datasheet is None:
+            datasheet = self._synthesize_datasheet(device)
+        self.device = device
+        self.device.datasheet = datasheet
+        self.datasheet = datasheet
+        self.mcu_quiescent_a = mcu_quiescent_a
+        self.reports = 0
+
+    @staticmethod
+    def _synthesize_datasheet(device) -> ElectronicDatasheet:
+        """A smart module can always describe itself."""
+        if isinstance(device, Harvester):
+            return ElectronicDatasheet(
+                kind=DeviceKind.HARVESTER,
+                model=device.name,
+                source_type=device.source_type,
+            )
+        return ElectronicDatasheet(
+            kind=DeviceKind.STORAGE,
+            model=device.name,
+            capacity_j=device.capacity_j,
+            nominal_voltage=getattr(device, "nominal_voltage", 0.0) or
+            device.voltage(),
+        )
+
+    @property
+    def is_harvester(self) -> bool:
+        return isinstance(self.device, Harvester)
+
+    def self_report(self) -> dict:
+        """The module's own status message (what it broadcasts on poll)."""
+        self.reports += 1
+        if self.is_harvester:
+            return {"kind": "harvester", "model": self.datasheet.model,
+                    "source": self.device.source_type.value}
+        return {"kind": "storage", "model": self.datasheet.model,
+                "capacity_j": self.device.capacity_j,
+                "energy_j": self.device.energy_j,
+                "soc": self.device.soc,
+                "voltage": self.device.voltage()}
+
+
+def smart_channel(module: SmartModule) -> HarvestingChannel:
+    """Build a harvesting channel from a smart harvester module.
+
+    Each smart harvester runs its *own* local MPPT (a P&O tracker on its
+    micro-MCU) behind a standard-interface converter, so the power unit
+    needs no per-source knowledge at all.
+    """
+    if not module.is_harvester:
+        raise TypeError("smart_channel needs a harvester module")
+    conditioner = InputConditioner(
+        tracker=PerturbObserve(quiescent_current_a=0.0),
+        converter=BuckBoostConverter(peak_efficiency=0.88,
+                                     overhead_power=30e-6),
+        quiescent_current_a=module.mcu_quiescent_a,
+        name=f"smart-{module.datasheet.model}",
+    )
+    return HarvestingChannel(module.device, conditioner,
+                             name=module.datasheet.model)
+
+
+class SmartHarvesterCoordinator(EnergyManager):
+    """Distributed energy manager for a smart-module system.
+
+    Each control pass polls every registered module (charged as bus
+    transactions if the system has a bus), rebuilds the storage beliefs
+    from the modules' self-reports — so swaps are always recognized — and
+    steers the node energy-neutrally from the aggregated telemetry.
+
+    Parameters
+    ----------
+    modules:
+        The system's smart modules (harvesters and stores).
+    controller:
+        Duty-cycle policy run on the aggregated status.
+    poll_cost_j:
+        Communication energy per module per control pass.
+    """
+
+    def __init__(self, modules, controller: EnergyNeutralController | None = None,
+                 control_period: float = 60.0, poll_cost_j: float = 5e-6,
+                 wakeup_energy_j: float = 10e-6):
+        super().__init__(control_period=control_period,
+                         wakeup_energy_j=wakeup_energy_j)
+        if poll_cost_j < 0:
+            raise ValueError("poll_cost_j must be non-negative")
+        self.modules = list(modules)
+        self.controller = controller if controller is not None else \
+            EnergyNeutralController()
+        self.poll_cost_j = poll_cost_j
+        self.polls = 0
+
+    def register(self, module: SmartModule) -> None:
+        self.modules.append(module)
+
+    def _policy(self, t, dt, system) -> None:
+        # Poll every module; pay the communication cost.
+        reports = [m.self_report() for m in self.modules]
+        self.polls += len(reports)
+        cost = self.poll_cost_j * len(reports)
+        if cost > 0:
+            self.energy_spent_j += cost
+            system.bank.discharge(cost / dt, dt)
+
+        # Self-describing stores: refresh the system's beliefs in place
+        # (this is what makes the scheme swap-proof).
+        for index, store in enumerate(system.bank.stores):
+            if getattr(store, "datasheet", None) is not None:
+                believed = system.bank.beliefs[index]
+                if believed.capacity_j != store.capacity_j:
+                    system.bank.beliefs[index] = StorageBelief.of(store)
+
+        soc = system.bank.soc()  # modules self-report true state
+        input_power = sum(
+            c.last_step.delivered_power for c in system.channels
+            if c.last_step is not None
+        )
+        self.controller.update(system.node, soc, input_power, dt)
+        if soc <= 0.08:
+            system.bank.backup_enabled = True
+        elif soc >= 0.25:
+            system.bank.backup_enabled = False

@@ -1,0 +1,554 @@
+"""Multi-source system composition: channels, storage bank, monitor, system.
+
+This is the paper's object of study made executable: "energy harvesters
+and storage devices are connected via a power unit to an embedded device
+(wireless sensor)" (survey Sec. II). A :class:`MultiSourceSystem` composes
+
+* harvesting channels (transducer + input conditioning),
+* a storage bank with charge/discharge routing and backup cascade,
+* an output conditioner feeding a wireless sensor node,
+* a capability-limited :class:`EnergyMonitor` (the survey's monitoring
+  axis made concrete: what the intelligence can actually see),
+* an energy manager (:mod:`repro.core.manager`),
+* an :class:`~repro.core.taxonomy.ArchitectureDescriptor` for
+  classification.
+
+The per-step power flow implemented by :meth:`MultiSourceSystem.step` is
+what every experiment in DESIGN.md runs.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+from ..conditioning.base import HarvestStep, InputConditioner, OutputConditioner
+from ..environment.ambient import AmbientSample
+from ..harvesters.base import Harvester
+from ..load.node import NodeStepResult, WirelessSensorNode
+from ..storage.base import EnergyStorage
+from .taxonomy import ArchitectureDescriptor, MonitoringCapability
+
+__all__ = [
+    "HarvestingChannel",
+    "StorageBank",
+    "StorageBelief",
+    "EnergyMonitor",
+    "SystemStepRecord",
+    "MultiSourceSystem",
+]
+
+
+class HarvestingChannel:
+    """One harvester behind its input conditioning."""
+
+    def __init__(self, harvester: Harvester, conditioner: InputConditioner,
+                 name: str = ""):
+        if not isinstance(harvester, Harvester):
+            raise TypeError("harvester must be a Harvester")
+        self.harvester = harvester
+        self.conditioner = conditioner
+        self.name = name or harvester.name
+        self.enabled = True
+        self.last_step: HarvestStep | None = None
+
+    @property
+    def source_type(self):
+        return self.harvester.source_type
+
+    @property
+    def quiescent_current_a(self) -> float:
+        return self.conditioner.total_quiescent_a
+
+    def step(self, ambient: AmbientSample, dt: float,
+             bus_voltage: float) -> HarvestStep:
+        if not self.enabled:
+            self.last_step = HarvestStep(0.0, 0.0, 0.0, 0.0)
+            return self.last_step
+        value = ambient.get(self.source_type)
+        self.last_step = self.conditioner.step(self.harvester, value, dt,
+                                               bus_voltage)
+        return self.last_step
+
+    def swap_harvester(self, new_harvester: Harvester) -> Harvester:
+        """Hot-swap the transducer; the tracker restarts from scratch."""
+        if not isinstance(new_harvester, Harvester):
+            raise TypeError("new_harvester must be a Harvester")
+        old, self.harvester = self.harvester, new_harvester
+        self.conditioner.reset()
+        return old
+
+    def __repr__(self) -> str:
+        return (f"HarvestingChannel(name={self.name!r}, "
+                f"source={self.source_type.value}, enabled={self.enabled})")
+
+
+@dataclass
+class StorageBelief:
+    """What the system's intelligence *believes* about one store.
+
+    Captured at attach time as a frozen prototype of the device. After a
+    hot-swap the belief stays stale unless the architecture auto-recognizes
+    hardware (System B's datasheets) — the mechanism behind the survey's
+    remark that swaps "will typically affect measurements as the software
+    will not automatically be able to recognise any change in capacity"
+    (Sec. III.2).
+    """
+
+    capacity_j: float
+    prototype: EnergyStorage = field(repr=False)
+
+    @classmethod
+    def of(cls, store: EnergyStorage) -> "StorageBelief":
+        return cls(capacity_j=store.capacity_j, prototype=copy.deepcopy(store))
+
+    def estimate_energy(self, measured_voltage: float) -> float:
+        """Estimated stored energy from a voltage reading (J)."""
+        estimate = _energy_from_voltage(self.prototype, measured_voltage)
+        if estimate is None:
+            # Voltage uninformative for this believed chemistry: the best
+            # blind estimate is half the believed capacity.
+            return 0.5 * self.capacity_j
+        return min(estimate, self.capacity_j)
+
+
+def _energy_from_voltage(store: EnergyStorage, voltage: float) -> float | None:
+    """Invert a store's voltage curve to energy, where physically possible."""
+    # Capacitive stores: E = C/2 (v^2 - vmin^2).
+    capacitance = getattr(store, "capacitance_f", None)
+    if capacitance is not None:
+        v_min = getattr(store, "min_voltage", 0.0)
+        if voltage <= v_min:
+            return 0.0
+        return 0.5 * capacitance * (voltage ** 2 - v_min ** 2)
+    # OCV-curve batteries: invert the piecewise-linear curve.
+    socs = getattr(store, "_ocv_soc", None)
+    volts = getattr(store, "_ocv_v", None)
+    if socs is not None and volts is not None:
+        if voltage <= volts[0]:
+            return 0.0
+        if voltage >= volts[-1]:
+            return store.capacity_j
+        for i in range(1, len(volts)):
+            if voltage <= volts[i]:
+                span = volts[i] - volts[i - 1]
+                frac = 0.0 if span <= 0 else (voltage - volts[i - 1]) / span
+                soc = socs[i - 1] + frac * (socs[i] - socs[i - 1])
+                return soc * store.capacity_j
+    return None  # constant-voltage stores (ideal, fuel cell)
+
+
+class StorageBank:
+    """Ordered collection of stores with routing and backup cascade.
+
+    Charging fills non-backup stores in list order (overflow cascades);
+    discharging drains them in order, then falls back to backup stores
+    (fuel cell, primary cell) when ``backup_enabled`` — reproducing System
+    A's "starts to work when the stored energy coming from the
+    environmental sources is running out".
+    """
+
+    def __init__(self, stores):
+        stores = list(stores)
+        if not stores:
+            raise ValueError("storage bank needs at least one store")
+        for store in stores:
+            if not isinstance(store, EnergyStorage):
+                raise TypeError(f"not an EnergyStorage: {store!r}")
+        self.stores = stores
+        self.backup_enabled = True
+        self.beliefs = [StorageBelief.of(s) for s in stores]
+        self.spilled_j = 0.0  # harvested energy rejected by full stores
+
+    # ------------------------------------------------------------------
+    @property
+    def ambient_stores(self) -> list:
+        """Rechargeable, non-backup stores (fed from the environment)."""
+        return [s for s in self.stores if not s.is_backup]
+
+    @property
+    def backup_stores(self) -> list:
+        return [s for s in self.stores if s.is_backup]
+
+    def voltage(self) -> float:
+        """Bus voltage: diode-OR of the non-empty ambient stores.
+
+        Multi-store platforms OR their stores onto the bus, so the highest
+        non-empty store voltage wins; when every ambient store is flat the
+        backup (if enabled) holds the bus up.
+        """
+        candidates = [s.voltage() for s in self.ambient_stores
+                      if not s.is_empty()]
+        if self.backup_enabled:
+            candidates += [s.voltage() for s in self.backup_stores
+                           if not s.is_empty()]
+        if candidates:
+            return max(candidates)
+        ambient = self.ambient_stores
+        return ambient[0].voltage() if ambient else self.stores[0].voltage()
+
+    @property
+    def total_energy_j(self) -> float:
+        return sum(s.energy_j for s in self.stores)
+
+    @property
+    def ambient_energy_j(self) -> float:
+        return sum(s.energy_j for s in self.ambient_stores)
+
+    @property
+    def total_capacity_j(self) -> float:
+        return sum(s.capacity_j for s in self.stores)
+
+    def soc(self) -> float:
+        """Aggregate ambient-store state of charge."""
+        capacity = sum(s.capacity_j for s in self.ambient_stores)
+        if capacity <= 0:
+            return 0.0
+        return self.ambient_energy_j / capacity
+
+    # ------------------------------------------------------------------
+    def charge(self, power_w: float, dt: float) -> float:
+        """Distribute harvested power; returns power accepted (W)."""
+        if power_w < 0:
+            raise ValueError(f"power_w must be non-negative, got {power_w}")
+        remaining = power_w
+        accepted = 0.0
+        for store in self.ambient_stores:
+            if remaining <= 0:
+                break
+            taken = store.charge(remaining, dt)
+            accepted += taken
+            remaining -= taken
+        self.spilled_j += max(0.0, remaining) * dt
+        return accepted
+
+    def discharge(self, power_w: float, dt: float) -> float:
+        """Serve a load demand; returns power delivered (W).
+
+        Ambient stores drain highest-voltage-first (the diode-OR order),
+        then the backup cascade engages if enabled.
+        """
+        if power_w < 0:
+            raise ValueError(f"power_w must be non-negative, got {power_w}")
+        remaining = power_w
+        delivered = 0.0
+        for store in sorted(self.ambient_stores,
+                            key=lambda s: s.voltage(), reverse=True):
+            if remaining <= 0:
+                break
+            got = store.discharge(remaining, dt)
+            delivered += got
+            remaining -= got
+        if remaining > 1e-15 and self.backup_enabled:
+            for store in self.backup_stores:
+                if remaining <= 0:
+                    break
+                got = store.discharge(remaining, dt)
+                delivered += got
+                remaining -= got
+        return delivered
+
+    def idle(self, dt: float) -> float:
+        """Self-discharge every store; returns total energy lost (J)."""
+        return sum(store.step_idle(dt) for store in self.stores)
+
+    # ------------------------------------------------------------------
+    def swap(self, index: int, new_store: EnergyStorage,
+             recognized: bool) -> EnergyStorage:
+        """Hot-swap a store.
+
+        ``recognized`` models whether the platform can re-read the device's
+        electronic datasheet: True updates the intelligence's belief, False
+        leaves it stale (systems C-G).
+        """
+        if not 0 <= index < len(self.stores):
+            raise IndexError(f"no store at index {index}")
+        if not isinstance(new_store, EnergyStorage):
+            raise TypeError("new_store must be an EnergyStorage")
+        old = self.stores[index]
+        self.stores[index] = new_store
+        if recognized:
+            self.beliefs[index] = StorageBelief.of(new_store)
+        return old
+
+    def __repr__(self) -> str:
+        return f"StorageBank(stores={self.stores!r})"
+
+
+class EnergyMonitor:
+    """Capability-limited view of the system's energy status.
+
+    This is the survey's monitoring axis as an API: a manager can only act
+    on what its architecture exposes. All readings return ``None`` when
+    the capability does not cover them.
+    """
+
+    def __init__(self, system: "MultiSourceSystem",
+                 capability: MonitoringCapability, adc_bits: int = 10):
+        if adc_bits < 1:
+            raise ValueError("adc_bits must be >= 1")
+        self.system = system
+        self.capability = capability
+        self.adc_bits = adc_bits
+
+    # -- STORE_VOLTAGE and above ---------------------------------------
+    def store_voltage(self) -> float | None:
+        """Quantised primary-store voltage (the analog sense line)."""
+        if self.capability < MonitoringCapability.STORE_VOLTAGE:
+            return None
+        v = self.system.bank.voltage()
+        full_scale = max(v, 1e-9) if v > 5.0 else 5.0
+        lsb = full_scale / (2 ** self.adc_bits)
+        return int(v / lsb) * lsb
+
+    # -- DEVICE_ACTIVITY and above ---------------------------------------
+    def active_channel_mask(self) -> int | None:
+        """Bitmap of channels that delivered power last step (System F)."""
+        if self.capability < MonitoringCapability.DEVICE_ACTIVITY:
+            return None
+        mask = 0
+        for i, channel in enumerate(self.system.channels):
+            if channel.last_step and channel.last_step.delivered_power > 1e-12:
+                mask |= 1 << i
+        return mask
+
+    # -- FULL only -------------------------------------------------------
+    def input_power(self) -> float | None:
+        """Total harvested power delivered to the bus last step (W)."""
+        if self.capability < MonitoringCapability.FULL:
+            return None
+        return sum(c.last_step.delivered_power for c in self.system.channels
+                   if c.last_step is not None)
+
+    def estimated_stored_energy(self) -> float | None:
+        """Stored-energy estimate from voltage + *believed* device models.
+
+        The estimate is exact while beliefs match reality and silently
+        wrong after an unrecognized storage swap — experiment E8's metric.
+        """
+        if self.capability < MonitoringCapability.FULL:
+            return None
+        bank = self.system.bank
+        total = 0.0
+        for store, belief in zip(bank.stores, bank.beliefs):
+            if store.is_backup:
+                continue
+            total += belief.estimate_energy(store.voltage())
+        return total
+
+    def soc_estimate(self) -> float | None:
+        """Aggregate SoC from the capability the platform actually has.
+
+        FULL platforms estimate energy/believed-capacity; STORE_VOLTAGE
+        platforms fall back to a crude voltage-fraction proxy; blind
+        platforms get ``None``.
+        """
+        if self.capability >= MonitoringCapability.FULL:
+            energy = self.estimated_stored_energy()
+            capacity = sum(b.capacity_j for s, b in
+                           zip(self.system.bank.stores, self.system.bank.beliefs)
+                           if not s.is_backup)
+            if capacity <= 0:
+                return None
+            return min(1.0, energy / capacity)
+        v = self.store_voltage()
+        if v is None:
+            return None
+        # Crude proxy: fraction of the believed full-scale voltage.
+        bank = self.system.bank
+        believed_full = max(
+            (_full_voltage(b.prototype) for s, b in
+             zip(bank.stores, bank.beliefs) if not s.is_backup),
+            default=None,
+        )
+        if not believed_full:
+            return None
+        return min(1.0, v / believed_full)
+
+
+def _full_voltage(store: EnergyStorage) -> float | None:
+    for attr in ("rated_voltage", "max_voltage"):
+        v = getattr(store, attr, None)
+        if v:
+            return v
+    volts = getattr(store, "_ocv_v", None)
+    if volts:
+        return volts[-1]
+    return getattr(store, "nominal_voltage", None)
+
+
+@dataclass(frozen=True)
+class SystemStepRecord:
+    """Complete power-flow accounting for one simulation step."""
+
+    t: float
+    harvest_raw_w: float
+    harvest_delivered_w: float
+    harvest_mpp_w: float
+    charge_accepted_w: float
+    quiescent_w: float
+    node_demand_w: float
+    node_supplied_w: float
+    node_result: NodeStepResult
+    store_energies_j: tuple
+    store_voltages: tuple
+    backup_power_w: float
+    per_channel: tuple  # HarvestStep per channel
+
+
+class MultiSourceSystem:
+    """A complete multi-source energy harvesting platform.
+
+    Parameters
+    ----------
+    architecture:
+        Static taxonomy metadata (used by the classifier).
+    channels:
+        Harvesting channels.
+    bank:
+        Storage bank.
+    output:
+        Output conditioning stage feeding the node.
+    node:
+        The embedded device (load).
+    manager:
+        Energy manager (:mod:`repro.core.manager`); may be None for
+        unmanaged platforms.
+    base_quiescent_a:
+        Platform standing current *not* attributable to individual
+        channels/stages (board leakage, supervisors). Calibrated so the
+        platform total matches Table I.
+    bus / slots / mcu:
+        Optional digital-interface components (systems A, B, F).
+    """
+
+    def __init__(self, architecture: ArchitectureDescriptor, channels,
+                 bank: StorageBank, output: OutputConditioner,
+                 node: WirelessSensorNode, manager=None,
+                 base_quiescent_a: float = 0.0, bus=None, slots=None,
+                 mcu=None):
+        channels = list(channels)
+        if not channels:
+            raise ValueError("a multi-source system needs at least one channel")
+        if base_quiescent_a < 0:
+            raise ValueError("base_quiescent_a must be non-negative")
+        self.architecture = architecture
+        self.channels = channels
+        self.bank = bank
+        self.output = output
+        self.node = node
+        self.manager = manager
+        self.base_quiescent_a = base_quiescent_a
+        self.bus = bus
+        self.slots = slots
+        self.mcu = mcu
+        self.monitor = EnergyMonitor(self, architecture.monitoring)
+        self._bus_energy_charged_j = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def total_quiescent_current_a(self) -> float:
+        """Platform standing current (the Table I row)."""
+        total = self.base_quiescent_a + self.output.quiescent_current_a
+        total += sum(c.quiescent_current_a for c in self.channels)
+        if self.mcu is not None:
+            total += self.mcu.quiescent_current_a
+        return total
+
+    @property
+    def harvester_types(self) -> tuple:
+        return tuple(dict.fromkeys(c.source_type for c in self.channels))
+
+    # ------------------------------------------------------------------
+    def step(self, ambient: AmbientSample, dt: float, t: float = 0.0
+             ) -> SystemStepRecord:
+        """Advance the platform one simulation step."""
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+
+        # 1. Management decisions (duty cycle, backup permission, ...).
+        if self.manager is not None:
+            self.manager.control(t, dt, self)
+
+        # 2. Harvest into the storage bus.
+        bus_voltage = self.bank.voltage()
+        raw = delivered = mpp = 0.0
+        per_channel = []
+        for channel in self.channels:
+            hs = channel.step(ambient, dt, bus_voltage)
+            per_channel.append(hs)
+            raw += hs.raw_power
+            delivered += hs.delivered_power
+            mpp += hs.mpp_power
+        accepted = self.bank.charge(delivered, dt)
+
+        # 3. Standing (quiescent) losses, including any bus transactions
+        #    charged since the last step.
+        iq_power = self.total_quiescent_current_a * max(bus_voltage, 0.0)
+        if self.bus is not None:
+            pending = self.bus.energy_spent_j - self._bus_energy_charged_j
+            self._bus_energy_charged_j = self.bus.energy_spent_j
+            iq_power += pending / dt
+        quiescent_drawn = self.bank.discharge(iq_power, dt) if iq_power > 0 else 0.0
+
+        # 4. Supply the node through the output stage.
+        backup_before = sum(s.energy_j for s in self.bank.backup_stores)
+        demand = self.node.demand_power()
+        store_voltage = self.bank.voltage()
+        needed = self.output.input_power_for(demand, store_voltage)
+        if needed == float("inf") or demand <= 0:
+            supplied = 0.0
+            drawn = 0.0
+        else:
+            drawn = self.bank.discharge(needed, dt)
+            supplied = demand * (drawn / needed) if needed > 0 else 0.0
+        node_result = self.node.step(supplied, dt)
+        # The output stage only passes what the load actually consumes;
+        # return the unconsumed part of the draw to the bank (it re-enters
+        # through the charge path, so routing/efficiency rules still apply).
+        if supplied > 0 and node_result.consumed_w < supplied - 1e-15:
+            unused_bus_side = drawn * (1.0 - node_result.consumed_w / supplied)
+            self.bank.charge(unused_bus_side, dt)
+        backup_power = max(
+            0.0,
+            backup_before - sum(s.energy_j for s in self.bank.backup_stores),
+        ) / dt
+
+        # 5. Storage self-discharge / redistribution.
+        self.bank.idle(dt)
+
+        return SystemStepRecord(
+            t=t,
+            harvest_raw_w=raw,
+            harvest_delivered_w=delivered,
+            harvest_mpp_w=mpp,
+            charge_accepted_w=accepted,
+            quiescent_w=quiescent_drawn,
+            node_demand_w=demand,
+            node_supplied_w=supplied,
+            node_result=node_result,
+            store_energies_j=tuple(s.energy_j for s in self.bank.stores),
+            store_voltages=tuple(s.voltage() for s in self.bank.stores),
+            backup_power_w=backup_power,
+            per_channel=tuple(per_channel),
+        )
+
+    # ------------------------------------------------------------------
+    # Hot-swap operations (the exchangeable-hardware axis)
+    # ------------------------------------------------------------------
+    def swap_storage(self, index: int, new_store: EnergyStorage) -> EnergyStorage:
+        """Swap a store; recognition follows the architecture's capability."""
+        recognized = self.architecture.auto_recognition and \
+            getattr(new_store, "datasheet", None) is not None
+        return self.bank.swap(index, new_store, recognized=recognized)
+
+    def swap_harvester(self, channel_index: int, new_harvester: Harvester
+                       ) -> Harvester:
+        if not 0 <= channel_index < len(self.channels):
+            raise IndexError(f"no channel at index {channel_index}")
+        return self.channels[channel_index].swap_harvester(new_harvester)
+
+    def __repr__(self) -> str:
+        return (f"MultiSourceSystem(name={self.architecture.short_name!r}, "
+                f"channels={len(self.channels)}, "
+                f"stores={len(self.bank.stores)})")

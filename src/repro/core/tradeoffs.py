@@ -1,0 +1,108 @@
+"""Quantitative scoring of the survey's design trade-offs.
+
+The survey repeatedly frames design as trade-offs: "functionality and
+flexibility must be traded off against system complexity" (Sec. II.2),
+"the complexity and loss of efficiency by adding the extra functionality
+[versus] the advantages gained by the improved energy-awareness"
+(Sec. II.3). These scores turn the taxonomy position of a system into
+comparable numbers used by the discussion-style analyses and the
+README's comparison matrix. Scales are ordinal (0-1), anchored to the
+taxonomy ladders, not physical units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .system import MultiSourceSystem
+from .taxonomy import (
+    ConditioningLocation,
+    ControlCapability,
+    HardwareFlexibility,
+    IntelligenceLocation,
+    MonitoringCapability,
+)
+
+__all__ = ["TradeoffScores", "score_system"]
+
+_FLEXIBILITY_SCORE = {
+    HardwareFlexibility.FIXED: 0.0,
+    HardwareFlexibility.SWAPPABLE_HARVESTERS: 1.0 / 3.0,
+    HardwareFlexibility.SWAPPABLE_HARVESTERS_AND_STORAGE: 2.0 / 3.0,
+    HardwareFlexibility.COMPLETELY_FLEXIBLE: 1.0,
+}
+
+_MONITORING_SCORE = {
+    MonitoringCapability.NONE: 0.0,
+    MonitoringCapability.STORE_VOLTAGE: 1.0 / 3.0,
+    MonitoringCapability.DEVICE_ACTIVITY: 2.0 / 3.0,
+    MonitoringCapability.FULL: 1.0,
+}
+
+_CONTROL_SCORE = {
+    ControlCapability.NONE: 0.0,
+    ControlCapability.OBSERVE_ONLY: 0.5,
+    ControlCapability.TWO_WAY: 1.0,
+}
+
+_INTELLIGENCE_COMPLEXITY = {
+    IntelligenceLocation.NONE: 0.0,
+    IntelligenceLocation.EMBEDDED_DEVICE: 0.4,   # software burden on node
+    IntelligenceLocation.POWER_UNIT: 0.7,        # extra MCU
+    IntelligenceLocation.ENERGY_DEVICES: 1.0,    # MCU per device
+}
+
+
+@dataclass(frozen=True)
+class TradeoffScores:
+    """Ordinal trade-off position of one system (all in [0, 1])."""
+
+    flexibility: float        # exchangeable-hardware ladder
+    energy_awareness: float   # monitoring + control + auto-recognition
+    complexity: float         # parts/intelligence burden
+    quiescent_burden: float   # standing draw relative to the surveyed worst
+
+    @property
+    def awareness_per_complexity(self) -> float:
+        """The survey's central question: is the awareness worth the cost?"""
+        if self.complexity <= 0:
+            return float("inf") if self.energy_awareness > 0 else 0.0
+        return self.energy_awareness / self.complexity
+
+
+#: Worst platform quiescent current in Table I (System D: 75 uA); used to
+#: normalise the quiescent burden score.
+WORST_TABLE_QUIESCENT_A = 75e-6
+
+
+def score_system(system: MultiSourceSystem) -> TradeoffScores:
+    """Score a live system's position in the trade-off space."""
+    arch = system.architecture
+
+    flexibility = _FLEXIBILITY_SCORE[arch.flexibility]
+    if arch.shared_slots > 0:
+        # Harvester/storage-agnostic slots (System B) are the ladder's top.
+        flexibility = max(flexibility, 1.0)
+
+    awareness = 0.6 * _MONITORING_SCORE[arch.monitoring] + \
+        0.25 * _CONTROL_SCORE[arch.control]
+    if arch.auto_recognition:
+        awareness += 0.15  # stays aware across hardware changes
+    awareness = min(1.0, awareness)
+
+    complexity = 0.5 * _INTELLIGENCE_COMPLEXITY[arch.intelligence]
+    complexity += 0.2 * _FLEXIBILITY_SCORE[arch.flexibility]
+    if arch.conditioning_location is ConditioningLocation.PER_MODULE:
+        complexity += 0.2  # one conditioning board per device
+    complexity += 0.1 * min(1.0, len(system.channels) / 6.0)
+    complexity = min(1.0, complexity)
+
+    quiescent = min(1.0, system.architecture.quiescent_current_a /
+                    WORST_TABLE_QUIESCENT_A)
+
+    return TradeoffScores(
+        flexibility=flexibility,
+        energy_awareness=awareness,
+        complexity=complexity,
+        quiescent_burden=quiescent,
+    )

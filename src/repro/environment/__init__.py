@@ -1,0 +1,69 @@
+"""Synthetic deployment environments: seeded ambient-condition traces.
+
+This package substitutes for the physical deployment environments of the
+surveyed systems (see DESIGN.md, substitution table). Each generator
+produces :class:`~repro.environment.Trace` objects bundled into
+:class:`~repro.environment.Environment` channel maps keyed by
+:class:`~repro.environment.SourceType`.
+"""
+
+from .ambient import AmbientSample, Environment, SourceType
+from .composite import (
+    agricultural_environment,
+    indoor_industrial_environment,
+    outdoor_environment,
+    urban_rf_environment,
+)
+from .persistence import (
+    load_environment,
+    load_trace,
+    save_environment,
+    save_trace,
+    trace_from_csv,
+)
+from .indoor_light import OfficeLightingModel, indoor_light_trace, lux_to_irradiance
+from .rf_field import BroadcastRFModel, ReaderRFModel, rf_field_trace
+from .seasonal import SeasonalSolarModel, seasonal_outdoor_environment
+from .solar import SolarModel, solar_irradiance_trace
+from .thermal import DiurnalThermalModel, MachineThermalModel, thermal_gradient_trace
+from .trace import Trace
+from .vibration import MachineVibrationModel, VibrationProfile, vibration_trace
+from .water_flow import IrrigationFlowModel, StreamFlowModel, water_flow_trace
+from .wind import WindModel, wind_speed_trace
+
+__all__ = [
+    "AmbientSample",
+    "Environment",
+    "SourceType",
+    "Trace",
+    "SolarModel",
+    "solar_irradiance_trace",
+    "OfficeLightingModel",
+    "indoor_light_trace",
+    "lux_to_irradiance",
+    "WindModel",
+    "wind_speed_trace",
+    "MachineThermalModel",
+    "DiurnalThermalModel",
+    "thermal_gradient_trace",
+    "MachineVibrationModel",
+    "VibrationProfile",
+    "vibration_trace",
+    "BroadcastRFModel",
+    "ReaderRFModel",
+    "rf_field_trace",
+    "IrrigationFlowModel",
+    "StreamFlowModel",
+    "water_flow_trace",
+    "outdoor_environment",
+    "indoor_industrial_environment",
+    "agricultural_environment",
+    "urban_rf_environment",
+    "save_trace",
+    "load_trace",
+    "save_environment",
+    "load_environment",
+    "trace_from_csv",
+    "SeasonalSolarModel",
+    "seasonal_outdoor_environment",
+]

@@ -1,0 +1,137 @@
+"""Ambient condition channels shared between environments and harvesters.
+
+The survey classifies systems by the energy *sources* they can exploit
+(Table I "Harvesters" row: light, wind, thermal, vibration, piezo/mech,
+radio, water flow, generic AC/DC). Each source type corresponds to one
+ambient channel with a physical unit; an environment is a bundle of channel
+traces, and each harvester subscribes to exactly one channel.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .trace import Trace
+
+__all__ = ["SourceType", "AmbientSample", "Environment"]
+
+
+class SourceType(enum.Enum):
+    """Physical energy source categories used throughout the library.
+
+    The values name the ambient quantity each harvester transduces, matching
+    the harvester types enumerated in Table I of the survey.
+    """
+
+    LIGHT = "light"                  # irradiance, W/m^2
+    WIND = "wind"                    # wind speed, m/s
+    THERMAL = "thermal"              # temperature difference, K
+    VIBRATION = "vibration"          # acceleration amplitude, m/s^2
+    RF = "rf"                        # incident RF power density, W/m^2
+    WATER_FLOW = "water_flow"        # water flow speed, m/s
+    MECHANICAL = "mechanical"        # direct mechanical strain events, m/s^2
+    AC_GENERIC = "ac_generic"        # generic AC source voltage, V
+
+    @property
+    def units(self) -> str:
+        return _UNITS[self]
+
+
+_UNITS = {
+    SourceType.LIGHT: "W/m^2",
+    SourceType.WIND: "m/s",
+    SourceType.THERMAL: "K",
+    SourceType.VIBRATION: "m/s^2",
+    SourceType.RF: "W/m^2",
+    SourceType.WATER_FLOW: "m/s",
+    SourceType.MECHANICAL: "m/s^2",
+    SourceType.AC_GENERIC: "V",
+}
+
+
+@dataclass(frozen=True)
+class AmbientSample:
+    """Snapshot of all ambient channels at one instant.
+
+    Channels not present in the environment read as 0.0, which every
+    harvester model maps to zero harvestable power.
+    """
+
+    channels: dict = field(default_factory=dict)
+
+    def get(self, source: SourceType) -> float:
+        return float(self.channels.get(source, 0.0))
+
+    def with_channel(self, source: SourceType, value: float) -> "AmbientSample":
+        merged = dict(self.channels)
+        merged[source] = float(value)
+        return AmbientSample(merged)
+
+
+class Environment:
+    """A deployment environment: a bundle of ambient channel traces.
+
+    Parameters
+    ----------
+    channels:
+        Mapping of :class:`SourceType` to :class:`Trace`. All traces must
+        share the same timestep; lengths may differ (shorter channels hold
+        their final value, mirroring :meth:`Trace.at`).
+    name:
+        Label used in experiment reports (e.g. ``"outdoor-temperate"``).
+    """
+
+    def __init__(self, channels: dict, name: str = "environment"):
+        self.name = name
+        self._channels: dict = {}
+        dt = None
+        for source, trace in channels.items():
+            if not isinstance(source, SourceType):
+                raise TypeError(f"channel keys must be SourceType, got {source!r}")
+            if dt is None:
+                dt = trace.dt
+            elif abs(trace.dt - dt) > 1e-12:
+                raise ValueError(
+                    f"all channel traces must share dt; {source} has {trace.dt}, expected {dt}"
+                )
+            self._channels[source] = trace
+        self._dt = dt if dt is not None else 1.0
+
+    @property
+    def dt(self) -> float:
+        return self._dt
+
+    @property
+    def duration(self) -> float:
+        """Duration of the longest channel, in seconds."""
+        if not self._channels:
+            return 0.0
+        return max(trace.duration for trace in self._channels.values())
+
+    @property
+    def sources(self) -> tuple:
+        return tuple(self._channels.keys())
+
+    def trace(self, source: SourceType) -> Trace:
+        """The raw trace for one channel (KeyError if absent)."""
+        return self._channels[source]
+
+    def has(self, source: SourceType) -> bool:
+        return source in self._channels
+
+    def sample(self, t: float) -> AmbientSample:
+        """All channel values at time ``t`` seconds."""
+        return AmbientSample(
+            {source: trace.at(t) for source, trace in self._channels.items()}
+        )
+
+    def merged_with(self, other: "Environment", name: str | None = None) -> "Environment":
+        """Combine two environments; ``other`` wins on overlapping channels."""
+        channels = dict(self._channels)
+        channels.update({s: other.trace(s) for s in other.sources})
+        return Environment(channels, name=name or f"{self.name}+{other.name}")
+
+    def __repr__(self) -> str:
+        srcs = ", ".join(s.value for s in self._channels)
+        return f"Environment({self.name!r}, channels=[{srcs}], dt={self._dt})"

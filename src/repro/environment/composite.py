@@ -1,0 +1,113 @@
+"""Prebuilt deployment environments used across the experiment suite.
+
+The survey stresses that harvester choice is *deployment-specific*
+("the importance of considering the deployment environment when choosing
+energy hardware", Sec. IV). These factories bundle the channel generators
+into the deployment archetypes the surveyed systems target:
+
+* :func:`outdoor_environment` — System A / AmbiMax territory: sun + wind
+  (+ small diurnal thermal gradient).
+* :func:`indoor_industrial_environment` — System B territory: office-level
+  light, machine vibration, machine thermal gradients, ambient RF.
+* :func:`agricultural_environment` — System D (MPWiNode) territory: sun,
+  wind, irrigation water flow.
+* :func:`urban_rf_environment` — systems E/F/G territory: indoor light,
+  broadcast RF, occasional reader bursts, mains vibration.
+"""
+
+from __future__ import annotations
+
+from .ambient import Environment, SourceType
+from .indoor_light import OfficeLightingModel
+from .rf_field import BroadcastRFModel, ReaderRFModel
+from .solar import SolarModel
+from .thermal import DiurnalThermalModel, MachineThermalModel
+from .vibration import MachineVibrationModel
+from .water_flow import IrrigationFlowModel
+from .wind import WindModel
+
+__all__ = [
+    "outdoor_environment",
+    "indoor_industrial_environment",
+    "agricultural_environment",
+    "urban_rf_environment",
+]
+
+DAY = 86_400.0
+
+
+def outdoor_environment(duration: float = 7 * DAY, dt: float = 60.0, *,
+                        cloudiness: float = 0.3, mean_wind: float = 5.0,
+                        day_fraction: float = 0.5, seed: int = 0,
+                        overcast_windows: tuple = (),
+                        calm_windows: tuple = ()) -> Environment:
+    """Temperate outdoor site: solar + complementary wind + diurnal thermal.
+
+    ``overcast_windows`` / ``calm_windows`` script lulls for backup-storage
+    experiments (E10).
+    """
+    solar = SolarModel(cloudiness=cloudiness, day_fraction=day_fraction,
+                       seed=seed).trace(duration, dt,
+                                        overcast_windows=overcast_windows)
+    wind = WindModel(mean_speed=mean_wind, seed=seed + 1).trace(
+        duration, dt, calm_windows=calm_windows)
+    thermal = DiurnalThermalModel(seed=seed + 2).trace(duration, dt)
+    return Environment(
+        {SourceType.LIGHT: solar, SourceType.WIND: wind, SourceType.THERMAL: thermal},
+        name="outdoor-temperate",
+    )
+
+
+def indoor_industrial_environment(duration: float = 7 * DAY, dt: float = 60.0, *,
+                                  work_lux: float = 400.0, accel_rms: float = 2.0,
+                                  delta_t_running: float = 25.0,
+                                  seed: int = 0) -> Environment:
+    """Indoor industrial site (System B's target): light, vibration,
+    machine thermal gradient, weak ambient RF."""
+    light = OfficeLightingModel(work_lux=work_lux, seed=seed).trace(duration, dt)
+    vib = MachineVibrationModel(accel_rms=accel_rms, seed=seed + 1).trace(duration, dt)
+    thermal = MachineThermalModel(delta_t_running=delta_t_running,
+                                  seed=seed + 2).trace(duration, dt)
+    rf = BroadcastRFModel(mean_density=0.005, seed=seed + 3).trace(duration, dt)
+    return Environment(
+        {
+            SourceType.LIGHT: light,
+            SourceType.VIBRATION: vib,
+            SourceType.THERMAL: thermal,
+            SourceType.RF: rf,
+        },
+        name="indoor-industrial",
+    )
+
+
+def agricultural_environment(duration: float = 7 * DAY, dt: float = 60.0, *,
+                             cloudiness: float = 0.25, mean_wind: float = 4.0,
+                             flow_speed: float = 1.0, seed: int = 0) -> Environment:
+    """Agricultural site (System D's target): sun, wind, irrigation flow."""
+    solar = SolarModel(cloudiness=cloudiness, seed=seed).trace(duration, dt)
+    wind = WindModel(mean_speed=mean_wind, seed=seed + 1).trace(duration, dt)
+    water = IrrigationFlowModel(flow_speed=flow_speed, seed=seed + 2).trace(duration, dt)
+    return Environment(
+        {SourceType.LIGHT: solar, SourceType.WIND: wind, SourceType.WATER_FLOW: water},
+        name="agricultural",
+    )
+
+
+def urban_rf_environment(duration: float = 7 * DAY, dt: float = 60.0, *,
+                         work_lux: float = 300.0, broadcast_density: float = 0.01,
+                         seed: int = 0) -> Environment:
+    """Urban indoor site for RF-centric commercial kits (systems E/F/G)."""
+    light = OfficeLightingModel(work_lux=work_lux, seed=seed).trace(duration, dt)
+    broadcast = BroadcastRFModel(mean_density=broadcast_density,
+                                 seed=seed + 1).trace(duration, dt)
+    reader = ReaderRFModel(seed=seed + 2).trace(duration, dt)
+    vib = MachineVibrationModel(accel_rms=0.8, shift_hours=(0.0, 24.0),
+                                run_fraction=0.5, seed=seed + 3).trace(duration, dt)
+    return Environment(
+        {
+            SourceType.LIGHT: light,
+            SourceType.RF: broadcast + reader,
+            SourceType.VIBRATION: vib,
+        },
+        name="urban-rf",
+    )

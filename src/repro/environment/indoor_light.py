@@ -1,0 +1,124 @@
+"""Synthetic indoor lighting traces.
+
+System B in the survey ("Plug-and-Play Architecture", Fig. 2) targets
+*indoor* industrial monitoring with a <1 mW budget. Indoor light differs
+from outdoor sun in ways that drive the survey's trade-off discussion:
+levels are 2-3 orders of magnitude lower (hundreds of lux, i.e. roughly
+0.1-5 W/m^2 of harvestable irradiance), follow occupancy schedules rather
+than solar geometry, and switch between discrete levels (lights on/off)
+rather than ramping. At these power levels the quiescent overhead of MPPT
+can exceed its benefit — the crossover probed by experiment E5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .trace import Trace
+
+__all__ = ["OfficeLightingModel", "indoor_light_trace", "lux_to_irradiance"]
+
+DAY = 86_400.0
+WEEK = 7 * DAY
+
+#: Approximate conversion for white LED/fluorescent office light.
+#: 1 W/m^2 of visible irradiance is roughly 120 lux for these spectra.
+LUX_PER_W_M2 = 120.0
+
+
+def lux_to_irradiance(lux: float) -> float:
+    """Convert illuminance (lux) to approximate irradiance (W/m^2)."""
+    if lux < 0:
+        raise ValueError(f"lux must be non-negative, got {lux}")
+    return lux / LUX_PER_W_M2
+
+
+class OfficeLightingModel:
+    """Occupancy-scheduled indoor lighting.
+
+    Weekday pattern: lights on from ``on_hour`` to ``off_hour`` with small
+    random jitter per day, occasional lunchtime dimming, and rare after-hours
+    activity. Weekends are mostly dark with sporadic short visits. A constant
+    ``ambient_lux`` models daylight spill through windows during daytime.
+
+    Parameters
+    ----------
+    work_lux:
+        Illuminance at the node while lights are on (typical office: 300-500).
+    ambient_lux:
+        Daytime window-spill illuminance when lights are off.
+    on_hour / off_hour:
+        Nominal lighting schedule (local hours, 0-24).
+    seed:
+        RNG seed.
+    """
+
+    def __init__(self, work_lux: float = 400.0, ambient_lux: float = 50.0,
+                 on_hour: float = 8.0, off_hour: float = 18.0, seed: int = 0):
+        if not 0 <= on_hour < off_hour <= 24:
+            raise ValueError("need 0 <= on_hour < off_hour <= 24")
+        if work_lux < 0 or ambient_lux < 0:
+            raise ValueError("lux levels must be non-negative")
+        self.work_lux = work_lux
+        self.ambient_lux = ambient_lux
+        self.on_hour = on_hour
+        self.off_hour = off_hour
+        self.seed = seed
+
+    def trace(self, duration: float, dt: float = 60.0,
+              start_weekday: int = 0) -> Trace:
+        """Generate an irradiance trace (W/m^2 at the harvester).
+
+        Parameters
+        ----------
+        duration:
+            Trace length, seconds.
+        dt:
+            Timestep, seconds.
+        start_weekday:
+            Weekday of t=0 (0=Monday .. 6=Sunday).
+        """
+        n = max(1, int(round(duration / dt)))
+        rng = np.random.default_rng(self.seed)
+        values = np.zeros(n)
+
+        n_days = int(np.ceil(duration / DAY)) + 1
+        # Per-day jittered schedule (arrival/departure vary ~20 min).
+        on_jitter = rng.normal(0.0, 1 / 3, size=n_days)
+        off_jitter = rng.normal(0.0, 1 / 3, size=n_days)
+
+        for i in range(n):
+            t = i * dt
+            day = int(t // DAY)
+            weekday = (start_weekday + day) % 7
+            hour = (t % DAY) / 3600.0
+
+            daylight = self.ambient_lux if 7.0 <= hour <= 19.0 else 0.0
+
+            if weekday < 5:
+                on_h = self.on_hour + on_jitter[day]
+                off_h = self.off_hour + off_jitter[day]
+                lit = on_h <= hour <= off_h
+                # Lunchtime dimming on ~30 % of days.
+                if lit and 12.0 <= hour <= 13.0 and rng.random() < 0.3 * dt / 3600.0:
+                    lit = False
+                # Rare after-hours work (cleaning, overtime).
+                if not lit and 18.0 < hour < 22.0 and rng.random() < 0.02 * dt / 3600.0:
+                    lit = True
+            else:
+                # Weekend: sporadic short visits.
+                lit = rng.random() < 0.01 * dt / 3600.0
+
+            lux = (self.work_lux if lit else 0.0) + daylight
+            values[i] = lux_to_irradiance(lux)
+
+        return Trace(values, dt, name="irradiance", units="W/m^2")
+
+
+def indoor_light_trace(duration: float, dt: float = 60.0, *,
+                       work_lux: float = 400.0, ambient_lux: float = 50.0,
+                       seed: int = 0) -> Trace:
+    """Convenience wrapper building an :class:`OfficeLightingModel` trace."""
+    return OfficeLightingModel(
+        work_lux=work_lux, ambient_lux=ambient_lux, seed=seed
+    ).trace(duration, dt)

@@ -1,0 +1,141 @@
+"""Trace and environment persistence.
+
+Real deployments are evaluated against *recorded* ambient traces (the
+survey's systems were all validated in specific physical deployments).
+These helpers let users capture synthetic traces to disk — or import
+measured ones — and rerun experiments against the exact same input:
+
+* :func:`save_trace` / :func:`load_trace` — one trace, ``.npz``.
+* :func:`save_environment` / :func:`load_environment` — a full channel
+  bundle with its metadata, one ``.npz`` per environment.
+* :func:`trace_from_csv` — import measured data (``time,value`` rows with
+  arbitrary, possibly irregular timestamps; resampled onto a uniform
+  grid by zero-order hold).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+
+import numpy as np
+
+from .ambient import Environment, SourceType
+from .trace import Trace
+
+__all__ = [
+    "save_trace",
+    "load_trace",
+    "save_environment",
+    "load_environment",
+    "trace_from_csv",
+]
+
+
+def save_trace(trace: Trace, path) -> None:
+    """Persist one trace to ``path`` (.npz)."""
+    np.savez_compressed(
+        path,
+        values=trace.values,
+        dt=np.float64(trace.dt),
+        name=np.str_(trace.name),
+        units=np.str_(trace.units),
+    )
+
+
+def load_trace(path) -> Trace:
+    """Inverse of :func:`save_trace`."""
+    with np.load(path, allow_pickle=False) as data:
+        return Trace(
+            values=data["values"],
+            dt=float(data["dt"]),
+            name=str(data["name"]),
+            units=str(data["units"]),
+        )
+
+
+def save_environment(environment: Environment, path) -> None:
+    """Persist an environment's channels and metadata to ``path`` (.npz)."""
+    payload = {"__name__": np.str_(environment.name),
+               "__dt__": np.float64(environment.dt)}
+    for source in environment.sources:
+        payload[f"channel:{source.value}"] = environment.trace(source).values
+    np.savez_compressed(path, **payload)
+
+
+def load_environment(path) -> Environment:
+    """Inverse of :func:`save_environment`."""
+    with np.load(path, allow_pickle=False) as data:
+        name = str(data["__name__"])
+        dt = float(data["__dt__"])
+        channels = {}
+        for key in data.files:
+            if not key.startswith("channel:"):
+                continue
+            source = SourceType(key.split(":", 1)[1])
+            channels[source] = Trace(data[key], dt, name=source.value,
+                                     units=source.units)
+    return Environment(channels, name=name)
+
+
+def trace_from_csv(source, dt: float, name: str = "", units: str = "",
+                   time_column: str = "time",
+                   value_column: str = "value") -> Trace:
+    """Build a uniform trace from ``time,value`` CSV data.
+
+    Parameters
+    ----------
+    source:
+        File path or text-mode file object.
+    dt:
+        Target uniform timestep, seconds.
+    time_column / value_column:
+        Column names in the CSV header. Times are seconds from an
+        arbitrary origin and need not be uniform; values between samples
+        follow zero-order hold.
+    """
+    if dt <= 0:
+        raise ValueError("dt must be positive")
+    if isinstance(source, (str, os.PathLike)):
+        with open(source, newline="") as handle:
+            rows = _read_rows(handle, time_column, value_column)
+    elif isinstance(source, io.TextIOBase):
+        rows = _read_rows(source, time_column, value_column)
+    else:
+        raise TypeError("source must be a path or a text file object")
+    if not rows:
+        raise ValueError("CSV contains no data rows")
+
+    rows.sort(key=lambda r: r[0])
+    t0 = rows[0][0]
+    t_end = rows[-1][0]
+    n = max(1, int(round((t_end - t0) / dt)) + 1)
+    values = np.empty(n)
+    j = 0
+    current = rows[0][1]
+    for i in range(n):
+        t = t0 + i * dt
+        while j + 1 < len(rows) and rows[j + 1][0] <= t:
+            j += 1
+            current = rows[j][1]
+        values[i] = current
+    return Trace(values, dt, name=name, units=units)
+
+
+def _read_rows(handle, time_column: str, value_column: str) -> list:
+    reader = csv.DictReader(handle)
+    if reader.fieldnames is None or time_column not in reader.fieldnames \
+            or value_column not in reader.fieldnames:
+        raise ValueError(
+            f"CSV must have columns {time_column!r} and {value_column!r}; "
+            f"found {reader.fieldnames}"
+        )
+    rows = []
+    for record in reader:
+        try:
+            rows.append((float(record[time_column]),
+                         float(record[value_column])))
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"malformed CSV row {record!r}: {exc}") from exc
+    return rows

@@ -1,0 +1,117 @@
+"""Synthetic RF power-density traces for radio-frequency harvesting.
+
+RF ("radio") harvesting appears in Table I for systems E (MAX17710 eval),
+F (Cymbet EVAL-09) and G (EH-Link). Ambient RF is the weakest of the
+surveyed sources — typical far-field power densities near transmitters are
+microwatts to tens of microwatts per cm^2 — but it is nearly always present,
+which is exactly why it features in "opportunistic" multi-source platforms.
+
+Two archetypes:
+
+* **Broadcast field** — quasi-constant density from a distant fixed
+  transmitter (TV/cell tower) with slow fading.
+* **Reader field** — intermittent strong bursts from a nearby intentional
+  source (e.g. an RFID reader or a dedicated RF power beacon).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .trace import Trace
+
+__all__ = ["BroadcastRFModel", "ReaderRFModel", "rf_field_trace"]
+
+
+class BroadcastRFModel:
+    """Slowly-fading ambient broadcast RF field.
+
+    Parameters
+    ----------
+    mean_density:
+        Mean incident power density, W/m^2. 1 uW/cm^2 = 0.01 W/m^2; ambient
+        urban levels are typically 1e-4 .. 1e-1 W/m^2.
+    fading_sigma_db:
+        Log-normal shadow-fading standard deviation in dB.
+    fading_time_constant:
+        Correlation time of the fading process, seconds.
+    seed:
+        RNG seed.
+    """
+
+    def __init__(self, mean_density: float = 0.01, fading_sigma_db: float = 4.0,
+                 fading_time_constant: float = 600.0, seed: int = 0):
+        if mean_density < 0:
+            raise ValueError("mean_density must be non-negative")
+        if fading_time_constant <= 0:
+            raise ValueError("fading_time_constant must be positive")
+        self.mean_density = mean_density
+        self.fading_sigma_db = fading_sigma_db
+        self.fading_time_constant = fading_time_constant
+        self.seed = seed
+
+    def trace(self, duration: float, dt: float = 60.0) -> Trace:
+        n = max(1, int(round(duration / dt)))
+        rng = np.random.default_rng(self.seed)
+        theta = min(1.0, dt / self.fading_time_constant)
+        x = rng.standard_normal()
+        values = np.empty(n)
+        for i in range(n):
+            x += -theta * x + (2 * theta) ** 0.5 * rng.standard_normal()
+            fade_db = self.fading_sigma_db * x
+            values[i] = self.mean_density * 10.0 ** (fade_db / 10.0)
+        return Trace(values, dt, name="rf_density", units="W/m^2")
+
+
+class ReaderRFModel:
+    """Intermittent strong bursts from a nearby intentional RF source.
+
+    Parameters
+    ----------
+    burst_density:
+        Power density during a burst, W/m^2.
+    burst_duration:
+        Mean burst length, seconds.
+    bursts_per_hour:
+        Mean burst arrival rate.
+    seed:
+        RNG seed.
+    """
+
+    def __init__(self, burst_density: float = 1.0, burst_duration: float = 30.0,
+                 bursts_per_hour: float = 6.0, seed: int = 0):
+        if burst_density < 0:
+            raise ValueError("burst_density must be non-negative")
+        if burst_duration <= 0:
+            raise ValueError("burst_duration must be positive")
+        if bursts_per_hour < 0:
+            raise ValueError("bursts_per_hour must be non-negative")
+        self.burst_density = burst_density
+        self.burst_duration = burst_duration
+        self.bursts_per_hour = bursts_per_hour
+        self.seed = seed
+
+    def trace(self, duration: float, dt: float = 60.0) -> Trace:
+        n = max(1, int(round(duration / dt)))
+        rng = np.random.default_rng(self.seed)
+        values = np.zeros(n)
+        p_start = self.bursts_per_hour * dt / 3600.0
+        i = 0
+        while i < n:
+            if rng.random() < p_start:
+                length = max(1, int(rng.exponential(self.burst_duration) / dt))
+                values[i : i + length] = self.burst_density
+                i += length
+            else:
+                i += 1
+        return Trace(values, dt, name="rf_density", units="W/m^2")
+
+
+def rf_field_trace(duration: float, dt: float = 60.0, *,
+                   style: str = "broadcast", seed: int = 0, **kwargs) -> Trace:
+    """Convenience dispatcher: ``style`` is ``"broadcast"`` or ``"reader"``."""
+    if style == "broadcast":
+        return BroadcastRFModel(seed=seed, **kwargs).trace(duration, dt)
+    if style == "reader":
+        return ReaderRFModel(seed=seed, **kwargs).trace(duration, dt)
+    raise ValueError(f"unknown RF style {style!r}; use 'broadcast' or 'reader'")

@@ -1,0 +1,157 @@
+"""Seasonal (multi-month) environment generation.
+
+Survey Sec. I: "Energy availability can be a temporal as well as spatial
+effect." The daily generators in this package capture the diurnal
+component; this module adds the *seasonal* one — day length and peak
+irradiance swinging across months, and winter-biased wind — so that
+buffer-sizing and lifetime studies can ask the question a real deployment
+faces: not "can it survive the night?" but "can it survive January?".
+
+The model drives :class:`~repro.environment.SolarModel` parameters with a
+sinusoidal annual cycle anchored at a winter solstice, generating the
+trace month by month so the underlying daily machinery is reused
+unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .ambient import Environment, SourceType
+from .solar import SolarModel
+from .thermal import DiurnalThermalModel
+from .trace import Trace
+from .wind import WindModel
+
+__all__ = ["SeasonalSolarModel", "seasonal_outdoor_environment"]
+
+DAY = 86_400.0
+YEAR = 365.25 * DAY
+
+
+class SeasonalSolarModel:
+    """Solar irradiance with an annual day-length/intensity cycle.
+
+    Parameters
+    ----------
+    summer_day_fraction / winter_day_fraction:
+        Daylight fraction at the solstices (mid-latitudes: ~0.67 / ~0.33).
+    summer_peak / winter_peak:
+        Clear-sky noon irradiance at the solstices, W/m^2 (the winter sun
+        sits lower: less irradiance even at noon).
+    cloudiness_summer / cloudiness_winter:
+        Mean cloud cover per season (winters are cloudier at temperate
+        sites).
+    start_day_of_year:
+        Day of year at t=0 (0 = winter solstice).
+    seed:
+        RNG seed.
+    """
+
+    def __init__(self, summer_day_fraction: float = 0.67,
+                 winter_day_fraction: float = 0.33,
+                 summer_peak: float = 1000.0, winter_peak: float = 500.0,
+                 cloudiness_summer: float = 0.25,
+                 cloudiness_winter: float = 0.55,
+                 start_day_of_year: float = 0.0, seed: int = 0):
+        for label, value in (("summer_day_fraction", summer_day_fraction),
+                             ("winter_day_fraction", winter_day_fraction)):
+            if not 0.05 <= value <= 0.95:
+                raise ValueError(f"{label} must be in [0.05, 0.95]")
+        if winter_day_fraction > summer_day_fraction:
+            raise ValueError("winter day fraction must not exceed summer's")
+        if winter_peak > summer_peak:
+            raise ValueError("winter peak must not exceed summer's")
+        for label, value in (("cloudiness_summer", cloudiness_summer),
+                             ("cloudiness_winter", cloudiness_winter)):
+            if not 0.0 <= value < 1.0:
+                raise ValueError(f"{label} must be in [0, 1)")
+        self.summer_day_fraction = summer_day_fraction
+        self.winter_day_fraction = winter_day_fraction
+        self.summer_peak = summer_peak
+        self.winter_peak = winter_peak
+        self.cloudiness_summer = cloudiness_summer
+        self.cloudiness_winter = cloudiness_winter
+        self.start_day_of_year = start_day_of_year
+        self.seed = seed
+
+    def _season_phase(self, t: float) -> float:
+        """0 at winter solstice, 1 at summer solstice (cosine blend)."""
+        doy = (self.start_day_of_year + t / DAY) % 365.25
+        return 0.5 * (1.0 - math.cos(2.0 * math.pi * doy / 365.25))
+
+    def parameters_at(self, t: float) -> dict:
+        """SolarModel parameters in effect at absolute time ``t``."""
+        s = self._season_phase(t)
+        return {
+            "day_fraction": self.winter_day_fraction + s *
+            (self.summer_day_fraction - self.winter_day_fraction),
+            "peak_irradiance": self.winter_peak + s *
+            (self.summer_peak - self.winter_peak),
+            "cloudiness": self.cloudiness_winter + s *
+            (self.cloudiness_summer - self.cloudiness_winter),
+        }
+
+    def trace(self, duration: float, dt: float = 300.0) -> Trace:
+        """Generate the seasonal irradiance trace day by day."""
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        chunks = []
+        t = 0.0
+        day_index = 0
+        while t < duration:
+            span = min(DAY, duration - t)
+            params = self.parameters_at(t + span / 2.0)
+            daily = SolarModel(seed=self.seed + day_index,
+                               **params).trace(span, dt)
+            chunks.append(daily.values)
+            t += span
+            day_index += 1
+        return Trace(np.concatenate(chunks), dt, name="irradiance",
+                     units="W/m^2")
+
+
+def seasonal_outdoor_environment(duration: float = 90 * DAY,
+                                 dt: float = 600.0, *,
+                                 start_day_of_year: float = 0.0,
+                                 mean_wind: float = 5.0,
+                                 winter_wind_boost: float = 0.3,
+                                 seed: int = 0) -> Environment:
+    """Multi-month outdoor site with seasonal sun and winter-biased wind.
+
+    Parameters
+    ----------
+    duration / dt:
+        Span and timestep (default: one quarter at 10-min resolution).
+    start_day_of_year:
+        0 = winter solstice; 182.6 = summer solstice.
+    mean_wind:
+        Annual-mean wind speed, m/s.
+    winter_wind_boost:
+        Relative wind increase at mid-winter (storm season) — the
+        complementarity that makes multi-source platforms seasonal-proof.
+    seed:
+        RNG seed.
+    """
+    solar = SeasonalSolarModel(start_day_of_year=start_day_of_year,
+                               seed=seed).trace(duration, dt)
+
+    # Winter-biased wind: modulate a stationary trace by the season.
+    base_wind = WindModel(mean_speed=mean_wind, seed=seed + 1).trace(
+        duration, dt)
+    season = SeasonalSolarModel(start_day_of_year=start_day_of_year)
+    factors = np.array([
+        1.0 + winter_wind_boost * (1.0 - season._season_phase(i * dt))
+        for i in range(len(base_wind))
+    ])
+    wind = Trace(base_wind.values * factors, dt, name="wind_speed",
+                 units="m/s")
+
+    thermal = DiurnalThermalModel(seed=seed + 2).trace(duration, dt)
+    return Environment(
+        {SourceType.LIGHT: solar, SourceType.WIND: wind,
+         SourceType.THERMAL: thermal},
+        name=f"seasonal-outdoor(doy={start_day_of_year:.0f})",
+    )

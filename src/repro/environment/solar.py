@@ -1,0 +1,153 @@
+"""Synthetic outdoor solar irradiance traces.
+
+System A in the survey ("Smart Power Unit", Fig. 1) is an outdoor platform
+harvesting light and wind. Its design rationale — and experiments E3/E4 in
+DESIGN.md — depend on the day/night structure and weather variability of
+solar input. This module generates irradiance traces with:
+
+* deterministic clear-sky geometry (sinusoidal solar elevation with season-
+  dependent day length),
+* stochastic cloud cover evolving as a bounded random walk (slow synoptic
+  component) plus short-lived cloud transients,
+* an optional multi-day "lull" (overcast spell) used by the fuel-cell backup
+  experiment (E10).
+
+All randomness is seeded; the same seed yields the same trace.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .trace import Trace
+
+__all__ = ["SolarModel", "solar_irradiance_trace"]
+
+#: Peak clear-sky irradiance at solar noon for a mid-latitude site, W/m^2.
+DEFAULT_PEAK_IRRADIANCE = 1000.0
+
+#: Seconds per day.
+DAY = 86_400.0
+
+
+class SolarModel:
+    """Parametric generator of outdoor irradiance traces.
+
+    Parameters
+    ----------
+    peak_irradiance:
+        Clear-sky irradiance at solar noon (W/m^2).
+    day_fraction:
+        Fraction of the 24 h cycle with the sun above the horizon
+        (0.5 = equinox; ~0.33 winter; ~0.67 summer at mid latitudes).
+    cloudiness:
+        Long-run mean cloud attenuation in [0, 1); 0 = always clear.
+    cloud_volatility:
+        Scale of the random-walk steps driving slow cloud evolution.
+    seed:
+        RNG seed; identical seeds reproduce identical traces.
+    """
+
+    def __init__(self, peak_irradiance: float = DEFAULT_PEAK_IRRADIANCE,
+                 day_fraction: float = 0.5, cloudiness: float = 0.3,
+                 cloud_volatility: float = 0.05, seed: int = 0):
+        if not 0.05 <= day_fraction <= 0.95:
+            raise ValueError(f"day_fraction must be in [0.05, 0.95], got {day_fraction}")
+        if not 0.0 <= cloudiness < 1.0:
+            raise ValueError(f"cloudiness must be in [0, 1), got {cloudiness}")
+        if peak_irradiance <= 0:
+            raise ValueError("peak_irradiance must be positive")
+        self.peak_irradiance = peak_irradiance
+        self.day_fraction = day_fraction
+        self.cloudiness = cloudiness
+        self.cloud_volatility = cloud_volatility
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def clear_sky(self, t: float) -> float:
+        """Deterministic clear-sky irradiance at time ``t`` seconds.
+
+        The sun is modelled as a raised cosine centred on local noon with a
+        width set by ``day_fraction``; this reproduces sunrise/sunset ramps
+        without full astronomical geometry, which the survey's claims do not
+        require.
+        """
+        tod = (t % DAY) / DAY  # time of day in [0, 1)
+        half_day = self.day_fraction / 2.0
+        phase = (tod - 0.5) / half_day  # 0 at noon, +-1 at sunrise/sunset
+        if abs(phase) >= 1.0:
+            return 0.0
+        return self.peak_irradiance * 0.5 * (1.0 + math.cos(math.pi * phase))
+
+    # ------------------------------------------------------------------
+    def trace(self, duration: float, dt: float = 60.0,
+              overcast_windows: tuple = ()) -> Trace:
+        """Generate an irradiance trace.
+
+        Parameters
+        ----------
+        duration:
+            Trace length in seconds.
+        dt:
+            Timestep in seconds (default 1 min).
+        overcast_windows:
+            Iterable of ``(t_start, t_end)`` second-ranges forced to heavy
+            overcast (93 % attenuation) — used to script multi-day lulls
+            for the fuel-cell backup experiment.
+        """
+        n = max(1, int(round(duration / dt)))
+        rng = np.random.default_rng(self.seed)
+        times = np.arange(n) * dt
+
+        clear = np.array([self.clear_sky(t) for t in times])
+
+        # Slow synoptic cloud cover: mean-reverting bounded random walk.
+        cover = np.empty(n)
+        c = self.cloudiness
+        for i in range(n):
+            c += self.cloud_volatility * math.sqrt(dt / 3600.0) * rng.standard_normal()
+            c += 0.02 * (self.cloudiness - c) * (dt / 3600.0)
+            c = min(max(c, 0.0), 0.98)
+            cover[i] = c
+
+        # Short cloud transients: occasional sharp dips lasting minutes.
+        transient = np.ones(n)
+        mean_events_per_day = 20.0 * self.cloudiness
+        p_event = mean_events_per_day * dt / DAY
+        i = 0
+        while i < n:
+            if rng.random() < p_event:
+                length = max(1, int(rng.exponential(600.0) / dt))
+                depth = 0.3 + 0.6 * rng.random()
+                transient[i : i + length] = np.minimum(
+                    transient[i : i + length], 1.0 - depth
+                )
+                i += length
+            else:
+                i += 1
+
+        attenuation = (1.0 - cover) * transient
+        values = clear * np.clip(attenuation, 0.0, 1.0)
+
+        for t_start, t_end in overcast_windows:
+            mask = (times >= t_start) & (times < t_end)
+            values[mask] *= 0.07
+
+        return Trace(values, dt, name="irradiance", units="W/m^2")
+
+
+def solar_irradiance_trace(duration: float, dt: float = 60.0, *,
+                           peak_irradiance: float = DEFAULT_PEAK_IRRADIANCE,
+                           day_fraction: float = 0.5, cloudiness: float = 0.3,
+                           seed: int = 0,
+                           overcast_windows: tuple = ()) -> Trace:
+    """Convenience wrapper building a :class:`SolarModel` and one trace."""
+    model = SolarModel(
+        peak_irradiance=peak_irradiance,
+        day_fraction=day_fraction,
+        cloudiness=cloudiness,
+        seed=seed,
+    )
+    return model.trace(duration, dt, overcast_windows=overcast_windows)

@@ -1,0 +1,130 @@
+"""Synthetic temperature-difference traces for thermoelectric harvesting.
+
+Thermal gradients appear in Table I for System B (Plug-and-Play) and
+System F (Cymbet EVAL-09). Two deployment archetypes are modelled:
+
+* **Machine-mounted TEG** — a hot industrial surface (pipe, motor casing)
+  against ambient air. The gradient follows the machine's duty schedule:
+  large when running, decaying exponentially toward zero when stopped.
+* **Diurnal TEG** — a passive outdoor gradient driven by day/night ambient
+  swings; small (a few kelvin) and slow.
+
+Both are seeded and reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .trace import Trace
+
+__all__ = ["MachineThermalModel", "DiurnalThermalModel", "thermal_gradient_trace"]
+
+DAY = 86_400.0
+
+
+class MachineThermalModel:
+    """Temperature difference across a TEG on duty-cycled machinery.
+
+    Parameters
+    ----------
+    delta_t_running:
+        Steady-state gradient while the machine runs, K.
+    heat_time_constant:
+        Thermal time constant for warm-up/cool-down, seconds.
+    shift_hours:
+        ``(start, end)`` local hours during which the machine may run.
+    run_fraction:
+        Probability the machine is running in any work-shift interval.
+    seed:
+        RNG seed.
+    """
+
+    def __init__(self, delta_t_running: float = 25.0,
+                 heat_time_constant: float = 900.0,
+                 shift_hours: tuple = (7.0, 19.0),
+                 run_fraction: float = 0.7, seed: int = 0):
+        if delta_t_running < 0:
+            raise ValueError("delta_t_running must be non-negative")
+        if heat_time_constant <= 0:
+            raise ValueError("heat_time_constant must be positive")
+        if not 0.0 <= run_fraction <= 1.0:
+            raise ValueError("run_fraction must be in [0, 1]")
+        self.delta_t_running = delta_t_running
+        self.heat_time_constant = heat_time_constant
+        self.shift_hours = shift_hours
+        self.run_fraction = run_fraction
+        self.seed = seed
+
+    def trace(self, duration: float, dt: float = 60.0) -> Trace:
+        """Generate a gradient trace (K across the TEG)."""
+        n = max(1, int(round(duration / dt)))
+        rng = np.random.default_rng(self.seed)
+        values = np.empty(n)
+
+        delta = 0.0
+        running = False
+        # Machine toggles state on average every 30 min while in shift.
+        p_toggle = dt / 1800.0
+        lo, hi = self.shift_hours
+        for i in range(n):
+            hour = ((i * dt) % DAY) / 3600.0
+            in_shift = lo <= hour <= hi
+            if not in_shift:
+                running = False
+            elif rng.random() < p_toggle:
+                running = rng.random() < self.run_fraction
+            target = self.delta_t_running if running else 0.0
+            alpha = 1.0 - math.exp(-dt / self.heat_time_constant)
+            delta += alpha * (target - delta)
+            values[i] = max(0.0, delta + 0.3 * rng.standard_normal())
+
+        return Trace(values, dt, name="delta_t", units="K")
+
+
+class DiurnalThermalModel:
+    """Small passive outdoor day/night thermal gradient.
+
+    Parameters
+    ----------
+    amplitude:
+        Peak gradient, K (passive outdoor setups rarely exceed ~5 K).
+    peak_hour:
+        Local hour of maximum gradient (default 14:00).
+    noise:
+        Gaussian jitter, K.
+    seed:
+        RNG seed.
+    """
+
+    def __init__(self, amplitude: float = 4.0, peak_hour: float = 14.0,
+                 noise: float = 0.2, seed: int = 0):
+        if amplitude < 0:
+            raise ValueError("amplitude must be non-negative")
+        self.amplitude = amplitude
+        self.peak_hour = peak_hour
+        self.noise = noise
+        self.seed = seed
+
+    def trace(self, duration: float, dt: float = 60.0) -> Trace:
+        n = max(1, int(round(duration / dt)))
+        rng = np.random.default_rng(self.seed)
+        times = np.arange(n) * dt
+        hours = (times % DAY) / 3600.0
+        phase = 2.0 * math.pi * (hours - self.peak_hour) / 24.0
+        base = self.amplitude * np.maximum(0.0, np.cos(phase))
+        values = np.maximum(0.0, base + self.noise * rng.standard_normal(n))
+        return Trace(values, dt, name="delta_t", units="K")
+
+
+def thermal_gradient_trace(duration: float, dt: float = 60.0, *,
+                           style: str = "machine", seed: int = 0,
+                           **kwargs) -> Trace:
+    """Convenience dispatcher: ``style`` is ``"machine"`` or ``"diurnal"``."""
+    if style == "machine":
+        return MachineThermalModel(seed=seed, **kwargs).trace(duration, dt)
+    if style == "diurnal":
+        return DiurnalThermalModel(seed=seed, **kwargs).trace(duration, dt)
+    raise ValueError(f"unknown thermal style {style!r}; use 'machine' or 'diurnal'")

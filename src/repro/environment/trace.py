@@ -1,0 +1,202 @@
+"""Time-series container for environmental and electrical quantities.
+
+Every synthetic environment generator in :mod:`repro.environment` produces a
+:class:`Trace`: a uniformly-sampled time series with an explicit timestep.
+Traces support the arithmetic needed by the experiment harnesses (sums of
+power flows, clipping, integration to energy) and resampling so that traces
+generated at different resolutions can drive the same simulation.
+
+The survey's claims are about *temporal availability* of energy ("energy
+availability can be a temporal as well as spatial effect", Sec. I), so the
+trace abstraction is the foundation of the whole reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Trace"]
+
+
+@dataclass
+class Trace:
+    """A uniformly-sampled time series.
+
+    Parameters
+    ----------
+    values:
+        Sample values, one per timestep. Stored as a float64 numpy array.
+    dt:
+        Timestep in seconds between consecutive samples.
+    name:
+        Optional label used in reports (e.g. ``"irradiance"``).
+    units:
+        Optional unit string used in reports (e.g. ``"W/m^2"``).
+    """
+
+    values: np.ndarray
+    dt: float
+    name: str = ""
+    units: str = ""
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=np.float64)
+        if self.values.ndim != 1:
+            raise ValueError(f"Trace values must be 1-D, got shape {self.values.shape}")
+        if self.dt <= 0:
+            raise ValueError(f"Trace dt must be positive, got {self.dt}")
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self):
+        return iter(self.values)
+
+    def __getitem__(self, index):
+        return self.values[index]
+
+    @property
+    def duration(self) -> float:
+        """Total covered time in seconds."""
+        return len(self.values) * self.dt
+
+    @property
+    def times(self) -> np.ndarray:
+        """Sample times in seconds (start of each step)."""
+        return np.arange(len(self.values)) * self.dt
+
+    def at(self, t: float) -> float:
+        """Value at absolute time ``t`` seconds (zero-order hold).
+
+        Times beyond the end of the trace return the last sample, so a short
+        trace can drive a longer simulation tail deterministically.
+        """
+        if t < 0:
+            raise ValueError(f"time must be non-negative, got {t}")
+        if len(self.values) == 0:
+            raise ValueError("cannot sample an empty trace")
+        idx = min(int(t / self.dt), len(self.values) - 1)
+        return float(self.values[idx])
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def _binary(self, other, op, name: str) -> "Trace":
+        if isinstance(other, Trace):
+            if abs(other.dt - self.dt) > 1e-12:
+                raise ValueError(
+                    f"traces have mismatched dt ({self.dt} vs {other.dt}); resample first"
+                )
+            if len(other) != len(self):
+                raise ValueError(
+                    f"traces have mismatched length ({len(self)} vs {len(other)})"
+                )
+            vals = op(self.values, other.values)
+        else:
+            vals = op(self.values, float(other))
+        return Trace(vals, self.dt, name=name or self.name, units=self.units)
+
+    def __add__(self, other) -> "Trace":
+        return self._binary(other, np.add, self.name)
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "Trace":
+        return self._binary(other, np.subtract, self.name)
+
+    def __mul__(self, other) -> "Trace":
+        return self._binary(other, np.multiply, self.name)
+
+    __rmul__ = __mul__
+
+    def clip(self, lo: float = 0.0, hi: float | None = None) -> "Trace":
+        """Return a copy clipped to ``[lo, hi]``."""
+        vals = np.clip(self.values, lo, hi if hi is not None else np.inf)
+        return Trace(vals, self.dt, name=self.name, units=self.units)
+
+    def scaled(self, factor: float) -> "Trace":
+        """Return a copy with every sample multiplied by ``factor``."""
+        return Trace(self.values * factor, self.dt, name=self.name, units=self.units)
+
+    # ------------------------------------------------------------------
+    # Statistics and integration
+    # ------------------------------------------------------------------
+    def integral(self) -> float:
+        """Rectangle-rule integral (e.g. power trace -> energy in joules)."""
+        return float(np.sum(self.values) * self.dt)
+
+    def mean(self) -> float:
+        return float(np.mean(self.values)) if len(self.values) else 0.0
+
+    def max(self) -> float:
+        return float(np.max(self.values)) if len(self.values) else 0.0
+
+    def min(self) -> float:
+        return float(np.min(self.values)) if len(self.values) else 0.0
+
+    def fraction_above(self, threshold: float) -> float:
+        """Fraction of samples strictly above ``threshold``.
+
+        Used for the survey's "hours per day with energy available" style
+        metrics (Sec. I: multiple harvesters generate "for a longer period
+        per day").
+        """
+        if len(self.values) == 0:
+            return 0.0
+        return float(np.mean(self.values > threshold))
+
+    # ------------------------------------------------------------------
+    # Resampling and slicing
+    # ------------------------------------------------------------------
+    def resample(self, new_dt: float) -> "Trace":
+        """Resample to a new timestep with zero-order hold / block averaging.
+
+        Upsampling repeats samples; downsampling averages whole blocks so
+        that the integral is preserved up to boundary effects.
+        """
+        if new_dt <= 0:
+            raise ValueError(f"new_dt must be positive, got {new_dt}")
+        if abs(new_dt - self.dt) < 1e-12:
+            return Trace(self.values.copy(), self.dt, name=self.name, units=self.units)
+        n_new = max(1, int(round(self.duration / new_dt)))
+        # Positions of the new sample mid-points in old-index space.
+        old_t = self.times
+        new_t = np.arange(n_new) * new_dt
+        if new_dt < self.dt:
+            idx = np.minimum((new_t / self.dt).astype(int), len(self.values) - 1)
+            vals = self.values[idx]
+        else:
+            ratio = new_dt / self.dt
+            vals = np.empty(n_new)
+            for i in range(n_new):
+                lo = int(round(i * ratio))
+                hi = min(int(round((i + 1) * ratio)), len(self.values))
+                block = self.values[lo:hi] if hi > lo else self.values[lo : lo + 1]
+                vals[i] = block.mean()
+        return Trace(vals, new_dt, name=self.name, units=self.units)
+
+    def slice_time(self, t_start: float, t_end: float) -> "Trace":
+        """Return the sub-trace covering ``[t_start, t_end)`` seconds."""
+        if t_end < t_start:
+            raise ValueError("t_end must be >= t_start")
+        i0 = max(0, int(t_start / self.dt))
+        i1 = min(len(self.values), int(np.ceil(t_end / self.dt)))
+        return Trace(self.values[i0:i1].copy(), self.dt, name=self.name, units=self.units)
+
+    @classmethod
+    def constant(cls, value: float, duration: float, dt: float = 1.0,
+                 name: str = "", units: str = "") -> "Trace":
+        """A constant-valued trace of the given duration."""
+        n = max(1, int(round(duration / dt)))
+        return cls(np.full(n, float(value)), dt, name=name, units=units)
+
+    @classmethod
+    def zeros(cls, duration: float, dt: float = 1.0,
+              name: str = "", units: str = "") -> "Trace":
+        """An all-zero trace of the given duration."""
+        return cls.constant(0.0, duration, dt, name=name, units=units)

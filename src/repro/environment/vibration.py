@@ -1,0 +1,118 @@
+"""Synthetic vibration traces for piezoelectric / electromagnetic harvesting.
+
+Vibration harvesters appear in systems B, E, F and G of Table I. Industrial
+vibration sources (the indoor monitoring scenario that motivates System B)
+are dominated by rotating machinery: a strong narrowband component at the
+machine's running frequency whose *amplitude* follows the machine duty
+schedule. Resonant harvesters (see :mod:`repro.harvesters.piezoelectric`)
+care about both the acceleration amplitude and how far the excitation
+frequency sits from their resonance, so the generator produces a pair of
+traces: RMS acceleration amplitude and instantaneous dominant frequency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .trace import Trace
+
+__all__ = ["MachineVibrationModel", "VibrationProfile", "vibration_trace"]
+
+DAY = 86_400.0
+
+
+@dataclass(frozen=True)
+class VibrationProfile:
+    """Paired amplitude/frequency traces describing a vibration source."""
+
+    acceleration: Trace  # RMS acceleration amplitude, m/s^2
+    frequency: Trace     # dominant excitation frequency, Hz
+
+    def __post_init__(self):
+        if len(self.acceleration) != len(self.frequency):
+            raise ValueError("acceleration and frequency traces must align")
+        if abs(self.acceleration.dt - self.frequency.dt) > 1e-12:
+            raise ValueError("acceleration and frequency traces must share dt")
+
+
+class MachineVibrationModel:
+    """Vibration from duty-cycled rotating machinery.
+
+    Parameters
+    ----------
+    accel_rms:
+        RMS acceleration while the machine runs, m/s^2 (industrial motors:
+        0.5-10).
+    base_frequency:
+        Nominal running frequency, Hz (50/60 Hz mains machinery and
+        multiples are common; default 50).
+    frequency_drift:
+        Relative slow drift of the running frequency (load changes).
+    shift_hours:
+        ``(start, end)`` local hours of the work shift.
+    run_fraction:
+        Fraction of shift time the machine runs.
+    seed:
+        RNG seed.
+    """
+
+    def __init__(self, accel_rms: float = 2.0, base_frequency: float = 50.0,
+                 frequency_drift: float = 0.02, shift_hours: tuple = (7.0, 19.0),
+                 run_fraction: float = 0.7, seed: int = 0):
+        if accel_rms < 0:
+            raise ValueError("accel_rms must be non-negative")
+        if base_frequency <= 0:
+            raise ValueError("base_frequency must be positive")
+        if not 0.0 <= run_fraction <= 1.0:
+            raise ValueError("run_fraction must be in [0, 1]")
+        self.accel_rms = accel_rms
+        self.base_frequency = base_frequency
+        self.frequency_drift = frequency_drift
+        self.shift_hours = shift_hours
+        self.run_fraction = run_fraction
+        self.seed = seed
+
+    def profile(self, duration: float, dt: float = 60.0) -> VibrationProfile:
+        """Generate paired amplitude/frequency traces."""
+        n = max(1, int(round(duration / dt)))
+        rng = np.random.default_rng(self.seed)
+        accel = np.zeros(n)
+        freq = np.full(n, self.base_frequency)
+
+        running = False
+        p_toggle = dt / 1800.0
+        lo, hi = self.shift_hours
+        f = self.base_frequency
+        for i in range(n):
+            hour = ((i * dt) % DAY) / 3600.0
+            in_shift = lo <= hour <= hi
+            if not in_shift:
+                running = False
+            elif rng.random() < p_toggle:
+                running = rng.random() < self.run_fraction
+            if running:
+                accel[i] = max(0.0, self.accel_rms * (1.0 + 0.1 * rng.standard_normal()))
+                f += self.frequency_drift * self.base_frequency * \
+                    rng.standard_normal() * (dt / 3600.0) ** 0.5
+                f = min(max(f, 0.9 * self.base_frequency), 1.1 * self.base_frequency)
+            freq[i] = f
+
+        return VibrationProfile(
+            acceleration=Trace(accel, dt, name="acceleration", units="m/s^2"),
+            frequency=Trace(freq, dt, name="frequency", units="Hz"),
+        )
+
+    def trace(self, duration: float, dt: float = 60.0) -> Trace:
+        """Amplitude-only trace (frequency assumed pinned at nominal)."""
+        return self.profile(duration, dt).acceleration
+
+
+def vibration_trace(duration: float, dt: float = 60.0, *,
+                    accel_rms: float = 2.0, base_frequency: float = 50.0,
+                    seed: int = 0) -> Trace:
+    """Convenience wrapper: amplitude trace from a machine vibration model."""
+    return MachineVibrationModel(
+        accel_rms=accel_rms, base_frequency=base_frequency, seed=seed
+    ).trace(duration, dt)

@@ -1,0 +1,115 @@
+"""Synthetic water-flow traces.
+
+Water flow is the third source of System D (MPWiNode, Morais et al. —
+"Sun, wind and water flow as energy supply for small stationary data
+acquisition platforms", an agricultural irrigation platform). Flow in an
+irrigation channel is scheduled: long on/off cycles tied to watering
+periods, plus seasonal base flow in natural streams.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .trace import Trace
+
+__all__ = ["IrrigationFlowModel", "StreamFlowModel", "water_flow_trace"]
+
+DAY = 86_400.0
+
+
+class IrrigationFlowModel:
+    """Scheduled irrigation channel flow.
+
+    Parameters
+    ----------
+    flow_speed:
+        Water speed while irrigation runs, m/s.
+    windows:
+        Daily watering windows as ``(start_hour, end_hour)`` tuples
+        (default: early morning and evening watering).
+    skip_probability:
+        Probability any given window is skipped (rain days etc.).
+    seed:
+        RNG seed.
+    """
+
+    def __init__(self, flow_speed: float = 1.0,
+                 windows: tuple = ((5.0, 8.0), (18.0, 21.0)),
+                 skip_probability: float = 0.2, seed: int = 0):
+        if flow_speed < 0:
+            raise ValueError("flow_speed must be non-negative")
+        if not 0.0 <= skip_probability <= 1.0:
+            raise ValueError("skip_probability must be in [0, 1]")
+        for lo, hi in windows:
+            if not 0 <= lo < hi <= 24:
+                raise ValueError(f"invalid window ({lo}, {hi})")
+        self.flow_speed = flow_speed
+        self.windows = tuple(windows)
+        self.skip_probability = skip_probability
+        self.seed = seed
+
+    def trace(self, duration: float, dt: float = 60.0) -> Trace:
+        n = max(1, int(round(duration / dt)))
+        rng = np.random.default_rng(self.seed)
+        n_days = int(np.ceil(duration / DAY)) + 1
+        # Decide per-day, per-window whether irrigation happens.
+        active = rng.random((n_days, len(self.windows))) >= self.skip_probability
+
+        values = np.zeros(n)
+        for i in range(n):
+            t = i * dt
+            day = int(t // DAY)
+            hour = (t % DAY) / 3600.0
+            for w, (lo, hi) in enumerate(self.windows):
+                if lo <= hour <= hi and active[day, w]:
+                    ripple = 1.0 + 0.05 * rng.standard_normal()
+                    values[i] = max(0.0, self.flow_speed * ripple)
+                    break
+        return Trace(values, dt, name="water_flow", units="m/s")
+
+
+class StreamFlowModel:
+    """Continuously flowing natural stream with slow level variation.
+
+    Parameters
+    ----------
+    mean_speed:
+        Long-run mean flow speed, m/s.
+    variation:
+        Relative amplitude of the slow (multi-day) variation.
+    seed:
+        RNG seed.
+    """
+
+    def __init__(self, mean_speed: float = 0.8, variation: float = 0.3,
+                 seed: int = 0):
+        if mean_speed < 0:
+            raise ValueError("mean_speed must be non-negative")
+        if not 0.0 <= variation < 1.0:
+            raise ValueError("variation must be in [0, 1)")
+        self.mean_speed = mean_speed
+        self.variation = variation
+        self.seed = seed
+
+    def trace(self, duration: float, dt: float = 60.0) -> Trace:
+        n = max(1, int(round(duration / dt)))
+        rng = np.random.default_rng(self.seed)
+        tau = 2 * DAY
+        theta = min(1.0, dt / tau)
+        x = rng.standard_normal()
+        values = np.empty(n)
+        for i in range(n):
+            x += -theta * x + (2 * theta) ** 0.5 * rng.standard_normal()
+            values[i] = max(0.0, self.mean_speed * (1.0 + self.variation * x * 0.5))
+        return Trace(values, dt, name="water_flow", units="m/s")
+
+
+def water_flow_trace(duration: float, dt: float = 60.0, *,
+                     style: str = "irrigation", seed: int = 0, **kwargs) -> Trace:
+    """Convenience dispatcher: ``style`` is ``"irrigation"`` or ``"stream"``."""
+    if style == "irrigation":
+        return IrrigationFlowModel(seed=seed, **kwargs).trace(duration, dt)
+    if style == "stream":
+        return StreamFlowModel(seed=seed, **kwargs).trace(duration, dt)
+    raise ValueError(f"unknown water style {style!r}; use 'irrigation' or 'stream'")

@@ -1,0 +1,36 @@
+"""Energy transducer models exposing full I-V operating surfaces.
+
+Each harvester transduces one ambient channel (see
+:class:`repro.environment.SourceType`) into electrical power. The I-V
+protocol defined by :class:`~repro.harvesters.Harvester` is what makes the
+survey's power-conditioning trade-offs (MPPT vs fixed-point operation)
+executable.
+"""
+
+from .ac_generic import GenericACDCInput
+from .base import Harvester, OperatingPoint, TheveninHarvester
+from .datasheet import DeviceKind, ElectronicDatasheet, attach_datasheet
+from .electromagnetic import ElectromagneticHarvester
+from .photovoltaic import PhotovoltaicCell
+from .piezoelectric import PiezoelectricHarvester
+from .rf_harvester import RFHarvester
+from .thermoelectric import ThermoelectricGenerator
+from .water_turbine import WaterTurbine
+from .wind_turbine import MicroWindTurbine
+
+__all__ = [
+    "Harvester",
+    "TheveninHarvester",
+    "OperatingPoint",
+    "PhotovoltaicCell",
+    "MicroWindTurbine",
+    "ThermoelectricGenerator",
+    "PiezoelectricHarvester",
+    "ElectromagneticHarvester",
+    "RFHarvester",
+    "WaterTurbine",
+    "GenericACDCInput",
+    "DeviceKind",
+    "ElectronicDatasheet",
+    "attach_datasheet",
+]

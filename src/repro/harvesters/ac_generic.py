@@ -1,0 +1,67 @@
+"""Generic AC/DC input "harvester".
+
+System G (Microstrain EH-Link) accepts a "General AC/DC > 5 V" input in
+Table I — i.e. any external source above a minimum voltage, rectified and
+conditioned on board. The model treats the ambient channel as the source's
+RMS voltage and presents a Thevenin equivalent behind a bridge rectifier:
+below the minimum input voltage nothing is harvested (the Table I
+constraint made executable); above it, the rectified open-circuit voltage
+is ``sqrt(2) * Vrms - 2 * Vdiode``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..environment.ambient import SourceType
+from .base import TheveninHarvester
+
+__all__ = ["GenericACDCInput"]
+
+
+class GenericACDCInput(TheveninHarvester):
+    """Bridge-rectified generic AC (or DC) input.
+
+    Parameters
+    ----------
+    min_input_voltage:
+        Minimum usable RMS input, V (EH-Link: 5 V per Table I).
+    source_resistance:
+        Assumed source + rectifier series resistance, ohms.
+    diode_drop:
+        Per-diode forward drop, V (two diodes conduct in a bridge).
+    max_power:
+        Safety/ratings cap on extracted power, W.
+    name:
+        Optional instance label.
+    """
+
+    source_type = SourceType.AC_GENERIC
+    table_label = "General AC/DC > 5 V"
+
+    def __init__(self, min_input_voltage: float = 5.0,
+                 source_resistance: float = 50.0, diode_drop: float = 0.4,
+                 max_power: float = 0.5, name: str = ""):
+        super().__init__(name=name)
+        if min_input_voltage <= 0:
+            raise ValueError("min_input_voltage must be positive")
+        if source_resistance <= 0:
+            raise ValueError("source_resistance must be positive")
+        if diode_drop < 0:
+            raise ValueError("diode_drop must be non-negative")
+        if max_power <= 0:
+            raise ValueError("max_power must be positive")
+        self.min_input_voltage = min_input_voltage
+        self.source_resistance = source_resistance
+        self.diode_drop = diode_drop
+        self.max_power_rating = max_power
+
+    def thevenin(self, ambient: float) -> tuple:
+        vrms = max(0.0, ambient)
+        if vrms < self.min_input_voltage:
+            return 0.0, self.source_resistance
+        voc = math.sqrt(2.0) * vrms - 2.0 * self.diode_drop
+        return max(0.0, voc), self.source_resistance
+
+    def power_ceiling(self, ambient: float) -> float:
+        return self.max_power_rating

@@ -1,0 +1,191 @@
+"""Harvester base classes: the I-V operating-surface protocol.
+
+The survey's power-conditioning taxonomy (Sec. II.1) revolves around where
+on its current-voltage characteristic a harvester is operated: MPPT circuits
+"work to ensure that the energy harvesters operate at their optimal point",
+while System B's modules "operate at a fixed point which offers a compromise
+between efficiency and quiescent current draw". To make that trade-off real,
+every harvester model exposes a full I-V surface parameterised by the
+ambient channel value, not just a power number:
+
+* :meth:`Harvester.current_at` — terminal current at a terminal voltage;
+* :meth:`Harvester.open_circuit_voltage` / :meth:`short_circuit_current`;
+* :meth:`Harvester.mpp` — the true maximum power point (what a perfect
+  MPPT would find);
+* :meth:`Harvester.power_at` — power extracted at an arbitrary point (what
+  a fixed-point conditioner actually gets).
+
+Most non-photovoltaic transducers (TEG, wind/water generator, piezo after
+rectification, inductive, rectenna) are well described near their operating
+range by a Thevenin equivalent — an open-circuit voltage and a source
+resistance, both functions of the ambient input — so
+:class:`TheveninHarvester` implements the protocol once, analytically.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+
+from ..environment.ambient import SourceType
+
+__all__ = ["OperatingPoint", "Harvester", "TheveninHarvester"]
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One point on a harvester's I-V surface."""
+
+    voltage: float  # V
+    current: float  # A
+    power: float    # W
+
+    def __post_init__(self):
+        if self.voltage < 0 or self.current < 0 or self.power < 0:
+            raise ValueError(
+                f"operating point must be non-negative, got "
+                f"({self.voltage}, {self.current}, {self.power})"
+            )
+
+
+class Harvester(abc.ABC):
+    """Abstract energy transducer.
+
+    Subclasses declare which ambient channel they transduce via
+    ``source_type`` and implement the I-V surface. An optional
+    :class:`~repro.harvesters.datasheet.ElectronicDatasheet` may be attached
+    for plug-and-play systems (survey Sec. II.3, System B).
+    """
+
+    #: The ambient channel this harvester transduces.
+    source_type: SourceType = SourceType.LIGHT
+
+    #: Harvester-technology label used when regenerating Table I.
+    table_label: str = "Harvester"
+
+    def __init__(self, name: str = ""):
+        self.name = name or type(self).__name__
+        self.datasheet = None  # attached by repro.harvesters.datasheet
+
+    # ------------------------------------------------------------------
+    # I-V surface protocol
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def current_at(self, voltage: float, ambient: float) -> float:
+        """Terminal current (A) at terminal voltage ``voltage`` (V) given
+        the ambient channel value. Must be non-negative and non-increasing
+        in ``voltage`` over [0, Voc]."""
+
+    @abc.abstractmethod
+    def open_circuit_voltage(self, ambient: float) -> float:
+        """Voltage (V) at zero current for the given ambient value."""
+
+    def short_circuit_current(self, ambient: float) -> float:
+        """Current (A) at zero terminal voltage."""
+        return self.current_at(0.0, ambient)
+
+    def power_at(self, voltage: float, ambient: float) -> float:
+        """Extracted power (W) when held at ``voltage``."""
+        if voltage < 0:
+            raise ValueError(f"voltage must be non-negative, got {voltage}")
+        return voltage * self.current_at(voltage, ambient)
+
+    def mpp(self, ambient: float) -> OperatingPoint:
+        """Maximum power point, found by golden-section search on [0, Voc].
+
+        Subclasses with analytic MPPs (e.g. Thevenin models) override this.
+        The I-V surfaces used in this library are unimodal in power over
+        [0, Voc], which golden-section search requires.
+        """
+        voc = self.open_circuit_voltage(ambient)
+        if voc <= 0:
+            return OperatingPoint(0.0, 0.0, 0.0)
+        inv_phi = (math.sqrt(5.0) - 1.0) / 2.0
+        lo, hi = 0.0, voc
+        a = hi - inv_phi * (hi - lo)
+        b = lo + inv_phi * (hi - lo)
+        pa, pb = self.power_at(a, ambient), self.power_at(b, ambient)
+        for _ in range(60):
+            if pa < pb:
+                lo, a, pa = a, b, pb
+                b = lo + inv_phi * (hi - lo)
+                pb = self.power_at(b, ambient)
+            else:
+                hi, b, pb = b, a, pa
+                a = hi - inv_phi * (hi - lo)
+                pa = self.power_at(a, ambient)
+            if hi - lo < 1e-9 * voc:
+                break
+        v = 0.5 * (lo + hi)
+        i = self.current_at(v, ambient)
+        return OperatingPoint(v, i, v * i)
+
+    def max_power(self, ambient: float) -> float:
+        """Power (W) at the maximum power point."""
+        return self.mpp(ambient).power
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r}, source={self.source_type.value})"
+
+
+class TheveninHarvester(Harvester):
+    """Harvester modelled as a Thevenin source: Voc(ambient), Rint(ambient).
+
+    The I-V curve is the straight line ``I = (Voc - V) / Rint`` clipped to
+    the first quadrant, so the MPP is analytic: ``V* = Voc/2``,
+    ``P* = Voc^2 / (4 Rint)`` — the classic matched-load result used
+    throughout the energy-harvesting literature for TEGs, small generators
+    and rectified piezo elements.
+
+    Subclasses implement :meth:`thevenin` mapping the ambient value to a
+    ``(voc, r_int)`` pair, and may override :meth:`power_ceiling` to impose
+    a physical limit (e.g. aerodynamic Betz power for turbines) that caps
+    extraction regardless of the electrical model.
+    """
+
+    @abc.abstractmethod
+    def thevenin(self, ambient: float) -> tuple:
+        """Return ``(voc, r_int)`` for the given ambient value (SI units).
+
+        ``r_int`` must be positive whenever ``voc`` is positive.
+        """
+
+    def power_ceiling(self, ambient: float) -> float:
+        """Physical upper bound on extractable power (W). Default: none."""
+        return math.inf
+
+    # ------------------------------------------------------------------
+    def open_circuit_voltage(self, ambient: float) -> float:
+        voc, _ = self.thevenin(ambient)
+        return max(0.0, voc)
+
+    def current_at(self, voltage: float, ambient: float) -> float:
+        if voltage < 0:
+            raise ValueError(f"voltage must be non-negative, got {voltage}")
+        voc, r_int = self.thevenin(ambient)
+        if voc <= 0:
+            return 0.0
+        if r_int <= 0:
+            raise ValueError(f"internal resistance must be positive, got {r_int}")
+        i = (voc - voltage) / r_int
+        if i <= 0:
+            return 0.0
+        # Apply the physical power ceiling by limiting current at this voltage.
+        ceiling = self.power_ceiling(ambient)
+        if voltage > 0 and voltage * i > ceiling:
+            i = ceiling / voltage
+        return i
+
+    def mpp(self, ambient: float) -> OperatingPoint:
+        voc, r_int = self.thevenin(ambient)
+        if voc <= 0:
+            return OperatingPoint(0.0, 0.0, 0.0)
+        v = voc / 2.0
+        p_matched = voc * voc / (4.0 * r_int)
+        ceiling = self.power_ceiling(ambient)
+        if p_matched <= ceiling:
+            return OperatingPoint(v, p_matched / v, p_matched)
+        # Ceiling-limited: power plateau; report the matched voltage point
+        # at the capped power.
+        return OperatingPoint(v, ceiling / v, ceiling)

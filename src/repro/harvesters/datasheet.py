@@ -1,0 +1,101 @@
+"""Electronic datasheets for plug-and-play energy devices.
+
+System B (the Plug-and-Play Architecture, survey Sec. II.3) "has an
+electronic datasheet on each energy module which may be individually
+interrogated to determine their properties" — the mechanism that lets the
+system stay energy-aware across hardware swaps, which the survey singles
+out as unique among the seven platforms ("only one allows changes in the
+connected hardware to be automatically recognized", Sec. IV).
+
+The datasheet here is a small typed record (in the spirit of IEEE 1451
+TEDS) describing either a harvester or a storage device. It can be encoded
+to / decoded from a compact byte image, which is what travels over the
+digital module bus in :mod:`repro.interfaces`.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import asdict, dataclass, field
+
+from ..environment.ambient import SourceType
+
+__all__ = ["DeviceKind", "ElectronicDatasheet", "attach_datasheet"]
+
+
+class DeviceKind(enum.Enum):
+    """What kind of energy device a datasheet describes."""
+
+    HARVESTER = "harvester"
+    STORAGE = "storage"
+
+
+@dataclass(frozen=True)
+class ElectronicDatasheet:
+    """TEDS-style descriptor for an energy module.
+
+    Fields relevant to harvesters: ``source_type``, ``nominal_power_w``,
+    ``mpp_fraction`` (recommended fixed operating point as a fraction of
+    Voc). Fields relevant to storage: ``capacity_j``, ``nominal_voltage``,
+    ``max_charge_w``, ``max_discharge_w``. Unused fields are zero/None.
+    """
+
+    kind: DeviceKind
+    model: str
+    source_type: SourceType | None = None
+    nominal_power_w: float = 0.0
+    mpp_fraction: float = 0.0
+    capacity_j: float = 0.0
+    nominal_voltage: float = 0.0
+    max_charge_w: float = 0.0
+    max_discharge_w: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.kind is DeviceKind.HARVESTER and self.source_type is None:
+            raise ValueError("harvester datasheets require a source_type")
+        if self.kind is DeviceKind.STORAGE and self.capacity_j <= 0:
+            raise ValueError("storage datasheets require a positive capacity_j")
+        for attr in ("nominal_power_w", "capacity_j", "nominal_voltage",
+                     "max_charge_w", "max_discharge_w"):
+            if getattr(self, attr) < 0:
+                raise ValueError(f"{attr} must be non-negative")
+        if not 0.0 <= self.mpp_fraction <= 1.0:
+            raise ValueError("mpp_fraction must be in [0, 1]")
+
+    # ------------------------------------------------------------------
+    # Wire image
+    # ------------------------------------------------------------------
+    def encode(self) -> bytes:
+        """Compact byte image for transmission over the module bus."""
+        payload = asdict(self)
+        payload["kind"] = self.kind.value
+        payload["source_type"] = self.source_type.value if self.source_type else None
+        return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+
+    @classmethod
+    def decode(cls, blob: bytes) -> "ElectronicDatasheet":
+        """Inverse of :meth:`encode`."""
+        try:
+            payload = json.loads(blob.decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValueError(f"malformed datasheet image: {exc}") from exc
+        payload["kind"] = DeviceKind(payload["kind"])
+        if payload.get("source_type"):
+            payload["source_type"] = SourceType(payload["source_type"])
+        else:
+            payload["source_type"] = None
+        return cls(**payload)
+
+
+def attach_datasheet(device, datasheet: ElectronicDatasheet):
+    """Attach a datasheet to a harvester or storage device, returning it.
+
+    The attribute is read by the plug-and-play enumeration protocol
+    (:mod:`repro.interfaces.plug_and_play`); devices without a datasheet
+    are usable but cannot be auto-recognized after a swap — reproducing
+    the monitoring breakage the survey describes for systems C-G.
+    """
+    device.datasheet = datasheet
+    return device

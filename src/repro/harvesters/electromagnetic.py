@@ -1,0 +1,104 @@
+"""Electromagnetic (inductive) vibration harvester model.
+
+System G (Microstrain EH-Link) lists an "Inductive" input in Table I.
+An electromagnetic harvester is a magnet-and-coil resonator: base vibration
+moves a magnet through a coil, inducing EMF ``V = B*l*v`` (transduction
+constant times relative velocity). Like the piezo cantilever it is a
+second-order resonator, so the same matched-load mechanical bound applies;
+the electrical side differs in being low-voltage / low-impedance (coils of
+tens to hundreds of ohms, sub-volt EMF) where piezo elements are
+high-voltage / high-impedance. That difference matters to the input power
+conditioning (rectifier drops eat low-voltage sources), which is exactly
+the kind of constraint Table I's "certain inputs must be below 4.06 V"
+remark captures.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..environment.ambient import SourceType
+from .base import TheveninHarvester
+
+__all__ = ["ElectromagneticHarvester"]
+
+
+class ElectromagneticHarvester(TheveninHarvester):
+    """Magnet-and-coil resonant vibration harvester.
+
+    Parameters
+    ----------
+    proof_mass_g:
+        Moving magnet mass, grams.
+    resonant_frequency:
+        Mechanical resonance f0, Hz.
+    damping_ratio:
+        Total damping ratio zeta.
+    transduction_constant:
+        EMF per unit relative velocity (B*l), V/(m/s).
+    coil_resistance:
+        Coil winding resistance, ohms.
+    excitation_frequency:
+        Default excitation frequency, Hz. ``None`` means "assume resonant".
+    name:
+        Optional instance label.
+    """
+
+    source_type = SourceType.VIBRATION
+    table_label = "Inductive"
+
+    def __init__(self, proof_mass_g: float = 10.0, resonant_frequency: float = 60.0,
+                 damping_ratio: float = 0.05, transduction_constant: float = 5.0,
+                 coil_resistance: float = 100.0,
+                 excitation_frequency: float | None = None, name: str = ""):
+        super().__init__(name=name)
+        if proof_mass_g <= 0:
+            raise ValueError("proof_mass_g must be positive")
+        if resonant_frequency <= 0:
+            raise ValueError("resonant_frequency must be positive")
+        if not 0.0 < damping_ratio < 1.0:
+            raise ValueError("damping_ratio must be in (0, 1)")
+        if transduction_constant <= 0:
+            raise ValueError("transduction_constant must be positive")
+        if coil_resistance <= 0:
+            raise ValueError("coil_resistance must be positive")
+        self.proof_mass_kg = proof_mass_g * 1e-3
+        self.resonant_frequency = resonant_frequency
+        self.damping_ratio = damping_ratio
+        self.transduction_constant = transduction_constant
+        self.coil_resistance = coil_resistance
+        self.current_frequency = excitation_frequency
+
+    def detuning_gain(self, frequency: float | None) -> float:
+        """Lorentzian response factor in (0, 1]; 1 at resonance."""
+        if frequency is None:
+            return 1.0
+        if frequency <= 0:
+            return 0.0
+        detune = (frequency - self.resonant_frequency) / \
+            (self.damping_ratio * self.resonant_frequency)
+        return 1.0 / (1.0 + detune * detune)
+
+    def mechanical_power(self, accel_rms: float) -> float:
+        """Matched-load mechanical power bound (W), incl. detuning."""
+        if accel_rms < 0:
+            raise ValueError(f"accel_rms must be non-negative, got {accel_rms}")
+        omega0 = 2.0 * math.pi * self.resonant_frequency
+        p_res = self.proof_mass_kg * accel_rms ** 2 / \
+            (8.0 * self.damping_ratio * omega0)
+        return p_res * self.detuning_gain(self.current_frequency)
+
+    def thevenin(self, ambient: float) -> tuple:
+        accel = max(0.0, ambient)
+        p = self.mechanical_power(accel)
+        if p <= 0:
+            return 0.0, self.coil_resistance
+        # Relative proof-mass velocity at resonance: v = a / (2 zeta omega0),
+        # scaled by the sqrt of the detuning power gain.
+        omega0 = 2.0 * math.pi * self.resonant_frequency
+        gain = self.detuning_gain(self.current_frequency)
+        velocity = accel / (2.0 * self.damping_ratio * omega0) * math.sqrt(gain)
+        voc = self.transduction_constant * velocity
+        # Cap matched power at the mechanical bound via effective Rint.
+        r_int = max(self.coil_resistance, voc * voc / (4.0 * p))
+        return voc, r_int

@@ -1,0 +1,158 @@
+"""Photovoltaic cell model (single-diode).
+
+PV cells are "the most commonly-used harvester type" in the survey's
+Table I — present in six of the seven systems. The model is the standard
+single-diode equation without parasitic resistances:
+
+    I(V) = Iph - I0 * (exp(V / (Ns * n * Vt)) - 1)
+
+with the photocurrent ``Iph`` proportional to irradiance. This yields the
+characteristic PV knee, a fill factor in the realistic 0.7-0.85 range, and
+an MPP voltage near 80 % of Voc — the property exploited by the fractional
+open-circuit-voltage MPPT method implemented in
+:mod:`repro.conditioning.mppt`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..environment.ambient import SourceType
+from .base import Harvester, OperatingPoint
+
+__all__ = ["PhotovoltaicCell"]
+
+#: Thermal voltage kT/q at 25 degC, volts.
+THERMAL_VOLTAGE = 0.02585
+
+#: Standard test condition irradiance, W/m^2.
+STC_IRRADIANCE = 1000.0
+
+
+class PhotovoltaicCell(Harvester):
+    """Single-diode PV module.
+
+    Parameters
+    ----------
+    area_cm2:
+        Active cell area in cm^2.
+    efficiency:
+        Conversion efficiency at standard test conditions (mono-Si ~0.18,
+        amorphous indoor cells ~0.06).
+    cells_in_series:
+        Number of series cells Ns (sets the voltage scale; a typical small
+        outdoor module has 8-12, an indoor cell 4-6).
+    ideality:
+        Diode ideality factor n (1.0-2.0; default 1.3).
+    dark_current_density:
+        Diode saturation current per cm^2 of cell area, A/cm^2.
+    name:
+        Optional instance label.
+    """
+
+    source_type = SourceType.LIGHT
+    table_label = "Light"
+
+    def __init__(self, area_cm2: float = 50.0, efficiency: float = 0.15,
+                 cells_in_series: int = 10, ideality: float = 1.3,
+                 dark_current_density: float = 1e-9, name: str = ""):
+        super().__init__(name=name)
+        if area_cm2 <= 0:
+            raise ValueError("area_cm2 must be positive")
+        if not 0.0 < efficiency < 1.0:
+            raise ValueError("efficiency must be in (0, 1)")
+        if cells_in_series < 1:
+            raise ValueError("cells_in_series must be >= 1")
+        if ideality <= 0:
+            raise ValueError("ideality must be positive")
+        if dark_current_density <= 0:
+            raise ValueError("dark_current_density must be positive")
+        self.area_cm2 = area_cm2
+        self.efficiency = efficiency
+        self.cells_in_series = cells_in_series
+        self.ideality = ideality
+        self.i0 = dark_current_density * area_cm2
+
+        # Calibrate photocurrent so that MPP power at STC equals
+        # area * efficiency * 1000 W/m^2. MPP power is nearly linear in Iph
+        # (the Voc log term varies slowly), so fixed-point iteration on the
+        # scale converges in a handful of steps.
+        self._iph_per_w_m2 = self.area_cm2 * 1e-4  # initial scale, A per (W/m^2)
+        target = self.area_cm2 * 1e-4 * STC_IRRADIANCE * self.efficiency
+        for _ in range(12):
+            raw = super().mpp(STC_IRRADIANCE).power
+            if raw <= 0:
+                raise ValueError("degenerate PV calibration; check parameters")
+            ratio = target / raw
+            self._iph_per_w_m2 *= ratio
+            if abs(ratio - 1.0) < 1e-10:
+                break
+
+    # ------------------------------------------------------------------
+    @property
+    def _nvt(self) -> float:
+        """Aggregate diode thermal voltage Ns * n * Vt."""
+        return self.cells_in_series * self.ideality * THERMAL_VOLTAGE
+
+    def photocurrent(self, irradiance: float) -> float:
+        """Light-generated current (A) at the given irradiance (W/m^2)."""
+        if irradiance < 0:
+            raise ValueError(f"irradiance must be non-negative, got {irradiance}")
+        return self._iph_per_w_m2 * irradiance
+
+    def open_circuit_voltage(self, ambient: float) -> float:
+        iph = self.photocurrent(ambient)
+        if iph <= 0:
+            return 0.0
+        return self._nvt * math.log1p(iph / self.i0)
+
+    def current_at(self, voltage: float, ambient: float) -> float:
+        if voltage < 0:
+            raise ValueError(f"voltage must be non-negative, got {voltage}")
+        iph = self.photocurrent(ambient)
+        if iph <= 0:
+            return 0.0
+        arg = voltage / self._nvt
+        # Guard exp overflow far above Voc: current is 0 there anyway.
+        if arg > 500.0:
+            return 0.0
+        i = iph - self.i0 * math.expm1(arg)
+        return max(0.0, i)
+
+    def mpp(self, ambient: float) -> OperatingPoint:
+        """Analytic-ish MPP via Newton iteration on d(VI)/dV = 0.
+
+        dP/dV = Iph + I0 - I0 * e^x * (1 + x) with x = V / nvt; solve for x
+        by Newton from a log-based initial guess. Falls back to the base
+        golden-section search if Newton fails to converge.
+        """
+        iph = self.photocurrent(ambient)
+        if iph <= 0:
+            return OperatingPoint(0.0, 0.0, 0.0)
+        nvt = self._nvt
+        k = (iph + self.i0) / self.i0
+        # Solve e^x (1+x) = k. Initial guess from x ~ ln(k) - ln(1+ln(k)).
+        x = max(1e-6, math.log(k) - math.log(1.0 + max(1e-9, math.log(k))))
+        converged = False
+        for _ in range(50):
+            ex = math.exp(x)
+            f = ex * (1.0 + x) - k
+            fp = ex * (2.0 + x)
+            step = f / fp
+            x -= step
+            if abs(step) < 1e-12 * max(1.0, abs(x)):
+                converged = True
+                break
+        if not converged or x <= 0:
+            return super().mpp(ambient)
+        v = x * nvt
+        i = self.current_at(v, ambient)
+        return OperatingPoint(v, i, v * i)
+
+    def fill_factor(self, ambient: float) -> float:
+        """Fill factor FF = Pmpp / (Voc * Isc); realistic cells: 0.7-0.85."""
+        voc = self.open_circuit_voltage(ambient)
+        isc = self.short_circuit_current(ambient)
+        if voc <= 0 or isc <= 0:
+            return 0.0
+        return self.mpp(ambient).power / (voc * isc)

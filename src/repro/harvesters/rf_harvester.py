@@ -1,0 +1,96 @@
+"""RF rectenna (radio-frequency harvester) model.
+
+"Radio" inputs appear in Table I for systems E, F and G. A rectenna is an
+antenna feeding a rectifier: the antenna captures
+
+    P_in = density * A_eff
+
+(incident power density times effective aperture), and the rectifier
+converts a fraction of it to DC. Rectifier efficiency collapses at low
+input power because the diode threshold dominates — the defining
+non-linearity of RF harvesting, and the reason ambient-RF systems harvest
+microwatts. The efficiency curve is modelled as a smooth saturating
+function of input power calibrated by a half-efficiency point.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..environment.ambient import SourceType
+from .base import TheveninHarvester
+
+__all__ = ["RFHarvester"]
+
+
+class RFHarvester(TheveninHarvester):
+    """Antenna + rectifier RF energy harvester.
+
+    Parameters
+    ----------
+    effective_aperture_cm2:
+        Antenna effective aperture, cm^2 (a 2.4 GHz patch: ~10-50).
+    peak_efficiency:
+        Rectifier efficiency at high input power (0.5-0.7 typical).
+    half_efficiency_uw:
+        Input power (microwatts) at which efficiency reaches half its peak;
+        sets the low-power collapse.
+    output_voltage:
+        Nominal rectified open-circuit voltage at the DC output, V.
+    name:
+        Optional instance label.
+    """
+
+    source_type = SourceType.RF
+    table_label = "Radio"
+
+    def __init__(self, effective_aperture_cm2: float = 25.0,
+                 peak_efficiency: float = 0.6, half_efficiency_uw: float = 50.0,
+                 output_voltage: float = 2.0, name: str = ""):
+        super().__init__(name=name)
+        if effective_aperture_cm2 <= 0:
+            raise ValueError("effective_aperture_cm2 must be positive")
+        if not 0.0 < peak_efficiency <= 1.0:
+            raise ValueError("peak_efficiency must be in (0, 1]")
+        if half_efficiency_uw <= 0:
+            raise ValueError("half_efficiency_uw must be positive")
+        if output_voltage <= 0:
+            raise ValueError("output_voltage must be positive")
+        self.effective_aperture_m2 = effective_aperture_cm2 * 1e-4
+        self.peak_efficiency = peak_efficiency
+        self.half_efficiency_w = half_efficiency_uw * 1e-6
+        self.output_voltage = output_voltage
+
+    def captured_power(self, density: float) -> float:
+        """RF power captured by the antenna (W) at the given density."""
+        if density < 0:
+            raise ValueError(f"density must be non-negative, got {density}")
+        return density * self.effective_aperture_m2
+
+    def rectifier_efficiency(self, input_power: float) -> float:
+        """Conversion efficiency as a function of input power (W).
+
+        Saturating curve ``eta = eta_peak * P / (P + P_half)``: tends to
+        ``eta_peak`` at high power, collapses linearly below ``P_half``.
+        """
+        if input_power <= 0:
+            return 0.0
+        return self.peak_efficiency * input_power / \
+            (input_power + self.half_efficiency_w)
+
+    def dc_power(self, density: float) -> float:
+        """Available DC power (W) after rectification."""
+        p_in = self.captured_power(density)
+        return p_in * self.rectifier_efficiency(p_in)
+
+    def thevenin(self, ambient: float) -> tuple:
+        p_dc = self.dc_power(max(0.0, ambient))
+        if p_dc <= 0:
+            return 0.0, 1.0
+        voc = self.output_voltage
+        # Scale Voc weakly with available power below ~1 uW to reflect the
+        # rectifier failing to reach its nominal output when starved.
+        if p_dc < 1e-6:
+            voc *= math.sqrt(p_dc / 1e-6)
+        r_int = voc * voc / (4.0 * p_dc)
+        return voc, r_int

@@ -1,0 +1,74 @@
+"""Thermoelectric generator (TEG) model.
+
+Thermal harvesting appears in Table I for systems B and F. A TEG is the
+textbook Thevenin harvester: by the Seebeck effect its open-circuit voltage
+is ``S * Np * deltaT`` (couple Seebeck coefficient times couples in series
+times temperature difference) behind the module's internal resistance, and
+maximum power transfer occurs into a matched load:
+
+    P* = (S * Np * deltaT)^2 / (4 * R)
+
+Typical Bi2Te3 modules: S ~ 200 uV/K per couple, tens to hundreds of
+couples, ohm-scale internal resistance — giving the mW-per-10K outputs that
+motivate TEGs for machine monitoring.
+"""
+
+from __future__ import annotations
+
+from ..environment.ambient import SourceType
+from .base import TheveninHarvester
+
+__all__ = ["ThermoelectricGenerator"]
+
+
+class ThermoelectricGenerator(TheveninHarvester):
+    """Bi2Te3-style TEG module.
+
+    Parameters
+    ----------
+    seebeck_per_couple:
+        Effective Seebeck coefficient per thermocouple, V/K (~200e-6).
+    couples:
+        Number of series couples Np (commercial modules: 30-300).
+    internal_resistance:
+        Module electrical resistance, ohms.
+    max_delta_t:
+        Rated maximum temperature difference, K; inputs are clamped here
+        (beyond it a real module saturates or is out of spec).
+    name:
+        Optional instance label.
+    """
+
+    source_type = SourceType.THERMAL
+    table_label = "Thermal"
+
+    def __init__(self, seebeck_per_couple: float = 200e-6, couples: int = 100,
+                 internal_resistance: float = 2.0, max_delta_t: float = 70.0,
+                 name: str = ""):
+        super().__init__(name=name)
+        if seebeck_per_couple <= 0:
+            raise ValueError("seebeck_per_couple must be positive")
+        if couples < 1:
+            raise ValueError("couples must be >= 1")
+        if internal_resistance <= 0:
+            raise ValueError("internal_resistance must be positive")
+        if max_delta_t <= 0:
+            raise ValueError("max_delta_t must be positive")
+        self.seebeck_per_couple = seebeck_per_couple
+        self.couples = couples
+        self.internal_resistance = internal_resistance
+        self.max_delta_t = max_delta_t
+
+    @property
+    def seebeck_total(self) -> float:
+        """Module Seebeck coefficient, V/K."""
+        return self.seebeck_per_couple * self.couples
+
+    def thevenin(self, ambient: float) -> tuple:
+        delta_t = min(max(0.0, ambient), self.max_delta_t)
+        return self.seebeck_total * delta_t, self.internal_resistance
+
+    def matched_power(self, delta_t: float) -> float:
+        """Analytic matched-load power at a given gradient (W)."""
+        voc = self.seebeck_total * min(max(0.0, delta_t), self.max_delta_t)
+        return voc * voc / (4.0 * self.internal_resistance)

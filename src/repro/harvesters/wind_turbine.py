@@ -1,0 +1,98 @@
+"""Micro wind turbine model.
+
+Wind turbines power the survey's System A (Smart Power Unit), AmbiMax (C)
+and MPWiNode (D). The model follows the authors' own micro-turbine work
+(Carli et al., SPEEDAM 2010, survey ref. [7]): a small horizontal-axis
+rotor driving a DC generator.
+
+Electrically the generator is a Thevenin source whose open-circuit voltage
+scales with rotor speed, itself proportional to wind speed when operated
+near the optimal tip-speed ratio. Aerodynamically the extractable power is
+bounded by ``0.5 * rho * A * Cp * v^3`` with Cp well below the Betz limit
+for cm-scale rotors (Carli et al. report system efficiencies in the
+single-digit percent range). The Thevenin matched-load power is therefore
+capped by the aerodynamic ceiling — at low wind the electrical side limits,
+at high wind the rotor does, reproducing the flattening P(v) curve of real
+micro turbines. Cut-in and survival cut-out speeds complete the model.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..environment.ambient import SourceType
+from .base import TheveninHarvester
+
+__all__ = ["MicroWindTurbine"]
+
+#: Air density at sea level, kg/m^3.
+AIR_DENSITY = 1.225
+
+
+class MicroWindTurbine(TheveninHarvester):
+    """Small horizontal-axis wind turbine with DC generator.
+
+    Parameters
+    ----------
+    rotor_diameter_m:
+        Rotor diameter in metres (micro turbines: 0.05-0.3 m).
+    power_coefficient:
+        Aerodynamic+drivetrain Cp (micro scale: 0.03-0.15; Betz = 0.593).
+    cut_in_speed:
+        Wind speed below which the rotor does not turn, m/s.
+    cut_out_speed:
+        Survival furling speed above which output is cut, m/s.
+    kv:
+        Generator voltage constant: open-circuit volts per (m/s) of wind.
+    internal_resistance:
+        Generator winding + rectifier resistance, ohms.
+    name:
+        Optional instance label.
+    """
+
+    source_type = SourceType.WIND
+    table_label = "Wind"
+
+    def __init__(self, rotor_diameter_m: float = 0.12,
+                 power_coefficient: float = 0.08,
+                 cut_in_speed: float = 2.0, cut_out_speed: float = 18.0,
+                 kv: float = 1.0, internal_resistance: float = 30.0,
+                 name: str = ""):
+        super().__init__(name=name)
+        if rotor_diameter_m <= 0:
+            raise ValueError("rotor_diameter_m must be positive")
+        if not 0.0 < power_coefficient < 0.593:
+            raise ValueError("power_coefficient must be in (0, 0.593) (Betz limit)")
+        if cut_in_speed < 0 or cut_out_speed <= cut_in_speed:
+            raise ValueError("need 0 <= cut_in_speed < cut_out_speed")
+        if kv <= 0 or internal_resistance <= 0:
+            raise ValueError("kv and internal_resistance must be positive")
+        self.rotor_diameter_m = rotor_diameter_m
+        self.power_coefficient = power_coefficient
+        self.cut_in_speed = cut_in_speed
+        self.cut_out_speed = cut_out_speed
+        self.kv = kv
+        self.internal_resistance = internal_resistance
+
+    @property
+    def swept_area_m2(self) -> float:
+        return math.pi * (self.rotor_diameter_m / 2.0) ** 2
+
+    def aerodynamic_power(self, wind_speed: float) -> float:
+        """Aerodynamic power ceiling 0.5 rho A Cp v^3 (W), with cut-in/out."""
+        if wind_speed < 0:
+            raise ValueError(f"wind_speed must be non-negative, got {wind_speed}")
+        if wind_speed < self.cut_in_speed or wind_speed > self.cut_out_speed:
+            return 0.0
+        return 0.5 * AIR_DENSITY * self.swept_area_m2 * \
+            self.power_coefficient * wind_speed ** 3
+
+    # ------------------------------------------------------------------
+    def thevenin(self, ambient: float) -> tuple:
+        if ambient < self.cut_in_speed or ambient > self.cut_out_speed:
+            return 0.0, self.internal_resistance
+        return self.kv * ambient, self.internal_resistance
+
+    def power_ceiling(self, ambient: float) -> float:
+        ceiling = self.aerodynamic_power(max(0.0, ambient))
+        return ceiling if ceiling > 0 else math.inf

@@ -1,0 +1,26 @@
+"""Digital and analog interfaces between energy hardware and intelligence.
+
+Implements the survey's monitoring/control and intelligence-location
+taxonomy axes (Sec. II.3-II.4): register-level bus emulation, analog sense
+lines, electronic-datasheet interrogation, the power-unit MCU of System A,
+and the plug-and-play module slots of System B.
+"""
+
+from .analog_sense import AnalogSenseLine
+from .bus import BusDevice, BusError, RegisterBus
+from .datasheet_protocol import DatasheetROM, read_datasheet
+from .plug_and_play import ModuleInventory, ModuleSlots, SlotRecord
+from .power_unit_mcu import PowerUnitMCU
+
+__all__ = [
+    "AnalogSenseLine",
+    "BusDevice",
+    "BusError",
+    "RegisterBus",
+    "DatasheetROM",
+    "read_datasheet",
+    "ModuleSlots",
+    "ModuleInventory",
+    "SlotRecord",
+    "PowerUnitMCU",
+]

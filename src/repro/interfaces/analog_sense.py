@@ -1,0 +1,66 @@
+"""Analog sense lines: the minimal energy-monitoring facility.
+
+Survey Sec. II.3: "At their most basic, energy-aware systems may provide an
+analog line to allow the microcontroller to monitor the store voltage."
+Systems C and D expose exactly this. The model captures what an ADC pin
+actually sees: a resistive divider scaling, quantisation at the converter's
+resolution, and saturation at the reference — the information loss that
+separates "observe the store voltage" from true energy awareness.
+"""
+
+from __future__ import annotations
+
+__all__ = ["AnalogSenseLine"]
+
+
+class AnalogSenseLine:
+    """An ADC-sampled analog voltage line.
+
+    Parameters
+    ----------
+    source:
+        Zero-argument callable returning the sensed voltage (V).
+    divider_ratio:
+        Output/input ratio of the sense divider (<= 1; e.g. 0.5 halves a
+        5 V store into a 2.5 V ADC range).
+    adc_bits:
+        Converter resolution.
+    v_ref:
+        ADC full-scale reference voltage.
+    """
+
+    def __init__(self, source, divider_ratio: float = 1.0, adc_bits: int = 10,
+                 v_ref: float = 3.3):
+        if not callable(source):
+            raise TypeError("source must be callable")
+        if not 0.0 < divider_ratio <= 1.0:
+            raise ValueError("divider_ratio must be in (0, 1]")
+        if adc_bits < 1:
+            raise ValueError("adc_bits must be >= 1")
+        if v_ref <= 0:
+            raise ValueError("v_ref must be positive")
+        self.source = source
+        self.divider_ratio = divider_ratio
+        self.adc_bits = adc_bits
+        self.v_ref = v_ref
+        self.samples = 0
+
+    @property
+    def lsb_volts(self) -> float:
+        """One ADC step referred to the *sensed* (pre-divider) voltage."""
+        return self.v_ref / (2 ** self.adc_bits) / self.divider_ratio
+
+    def read_raw(self) -> int:
+        """Raw ADC code (saturating at full scale)."""
+        self.samples += 1
+        v = max(0.0, float(self.source())) * self.divider_ratio
+        code = int(v / self.v_ref * (2 ** self.adc_bits))
+        return min(code, 2 ** self.adc_bits - 1)
+
+    def read_voltage(self) -> float:
+        """Quantised estimate of the sensed voltage (V)."""
+        return self.read_raw() * self.lsb_volts
+
+    def __repr__(self) -> str:
+        return (f"AnalogSenseLine(bits={self.adc_bits}, "
+                f"divider={self.divider_ratio}, vref={self.v_ref})")

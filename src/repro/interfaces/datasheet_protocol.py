@@ -1,0 +1,78 @@
+"""Electronic-datasheet access over the register bus.
+
+System B's energy modules each carry "an electronic datasheet ... which may
+be individually interrogated to determine their properties" (survey
+Sec. II.3). Here a :class:`DatasheetROM` exposes an encoded
+:class:`~repro.harvesters.ElectronicDatasheet` image through the standard
+register map (length registers + byte-pair data registers), and
+:func:`read_datasheet` performs the interrogation a host would, paying the
+per-transaction bus energy for every word transferred — making the
+communication cost of plug-and-play recognition measurable.
+"""
+
+from __future__ import annotations
+
+from ..harvesters.datasheet import ElectronicDatasheet
+from .bus import BusDevice, BusError, RegisterBus
+
+__all__ = ["DatasheetROM", "read_datasheet", "REG_MAGIC", "REG_LENGTH", "REG_DATA"]
+
+#: Register map: identification magic, image length in bytes, data window.
+REG_MAGIC = 0x00
+REG_LENGTH = 0x01
+REG_DATA = 0x10
+
+#: Value of REG_MAGIC identifying a datasheet ROM ("ED" in ASCII).
+DATASHEET_MAGIC = 0x4544
+
+
+class DatasheetROM(BusDevice):
+    """Read-only register window over an encoded datasheet image."""
+
+    def __init__(self, datasheet: ElectronicDatasheet):
+        if not isinstance(datasheet, ElectronicDatasheet):
+            raise TypeError("datasheet must be an ElectronicDatasheet")
+        self.datasheet = datasheet
+        self._image = datasheet.encode()
+
+    def read_register(self, register: int) -> int:
+        if register == REG_MAGIC:
+            return DATASHEET_MAGIC
+        if register == REG_LENGTH:
+            return len(self._image)
+        if register >= REG_DATA:
+            offset = (register - REG_DATA) * 2
+            if offset >= len(self._image):
+                raise BusError(f"datasheet read past end (register {register})")
+            hi = self._image[offset]
+            lo = self._image[offset + 1] if offset + 1 < len(self._image) else 0
+            return (hi << 8) | lo
+        raise BusError(f"DatasheetROM has no register 0x{register:02X}")
+
+
+def read_datasheet(bus: RegisterBus, address: int) -> ElectronicDatasheet:
+    """Interrogate the datasheet ROM at ``address`` and decode it.
+
+    Raises :class:`~repro.interfaces.BusError` if the device does not carry
+    a datasheet (wrong magic) — the situation of a bare swapped device in
+    systems C-G, which is exactly what breaks their energy monitoring.
+    """
+    magic = bus.read(address, REG_MAGIC)
+    if magic != DATASHEET_MAGIC:
+        raise BusError(
+            f"device at 0x{address:02X} does not expose an electronic datasheet"
+        )
+    length = bus.read(address, REG_LENGTH)
+    words = bus.read_block(bus_address_check(address), REG_DATA, (length + 1) // 2)
+    data = bytearray()
+    for word in words:
+        data.append((word >> 8) & 0xFF)
+        data.append(word & 0xFF)
+    return ElectronicDatasheet.decode(bytes(data[:length]))
+
+
+def bus_address_check(address: int) -> int:
+    """Validate a 7-bit bus address, returning it unchanged."""
+    if not 0 <= address <= RegisterBus.MAX_ADDRESS:
+        raise BusError(f"address 0x{address:02X} outside 7-bit range")
+    return address

@@ -1,0 +1,161 @@
+"""Plug-and-play module enumeration (System B's defining mechanism).
+
+Survey Sec. III.2: System B "allows up to six energy devices to be
+connected, and is agnostic about whether these are storage or harvesting
+devices" — each presented through an interface circuit carrying an
+electronic datasheet. This module implements the slot manager and the
+enumeration protocol: attach/detach events, a datasheet sweep that
+discovers what is connected, and an inventory snapshot the energy-aware
+host software uses to (re)configure itself after hardware changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..conditioning.interface_circuit import ModuleInterfaceCircuit
+from ..harvesters.datasheet import DeviceKind, ElectronicDatasheet
+from .bus import BusError, RegisterBus
+from .datasheet_protocol import DatasheetROM, read_datasheet
+
+__all__ = ["ModuleSlots", "ModuleInventory", "SlotRecord"]
+
+#: Bus address assigned to slot i (System B exposes six slots).
+SLOT_BASE_ADDRESS = 0x20
+
+
+@dataclass(frozen=True)
+class SlotRecord:
+    """Enumeration result for one occupied slot."""
+
+    slot: int
+    address: int
+    datasheet: ElectronicDatasheet | None  # None: module lacks a datasheet
+
+    @property
+    def recognized(self) -> bool:
+        return self.datasheet is not None
+
+
+@dataclass(frozen=True)
+class ModuleInventory:
+    """Snapshot of what enumeration discovered."""
+
+    records: tuple
+
+    @property
+    def harvesters(self) -> tuple:
+        return tuple(r for r in self.records
+                     if r.datasheet and r.datasheet.kind is DeviceKind.HARVESTER)
+
+    @property
+    def stores(self) -> tuple:
+        return tuple(r for r in self.records
+                     if r.datasheet and r.datasheet.kind is DeviceKind.STORAGE)
+
+    @property
+    def unrecognized(self) -> tuple:
+        return tuple(r for r in self.records if not r.recognized)
+
+    @property
+    def total_storage_capacity_j(self) -> float:
+        """Believed total storage capacity from the datasheets."""
+        return sum(r.datasheet.capacity_j for r in self.stores)
+
+
+class ModuleSlots:
+    """Manager for a fixed number of energy-module slots on a shared bus.
+
+    Parameters
+    ----------
+    bus:
+        The digital bus modules publish their datasheet ROMs on.
+    n_slots:
+        Number of physical slots (System B: 6).
+    """
+
+    def __init__(self, bus: RegisterBus | None = None, n_slots: int = 6):
+        if n_slots < 1:
+            raise ValueError("n_slots must be >= 1")
+        self.bus = bus if bus is not None else RegisterBus()
+        self.n_slots = n_slots
+        self._modules: dict = {}
+        self.attach_events = 0
+        self.detach_events = 0
+
+    # ------------------------------------------------------------------
+    # Physical (de)attachment
+    # ------------------------------------------------------------------
+    def address_of(self, slot: int) -> int:
+        self._check_slot(slot)
+        return SLOT_BASE_ADDRESS + slot
+
+    def attach(self, slot: int, module: ModuleInterfaceCircuit) -> None:
+        """Plug a module into a slot; publishes its datasheet ROM if any."""
+        self._check_slot(slot)
+        if slot in self._modules:
+            raise ValueError(f"slot {slot} is occupied")
+        if not isinstance(module, ModuleInterfaceCircuit):
+            raise TypeError("only ModuleInterfaceCircuit devices can be slotted")
+        self._modules[slot] = module
+        if module.datasheet is not None:
+            self.bus.attach(self.address_of(slot), DatasheetROM(module.datasheet))
+        self.attach_events += 1
+
+    def detach(self, slot: int) -> ModuleInterfaceCircuit:
+        self._check_slot(slot)
+        try:
+            module = self._modules.pop(slot)
+        except KeyError:
+            raise ValueError(f"slot {slot} is empty") from None
+        address = self.address_of(slot)
+        if self.bus.device_at(address) is not None:
+            self.bus.detach(address)
+        self.detach_events += 1
+        return module
+
+    def swap(self, slot: int, module: ModuleInterfaceCircuit) -> ModuleInterfaceCircuit:
+        """Replace the module in an occupied slot (hot-swap)."""
+        old = self.detach(slot)
+        self.attach(slot, module)
+        return old
+
+    def module_at(self, slot: int) -> ModuleInterfaceCircuit | None:
+        self._check_slot(slot)
+        return self._modules.get(slot)
+
+    @property
+    def occupied_slots(self) -> tuple:
+        return tuple(sorted(self._modules))
+
+    @property
+    def modules(self) -> tuple:
+        return tuple(self._modules[s] for s in sorted(self._modules))
+
+    # ------------------------------------------------------------------
+    # Enumeration
+    # ------------------------------------------------------------------
+    def enumerate(self) -> ModuleInventory:
+        """Interrogate every occupied slot's datasheet over the bus.
+
+        Modules without a datasheet ROM produce an unrecognized record —
+        they still move power, but the host cannot account for them, which
+        is the monitoring breakage the survey ascribes to systems C-G.
+        """
+        records = []
+        for slot in self.occupied_slots:
+            address = self.address_of(slot)
+            try:
+                datasheet = read_datasheet(self.bus, address)
+            except BusError:
+                datasheet = None
+            records.append(SlotRecord(slot=slot, address=address,
+                                      datasheet=datasheet))
+        return ModuleInventory(records=tuple(records))
+
+    def _check_slot(self, slot: int) -> None:
+        if not 0 <= slot < self.n_slots:
+            raise ValueError(f"slot must be in [0, {self.n_slots}), got {slot}")
+
+    def __repr__(self) -> str:
+        return f"ModuleSlots(occupied={len(self._modules)}/{self.n_slots})"

@@ -1,0 +1,129 @@
+"""Power-unit microcontroller (System A's dedicated intelligence).
+
+Survey Sec. II.4: locating the intelligence "on the power unit ... may
+communicate using a digital protocol with the embedded microcontroller,
+reducing the complexity of the interface between the embedded device and
+its energy hardware. The main advantage ... is that the application
+microcontroller does not need to know any details about the energy
+hardware, and can treat it as another peripheral." System A's SPU "has an
+embedded microcontroller ... which communicates via an I2C bus, allowing
+the energy status to be monitored and controlled."
+
+:class:`PowerUnitMCU` is a :class:`~repro.interfaces.BusDevice` serving a
+register map of energy telemetry (store voltage, state of charge, input
+power, active channels) and accepting control writes (duty-level hint,
+backup enable) that it forwards to host-side callbacks. The sensor node
+never touches the energy hardware directly — it reads these registers.
+"""
+
+from __future__ import annotations
+
+from .bus import BusDevice, BusError
+
+__all__ = [
+    "PowerUnitMCU",
+    "REG_IDENT",
+    "REG_STATUS",
+    "REG_STORE_MV",
+    "REG_SOC_PERMILLE",
+    "REG_INPUT_100UW",
+    "REG_CHANNELS",
+    "REG_ACTIVE_MASK",
+    "REG_DUTY_LEVEL",
+    "REG_BACKUP_ENABLE",
+]
+
+REG_IDENT = 0x00          # identification word
+REG_STATUS = 0x01         # bit0: telemetry valid, bit1: backup active
+REG_STORE_MV = 0x02       # primary store voltage, millivolts
+REG_SOC_PERMILLE = 0x03   # aggregate state of charge, 0-1000
+REG_INPUT_100UW = 0x04    # total input power, units of 100 uW
+REG_CHANNELS = 0x05       # number of harvesting channels
+REG_ACTIVE_MASK = 0x06    # bitmap of channels that delivered power last step
+REG_DUTY_LEVEL = 0x10     # host-writable duty-level hint (0-15)
+REG_BACKUP_ENABLE = 0x11  # host-writable backup permission (0/1)
+
+IDENT_WORD = 0x5350  # "SP" — smart power
+
+
+class PowerUnitMCU(BusDevice):
+    """Dedicated energy-management microcontroller with a register API.
+
+    Parameters
+    ----------
+    telemetry:
+        Zero-argument callable returning a dict with keys
+        ``store_voltage`` (V), ``soc`` (0-1), ``input_power`` (W),
+        ``n_channels`` (int), ``active_mask`` (int), ``backup_active``
+        (bool). The owning system wires this up.
+    on_duty_level:
+        Callback ``f(level: int)`` invoked when the host writes
+        ``REG_DUTY_LEVEL``.
+    on_backup_enable:
+        Callback ``f(enabled: bool)`` for ``REG_BACKUP_ENABLE`` writes.
+    quiescent_current_a:
+        Standing current of the MCU itself — the price of on-power-unit
+        intelligence (System A's 5 uA budget includes it).
+    """
+
+    def __init__(self, telemetry, on_duty_level=None, on_backup_enable=None,
+                 quiescent_current_a: float = 2e-6):
+        if not callable(telemetry):
+            raise TypeError("telemetry must be callable")
+        if quiescent_current_a < 0:
+            raise ValueError("quiescent_current_a must be non-negative")
+        self.telemetry = telemetry
+        self.on_duty_level = on_duty_level
+        self.on_backup_enable = on_backup_enable
+        self.quiescent_current_a = quiescent_current_a
+        self.duty_level = 7
+        self.backup_enabled = True
+        self.reads = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+    def read_register(self, register: int) -> int:
+        self.reads += 1
+        data = self.telemetry()
+        if register == REG_IDENT:
+            return IDENT_WORD
+        if register == REG_STATUS:
+            status = 0x01
+            if data.get("backup_active"):
+                status |= 0x02
+            return status
+        if register == REG_STORE_MV:
+            return _clamp16(int(data.get("store_voltage", 0.0) * 1000.0))
+        if register == REG_SOC_PERMILLE:
+            return _clamp16(int(data.get("soc", 0.0) * 1000.0))
+        if register == REG_INPUT_100UW:
+            return _clamp16(int(data.get("input_power", 0.0) / 100e-6))
+        if register == REG_CHANNELS:
+            return _clamp16(int(data.get("n_channels", 0)))
+        if register == REG_ACTIVE_MASK:
+            return _clamp16(int(data.get("active_mask", 0)))
+        if register == REG_DUTY_LEVEL:
+            return self.duty_level
+        if register == REG_BACKUP_ENABLE:
+            return int(self.backup_enabled)
+        raise BusError(f"PowerUnitMCU has no register 0x{register:02X}")
+
+    def write_register(self, register: int, value: int) -> None:
+        self.writes += 1
+        if register == REG_DUTY_LEVEL:
+            if not 0 <= value <= 15:
+                raise BusError(f"duty level must be 0-15, got {value}")
+            self.duty_level = value
+            if self.on_duty_level is not None:
+                self.on_duty_level(value)
+            return
+        if register == REG_BACKUP_ENABLE:
+            self.backup_enabled = bool(value)
+            if self.on_backup_enable is not None:
+                self.on_backup_enable(self.backup_enabled)
+            return
+        raise BusError(f"register 0x{register:02X} is not writable")
+
+
+def _clamp16(value: int) -> int:
+    return min(max(value, 0), 0xFFFF)

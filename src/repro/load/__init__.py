@@ -1,0 +1,21 @@
+"""The embedded-device load: sensor node, radio, duty-cycle controllers."""
+
+from .duty_cycle import (
+    DutyCycleController,
+    EnergyNeutralController,
+    FixedDutyCycle,
+    ThresholdDutyCycle,
+)
+from .node import NodeState, NodeStepResult, WirelessSensorNode
+from .radio import RadioModel
+
+__all__ = [
+    "RadioModel",
+    "WirelessSensorNode",
+    "NodeState",
+    "NodeStepResult",
+    "DutyCycleController",
+    "FixedDutyCycle",
+    "ThresholdDutyCycle",
+    "EnergyNeutralController",
+]

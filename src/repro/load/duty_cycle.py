@@ -1,0 +1,179 @@
+"""Energy-aware duty-cycle controllers.
+
+Survey Sec. II.3: intelligent features allow the system "to respond by,
+for example, adjusting its duty cycle to conserve energy when resources
+are limited"; Sec. IV calls the ability "to adapt its activity to its
+energy status" essential. These controllers adjust the node's measurement
+interval from whatever energy telemetry the architecture exposes:
+
+* :class:`FixedDutyCycle` — no adaptation (what a non-energy-aware system
+  is stuck with).
+* :class:`ThresholdDutyCycle` — staircase of rates vs. state of charge;
+  needs at least a store-voltage estimate.
+* :class:`EnergyNeutralController` — Kansal-style: match long-run
+  consumption to an exponentially-weighted estimate of harvested power;
+  needs input-power telemetry, i.e. a fully monitored architecture.
+
+Controllers degrade gracefully: given ``None`` telemetry they hold the
+current rate, so wiring a smart controller to a blind platform simply
+yields fixed-duty behaviour — the architectural point of experiment E7.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from .node import WirelessSensorNode
+
+__all__ = [
+    "DutyCycleController",
+    "FixedDutyCycle",
+    "ThresholdDutyCycle",
+    "EnergyNeutralController",
+]
+
+
+class DutyCycleController(abc.ABC):
+    """Strategy adjusting a node's measurement interval from telemetry."""
+
+    @abc.abstractmethod
+    def update(self, node: WirelessSensorNode, soc: float | None,
+               input_power_w: float | None, dt: float) -> None:
+        """Adjust ``node``'s duty cycle given the visible energy status.
+
+        ``soc`` and ``input_power_w`` are ``None`` when the architecture
+        does not expose them (survey monitoring-capability axis).
+        """
+
+
+class FixedDutyCycle(DutyCycleController):
+    """Never adapts; the baseline for experiment E7."""
+
+    def __init__(self, interval_s: float = 60.0):
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self.interval_s = interval_s
+
+    def update(self, node: WirelessSensorNode, soc, input_power_w, dt) -> None:
+        node.set_measurement_interval(self.interval_s)
+
+
+class ThresholdDutyCycle(DutyCycleController):
+    """Staircase adaptation on state of charge.
+
+    Parameters
+    ----------
+    levels:
+        Sequence of ``(soc_threshold, interval_s)`` pairs, thresholds
+        descending; the first pair whose threshold the SoC meets or
+        exceeds sets the interval. A final catch-all ``(0.0, hibernate)``
+        is required.
+    hysteresis:
+        SoC margin required before switching to a *faster* level, to stop
+        chatter around a threshold.
+    """
+
+    def __init__(self, levels: tuple = ((0.7, 30.0), (0.4, 120.0),
+                                        (0.15, 600.0), (0.0, 3600.0)),
+                 hysteresis: float = 0.03):
+        if not levels:
+            raise ValueError("levels must be non-empty")
+        thresholds = [t for t, _ in levels]
+        if thresholds != sorted(thresholds, reverse=True):
+            raise ValueError("level thresholds must be descending")
+        if thresholds[-1] != 0.0:
+            raise ValueError("last level must have threshold 0.0 (catch-all)")
+        for _, interval in levels:
+            if interval <= 0:
+                raise ValueError("intervals must be positive")
+        if hysteresis < 0:
+            raise ValueError("hysteresis must be non-negative")
+        self.levels = tuple((float(t), float(i)) for t, i in levels)
+        self.hysteresis = hysteresis
+        self._current_index = len(self.levels) - 1
+
+    def update(self, node: WirelessSensorNode, soc, input_power_w, dt) -> None:
+        if soc is None:
+            return  # blind platform: hold the current rate
+        index = next(i for i, (threshold, _) in enumerate(self.levels)
+                     if soc >= threshold)
+        if index < self._current_index:
+            # Moving to a faster level: require the hysteresis margin.
+            threshold = self.levels[index][0]
+            if soc < threshold + self.hysteresis:
+                index = self._current_index
+        self._current_index = index
+        node.set_measurement_interval(self.levels[index][1])
+
+
+class EnergyNeutralController(DutyCycleController):
+    """Energy-neutral operation: spend what you harvest, no more.
+
+    Tracks an exponentially-weighted moving average of harvested power and
+    sets the measurement rate so that node demand matches a ``margin``
+    fraction of it, steering with a proportional SoC correction toward a
+    target SoC (classic Kansal-style energy-neutral operation). Without
+    input-power telemetry it falls back to SoC-only steering; without any
+    telemetry it holds rate.
+
+    Parameters
+    ----------
+    target_soc:
+        SoC the controller regulates around.
+    margin:
+        Fraction of estimated harvest the node may spend (<1 leaves
+        headroom for estimation error).
+    ewma_tau_s:
+        Time constant of the harvest estimator.
+    min_interval_s / max_interval_s:
+        Duty-cycle clamp.
+    """
+
+    def __init__(self, target_soc: float = 0.6, margin: float = 0.9,
+                 ewma_tau_s: float = 6 * 3600.0, min_interval_s: float = 5.0,
+                 max_interval_s: float = 3600.0):
+        if not 0.0 < target_soc < 1.0:
+            raise ValueError("target_soc must be in (0, 1)")
+        if not 0.0 < margin <= 1.0:
+            raise ValueError("margin must be in (0, 1]")
+        if ewma_tau_s <= 0:
+            raise ValueError("ewma_tau_s must be positive")
+        if not 0.0 < min_interval_s < max_interval_s:
+            raise ValueError("need 0 < min_interval_s < max_interval_s")
+        self.target_soc = target_soc
+        self.margin = margin
+        self.ewma_tau_s = ewma_tau_s
+        self.min_interval_s = min_interval_s
+        self.max_interval_s = max_interval_s
+        self._harvest_estimate_w = None
+
+    @property
+    def harvest_estimate_w(self) -> float | None:
+        """Current EWMA of harvested power (None before first telemetry)."""
+        return self._harvest_estimate_w
+
+    def update(self, node: WirelessSensorNode, soc, input_power_w, dt) -> None:
+        if input_power_w is not None:
+            if self._harvest_estimate_w is None:
+                self._harvest_estimate_w = input_power_w
+            else:
+                alpha = min(1.0, dt / self.ewma_tau_s)
+                self._harvest_estimate_w += alpha * (
+                    input_power_w - self._harvest_estimate_w)
+
+        if self._harvest_estimate_w is None and soc is None:
+            return  # blind platform
+
+        budget = self._harvest_estimate_w or 0.0
+        budget *= self.margin
+        if soc is not None:
+            # Proportional steering: above target spend more, below spend less.
+            budget *= max(0.0, 1.0 + 2.0 * (soc - self.target_soc))
+
+        spendable = budget - node.sleep_power_w
+        if spendable <= 0:
+            node.set_measurement_interval(self.max_interval_s)
+            return
+        interval = node.measurement_energy() / spendable
+        interval = min(max(interval, self.min_interval_s), self.max_interval_s)
+        node.set_measurement_interval(interval)

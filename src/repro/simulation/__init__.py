@@ -1,0 +1,19 @@
+"""Fixed-step power-flow simulation: engine, events, recording, metrics."""
+
+from .engine import SimulationResult, Simulator, simulate
+from .events import EventSchedule, SimEvent, swap_harvester_event, swap_storage_event
+from .metrics import RunMetrics, compute_metrics
+from .recorder import Recorder
+
+__all__ = [
+    "Simulator",
+    "SimulationResult",
+    "simulate",
+    "SimEvent",
+    "EventSchedule",
+    "swap_storage_event",
+    "swap_harvester_event",
+    "Recorder",
+    "RunMetrics",
+    "compute_metrics",
+]

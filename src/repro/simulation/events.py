@@ -1,0 +1,83 @@
+"""Scheduled simulation events (hot-swaps, failures, manual interventions).
+
+The survey's exchangeable-hardware axis only matters *during operation*:
+"the connection of an alternative device (especially storage device) will
+typically affect measurements" (Sec. III.2). Events let experiments script
+mid-run hardware changes against a running system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SimEvent", "EventSchedule", "swap_storage_event", "swap_harvester_event"]
+
+
+@dataclass(order=True)
+class SimEvent:
+    """An action applied to the system at a given simulation time."""
+
+    time: float
+    action: object = field(compare=False)  # callable(system) -> None
+    label: str = field(default="", compare=False)
+
+    def __post_init__(self):
+        if self.time < 0:
+            raise ValueError("event time must be non-negative")
+        if not callable(self.action):
+            raise TypeError("event action must be callable")
+
+
+class EventSchedule:
+    """Time-ordered event queue consumed by the simulation engine."""
+
+    def __init__(self, events=()):
+        self._events = sorted(events)
+        self._next = 0
+        self.fired: list = []
+
+    def add(self, event: SimEvent) -> None:
+        if self._next > 0:
+            raise RuntimeError("cannot add events after the schedule started")
+        self._events.append(event)
+        self._events.sort()
+
+    def due(self, t: float):
+        """Yield (and consume) all events due at or before time ``t``."""
+        while self._next < len(self._events) and \
+                self._events[self._next].time <= t:
+            event = self._events[self._next]
+            self._next += 1
+            self.fired.append(event)
+            yield event
+
+    @property
+    def pending(self) -> int:
+        return len(self._events) - self._next
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+def swap_storage_event(time: float, index: int, new_store,
+                       label: str = "") -> SimEvent:
+    """Event that hot-swaps store ``index`` for ``new_store``.
+
+    Recognition semantics follow the system's architecture (see
+    :meth:`repro.core.MultiSourceSystem.swap_storage`).
+    """
+    def action(system):
+        system.swap_storage(index, new_store)
+
+    return SimEvent(time=time, action=action,
+                    label=label or f"swap-storage[{index}]")
+
+
+def swap_harvester_event(time: float, channel_index: int, new_harvester,
+                         label: str = "") -> SimEvent:
+    """Event that hot-swaps the harvester on a channel."""
+    def action(system):
+        system.swap_harvester(channel_index, new_harvester)
+
+    return SimEvent(time=time, action=action,
+                    label=label or f"swap-harvester[{channel_index}]")

@@ -1,0 +1,117 @@
+"""Run metrics: the quantities the survey's claims are stated in.
+
+Uptime and dead time ("a shorter period where energy is not generated",
+Sec. I), harvested versus delivered energy, conversion and tracking
+efficiency, quiescent losses (Table I's quiescent row made consequential),
+backup usage (System A's fuel cell), and work done by the node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..load.node import NodeState
+from .recorder import Recorder
+
+__all__ = ["RunMetrics", "compute_metrics"]
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Summary of one simulation run."""
+
+    duration_s: float
+    harvested_raw_j: float        # extracted from transducers
+    harvested_delivered_j: float  # after input conditioning
+    mpp_available_j: float        # what perfect tracking would have extracted
+    charge_accepted_j: float      # actually absorbed by storage
+    quiescent_j: float            # standing losses
+    node_consumed_j: float        # energy the node used
+    node_demand_j: float          # energy the node wanted
+    backup_used_j: float          # drawn from backup stores
+    uptime_fraction: float        # node RUNNING fraction
+    dead_time_s: float            # node not RUNNING
+    brownouts: int
+    measurements: float
+    harvest_coverage: float       # fraction of steps with delivered power > 0
+
+    @property
+    def tracking_efficiency(self) -> float:
+        """raw extracted / MPP available."""
+        if self.mpp_available_j <= 0:
+            return 1.0
+        return min(1.0, self.harvested_raw_j / self.mpp_available_j)
+
+    @property
+    def conversion_efficiency(self) -> float:
+        """delivered to bus / raw extracted."""
+        if self.harvested_raw_j <= 0:
+            return 0.0
+        return self.harvested_delivered_j / self.harvested_raw_j
+
+    @property
+    def end_to_end_efficiency(self) -> float:
+        """node consumed / MPP available (the whole chain)."""
+        if self.mpp_available_j <= 0:
+            return 0.0
+        return self.node_consumed_j / self.mpp_available_j
+
+    @property
+    def demand_satisfaction(self) -> float:
+        """node consumed / node demanded."""
+        if self.node_demand_j <= 0:
+            return 1.0
+        return min(1.0, self.node_consumed_j / self.node_demand_j)
+
+    @property
+    def measurements_per_day(self) -> float:
+        if self.duration_s <= 0:
+            return 0.0
+        return self.measurements * 86_400.0 / self.duration_s
+
+
+def compute_metrics(recorder: Recorder) -> RunMetrics:
+    """Aggregate a recorded run into :class:`RunMetrics`."""
+    records = recorder.records
+    if not records:
+        raise ValueError("recorder is empty")
+    dt = recorder.dt
+    duration = len(records) * dt
+
+    harvested_raw = sum(r.harvest_raw_w for r in records) * dt
+    delivered = sum(r.harvest_delivered_w for r in records) * dt
+    mpp = sum(r.harvest_mpp_w for r in records) * dt
+    accepted = sum(r.charge_accepted_w for r in records) * dt
+    quiescent = sum(r.quiescent_w for r in records) * dt
+    consumed = sum(r.node_result.consumed_w for r in records) * dt
+    demanded = sum(r.node_demand_w for r in records) * dt
+    backup = sum(r.backup_power_w for r in records) * dt
+    running = sum(1 for r in records if r.node_result.state is NodeState.RUNNING)
+    coverage = sum(1 for r in records if r.harvest_delivered_w > 0) / len(records)
+    measurements = sum(r.node_result.measurements for r in records)
+
+    # Brownouts: RUNNING -> DEAD transitions in the recorded state history.
+    transitions = 0
+    prev_running = True
+    for r in records:
+        is_running = r.node_result.state is NodeState.RUNNING
+        if prev_running and r.node_result.state is NodeState.DEAD:
+            transitions += 1
+        prev_running = is_running
+
+    return RunMetrics(
+        duration_s=duration,
+        harvested_raw_j=harvested_raw,
+        harvested_delivered_j=delivered,
+        mpp_available_j=mpp,
+        charge_accepted_j=accepted,
+        quiescent_j=quiescent,
+        node_consumed_j=consumed,
+        node_demand_j=demanded,
+        backup_used_j=backup,
+        uptime_fraction=running / len(records),
+        dead_time_s=(len(records) - running) * dt,
+        brownouts=transitions,
+        measurements=measurements,
+        harvest_coverage=coverage,
+    )

@@ -1,0 +1,86 @@
+"""Simulation recorder: per-step power-flow history as arrays.
+
+Collects every :class:`~repro.core.SystemStepRecord` produced by a run
+into numpy arrays for the metrics module and the experiment harnesses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.system import SystemStepRecord
+from ..environment.trace import Trace
+from ..load.node import NodeState
+
+__all__ = ["Recorder"]
+
+
+class Recorder:
+    """Accumulates step records and exposes them as traces/arrays."""
+
+    def __init__(self, dt: float):
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        self.dt = dt
+        self._records: list = []
+
+    def append(self, record: SystemStepRecord) -> None:
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def records(self) -> list:
+        return self._records
+
+    # ------------------------------------------------------------------
+    # Column extraction
+    # ------------------------------------------------------------------
+    def _column(self, getter) -> np.ndarray:
+        return np.array([getter(r) for r in self._records], dtype=np.float64)
+
+    def trace(self, column: str) -> Trace:
+        """Named column as a Trace.
+
+        Columns: ``harvest_raw``, ``harvest_delivered``, ``harvest_mpp``,
+        ``charge_accepted``, ``quiescent``, ``node_demand``,
+        ``node_supplied``, ``node_consumed``, ``backup_power``,
+        ``stored_energy``, ``bus_voltage``, ``alive``, ``measurements``.
+        """
+        getters = {
+            "harvest_raw": lambda r: r.harvest_raw_w,
+            "harvest_delivered": lambda r: r.harvest_delivered_w,
+            "harvest_mpp": lambda r: r.harvest_mpp_w,
+            "charge_accepted": lambda r: r.charge_accepted_w,
+            "quiescent": lambda r: r.quiescent_w,
+            "node_demand": lambda r: r.node_demand_w,
+            "node_supplied": lambda r: r.node_supplied_w,
+            "node_consumed": lambda r: r.node_result.consumed_w,
+            "backup_power": lambda r: r.backup_power_w,
+            "stored_energy": lambda r: sum(r.store_energies_j),
+            "bus_voltage": lambda r: r.store_voltages[0] if r.store_voltages else 0.0,
+            "alive": lambda r: 1.0 if r.node_result.state is NodeState.RUNNING else 0.0,
+            "measurements": lambda r: r.node_result.measurements,
+        }
+        try:
+            getter = getters[column]
+        except KeyError:
+            raise KeyError(
+                f"unknown column {column!r}; available: {sorted(getters)}"
+            ) from None
+        return Trace(self._column(getter), self.dt, name=column)
+
+    def store_energy_trace(self, index: int) -> Trace:
+        """Energy history of one store."""
+        return Trace(
+            self._column(lambda r: r.store_energies_j[index]),
+            self.dt, name=f"store[{index}]", units="J",
+        )
+
+    def channel_delivered_trace(self, index: int) -> Trace:
+        """Delivered-power history of one harvesting channel."""
+        return Trace(
+            self._column(lambda r: r.per_channel[index].delivered_power),
+            self.dt, name=f"channel[{index}]", units="W",
+        )

@@ -1,0 +1,38 @@
+"""Energy buffer models: the storage technologies of Table I.
+
+Supercapacitors (three-branch per survey ref. [9]), lithium and NiMH
+chemistries, thin-film micro-batteries, primary cells, hydrogen fuel-cell
+backup (System A), and lithium-ion capacitors (ref. [10]).
+"""
+
+from .aging import AgingStorage
+from .base import EnergyStorage
+from .batteries import (
+    AABatteryPack,
+    ChemistryBattery,
+    LiIonBattery,
+    LiPolymerBattery,
+    LithiumPrimaryCell,
+    NiMHBattery,
+    ThinFilmBattery,
+)
+from .fuel_cell import HydrogenFuelCell
+from .ideal import IdealStorage
+from .lic import LithiumIonCapacitor
+from .supercapacitor import Supercapacitor
+
+__all__ = [
+    "EnergyStorage",
+    "AgingStorage",
+    "IdealStorage",
+    "Supercapacitor",
+    "ChemistryBattery",
+    "LiIonBattery",
+    "LiPolymerBattery",
+    "NiMHBattery",
+    "AABatteryPack",
+    "LithiumPrimaryCell",
+    "ThinFilmBattery",
+    "HydrogenFuelCell",
+    "LithiumIonCapacitor",
+]

@@ -1,0 +1,176 @@
+"""Storage aging: capacity fade under energy-harvesting cycling.
+
+The survey's opening motivation is that batteries "have a finite capacity
+and must be replaced or recharged when depleted" (Sec. I), and its storage
+discussion leans on chemistry-specific characteristics (refs [9], [10]).
+Energy-harvesting workloads cycle their buffer daily, so chemistry
+lifetime — cycles to a capacity floor — decides the maintenance interval
+that harvesting was supposed to eliminate.
+
+:class:`AgingStorage` wraps any :class:`~repro.storage.EnergyStorage` and
+applies two standard fade mechanisms:
+
+* **cycle fade** — capacity falls linearly with full-equivalent cycles,
+  calibrated so the wrapped store reaches ``end_of_life_fraction`` of its
+  rated capacity after ``cycle_life`` cycles (the chemistry's datasheet
+  figure);
+* **calendar fade** — a slow constant-rate loss per year at rest.
+
+Supercapacitors and LICs age orders of magnitude slower than batteries
+(hundreds of thousands of cycles), which is exactly the trade Table I's
+storage row embodies: the thin-film batteries of the commercial kits
+(5 000 cycles) versus the NiMH packs (800) versus supercaps.
+"""
+
+from __future__ import annotations
+
+from .base import EnergyStorage
+
+__all__ = ["AgingStorage"]
+
+SECONDS_PER_YEAR = 365.25 * 86_400.0
+
+
+class AgingStorage(EnergyStorage):
+    """Capacity-fade wrapper around an energy store.
+
+    Parameters
+    ----------
+    inner:
+        The store to age. Its ``cycle_life`` attribute is used when
+        ``cycle_life`` is not given (all :class:`ChemistryBattery`
+        subclasses carry one).
+    cycle_life:
+        Full-equivalent cycles to end of life.
+    end_of_life_fraction:
+        Remaining capacity fraction that defines end of life (industry
+        convention: 0.8).
+    calendar_fade_per_year:
+        Capacity fraction lost per year regardless of cycling.
+    """
+
+    def __init__(self, inner: EnergyStorage, cycle_life: int | None = None,
+                 end_of_life_fraction: float = 0.8,
+                 calendar_fade_per_year: float = 0.02):
+        if not isinstance(inner, EnergyStorage):
+            raise TypeError("inner must be an EnergyStorage")
+        if cycle_life is None:
+            cycle_life = getattr(inner, "cycle_life", None)
+        if cycle_life is None or cycle_life < 1:
+            raise ValueError("cycle_life must be a positive integer")
+        if not 0.0 < end_of_life_fraction < 1.0:
+            raise ValueError("end_of_life_fraction must be in (0, 1)")
+        if not 0.0 <= calendar_fade_per_year < 1.0:
+            raise ValueError("calendar_fade_per_year must be in [0, 1)")
+
+        self.inner = inner
+        self.cycle_life = int(cycle_life)
+        self.end_of_life_fraction = end_of_life_fraction
+        self.calendar_fade_per_year = calendar_fade_per_year
+        self.rated_capacity_j = inner.capacity_j
+        self._fade_per_cycle = (1.0 - end_of_life_fraction) / self.cycle_life
+        self._cycled_j = 0.0
+        self._aged_seconds = 0.0
+
+        # Mirror the inner store's public knobs; do NOT call super().__init__
+        # (state lives in the wrapped store).
+        self.name = f"aging({inner.name})"
+        self.datasheet = inner.datasheet
+        self.rechargeable = inner.rechargeable
+        self.is_backup = inner.is_backup
+        self.table_label = inner.table_label
+
+    # ------------------------------------------------------------------
+    # Fade state
+    # ------------------------------------------------------------------
+    @property
+    def equivalent_cycles(self) -> float:
+        return self._cycled_j / self.rated_capacity_j
+
+    @property
+    def health(self) -> float:
+        """State of health: current capacity / rated capacity."""
+        cycle_fade = self._fade_per_cycle * self.equivalent_cycles
+        calendar_fade = self.calendar_fade_per_year * \
+            (self._aged_seconds / SECONDS_PER_YEAR)
+        return max(0.0, 1.0 - cycle_fade - calendar_fade)
+
+    @property
+    def end_of_life(self) -> bool:
+        return self.health <= self.end_of_life_fraction
+
+    def _apply_fade(self) -> None:
+        faded = self.rated_capacity_j * self.health
+        if faded < self.inner.capacity_j:
+            self.inner.capacity_j = faded
+            if self.inner.energy_j > faded:
+                self.inner.energy_j = faded
+
+    # ------------------------------------------------------------------
+    # EnergyStorage interface (delegation + fade accounting)
+    # ------------------------------------------------------------------
+    @property
+    def capacity_j(self) -> float:
+        return self.inner.capacity_j
+
+    @capacity_j.setter
+    def capacity_j(self, value: float) -> None:
+        self.inner.capacity_j = value
+
+    @property
+    def energy_j(self) -> float:
+        return self.inner.energy_j
+
+    @energy_j.setter
+    def energy_j(self, value: float) -> None:
+        self.inner.energy_j = value
+
+    @property
+    def max_charge_w(self) -> float:
+        return self.inner.max_charge_w
+
+    @property
+    def max_discharge_w(self) -> float:
+        return self.inner.max_discharge_w
+
+    @property
+    def total_charged_j(self) -> float:
+        return self.inner.total_charged_j
+
+    @property
+    def total_discharged_j(self) -> float:
+        return self.inner.total_discharged_j
+
+    def voltage(self) -> float:
+        return self.inner.voltage()
+
+    def charge(self, power_w: float, dt: float) -> float:
+        accepted = self.inner.charge(power_w, dt)
+        self._cycled_j += 0.5 * accepted * dt  # half cycle per direction
+        self._apply_fade()
+        return accepted
+
+    def discharge(self, power_w: float, dt: float) -> float:
+        delivered = self.inner.discharge(power_w, dt)
+        self._cycled_j += 0.5 * delivered * dt
+        self._apply_fade()
+        return delivered
+
+    def step_idle(self, dt: float) -> float:
+        lost = self.inner.step_idle(dt)
+        self._aged_seconds += dt
+        self._apply_fade()
+        return lost
+
+    def __getattr__(self, name):
+        # Forward anything not defined here (chemistry curves, efficiency
+        # figures, capacitance...) to the wrapped store, so beliefs and
+        # monitors see the real device model. Guard the delegation target
+        # itself to keep copy/pickle protocols from recursing.
+        if name == "inner":
+            raise AttributeError(name)
+        return getattr(self.inner, name)
+
+    def __repr__(self) -> str:
+        return (f"AgingStorage({self.inner!r}, health={self.health:.3f}, "
+                f"cycles={self.equivalent_cycles:.1f})")

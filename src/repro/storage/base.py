@@ -1,0 +1,175 @@
+"""Energy storage base class.
+
+The survey treats the energy buffer as a first-class design axis: "it is
+necessary to buffer the energy [harvesters] produce" (Sec. II.1), different
+storage technologies "offer different characteristics well known in
+literature" (Sec. II.2, refs [9]/[10]), and Table I's Storage row spans
+fuel cells, Li-ion/poly and NiMH batteries, supercapacitors, thin-film
+batteries and primary cells. The base class captures the characteristics
+those claims rely on:
+
+* state of charge and a chemistry-dependent terminal voltage curve,
+* charge/discharge power limits and round-trip efficiency,
+* self-discharge / leakage,
+* rechargeability (primary cells and fuel cells refuse charge),
+* an optional electronic datasheet for plug-and-play recognition.
+
+Energy accounting convention: ``charge`` receives *bus-side* power and
+returns how much was accepted; losses mean the stored energy rises by less
+than the accepted power. ``discharge`` receives a *load-side* request and
+returns how much was delivered; losses mean stored energy falls by more.
+"""
+
+from __future__ import annotations
+
+import abc
+
+__all__ = ["EnergyStorage"]
+
+
+class EnergyStorage(abc.ABC):
+    """Abstract energy buffer.
+
+    Parameters
+    ----------
+    capacity_j:
+        Usable energy capacity, joules.
+    initial_soc:
+        Initial state of charge in [0, 1].
+    charge_efficiency / discharge_efficiency:
+        One-way efficiencies in (0, 1]; round-trip = product.
+    max_charge_w / max_discharge_w:
+        Power acceptance/delivery limits (inf = unlimited).
+    self_discharge_per_day:
+        Fraction of *current* stored energy lost per day.
+    rechargeable:
+        Primary cells and fuel cells set this False; ``charge`` then
+        accepts nothing.
+    name:
+        Instance label used in reports.
+    """
+
+    #: Storage-technology label used when regenerating Table I.
+    table_label: str = "Storage"
+
+    #: Marks discharge-only reserves (e.g. the fuel cell of System A) that
+    #: managers hold back until ambient-fed stores are exhausted.
+    is_backup: bool = False
+
+    def __init__(self, capacity_j: float, initial_soc: float = 0.5,
+                 charge_efficiency: float = 1.0, discharge_efficiency: float = 1.0,
+                 max_charge_w: float = float("inf"),
+                 max_discharge_w: float = float("inf"),
+                 self_discharge_per_day: float = 0.0,
+                 rechargeable: bool = True, name: str = ""):
+        if capacity_j <= 0:
+            raise ValueError(f"capacity_j must be positive, got {capacity_j}")
+        if not 0.0 <= initial_soc <= 1.0:
+            raise ValueError(f"initial_soc must be in [0, 1], got {initial_soc}")
+        for label, eff in (("charge_efficiency", charge_efficiency),
+                           ("discharge_efficiency", discharge_efficiency)):
+            if not 0.0 < eff <= 1.0:
+                raise ValueError(f"{label} must be in (0, 1], got {eff}")
+        if max_charge_w < 0 or max_discharge_w < 0:
+            raise ValueError("power limits must be non-negative")
+        if not 0.0 <= self_discharge_per_day < 1.0:
+            raise ValueError("self_discharge_per_day must be in [0, 1)")
+        self.capacity_j = capacity_j
+        self.energy_j = capacity_j * initial_soc
+        self.charge_efficiency = charge_efficiency
+        self.discharge_efficiency = discharge_efficiency
+        self.max_charge_w = max_charge_w
+        self.max_discharge_w = max_discharge_w
+        self.self_discharge_per_day = self_discharge_per_day
+        self.rechargeable = rechargeable
+        self.name = name or type(self).__name__
+        self.datasheet = None
+        # Lifetime counters (used by metrics and the fuel-cell experiment).
+        self.total_charged_j = 0.0
+        self.total_discharged_j = 0.0
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def soc(self) -> float:
+        """State of charge in [0, 1]."""
+        return self.energy_j / self.capacity_j
+
+    @property
+    def headroom_j(self) -> float:
+        """Energy that can still be stored, joules."""
+        return max(0.0, self.capacity_j - self.energy_j)
+
+    @abc.abstractmethod
+    def voltage(self) -> float:
+        """Terminal voltage (V) at the current state of charge."""
+
+    def is_empty(self, threshold_soc: float = 1e-6) -> bool:
+        return self.soc <= threshold_soc
+
+    def is_full(self, threshold_soc: float = 1.0 - 1e-6) -> bool:
+        return self.soc >= threshold_soc
+
+    # ------------------------------------------------------------------
+    # Power flow
+    # ------------------------------------------------------------------
+    def charge(self, power_w: float, dt: float) -> float:
+        """Accept up to ``power_w`` (bus side) for ``dt`` seconds.
+
+        Returns the bus-side power actually accepted (W). Stored energy
+        rises by ``accepted * dt * charge_efficiency``.
+        """
+        if power_w < 0:
+            raise ValueError(f"power_w must be non-negative, got {power_w}")
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        if not self.rechargeable or power_w == 0.0:
+            return 0.0
+        accepted = min(power_w, self.max_charge_w)
+        stored = accepted * dt * self.charge_efficiency
+        if stored > self.headroom_j:
+            stored = self.headroom_j
+            accepted = stored / (dt * self.charge_efficiency)
+        self.energy_j += stored
+        self.total_charged_j += stored
+        return accepted
+
+    def discharge(self, power_w: float, dt: float) -> float:
+        """Deliver up to ``power_w`` (load side) for ``dt`` seconds.
+
+        Returns the load-side power actually delivered (W). Stored energy
+        falls by ``delivered * dt / discharge_efficiency``.
+        """
+        if power_w < 0:
+            raise ValueError(f"power_w must be non-negative, got {power_w}")
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        if power_w == 0.0:
+            return 0.0
+        deliverable = min(power_w, self.max_discharge_w)
+        drawn = deliverable * dt / self.discharge_efficiency
+        if drawn > self.energy_j:
+            drawn = self.energy_j
+            deliverable = drawn * self.discharge_efficiency / dt
+        self.energy_j -= drawn
+        self.total_discharged_j += drawn
+        return deliverable
+
+    def step_idle(self, dt: float) -> float:
+        """Apply self-discharge for ``dt`` seconds; returns energy lost (J).
+
+        Subclasses with structural leakage (supercapacitors) extend this.
+        """
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        if self.self_discharge_per_day <= 0.0 or self.energy_j <= 0.0:
+            return 0.0
+        keep = (1.0 - self.self_discharge_per_day) ** (dt / 86_400.0)
+        lost = self.energy_j * (1.0 - keep)
+        self.energy_j -= lost
+        return lost
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}(name={self.name!r}, "
+                f"soc={self.soc:.3f}, capacity={self.capacity_j:.1f} J)")

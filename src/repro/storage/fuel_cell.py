@@ -1,0 +1,110 @@
+"""Hydrogen fuel cell backup model.
+
+System A (Smart Power Unit) "uses a hydrogen fuel cell which has a high
+energy density compared with traditional battery and which starts to work
+when the stored energy coming from the environmental sources is running
+out" (survey Sec. II.1). Operationally it is a discharge-only reserve with
+very high capacity, modest power, a start-up delay, and a finite fuel
+inventory that cannot be refilled from the bus — the properties the
+fuel-cell backup experiment (E10) probes.
+"""
+
+from __future__ import annotations
+
+from .base import EnergyStorage
+
+__all__ = ["HydrogenFuelCell"]
+
+
+class HydrogenFuelCell(EnergyStorage):
+    """Discharge-only hydrogen fuel cell with start-up latency.
+
+    Parameters
+    ----------
+    fuel_energy_j:
+        Usable energy in the fuel cartridge, joules (a few Wh for small
+        PEM cells; default 5 Wh = 18 kJ).
+    max_power_w:
+        Rated electrical output power, W.
+    output_voltage:
+        Nominal stack output voltage, V.
+    startup_time:
+        Seconds of operation before full power is available; output ramps
+        linearly from zero during this window after each cold start.
+    conversion_efficiency:
+        Fuel-to-electric conversion efficiency applied on top of the
+        usable-energy figure (kept at 1.0 when ``fuel_energy_j`` already
+        denotes electrical output energy).
+    name:
+        Instance label.
+    """
+
+    is_backup = True
+    table_label = "Fuel cell"
+
+    def __init__(self, fuel_energy_j: float = 18_000.0, max_power_w: float = 0.5,
+                 output_voltage: float = 3.6, startup_time: float = 30.0,
+                 conversion_efficiency: float = 1.0, name: str = ""):
+        if max_power_w <= 0:
+            raise ValueError("max_power_w must be positive")
+        if output_voltage <= 0:
+            raise ValueError("output_voltage must be positive")
+        if startup_time < 0:
+            raise ValueError("startup_time must be non-negative")
+        super().__init__(
+            capacity_j=fuel_energy_j,
+            initial_soc=1.0,
+            discharge_efficiency=conversion_efficiency,
+            max_discharge_w=max_power_w,
+            rechargeable=False,
+            name=name,
+        )
+        self.output_voltage = output_voltage
+        self.startup_time = startup_time
+        self._warmup = 0.0   # seconds of continuous operation so far
+        self.starts = 0      # cold-start count (reported by experiments)
+
+    # ------------------------------------------------------------------
+    def voltage(self) -> float:
+        return self.output_voltage if self.energy_j > 0 else 0.0
+
+    @property
+    def is_warm(self) -> bool:
+        return self._warmup >= self.startup_time
+
+    def available_power(self) -> float:
+        """Power currently available given warm-up state (W)."""
+        if self.energy_j <= 0:
+            return 0.0
+        if self.startup_time == 0 or self.is_warm:
+            return self.max_discharge_w
+        return self.max_discharge_w * (self._warmup / self.startup_time)
+
+    def discharge(self, power_w: float, dt: float) -> float:
+        if power_w < 0:
+            raise ValueError(f"power_w must be non-negative, got {power_w}")
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        if power_w == 0.0:
+            # Not being used this step: the stack cools down.
+            self._cool(dt)
+            return 0.0
+        if self._warmup == 0.0 and self.energy_j > 0:
+            self.starts += 1
+        ceiling = self.available_power()
+        delivered = super().discharge(min(power_w, ceiling), dt) if ceiling > 0 else 0.0
+        self._warmup = min(self._warmup + dt, self.startup_time + dt)
+        return delivered
+
+    def step_idle(self, dt: float) -> float:
+        lost = super().step_idle(dt)
+        self._cool(dt)
+        return lost
+
+    def _cool(self, dt: float) -> None:
+        # Cool-down at the same rate as warm-up.
+        self._warmup = max(0.0, self._warmup - dt)
+
+    @property
+    def fuel_remaining_fraction(self) -> float:
+        return self.soc

@@ -1,0 +1,184 @@
+"""Supercapacitor model with three-branch dynamics.
+
+Supercapacitors buffer systems A, C and the survey's System B shared store.
+The survey cites the authors' own modelling work (ref. [9], Weddell et al.,
+"Accurate supercapacitor modeling for energy-harvesting wireless sensor
+nodes", IEEE TCAS-II 2011), which shows that for EH workloads a supercap is
+*not* an ideal capacitor: charge redistribution between a fast-access
+branch and a slow bulk branch, plus a leakage resistance, dominate
+multi-hour behaviour. This module implements that three-branch structure:
+
+* **fast branch** ``C_fast`` — immediately accessible charge (terminal);
+* **slow branch** ``C_slow`` — bulk charge exchanging with the fast branch
+  through ``R_redistribution`` (time constant of minutes-hours);
+* **leakage** ``R_leak`` across the terminals.
+
+Terminal voltage is the fast-branch voltage; usable energy counts both
+branches. The classic EH symptom reproduced: after a burst charge the
+terminal voltage sags as charge redistributes into the bulk, and a "full"
+cap left idle loses voltage steadily through leakage.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .base import EnergyStorage
+
+__all__ = ["Supercapacitor"]
+
+
+class Supercapacitor(EnergyStorage):
+    """Three-branch supercapacitor.
+
+    Parameters
+    ----------
+    capacitance_f:
+        Total nameplate capacitance, farads (fast + slow branches).
+    rated_voltage:
+        Maximum terminal voltage, V.
+    fast_fraction:
+        Fraction of the capacitance in the fast (terminal) branch.
+    redistribution_tau:
+        Time constant of fast<->slow charge exchange, seconds.
+    leakage_resistance:
+        Terminal leakage resistance, ohms (tens of kOhm for real parts).
+    min_voltage:
+        Usable-voltage floor (converter cut-off); energy below it is
+        stranded and excluded from ``capacity_j``.
+    initial_soc:
+        Initial usable state of charge in [0, 1].
+    name:
+        Instance label.
+    """
+
+    table_label = "Supercap."
+
+    def __init__(self, capacitance_f: float = 25.0, rated_voltage: float = 5.0,
+                 fast_fraction: float = 0.8, redistribution_tau: float = 1800.0,
+                 leakage_resistance: float = 40_000.0, min_voltage: float = 0.5,
+                 initial_soc: float = 0.5, name: str = ""):
+        if capacitance_f <= 0:
+            raise ValueError("capacitance_f must be positive")
+        if rated_voltage <= 0:
+            raise ValueError("rated_voltage must be positive")
+        if not 0.0 < fast_fraction <= 1.0:
+            raise ValueError("fast_fraction must be in (0, 1]")
+        if redistribution_tau <= 0:
+            raise ValueError("redistribution_tau must be positive")
+        if leakage_resistance <= 0:
+            raise ValueError("leakage_resistance must be positive")
+        if not 0.0 <= min_voltage < rated_voltage:
+            raise ValueError("need 0 <= min_voltage < rated_voltage")
+
+        self.capacitance_f = capacitance_f
+        self.rated_voltage = rated_voltage
+        self.min_voltage = min_voltage
+        self.c_fast = capacitance_f * fast_fraction
+        self.c_slow = capacitance_f * (1.0 - fast_fraction)
+        self.redistribution_tau = redistribution_tau
+        self.leakage_resistance = leakage_resistance
+
+        # Usable capacity: energy between min_voltage and rated_voltage on
+        # the full capacitance.
+        usable = 0.5 * capacitance_f * (rated_voltage ** 2 - min_voltage ** 2)
+        super().__init__(capacity_j=usable, initial_soc=initial_soc, name=name)
+
+        # Distribute the initial energy at equal branch voltages.
+        v0 = self._voltage_for_usable_energy(self.energy_j)
+        self.v_fast = v0
+        self.v_slow = v0
+        self._sync_energy()
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _voltage_for_usable_energy(self, usable_j: float) -> float:
+        """Common branch voltage holding the given usable energy."""
+        total = usable_j + 0.5 * self.capacitance_f * self.min_voltage ** 2
+        return math.sqrt(max(0.0, 2.0 * total / self.capacitance_f))
+
+    def _usable_energy(self) -> float:
+        """Usable energy across both branches (J), floor at min_voltage."""
+        e_fast = 0.5 * self.c_fast * max(0.0, self.v_fast ** 2 - self.min_voltage ** 2)
+        if self.c_slow > 0:
+            e_slow = 0.5 * self.c_slow * max(0.0, self.v_slow ** 2 - self.min_voltage ** 2)
+        else:
+            e_slow = 0.0
+        return e_fast + e_slow
+
+    def _sync_energy(self) -> None:
+        self.energy_j = min(self.capacity_j, self._usable_energy())
+
+    # ------------------------------------------------------------------
+    # EnergyStorage interface
+    # ------------------------------------------------------------------
+    def voltage(self) -> float:
+        """Terminal voltage = fast-branch voltage."""
+        return self.v_fast
+
+    def charge(self, power_w: float, dt: float) -> float:
+        if power_w < 0:
+            raise ValueError(f"power_w must be non-negative, got {power_w}")
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        if power_w == 0.0:
+            return 0.0
+        # Energy enters the fast branch; clamp at rated voltage.
+        e_fast = 0.5 * self.c_fast * self.v_fast ** 2
+        room = 0.5 * self.c_fast * self.rated_voltage ** 2 - e_fast
+        delivered = min(power_w * dt, max(0.0, room))
+        e_fast += delivered
+        self.v_fast = math.sqrt(2.0 * e_fast / self.c_fast)
+        self._sync_energy()
+        self.total_charged_j += delivered
+        return delivered / dt
+
+    def discharge(self, power_w: float, dt: float) -> float:
+        if power_w < 0:
+            raise ValueError(f"power_w must be non-negative, got {power_w}")
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        if power_w == 0.0:
+            return 0.0
+        deliverable = min(power_w, self.max_discharge_w)
+        e_fast = 0.5 * self.c_fast * self.v_fast ** 2
+        floor = 0.5 * self.c_fast * self.min_voltage ** 2
+        available = max(0.0, e_fast - floor)
+        drawn = min(deliverable * dt, available)
+        e_fast -= drawn
+        self.v_fast = math.sqrt(2.0 * e_fast / self.c_fast)
+        self._sync_energy()
+        self.total_discharged_j += drawn
+        return drawn / dt
+
+    def step_idle(self, dt: float) -> float:
+        """Charge redistribution between branches + terminal leakage.
+
+        Returns the energy lost to leakage (J). Redistribution conserves
+        charge (not energy — the resistive exchange dissipates, which is
+        the point of ref. [9]).
+        """
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        before = self._usable_energy()
+
+        # Redistribution: exponential approach of both branch voltages to
+        # the common charge-conserving voltage.
+        if self.c_slow > 0:
+            v_eq = (self.c_fast * self.v_fast + self.c_slow * self.v_slow) / \
+                self.capacitance_f
+            alpha = 1.0 - math.exp(-dt / self.redistribution_tau)
+            self.v_fast += alpha * (v_eq - self.v_fast)
+            self.v_slow += alpha * (v_eq - self.v_slow)
+
+        # Leakage from the fast (terminal) branch: RC decay.
+        tau_leak = self.leakage_resistance * self.c_fast
+        self.v_fast *= math.exp(-dt / tau_leak)
+
+        self._sync_energy()
+        return max(0.0, before - self._usable_energy())
+
+    def leakage_power(self) -> float:
+        """Instantaneous terminal leakage power V^2/R (W), for reports."""
+        return self.v_fast ** 2 / self.leakage_resistance

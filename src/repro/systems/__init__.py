@@ -1,0 +1,25 @@
+"""Executable models of the seven surveyed platforms (Table I, A-G)."""
+
+from .ambimax import build_ambimax
+from .cymbet_eval import build_cymbet_eval
+from .ehlink import build_ehlink
+from .max17710_eval import build_max17710_eval
+from .mpwinode import build_mpwinode
+from .plug_and_play import build_plug_and_play, make_module
+from .registry import SYSTEM_BUILDERS, SYSTEM_NAMES, all_systems, build_system
+from .smart_power_unit import build_smart_power_unit
+
+__all__ = [
+    "build_smart_power_unit",
+    "build_plug_and_play",
+    "make_module",
+    "build_ambimax",
+    "build_mpwinode",
+    "build_max17710_eval",
+    "build_cymbet_eval",
+    "build_ehlink",
+    "SYSTEM_BUILDERS",
+    "SYSTEM_NAMES",
+    "build_system",
+    "all_systems",
+]

@@ -1,0 +1,131 @@
+"""System C — AmbiMax (Park & Chou, SECON 2006; survey [3]).
+
+"Autonomous energy harvesting platform for multi-supply wireless sensor
+nodes": per-source *hardware* MPPT (AmbiMax's signature contribution —
+each input has an autonomous analog tracking loop, no software involved),
+supercapacitor-first storage with a Li-polymer reservoir.
+
+Table I: 3 harvesting inputs / 2 stores, light + wind, swappable sensor
+node, "Yes, battery" storage swap, "Yes, 3" harvester swap, *no* energy
+monitoring, no digital interface, < 5 uA quiescent, not commercial.
+The survey (Sec. III.4): "The rest of the systems have no 'intelligence'
+on board."
+"""
+
+from __future__ import annotations
+
+from ..conditioning.base import InputConditioner, OutputConditioner
+from ..conditioning.converters import BuckBoostConverter
+from ..conditioning.mppt import FractionalOpenCircuit
+from ..core.manager import StaticManager
+from ..core.system import HarvestingChannel, MultiSourceSystem, StorageBank
+from ..core.taxonomy import (
+    ArchitectureDescriptor,
+    CommunicationStyle,
+    ConditioningLocation,
+    ControlCapability,
+    HardwareFlexibility,
+    InputConditioningStyle,
+    IntelligenceLocation,
+    MonitoringCapability,
+    OutputStageStyle,
+)
+from ..harvesters.photovoltaic import PhotovoltaicCell
+from ..harvesters.wind_turbine import MicroWindTurbine
+from ..load.node import WirelessSensorNode
+from ..storage.batteries import LiPolymerBattery
+from ..storage.supercapacitor import Supercapacitor
+
+__all__ = ["build_ambimax", "AMBIMAX_QUIESCENT_A"]
+
+#: Table I: "< 5 uA"; we model the platform at 4 uA.
+AMBIMAX_QUIESCENT_A = 4e-6
+
+
+def build_ambimax(node: WirelessSensorNode | None = None, manager=None,
+                  initial_soc: float = 0.5) -> MultiSourceSystem:
+    """Build System C (AmbiMax)."""
+    if node is None:
+        node = WirelessSensorNode(measurement_interval_s=60.0)
+    if manager is None:
+        manager = StaticManager()
+
+    def hw_mppt_channel(harvester, name, fraction):
+        # AmbiMax's autonomous analog MPPT loop: fractional-Voc behaviour
+        # with a sub-uA standing current, no software in the loop.
+        return HarvestingChannel(
+            harvester,
+            InputConditioner(
+                tracker=FractionalOpenCircuit(fraction=fraction,
+                                              sample_period=30.0,
+                                              sample_time=0.2,
+                                              quiescent_current_a=0.5e-6),
+                converter=BuckBoostConverter(peak_efficiency=0.88,
+                                             overhead_power=70e-6),
+                quiescent_current_a=0.3e-6,
+                name=name,
+            ),
+            name=name,
+        )
+
+    channels = [
+        hw_mppt_channel(PhotovoltaicCell(area_cm2=35.0, efficiency=0.15,
+                                         name="pv-1"), "pv-1", 0.76),
+        hw_mppt_channel(PhotovoltaicCell(area_cm2=35.0, efficiency=0.15,
+                                         name="pv-2"), "pv-2", 0.76),
+        hw_mppt_channel(MicroWindTurbine(rotor_diameter_m=0.1, name="wind"),
+                        "wind", 0.5),
+    ]
+
+    bank = StorageBank([
+        Supercapacitor(capacitance_f=22.0, rated_voltage=5.0,
+                       initial_soc=initial_soc, name="supercap"),
+        LiPolymerBattery(capacity_mah=750.0, initial_soc=initial_soc,
+                         name="li-poly"),
+    ])
+
+    output = OutputConditioner(
+        converter=BuckBoostConverter(peak_efficiency=0.88,
+                                     overhead_power=60e-6),
+        output_voltage=3.0,
+        min_input_voltage=1.0,
+        quiescent_current_a=0.5e-6,
+        name="reg-out",
+    )
+
+    architecture = ArchitectureDescriptor(
+        name="AmbiMax",
+        short_name="C",
+        conditioning_location=ConditioningLocation.POWER_UNIT,
+        input_style=InputConditioningStyle.MPPT,
+        output_style=OutputStageStyle.BUCK_BOOST,
+        flexibility=HardwareFlexibility.SWAPPABLE_HARVESTERS_AND_STORAGE,
+        monitoring=MonitoringCapability.NONE,
+        control=ControlCapability.NONE,
+        intelligence=IntelligenceLocation.NONE,
+        communication=CommunicationStyle.NONE,
+        swappable_sensor_node=True,
+        swappable_storage_detail="Yes, battery",
+        swappable_harvester_detail="Yes, 3",
+        energy_monitoring_detail="No",
+        quiescent_current_a=AMBIMAX_QUIESCENT_A,
+        quiescent_is_upper_bound=True,
+        commercial=False,
+        reference="[3]",
+        supported_harvester_labels=("Light", "Wind"),
+        supported_storage_labels=("Supercaps", "Li-ion/poly",
+                                  "2xAA rech. batts."),
+    )
+
+    system = MultiSourceSystem(
+        architecture=architecture,
+        channels=channels,
+        bank=bank,
+        output=output,
+        node=node,
+        manager=manager,
+    )
+    component_iq = (sum(c.quiescent_current_a for c in channels) +
+                    output.quiescent_current_a)
+    system.base_quiescent_a = max(0.0, AMBIMAX_QUIESCENT_A - component_iq)
+    return system

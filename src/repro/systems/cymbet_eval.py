@@ -1,0 +1,167 @@
+"""System F — Cymbet EnerChip EP Universal Harvester eval kit (survey [12]).
+
+A *commercial* four-input kit (light, radio, thermal, vibration) charging
+EnerChip thin-film storage with an optional external lithium battery.
+Distinctive in Table I: it pairs broad input support with a dedicated
+controller — "Systems A and F have dedicated controllers that carry out
+the energy-awareness tasks and interface with the sensor node"
+(Sec. III.4) — and "allows the system to see which devices are active"
+(Sec. III.3). Energy monitoring "Yes", digital interface "Yes",
+20 uA quiescent.
+"""
+
+from __future__ import annotations
+
+from ..conditioning.base import InputConditioner, OutputConditioner
+from ..conditioning.converters import BuckBoostConverter
+from ..conditioning.mppt import FixedVoltage
+from ..core.manager import ThresholdManager
+from ..core.system import HarvestingChannel, MultiSourceSystem, StorageBank
+from ..core.taxonomy import (
+    ArchitectureDescriptor,
+    CommunicationStyle,
+    ConditioningLocation,
+    ControlCapability,
+    HardwareFlexibility,
+    InputConditioningStyle,
+    IntelligenceLocation,
+    MonitoringCapability,
+    OutputStageStyle,
+)
+from ..harvesters.photovoltaic import PhotovoltaicCell
+from ..harvesters.piezoelectric import PiezoelectricHarvester
+from ..harvesters.rf_harvester import RFHarvester
+from ..harvesters.thermoelectric import ThermoelectricGenerator
+from ..interfaces.bus import RegisterBus
+from ..interfaces.power_unit_mcu import PowerUnitMCU
+from ..load.node import WirelessSensorNode
+from ..storage.batteries import LiIonBattery, ThinFilmBattery
+
+__all__ = ["build_cymbet_eval", "CYMBET_QUIESCENT_A"]
+
+#: Table I quiescent current: 20 uA.
+CYMBET_QUIESCENT_A = 20e-6
+
+#: Bus address of the kit's activity-reporting controller.
+CYMBET_MCU_ADDRESS = 0x4A
+
+
+def build_cymbet_eval(node: WirelessSensorNode | None = None, manager=None,
+                      initial_soc: float = 0.5) -> MultiSourceSystem:
+    """Build System F (Cymbet EVAL-09)."""
+    if node is None:
+        node = WirelessSensorNode(measurement_interval_s=600.0,
+                                  sleep_power_w=2e-6)
+    if manager is None:
+        manager = ThresholdManager(backup_on_soc=0.1, backup_off_soc=0.3)
+
+    # The kit's solar terminal is its high-voltage window input (Table I
+    # remark: "others must be between 4.06 V and 20 V"), sized for an
+    # outdoor-class multi-cell module; in dim indoor light the module's
+    # Voc stays below the window and the input is simply inactive.
+    pv = PhotovoltaicCell(area_cm2=15.0, efficiency=0.08, cells_in_series=14,
+                          name="pv")
+    rf = RFHarvester(effective_aperture_cm2=30.0, name="rf")
+    teg = ThermoelectricGenerator(couples=80, internal_resistance=2.5,
+                                  name="teg")
+    piezo = PiezoelectricHarvester(proof_mass_g=4.0, resonant_frequency=60.0,
+                                   name="vibration")
+    piezo.table_label = "Vibration"  # Table I's label for this input
+
+    def kit_channel(harvester, name, volts):
+        # Table I (Sec. III.2): System F's inputs have restrictive voltage
+        # windows — "certain inputs must be below 4.06 V, while others must
+        # be between 4.06 V and 20 V". The per-channel converter windows
+        # encode that constraint.
+        low_window = volts < 4.06
+        return HarvestingChannel(
+            harvester,
+            InputConditioner(
+                tracker=FixedVoltage(volts, quiescent_current_a=0.3e-6),
+                converter=BuckBoostConverter(
+                    peak_efficiency=0.82, overhead_power=30e-6,
+                    min_input_voltage=0.1 if low_window else 4.06,
+                    max_input_voltage=4.06 if low_window else 20.0,
+                ),
+                quiescent_current_a=0.5e-6,
+                name=name,
+            ),
+            name=name,
+        )
+
+    channels = [
+        kit_channel(pv, "pv", 5.0),   # high-window input (4.06-20 V)
+        kit_channel(rf, "rf", 1.0),
+        kit_channel(teg, "teg", 0.8),
+        kit_channel(piezo, "vibration", 1.5),
+    ]
+
+    bank = StorageBank([
+        ThinFilmBattery(capacity_uah=300.0, initial_soc=initial_soc,
+                        name="enerchip"),
+        LiIonBattery(capacity_mah=400.0, initial_soc=initial_soc,
+                     name="ext-li"),
+    ])
+
+    output = OutputConditioner(
+        converter=BuckBoostConverter(peak_efficiency=0.85,
+                                     overhead_power=40e-6),
+        output_voltage=3.3,
+        min_input_voltage=2.5,
+        quiescent_current_a=1.0e-6,
+        name="reg-out",
+    )
+
+    architecture = ArchitectureDescriptor(
+        name="Cymbet EVAL-09",
+        short_name="F",
+        conditioning_location=ConditioningLocation.POWER_UNIT,
+        input_style=InputConditioningStyle.FIXED_POINT,
+        output_style=OutputStageStyle.BUCK_BOOST,
+        flexibility=HardwareFlexibility.SWAPPABLE_HARVESTERS_AND_STORAGE,
+        monitoring=MonitoringCapability.DEVICE_ACTIVITY,
+        control=ControlCapability.OBSERVE_ONLY,
+        intelligence=IntelligenceLocation.POWER_UNIT,
+        communication=CommunicationStyle.DIGITAL,
+        swappable_sensor_node=True,
+        swappable_storage_detail="Yes, battery",
+        swappable_harvester_detail="Yes, 4",
+        energy_monitoring_detail="Yes",
+        quiescent_current_a=CYMBET_QUIESCENT_A,
+        commercial=True,
+        reference="[12]",
+        supported_harvester_labels=("Light", "Radio", "Thermal", "Vibration"),
+        supported_storage_labels=("Thin-film batt.",
+                                  "optional ext. Li batt."),
+    )
+
+    bus = RegisterBus()
+    system = MultiSourceSystem(
+        architecture=architecture,
+        channels=channels,
+        bank=bank,
+        output=output,
+        node=node,
+        manager=manager,
+        bus=bus,
+    )
+
+    def telemetry():
+        monitor = system.monitor
+        return {
+            "store_voltage": system.bank.voltage(),
+            "soc": 0.0,  # the kit reports activity, not state of charge
+            "input_power": 0.0,
+            "n_channels": len(system.channels),
+            "active_mask": monitor.active_channel_mask() or 0,
+            "backup_active": system.bank.backup_enabled,
+        }
+
+    mcu = PowerUnitMCU(telemetry, quiescent_current_a=3.0e-6)
+    bus.attach(CYMBET_MCU_ADDRESS, mcu)
+    system.mcu = mcu
+
+    component_iq = (sum(c.quiescent_current_a for c in channels) +
+                    output.quiescent_current_a + mcu.quiescent_current_a)
+    system.base_quiescent_a = max(0.0, CYMBET_QUIESCENT_A - component_iq)
+    return system

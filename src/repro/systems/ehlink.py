@@ -1,0 +1,126 @@
+"""System G — Microstrain EH-Link (survey [13]).
+
+A *commercial* self-contained 2.4 GHz energy-harvesting sensor node:
+piezo, inductive and radio inputs plus a "General AC/DC > 5 V" terminal,
+storing in a thin-film battery with auxiliary supercap/thin-film options.
+Like System D, "the sensor node [is] on the power unit, which means that
+the system topology is inflexible" (Sec. III.1) — not swappable — and
+there is no intelligence on board. Table I: 3 inputs / 1 store, no
+monitoring, no digital interface, < 32 uA quiescent.
+"""
+
+from __future__ import annotations
+
+from ..conditioning.base import InputConditioner, OutputConditioner
+from ..conditioning.converters import BoostConverter, LinearRegulator
+from ..conditioning.mppt import FixedVoltage
+from ..core.manager import StaticManager
+from ..core.system import HarvestingChannel, MultiSourceSystem, StorageBank
+from ..core.taxonomy import (
+    ArchitectureDescriptor,
+    CommunicationStyle,
+    ConditioningLocation,
+    ControlCapability,
+    HardwareFlexibility,
+    InputConditioningStyle,
+    IntelligenceLocation,
+    MonitoringCapability,
+    OutputStageStyle,
+)
+from ..harvesters.electromagnetic import ElectromagneticHarvester
+from ..harvesters.piezoelectric import PiezoelectricHarvester
+from ..harvesters.rf_harvester import RFHarvester
+from ..load.node import WirelessSensorNode
+from ..storage.batteries import ThinFilmBattery
+
+__all__ = ["build_ehlink", "EHLINK_QUIESCENT_A"]
+
+#: Table I: "< 32 uA"; we model the platform at 28 uA.
+EHLINK_QUIESCENT_A = 28e-6
+
+
+def build_ehlink(node: WirelessSensorNode | None = None, manager=None,
+                 initial_soc: float = 0.5) -> MultiSourceSystem:
+    """Build System G (EH-Link)."""
+    if node is None:
+        # The integrated strain/temperature node of the product.
+        node = WirelessSensorNode(measurement_interval_s=300.0,
+                                  sleep_power_w=4e-6)
+    if manager is None:
+        manager = StaticManager()
+
+    piezo = PiezoelectricHarvester(proof_mass_g=6.0, resonant_frequency=50.0,
+                                   name="piezo")
+    inductive = ElectromagneticHarvester(proof_mass_g=12.0,
+                                         resonant_frequency=60.0,
+                                         name="inductive")
+    rf = RFHarvester(effective_aperture_cm2=20.0, name="rf")
+
+    def input_channel(harvester, name, volts):
+        return HarvestingChannel(
+            harvester,
+            InputConditioner(
+                tracker=FixedVoltage(volts, quiescent_current_a=0.4e-6),
+                converter=BoostConverter(peak_efficiency=0.8,
+                                         overhead_power=40e-6),
+                quiescent_current_a=0.8e-6,
+                name=name,
+            ),
+            name=name,
+        )
+
+    channels = [
+        input_channel(piezo, "piezo", 1.5),
+        input_channel(inductive, "inductive", 0.4),
+        input_channel(rf, "rf", 1.0),
+    ]
+
+    bank = StorageBank([
+        ThinFilmBattery(capacity_uah=1000.0, initial_soc=initial_soc,
+                        name="thin-film"),
+    ])
+
+    output = OutputConditioner(
+        converter=LinearRegulator(dropout_voltage=0.2),
+        output_voltage=3.0,
+        min_input_voltage=3.2,
+        quiescent_current_a=1.5e-6,
+        name="ldo-out",
+    )
+
+    architecture = ArchitectureDescriptor(
+        name="Microstrain EH-Link",
+        short_name="G",
+        conditioning_location=ConditioningLocation.POWER_UNIT,
+        input_style=InputConditioningStyle.FIXED_POINT,
+        output_style=OutputStageStyle.LINEAR_REGULATOR,
+        flexibility=HardwareFlexibility.SWAPPABLE_HARVESTERS_AND_STORAGE,
+        monitoring=MonitoringCapability.NONE,
+        control=ControlCapability.NONE,
+        intelligence=IntelligenceLocation.NONE,
+        communication=CommunicationStyle.NONE,
+        swappable_sensor_node=False,
+        swappable_storage_detail="Yes",
+        swappable_harvester_detail="Yes, 3",
+        energy_monitoring_detail="No",
+        quiescent_current_a=EHLINK_QUIESCENT_A,
+        quiescent_is_upper_bound=True,
+        commercial=True,
+        reference="[13]",
+        supported_harvester_labels=("Piezo", "Inductive", "Radio",
+                                    "General AC/DC > 5 V"),
+        supported_storage_labels=("Aux: supercap/thin-film",),
+    )
+
+    system = MultiSourceSystem(
+        architecture=architecture,
+        channels=channels,
+        bank=bank,
+        output=output,
+        node=node,
+        manager=manager,
+    )
+    component_iq = (sum(c.quiescent_current_a for c in channels) +
+                    output.quiescent_current_a)
+    system.base_quiescent_a = max(0.0, EHLINK_QUIESCENT_A - component_iq)
+    return system

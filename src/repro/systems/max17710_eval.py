@@ -1,0 +1,121 @@
+"""System E — Maxim MAX17710 evaluation kit (survey [11]).
+
+A *commercial* energy-harvesting charger demonstrator: two physical inputs
+(one shared between a piezo/mechanical source and an alternative — hence
+Table I's "Yes, 1 of 2" harvester swap), charging a thin-film micro-
+battery. The MAX17710's virtue is its extraordinarily low standing
+current — Table I: "< 1 uA" — bought by having no intelligence at all:
+no monitoring, no digital interface, boost charging at a fixed point.
+"""
+
+from __future__ import annotations
+
+from ..conditioning.base import InputConditioner, OutputConditioner
+from ..conditioning.converters import BoostConverter, LinearRegulator
+from ..conditioning.mppt import FixedVoltage
+from ..core.manager import StaticManager
+from ..core.system import HarvestingChannel, MultiSourceSystem, StorageBank
+from ..core.taxonomy import (
+    ArchitectureDescriptor,
+    CommunicationStyle,
+    ConditioningLocation,
+    ControlCapability,
+    HardwareFlexibility,
+    InputConditioningStyle,
+    IntelligenceLocation,
+    MonitoringCapability,
+    OutputStageStyle,
+)
+from ..harvesters.photovoltaic import PhotovoltaicCell
+from ..harvesters.piezoelectric import PiezoelectricHarvester
+from ..load.node import WirelessSensorNode
+from ..storage.batteries import ThinFilmBattery
+
+__all__ = ["build_max17710_eval", "MAX17710_QUIESCENT_A"]
+
+#: Table I: "< 1 uA"; we model the platform at 0.75 uA.
+MAX17710_QUIESCENT_A = 0.75e-6
+
+
+def build_max17710_eval(node: WirelessSensorNode | None = None, manager=None,
+                        initial_soc: float = 0.5) -> MultiSourceSystem:
+    """Build System E (MAX17710 eval kit)."""
+    if node is None:
+        # Thin-film storage supports only a trickle load.
+        node = WirelessSensorNode(measurement_interval_s=1800.0,
+                                  sleep_power_w=1e-6)
+    if manager is None:
+        manager = StaticManager()
+
+    piezo = PiezoelectricHarvester(proof_mass_g=3.0, resonant_frequency=60.0,
+                                   name="piezo-mech")
+    piezo.table_label = "Piezo/Mech"  # Table I's label for this input
+    pv = PhotovoltaicCell(area_cm2=8.0, efficiency=0.06, cells_in_series=5,
+                          name="pv-small")
+
+    def charger_channel(harvester, name, volts):
+        return HarvestingChannel(
+            harvester,
+            InputConditioner(
+                tracker=FixedVoltage(volts, quiescent_current_a=0.1e-6),
+                converter=BoostConverter(peak_efficiency=0.8,
+                                         overhead_power=10e-6),
+                quiescent_current_a=0.1e-6,
+                name=name,
+            ),
+            name=name,
+        )
+
+    channels = [
+        charger_channel(piezo, "piezo-mech", 1.2),
+        charger_channel(pv, "pv-small", 1.8),
+    ]
+
+    bank = StorageBank([
+        ThinFilmBattery(capacity_uah=700.0, initial_soc=initial_soc,
+                        name="thin-film"),
+    ])
+
+    output = OutputConditioner(
+        converter=LinearRegulator(dropout_voltage=0.2),
+        output_voltage=3.3,
+        min_input_voltage=3.5,
+        quiescent_current_a=0.15e-6,
+        name="ldo-out",
+    )
+
+    architecture = ArchitectureDescriptor(
+        name="Maxim MAX17710 Eval",
+        short_name="E",
+        conditioning_location=ConditioningLocation.POWER_UNIT,
+        input_style=InputConditioningStyle.FIXED_POINT,
+        output_style=OutputStageStyle.LINEAR_REGULATOR,
+        flexibility=HardwareFlexibility.SWAPPABLE_HARVESTERS,
+        monitoring=MonitoringCapability.NONE,
+        control=ControlCapability.NONE,
+        intelligence=IntelligenceLocation.NONE,
+        communication=CommunicationStyle.NONE,
+        swappable_sensor_node=True,
+        swappable_storage_detail="No",
+        swappable_harvester_detail="Yes, 1 of 2",
+        energy_monitoring_detail="No",
+        quiescent_current_a=MAX17710_QUIESCENT_A,
+        quiescent_is_upper_bound=True,
+        commercial=True,
+        reference="[11]",
+        supported_harvester_labels=("Piezo/Mech", "Light", "Radio"),
+        supported_storage_labels=("Thin-film battery",),
+    )
+
+    system = MultiSourceSystem(
+        architecture=architecture,
+        channels=channels,
+        bank=bank,
+        output=output,
+        node=node,
+        manager=manager,
+    )
+    component_iq = (sum(c.quiescent_current_a for c in channels) +
+                    output.quiescent_current_a)
+    system.base_quiescent_a = max(0.0, MAX17710_QUIESCENT_A - component_iq)
+    return system

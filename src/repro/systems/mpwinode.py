@@ -1,0 +1,122 @@
+"""System D — MPWiNode (Morais et al., 2008; survey [4]).
+
+"Sun, wind and water flow as energy supply for small stationary data
+acquisition platforms" — an agricultural platform charging an AA NiMH
+pack from three sources. Table I's distinguishing features:
+
+* the sensor node lives *on* the power unit ("the system topology is
+  inflexible", Sec. III.1) — not swappable;
+* monitoring is "Limited": an analog line exposing the store voltage only
+  ("System D only allows the store voltage to be monitored", Sec. III.3);
+* by far the worst quiescent draw of the surveyed platforms: 75 uA —
+  the data point that anchors experiment E6.
+"""
+
+from __future__ import annotations
+
+from ..conditioning.base import InputConditioner, OutputConditioner
+from ..conditioning.converters import BuckBoostConverter
+from ..conditioning.mppt import FixedVoltage
+from ..core.manager import StaticManager
+from ..core.system import HarvestingChannel, MultiSourceSystem, StorageBank
+from ..core.taxonomy import (
+    ArchitectureDescriptor,
+    CommunicationStyle,
+    ConditioningLocation,
+    ControlCapability,
+    HardwareFlexibility,
+    InputConditioningStyle,
+    IntelligenceLocation,
+    MonitoringCapability,
+    OutputStageStyle,
+)
+from ..harvesters.photovoltaic import PhotovoltaicCell
+from ..harvesters.water_turbine import WaterTurbine
+from ..harvesters.wind_turbine import MicroWindTurbine
+from ..load.node import WirelessSensorNode
+from ..storage.batteries import AABatteryPack
+
+__all__ = ["build_mpwinode", "MPWINODE_QUIESCENT_A"]
+
+#: Table I quiescent current: 75 uA (exact entry, no '<').
+MPWINODE_QUIESCENT_A = 75e-6
+
+
+def build_mpwinode(node: WirelessSensorNode | None = None, manager=None,
+                   initial_soc: float = 0.5) -> MultiSourceSystem:
+    """Build System D (MPWiNode)."""
+    if node is None:
+        node = WirelessSensorNode(measurement_interval_s=300.0)
+    if manager is None:
+        manager = StaticManager()
+
+    def fixed_channel(harvester, name, volts):
+        return HarvestingChannel(
+            harvester,
+            InputConditioner(
+                tracker=FixedVoltage(volts, quiescent_current_a=0.5e-6),
+                converter=BuckBoostConverter(peak_efficiency=0.82,
+                                             overhead_power=150e-6),
+                quiescent_current_a=1.0e-6,
+                name=name,
+            ),
+            name=name,
+        )
+
+    channels = [
+        fixed_channel(PhotovoltaicCell(area_cm2=60.0, efficiency=0.14,
+                                       name="pv"), "pv", 3.6),
+        fixed_channel(MicroWindTurbine(rotor_diameter_m=0.15, name="wind"),
+                      "wind", 3.0),
+        fixed_channel(WaterTurbine(rotor_diameter_m=0.06, name="water"),
+                      "water", 2.5),
+    ]
+
+    bank = StorageBank([
+        AABatteryPack(cells=2, capacity_mah=2000.0, initial_soc=initial_soc,
+                      name="aa-pack"),
+    ])
+
+    output = OutputConditioner(
+        converter=BuckBoostConverter(peak_efficiency=0.85,
+                                     overhead_power=120e-6),
+        output_voltage=3.0,
+        min_input_voltage=1.8,
+        quiescent_current_a=2.0e-6,
+        name="reg-out",
+    )
+
+    architecture = ArchitectureDescriptor(
+        name="MPWiNode",
+        short_name="D",
+        conditioning_location=ConditioningLocation.POWER_UNIT,
+        input_style=InputConditioningStyle.FIXED_POINT,
+        output_style=OutputStageStyle.BUCK_BOOST,
+        flexibility=HardwareFlexibility.SWAPPABLE_HARVESTERS,
+        monitoring=MonitoringCapability.STORE_VOLTAGE,
+        control=ControlCapability.OBSERVE_ONLY,
+        intelligence=IntelligenceLocation.NONE,
+        communication=CommunicationStyle.ANALOG,
+        swappable_sensor_node=False,
+        swappable_storage_detail="Yes, battery",
+        swappable_harvester_detail="Yes",
+        energy_monitoring_detail="Limited",
+        quiescent_current_a=MPWINODE_QUIESCENT_A,
+        commercial=False,
+        reference="[4]",
+        supported_harvester_labels=("Light", "Wind", "Water Flow"),
+        supported_storage_labels=("AA rech. batts.",),
+    )
+
+    system = MultiSourceSystem(
+        architecture=architecture,
+        channels=channels,
+        bank=bank,
+        output=output,
+        node=node,
+        manager=manager,
+    )
+    component_iq = (sum(c.quiescent_current_a for c in channels) +
+                    output.quiescent_current_a)
+    system.base_quiescent_a = max(0.0, MPWINODE_QUIESCENT_A - component_iq)
+    return system

@@ -1,0 +1,224 @@
+"""System B — the Plug-and-Play Architecture (Weddell et al.; survey [5]).
+
+Fig. 2 of the survey. An *indoor* platform (<1 mW budget) built around six
+harvester/storage-agnostic module slots: "each energy harvester/storage
+device has an interface circuit that brings its characteristics into line
+with those required by the power unit" (Sec. III), each module carries an
+electronic datasheet "which may be individually interrogated" (Sec. II.3),
+and there is *no on-board microcontroller* — the sensor node's own MCU
+hosts the energy awareness (Sec. II.4). Output conditioning is "a low
+quiescent current linear regulator".
+
+Table I: 6 shared slots, everything swappable ("Yes, 6"), full energy
+monitoring that survives hardware changes (the survey's unique property
+of this system), no explicit digital interface to a power-unit MCU,
+7 uA quiescent, not commercial.
+"""
+
+from __future__ import annotations
+
+from ..conditioning.base import InputConditioner, OutputConditioner
+from ..conditioning.converters import BuckBoostConverter, LinearRegulator
+from ..conditioning.interface_circuit import ModuleInterfaceCircuit
+from ..conditioning.mppt import FixedVoltage
+from ..core.manager import EnergyNeutralManager
+from ..core.system import HarvestingChannel, MultiSourceSystem, StorageBank
+from ..core.taxonomy import (
+    ArchitectureDescriptor,
+    CommunicationStyle,
+    ConditioningLocation,
+    ControlCapability,
+    HardwareFlexibility,
+    InputConditioningStyle,
+    IntelligenceLocation,
+    MonitoringCapability,
+    OutputStageStyle,
+)
+from ..environment.ambient import SourceType
+from ..harvesters.datasheet import DeviceKind, ElectronicDatasheet, attach_datasheet
+from ..harvesters.photovoltaic import PhotovoltaicCell
+from ..harvesters.piezoelectric import PiezoelectricHarvester
+from ..harvesters.thermoelectric import ThermoelectricGenerator
+from ..harvesters.wind_turbine import MicroWindTurbine
+from ..interfaces.bus import RegisterBus
+from ..interfaces.plug_and_play import ModuleSlots
+from ..load.node import WirelessSensorNode
+from ..storage.batteries import AABatteryPack, LithiumPrimaryCell
+from ..storage.supercapacitor import Supercapacitor
+
+__all__ = ["build_plug_and_play", "PNP_QUIESCENT_A", "make_module"]
+
+#: Table I quiescent current for the Plug-and-Play architecture.
+PNP_QUIESCENT_A = 7e-6
+
+#: Standard module bus voltage of the demonstration system.
+PNP_BUS_VOLTAGE = 3.3
+
+
+def make_module(device, model: str, *, nominal_power_w: float = 0.0,
+                mpp_fraction: float = 0.0, nominal_voltage: float = 0.0
+                ) -> ModuleInterfaceCircuit:
+    """Wrap a bare device as a plug-and-play module with a datasheet."""
+    if hasattr(device, "source_type") and not hasattr(device, "capacity_j"):
+        datasheet = ElectronicDatasheet(
+            kind=DeviceKind.HARVESTER, model=model,
+            source_type=device.source_type,
+            nominal_power_w=nominal_power_w,
+            mpp_fraction=mpp_fraction,
+            nominal_voltage=nominal_voltage,
+        )
+    else:
+        datasheet = ElectronicDatasheet(
+            kind=DeviceKind.STORAGE, model=model,
+            capacity_j=device.capacity_j,
+            nominal_voltage=nominal_voltage or device.voltage(),
+            max_charge_w=device.max_charge_w
+            if device.max_charge_w != float("inf") else 0.0,
+            max_discharge_w=device.max_discharge_w
+            if device.max_discharge_w != float("inf") else 0.0,
+        )
+    attach_datasheet(device, datasheet)
+    return ModuleInterfaceCircuit(
+        device,
+        bus_voltage=PNP_BUS_VOLTAGE,
+        converter=BuckBoostConverter(peak_efficiency=0.85,
+                                     overhead_power=20e-6),
+        quiescent_current_a=0.8e-6,
+        name=model,
+    )
+
+
+def _module_channel(module: ModuleInterfaceCircuit) -> HarvestingChannel:
+    """A harvesting channel whose conditioning is the module's own
+    fixed-point interface circuit (Sec. II.1: 'devolved ... to the
+    individual modules')."""
+    ds = module.datasheet
+    fixed_v = 1.5
+    if ds is not None and ds.mpp_fraction > 0 and ds.nominal_voltage > 0:
+        fixed_v = ds.mpp_fraction * ds.nominal_voltage
+    conditioner = InputConditioner(
+        tracker=FixedVoltage(fixed_v, quiescent_current_a=0.2e-6),
+        converter=module.converter,
+        quiescent_current_a=module.quiescent_current_a,
+        name=f"{module.name}-if",
+    )
+    return HarvestingChannel(module.device, conditioner, name=module.name)
+
+
+def build_plug_and_play(node: WirelessSensorNode | None = None,
+                        manager=None, initial_soc: float = 0.5,
+                        modules=None) -> MultiSourceSystem:
+    """Build System B.
+
+    Parameters
+    ----------
+    node:
+        The sensor node; it hosts the energy-awareness software.
+    manager:
+        Override for the node-side policy (default: energy-neutral,
+        since the architecture exposes full telemetry).
+    initial_soc:
+        Initial SoC of the rechargeable stores.
+    modules:
+        Optional explicit list of :class:`ModuleInterfaceCircuit` to slot
+        (max 6). Default: the demonstration set — PV, wind, TEG and piezo
+        harvester modules plus supercapacitor and NiMH storage modules,
+        with a lithium primary as the node's backup battery.
+    """
+    if node is None:
+        node = WirelessSensorNode(measurement_interval_s=120.0)
+    if manager is None:
+        manager = EnergyNeutralManager()
+
+    supercap = Supercapacitor(capacitance_f=25.0, rated_voltage=5.0,
+                              initial_soc=initial_soc, name="supercap")
+    # Three series NiMH cells: a single 1.2 V cell could not hold up the
+    # 3 V LDO output stage; the demonstration system used a multi-cell
+    # pack presented as one storage module.
+    nimh = AABatteryPack(cells=3, capacity_mah=800.0,
+                         initial_soc=initial_soc, name="nimh")
+    nimh.table_label = "NiMH rech. batt."  # Table I's name for this module
+    primary = LithiumPrimaryCell(capacity_mah=1200.0, name="li-primary")
+
+    if modules is None:
+        pv = PhotovoltaicCell(area_cm2=20.0, efficiency=0.07,
+                              cells_in_series=6, name="pv-indoor")
+        wind = MicroWindTurbine(rotor_diameter_m=0.08, cut_in_speed=1.5,
+                                name="wind-duct")
+        teg = ThermoelectricGenerator(couples=120, internal_resistance=3.0,
+                                      name="teg-machine")
+        piezo = PiezoelectricHarvester(proof_mass_g=8.0,
+                                       resonant_frequency=50.0,
+                                       name="piezo-machine")
+        piezo.table_label = "Vibration"  # Table I's label for this module
+        modules = [
+            make_module(pv, "pv-indoor", nominal_power_w=0.01,
+                        mpp_fraction=0.75, nominal_voltage=3.2),
+            make_module(wind, "wind-duct", nominal_power_w=0.02,
+                        mpp_fraction=0.5, nominal_voltage=5.0),
+            make_module(teg, "teg-machine", nominal_power_w=0.01,
+                        mpp_fraction=0.5, nominal_voltage=0.7),
+            make_module(piezo, "piezo-machine", nominal_power_w=0.002,
+                        mpp_fraction=0.5, nominal_voltage=2.0),
+            make_module(supercap, "supercap-module"),
+            make_module(nimh, "nimh-module"),
+        ]
+    if len(modules) > 6:
+        raise ValueError("System B has six module slots")
+
+    bus = RegisterBus()
+    slots = ModuleSlots(bus=bus, n_slots=6)
+    for i, module in enumerate(modules):
+        slots.attach(i, module)
+
+    channels = [_module_channel(m) for m in modules if m.is_harvester]
+    slotted_stores = [m.device for m in modules if m.is_storage]
+    bank = StorageBank(slotted_stores + [primary])
+
+    output = OutputConditioner(
+        converter=LinearRegulator(dropout_voltage=0.15),
+        output_voltage=3.0,
+        min_input_voltage=3.15,
+        quiescent_current_a=0.6e-6,
+        name="ldo-out",
+    )
+
+    architecture = ArchitectureDescriptor(
+        name="Plug-and-Play",
+        short_name="B",
+        conditioning_location=ConditioningLocation.PER_MODULE,
+        input_style=InputConditioningStyle.FIXED_POINT,
+        output_style=OutputStageStyle.LINEAR_REGULATOR,
+        flexibility=HardwareFlexibility.COMPLETELY_FLEXIBLE,
+        monitoring=MonitoringCapability.FULL,
+        control=ControlCapability.OBSERVE_ONLY,
+        intelligence=IntelligenceLocation.EMBEDDED_DEVICE,
+        communication=CommunicationStyle.DIGITAL,
+        swappable_sensor_node=True,
+        swappable_storage_detail="Yes, 6",
+        swappable_harvester_detail="Yes, 6",
+        energy_monitoring_detail="Yes",
+        quiescent_current_a=PNP_QUIESCENT_A,
+        commercial=False,
+        auto_recognition=True,
+        shared_slots=6,
+        reference="[5]",
+        supported_harvester_labels=("Light", "Wind", "Thermal", "Vibration"),
+        supported_storage_labels=("Supercap.", "NiMH rech. batt.",
+                                  "Li non-rech. batt."),
+    )
+
+    system = MultiSourceSystem(
+        architecture=architecture,
+        channels=channels,
+        bank=bank,
+        output=output,
+        node=node,
+        manager=manager,
+        bus=bus,
+        slots=slots,
+    )
+    component_iq = (sum(c.quiescent_current_a for c in channels) +
+                    output.quiescent_current_a)
+    system.base_quiescent_a = max(0.0, PNP_QUIESCENT_A - component_iq)
+    return system

@@ -1,0 +1,60 @@
+"""Registry of the seven surveyed systems (Table I's columns A-G).
+
+Provides letter-keyed access to the builders so experiments can sweep the
+whole surveyed population:
+
+>>> from repro.systems import build_system, all_systems
+>>> spu = build_system("A")
+>>> table_population = all_systems()
+"""
+
+from __future__ import annotations
+
+from .ambimax import build_ambimax
+from .cymbet_eval import build_cymbet_eval
+from .ehlink import build_ehlink
+from .max17710_eval import build_max17710_eval
+from .mpwinode import build_mpwinode
+from .plug_and_play import build_plug_and_play
+from .smart_power_unit import build_smart_power_unit
+
+__all__ = ["SYSTEM_BUILDERS", "SYSTEM_NAMES", "build_system", "all_systems"]
+
+#: Letter -> builder, in Table I column order.
+SYSTEM_BUILDERS = {
+    "A": build_smart_power_unit,
+    "B": build_plug_and_play,
+    "C": build_ambimax,
+    "D": build_mpwinode,
+    "E": build_max17710_eval,
+    "F": build_cymbet_eval,
+    "G": build_ehlink,
+}
+
+#: Letter -> full platform name, as printed in Table I.
+SYSTEM_NAMES = {
+    "A": "Smart Power Unit",
+    "B": "Plug-and-Play",
+    "C": "AmbiMax",
+    "D": "MPWiNode",
+    "E": "Maxim MAX17710 Eval",
+    "F": "Cymbet EVAL-09",
+    "G": "Microstrain EH-Link",
+}
+
+
+def build_system(letter: str, **kwargs):
+    """Build one surveyed system by its Table I letter."""
+    try:
+        builder = SYSTEM_BUILDERS[letter.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown system {letter!r}; choose from {sorted(SYSTEM_BUILDERS)}"
+        ) from None
+    return builder(**kwargs)
+
+
+def all_systems(**kwargs) -> dict:
+    """Freshly-built instances of all seven systems, keyed by letter."""
+    return {letter: builder(**kwargs)
+            for letter, builder in SYSTEM_BUILDERS.items()}

@@ -1,0 +1,192 @@
+"""System A — the Smart Power Unit (Magno et al., DATE 2012; survey [6]).
+
+Fig. 1 of the survey. An *outdoor* multi-source platform with a power
+budget "of the order of a few milliwatts":
+
+* three harvesting inputs — two PV panels and a micro wind turbine — each
+  behind an MPPT arrangement ("works to ensure that the energy harvesters
+  operate at their optimal point", Sec. II.1);
+* three stores — a supercapacitor (fast buffer), a Li-ion rechargeable
+  battery (bulk), and a hydrogen fuel cell that "starts to work when the
+  stored energy coming from the environmental sources is running out";
+* a buck-boost output converter;
+* a dedicated power-unit microcontroller speaking I2C to the sensor node —
+  Table I: full energy monitoring, an explicit digital interface, 5 uA
+  platform quiescent; harvesters and stores soldered (not swappable), but
+  the sensor node is exchangeable.
+"""
+
+from __future__ import annotations
+
+from ..conditioning.base import InputConditioner, OutputConditioner
+from ..conditioning.converters import BuckBoostConverter
+from ..conditioning.mppt import PerturbObserve
+from ..core.manager import ThresholdManager
+from ..core.system import HarvestingChannel, MultiSourceSystem, StorageBank
+from ..core.taxonomy import (
+    ArchitectureDescriptor,
+    CommunicationStyle,
+    ConditioningLocation,
+    ControlCapability,
+    HardwareFlexibility,
+    InputConditioningStyle,
+    IntelligenceLocation,
+    MonitoringCapability,
+    OutputStageStyle,
+)
+from ..harvesters.photovoltaic import PhotovoltaicCell
+from ..harvesters.wind_turbine import MicroWindTurbine
+from ..interfaces.bus import RegisterBus
+from ..interfaces.power_unit_mcu import PowerUnitMCU
+from ..load.node import WirelessSensorNode
+from ..storage.batteries import LiIonBattery
+from ..storage.fuel_cell import HydrogenFuelCell
+from ..storage.supercapacitor import Supercapacitor
+
+__all__ = ["build_smart_power_unit", "SPU_QUIESCENT_A"]
+
+#: Table I quiescent current for the Smart Power Unit.
+SPU_QUIESCENT_A = 5e-6
+
+#: Bus address of the SPU's management MCU.
+SPU_MCU_ADDRESS = 0x48
+
+
+def build_smart_power_unit(node: WirelessSensorNode | None = None,
+                           manager=None, initial_soc: float = 0.5,
+                           fuel_energy_j: float = 18_000.0,
+                           pv_area_cm2: float = 40.0,
+                           rotor_diameter_m: float = 0.12,
+                           battery_mah: float = 1000.0,
+                           supercap_f: float = 50.0
+                           ) -> MultiSourceSystem:
+    """Build System A.
+
+    Parameters
+    ----------
+    node:
+        The attached wireless sensor node (swappable per Table I).
+    manager:
+        Energy manager override; default is the SPU firmware's threshold
+        policy with fuel-cell gating.
+    initial_soc:
+        Initial state of charge of the ambient-fed stores.
+    fuel_energy_j:
+        Fuel cartridge energy.
+    pv_area_cm2 / rotor_diameter_m:
+        Harvester sizing (the survey notes device size "is changeable
+        within certain bounds").
+    battery_mah / supercap_f:
+        Storage sizing, changeable within the same bounds.
+    """
+    if node is None:
+        node = WirelessSensorNode(measurement_interval_s=60.0)
+    if manager is None:
+        manager = ThresholdManager(backup_on_soc=0.12, backup_off_soc=0.35)
+
+    def mppt_channel(harvester, name):
+        return HarvestingChannel(
+            harvester,
+            InputConditioner(
+                tracker=PerturbObserve(step_fraction=0.02, update_period=1.0,
+                                       quiescent_current_a=0.4e-6),
+                converter=BuckBoostConverter(peak_efficiency=0.9,
+                                             overhead_power=80e-6),
+                quiescent_current_a=0.2e-6,
+                name=name,
+            ),
+            name=name,
+        )
+
+    channels = [
+        mppt_channel(PhotovoltaicCell(area_cm2=pv_area_cm2, efficiency=0.16,
+                                      name="pv-main"), "pv-main"),
+        mppt_channel(PhotovoltaicCell(area_cm2=pv_area_cm2 / 2.0,
+                                      efficiency=0.16, name="pv-aux"),
+                     "pv-aux"),
+        mppt_channel(MicroWindTurbine(rotor_diameter_m=rotor_diameter_m,
+                                      name="wind"), "wind"),
+    ]
+
+    bank = StorageBank([
+        Supercapacitor(capacitance_f=supercap_f, rated_voltage=5.0,
+                       initial_soc=initial_soc, name="supercap"),
+        LiIonBattery(capacity_mah=battery_mah, initial_soc=initial_soc,
+                     name="li-ion"),
+        HydrogenFuelCell(fuel_energy_j=fuel_energy_j, max_power_w=0.5,
+                         name="fuel-cell"),
+    ])
+
+    output = OutputConditioner(
+        converter=BuckBoostConverter(peak_efficiency=0.9,
+                                     overhead_power=60e-6),
+        output_voltage=3.0,
+        min_input_voltage=0.9,
+        quiescent_current_a=0.5e-6,
+        name="buck-boost-out",
+    )
+
+    architecture = ArchitectureDescriptor(
+        name="Smart Power Unit",
+        short_name="A",
+        conditioning_location=ConditioningLocation.POWER_UNIT,
+        input_style=InputConditioningStyle.MPPT,
+        output_style=OutputStageStyle.BUCK_BOOST,
+        flexibility=HardwareFlexibility.FIXED,
+        monitoring=MonitoringCapability.FULL,
+        control=ControlCapability.TWO_WAY,
+        intelligence=IntelligenceLocation.POWER_UNIT,
+        communication=CommunicationStyle.DIGITAL,
+        swappable_sensor_node=True,
+        swappable_storage_detail="No",
+        swappable_harvester_detail="No",
+        energy_monitoring_detail="Yes",
+        quiescent_current_a=SPU_QUIESCENT_A,
+        commercial=False,
+        reference="[6]",
+        supported_harvester_labels=("Light", "Wind"),
+        supported_storage_labels=("Fuel cell", "Li-ion rech. batt.",
+                                  "Supercap."),
+    )
+
+    bus = RegisterBus()
+    system = MultiSourceSystem(
+        architecture=architecture,
+        channels=channels,
+        bank=bank,
+        output=output,
+        node=node,
+        manager=manager,
+        bus=bus,
+    )
+
+    # Wire the SPU management MCU onto the I2C bus; its telemetry view is
+    # the system's own monitor (the MCU *is* the monitoring implementation).
+    def telemetry():
+        monitor = system.monitor
+        return {
+            "store_voltage": system.bank.voltage(),
+            "soc": monitor.soc_estimate() or 0.0,
+            "input_power": monitor.input_power() or 0.0,
+            "n_channels": len(system.channels),
+            "active_mask": monitor.active_channel_mask() or 0,
+            "backup_active": system.bank.backup_enabled,
+        }
+
+    def on_duty_level(level: int):
+        # 0 = fastest (10 s), 15 = slowest (~1.5 h); geometric ladder.
+        node.set_measurement_interval(10.0 * (1.5 ** level))
+
+    mcu = PowerUnitMCU(telemetry, on_duty_level=on_duty_level,
+                       on_backup_enable=lambda enabled: setattr(
+                           system.bank, "backup_enabled", enabled),
+                       quiescent_current_a=1.5e-6)
+    bus.attach(SPU_MCU_ADDRESS, mcu)
+    system.mcu = mcu
+
+    # Calibrate the platform's residual standing draw so the total matches
+    # Table I's 5 uA.
+    component_iq = (sum(c.quiescent_current_a for c in channels) +
+                    output.quiescent_current_a + mcu.quiescent_current_a)
+    system.base_quiescent_a = max(0.0, SPU_QUIESCENT_A - component_iq)
+    return system

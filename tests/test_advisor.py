@@ -1,0 +1,70 @@
+"""Tests for the deployment advisor."""
+
+import pytest
+
+from repro.analysis import advise
+from repro.environment import (
+    Environment,
+    SourceType,
+    Trace,
+    indoor_industrial_environment,
+    outdoor_environment,
+)
+
+DAY = 86_400.0
+
+
+@pytest.fixture(scope="module")
+def outdoor_advice():
+    return advise(outdoor_environment(duration=2 * DAY, dt=300.0, seed=13))
+
+
+@pytest.fixture(scope="module")
+def indoor_advice():
+    return advise(indoor_industrial_environment(duration=2 * DAY, dt=300.0,
+                                                seed=13))
+
+
+class TestAdvise:
+    def test_all_platforms_assessed(self, outdoor_advice):
+        assert {a.letter for a in outdoor_advice.assessments} == set("ABCDEFG")
+
+    def test_sorted_best_first(self, outdoor_advice):
+        scores = [a.score for a in outdoor_advice.assessments]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_vibration_only_platform_loses_outdoors(self, outdoor_advice):
+        # System G (piezo/inductive/RF) has nothing to harvest outdoors.
+        assert outdoor_advice.assessments[-1].letter == "G"
+        assert outdoor_advice.by_letter("G").source_match == 0.0
+
+    def test_indoor_favours_indoor_platforms(self, indoor_advice):
+        # The top of the indoor ranking must be one of the broad-input
+        # indoor-capable platforms, not the outdoor specialists.
+        assert indoor_advice.best.letter in ("B", "F")
+
+    def test_indoor_b_is_viable(self, indoor_advice):
+        # System B is *designed* for this deployment: full uptime expected.
+        assert indoor_advice.by_letter("B").uptime_fraction == 1.0
+
+    def test_source_match_reflects_exploitable_channels(self, indoor_advice):
+        # F supports light+RF+thermal+vibration: everything the indoor
+        # environment offers.
+        assert indoor_advice.by_letter("F").source_match == 1.0
+
+    def test_report_renders(self, outdoor_advice):
+        text = outdoor_advice.report()
+        assert "recommendation" in text
+        assert "Deployment advice" in text
+
+    def test_dead_environment_rejected(self):
+        env = Environment({}, name="void")
+        with pytest.raises(ValueError):
+            advise(env)
+
+    def test_explicit_days_override(self):
+        env = Environment(
+            {SourceType.LIGHT: Trace.constant(300.0, 2 * DAY, dt=600.0)},
+            name="flat")
+        advice = advise(env, days=0.5)
+        assert advice.days == pytest.approx(0.5)

@@ -1,0 +1,150 @@
+"""Tests for storage aging and the energy-audit analysis."""
+
+import pytest
+
+from repro.analysis import audit_run
+from repro.environment import Environment, SourceType, Trace
+from repro.harvesters import PhotovoltaicCell
+from repro.simulation import simulate
+from repro.storage import (
+    AgingStorage,
+    IdealStorage,
+    LiIonBattery,
+    NiMHBattery,
+    Supercapacitor,
+    ThinFilmBattery,
+)
+
+DAY = 86_400.0
+
+
+class TestAgingStorage:
+    def test_starts_at_full_health(self):
+        aged = AgingStorage(LiIonBattery(capacity_mah=100.0))
+        assert aged.health == pytest.approx(1.0)
+        assert not aged.end_of_life
+
+    def test_cycling_fades_capacity(self):
+        inner = LiIonBattery(capacity_mah=10.0, initial_soc=0.5)
+        aged = AgingStorage(inner, cycle_life=100,
+                            calendar_fade_per_year=0.0)
+        rated = aged.rated_capacity_j
+        # Push ~20 full-equivalent cycles through it.
+        for _ in range(40):
+            aged.charge(aged.max_charge_w, 3600.0)
+            aged.discharge(aged.max_discharge_w, 3600.0)
+        assert aged.equivalent_cycles > 5.0
+        assert aged.capacity_j < rated
+
+    def test_calibrated_to_eol_at_cycle_life(self):
+        inner = IdealStorage(capacity_j=100.0, initial_soc=0.5)
+        aged = AgingStorage(inner, cycle_life=10, end_of_life_fraction=0.8,
+                            calendar_fade_per_year=0.0)
+        # Force exactly 10 equivalent cycles of throughput.
+        aged._cycled_j = 10 * aged.rated_capacity_j
+        aged._apply_fade()
+        assert aged.health == pytest.approx(0.8)
+        assert aged.end_of_life
+
+    def test_calendar_fade(self):
+        aged = AgingStorage(IdealStorage(capacity_j=100.0), cycle_life=1000,
+                            calendar_fade_per_year=0.05)
+        aged.step_idle(365.25 * DAY)
+        assert aged.health == pytest.approx(0.95, rel=1e-3)
+
+    def test_chemistry_cycle_life_used_by_default(self):
+        aged = AgingStorage(NiMHBattery())
+        assert aged.cycle_life == 800
+        aged = AgingStorage(ThinFilmBattery())
+        assert aged.cycle_life == 5000
+
+    def test_supercap_outlives_battery_under_same_cycling(self):
+        sc = AgingStorage(Supercapacitor(capacitance_f=10.0,
+                                         initial_soc=0.5),
+                          cycle_life=500_000, calendar_fade_per_year=0.0)
+        li = AgingStorage(LiIonBattery(capacity_mah=10.0, initial_soc=0.5),
+                          calendar_fade_per_year=0.0)
+        for _ in range(30):
+            for store in (sc, li):
+                store.charge(0.05, 3600.0)
+                store.discharge(0.05, 3600.0)
+        assert sc.health > li.health
+
+    def test_delegates_device_model(self):
+        inner = Supercapacitor(capacitance_f=10.0, initial_soc=0.5)
+        aged = AgingStorage(inner, cycle_life=1000)
+        assert aged.capacitance_f == 10.0  # forwarded attribute
+        assert aged.voltage() == inner.voltage()
+
+    def test_stored_energy_clamped_to_faded_capacity(self):
+        inner = IdealStorage(capacity_j=100.0, initial_soc=1.0)
+        aged = AgingStorage(inner, cycle_life=10,
+                            end_of_life_fraction=0.5,
+                            calendar_fade_per_year=0.0)
+        aged._cycled_j = 10 * aged.rated_capacity_j
+        aged._apply_fade()
+        assert aged.energy_j <= aged.capacity_j
+
+    def test_validation(self):
+        with pytest.raises(TypeError):
+            AgingStorage("battery")
+        with pytest.raises(ValueError):
+            AgingStorage(IdealStorage(), cycle_life=0)
+        with pytest.raises(ValueError):
+            AgingStorage(IdealStorage(), cycle_life=10,
+                         end_of_life_fraction=1.5)
+
+
+class TestEnergyAudit:
+    @pytest.fixture(scope="class")
+    def run(self):
+        from repro.analysis.experiments import make_reference_system
+        system = make_reference_system(
+            [PhotovoltaicCell(area_cm2=30.0, efficiency=0.16)],
+            capacitance_f=50.0, initial_soc=0.3,
+            measurement_interval_s=30.0)
+        env = Environment(
+            {SourceType.LIGHT: Trace.constant(500.0, 6 * 3600.0, dt=60.0)})
+        return simulate(system, env)
+
+    def test_waterfall_components_nonnegative(self, run):
+        audit = audit_run(run.recorder)
+        assert audit.mpp_available > 0.0
+        assert audit.tracking_loss >= 0.0
+        assert audit.conversion_loss >= 0.0
+        assert audit.storage_rejected >= 0.0
+        assert audit.quiescent_loss >= 0.0
+        assert audit.output_and_misc_loss >= 0.0
+        assert audit.node_consumed > 0.0
+
+    def test_losses_bounded_by_input(self, run):
+        audit = audit_run(run.recorder)
+        total_losses = (audit.tracking_loss + audit.conversion_loss +
+                        audit.storage_rejected + audit.quiescent_loss +
+                        audit.output_and_misc_loss)
+        assert total_losses <= audit.mpp_available * (1 + 1e-6)
+
+    def test_balance_closes(self, run):
+        """MPP input = all losses + storage delta + node consumption,
+        within the residual row's rounding."""
+        audit = audit_run(run.recorder)
+        reconstructed = (audit.tracking_loss + audit.conversion_loss +
+                         audit.storage_rejected + audit.quiescent_loss +
+                         audit.output_and_misc_loss + audit.storage_delta +
+                         audit.node_consumed)
+        assert reconstructed == pytest.approx(audit.mpp_available, rel=0.02)
+
+    def test_efficiency_consistent_with_metrics(self, run):
+        audit = audit_run(run.recorder)
+        assert audit.end_to_end_efficiency == pytest.approx(
+            run.metrics.end_to_end_efficiency, rel=1e-6)
+
+    def test_report_renders(self, run):
+        text = audit_run(run.recorder).report()
+        assert "available at MPP" in text
+        assert "end-to-end efficiency" in text
+
+    def test_empty_recorder_rejected(self):
+        from repro.simulation import Recorder
+        with pytest.raises(ValueError):
+            audit_run(Recorder(60.0))

@@ -1,0 +1,136 @@
+"""Additional analysis-layer coverage: figures for all systems, audits
+across the population, tradeoff reporting, and classifier details."""
+
+import pytest
+
+from repro.analysis import architecture_graph, audit_run, render_architecture
+from repro.core import ArchitectureDescriptor, classify, score_system
+from repro.environment import outdoor_environment
+from repro.simulation import simulate
+from repro.systems import all_systems, build_system
+
+DAY = 86_400.0
+
+
+class TestFiguresForWholePopulation:
+    @pytest.mark.parametrize("letter", list("ABCDEFG"))
+    def test_graph_extracts_for_every_system(self, letter):
+        graph = architecture_graph(build_system(letter))
+        roles = {d.get("role") for _, d in graph.nodes(data=True)}
+        assert "harvester" in roles
+        assert "storage" in roles
+        assert "embedded_device" in roles
+
+    @pytest.mark.parametrize("letter", list("ABCDEFG"))
+    def test_render_for_every_system(self, letter):
+        text = render_architecture(build_system(letter))
+        assert "power path" in text
+        assert "sensor node" in text
+
+    def test_systems_without_mcu_have_no_data_section_nodes(self):
+        graph = architecture_graph(build_system("C"))
+        assert "power-unit-mcu" not in graph.nodes
+
+    def test_every_store_connects_to_bus(self):
+        for letter in "ABCDEFG":
+            graph = architecture_graph(build_system(letter))
+            for node, data in graph.nodes(data=True):
+                if data.get("role") == "storage":
+                    assert graph.has_edge(node, "storage-bus"), (letter, node)
+
+
+class TestAuditAcrossPopulation:
+    @pytest.mark.parametrize("letter", list("ABCD"))
+    def test_audit_balances_for_harvesting_systems(self, letter):
+        system = build_system(letter, initial_soc=0.5)
+        env = outdoor_environment(duration=DAY / 2, dt=300.0, seed=14)
+        result = simulate(system, env)
+        audit = audit_run(result.recorder)
+        assert audit.mpp_available >= 0.0
+        reconstructed = (audit.tracking_loss + audit.conversion_loss +
+                         audit.storage_rejected + audit.quiescent_loss +
+                         audit.output_and_misc_loss + audit.storage_delta +
+                         audit.node_consumed)
+        # Backup draw can make the balance slightly over-complete; allow
+        # a modest tolerance band.
+        assert reconstructed == pytest.approx(audit.mpp_available, rel=0.1,
+                                              abs=5.0)
+
+
+class TestTradeoffDetails:
+    def test_awareness_per_complexity(self):
+        scores = {k: score_system(s) for k, s in all_systems().items()}
+        # System B buys high awareness at moderate complexity; system D
+        # has no awareness at all.
+        assert scores["B"].awareness_per_complexity > 1.0
+        # D's analog line gives limited awareness only.
+        assert scores["D"].energy_awareness <= 0.35
+        assert scores["D"].energy_awareness < scores["A"].energy_awareness
+
+    def test_zero_complexity_zero_awareness(self):
+        from repro.core.tradeoffs import TradeoffScores
+        scores = TradeoffScores(flexibility=0.0, energy_awareness=0.0,
+                                complexity=0.0, quiescent_burden=0.0)
+        assert scores.awareness_per_complexity == 0.0
+
+    def test_zero_complexity_positive_awareness_is_infinite(self):
+        from repro.core.tradeoffs import TradeoffScores
+        scores = TradeoffScores(flexibility=0.0, energy_awareness=0.5,
+                                complexity=0.0, quiescent_burden=0.0)
+        assert scores.awareness_per_complexity == float("inf")
+
+
+class TestClassifierDetails:
+    def test_row_as_dict_ordering(self):
+        row = classify(build_system("A"), device="A")
+        labels = list(row.as_dict())
+        assert labels[0] == "No. Harvesters/Stores"
+        assert labels[-1] == "Commercial Product"
+
+    def test_device_defaults_to_short_name(self):
+        row = classify(build_system("B"))
+        assert row.device == "B"
+
+    def test_sub_microamp_quiescent_display(self):
+        arch = ArchitectureDescriptor(name="x",
+                                      quiescent_current_a=0.75e-6,
+                                      quiescent_is_upper_bound=True)
+        assert arch.quiescent_display == "< 0.75 uA"
+
+    def test_integer_quiescent_display(self):
+        arch = ArchitectureDescriptor(name="x", quiescent_current_a=20e-6)
+        assert arch.quiescent_display == "20 uA"
+
+
+class TestQuickSystemSanity:
+    """Spot physical-sanity checks across the population."""
+
+    def test_quiescent_ordering_matches_table(self):
+        systems = all_systems()
+        iq = {k: s.total_quiescent_current_a for k, s in systems.items()}
+        assert iq["E"] < iq["C"] <= iq["A"] < iq["B"] < iq["F"] < \
+            iq["G"] < iq["D"]
+
+    def test_all_systems_have_positive_capacity(self):
+        for letter, system in all_systems().items():
+            assert system.bank.total_capacity_j > 0.0, letter
+
+    def test_every_channel_has_positive_voltage_target_possible(self):
+        # Every channel's conditioner must be able to move power for SOME
+        # ambient level (no dead-by-construction inputs).
+        from repro.environment import SourceType
+        probe = {
+            SourceType.LIGHT: 800.0,
+            SourceType.WIND: 8.0,
+            SourceType.THERMAL: 25.0,
+            SourceType.VIBRATION: 4.0,
+            SourceType.RF: 1.0,
+            SourceType.WATER_FLOW: 1.5,
+            SourceType.MECHANICAL: 4.0,
+            SourceType.AC_GENERIC: 12.0,
+        }
+        for letter, system in all_systems().items():
+            for channel in system.channels:
+                ambient = probe[channel.source_type]
+                assert channel.harvester.max_power(ambient) > 0.0, \
+                    (letter, channel.name)

@@ -1,0 +1,93 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTable1Command:
+    def test_exit_zero_on_agreement(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "TABLE I" in out
+        assert "70/70" in out
+
+
+class TestFigureCommand:
+    def test_figure_a(self, capsys):
+        assert main(["figure", "A"]) == 0
+        out = capsys.readouterr().out
+        assert "Smart Power Unit" in out
+        assert "power-unit-mcu" in out
+
+    def test_figure_b(self, capsys):
+        assert main(["figure", "B"]) == 0
+        assert "Plug-and-Play" in capsys.readouterr().out
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "Z"])
+
+
+class TestSimulateCommand:
+    def test_simulate_a_outdoor(self, capsys):
+        assert main(["simulate", "A", "--days", "0.5", "--dt", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "uptime" in out
+        assert "harvested" in out
+
+    def test_simulate_b_indoor(self, capsys):
+        assert main(["simulate", "B", "--env", "indoor", "--days", "0.5",
+                     "--dt", "300"]) == 0
+        assert "Plug-and-Play" in capsys.readouterr().out
+
+    def test_seed_changes_output(self, capsys):
+        main(["simulate", "A", "--days", "0.5", "--dt", "300",
+              "--seed", "1"])
+        first = capsys.readouterr().out
+        main(["simulate", "A", "--days", "0.5", "--dt", "300",
+              "--seed", "2"])
+        second = capsys.readouterr().out
+        assert first != second
+
+    def test_determinism(self, capsys):
+        main(["simulate", "C", "--days", "0.5", "--dt", "300",
+              "--seed", "9"])
+        first = capsys.readouterr().out
+        main(["simulate", "C", "--days", "0.5", "--dt", "300",
+              "--seed", "9"])
+        second = capsys.readouterr().out
+        assert first == second
+
+
+class TestExperimentCommand:
+    def test_e6_runs(self, capsys):
+        assert main(["experiment", "e6"]) == 0
+        assert "break-even" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "e99"])
+
+
+class TestAuditCommand:
+    def test_audit_runs(self, capsys):
+        assert main(["audit", "A", "--days", "0.5", "--dt", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "Energy audit" in out
+        assert "end-to-end efficiency" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestAdviseCommand:
+    def test_advise_runs(self, capsys):
+        assert main(["advise", "--env", "indoor", "--days", "0.5",
+                     "--dt", "600"]) == 0
+        out = capsys.readouterr().out
+        assert "recommendation" in out
+        assert "Deployment advice" in out

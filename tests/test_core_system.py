@@ -1,0 +1,319 @@
+"""Tests for the core composition: channels, bank, monitor, system step."""
+
+import pytest
+
+from repro.conditioning import (
+    BuckBoostConverter,
+    InputConditioner,
+    OracleMPPT,
+    OutputConditioner,
+    PerturbObserve,
+)
+from repro.core import (
+    ArchitectureDescriptor,
+    HarvestingChannel,
+    MonitoringCapability,
+    MultiSourceSystem,
+    StaticManager,
+    StorageBank,
+    StorageBelief,
+)
+from repro.environment import AmbientSample, SourceType
+from repro.harvesters import (
+    DeviceKind,
+    ElectronicDatasheet,
+    MicroWindTurbine,
+    PhotovoltaicCell,
+    attach_datasheet,
+)
+from repro.load import WirelessSensorNode
+from repro.storage import (
+    HydrogenFuelCell,
+    IdealStorage,
+    LiIonBattery,
+    Supercapacitor,
+)
+
+
+def _sample(light=500.0, wind=0.0):
+    return AmbientSample({SourceType.LIGHT: light, SourceType.WIND: wind})
+
+
+def _channel(harvester=None, quiescent=0.0):
+    return HarvestingChannel(
+        harvester or PhotovoltaicCell(area_cm2=30.0),
+        InputConditioner(tracker=OracleMPPT(),
+                         converter=BuckBoostConverter(),
+                         quiescent_current_a=quiescent),
+    )
+
+
+def _system(channels=None, stores=None, manager=None,
+            monitoring=MonitoringCapability.FULL, node=None):
+    bank = StorageBank(stores or [Supercapacitor(capacitance_f=25.0,
+                                                 initial_soc=0.5)])
+    arch = ArchitectureDescriptor(name="test-rig", monitoring=monitoring)
+    return MultiSourceSystem(
+        architecture=arch,
+        channels=channels or [_channel()],
+        bank=bank,
+        output=OutputConditioner(converter=BuckBoostConverter(),
+                                 output_voltage=3.0, min_input_voltage=0.8),
+        node=node or WirelessSensorNode(measurement_interval_s=60.0),
+        manager=manager or StaticManager(),
+    )
+
+
+class TestHarvestingChannel:
+    def test_step_reads_matching_channel(self):
+        channel = _channel()
+        step = channel.step(_sample(light=800.0), 1.0, 3.3)
+        assert step.raw_power > 0.0
+        assert channel.last_step is step
+
+    def test_disabled_channel_produces_nothing(self):
+        channel = _channel()
+        channel.enabled = False
+        step = channel.step(_sample(light=800.0), 1.0, 3.3)
+        assert step.raw_power == 0.0
+
+    def test_wrong_ambient_channel_reads_zero(self):
+        channel = HarvestingChannel(MicroWindTurbine(), InputConditioner())
+        step = channel.step(_sample(light=800.0, wind=0.0), 1.0, 3.3)
+        assert step.raw_power == 0.0
+
+    def test_swap_resets_tracker(self):
+        conditioner = InputConditioner(tracker=PerturbObserve())
+        channel = HarvestingChannel(PhotovoltaicCell(), conditioner)
+        channel.step(_sample(), 1.0, 3.3)
+        assert conditioner.tracker._voltage is not None
+        old = channel.swap_harvester(PhotovoltaicCell(area_cm2=5.0))
+        assert old.area_cm2 == 50.0
+        assert conditioner.tracker._voltage is None
+
+    def test_swap_type_checked(self):
+        with pytest.raises(TypeError):
+            _channel().swap_harvester("not a harvester")
+
+
+class TestStorageBank:
+    def test_requires_stores(self):
+        with pytest.raises(ValueError):
+            StorageBank([])
+
+    def test_charge_fills_in_priority_order(self):
+        first = IdealStorage(capacity_j=10.0, initial_soc=0.0)
+        second = IdealStorage(capacity_j=100.0, initial_soc=0.0)
+        bank = StorageBank([first, second])
+        bank.charge(1.0, 20.0)  # 20 J: fills first, overflows to second
+        assert first.is_full()
+        assert second.energy_j == pytest.approx(10.0)
+
+    def test_spill_recorded_when_all_full(self):
+        bank = StorageBank([IdealStorage(capacity_j=1.0, initial_soc=1.0)])
+        accepted = bank.charge(1.0, 10.0)
+        assert accepted == 0.0
+        assert bank.spilled_j == pytest.approx(10.0)
+
+    def test_backup_never_charged(self):
+        fc = HydrogenFuelCell(fuel_energy_j=100.0)
+        fc.energy_j = 50.0
+        bank = StorageBank([IdealStorage(capacity_j=1.0, initial_soc=1.0),
+                            fc])
+        bank.charge(1.0, 10.0)
+        assert fc.energy_j == 50.0
+
+    def test_discharge_highest_voltage_first(self):
+        high = IdealStorage(capacity_j=100.0, initial_soc=0.5,
+                            nominal_voltage=5.0)
+        low = IdealStorage(capacity_j=100.0, initial_soc=0.5,
+                           nominal_voltage=3.0)
+        bank = StorageBank([low, high])
+        bank.discharge(1.0, 10.0)
+        assert high.energy_j == pytest.approx(40.0)
+        assert low.energy_j == pytest.approx(50.0)
+
+    def test_backup_cascade_when_enabled(self):
+        ambient = IdealStorage(capacity_j=5.0, initial_soc=1.0)
+        backup = HydrogenFuelCell(fuel_energy_j=100.0, max_power_w=10.0,
+                                  startup_time=0.0)
+        bank = StorageBank([ambient, backup])
+        delivered = bank.discharge(1.0, 10.0)  # needs 10 J, ambient has 5
+        assert delivered == pytest.approx(1.0)
+        assert backup.energy_j == pytest.approx(95.0)
+
+    def test_backup_blocked_when_disabled(self):
+        ambient = IdealStorage(capacity_j=5.0, initial_soc=1.0)
+        backup = HydrogenFuelCell(fuel_energy_j=100.0, startup_time=0.0)
+        bank = StorageBank([ambient, backup])
+        bank.backup_enabled = False
+        delivered = bank.discharge(1.0, 10.0)
+        assert delivered == pytest.approx(0.5)
+        assert backup.energy_j == pytest.approx(100.0)
+
+    def test_diode_or_voltage(self):
+        sc = Supercapacitor(capacitance_f=10.0, initial_soc=0.01)
+        li = LiIonBattery(capacity_mah=100.0, initial_soc=0.8)
+        bank = StorageBank([sc, li])
+        assert bank.voltage() == pytest.approx(li.voltage())
+
+    def test_backup_holds_bus_when_ambient_flat(self):
+        sc = Supercapacitor(capacitance_f=10.0, initial_soc=0.0)
+        fc = HydrogenFuelCell()
+        bank = StorageBank([sc, fc])
+        assert bank.voltage() == pytest.approx(fc.output_voltage)
+        bank.backup_enabled = False
+        assert bank.voltage() < 1.0
+
+    def test_aggregate_soc_excludes_backup(self):
+        bank = StorageBank([IdealStorage(capacity_j=10.0, initial_soc=0.5),
+                            HydrogenFuelCell(fuel_energy_j=1e6)])
+        assert bank.soc() == pytest.approx(0.5)
+
+    def test_swap_updates_belief_only_when_recognized(self):
+        original = Supercapacitor(capacitance_f=10.0)
+        bank = StorageBank([original])
+        replacement = Supercapacitor(capacitance_f=40.0)
+        bank.swap(0, replacement, recognized=False)
+        assert bank.beliefs[0].capacity_j == pytest.approx(
+            original.capacity_j)
+        bank.swap(0, Supercapacitor(capacitance_f=40.0), recognized=True)
+        assert bank.beliefs[0].capacity_j == pytest.approx(
+            replacement.capacity_j)
+
+    def test_swap_index_checked(self):
+        bank = StorageBank([IdealStorage()])
+        with pytest.raises(IndexError):
+            bank.swap(3, IdealStorage(), recognized=True)
+
+
+class TestStorageBelief:
+    def test_supercap_estimate_exact(self):
+        sc = Supercapacitor(capacitance_f=20.0, initial_soc=0.6)
+        belief = StorageBelief.of(sc)
+        assert belief.estimate_energy(sc.voltage()) == pytest.approx(
+            sc.energy_j, rel=0.05)
+
+    def test_battery_estimate_via_ocv(self):
+        li = LiIonBattery(capacity_mah=500.0, initial_soc=0.6)
+        belief = StorageBelief.of(li)
+        assert belief.estimate_energy(li.voltage()) == pytest.approx(
+            li.energy_j, rel=0.05)
+
+    def test_uninformative_voltage_returns_half(self):
+        ideal = IdealStorage(capacity_j=100.0)
+        belief = StorageBelief.of(ideal)
+        assert belief.estimate_energy(3.0) == pytest.approx(50.0)
+
+    def test_estimate_capped_at_believed_capacity(self):
+        sc = Supercapacitor(capacitance_f=10.0)
+        belief = StorageBelief.of(sc)
+        assert belief.estimate_energy(100.0) <= belief.capacity_j
+
+
+class TestEnergyMonitor:
+    def test_blind_platform_sees_nothing(self):
+        system = _system(monitoring=MonitoringCapability.NONE)
+        assert system.monitor.store_voltage() is None
+        assert system.monitor.active_channel_mask() is None
+        assert system.monitor.input_power() is None
+        assert system.monitor.soc_estimate() is None
+
+    def test_store_voltage_level(self):
+        system = _system(monitoring=MonitoringCapability.STORE_VOLTAGE)
+        v = system.monitor.store_voltage()
+        assert v == pytest.approx(system.bank.voltage(), abs=0.02)
+        assert system.monitor.input_power() is None
+
+    def test_activity_mask(self):
+        channels = [_channel(), HarvestingChannel(MicroWindTurbine(),
+                                                  InputConditioner())]
+        system = _system(channels=channels,
+                         monitoring=MonitoringCapability.DEVICE_ACTIVITY)
+        system.step(_sample(light=800.0, wind=0.0), 60.0)
+        assert system.monitor.active_channel_mask() == 0b01
+
+    def test_full_monitoring_estimates_energy(self):
+        system = _system(monitoring=MonitoringCapability.FULL)
+        system.step(_sample(light=500.0), 60.0)
+        estimate = system.monitor.estimated_stored_energy()
+        truth = sum(s.energy_j for s in system.bank.stores)
+        assert estimate == pytest.approx(truth, rel=0.1)
+
+    def test_full_monitoring_reports_input_power(self):
+        system = _system(monitoring=MonitoringCapability.FULL)
+        record = system.step(_sample(light=500.0), 60.0)
+        assert system.monitor.input_power() == pytest.approx(
+            record.harvest_delivered_w)
+
+
+class TestMultiSourceSystemStep:
+    def test_energy_flows_accounted(self):
+        system = _system()
+        record = system.step(_sample(light=700.0), 60.0)
+        assert record.harvest_raw_w > 0.0
+        assert record.harvest_delivered_w <= record.harvest_raw_w
+        assert record.charge_accepted_w <= record.harvest_delivered_w + 1e-9
+        assert record.harvest_mpp_w >= record.harvest_raw_w - 1e-9
+
+    def test_node_supplied_up_to_demand(self):
+        system = _system()
+        record = system.step(_sample(light=700.0), 60.0)
+        assert 0.0 <= record.node_supplied_w <= record.node_demand_w + 1e-12
+
+    def test_dark_system_drains_storage(self):
+        system = _system()
+        e0 = system.bank.total_energy_j
+        for _ in range(10):
+            system.step(_sample(light=0.0), 60.0)
+        assert system.bank.total_energy_j < e0
+
+    def test_quiescent_drawn_continuously(self):
+        channels = [_channel(quiescent=10e-6)]
+        system = _system(channels=channels)
+        record = system.step(_sample(light=0.0), 60.0)
+        assert record.quiescent_w > 0.0
+
+    def test_total_quiescent_property(self):
+        channels = [_channel(quiescent=3e-6), _channel(quiescent=2e-6)]
+        system = _system(channels=channels)
+        system.base_quiescent_a = 1e-6
+        assert system.total_quiescent_current_a == pytest.approx(6e-6)
+
+    def test_harvester_types_deduped(self):
+        channels = [_channel(), _channel(),
+                    HarvestingChannel(MicroWindTurbine(), InputConditioner())]
+        system = _system(channels=channels)
+        assert system.harvester_types == (SourceType.LIGHT, SourceType.WIND)
+
+    def test_swap_storage_respects_architecture(self):
+        system = _system()
+        system.architecture.auto_recognition = False
+        replacement = Supercapacitor(capacitance_f=50.0)
+        system.swap_storage(0, replacement)
+        assert system.bank.beliefs[0].capacity_j != replacement.capacity_j
+
+    def test_swap_storage_recognized_with_datasheet(self):
+        system = _system()
+        system.architecture.auto_recognition = True
+        replacement = attach_datasheet(
+            Supercapacitor(capacitance_f=50.0),
+            ElectronicDatasheet(kind=DeviceKind.STORAGE, model="sc-50",
+                                capacity_j=1.0, nominal_voltage=5.0))
+        system.swap_storage(0, replacement)
+        assert system.bank.beliefs[0].capacity_j == pytest.approx(
+            replacement.capacity_j)
+
+    def test_requires_channels(self):
+        with pytest.raises(ValueError):
+            MultiSourceSystem(
+                architecture=ArchitectureDescriptor(name="empty"),
+                channels=[],
+                bank=StorageBank([IdealStorage()]),
+                output=OutputConditioner(),
+                node=WirelessSensorNode(),
+            )
+
+    def test_rejects_bad_dt(self):
+        with pytest.raises(ValueError):
+            _system().step(_sample(), 0.0)

@@ -1,0 +1,140 @@
+"""Edge-case coverage: engine dt overrides, repr contracts, conditioner
+corner behaviours, and numerical extremes."""
+
+import pytest
+
+from repro.analysis.experiments import make_reference_system
+from repro.conditioning import (
+    BuckBoostConverter,
+    FixedVoltage,
+    InputConditioner,
+    OracleMPPT,
+    OutputConditioner,
+)
+from repro.core import HarvestingChannel, StorageBank
+from repro.environment import Environment, SourceType, Trace
+from repro.harvesters import PhotovoltaicCell, ThermoelectricGenerator
+from repro.load import WirelessSensorNode
+from repro.simulation import Simulator, simulate
+from repro.storage import IdealStorage, Supercapacitor
+
+
+class TestEngineDtHandling:
+    def test_dt_override_coarser_than_env(self):
+        system = make_reference_system([PhotovoltaicCell(area_cm2=20.0)])
+        env = Environment(
+            {SourceType.LIGHT: Trace.constant(400.0, 3600.0, dt=60.0)})
+        result = simulate(system, env, dt=300.0)
+        assert len(result.recorder) == 12
+
+    def test_dt_override_finer_than_env(self):
+        system = make_reference_system([PhotovoltaicCell(area_cm2=20.0)])
+        env = Environment(
+            {SourceType.LIGHT: Trace.constant(400.0, 3600.0, dt=600.0)})
+        result = simulate(system, env, dt=60.0)
+        assert len(result.recorder) == 60
+
+    def test_fine_and_coarse_dt_agree_on_energy(self):
+        def run(dt):
+            system = make_reference_system(
+                [PhotovoltaicCell(area_cm2=20.0)],
+                tracker_factory=OracleMPPT,
+                measurement_interval_s=120.0)
+            env = Environment(
+                {SourceType.LIGHT: Trace.constant(400.0, 7200.0, dt=60.0)})
+            return simulate(system, env, dt=dt).metrics
+
+        coarse, fine = run(600.0), run(60.0)
+        assert coarse.harvested_delivered_j == pytest.approx(
+            fine.harvested_delivered_j, rel=0.02)
+
+    def test_negative_dt_rejected(self):
+        system = make_reference_system([PhotovoltaicCell(area_cm2=20.0)])
+        env = Environment(
+            {SourceType.LIGHT: Trace.constant(400.0, 600.0, dt=60.0)})
+        with pytest.raises(ValueError):
+            Simulator(system, env, dt=-5.0)
+
+
+class TestReprContracts:
+    """__repr__ must be informative and never raise — debuggers rely on it."""
+
+    def test_reprs_render(self):
+        objects = [
+            Trace([1.0], dt=1.0),
+            PhotovoltaicCell(),
+            Supercapacitor(),
+            IdealStorage(),
+            FixedVoltage(2.0),
+            InputConditioner(),
+            OutputConditioner(),
+            WirelessSensorNode(),
+            StorageBank([IdealStorage()]),
+            HarvestingChannel(PhotovoltaicCell(), InputConditioner()),
+            make_reference_system([PhotovoltaicCell()]),
+        ]
+        for obj in objects:
+            text = repr(obj)
+            assert isinstance(text, str) and text
+
+    def test_environment_repr_lists_channels(self):
+        env = Environment({SourceType.LIGHT: Trace([1.0], dt=1.0)},
+                          name="spot")
+        assert "spot" in repr(env)
+        assert "light" in repr(env)
+
+
+class TestConditionerCorners:
+    def test_fixed_voltage_above_voc_clips_to_voc(self):
+        teg = ThermoelectricGenerator()
+        conditioner = InputConditioner(tracker=FixedVoltage(10.0))
+        step = conditioner.step(teg, 5.0, 1.0, 3.3)
+        # Clipped to Voc: zero current, zero power — not an error.
+        assert step.raw_power == 0.0
+
+    def test_converter_window_zeroes_extraction(self):
+        pv = PhotovoltaicCell()
+        conditioner = InputConditioner(
+            tracker=OracleMPPT(),
+            converter=BuckBoostConverter(min_input_voltage=50.0,
+                                         max_input_voltage=100.0))
+        step = conditioner.step(pv, 800.0, 1.0, 3.3)
+        assert step.raw_power == 0.0
+        assert step.delivered_power == 0.0
+        assert step.mpp_power > 0.0  # opportunity cost still visible
+
+    def test_output_conditioner_can_supply_boundary(self):
+        out = OutputConditioner(output_voltage=3.0, min_input_voltage=3.0)
+        assert out.can_supply(3.0)
+        assert not out.can_supply(2.999)
+
+
+class TestNumericalExtremes:
+    def test_huge_irradiance_finite(self):
+        pv = PhotovoltaicCell()
+        mpp = pv.mpp(1e6)
+        assert mpp.power > 0.0
+        assert mpp.power < 1e6
+
+    def test_tiny_irradiance_nonnegative(self):
+        pv = PhotovoltaicCell()
+        assert pv.mpp(1e-12).power >= 0.0
+
+    def test_zero_capacity_headroom(self):
+        store = IdealStorage(capacity_j=1.0, initial_soc=1.0)
+        assert store.headroom_j == 0.0
+        assert store.charge(100.0, 100.0) == 0.0
+
+    def test_bank_idle_on_empty_stores(self):
+        bank = StorageBank([Supercapacitor(capacitance_f=5.0,
+                                           initial_soc=0.0)])
+        lost = bank.idle(86_400.0)
+        assert lost >= 0.0
+
+    def test_long_idle_never_negative_energy(self):
+        sc = Supercapacitor(capacitance_f=5.0, initial_soc=0.2,
+                            leakage_resistance=1000.0)
+        for _ in range(50):
+            sc.step_idle(86_400.0)
+        assert sc.energy_j >= 0.0
+        assert sc.voltage() >= 0.0

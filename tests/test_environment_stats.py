@@ -1,0 +1,98 @@
+"""Statistical validation of the synthetic environment generators.
+
+The claim experiments lean on the generators' *statistical* structure
+(day length, schedule fractions, complementarity); these tests pin that
+structure down with long-run measurements.
+"""
+
+import numpy as np
+import pytest
+
+from repro.environment import (
+    MachineVibrationModel,
+    OfficeLightingModel,
+    SolarModel,
+    WindModel,
+)
+
+DAY = 86_400.0
+
+
+class TestSolarStatistics:
+    @pytest.mark.parametrize("day_fraction", (0.33, 0.5, 0.67))
+    def test_daylight_hours_match_day_fraction(self, day_fraction):
+        model = SolarModel(day_fraction=day_fraction, cloudiness=0.0,
+                           seed=0)
+        trace = model.trace(10 * DAY, dt=300.0)
+        lit = trace.fraction_above(1.0)
+        assert lit == pytest.approx(day_fraction, abs=0.04)
+
+    def test_cloudier_sites_harvest_less(self):
+        clear = SolarModel(cloudiness=0.1, seed=1).trace(10 * DAY, 600.0)
+        cloudy = SolarModel(cloudiness=0.6, seed=1).trace(10 * DAY, 600.0)
+        assert cloudy.integral() < 0.8 * clear.integral()
+
+    def test_daily_peak_is_near_noon(self):
+        model = SolarModel(cloudiness=0.0, seed=0)
+        trace = model.trace(DAY, dt=300.0)
+        peak_hour = int(np.argmax(trace.values)) * 300.0 / 3600.0
+        assert 11.0 <= peak_hour <= 13.0
+
+
+class TestWindStatistics:
+    def test_distribution_is_right_skewed(self):
+        # Weibull k=2: mean > median is the classic signature.
+        trace = WindModel(mean_speed=5.0, diurnal_amplitude=0.0,
+                          seed=2).trace(60 * DAY, dt=1800.0)
+        assert trace.mean() > float(np.median(trace.values))
+
+    def test_diurnal_peak_in_evening(self):
+        model = WindModel(mean_speed=5.0, diurnal_amplitude=0.5,
+                          diurnal_peak_hour=20.0, gustiness=0.0, seed=3)
+        trace = model.trace(30 * DAY, dt=1800.0)
+        hours = (np.arange(len(trace)) * 1800.0 % DAY) / 3600.0
+        evening = trace.values[(hours >= 18) & (hours <= 22)]
+        morning = trace.values[(hours >= 6) & (hours <= 10)]
+        assert evening.mean() > morning.mean()
+
+    def test_complementarity_with_solar(self):
+        """The library's core scenario: wind carries the night."""
+        solar = SolarModel(cloudiness=0.2, seed=4).trace(20 * DAY, 1800.0)
+        wind = WindModel(mean_speed=5.0, diurnal_amplitude=0.4,
+                         seed=5).trace(20 * DAY, 1800.0)
+        dark = solar.values < 1.0
+        assert wind.values[dark].mean() > 0.5 * wind.values.mean()
+        # Nights are never a majority-dead period for the pair.
+        pair_active = (solar.values > 1.0) | (wind.values > 2.0)
+        assert pair_active.mean() > 0.6
+
+
+class TestScheduleStatistics:
+    def test_office_weekday_lit_fraction(self):
+        model = OfficeLightingModel(work_lux=400.0, ambient_lux=0.0,
+                                    on_hour=8.0, off_hour=18.0, seed=6)
+        trace = model.trace(28 * DAY, dt=600.0, start_weekday=0)
+        hours = np.arange(len(trace)) * 600.0
+        weekday = ((hours // DAY) % 7) < 5
+        lit = trace.values > 1.0
+        weekday_lit = lit[weekday].mean()
+        # 10 lit hours out of 24 ~ 0.42, with jitter.
+        assert weekday_lit == pytest.approx(10.0 / 24.0, abs=0.05)
+
+    def test_machine_runs_only_in_shift(self):
+        model = MachineVibrationModel(shift_hours=(7.0, 19.0),
+                                      run_fraction=0.7, seed=7)
+        trace = model.trace(14 * DAY, dt=600.0)
+        hours_of_day = (np.arange(len(trace)) * 600.0 % DAY) / 3600.0
+        out_of_shift = trace.values[(hours_of_day < 6.5) |
+                                    (hours_of_day > 19.5)]
+        assert out_of_shift.max() == pytest.approx(0.0)
+
+    def test_machine_run_fraction_in_shift(self):
+        model = MachineVibrationModel(shift_hours=(7.0, 19.0),
+                                      run_fraction=0.7, seed=8)
+        trace = model.trace(28 * DAY, dt=600.0)
+        hours_of_day = (np.arange(len(trace)) * 600.0 % DAY) / 3600.0
+        in_shift = trace.values[(hours_of_day >= 8) & (hours_of_day <= 18)]
+        running = (in_shift > 0.1).mean()
+        assert running == pytest.approx(0.7, abs=0.2)

@@ -1,0 +1,61 @@
+"""Tests for the JSON export helpers."""
+
+import json
+import math
+
+import pytest
+
+from repro.analysis import dump_json, dumps_json, to_jsonable
+from repro.analysis.experiments import run_quiescent_study
+from repro.core import classify
+from repro.systems import build_system
+
+
+class TestToJsonable:
+    def test_primitives_pass_through(self):
+        assert to_jsonable(5) == 5
+        assert to_jsonable("x") == "x"
+        assert to_jsonable(None) is None
+        assert to_jsonable(True) is True
+
+    def test_infinities_stringified(self):
+        assert to_jsonable(math.inf) == "inf"
+        assert to_jsonable(-math.inf) == "-inf"
+        assert to_jsonable(math.nan) == "nan"
+
+    def test_enums_become_values(self):
+        from repro.environment import SourceType
+        assert to_jsonable(SourceType.LIGHT) == "light"
+
+    def test_tuples_become_lists(self):
+        assert to_jsonable((1, 2)) == [1, 2]
+
+    def test_numpy_arrays_supported(self):
+        import numpy as np
+        assert to_jsonable(np.array([1.0, 2.0])) == [1.0, 2.0]
+        assert to_jsonable(np.float64(2.5)) == 2.5
+
+    def test_unserialisable_rejected(self):
+        with pytest.raises(TypeError):
+            to_jsonable(object())
+
+
+class TestResultExport:
+    def test_experiment_result_roundtrips(self):
+        result = run_quiescent_study()
+        payload = json.loads(dumps_json(result))
+        assert len(payload["platforms"]) == 7
+        letters = {p["letter"] for p in payload["platforms"]}
+        assert letters == set("ABCDEFG")
+
+    def test_table_row_exports(self):
+        row = classify(build_system("A"), device="A")
+        payload = json.loads(dumps_json(row))
+        assert payload["device"] == "A"
+        assert payload["harvesters"] == ["Light", "Wind"]
+
+    def test_dump_to_file(self, tmp_path):
+        result = run_quiescent_study()
+        path = tmp_path / "e6.json"
+        dump_json(result, path)
+        assert json.loads(path.read_text())["harvest_levels_w"]

@@ -1,0 +1,116 @@
+"""Tests for the extension features: predictive management and the
+storage-lifetime study (the survey's future-direction territory)."""
+
+import pytest
+
+from repro.analysis.experiments import make_reference_system, run_lifetime_study
+from repro.core import PredictiveEnergyManager, SlotEWMAPredictor
+from repro.core.taxonomy import MonitoringCapability
+from repro.environment import outdoor_environment
+from repro.harvesters import PhotovoltaicCell
+from repro.simulation import simulate
+
+DAY = 86_400.0
+
+
+class TestPredictiveEnergyManager:
+    def _system(self, manager, monitoring=MonitoringCapability.FULL):
+        return make_reference_system(
+            [PhotovoltaicCell(area_cm2=30.0, efficiency=0.16)],
+            capacitance_f=30.0, initial_soc=0.6,
+            measurement_interval_s=30.0, manager=manager,
+            monitoring=monitoring)
+
+    def test_learns_and_survives_solar_week(self):
+        manager = PredictiveEnergyManager()
+        system = self._system(manager)
+        env = outdoor_environment(duration=4 * DAY, dt=300.0, seed=5,
+                                  mean_wind=0.0)
+        result = simulate(system, env)
+        assert result.metrics.uptime_fraction == 1.0
+        assert manager.predictor.observations > 0
+
+    def test_throttles_at_night(self):
+        # A buffer too small to carry the night forces the planner to
+        # throttle when the learned profile predicts no harvest.
+        manager = PredictiveEnergyManager(max_interval_s=3600.0)
+        system = make_reference_system(
+            [PhotovoltaicCell(area_cm2=30.0, efficiency=0.16)],
+            capacitance_f=2.0, initial_soc=0.6,
+            measurement_interval_s=30.0, manager=manager)
+        env = outdoor_environment(duration=2 * DAY, dt=300.0, seed=5,
+                                  mean_wind=0.0)
+        from repro.simulation import Simulator
+        sim = Simulator(system, env, dt=300.0)
+        sim.run(duration=1.9 * DAY)  # learn day one, deep into night two
+        night_interval = system.node.measurement_interval_s
+        sim.run(duration=0.6 * DAY)  # to mid-day two
+        day_interval = system.node.measurement_interval_s
+        assert night_interval > 10 * day_interval
+
+    def test_blind_platform_degrades_gracefully(self):
+        manager = PredictiveEnergyManager()
+        system = self._system(manager,
+                              monitoring=MonitoringCapability.NONE)
+        interval = system.node.measurement_interval_s
+        env = outdoor_environment(duration=DAY / 4, dt=300.0, seed=5)
+        simulate(system, env)
+        assert system.node.measurement_interval_s == interval
+
+    def test_backup_gating(self):
+        from repro.storage import HydrogenFuelCell, Supercapacitor
+        manager = PredictiveEnergyManager(backup_on_soc=0.1,
+                                          backup_off_soc=0.3)
+        system = make_reference_system(
+            [PhotovoltaicCell(area_cm2=30.0, efficiency=0.16)],
+            stores=[Supercapacitor(capacitance_f=25.0, initial_soc=0.05),
+                    HydrogenFuelCell()],
+            measurement_interval_s=30.0, manager=manager)
+        system.bank.backup_enabled = False
+        env = outdoor_environment(duration=DAY / 24, dt=300.0, seed=5)
+        simulate(system, env)
+        assert system.bank.backup_enabled
+
+    def test_accepts_custom_predictor(self):
+        predictor = SlotEWMAPredictor(n_slots=12)
+        manager = PredictiveEnergyManager(predictor=predictor)
+        assert manager.predictor is predictor
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PredictiveEnergyManager(horizon_s=0.0)
+        with pytest.raises(ValueError):
+            PredictiveEnergyManager(target_soc=1.5)
+        with pytest.raises(ValueError):
+            PredictiveEnergyManager(min_interval_s=100.0,
+                                    max_interval_s=10.0)
+
+
+class TestLifetimeStudy:
+    @pytest.fixture(scope="class")
+    def e11(self):
+        return run_lifetime_study(days=2.0, dt=300.0, seed=91)
+
+    def test_all_chemistries_present(self, e11):
+        names = {e.chemistry for e in e11.lifetimes}
+        assert names == {"supercapacitor", "li-ion capacitor",
+                         "li-ion battery", "NiMH battery",
+                         "thin-film battery"}
+
+    def test_capacitive_outlives_batteries(self, e11):
+        caps = [e for e in e11.lifetimes if "battery" not in e.chemistry]
+        batteries = [e for e in e11.lifetimes if "battery" in e.chemistry]
+        assert min(c.projected_years_to_eol for c in caps) >= \
+            max(b.projected_years_to_eol for b in batteries)
+
+    def test_cycling_actually_happened(self, e11):
+        assert all(e.cycles_per_day > 0.0 for e in e11.lifetimes)
+
+    def test_health_degrades(self, e11):
+        assert all(e.health_after_run < 1.0 for e in e11.lifetimes)
+
+    def test_projection_finite(self, e11):
+        assert all(e.projected_years_to_eol < 100.0 for e in e11.lifetimes)
+
+    def test_report_renders(self, e11):
+        assert "outlives" in e11.report()

@@ -1,0 +1,77 @@
+"""Tests for the opportunistic channel-gating manager."""
+
+import pytest
+
+from repro.analysis.experiments import make_reference_system
+from repro.core import ChannelGatingManager, StaticManager, ThresholdManager
+from repro.environment import outdoor_environment
+from repro.harvesters import PhotovoltaicCell, RFHarvester
+from repro.simulation import Simulator, simulate
+
+DAY = 86_400.0
+
+
+def _system(manager, channel_quiescent_a=3e-6):
+    return make_reference_system(
+        [PhotovoltaicCell(area_cm2=30.0, efficiency=0.16, name="pv"),
+         RFHarvester(name="rf")],  # the outdoor env has no RF channel
+        capacitance_f=50.0, measurement_interval_s=120.0,
+        manager=manager, channel_quiescent_a=channel_quiescent_a)
+
+
+class TestChannelGating:
+    def test_dead_channel_gated_live_channel_kept(self):
+        # Probe far beyond the run so the end state is unambiguous.
+        manager = ChannelGatingManager(inner=StaticManager(),
+                                       probe_period=30 * DAY)
+        system = _system(manager)
+        env = outdoor_environment(duration=2 * DAY, dt=300.0, seed=3)
+        simulate(system, env)
+        assert manager.gated_channels(system) == ("rf",)
+        assert system.channels[0].enabled  # pv survives its idle nights
+
+    def test_gating_saves_quiescent_energy(self):
+        env = outdoor_environment(duration=3 * DAY, dt=300.0, seed=3)
+        gated = _system(ChannelGatingManager(inner=StaticManager()),
+                        channel_quiescent_a=10e-6)
+        plain = _system(StaticManager(), channel_quiescent_a=10e-6)
+        m_gated = simulate(gated, env).metrics
+        m_plain = simulate(plain, env).metrics
+        assert m_gated.quiescent_j < m_plain.quiescent_j
+
+    def test_probe_reenables_channel(self):
+        manager = ChannelGatingManager(inner=StaticManager(),
+                                       probe_period=4 * 3600.0)
+        system = _system(manager)
+        env = outdoor_environment(duration=3 * DAY, dt=300.0, seed=3)
+        sim = Simulator(system, env, dt=300.0)
+        sim.run(duration=DAY)          # long enough to gate the rf channel
+        assert not system.channels[1].enabled
+        # Probe cycles re-enable it at least transiently over the next days.
+        events_before = manager.gate_events
+        sim.run(duration=2 * DAY)
+        assert manager.gate_events > events_before
+
+    def test_inner_manager_still_runs(self):
+        inner = ThresholdManager()
+        manager = ChannelGatingManager(inner=inner)
+        system = _system(manager)
+        env = outdoor_environment(duration=DAY / 2, dt=300.0, seed=3)
+        simulate(system, env)
+        assert inner.control_passes > 0
+
+    def test_no_decision_without_evidence(self):
+        manager = ChannelGatingManager(inner=StaticManager())
+        system = _system(manager)
+        env = outdoor_environment(duration=3600.0, dt=300.0, seed=3)
+        simulate(system, env)
+        # One hour is far below half the 24 h window: nothing gated yet.
+        assert manager.gated_channels(system) == ()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChannelGatingManager(window_s=0.0)
+        with pytest.raises(ValueError):
+            ChannelGatingManager(probe_duration=7200.0, probe_period=3600.0)
+        with pytest.raises(ValueError):
+            ChannelGatingManager(bus_voltage=0.0)

@@ -1,0 +1,312 @@
+"""Unit and property tests for the harvester transducer models."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.environment import SourceType
+from repro.harvesters import (
+    ElectromagneticHarvester,
+    GenericACDCInput,
+    MicroWindTurbine,
+    OperatingPoint,
+    PhotovoltaicCell,
+    PiezoelectricHarvester,
+    RFHarvester,
+    TheveninHarvester,
+    ThermoelectricGenerator,
+    WaterTurbine,
+)
+
+
+class TestOperatingPoint:
+    def test_rejects_negative_values(self):
+        with pytest.raises(ValueError):
+            OperatingPoint(-1.0, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            OperatingPoint(0.0, -1.0, 0.0)
+
+    def test_frozen(self):
+        op = OperatingPoint(1.0, 2.0, 2.0)
+        with pytest.raises(AttributeError):
+            op.voltage = 5.0
+
+
+class _UnitThevenin(TheveninHarvester):
+    """Voc = ambient volts, Rint = 10 ohm: an analytic reference."""
+
+    source_type = SourceType.LIGHT
+
+    def thevenin(self, ambient):
+        return ambient, 10.0
+
+
+class TestTheveninHarvester:
+    def test_matched_load_mpp(self):
+        h = _UnitThevenin()
+        mpp = h.mpp(10.0)
+        assert mpp.voltage == pytest.approx(5.0)
+        assert mpp.power == pytest.approx(100.0 / 40.0)
+
+    def test_current_linear_in_voltage(self):
+        h = _UnitThevenin()
+        assert h.current_at(0.0, 10.0) == pytest.approx(1.0)
+        assert h.current_at(5.0, 10.0) == pytest.approx(0.5)
+        assert h.current_at(10.0, 10.0) == 0.0
+        assert h.current_at(15.0, 10.0) == 0.0  # clipped, no negative
+
+    def test_dead_source(self):
+        h = _UnitThevenin()
+        assert h.mpp(0.0).power == 0.0
+        assert h.open_circuit_voltage(0.0) == 0.0
+
+    def test_golden_section_matches_analytic(self):
+        from repro.harvesters.base import Harvester
+        h = _UnitThevenin()
+        analytic = h.mpp(8.0)            # Thevenin closed form
+        numeric = Harvester.mpp(h, 8.0)  # generic golden-section search
+        assert numeric.power == pytest.approx(analytic.power, rel=1e-6)
+        assert numeric.voltage == pytest.approx(analytic.voltage, rel=1e-4)
+
+    def test_negative_voltage_rejected(self):
+        with pytest.raises(ValueError):
+            _UnitThevenin().current_at(-1.0, 5.0)
+
+    @settings(max_examples=50)
+    @given(voc=st.floats(min_value=0.1, max_value=100.0),
+           frac=st.floats(min_value=0.0, max_value=1.0))
+    def test_power_never_exceeds_mpp(self, voc, frac):
+        h = _UnitThevenin()
+        v = frac * voc
+        assert h.power_at(v, voc) <= h.mpp(voc).power * (1 + 1e-9)
+
+    @settings(max_examples=50)
+    @given(voc=st.floats(min_value=0.1, max_value=100.0),
+           v1=st.floats(min_value=0.0, max_value=100.0),
+           v2=st.floats(min_value=0.0, max_value=100.0))
+    def test_current_monotone_nonincreasing(self, voc, v1, v2):
+        h = _UnitThevenin()
+        lo, hi = sorted((v1, v2))
+        assert h.current_at(lo, voc) >= h.current_at(hi, voc)
+
+
+class TestPhotovoltaic:
+    def test_stc_calibration(self):
+        pv = PhotovoltaicCell(area_cm2=50.0, efficiency=0.15)
+        expected = 50.0 * 1e-4 * 1000.0 * 0.15
+        assert pv.mpp(1000.0).power == pytest.approx(expected, rel=1e-6)
+
+    def test_fill_factor_realistic(self):
+        pv = PhotovoltaicCell()
+        assert 0.65 <= pv.fill_factor(1000.0) <= 0.9
+        assert 0.6 <= pv.fill_factor(100.0) <= 0.9
+
+    def test_voc_grows_logarithmically(self):
+        pv = PhotovoltaicCell()
+        v1 = pv.open_circuit_voltage(100.0)
+        v2 = pv.open_circuit_voltage(1000.0)
+        assert v2 > v1
+        assert (v2 - v1) < 0.5 * v1  # log, not linear
+
+    def test_mpp_near_fraction_of_voc(self):
+        pv = PhotovoltaicCell()
+        voc = pv.open_circuit_voltage(800.0)
+        vmpp = pv.mpp(800.0).voltage
+        assert 0.7 <= vmpp / voc <= 0.92
+
+    def test_dark_cell_produces_nothing(self):
+        pv = PhotovoltaicCell()
+        assert pv.mpp(0.0).power == 0.0
+        assert pv.current_at(1.0, 0.0) == 0.0
+
+    def test_newton_matches_golden_section(self):
+        from repro.harvesters.base import Harvester
+        pv = PhotovoltaicCell()
+        for irr in (5.0, 50.0, 500.0, 1000.0):
+            newton = pv.mpp(irr).power
+            golden = Harvester.mpp(pv, irr).power
+            assert newton == pytest.approx(golden, rel=1e-6)
+
+    def test_power_scales_roughly_with_irradiance(self):
+        pv = PhotovoltaicCell()
+        p_half = pv.mpp(500.0).power
+        p_full = pv.mpp(1000.0).power
+        assert 1.7 <= p_full / p_half <= 2.2
+
+    def test_overflow_guard_far_above_voc(self):
+        pv = PhotovoltaicCell()
+        assert pv.current_at(1000.0, 1000.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhotovoltaicCell(area_cm2=0.0)
+        with pytest.raises(ValueError):
+            PhotovoltaicCell(efficiency=1.5)
+        with pytest.raises(ValueError):
+            PhotovoltaicCell(cells_in_series=0)
+
+    @settings(max_examples=30)
+    @given(irr=st.floats(min_value=0.1, max_value=1200.0))
+    def test_current_nonincreasing_in_voltage(self, irr):
+        pv = PhotovoltaicCell()
+        voc = pv.open_circuit_voltage(irr)
+        currents = [pv.current_at(f * voc, irr) for f in
+                    (0.0, 0.25, 0.5, 0.75, 1.0)]
+        assert all(a >= b - 1e-12 for a, b in zip(currents, currents[1:]))
+
+
+class TestWindTurbine:
+    def test_below_cut_in_is_dead(self):
+        wt = MicroWindTurbine(cut_in_speed=2.0)
+        assert wt.mpp(1.9).power == 0.0
+
+    def test_above_cut_out_is_dead(self):
+        wt = MicroWindTurbine(cut_out_speed=18.0)
+        assert wt.mpp(19.0).power == 0.0
+
+    def test_aero_ceiling_respected(self):
+        wt = MicroWindTurbine()
+        for v in (3.0, 5.0, 8.0, 12.0):
+            assert wt.mpp(v).power <= wt.aerodynamic_power(v) + 1e-12
+
+    def test_cubic_power_law(self):
+        wt = MicroWindTurbine()
+        p4, p8 = wt.aerodynamic_power(4.0), wt.aerodynamic_power(8.0)
+        assert p8 / p4 == pytest.approx(8.0)
+
+    def test_betz_limit_enforced(self):
+        with pytest.raises(ValueError, match="Betz"):
+            MicroWindTurbine(power_coefficient=0.7)
+
+    def test_swept_area(self):
+        wt = MicroWindTurbine(rotor_diameter_m=0.2)
+        assert wt.swept_area_m2 == pytest.approx(math.pi * 0.01)
+
+
+class TestThermoelectric:
+    def test_matched_power_analytic(self):
+        teg = ThermoelectricGenerator(seebeck_per_couple=200e-6, couples=100,
+                                      internal_resistance=2.0)
+        # Voc = 0.02 V/K * 10 K = 0.2 V; P = 0.04 / 8 = 5 mW
+        assert teg.mpp(10.0).power == pytest.approx(0.005)
+        assert teg.matched_power(10.0) == pytest.approx(0.005)
+
+    def test_quadratic_in_delta_t(self):
+        teg = ThermoelectricGenerator()
+        assert teg.matched_power(20.0) / teg.matched_power(10.0) == \
+            pytest.approx(4.0)
+
+    def test_clamps_at_max_delta_t(self):
+        teg = ThermoelectricGenerator(max_delta_t=70.0)
+        assert teg.matched_power(100.0) == teg.matched_power(70.0)
+
+    def test_zero_gradient(self):
+        assert ThermoelectricGenerator().mpp(0.0).power == 0.0
+
+
+class TestPiezoelectric:
+    def test_williams_yates_at_resonance(self):
+        pz = PiezoelectricHarvester(proof_mass_g=5.0, resonant_frequency=50.0,
+                                    damping_ratio=0.03)
+        expected = 5e-3 * 4.0 / (8 * 0.03 * 2 * math.pi * 50.0)
+        assert pz.resonant_power(2.0) == pytest.approx(expected)
+        assert pz.mpp(2.0).power == pytest.approx(expected, rel=1e-9)
+
+    def test_detuning_reduces_power(self):
+        pz = PiezoelectricHarvester(resonant_frequency=50.0,
+                                    damping_ratio=0.03)
+        pz.current_frequency = 52.0
+        detuned = pz.mpp(2.0).power
+        pz.current_frequency = 50.0
+        resonant = pz.mpp(2.0).power
+        assert detuned < 0.5 * resonant
+
+    def test_detuning_gain_bounds(self):
+        pz = PiezoelectricHarvester()
+        assert pz.detuning_gain(None) == 1.0
+        assert pz.detuning_gain(pz.resonant_frequency) == 1.0
+        assert 0.0 < pz.detuning_gain(60.0) < 1.0
+        assert pz.detuning_gain(0.0) == 0.0
+
+    def test_quadratic_in_acceleration(self):
+        pz = PiezoelectricHarvester()
+        assert pz.resonant_power(4.0) / pz.resonant_power(2.0) == \
+            pytest.approx(4.0)
+
+    def test_no_vibration_no_power(self):
+        assert PiezoelectricHarvester().mpp(0.0).power == 0.0
+
+
+class TestElectromagnetic:
+    def test_mechanical_bound_respected(self):
+        em = ElectromagneticHarvester()
+        assert em.mpp(3.0).power <= em.mechanical_power(3.0) + 1e-12
+
+    def test_low_impedance_low_voltage(self):
+        em = ElectromagneticHarvester()
+        pz = PiezoelectricHarvester()
+        # At the same acceleration the EM source is lower-voltage.
+        assert em.open_circuit_voltage(2.0) != pz.open_circuit_voltage(2.0)
+
+    def test_detuning(self):
+        em = ElectromagneticHarvester(resonant_frequency=60.0,
+                                      damping_ratio=0.05)
+        em.current_frequency = 70.0
+        assert em.mpp(2.0).power < 0.5 * em.mechanical_power(2.0) / \
+            em.detuning_gain(70.0) + 1e-9
+
+
+class TestRFHarvester:
+    def test_captured_power(self):
+        rf = RFHarvester(effective_aperture_cm2=25.0)
+        assert rf.captured_power(0.01) == pytest.approx(0.01 * 25e-4)
+
+    def test_efficiency_collapses_at_low_power(self):
+        rf = RFHarvester(peak_efficiency=0.6, half_efficiency_uw=50.0)
+        assert rf.rectifier_efficiency(50e-6) == pytest.approx(0.3)
+        assert rf.rectifier_efficiency(5e-6) < 0.1
+        assert rf.rectifier_efficiency(5e-3) > 0.55
+
+    def test_dc_power_monotone_in_density(self):
+        rf = RFHarvester()
+        densities = [1e-4, 1e-3, 1e-2, 1e-1]
+        powers = [rf.dc_power(d) for d in densities]
+        assert all(a < b for a, b in zip(powers, powers[1:]))
+
+    def test_mpp_equals_dc_power(self):
+        rf = RFHarvester()
+        assert rf.mpp(0.01).power == pytest.approx(rf.dc_power(0.01))
+
+
+class TestWaterTurbine:
+    def test_denser_medium_than_wind(self):
+        water = WaterTurbine(rotor_diameter_m=0.1, power_coefficient=0.2)
+        wind = MicroWindTurbine(rotor_diameter_m=0.1, power_coefficient=0.2,
+                                cut_in_speed=0.1)
+        # Same speed, same rotor: water carries ~800x the power.
+        ratio = water.hydraulic_power(1.0) / wind.aerodynamic_power(1.0)
+        assert ratio == pytest.approx(1000.0 / 1.225, rel=1e-6)
+
+    def test_cut_in(self):
+        assert WaterTurbine(cut_in_speed=0.2).mpp(0.1).power == 0.0
+
+
+class TestGenericACDC:
+    def test_below_minimum_rejected(self):
+        ac = GenericACDCInput(min_input_voltage=5.0)
+        assert ac.mpp(4.9).power == 0.0
+
+    def test_above_minimum_harvests(self):
+        ac = GenericACDCInput(min_input_voltage=5.0)
+        assert ac.mpp(12.0).power > 0.0
+
+    def test_power_capped_at_rating(self):
+        ac = GenericACDCInput(max_power=0.5)
+        assert ac.mpp(50.0).power <= 0.5 + 1e-12
+
+    def test_rectifier_drop_applied(self):
+        ac = GenericACDCInput(diode_drop=0.4)
+        voc, _ = ac.thevenin(10.0)
+        assert voc == pytest.approx(10.0 * math.sqrt(2.0) - 0.8)

@@ -1,0 +1,162 @@
+"""Cross-cutting integration tests: digital control loops, aging in a
+bank, event plumbing, and metrics properties."""
+
+import pytest
+
+from repro.analysis.experiments import make_reference_system
+from repro.core import StorageBank
+from repro.environment import (
+    AmbientSample,
+    Environment,
+    SourceType,
+    Trace,
+    outdoor_environment,
+)
+from repro.harvesters import PhotovoltaicCell
+from repro.interfaces.power_unit_mcu import (
+    REG_ACTIVE_MASK,
+    REG_DUTY_LEVEL,
+    REG_SOC_PERMILLE,
+    REG_STORE_MV,
+)
+from repro.simulation import Simulator, simulate
+from repro.storage import AgingStorage, LiIonBattery, Supercapacitor
+from repro.systems import build_system
+
+DAY = 86_400.0
+
+
+class TestSystemAControlLoop:
+    """The sensor node controlling the SPU over the I2C register map —
+    the survey's 'treat it as another peripheral' architecture."""
+
+    @pytest.fixture
+    def spu(self):
+        return build_system("A", initial_soc=0.6)
+
+    def _sample(self, light=600.0):
+        return AmbientSample({SourceType.LIGHT: light})
+
+    def test_node_reads_energy_status_over_bus(self, spu):
+        from repro.systems.smart_power_unit import SPU_MCU_ADDRESS
+        spu.step(self._sample(), 60.0)
+        mv = spu.bus.read(SPU_MCU_ADDRESS, REG_STORE_MV)
+        assert mv == pytest.approx(spu.bank.voltage() * 1000.0, abs=2.0)
+        soc = spu.bus.read(SPU_MCU_ADDRESS, REG_SOC_PERMILLE)
+        assert 0 <= soc <= 1000
+
+    def test_node_sets_duty_level_over_bus(self, spu):
+        from repro.systems.smart_power_unit import SPU_MCU_ADDRESS
+        spu.bus.write(SPU_MCU_ADDRESS, REG_DUTY_LEVEL, 0)
+        fast = spu.node.measurement_interval_s
+        spu.bus.write(SPU_MCU_ADDRESS, REG_DUTY_LEVEL, 12)
+        slow = spu.node.measurement_interval_s
+        assert slow > 50 * fast
+
+    def test_bus_traffic_costs_energy(self, spu):
+        from repro.systems.smart_power_unit import SPU_MCU_ADDRESS
+        spu.step(self._sample(light=0.0), 60.0)
+        for _ in range(200):
+            spu.bus.read(SPU_MCU_ADDRESS, REG_STORE_MV)
+        record = spu.step(self._sample(light=0.0), 60.0)
+        # The pending bus energy is billed as quiescent draw next step.
+        baseline = spu.total_quiescent_current_a * spu.bank.voltage()
+        assert record.quiescent_w > baseline * 0.99
+
+
+class TestSystemFActivityMask:
+    def test_active_mask_visible_over_bus(self):
+        from repro.systems.cymbet_eval import CYMBET_MCU_ADDRESS
+        system = build_system("F", initial_soc=0.6)
+        sample = AmbientSample({SourceType.LIGHT: 300.0})
+        system.step(sample, 60.0)
+        mask = system.bus.read(CYMBET_MCU_ADDRESS, REG_ACTIVE_MASK)
+        # Only the PV channel (bit 0) delivered power.
+        assert mask & 0b0001
+        assert not mask & 0b1110
+
+
+class TestAgingInBank:
+    def test_aged_store_works_in_storage_bank(self):
+        aged = AgingStorage(Supercapacitor(capacitance_f=20.0,
+                                           initial_soc=0.5),
+                            cycle_life=100_000)
+        bank = StorageBank([aged])
+        accepted = bank.charge(0.5, 60.0)
+        assert accepted > 0.0
+        delivered = bank.discharge(0.2, 60.0)
+        assert delivered > 0.0
+        assert aged.equivalent_cycles > 0.0
+
+    def test_aged_store_in_full_simulation(self):
+        aged = AgingStorage(LiIonBattery(capacity_mah=50.0,
+                                         initial_soc=0.5),
+                            calendar_fade_per_year=0.0)
+        system = make_reference_system(
+            [PhotovoltaicCell(area_cm2=20.0)],
+            stores=[aged], measurement_interval_s=10.0)
+        env = outdoor_environment(duration=2 * DAY, dt=300.0, seed=6)
+        result = simulate(system, env)
+        assert result.metrics.harvested_delivered_j > 0.0
+        assert aged.health < 1.0  # the week's cycling left a mark
+
+    def test_belief_estimation_through_aging_wrapper(self):
+        aged = AgingStorage(Supercapacitor(capacitance_f=20.0,
+                                           initial_soc=0.5),
+                            cycle_life=100_000)
+        from repro.core import StorageBelief
+        belief = StorageBelief.of(aged)
+        # __getattr__ forwarding exposes the inner capacitance, so the
+        # voltage-inversion estimate works through the wrapper.
+        assert belief.estimate_energy(aged.voltage()) == pytest.approx(
+            aged.energy_j, rel=0.05)
+
+
+class TestEventPlumbing:
+    def test_tuple_events_accepted(self):
+        fired = []
+        system = make_reference_system([PhotovoltaicCell(area_cm2=20.0)],
+                                       measurement_interval_s=120.0)
+        env = Environment(
+            {SourceType.LIGHT: Trace.constant(300.0, 1200.0, dt=60.0)})
+        sim = Simulator(system, env,
+                        events=[(300.0, lambda s: fired.append(True))])
+        sim.run()
+        assert fired == [True]
+
+
+class TestMetricsProperties:
+    @pytest.fixture(scope="class")
+    def metrics(self):
+        system = make_reference_system([PhotovoltaicCell(area_cm2=20.0)],
+                                       measurement_interval_s=60.0)
+        env = Environment(
+            {SourceType.LIGHT: Trace.constant(400.0, 7200.0, dt=60.0)})
+        return simulate(system, env).metrics
+
+    def test_demand_satisfaction_full_when_supplied(self, metrics):
+        assert metrics.demand_satisfaction == pytest.approx(1.0, abs=1e-6)
+
+    def test_end_to_end_efficiency_in_range(self, metrics):
+        assert 0.0 < metrics.end_to_end_efficiency < 1.0
+
+    def test_measurements_per_day_scaling(self, metrics):
+        expected = 86_400.0 / 60.0  # one per minute
+        assert metrics.measurements_per_day == pytest.approx(expected,
+                                                             rel=0.05)
+
+
+class TestClassifyAll:
+    def test_classify_all_roundtrip(self):
+        from repro.core import classify_all
+        from repro.systems import all_systems
+        rows = classify_all(all_systems())
+        assert [r.device for r in rows] == list("ABCDEFG")
+
+
+class TestBusReadBlock:
+    def test_negative_count_rejected(self):
+        from repro.interfaces import RegisterBus
+        bus = RegisterBus()
+        with pytest.raises(ValueError):
+            bus.read_block(0x10, 0, -1)

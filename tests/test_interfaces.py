@@ -1,0 +1,301 @@
+"""Tests for the digital/analog interface substrate."""
+
+import pytest
+
+from repro.environment import SourceType
+from repro.harvesters import (
+    DeviceKind,
+    ElectronicDatasheet,
+    PhotovoltaicCell,
+    attach_datasheet,
+)
+from repro.conditioning import ModuleInterfaceCircuit
+from repro.interfaces import (
+    AnalogSenseLine,
+    BusError,
+    DatasheetROM,
+    ModuleSlots,
+    PowerUnitMCU,
+    RegisterBus,
+    read_datasheet,
+)
+from repro.interfaces.power_unit_mcu import (
+    REG_ACTIVE_MASK,
+    REG_BACKUP_ENABLE,
+    REG_DUTY_LEVEL,
+    REG_IDENT,
+    REG_INPUT_100UW,
+    REG_SOC_PERMILLE,
+    REG_STATUS,
+    REG_STORE_MV,
+)
+from repro.storage import Supercapacitor
+
+
+def _harvester_datasheet(model="pv-x"):
+    return ElectronicDatasheet(kind=DeviceKind.HARVESTER, model=model,
+                               source_type=SourceType.LIGHT,
+                               nominal_power_w=0.01, mpp_fraction=0.75,
+                               nominal_voltage=3.0)
+
+
+def _storage_datasheet(model="sc-x", capacity=100.0):
+    return ElectronicDatasheet(kind=DeviceKind.STORAGE, model=model,
+                               capacity_j=capacity, nominal_voltage=5.0)
+
+
+class TestElectronicDatasheet:
+    def test_roundtrip(self):
+        ds = _harvester_datasheet()
+        assert ElectronicDatasheet.decode(ds.encode()) == ds
+
+    def test_storage_roundtrip(self):
+        ds = _storage_datasheet()
+        assert ElectronicDatasheet.decode(ds.encode()) == ds
+
+    def test_harvester_requires_source(self):
+        with pytest.raises(ValueError, match="source_type"):
+            ElectronicDatasheet(kind=DeviceKind.HARVESTER, model="x")
+
+    def test_storage_requires_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            ElectronicDatasheet(kind=DeviceKind.STORAGE, model="x")
+
+    def test_malformed_image_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            ElectronicDatasheet.decode(b"\x00\x01garbage")
+
+    def test_mpp_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            ElectronicDatasheet(kind=DeviceKind.HARVESTER, model="x",
+                                source_type=SourceType.LIGHT,
+                                mpp_fraction=1.2)
+
+    def test_attach_datasheet(self):
+        pv = PhotovoltaicCell()
+        ds = _harvester_datasheet()
+        assert attach_datasheet(pv, ds) is pv
+        assert pv.datasheet is ds
+
+
+class TestRegisterBus:
+    def test_attach_and_read(self):
+        bus = RegisterBus()
+        bus.attach(0x10, DatasheetROM(_harvester_datasheet()))
+        assert bus.read(0x10, 0x00) == 0x4544
+
+    def test_address_conflicts(self):
+        bus = RegisterBus()
+        rom = DatasheetROM(_harvester_datasheet())
+        bus.attach(0x10, rom)
+        with pytest.raises(BusError, match="already in use"):
+            bus.attach(0x10, rom)
+
+    def test_missing_device(self):
+        bus = RegisterBus()
+        with pytest.raises(BusError, match="no device"):
+            bus.read(0x22, 0)
+        with pytest.raises(BusError, match="no device"):
+            bus.detach(0x22)
+
+    def test_address_range_enforced(self):
+        bus = RegisterBus()
+        with pytest.raises(BusError, match="7-bit"):
+            bus.read(0x80, 0)
+
+    def test_transaction_accounting(self):
+        bus = RegisterBus(energy_per_transaction_j=2e-6)
+        bus.attach(0x10, DatasheetROM(_harvester_datasheet()))
+        bus.read(0x10, 0x00)
+        bus.read(0x10, 0x01)
+        assert bus.transactions == 2
+        assert bus.energy_spent_j == pytest.approx(4e-6)
+
+    def test_scan(self):
+        bus = RegisterBus()
+        bus.attach(0x30, DatasheetROM(_harvester_datasheet()))
+        bus.attach(0x10, DatasheetROM(_storage_datasheet()))
+        assert bus.scan() == (0x10, 0x30)
+
+    def test_word_bounds(self):
+        bus = RegisterBus()
+        mcu = PowerUnitMCU(lambda: {})
+        bus.attach(0x20, mcu)
+        with pytest.raises(BusError, match="16-bit"):
+            bus.write(0x20, REG_DUTY_LEVEL, -1)
+
+    def test_read_only_device_write(self):
+        bus = RegisterBus()
+        bus.attach(0x10, DatasheetROM(_harvester_datasheet()))
+        with pytest.raises(BusError, match="read-only"):
+            bus.write(0x10, 0x00, 1)
+
+
+class TestDatasheetProtocol:
+    def test_read_over_bus(self):
+        bus = RegisterBus()
+        ds = _storage_datasheet(capacity=321.5)
+        bus.attach(0x21, DatasheetROM(ds))
+        decoded = read_datasheet(bus, 0x21)
+        assert decoded == ds
+
+    def test_wrong_magic_raises(self):
+        bus = RegisterBus()
+        mcu = PowerUnitMCU(lambda: {"store_voltage": 3.0})
+        bus.attach(0x21, mcu)
+        with pytest.raises(BusError, match="datasheet"):
+            read_datasheet(bus, 0x21)
+
+    def test_read_costs_transactions(self):
+        bus = RegisterBus()
+        bus.attach(0x21, DatasheetROM(_storage_datasheet()))
+        before = bus.transactions
+        read_datasheet(bus, 0x21)
+        assert bus.transactions > before + 2  # magic + length + data words
+
+    def test_rom_rejects_out_of_range(self):
+        rom = DatasheetROM(_harvester_datasheet())
+        with pytest.raises(BusError, match="past end"):
+            rom.read_register(0x10 + 10_000)
+
+
+class TestAnalogSenseLine:
+    def test_quantisation(self):
+        line = AnalogSenseLine(lambda: 2.5, adc_bits=10, v_ref=3.3)
+        reading = line.read_voltage()
+        assert reading == pytest.approx(2.5, abs=line.lsb_volts)
+
+    def test_divider_referred(self):
+        line = AnalogSenseLine(lambda: 5.0, divider_ratio=0.5, adc_bits=12,
+                               v_ref=3.3)
+        assert line.read_voltage() == pytest.approx(5.0, abs=line.lsb_volts)
+
+    def test_saturates_at_reference(self):
+        line = AnalogSenseLine(lambda: 100.0, adc_bits=8, v_ref=3.3)
+        assert line.read_raw() == 255
+
+    def test_counts_samples(self):
+        line = AnalogSenseLine(lambda: 1.0)
+        line.read_voltage()
+        line.read_voltage()
+        assert line.samples == 2
+
+    def test_validation(self):
+        with pytest.raises(TypeError):
+            AnalogSenseLine(3.3)
+        with pytest.raises(ValueError):
+            AnalogSenseLine(lambda: 1.0, divider_ratio=0.0)
+
+
+class TestPowerUnitMCU:
+    def _mcu(self):
+        telemetry = {"store_voltage": 4.123, "soc": 0.456,
+                     "input_power": 0.0123, "n_channels": 3,
+                     "active_mask": 0b101, "backup_active": False}
+        return PowerUnitMCU(lambda: dict(telemetry)), telemetry
+
+    def test_register_map(self):
+        mcu, _ = self._mcu()
+        assert mcu.read_register(REG_IDENT) == 0x5350
+        assert mcu.read_register(REG_STORE_MV) == 4123
+        assert mcu.read_register(REG_SOC_PERMILLE) == 456
+        assert mcu.read_register(REG_INPUT_100UW) == 123
+        assert mcu.read_register(REG_ACTIVE_MASK) == 0b101
+        assert mcu.read_register(REG_STATUS) & 0x01
+
+    def test_duty_level_write_invokes_callback(self):
+        seen = []
+        mcu = PowerUnitMCU(lambda: {}, on_duty_level=seen.append)
+        mcu.write_register(REG_DUTY_LEVEL, 9)
+        assert seen == [9]
+        assert mcu.read_register(REG_DUTY_LEVEL) == 9
+
+    def test_backup_enable_write(self):
+        seen = []
+        mcu = PowerUnitMCU(lambda: {}, on_backup_enable=seen.append)
+        mcu.write_register(REG_BACKUP_ENABLE, 1)
+        assert seen == [True]
+
+    def test_duty_level_range(self):
+        mcu, _ = self._mcu()
+        with pytest.raises(BusError):
+            mcu.write_register(REG_DUTY_LEVEL, 99)
+
+    def test_unknown_register(self):
+        mcu, _ = self._mcu()
+        with pytest.raises(BusError):
+            mcu.read_register(0x55)
+        with pytest.raises(BusError):
+            mcu.write_register(0x55, 0)
+
+    def test_clamping(self):
+        mcu = PowerUnitMCU(lambda: {"store_voltage": 1e6})
+        assert mcu.read_register(REG_STORE_MV) == 0xFFFF
+
+
+class TestModuleSlots:
+    def _slots(self):
+        bus = RegisterBus()
+        return ModuleSlots(bus=bus, n_slots=6), bus
+
+    def _pv_module(self, model="pv-m"):
+        pv = attach_datasheet(PhotovoltaicCell(area_cm2=10, efficiency=0.06),
+                              _harvester_datasheet(model))
+        return ModuleInterfaceCircuit(pv, name=model)
+
+    def _store_module(self, model="sc-m", capacity=123.0):
+        sc = Supercapacitor(capacitance_f=10.0)
+        attach_datasheet(sc, _storage_datasheet(model, capacity))
+        return ModuleInterfaceCircuit(sc, name=model)
+
+    def test_attach_detach(self):
+        slots, _ = self._slots()
+        module = self._pv_module()
+        slots.attach(0, module)
+        assert slots.module_at(0) is module
+        assert slots.detach(0) is module
+        assert slots.module_at(0) is None
+
+    def test_occupied_slot_rejected(self):
+        slots, _ = self._slots()
+        slots.attach(0, self._pv_module())
+        with pytest.raises(ValueError, match="occupied"):
+            slots.attach(0, self._pv_module("pv-2"))
+
+    def test_slot_range(self):
+        slots, _ = self._slots()
+        with pytest.raises(ValueError):
+            slots.attach(6, self._pv_module())
+
+    def test_enumeration_discovers_datasheets(self):
+        slots, _ = self._slots()
+        slots.attach(0, self._pv_module("pv-a"))
+        slots.attach(3, self._store_module("sc-a", 250.0))
+        inventory = slots.enumerate()
+        assert [r.slot for r in inventory.records] == [0, 3]
+        assert inventory.harvesters[0].datasheet.model == "pv-a"
+        assert inventory.total_storage_capacity_j == pytest.approx(250.0)
+
+    def test_bare_module_is_unrecognized(self):
+        slots, _ = self._slots()
+        bare = ModuleInterfaceCircuit(Supercapacitor(capacitance_f=5.0))
+        slots.attach(1, bare)
+        inventory = slots.enumerate()
+        assert len(inventory.unrecognized) == 1
+        assert inventory.total_storage_capacity_j == 0.0
+
+    def test_hot_swap_updates_enumeration(self):
+        slots, _ = self._slots()
+        slots.attach(0, self._store_module("sc-old", 100.0))
+        assert slots.enumerate().total_storage_capacity_j == 100.0
+        slots.swap(0, self._store_module("sc-new", 400.0))
+        assert slots.enumerate().total_storage_capacity_j == 400.0
+        assert slots.attach_events == 2
+        assert slots.detach_events == 1
+
+    def test_enumeration_costs_bus_energy(self):
+        slots, bus = self._slots()
+        slots.attach(0, self._pv_module())
+        before = bus.energy_spent_j
+        slots.enumerate()
+        assert bus.energy_spent_j > before

@@ -1,0 +1,218 @@
+"""Tests for the radio, node, and duty-cycle controllers."""
+
+import pytest
+
+from repro.load import (
+    EnergyNeutralController,
+    FixedDutyCycle,
+    NodeState,
+    RadioModel,
+    ThresholdDutyCycle,
+    WirelessSensorNode,
+)
+
+
+class TestRadioModel:
+    def test_tx_time_scales_with_payload(self):
+        radio = RadioModel(data_rate_bps=250e3)
+        assert radio.tx_time(100) > radio.tx_time(10)
+        assert radio.tx_time(0) == pytest.approx(17 * 8 / 250e3)
+
+    def test_packet_energy_components(self):
+        radio = RadioModel(tx_power_w=0.075, rx_power_w=0.06,
+                           startup_energy_j=150e-6)
+        energy = radio.packet_energy(24, ack_listen_s=0.002)
+        expected = 150e-6 + 0.075 * radio.tx_time(24) + 0.06 * 0.002
+        assert energy == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RadioModel(tx_power_w=0.0)
+        with pytest.raises(ValueError):
+            RadioModel().tx_time(-1)
+        with pytest.raises(ValueError):
+            RadioModel().packet_energy(10, ack_listen_s=-1.0)
+
+
+class TestNodeDemand:
+    def test_demand_decreases_with_interval(self):
+        node = WirelessSensorNode(measurement_interval_s=10.0)
+        fast = node.demand_power()
+        node.set_measurement_interval(1000.0)
+        slow = node.demand_power()
+        assert fast > 10 * slow
+        assert slow > node.sleep_power_w
+
+    def test_measurement_energy_positive(self):
+        assert WirelessSensorNode().measurement_energy() > 1e-4
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            WirelessSensorNode().set_measurement_interval(0.0)
+
+
+class TestNodeLifecycle:
+    def test_full_supply_full_work(self):
+        node = WirelessSensorNode(measurement_interval_s=60.0)
+        result = node.step(node.demand_power(), 600.0)
+        assert result.state is NodeState.RUNNING
+        assert result.measurements == pytest.approx(10.0)
+
+    def test_partial_supply_partial_work(self):
+        node = WirelessSensorNode(measurement_interval_s=60.0)
+        demand = node.demand_power()
+        available = node.sleep_power_w + 0.5 * (demand - node.sleep_power_w)
+        result = node.step(available, 600.0)
+        assert result.state is NodeState.RUNNING
+        assert result.measurements == pytest.approx(5.0, rel=1e-6)
+
+    def test_brownout_and_reboot_cycle(self):
+        node = WirelessSensorNode(reboot_time_s=5.0)
+        assert node.step(node.demand_power(), 60.0).state is \
+            NodeState.RUNNING
+        assert node.step(0.0, 60.0).state is NodeState.DEAD
+        assert node.brownouts == 1
+        # While dead, the node's demand reflects the reboot requirement.
+        assert node.demand_power() == pytest.approx(node._reboot_power())
+        # Supply returns: one rebooting step, then running.
+        assert node.step(node.demand_power(), 60.0).state is \
+            NodeState.REBOOTING
+        assert node.step(node.demand_power(), 60.0).state is \
+            NodeState.RUNNING
+
+    def test_dead_time_accumulates(self):
+        node = WirelessSensorNode()
+        node.step(0.0, 60.0)
+        node.step(0.0, 60.0)
+        assert node.dead_seconds >= 120.0
+
+    def test_no_work_while_dead(self):
+        node = WirelessSensorNode()
+        node.step(0.0, 60.0)
+        result = node.step(0.0, 60.0)
+        assert result.measurements == 0.0
+        assert result.consumed_w == 0.0
+
+    def test_reboot_fails_without_power(self):
+        node = WirelessSensorNode()
+        node.step(0.0, 60.0)            # dies
+        node.step(node.demand_power(), 60.0)  # starts rebooting
+        result = node.step(0.0, 60.0)   # power lost again mid-reboot
+        assert result.state is NodeState.DEAD
+
+    def test_counters_accumulate(self):
+        node = WirelessSensorNode(measurement_interval_s=30.0)
+        for _ in range(10):
+            node.step(node.demand_power(), 300.0)
+        assert node.total_measurements == pytest.approx(100.0)
+        assert node.total_energy_j > 0.0
+
+    def test_validation(self):
+        node = WirelessSensorNode()
+        with pytest.raises(ValueError):
+            node.step(-1.0, 60.0)
+        with pytest.raises(ValueError):
+            node.step(1.0, 0.0)
+
+
+class TestFixedDutyCycle:
+    def test_pins_interval(self):
+        node = WirelessSensorNode(measurement_interval_s=10.0)
+        FixedDutyCycle(interval_s=77.0).update(node, 0.5, 0.01, 60.0)
+        assert node.measurement_interval_s == 77.0
+
+    def test_ignores_telemetry(self):
+        node = WirelessSensorNode()
+        controller = FixedDutyCycle(50.0)
+        controller.update(node, None, None, 60.0)
+        assert node.measurement_interval_s == 50.0
+
+
+class TestThresholdDutyCycle:
+    def test_staircase(self):
+        node = WirelessSensorNode()
+        controller = ThresholdDutyCycle(levels=((0.7, 30.0), (0.4, 120.0),
+                                                (0.0, 3600.0)))
+        controller.update(node, 0.9, None, 60.0)
+        assert node.measurement_interval_s == 30.0
+        controller.update(node, 0.5, None, 60.0)
+        assert node.measurement_interval_s == 120.0
+        controller.update(node, 0.1, None, 60.0)
+        assert node.measurement_interval_s == 3600.0
+
+    def test_hysteresis_blocks_chatter(self):
+        node = WirelessSensorNode()
+        controller = ThresholdDutyCycle(levels=((0.7, 30.0), (0.0, 600.0)),
+                                        hysteresis=0.05)
+        controller.update(node, 0.5, None, 60.0)
+        assert node.measurement_interval_s == 600.0
+        # Just over the threshold: hysteresis keeps the slow rate.
+        controller.update(node, 0.71, None, 60.0)
+        assert node.measurement_interval_s == 600.0
+        # Clearly above threshold + hysteresis: speeds up.
+        controller.update(node, 0.76, None, 60.0)
+        assert node.measurement_interval_s == 30.0
+
+    def test_blind_platform_holds_rate(self):
+        node = WirelessSensorNode(measurement_interval_s=42.0)
+        ThresholdDutyCycle().update(node, None, None, 60.0)
+        assert node.measurement_interval_s == 42.0
+
+    def test_levels_validation(self):
+        with pytest.raises(ValueError, match="descending"):
+            ThresholdDutyCycle(levels=((0.2, 60.0), (0.7, 30.0), (0.0, 1.0)))
+        with pytest.raises(ValueError, match="catch-all"):
+            ThresholdDutyCycle(levels=((0.7, 30.0), (0.3, 60.0)))
+
+
+class TestEnergyNeutralController:
+    def test_matches_harvest_budget(self):
+        node = WirelessSensorNode()
+        controller = EnergyNeutralController(target_soc=0.5, margin=1.0,
+                                             min_interval_s=1.0,
+                                             max_interval_s=100_000.0)
+        harvest = 0.002
+        controller.update(node, 0.5, harvest, 60.0)
+        expected = node.measurement_energy() / (harvest -
+                                                node.sleep_power_w)
+        assert node.measurement_interval_s == pytest.approx(expected,
+                                                            rel=1e-6)
+
+    def test_soc_steering(self):
+        node_rich = WirelessSensorNode()
+        node_poor = WirelessSensorNode()
+        rich = EnergyNeutralController(min_interval_s=0.1,
+                                       max_interval_s=1e6)
+        poor = EnergyNeutralController(min_interval_s=0.1,
+                                       max_interval_s=1e6)
+        rich.update(node_rich, 0.9, 0.002, 60.0)
+        poor.update(node_poor, 0.3, 0.002, 60.0)
+        assert node_rich.measurement_interval_s < \
+            node_poor.measurement_interval_s
+
+    def test_no_harvest_hibernates(self):
+        node = WirelessSensorNode()
+        controller = EnergyNeutralController(max_interval_s=3600.0)
+        controller.update(node, 0.5, 0.0, 60.0)
+        assert node.measurement_interval_s == 3600.0
+
+    def test_ewma_smooths(self):
+        controller = EnergyNeutralController(ewma_tau_s=3600.0)
+        node = WirelessSensorNode()
+        controller.update(node, 0.5, 0.01, 60.0)
+        first = controller.harvest_estimate_w
+        controller.update(node, 0.5, 0.0, 60.0)
+        second = controller.harvest_estimate_w
+        assert 0.9 * first < second <= first  # barely moved
+
+    def test_blind_platform_holds(self):
+        node = WirelessSensorNode(measurement_interval_s=42.0)
+        EnergyNeutralController().update(node, None, None, 60.0)
+        assert node.measurement_interval_s == 42.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyNeutralController(target_soc=0.0)
+        with pytest.raises(ValueError):
+            EnergyNeutralController(min_interval_s=100.0,
+                                    max_interval_s=10.0)

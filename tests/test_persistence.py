@@ -1,0 +1,120 @@
+"""Tests for trace/environment persistence and CSV import."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.environment import SourceType, Trace, outdoor_environment
+from repro.environment.persistence import (
+    load_environment,
+    load_trace,
+    save_environment,
+    save_trace,
+    trace_from_csv,
+)
+
+DAY = 86_400.0
+
+
+class TestTraceRoundtrip:
+    def test_roundtrip_preserves_everything(self, tmp_path):
+        trace = Trace(np.linspace(0.0, 5.0, 100), dt=60.0,
+                      name="irradiance", units="W/m^2")
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert np.array_equal(loaded.values, trace.values)
+        assert loaded.dt == trace.dt
+        assert loaded.name == "irradiance"
+        assert loaded.units == "W/m^2"
+
+    def test_roundtrip_is_bit_exact(self, tmp_path):
+        rng = np.random.default_rng(0)
+        trace = Trace(rng.random(1000), dt=0.5)
+        path = tmp_path / "t.npz"
+        save_trace(trace, path)
+        assert np.array_equal(load_trace(path).values, trace.values)
+
+
+class TestEnvironmentRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        env = outdoor_environment(duration=DAY / 4, dt=300.0, seed=77)
+        path = tmp_path / "env.npz"
+        save_environment(env, path)
+        loaded = load_environment(path)
+        assert loaded.name == env.name
+        assert set(loaded.sources) == set(env.sources)
+        for source in env.sources:
+            assert np.array_equal(loaded.trace(source).values,
+                                  env.trace(source).values)
+
+    def test_simulation_identical_from_reloaded_environment(self, tmp_path):
+        from repro.analysis.experiments import make_reference_system
+        from repro.harvesters import PhotovoltaicCell
+        from repro.simulation import simulate
+
+        env = outdoor_environment(duration=DAY / 4, dt=300.0, seed=78)
+        path = tmp_path / "env.npz"
+        save_environment(env, path)
+        reloaded = load_environment(path)
+
+        def run(environment):
+            system = make_reference_system(
+                [PhotovoltaicCell(area_cm2=20.0)],
+                measurement_interval_s=120.0)
+            return simulate(system, environment).metrics
+
+        a, b = run(env), run(reloaded)
+        assert a.harvested_delivered_j == b.harvested_delivered_j
+        assert a.node_consumed_j == b.node_consumed_j
+
+
+class TestCSVImport:
+    def test_uniform_rows(self):
+        csv_text = "time,value\n0,1.0\n60,2.0\n120,3.0\n"
+        trace = trace_from_csv(io.StringIO(csv_text), dt=60.0)
+        assert list(trace.values) == [1.0, 2.0, 3.0]
+
+    def test_irregular_rows_zero_order_hold(self):
+        csv_text = "time,value\n0,1.0\n90,5.0\n240,2.0\n"
+        trace = trace_from_csv(io.StringIO(csv_text), dt=60.0)
+        # Grid: 0,60,120,180,240 -> holds 1.0 until t=90, then 5.0, ...
+        assert list(trace.values) == [1.0, 1.0, 5.0, 5.0, 2.0]
+
+    def test_unsorted_rows_accepted(self):
+        csv_text = "time,value\n120,3.0\n0,1.0\n60,2.0\n"
+        trace = trace_from_csv(io.StringIO(csv_text), dt=60.0)
+        assert list(trace.values) == [1.0, 2.0, 3.0]
+
+    def test_custom_column_names(self):
+        csv_text = "ts,irr\n0,100\n600,200\n"
+        trace = trace_from_csv(io.StringIO(csv_text), dt=600.0,
+                               time_column="ts", value_column="irr")
+        assert list(trace.values) == [100.0, 200.0]
+
+    def test_missing_columns_rejected(self):
+        with pytest.raises(ValueError, match="columns"):
+            trace_from_csv(io.StringIO("a,b\n1,2\n"), dt=60.0)
+
+    def test_malformed_values_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            trace_from_csv(io.StringIO("time,value\n0,abc\n"), dt=60.0)
+
+    def test_empty_csv_rejected(self):
+        with pytest.raises(ValueError, match="no data"):
+            trace_from_csv(io.StringIO("time,value\n"), dt=60.0)
+
+    def test_file_path_source(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("time,value\n0,4.0\n300,5.0\n")
+        trace = trace_from_csv(path, dt=300.0)
+        assert list(trace.values) == [4.0, 5.0]
+
+    def test_invalid_dt(self):
+        with pytest.raises(ValueError):
+            trace_from_csv(io.StringIO("time,value\n0,1\n"), dt=0.0)
+
+    def test_invalid_source_type(self):
+        with pytest.raises(TypeError):
+            trace_from_csv(12345, dt=60.0)

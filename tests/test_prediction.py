@@ -1,0 +1,105 @@
+"""Tests for the harvest predictors (EWMA and slot-EWMA)."""
+
+import math
+
+import pytest
+
+from repro.core import EWMAPredictor, SlotEWMAPredictor
+from repro.environment import SolarModel
+
+DAY = 86_400.0
+
+
+def _solar_profile(days, dt, seed=5):
+    """(t, power) samples of a scaled solar week."""
+    trace = SolarModel(cloudiness=0.2, seed=seed).trace(days * DAY, dt)
+    return [(i * dt, v * 1e-4) for i, v in enumerate(trace.values)]
+
+
+class TestEWMAPredictor:
+    def test_converges_to_constant_input(self):
+        predictor = EWMAPredictor(tau_s=600.0)
+        for i in range(1000):
+            predictor.observe(i * 60.0, 0.005, 60.0)
+        assert predictor.predict(0.0) == pytest.approx(0.005, rel=1e-6)
+
+    def test_time_constant_controls_response(self):
+        fast = EWMAPredictor(tau_s=600.0)
+        slow = EWMAPredictor(tau_s=86_400.0)
+        for i in range(60):
+            fast.observe(i * 60.0, 0.01, 60.0)
+            slow.observe(i * 60.0, 0.01, 60.0)
+        assert fast.predict(0.0) > slow.predict(0.0)
+
+    def test_flat_in_time_of_day(self):
+        predictor = EWMAPredictor()
+        predictor.observe(0.0, 0.01, 60.0)
+        assert predictor.predict(0.0) == predictor.predict(DAY / 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EWMAPredictor(tau_s=0.0)
+        with pytest.raises(ValueError):
+            EWMAPredictor().observe(0.0, -1.0, 60.0)
+
+
+class TestSlotEWMAPredictor:
+    def test_learns_diurnal_profile(self):
+        predictor = SlotEWMAPredictor(n_slots=24, alpha=0.5)
+        for t, p in _solar_profile(days=4, dt=600.0):
+            predictor.observe(t, p, 600.0)
+        noon = predictor.predict(4 * DAY + DAY / 2)
+        midnight = predictor.predict(4 * DAY + 20)
+        assert noon > 10 * max(midnight, 1e-9)
+
+    def test_beats_flat_ewma_on_solar(self):
+        slot = SlotEWMAPredictor(n_slots=24, alpha=0.5)
+        flat = EWMAPredictor(tau_s=6 * 3600.0)
+        samples = _solar_profile(days=5, dt=600.0)
+        train = [s for s in samples if s[0] < 4 * DAY]
+        test = [s for s in samples if s[0] >= 4 * DAY]
+        for t, p in train:
+            slot.observe(t, p, 600.0)
+            flat.observe(t, p, 600.0)
+        slot_err = sum(slot.error(t, p) for t, p in test)
+        flat_err = sum(flat.error(t, p) for t, p in test)
+        assert slot_err < 0.7 * flat_err
+
+    def test_profile_length(self):
+        predictor = SlotEWMAPredictor(n_slots=48)
+        assert len(predictor.profile) == 48
+
+    def test_unseen_slots_return_initial(self):
+        predictor = SlotEWMAPredictor(n_slots=24, initial_w=0.003)
+        assert predictor.predict(13 * 3600.0) == pytest.approx(0.003)
+
+    def test_horizon_average(self):
+        predictor = SlotEWMAPredictor(n_slots=4, alpha=1.0)
+        # Slot values: teach 1.0 in slot 0, 0 elsewhere over one day.
+        for i in range(144):
+            t = i * 600.0
+            slot = int((t % DAY) / DAY * 4)
+            predictor.observe(t, 1.0 if slot == 0 else 0.0, 600.0)
+        mean = predictor.predict_horizon(DAY, DAY, resolution_s=600.0)
+        assert mean == pytest.approx(0.25, abs=0.1)
+
+    def test_alpha_blends_across_days(self):
+        predictor = SlotEWMAPredictor(n_slots=1, alpha=0.5)
+        # Day 1: 1.0 all day; day 2: 0.0 all day.
+        for i in range(24):
+            predictor.observe(i * 3600.0, 1.0, 3600.0)
+        for i in range(24):
+            predictor.observe(DAY + i * 3600.0, 0.0, 3600.0)
+        # Committed day-1 mean 1.0, then day-2 rolls in with weight 0.5 at
+        # the *next* commit; predict on day 3 (no live slot data).
+        value = predictor.predict(2 * DAY + 3600.0)
+        assert 0.0 <= value <= 1.0
+        assert not math.isnan(value)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlotEWMAPredictor(n_slots=0)
+        with pytest.raises(ValueError):
+            SlotEWMAPredictor(alpha=0.0)
+        with pytest.raises(ValueError):
+            SlotEWMAPredictor().predict_horizon(0.0, -5.0)

@@ -1,0 +1,61 @@
+"""Tests for the text rendering helpers."""
+
+import pytest
+
+from repro.analysis import format_si, render_kv, render_table
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        text = render_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "---" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        text = render_table(["x"], [["1"]], title="My Title")
+        assert text.splitlines()[0] == "My Title"
+
+    def test_column_width_mismatch(self):
+        with pytest.raises(ValueError, match="row width"):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_values_stringified(self):
+        text = render_table(["n"], [[42], [3.5]])
+        assert "42" in text and "3.5" in text
+
+    def test_alignment(self):
+        text = render_table(["col"], [["a"], ["longer"]])
+        header, sep, *rows = text.splitlines()
+        assert len(header) == len(rows[0]) == len(rows[1])
+
+
+class TestRenderKV:
+    def test_alignment(self):
+        text = render_kv([("k", 1), ("longer-key", 2)])
+        lines = text.splitlines()
+        assert lines[0].index(":") == lines[1].index(":")
+
+    def test_title(self):
+        assert render_kv([("a", 1)], title="T").startswith("T\n")
+
+    def test_empty(self):
+        assert render_kv([]) == ""
+
+
+class TestFormatSI:
+    def test_zero(self):
+        assert format_si(0.0, "W") == "0 W"
+
+    def test_prefixes(self):
+        assert format_si(4.2e-7, "A") == "420 nA"
+        assert format_si(0.005, "W") == "5 mW"
+        assert format_si(2500.0, "J") == "2.5 kJ"
+        assert format_si(5e-6, "A") == "5 uA"
+
+    def test_unit_scale(self):
+        assert format_si(3.7, "V") == "3.7 V"
+
+    def test_tiny_values(self):
+        assert "p" in format_si(2e-12, "F")

@@ -1,0 +1,74 @@
+"""Tests for the seed-robustness sweep utility."""
+
+import pytest
+
+from repro.analysis import SeedSweep, sweep_seeds
+
+
+class _FakeResult:
+    def __init__(self, value):
+        self.value = value
+
+
+def _fake_experiment(seed=0, scale=1.0):
+    return _FakeResult(scale * (seed + 1))
+
+
+class TestSeedSweep:
+    def test_statistics(self):
+        sweep = SeedSweep(label="x", seeds=(0, 1, 2),
+                          values=(1.0, 2.0, 3.0))
+        assert sweep.mean == pytest.approx(2.0)
+        assert sweep.min == 1.0
+        assert sweep.max == 3.0
+        assert sweep.std == pytest.approx(1.0)
+
+    def test_single_seed_std_zero(self):
+        sweep = SeedSweep(label="x", seeds=(0,), values=(5.0,))
+        assert sweep.std == 0.0
+
+    def test_holds_fraction(self):
+        sweep = SeedSweep(label="x", seeds=(0, 1, 2, 3),
+                          values=(0.5, 1.5, 2.5, 3.5))
+        assert sweep.holds_fraction(lambda v: v > 1.0) == 0.75
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SeedSweep(label="x", seeds=(0, 1), values=(1.0,))
+        with pytest.raises(ValueError):
+            SeedSweep(label="x", seeds=(), values=())
+
+    def test_report_renders(self):
+        sweep = SeedSweep(label="gain", seeds=(0, 1), values=(1.1, 1.2))
+        text = sweep.report()
+        assert "gain" in text and "mean=" in text
+
+
+class TestSweepSeeds:
+    def test_runs_experiment_per_seed(self):
+        sweep = sweep_seeds(_fake_experiment, lambda r: r.value,
+                            seeds=(0, 1, 2))
+        assert sweep.values == (1.0, 2.0, 3.0)
+
+    def test_kwargs_forwarded(self):
+        sweep = sweep_seeds(_fake_experiment, lambda r: r.value,
+                            seeds=(0, 1), scale=10.0)
+        assert sweep.values == (10.0, 20.0)
+
+    def test_label_defaults_to_metric_name(self):
+        def my_metric(result):
+            return result.value
+        sweep = sweep_seeds(_fake_experiment, my_metric, seeds=(0,))
+        assert sweep.label == "my_metric"
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_seeds(_fake_experiment, lambda r: r.value, seeds=())
+
+    def test_on_real_experiment(self):
+        from repro.analysis.experiments import run_quiescent_study
+        sweep = sweep_seeds(lambda seed=0: run_quiescent_study(),
+                            lambda r: r.breakeven_spread, seeds=(0, 1))
+        # The quiescent study is analytic: identical across seeds.
+        assert sweep.std == 0.0
+        assert sweep.mean == pytest.approx(100.0, rel=0.2)

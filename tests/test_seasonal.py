@@ -1,0 +1,82 @@
+"""Tests for the seasonal environment models and the E12 study."""
+
+import pytest
+
+from repro.environment import (
+    SeasonalSolarModel,
+    SourceType,
+    seasonal_outdoor_environment,
+)
+
+DAY = 86_400.0
+
+
+class TestSeasonalSolarModel:
+    def test_solstice_parameters(self):
+        model = SeasonalSolarModel(summer_day_fraction=0.67,
+                                   winter_day_fraction=0.33,
+                                   summer_peak=1000.0, winter_peak=500.0)
+        winter = model.parameters_at(0.0)
+        summer = model.parameters_at(182.6 * DAY)
+        assert winter["day_fraction"] == pytest.approx(0.33, abs=0.01)
+        assert summer["day_fraction"] == pytest.approx(0.67, abs=0.01)
+        assert winter["peak_irradiance"] == pytest.approx(500.0, rel=0.02)
+        assert summer["peak_irradiance"] == pytest.approx(1000.0, rel=0.02)
+
+    def test_equinox_is_midway(self):
+        model = SeasonalSolarModel()
+        equinox = model.parameters_at(91.3 * DAY)
+        assert equinox["day_fraction"] == pytest.approx(0.5, abs=0.02)
+
+    def test_annual_cycle_wraps(self):
+        model = SeasonalSolarModel()
+        assert model.parameters_at(0.0)["day_fraction"] == pytest.approx(
+            model.parameters_at(365.25 * DAY)["day_fraction"], abs=1e-6)
+
+    def test_summer_month_outharvests_winter_month(self):
+        model = SeasonalSolarModel(seed=4)
+        winter = model.trace(14 * DAY, dt=1800.0)
+        summer = SeasonalSolarModel(start_day_of_year=182.6,
+                                    seed=4).trace(14 * DAY, dt=1800.0)
+        assert summer.integral() > 2.5 * winter.integral()
+
+    def test_determinism(self):
+        import numpy as np
+        a = SeasonalSolarModel(seed=9).trace(3 * DAY, dt=1800.0)
+        b = SeasonalSolarModel(seed=9).trace(3 * DAY, dt=1800.0)
+        assert np.array_equal(a.values, b.values)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SeasonalSolarModel(winter_day_fraction=0.7,
+                               summer_day_fraction=0.5)
+        with pytest.raises(ValueError):
+            SeasonalSolarModel(winter_peak=1200.0, summer_peak=1000.0)
+        with pytest.raises(ValueError):
+            SeasonalSolarModel().trace(-5.0)
+
+
+class TestSeasonalEnvironment:
+    def test_channels(self):
+        env = seasonal_outdoor_environment(duration=7 * DAY, dt=1800.0)
+        for source in (SourceType.LIGHT, SourceType.WIND,
+                       SourceType.THERMAL):
+            assert env.has(source)
+
+    def test_winter_wind_exceeds_summer_wind(self):
+        winter = seasonal_outdoor_environment(
+            duration=14 * DAY, dt=1800.0, start_day_of_year=0.0, seed=4)
+        summer = seasonal_outdoor_environment(
+            duration=14 * DAY, dt=1800.0, start_day_of_year=182.6, seed=4)
+        assert winter.trace(SourceType.WIND).mean() > \
+            summer.trace(SourceType.WIND).mean()
+
+
+class TestSeasonalStudy:
+    def test_short_run_shapes(self):
+        from repro.analysis.experiments import run_seasonal_study
+        result = run_seasonal_study(days=7.0, dt=1800.0, seed=95)
+        assert all(r.feasible for r in result.requirements)
+        assert result.winter_penalty("pv+wind") <= \
+            result.winter_penalty("pv-only") + 0.3
+        assert "winter penalty" in result.report()

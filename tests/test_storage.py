@@ -1,0 +1,321 @@
+"""Unit and property tests for the storage models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import (
+    AABatteryPack,
+    ChemistryBattery,
+    HydrogenFuelCell,
+    IdealStorage,
+    LiIonBattery,
+    LiPolymerBattery,
+    LithiumIonCapacitor,
+    LithiumPrimaryCell,
+    NiMHBattery,
+    Supercapacitor,
+    ThinFilmBattery,
+)
+
+
+class TestIdealStorage:
+    def test_roundtrip_lossless(self):
+        store = IdealStorage(capacity_j=100.0, initial_soc=0.5)
+        accepted = store.charge(1.0, 10.0)
+        assert accepted == pytest.approx(1.0)
+        assert store.energy_j == pytest.approx(60.0)
+        delivered = store.discharge(1.0, 10.0)
+        assert delivered == pytest.approx(1.0)
+        assert store.energy_j == pytest.approx(50.0)
+
+    def test_charge_clips_at_capacity(self):
+        store = IdealStorage(capacity_j=10.0, initial_soc=0.9)
+        accepted = store.charge(1.0, 100.0)
+        assert accepted == pytest.approx(0.01)
+        assert store.is_full()
+
+    def test_discharge_clips_at_empty(self):
+        store = IdealStorage(capacity_j=10.0, initial_soc=0.1)
+        delivered = store.discharge(1.0, 100.0)
+        assert delivered == pytest.approx(0.01)
+        assert store.is_empty()
+
+    def test_zero_power_noop(self):
+        store = IdealStorage()
+        assert store.charge(0.0, 1.0) == 0.0
+        assert store.discharge(0.0, 1.0) == 0.0
+
+    def test_invalid_arguments(self):
+        store = IdealStorage()
+        with pytest.raises(ValueError):
+            store.charge(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            store.discharge(1.0, 0.0)
+        with pytest.raises(ValueError):
+            IdealStorage(capacity_j=-5.0)
+        with pytest.raises(ValueError):
+            IdealStorage(initial_soc=1.5)
+
+    def test_no_self_discharge(self):
+        store = IdealStorage(capacity_j=100.0, initial_soc=1.0)
+        assert store.step_idle(86_400.0) == 0.0
+        assert store.energy_j == 100.0
+
+    @settings(max_examples=50)
+    @given(power=st.floats(min_value=0.0, max_value=10.0),
+           dt=st.floats(min_value=0.1, max_value=1000.0))
+    def test_energy_conservation(self, power, dt):
+        store = IdealStorage(capacity_j=1e6, initial_soc=0.5)
+        before = store.energy_j
+        accepted = store.charge(power, dt)
+        assert store.energy_j == pytest.approx(before + accepted * dt)
+        mid = store.energy_j
+        delivered = store.discharge(power, dt)
+        assert store.energy_j == pytest.approx(mid - delivered * dt)
+
+
+class TestSupercapacitor:
+    def test_capacity_formula(self):
+        sc = Supercapacitor(capacitance_f=10.0, rated_voltage=5.0,
+                            min_voltage=0.5)
+        assert sc.capacity_j == pytest.approx(0.5 * 10 * (25 - 0.25))
+
+    def test_voltage_rises_with_charge(self):
+        sc = Supercapacitor(capacitance_f=10.0, initial_soc=0.2)
+        v0 = sc.voltage()
+        sc.charge(1.0, 60.0)
+        assert sc.voltage() > v0
+
+    def test_terminal_voltage_clamped_at_rated(self):
+        sc = Supercapacitor(capacitance_f=1.0, rated_voltage=5.0,
+                            initial_soc=0.99)
+        sc.charge(10.0, 3600.0)
+        assert sc.voltage() <= 5.0 + 1e-9
+
+    def test_redistribution_sags_terminal_voltage(self):
+        # Burst-charge the fast branch, then watch it sag into the bulk —
+        # the signature behaviour of ref. [9].
+        sc = Supercapacitor(capacitance_f=25.0, fast_fraction=0.5,
+                            redistribution_tau=600.0, initial_soc=0.2)
+        sc.charge(5.0, 60.0)
+        v_after_burst = sc.voltage()
+        sc.step_idle(600.0)
+        assert sc.voltage() < v_after_burst
+        assert sc.v_slow > 0.0
+
+    def test_leakage_drains_idle_cap(self):
+        sc = Supercapacitor(capacitance_f=25.0, leakage_resistance=10_000.0,
+                            initial_soc=0.8)
+        e0 = sc.energy_j
+        lost = sc.step_idle(6 * 3600.0)
+        assert lost > 0.0
+        assert sc.energy_j < e0
+
+    def test_redistribution_conserves_charge(self):
+        sc = Supercapacitor(capacitance_f=20.0, fast_fraction=0.5,
+                            leakage_resistance=1e12, initial_soc=0.5)
+        sc.charge(2.0, 30.0)
+        q_before = sc.c_fast * sc.v_fast + sc.c_slow * sc.v_slow
+        sc.step_idle(3600.0)
+        q_after = sc.c_fast * sc.v_fast + sc.c_slow * sc.v_slow
+        assert q_after == pytest.approx(q_before, rel=1e-6)
+
+    def test_discharge_stops_at_floor(self):
+        sc = Supercapacitor(capacitance_f=5.0, min_voltage=0.5,
+                            initial_soc=0.05)
+        sc.discharge(100.0, 3600.0)
+        assert sc.voltage() >= 0.5 - 1e-9
+
+    def test_leakage_power_reported(self):
+        sc = Supercapacitor(initial_soc=0.5)
+        assert sc.leakage_power() == pytest.approx(
+            sc.v_fast ** 2 / sc.leakage_resistance)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Supercapacitor(capacitance_f=0.0)
+        with pytest.raises(ValueError):
+            Supercapacitor(fast_fraction=1.5)
+        with pytest.raises(ValueError):
+            Supercapacitor(min_voltage=6.0, rated_voltage=5.0)
+
+
+class TestChemistryBatteries:
+    def test_capacity_conversion(self):
+        li = LiIonBattery(capacity_mah=1000.0)
+        assert li.capacity_j == pytest.approx(1000e-3 * 3600 * 3.7)
+
+    def test_ocv_curve_monotone(self):
+        for battery in (LiIonBattery(), LiPolymerBattery(), NiMHBattery(),
+                        AABatteryPack(), ThinFilmBattery()):
+            voltages = []
+            for soc in (0.0, 0.25, 0.5, 0.75, 1.0):
+                battery.energy_j = soc * battery.capacity_j
+                voltages.append(battery.voltage())
+            assert all(a <= b + 1e-12 for a, b in
+                       zip(voltages, voltages[1:])), type(battery).__name__
+
+    def test_c_rate_limits_enforced(self):
+        li = LiIonBattery(capacity_mah=1000.0, initial_soc=0.5)
+        # 0.5 C charge limit.
+        max_w = 0.5 * li.capacity_j / 3600.0
+        accepted = li.charge(100.0, 1.0)
+        assert accepted == pytest.approx(max_w)
+
+    def test_charge_efficiency_loss(self):
+        li = LiIonBattery(capacity_mah=1000.0, initial_soc=0.5)
+        e0 = li.energy_j
+        accepted = li.charge(1.0, 100.0)
+        stored = li.energy_j - e0
+        assert stored == pytest.approx(accepted * 100.0 * 0.97)
+
+    def test_discharge_efficiency_loss(self):
+        li = LiIonBattery(capacity_mah=1000.0, initial_soc=0.5)
+        e0 = li.energy_j
+        delivered = li.discharge(1.0, 100.0)
+        drawn = e0 - li.energy_j
+        assert drawn == pytest.approx(delivered * 100.0 / 0.97)
+
+    def test_nimh_self_discharges_faster_than_liion(self):
+        nimh, li = NiMHBattery(initial_soc=1.0), LiIonBattery(initial_soc=1.0)
+        nimh_loss = nimh.step_idle(86_400.0) / nimh.capacity_j
+        li_loss = li.step_idle(86_400.0) / li.capacity_j
+        assert nimh_loss > 5 * li_loss
+
+    def test_aa_pack_voltage_scales_with_cells(self):
+        one = AABatteryPack(cells=1, initial_soc=0.5)
+        two = AABatteryPack(cells=2, initial_soc=0.5)
+        assert two.voltage() == pytest.approx(2 * one.voltage())
+
+    def test_primary_cell_refuses_charge(self):
+        cell = LithiumPrimaryCell()
+        assert not cell.rechargeable
+        assert cell.charge(1.0, 100.0) == 0.0
+        assert cell.is_backup
+
+    def test_primary_cell_discharges(self):
+        cell = LithiumPrimaryCell(capacity_mah=100.0)
+        assert cell.discharge(0.01, 60.0) == pytest.approx(0.01)
+
+    def test_thin_film_tiny_capacity(self):
+        tf = ThinFilmBattery(capacity_uah=100.0)
+        assert tf.capacity_j < 2.0  # ~1.4 J: genuinely tiny
+
+    def test_equivalent_cycles_counter(self):
+        li = LiIonBattery(capacity_mah=10.0, initial_soc=1.0)
+        li.discharge(li.max_discharge_w, 3600.0)
+        assert li.equivalent_cycles > 0.5
+
+    def test_ocv_curve_validation(self):
+        with pytest.raises(ValueError, match="ascend"):
+            ChemistryBattery(100.0, 3.7, ocv_curve=((0.5, 3.7), (0.2, 3.5)))
+        with pytest.raises(ValueError, match="two points"):
+            ChemistryBattery(100.0, 3.7, ocv_curve=((0.5, 3.7),))
+
+
+class TestFuelCell:
+    def test_discharge_only(self):
+        fc = HydrogenFuelCell()
+        assert not fc.rechargeable
+        assert fc.is_backup
+        assert fc.charge(1.0, 60.0) == 0.0
+
+    def test_startup_ramp(self):
+        fc = HydrogenFuelCell(max_power_w=0.5, startup_time=30.0)
+        first = fc.discharge(0.5, 1.0)
+        assert first < 0.5  # cold start delivers less than rated
+        # After enough running time the stack is warm.
+        for _ in range(40):
+            fc.discharge(0.5, 1.0)
+        assert fc.is_warm
+        assert fc.discharge(0.5, 1.0) == pytest.approx(0.5)
+
+    def test_cooldown_resets_warmup(self):
+        fc = HydrogenFuelCell(startup_time=30.0)
+        for _ in range(40):
+            fc.discharge(0.3, 1.0)
+        assert fc.is_warm
+        for _ in range(100):
+            fc.discharge(0.0, 1.0)
+        assert not fc.is_warm
+
+    def test_start_counter(self):
+        fc = HydrogenFuelCell(startup_time=10.0)
+        fc.discharge(0.1, 1.0)
+        assert fc.starts == 1
+        fc.discharge(0.1, 1.0)
+        assert fc.starts == 1  # still the same run
+
+    def test_finite_fuel(self):
+        fc = HydrogenFuelCell(fuel_energy_j=10.0, max_power_w=1.0,
+                              startup_time=0.0)
+        fc.discharge(1.0, 9.0)
+        fc.discharge(1.0, 9.0)
+        assert fc.energy_j == pytest.approx(0.0, abs=1e-9)
+        assert fc.voltage() == 0.0
+
+    def test_power_cap(self):
+        fc = HydrogenFuelCell(max_power_w=0.5, startup_time=0.0)
+        assert fc.discharge(2.0, 1.0) == pytest.approx(0.5)
+
+
+class TestLithiumIonCapacitor:
+    def test_voltage_window(self):
+        lic = LithiumIonCapacitor(max_voltage=3.8, min_voltage=2.2)
+        lic.energy_j = 0.0
+        assert lic.voltage() == pytest.approx(2.2)
+        lic.energy_j = lic.capacity_j
+        assert lic.voltage() == pytest.approx(3.8, rel=1e-6)
+
+    def test_self_discharge_much_slower_than_supercap(self):
+        lic = LithiumIonCapacitor(initial_soc=0.8)
+        sc = Supercapacitor(capacitance_f=40.0, initial_soc=0.8)
+        lic_loss = lic.step_idle(86_400.0) / lic.capacity_j
+        sc_loss = sc.step_idle(86_400.0) / sc.capacity_j
+        assert lic_loss < 0.2 * sc_loss
+
+    def test_never_below_floor(self):
+        lic = LithiumIonCapacitor(initial_soc=0.01)
+        lic.step_idle(365 * 86_400.0)
+        assert lic.voltage() >= lic.min_voltage - 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LithiumIonCapacitor(min_voltage=4.0, max_voltage=3.8)
+
+
+@settings(max_examples=30)
+@given(
+    initial=st.floats(min_value=0.0, max_value=1.0),
+    power=st.floats(min_value=0.0, max_value=5.0),
+    dt=st.floats(min_value=1.0, max_value=600.0),
+)
+def test_soc_always_in_unit_interval(initial, power, dt):
+    for store in (IdealStorage(capacity_j=50.0, initial_soc=initial),
+                  Supercapacitor(capacitance_f=10.0, initial_soc=initial),
+                  LiIonBattery(capacity_mah=50.0, initial_soc=initial)):
+        store.charge(power, dt)
+        assert -1e-9 <= store.soc <= 1.0 + 1e-9
+        store.discharge(power, dt)
+        assert -1e-9 <= store.soc <= 1.0 + 1e-9
+        store.step_idle(dt)
+        assert -1e-9 <= store.soc <= 1.0 + 1e-9
+
+
+@settings(max_examples=30)
+@given(power=st.floats(min_value=0.001, max_value=2.0),
+       dt=st.floats(min_value=1.0, max_value=300.0))
+def test_battery_charge_discharge_conservation(power, dt):
+    li = LiIonBattery(capacity_mah=500.0, initial_soc=0.5)
+    e0 = li.energy_j
+    accepted = li.charge(power, dt)
+    delivered = li.discharge(power, dt)
+    # Stored energy never exceeds initial + accepted input (losses only
+    # remove energy), and never goes below what delivery accounts for.
+    assert li.energy_j <= e0 + accepted * dt + 1e-9
+    assert li.energy_j >= e0 + (accepted * li.charge_efficiency -
+                                delivered / li.discharge_efficiency) * dt - 1e-9
+    # One-way efficiencies are honoured exactly.
+    assert accepted <= power + 1e-12
+    assert delivered <= power + 1e-12

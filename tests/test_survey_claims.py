@@ -1,0 +1,193 @@
+"""The survey's prose claims, asserted against the live models.
+
+Sections III-IV of the paper make specific statements about the seven
+systems; a faithful reproduction must make every one of them true of the
+executable models. Each test quotes the claim it checks.
+"""
+
+import pytest
+
+from repro.core import (
+    ConditioningLocation,
+    HardwareFlexibility,
+    IntelligenceLocation,
+    MonitoringCapability,
+    classify,
+)
+from repro.systems import all_systems
+
+
+@pytest.fixture(scope="module")
+def systems():
+    return all_systems()
+
+
+class TestSectionIII1PowerConditioning:
+    """Sec. III.1 — conditioning location and topology flexibility."""
+
+    def test_all_but_b_condition_on_the_power_unit(self, systems):
+        """'All the listed systems (apart from B) have their power
+        conditioning circuits on the power unit.'"""
+        for letter, system in systems.items():
+            location = system.architecture.conditioning_location
+            if letter == "B":
+                assert location is ConditioningLocation.PER_MODULE
+            else:
+                assert location is ConditioningLocation.POWER_UNIT, letter
+
+    def test_d_and_g_have_node_on_power_unit(self, systems):
+        """'systems D and G have the sensor node on the power unit, which
+        means that the system topology is inflexible.'"""
+        for letter in ("D", "G"):
+            assert not systems[letter].architecture.swappable_sensor_node
+        for letter in ("A", "B", "C", "E", "F"):
+            assert systems[letter].architecture.swappable_sensor_node
+
+
+class TestSectionIII2ExchangeableHardware:
+    """Sec. III.2 — swappability and its monitoring consequences."""
+
+    def test_only_b_swaps_everything_without_losing_awareness(self, systems):
+        """'The only system ... which allows all sources and stores to be
+        swapped dynamically without impacting on the software's
+        energy-awareness is System B.'"""
+        for letter, system in systems.items():
+            arch = system.architecture
+            fully_flexible_and_aware = (
+                arch.auto_recognition and
+                arch.flexibility is HardwareFlexibility.COMPLETELY_FLEXIBLE)
+            assert fully_flexible_and_aware == (letter == "B"), letter
+
+    def test_f_has_restrictive_voltage_windows(self, systems):
+        """'for System F, certain inputs must be below 4.06 V, while
+        others must be between 4.06 V and 20 V.'"""
+        converters = [c.conditioner.converter
+                      for c in systems["F"].channels]
+        below = [c for c in converters
+                 if c.max_input_voltage == pytest.approx(4.06)]
+        above = [c for c in converters
+                 if c.min_input_voltage == pytest.approx(4.06) and
+                 c.max_input_voltage == pytest.approx(20.0)]
+        assert below and above
+
+
+class TestSectionIII3Monitoring:
+    """Sec. III.3 — monitoring capabilities per system."""
+
+    def test_a_manages_autonomously_with_visibility(self, systems):
+        """'System A ... has a dedicated microcontroller on the power unit
+        which is able to manage the system autonomously, or provide
+        visibility and control facilities to the sensor node.'"""
+        a = systems["A"]
+        assert a.mcu is not None
+        assert a.architecture.monitoring is MonitoringCapability.FULL
+        assert a.manager is not None
+
+    def test_b_monitors_power_and_energy_across_changes(self, systems):
+        """'System B allows the system to monitor incoming power and
+        stored energy and can accommodate changes in the energy
+        devices.'"""
+        b = systems["B"]
+        assert b.architecture.monitoring is MonitoringCapability.FULL
+        assert b.architecture.auto_recognition
+
+    def test_d_store_voltage_only(self, systems):
+        """'System D only allows the store voltage to be monitored.'"""
+        d = systems["D"]
+        assert d.monitor.store_voltage() is not None
+        assert d.monitor.input_power() is None
+        assert d.monitor.estimated_stored_energy() is None
+
+    def test_f_sees_active_devices(self, systems):
+        """'System F allows the system to see which devices are
+        active.'"""
+        f = systems["F"]
+        assert f.architecture.monitoring is \
+            MonitoringCapability.DEVICE_ACTIVITY
+        assert f.monitor.active_channel_mask() is not None
+        assert f.monitor.input_power() is None
+
+
+class TestSectionIII4Intelligence:
+    """Sec. III.4 — where the intelligence lives."""
+
+    def test_a_and_f_have_dedicated_controllers(self, systems):
+        """'Systems A and F have dedicated controllers that carry out the
+        energy-awareness tasks and interface with the sensor node.'"""
+        for letter in ("A", "F"):
+            assert systems[letter].architecture.intelligence is \
+                IntelligenceLocation.POWER_UNIT
+            assert systems[letter].mcu is not None
+
+    def test_b_relies_on_the_node_mcu(self, systems):
+        """'System B has no on-board microcontroller, and relies on the
+        sensor node's microcontroller.'"""
+        b = systems["B"]
+        assert b.mcu is None
+        assert b.architecture.intelligence is \
+            IntelligenceLocation.EMBEDDED_DEVICE
+
+    def test_the_rest_have_no_intelligence(self, systems):
+        """'The rest of the systems have no intelligence on board.'"""
+        for letter in ("C", "D", "E", "G"):
+            assert systems[letter].architecture.intelligence is \
+                IntelligenceLocation.NONE, letter
+
+
+class TestSectionIVDiscussion:
+    """Sec. IV — the concluding comparisons."""
+
+    def test_a_and_f_only_explicit_digital_interfaces(self, systems):
+        """'Systems A and F are the only ones to provide an explicit
+        digital interface to the embedded system.'"""
+        for letter, system in systems.items():
+            expected = letter in ("A", "F")
+            assert system.architecture.has_digital_interface == expected, \
+                letter
+
+    def test_b_six_agnostic_slots(self, systems):
+        """'System B allows up to six energy devices to be connected, and
+        is agnostic about whether these are storage or harvesting
+        devices.'"""
+        b = systems["B"]
+        assert b.slots.n_slots == 6
+        inventory = b.slots.enumerate()
+        assert inventory.harvesters and inventory.stores  # mixed kinds
+
+    def test_most_are_not_energy_aware(self, systems):
+        """'most are not energy-aware' — 4 of 7 have no or limited
+        monitoring."""
+        weak = [letter for letter, s in systems.items()
+                if s.architecture.monitoring in
+                (MonitoringCapability.NONE,
+                 MonitoringCapability.STORE_VOLTAGE)]
+        assert len(weak) >= 4
+
+    def test_only_one_auto_recognizes_hardware_changes(self, systems):
+        """'only one allows changes in the connected hardware to be
+        automatically recognized.'"""
+        recognizers = [letter for letter, s in systems.items()
+                       if s.architecture.auto_recognition]
+        assert recognizers == ["B"]
+
+    def test_systems_mandate_harvesters_or_interfaces(self, systems):
+        """'they either mandate that certain types of energy harvester
+        should be used (systems A, C-G), or require that devices have a
+        certain interface circuit (System B).'"""
+        for letter, system in systems.items():
+            arch = system.architecture
+            if letter == "B":
+                assert arch.conditioning_location is \
+                    ConditioningLocation.PER_MODULE
+            else:
+                # Mandated harvester types: the supported list is closed.
+                assert arch.supported_harvester_labels, letter
+
+    def test_classification_is_self_consistent(self, systems):
+        """The classifier derives the same story as the taxonomy flags."""
+        for letter, system in systems.items():
+            row = classify(system, device=letter)
+            assert (row.digital_interface == "Yes") == \
+                system.architecture.has_digital_interface
+            assert (row.commercial == "Yes") == \
+                system.architecture.commercial

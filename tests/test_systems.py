@@ -1,0 +1,211 @@
+"""Tests for the seven surveyed system models (Table I columns A-G)."""
+
+import pytest
+
+from repro.core import (
+    HardwareFlexibility,
+    IntelligenceLocation,
+    MonitoringCapability,
+    classify,
+)
+from repro.environment import SourceType
+from repro.simulation import simulate
+from repro.systems import (
+    SYSTEM_BUILDERS,
+    SYSTEM_NAMES,
+    all_systems,
+    build_system,
+)
+
+DAY = 86_400.0
+
+#: Table I quiescent entries: (amps, is_upper_bound).
+TABLE_QUIESCENT = {
+    "A": (5e-6, False),
+    "B": (7e-6, False),
+    "C": (5e-6, True),
+    "D": (75e-6, False),
+    "E": (1e-6, True),
+    "F": (20e-6, False),
+    "G": (32e-6, True),
+}
+
+
+@pytest.fixture(scope="module")
+def systems():
+    return all_systems()
+
+
+class TestRegistry:
+    def test_all_seven_present(self, systems):
+        assert sorted(systems) == list("ABCDEFG")
+
+    def test_build_by_letter_case_insensitive(self):
+        assert build_system("a").architecture.short_name == "A"
+
+    def test_unknown_letter(self):
+        with pytest.raises(KeyError):
+            build_system("Z")
+
+    def test_names_match_builders(self):
+        assert sorted(SYSTEM_NAMES) == sorted(SYSTEM_BUILDERS)
+
+
+class TestQuiescentBudgets:
+    @pytest.mark.parametrize("letter", list("ABCDEFG"))
+    def test_platform_quiescent_matches_table(self, systems, letter):
+        system = systems[letter]
+        amps, is_bound = TABLE_QUIESCENT[letter]
+        total = system.total_quiescent_current_a
+        if is_bound:
+            assert total < amps, f"system {letter} exceeds its '<' bound"
+        else:
+            assert total == pytest.approx(amps, abs=0.1e-6)
+
+
+class TestStructure:
+    def test_a_has_fuel_cell_backup(self, systems):
+        backups = systems["A"].bank.backup_stores
+        assert len(backups) == 1
+        assert backups[0].table_label == "Fuel cell"
+
+    def test_a_has_mcu_and_bus(self, systems):
+        assert systems["A"].mcu is not None
+        assert systems["A"].bus is not None
+        assert systems["A"].architecture.has_digital_interface
+
+    def test_a_counts(self, systems):
+        assert len(systems["A"].channels) == 3
+        assert len(systems["A"].bank.stores) == 3
+
+    def test_b_has_six_slots_with_datasheets(self, systems):
+        slots = systems["B"].slots
+        assert slots is not None
+        assert slots.n_slots == 6
+        inventory = slots.enumerate()
+        assert len(inventory.unrecognized) == 0
+        assert len(inventory.harvesters) == 4
+        assert len(inventory.stores) == 2
+
+    def test_b_auto_recognition(self, systems):
+        assert systems["B"].architecture.auto_recognition
+        assert not systems["A"].architecture.auto_recognition
+
+    def test_b_is_fully_flexible(self, systems):
+        assert systems["B"].architecture.flexibility is \
+            HardwareFlexibility.COMPLETELY_FLEXIBLE
+
+    def test_c_has_no_intelligence(self, systems):
+        assert systems["C"].architecture.intelligence is \
+            IntelligenceLocation.NONE
+        assert systems["C"].monitor.soc_estimate() is None
+
+    def test_d_limited_monitoring(self, systems):
+        assert systems["D"].architecture.monitoring is \
+            MonitoringCapability.STORE_VOLTAGE
+        assert systems["D"].monitor.store_voltage() is not None
+        assert systems["D"].monitor.input_power() is None
+
+    def test_d_sources(self, systems):
+        assert set(systems["D"].harvester_types) == {
+            SourceType.LIGHT, SourceType.WIND, SourceType.WATER_FLOW}
+
+    def test_e_two_inputs_one_store(self, systems):
+        assert len(systems["E"].channels) == 2
+        assert len(systems["E"].bank.stores) == 1
+
+    def test_f_activity_monitoring_with_mcu(self, systems):
+        assert systems["F"].architecture.monitoring is \
+            MonitoringCapability.DEVICE_ACTIVITY
+        assert systems["F"].mcu is not None
+        assert systems["F"].architecture.has_digital_interface
+
+    def test_f_restrictive_input_windows(self, systems):
+        # Table I remark: F's inputs have hard voltage windows.
+        converters = [c.conditioner.converter for c in systems["F"].channels]
+        assert any(conv.max_input_voltage == pytest.approx(4.06)
+                   for conv in converters)
+
+    def test_g_fixed_node(self, systems):
+        assert not systems["G"].architecture.swappable_sensor_node
+        assert not systems["D"].architecture.swappable_sensor_node
+
+    def test_commercial_flags(self, systems):
+        for letter, expected in (("A", False), ("B", False), ("C", False),
+                                 ("D", False), ("E", True), ("F", True),
+                                 ("G", True)):
+            assert systems[letter].architecture.commercial is expected
+
+
+class TestInstalledHardwareConsistency:
+    """The supported-labels metadata must cover the installed hardware."""
+
+    @pytest.mark.parametrize("letter", list("ABCDEFG"))
+    def test_installed_harvesters_subset_of_supported(self, systems, letter):
+        system = systems[letter]
+        supported = set(system.architecture.supported_harvester_labels)
+        installed = {c.harvester.table_label for c in system.channels}
+        assert installed <= supported, (
+            f"system {letter}: installed {installed} not covered by "
+            f"Table I supported types {supported}")
+
+
+class TestSimulationRuns:
+    @pytest.mark.parametrize("letter", list("ABCD"))
+    def test_outdoor_class_systems_run(self, systems, letter, outdoor_env):
+        system = build_system(letter)
+        result = simulate(system, outdoor_env, duration=DAY)
+        assert result.metrics.harvested_delivered_j > 0.0
+
+    @pytest.mark.parametrize("letter", list("BEFG"))
+    def test_indoor_class_systems_run(self, letter, indoor_env):
+        system = build_system(letter)
+        result = simulate(system, indoor_env, duration=DAY)
+        # Commercial micro-kits harvest little indoors but must not crash,
+        # and the recorder must cover the full day.
+        assert len(result.recorder) == int(DAY / indoor_env.dt)
+
+    def test_system_a_harvests_meaningfully_outdoors(self, outdoor_env):
+        system = build_system("A", initial_soc=0.5)
+        result = simulate(system, outdoor_env, duration=2 * DAY)
+        # mW-scale platform: should gather kJ over two outdoor days.
+        assert result.metrics.harvested_delivered_j > 1000.0
+        assert result.metrics.uptime_fraction == 1.0
+
+    def test_system_b_survives_indoors(self, indoor_env):
+        system = build_system("B", initial_soc=0.6)
+        result = simulate(system, indoor_env, duration=2 * DAY)
+        assert result.metrics.uptime_fraction > 0.95
+
+    def test_builders_accept_custom_node(self):
+        from repro.load import WirelessSensorNode
+        node = WirelessSensorNode(measurement_interval_s=123.0)
+        system = build_system("A", node=node)
+        assert system.node is node
+
+
+class TestClassificationRows:
+    def test_counts_row(self, systems):
+        rows = {k: classify(s, device=k) for k, s in systems.items()}
+        assert rows["A"].harvesters_stores == "3/3"
+        assert rows["B"].harvesters_stores == "6 (shared)"
+        assert rows["C"].harvesters_stores == "3/2"
+        assert rows["D"].harvesters_stores == "3/1"
+        assert rows["E"].harvesters_stores == "2/1"
+        assert rows["F"].harvesters_stores == "4/2"
+        assert rows["G"].harvesters_stores == "3/1"
+
+    def test_digital_interface_row(self, systems):
+        rows = {k: classify(s, device=k) for k, s in systems.items()}
+        assert rows["A"].digital_interface == "Yes"
+        assert rows["F"].digital_interface == "Yes"
+        for letter in "BCDEG":
+            assert rows[letter].digital_interface == "No"
+
+    def test_energy_monitoring_row(self, systems):
+        rows = {k: classify(s, device=k) for k, s in systems.items()}
+        assert rows["D"].energy_monitoring == "Limited"
+        for letter in "ABF":
+            assert rows[letter].energy_monitoring == "Yes"
+        for letter in "CEG":
+            assert rows[letter].energy_monitoring == "No"

@@ -1,0 +1,205 @@
+"""Unit and property tests for repro.environment.trace.Trace."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.environment import Trace
+
+
+class TestConstruction:
+    def test_values_coerced_to_float64(self):
+        tr = Trace([1, 2, 3], dt=1.0)
+        assert tr.values.dtype == np.float64
+
+    def test_rejects_2d_values(self):
+        with pytest.raises(ValueError, match="1-D"):
+            Trace(np.zeros((2, 2)), dt=1.0)
+
+    def test_rejects_nonpositive_dt(self):
+        with pytest.raises(ValueError, match="dt"):
+            Trace([1.0], dt=0.0)
+        with pytest.raises(ValueError, match="dt"):
+            Trace([1.0], dt=-1.0)
+
+    def test_constant_factory(self):
+        tr = Trace.constant(2.5, duration=10.0, dt=2.0)
+        assert len(tr) == 5
+        assert np.all(tr.values == 2.5)
+
+    def test_zeros_factory(self):
+        tr = Trace.zeros(duration=6.0, dt=2.0)
+        assert len(tr) == 3
+        assert tr.max() == 0.0
+
+    def test_constant_minimum_one_sample(self):
+        tr = Trace.constant(1.0, duration=0.1, dt=60.0)
+        assert len(tr) == 1
+
+
+class TestBasicProtocol:
+    def test_len_iter_getitem(self):
+        tr = Trace([1.0, 2.0, 3.0], dt=1.0)
+        assert len(tr) == 3
+        assert list(tr) == [1.0, 2.0, 3.0]
+        assert tr[1] == 2.0
+
+    def test_duration(self):
+        assert Trace([0.0] * 10, dt=60.0).duration == 600.0
+
+    def test_times(self):
+        tr = Trace([0.0, 0.0, 0.0], dt=2.0)
+        assert list(tr.times) == [0.0, 2.0, 4.0]
+
+
+class TestAt:
+    def test_zero_order_hold(self):
+        tr = Trace([10.0, 20.0, 30.0], dt=1.0)
+        assert tr.at(0.0) == 10.0
+        assert tr.at(0.99) == 10.0
+        assert tr.at(1.0) == 20.0
+
+    def test_holds_last_value_past_end(self):
+        tr = Trace([1.0, 2.0], dt=1.0)
+        assert tr.at(100.0) == 2.0
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Trace([1.0], dt=1.0).at(-0.1)
+
+
+class TestArithmetic:
+    def test_add_traces(self):
+        a = Trace([1.0, 2.0], dt=1.0)
+        b = Trace([10.0, 20.0], dt=1.0)
+        assert list((a + b).values) == [11.0, 22.0]
+
+    def test_add_scalar(self):
+        tr = Trace([1.0, 2.0], dt=1.0) + 5.0
+        assert list(tr.values) == [6.0, 7.0]
+
+    def test_radd_scalar(self):
+        tr = 5.0 + Trace([1.0], dt=1.0)
+        assert tr.values[0] == 6.0
+
+    def test_sub_and_mul(self):
+        a = Trace([4.0, 6.0], dt=1.0)
+        assert list((a - 1.0).values) == [3.0, 5.0]
+        assert list((a * 2.0).values) == [8.0, 12.0]
+
+    def test_mismatched_dt_rejected(self):
+        a = Trace([1.0], dt=1.0)
+        b = Trace([1.0], dt=2.0)
+        with pytest.raises(ValueError, match="mismatched dt"):
+            a + b
+
+    def test_mismatched_length_rejected(self):
+        a = Trace([1.0], dt=1.0)
+        b = Trace([1.0, 2.0], dt=1.0)
+        with pytest.raises(ValueError, match="length"):
+            a + b
+
+    def test_clip(self):
+        tr = Trace([-1.0, 0.5, 2.0], dt=1.0).clip(0.0, 1.0)
+        assert list(tr.values) == [0.0, 0.5, 1.0]
+
+    def test_scaled(self):
+        tr = Trace([1.0, 2.0], dt=1.0).scaled(3.0)
+        assert list(tr.values) == [3.0, 6.0]
+
+
+class TestStatistics:
+    def test_integral_rectangle_rule(self):
+        tr = Trace([2.0, 2.0, 2.0], dt=10.0)
+        assert tr.integral() == pytest.approx(60.0)
+
+    def test_mean_max_min(self):
+        tr = Trace([1.0, 3.0, 2.0], dt=1.0)
+        assert tr.mean() == pytest.approx(2.0)
+        assert tr.max() == 3.0
+        assert tr.min() == 1.0
+
+    def test_fraction_above(self):
+        tr = Trace([0.0, 1.0, 2.0, 3.0], dt=1.0)
+        assert tr.fraction_above(1.5) == pytest.approx(0.5)
+        assert tr.fraction_above(-1.0) == 1.0
+        assert tr.fraction_above(10.0) == 0.0
+
+
+class TestResample:
+    def test_identity_resample_copies(self):
+        tr = Trace([1.0, 2.0], dt=1.0)
+        out = tr.resample(1.0)
+        assert list(out.values) == [1.0, 2.0]
+        out.values[0] = 99.0
+        assert tr.values[0] == 1.0  # original untouched
+
+    def test_upsample_repeats(self):
+        tr = Trace([1.0, 2.0], dt=2.0)
+        out = tr.resample(1.0)
+        assert list(out.values) == [1.0, 1.0, 2.0, 2.0]
+
+    def test_downsample_averages_blocks(self):
+        tr = Trace([1.0, 3.0, 5.0, 7.0], dt=1.0)
+        out = tr.resample(2.0)
+        assert list(out.values) == [2.0, 6.0]
+
+    def test_downsample_preserves_integral(self):
+        rng = np.random.default_rng(0)
+        tr = Trace(rng.random(120), dt=1.0)
+        out = tr.resample(10.0)
+        assert out.integral() == pytest.approx(tr.integral(), rel=1e-9)
+
+    def test_rejects_nonpositive_new_dt(self):
+        with pytest.raises(ValueError):
+            Trace([1.0], dt=1.0).resample(0.0)
+
+
+class TestSlicing:
+    def test_slice_time(self):
+        tr = Trace(np.arange(10.0), dt=1.0)
+        sub = tr.slice_time(2.0, 5.0)
+        assert list(sub.values) == [2.0, 3.0, 4.0]
+
+    def test_slice_time_clamps_to_bounds(self):
+        tr = Trace(np.arange(3.0), dt=1.0)
+        sub = tr.slice_time(0.0, 100.0)
+        assert len(sub) == 3
+
+    def test_slice_rejects_inverted_range(self):
+        with pytest.raises(ValueError):
+            Trace([1.0], dt=1.0).slice_time(5.0, 2.0)
+
+
+@settings(max_examples=50)
+@given(
+    values=st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1,
+                    max_size=200),
+    dt=st.floats(min_value=0.1, max_value=3600.0),
+)
+def test_integral_nonnegative_for_nonnegative_traces(values, dt):
+    assert Trace(values, dt=dt).integral() >= 0.0
+
+
+@settings(max_examples=50)
+@given(
+    values=st.lists(st.floats(min_value=-1e3, max_value=1e3), min_size=2,
+                    max_size=100),
+    factor=st.integers(min_value=2, max_value=10),
+)
+def test_downsample_integral_invariant(values, factor):
+    tr = Trace(values, dt=1.0)
+    out = tr.resample(float(factor))
+    # Block averaging preserves the integral up to the ragged tail block.
+    tail = len(values) % factor
+    if tail == 0 and len(values) >= factor:
+        assert out.integral() == pytest.approx(tr.integral(), abs=1e-6)
+
+
+@settings(max_examples=50)
+@given(st.floats(min_value=0.0, max_value=1e5))
+def test_at_matches_getitem_on_grid(t):
+    tr = Trace(np.arange(100.0), dt=7.0)
+    idx = min(int(t / 7.0), 99)
+    assert tr.at(t) == tr.values[idx]
