@@ -9,92 +9,131 @@ choices on the same two-week climate:
 2. buffer size       — how small the supercap can go per mix;
 3. manager           — fixed duty vs threshold adaptation through a storm.
 
+All three studies are expressed as ``ScenarioSpec`` grids and fanned
+across worker processes by ``SweepRunner`` — the batch API every
+experiment in ``repro.analysis.experiments`` uses. Factories are
+module-level (picklable), and each scenario rebuilds its environment from
+an explicit seed, so the parallel run is number-for-number identical to a
+sequential one.
+
 Run:  python examples/outdoor_station.py
 """
 
-from repro import (
+from functools import partial
+
+from repro import outdoor_environment
+from repro.analysis import render_table
+from repro.analysis.experiments import make_reference_system
+from repro.core.manager import (
     EnergyNeutralManager,
     StaticManager,
     ThresholdManager,
-    outdoor_environment,
-    simulate,
 )
-from repro.analysis import render_table
-from repro.analysis.experiments import make_reference_system
 from repro.harvesters import MicroWindTurbine, PhotovoltaicCell
+from repro.simulation import ScenarioSpec, SweepRunner
 
 DAY = 86_400.0
+SEED = 7
+
+MIXES = {
+    "pv-only": ("pv",),
+    "wind-only": ("wind",),
+    "pv+wind": ("pv", "wind"),
+}
+
+MANAGERS = {
+    "fixed": StaticManager,
+    "threshold": ThresholdManager,
+    "energy-neutral": EnergyNeutralManager,
+}
 
 
-def source_mix_study(env) -> None:
+def make_harvesters(mix: str) -> list:
+    harvesters = []
+    if "pv" in MIXES[mix]:
+        harvesters.append(PhotovoltaicCell(area_cm2=40.0, efficiency=0.16))
+    if "wind" in MIXES[mix]:
+        harvesters.append(MicroWindTurbine(rotor_diameter_m=0.12))
+    return harvesters
+
+
+def build_mix_system(mix: str):
+    return make_reference_system(make_harvesters(mix), capacitance_f=100.0,
+                                 measurement_interval_s=60.0)
+
+
+def build_buffer_system(mix: str, capacitance_f: float):
+    return make_reference_system(make_harvesters(mix),
+                                 capacitance_f=capacitance_f,
+                                 initial_soc=0.8,
+                                 measurement_interval_s=5.0)
+
+
+def build_manager_system(manager: str):
+    return make_reference_system(
+        [PhotovoltaicCell(area_cm2=30.0, efficiency=0.16),
+         MicroWindTurbine(rotor_diameter_m=0.08)],
+        capacitance_f=10.0, initial_soc=0.7,
+        measurement_interval_s=1.0, manager=MANAGERS[manager]())
+
+
+def source_mix_study(runner, env_factory) -> None:
     print("=== 1. Source mix (two weeks, temperate site) ===")
-    rows = []
-    mixes = {
-        "pv-only": [PhotovoltaicCell(area_cm2=40.0, efficiency=0.16)],
-        "wind-only": [MicroWindTurbine(rotor_diameter_m=0.12)],
-        "pv+wind": [PhotovoltaicCell(area_cm2=40.0, efficiency=0.16),
-                    MicroWindTurbine(rotor_diameter_m=0.12)],
-    }
-    for label, harvesters in mixes.items():
-        system = make_reference_system(harvesters, capacitance_f=100.0,
-                                       measurement_interval_s=60.0)
-        m = simulate(system, env).metrics
-        rows.append((label, f"{m.harvested_delivered_j / 14:.0f}",
-                     f"{m.harvest_coverage * 24:.1f}",
-                     f"{m.uptime_fraction * 100:.1f} %"))
+    sweep = runner.run([
+        ScenarioSpec(name=mix, system=partial(build_mix_system, mix),
+                     environment=env_factory, seed=SEED,
+                     params={"mix": mix})
+        for mix in MIXES
+    ])
+    rows = [(r.name, f"{r.metrics.harvested_delivered_j / 14:.0f}",
+             f"{r.metrics.harvest_coverage * 24:.1f}",
+             f"{r.metrics.uptime_fraction * 100:.1f} %") for r in sweep]
     print(render_table(["mix", "J/day", "covered h/day", "uptime"], rows))
     print()
 
 
-def buffer_study(env) -> None:
+def buffer_study(runner, env_factory) -> None:
     print("=== 2. Buffer sizing at 5 s sensing cadence ===")
-    rows = []
-    for label, harvesters in (
-        ("pv-only", lambda: [PhotovoltaicCell(area_cm2=40.0,
-                                              efficiency=0.16)]),
-        ("pv+wind", lambda: [PhotovoltaicCell(area_cm2=40.0,
-                                              efficiency=0.16),
-                             MicroWindTurbine(rotor_diameter_m=0.12)]),
-    ):
-        for cap in (1.0, 3.0, 10.0, 30.0):
-            system = make_reference_system(harvesters(), capacitance_f=cap,
-                                           initial_soc=0.8,
-                                           measurement_interval_s=5.0)
-            m = simulate(system, env).metrics
-            rows.append((label, f"{cap:.0f} F",
-                         f"{m.dead_time_s / 3600:.1f} h",
-                         f"{m.uptime_fraction * 100:.1f} %"))
+    sweep = runner.run([
+        ScenarioSpec(name=f"{mix}/{cap:g}F",
+                     system=partial(build_buffer_system, mix, cap),
+                     environment=env_factory, seed=SEED,
+                     params={"mix": mix, "capacitance_f": cap})
+        for mix in ("pv-only", "pv+wind")
+        for cap in (1.0, 3.0, 10.0, 30.0)
+    ])
+    rows = [(r.params["mix"], f"{r.params['capacitance_f']:.0f} F",
+             f"{r.metrics.dead_time_s / 3600:.1f} h",
+             f"{r.metrics.uptime_fraction * 100:.1f} %") for r in sweep]
     print(render_table(["mix", "supercap", "dead time", "uptime"], rows))
     print()
 
 
-def manager_study(storm_env) -> None:
+def manager_study(runner, storm_env_factory) -> None:
     print("=== 3. Manager choice through a 2-day storm ===")
-    rows = []
-    for label, manager in (("fixed", StaticManager()),
-                           ("threshold", ThresholdManager()),
-                           ("energy-neutral", EnergyNeutralManager())):
-        system = make_reference_system(
-            [PhotovoltaicCell(area_cm2=30.0, efficiency=0.16),
-             MicroWindTurbine(rotor_diameter_m=0.08)],
-            capacitance_f=10.0, initial_soc=0.7,
-            measurement_interval_s=1.0, manager=manager)
-        m = simulate(system, storm_env).metrics
-        rows.append((label, f"{m.uptime_fraction * 100:.1f} %",
-                     f"{m.dead_time_s / 3600:.1f} h",
-                     f"{m.measurements_per_day:.0f}"))
+    sweep = runner.run([
+        ScenarioSpec(name=manager,
+                     system=partial(build_manager_system, manager),
+                     environment=storm_env_factory, seed=SEED,
+                     params={"manager": manager})
+        for manager in MANAGERS
+    ])
+    rows = [(r.name, f"{r.metrics.uptime_fraction * 100:.1f} %",
+             f"{r.metrics.dead_time_s / 3600:.1f} h",
+             f"{r.metrics.measurements_per_day:.0f}") for r in sweep]
     print(render_table(["manager", "uptime", "dead time", "meas/day"], rows))
 
 
 def main() -> None:
-    env = outdoor_environment(duration=14 * DAY, dt=300.0, seed=7)
+    runner = SweepRunner()
+    env_factory = partial(outdoor_environment, duration=14 * DAY, dt=300.0)
     storm = ((5 * DAY, 7 * DAY),)
-    storm_env = outdoor_environment(duration=10 * DAY, dt=300.0, seed=7,
-                                    overcast_windows=storm,
-                                    calm_windows=storm)
-    source_mix_study(env)
-    buffer_study(env)
-    manager_study(storm_env)
+    storm_env_factory = partial(outdoor_environment, duration=10 * DAY,
+                                dt=300.0, overcast_windows=storm,
+                                calm_windows=storm)
+    source_mix_study(runner, env_factory)
+    buffer_study(runner, env_factory)
+    manager_study(runner, storm_env_factory)
 
 
 if __name__ == "__main__":

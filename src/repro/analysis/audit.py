@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..simulation.recorder import Recorder
 from .reporting import render_table
 
@@ -74,22 +76,20 @@ def audit_run(recorder: Recorder) -> EnergyAudit:
     rows — output-converter loss, manager wake energy, bus transactions,
     and storage leakage/round-trip losses all land there.
     """
-    records = recorder.records
-    if not records:
+    if len(recorder) == 0:
         raise ValueError("recorder is empty")
     dt = recorder.dt
 
-    mpp = sum(r.harvest_mpp_w for r in records) * dt
-    raw = sum(r.harvest_raw_w for r in records) * dt
-    delivered = sum(r.harvest_delivered_w for r in records) * dt
-    accepted = sum(r.charge_accepted_w for r in records) * dt
-    quiescent = sum(r.quiescent_w for r in records) * dt
-    consumed = sum(r.node_result.consumed_w * dt for r in records)
-    backup_in = sum(r.backup_power_w for r in records) * dt
+    mpp = float(np.sum(recorder.column("harvest_mpp"))) * dt
+    raw = float(np.sum(recorder.column("harvest_raw"))) * dt
+    delivered = float(np.sum(recorder.column("harvest_delivered"))) * dt
+    accepted = float(np.sum(recorder.column("charge_accepted"))) * dt
+    quiescent = float(np.sum(recorder.column("quiescent"))) * dt
+    consumed = float(np.sum(recorder.column("node_consumed"))) * dt
+    backup_in = float(np.sum(recorder.column("backup_power"))) * dt
 
-    stored_start = sum(records[0].store_energies_j)
-    stored_end = sum(records[-1].store_energies_j)
-    delta = stored_end - stored_start
+    stored = recorder.column("stored_energy")
+    delta = float(stored[-1] - stored[0])
 
     tracking_loss = max(0.0, mpp - raw)
     conversion_loss = max(0.0, raw - delivered)

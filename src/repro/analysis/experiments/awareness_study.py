@@ -9,21 +9,33 @@ overcast+calm lull with three managers: none (fixed duty), threshold
 staircase, and energy-neutral. Expected shape: the fixed-duty node browns
 out during the lull and loses whole days; the adaptive managers throttle
 through it, trading measurement rate for continuity.
+
+The three manager scenarios run as one
+:class:`~repro.simulation.SweepRunner` sweep built from picklable
+module-level factories, parallelizable without changing any number.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 from ...core.manager import EnergyNeutralManager, StaticManager, ThresholdManager
 from ...environment.composite import outdoor_environment
 from ...harvesters.photovoltaic import PhotovoltaicCell
 from ...harvesters.wind_turbine import MicroWindTurbine
-from ...simulation.engine import simulate
+from ...simulation.sweep import ScenarioSpec, SweepRunner
 from ..reporting import render_table
 from .common import DAY, make_reference_system
 
 __all__ = ["AwarenessStudyResult", "run_awareness_study"]
+
+#: label -> manager factory, defining the sweep grid.
+MANAGER_FACTORIES = {
+    "fixed": StaticManager,
+    "threshold": ThresholdManager,
+    "energy-neutral": EnergyNeutralManager,
+}
 
 
 @dataclass(frozen=True)
@@ -69,36 +81,46 @@ class AwarenessStudyResult:
                 f"{self.dead_time_eliminated_h:.1f} h")
 
 
+def _build_system(label: str):
+    # Node duty sized for sunny conditions (1 s cadence, ~2.6 mW) with
+    # a night-scale buffer: comfortable in normal weather, fatal
+    # through a multi-day lull unless the manager throttles.
+    return make_reference_system(
+        [PhotovoltaicCell(area_cm2=30.0, efficiency=0.16, name="pv"),
+         MicroWindTurbine(rotor_diameter_m=0.08, name="wind")],
+        capacitance_f=10.0, initial_soc=0.7,
+        measurement_interval_s=1.0,
+        manager=MANAGER_FACTORIES[label](), name=f"awareness:{label}")
+
+
 def run_awareness_study(days: float = 7.0, dt: float = 120.0, seed: int = 41,
                         lull_start_day: float = 2.0,
-                        lull_days: float = 2.0) -> AwarenessStudyResult:
+                        lull_days: float = 2.0,
+                        processes: int | None = None) -> AwarenessStudyResult:
     """Run E7 with a scripted lull from ``lull_start_day``."""
     duration = days * DAY
     lull = ((lull_start_day * DAY, (lull_start_day + lull_days) * DAY),)
-    env = outdoor_environment(duration=duration, dt=dt, seed=seed,
-                              overcast_windows=lull, calm_windows=lull)
+    env_factory = partial(outdoor_environment, duration=duration, dt=dt,
+                          overcast_windows=lull, calm_windows=lull)
 
-    managers = {
-        "fixed": lambda: StaticManager(),
-        "threshold": lambda: ThresholdManager(),
-        "energy-neutral": lambda: EnergyNeutralManager(),
-    }
+    specs = [
+        ScenarioSpec(
+            name=label,
+            system=partial(_build_system, label),
+            environment=env_factory,
+            duration=duration,
+            seed=seed,
+            params={"manager": label},
+        )
+        for label in MANAGER_FACTORIES
+    ]
+    sweep = SweepRunner(processes=processes).run(specs)
 
     results = []
-    for label, factory in managers.items():
-        # Node duty sized for sunny conditions (1 s cadence, ~2.6 mW) with
-        # a night-scale buffer: comfortable in normal weather, fatal
-        # through a multi-day lull unless the manager throttles.
-        system = make_reference_system(
-            [PhotovoltaicCell(area_cm2=30.0, efficiency=0.16, name="pv"),
-             MicroWindTurbine(rotor_diameter_m=0.08, name="wind")],
-            capacitance_f=10.0, initial_soc=0.7,
-            measurement_interval_s=1.0,
-            manager=factory(), name=f"awareness:{label}")
-        result = simulate(system, env, duration=duration)
-        m = result.metrics
+    for scenario in sweep:
+        m = scenario.metrics
         results.append(ManagerResult(
-            manager=label,
+            manager=scenario.name,
             uptime_fraction=m.uptime_fraction,
             dead_hours=m.dead_time_s / 3600.0,
             brownouts=m.brownouts,

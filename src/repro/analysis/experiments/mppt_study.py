@@ -11,11 +11,17 @@ bus minus the tracker's own standing draw. Expected shape: trackers win
 comfortably outdoors (harvest is large, overhead negligible); in the dim
 indoor deployment the harvest is microwatts and the cheap fixed point
 closes the gap or wins, reproducing the survey's deployment-specificity.
+
+The 3 deployments x 5 trackers grid runs as one
+:class:`~repro.simulation.SweepRunner` sweep of 15 scenarios built from
+picklable module-level factories, so the study fans across worker
+processes with numbers identical to the sequential run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 from ...conditioning.mppt import (
     FixedVoltage,
@@ -30,23 +36,77 @@ from ...environment.composite import (
 )
 from ...harvesters.photovoltaic import PhotovoltaicCell
 from ...harvesters.wind_turbine import MicroWindTurbine
-from ...simulation.engine import simulate
+from ...simulation.sweep import ScenarioSpec, SweepRunner
 from ..reporting import render_table
 from .common import DAY, make_reference_system
 
 __all__ = ["MPPTStudyResult", "run_mppt_study", "TRACKER_FACTORIES"]
 
-#: label -> (tracker factory, fixed-point setting used for that deployment)
+#: Nominal tracker supply voltage used to cost its standing draw.
+TRACKER_SUPPLY_V = 3.3
+
+
+def _oracle(fixed_v: float) -> OracleMPPT:
+    return OracleMPPT()
+
+
+def _perturb_observe(fixed_v: float) -> PerturbObserve:
+    return PerturbObserve(quiescent_current_a=5e-6)
+
+
+def _fractional_voc(fixed_v: float) -> FractionalOpenCircuit:
+    return FractionalOpenCircuit(quiescent_current_a=1e-6)
+
+
+def _incremental_cond(fixed_v: float) -> IncrementalConductance:
+    return IncrementalConductance(quiescent_current_a=8e-6)
+
+
+def _fixed_point(fixed_v: float) -> FixedVoltage:
+    return FixedVoltage(fixed_v, quiescent_current_a=0.3e-6)
+
+
+#: label -> factory(fixed-point setting) producing one tracker.
 TRACKER_FACTORIES = {
-    "oracle": lambda fixed_v: OracleMPPT(),
-    "perturb-observe": lambda fixed_v: PerturbObserve(
-        quiescent_current_a=5e-6),
-    "fractional-voc": lambda fixed_v: FractionalOpenCircuit(
-        quiescent_current_a=1e-6),
-    "incremental-cond": lambda fixed_v: IncrementalConductance(
-        quiescent_current_a=8e-6),
-    "fixed-point": lambda fixed_v: FixedVoltage(
-        fixed_v, quiescent_current_a=0.3e-6),
+    "oracle": _oracle,
+    "perturb-observe": _perturb_observe,
+    "fractional-voc": _fractional_voc,
+    "incremental-cond": _incremental_cond,
+    "fixed-point": _fixed_point,
+}
+
+
+def _pv_outdoor() -> PhotovoltaicCell:
+    return PhotovoltaicCell(area_cm2=40.0, efficiency=0.16, name="pv")
+
+
+def _pv_indoor() -> PhotovoltaicCell:
+    return PhotovoltaicCell(area_cm2=20.0, efficiency=0.07,
+                            cells_in_series=6, name="pv-indoor")
+
+
+def _wind_turbine() -> MicroWindTurbine:
+    return MicroWindTurbine(rotor_diameter_m=0.12, name="wind")
+
+
+#: deployment -> (environment factory kwargs-free of duration/dt/seed,
+#:                harvester factory, fixed-point voltage for that site).
+_DEPLOYMENTS = {
+    "bright-outdoor": (
+        partial(outdoor_environment, cloudiness=0.15),
+        _pv_outdoor,
+        3.7,  # fixed point tuned for bright sun on this cell
+    ),
+    "dim-indoor": (
+        partial(indoor_industrial_environment, work_lux=300.0),
+        _pv_indoor,
+        1.4,  # a sane indoor point: slightly below the dim-light MPP
+    ),
+    "windy-site": (
+        partial(outdoor_environment, mean_wind=6.0, cloudiness=0.8),
+        _wind_turbine,
+        2.5,
+    ),
 }
 
 
@@ -103,53 +163,52 @@ class MPPTStudyResult:
         return "\n".join(lines)
 
 
-def run_mppt_study(days: float = 3.0, dt: float = 60.0, seed: int = 31
-                   ) -> MPPTStudyResult:
+def _build_system(deployment: str, label: str):
+    _, harvester_factory, fixed_v = _DEPLOYMENTS[deployment]
+    return make_reference_system(
+        [harvester_factory()],
+        tracker_factory=partial(TRACKER_FACTORIES[label], fixed_v),
+        capacitance_f=100.0, initial_soc=0.5,
+        measurement_interval_s=600.0,
+        channel_quiescent_a=0.0,
+        name=f"{deployment}:{label}")
+
+
+def _collect_tracker_overhead(result) -> dict:
+    tracker = result.system.channels[0].conditioner.tracker
+    overhead = tracker.quiescent_current_a * TRACKER_SUPPLY_V * \
+        result.metrics.duration_s
+    return {"tracker_overhead_j": overhead}
+
+
+def run_mppt_study(days: float = 3.0, dt: float = 60.0, seed: int = 31,
+                   processes: int | None = None) -> MPPTStudyResult:
     """Run E5 across bright-outdoor / dim-indoor / windy deployments."""
     duration = days * DAY
-    deployments = {
-        "bright-outdoor": (
-            outdoor_environment(duration=duration, dt=dt, seed=seed,
-                                cloudiness=0.15),
-            lambda: PhotovoltaicCell(area_cm2=40.0, efficiency=0.16,
-                                     name="pv"),
-            3.7,  # fixed point tuned for bright sun on this cell
-        ),
-        "dim-indoor": (
-            indoor_industrial_environment(duration=duration, dt=dt,
-                                          seed=seed, work_lux=300.0),
-            lambda: PhotovoltaicCell(area_cm2=20.0, efficiency=0.07,
-                                     cells_in_series=6, name="pv-indoor"),
-            1.4,  # a sane indoor point: slightly below the dim-light MPP
-        ),
-        "windy-site": (
-            outdoor_environment(duration=duration, dt=dt, seed=seed,
-                                mean_wind=6.0, cloudiness=0.8),
-            lambda: MicroWindTurbine(rotor_diameter_m=0.12, name="wind"),
-            2.5,
-        ),
-    }
+    specs = []
+    for deployment, (env_factory, _, _) in _DEPLOYMENTS.items():
+        for label in TRACKER_FACTORIES:
+            specs.append(ScenarioSpec(
+                name=f"{deployment}:{label}",
+                system=partial(_build_system, deployment, label),
+                environment=partial(env_factory, duration=duration, dt=dt),
+                duration=duration,
+                seed=seed,
+                params={"deployment": deployment, "tracker": label},
+                collect=_collect_tracker_overhead,
+            ))
+    sweep = SweepRunner(processes=processes).run(specs)
 
     results = []
-    for deployment, (env, harvester_factory, fixed_v) in deployments.items():
-        for label, factory in TRACKER_FACTORIES.items():
-            system = make_reference_system(
-                [harvester_factory()],
-                tracker_factory=lambda: factory(fixed_v),
-                capacitance_f=100.0, initial_soc=0.5,
-                measurement_interval_s=600.0,
-                channel_quiescent_a=0.0,
-                name=f"{deployment}:{label}")
-            result = simulate(system, env, duration=duration)
-            m = result.metrics
-            tracker = system.channels[0].conditioner.tracker
-            overhead = tracker.quiescent_current_a * 3.3 * duration
-            results.append(TrackerResult(
-                deployment=deployment,
-                tracker=label,
-                delivered_j=m.harvested_delivered_j,
-                tracker_overhead_j=overhead,
-                net_j=m.harvested_delivered_j - overhead,
-                tracking_efficiency=m.tracking_efficiency,
-            ))
+    for scenario in sweep:
+        m = scenario.metrics
+        overhead = scenario.extras["tracker_overhead_j"]
+        results.append(TrackerResult(
+            deployment=scenario.params["deployment"],
+            tracker=scenario.params["tracker"],
+            delivered_j=m.harvested_delivered_j,
+            tracker_overhead_j=overhead,
+            net_j=m.harvested_delivered_j - overhead,
+            tracking_efficiency=m.tracking_efficiency,
+        ))
     return MPPTStudyResult(results=tuple(results), days=days)

@@ -169,10 +169,10 @@ def _run_scheme(scheme: str, env, duration, dt, swap_time) -> SchemeResult:
 
     delivered = (first.metrics.harvested_delivered_j +
                  second.metrics.harvested_delivered_j)
-    steps = len(first.recorder.records) + len(second.recorder.records)
-    uptime = (first.metrics.uptime_fraction * len(first.recorder.records) +
+    steps = len(first.recorder) + len(second.recorder)
+    uptime = (first.metrics.uptime_fraction * len(first.recorder) +
               second.metrics.uptime_fraction *
-              len(second.recorder.records)) / steps
+              len(second.recorder)) / steps
     return SchemeResult(
         scheme=scheme,
         delivered_j=delivered,

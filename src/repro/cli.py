@@ -5,6 +5,7 @@ Subcommands:
 * ``table1``      — regenerate Table I and diff it against the paper.
 * ``figure A|B``  — print the architecture rendition of Fig. 1 / Fig. 2.
 * ``simulate X``  — run one of the seven systems on a chosen environment.
+* ``sweep``       — fan systems x environments across worker processes.
 * ``experiment``  — run a claim-validation experiment (e3..e11).
 * ``advise``      — rank all seven platforms for a deployment.
 * ``audit X``     — run a system and print the energy waterfall.
@@ -13,6 +14,7 @@ Examples::
 
     python -m repro table1
     python -m repro simulate A --env outdoor --days 7
+    python -m repro sweep --systems A B C --envs outdoor indoor --days 3
     python -m repro experiment e5
     python -m repro audit B --env indoor --days 3
 """
@@ -21,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from functools import partial
 
 from .analysis import (advise, compare_with_paper, render_architecture,
                        render_table1)
@@ -31,7 +34,7 @@ from .environment import (
     outdoor_environment,
     urban_rf_environment,
 )
-from .simulation import simulate
+from .simulation import ScenarioSpec, SweepRunner, simulate
 from .systems import SYSTEM_NAMES, build_system
 
 __all__ = ["main"]
@@ -79,6 +82,21 @@ def _build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--days", type=float, default=7.0)
     p_sim.add_argument("--dt", type=float, default=120.0)
     p_sim.add_argument("--seed", type=int, default=0)
+
+    p_swp = sub.add_parser(
+        "sweep", help="run a systems x environments grid via SweepRunner")
+    p_swp.add_argument("--systems", nargs="+", choices=sorted(SYSTEM_NAMES),
+                       default=sorted(SYSTEM_NAMES),
+                       help="system letters to include (default: all seven)")
+    p_swp.add_argument("--envs", nargs="+", choices=sorted(ENVIRONMENTS),
+                       default=["outdoor"],
+                       help="deployment environments to include")
+    p_swp.add_argument("--days", type=float, default=3.0)
+    p_swp.add_argument("--dt", type=float, default=300.0)
+    p_swp.add_argument("--seed", type=int, default=0)
+    p_swp.add_argument("--processes", type=int, default=None,
+                       help="worker processes (default: one per CPU, "
+                            "capped at the scenario count)")
 
     p_exp = sub.add_parser("experiment", help="run a claim experiment")
     p_exp.add_argument("id", choices=sorted(EXPERIMENTS),
@@ -141,6 +159,29 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    specs = [
+        ScenarioSpec(
+            name=f"{letter}@{env_name}",
+            system=partial(build_system, letter),
+            environment=partial(ENVIRONMENTS[env_name],
+                                duration=args.days * DAY, dt=args.dt),
+            seed=args.seed,
+            dt=args.dt,
+            params={"system": letter, "environment": env_name},
+        )
+        for letter in args.systems
+        for env_name in args.envs
+    ]
+    sweep = SweepRunner(processes=args.processes).run(specs)
+    print(sweep.report(
+        columns=("uptime_fraction", "harvested_delivered_j",
+                 "quiescent_j", "measurements", "brownouts"),
+        title=f"sweep: {len(specs)} scenarios, {args.days:g} days, "
+              f"seed {args.seed}"))
+    return 0
+
+
 def _cmd_experiment(exp_id: str) -> int:
     from .analysis import experiments as exp_pkg
     label, fn_name, kwargs = EXPERIMENTS[exp_id]
@@ -168,6 +209,8 @@ def main(argv=None) -> int:
         return _cmd_figure(args.system)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "experiment":
         return _cmd_experiment(args.id)
     if args.command == "advise":

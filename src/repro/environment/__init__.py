@@ -8,6 +8,7 @@ produces :class:`~repro.environment.Trace` objects bundled into
 """
 
 from .ambient import AmbientSample, Environment, SourceType
+from .compiled import CompiledEnvironment
 from .composite import (
     agricultural_environment,
     indoor_industrial_environment,
@@ -33,6 +34,7 @@ from .wind import WindModel, wind_speed_trace
 
 __all__ = [
     "AmbientSample",
+    "CompiledEnvironment",
     "Environment",
     "SourceType",
     "Trace",

@@ -1,0 +1,107 @@
+"""Pre-materialized environment windows for the fast-path engine.
+
+:meth:`Environment.sample` builds an :class:`~repro.environment.ambient.
+AmbientSample` dict per call and runs one :meth:`Trace.at` lookup per
+channel — fine for a single query, ruinous inside a million-step hot loop.
+:class:`CompiledEnvironment` evaluates every channel for every step of a
+run window up front into one dense ``(n_steps, n_channels)`` float64
+matrix, so the simulation loop reduces per-step ambient sampling to a row
+index.
+
+The compilation uses exactly the same index arithmetic as
+:meth:`Trace.at` (tolerance-aware floor, clamp-to-last-sample), so a
+compiled window is sample-for-sample identical to per-step ``sample()``
+calls at ``t = t0 + i * dt`` — the equivalence the fast path's bit-for-bit
+guarantee rests on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .ambient import AmbientSample, Environment, SourceType
+from .trace import TIME_INDEX_EPS
+
+__all__ = ["CompiledEnvironment"]
+
+
+class CompiledEnvironment:
+    """A dense per-step view of an :class:`Environment` run window.
+
+    Parameters
+    ----------
+    environment:
+        Source of channel traces.
+    t0:
+        Absolute time of global step 0, seconds.
+    n_steps:
+        Number of simulation steps to materialize.
+    dt:
+        Simulation timestep, seconds (may differ from the traces' dt).
+    step_offset:
+        Global index of the window's first step. Row ``i`` covers time
+        ``t0 + (step_offset + i) * dt`` — computed in exactly that form so
+        the materialized times are bit-identical to the engine's
+        integer-step clock across segmented runs.
+
+    Attributes
+    ----------
+    sources:
+        Tuple of :class:`SourceType`, one per matrix column.
+    matrix:
+        ``(n_steps, n_channels)`` float64 array; ``matrix[i, j]`` is
+        channel ``sources[j]`` at the row's time.
+    times:
+        ``(n_steps,)`` float64 array of the rows' absolute times.
+    """
+
+    def __init__(self, environment: Environment, t0: float, n_steps: int,
+                 dt: float, step_offset: int = 0):
+        if n_steps < 0:
+            raise ValueError(f"n_steps must be non-negative, got {n_steps}")
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        if t0 < 0:
+            raise ValueError(f"t0 must be non-negative, got {t0}")
+        if step_offset < 0:
+            raise ValueError(f"step_offset must be non-negative, got {step_offset}")
+        self.environment = environment
+        self.t0 = t0
+        self.dt = dt
+        self.n_steps = n_steps
+        self.step_offset = step_offset
+        self.sources: tuple = environment.sources
+        self._col_index = {s: j for j, s in enumerate(self.sources)}
+        times = t0 + np.arange(step_offset, step_offset + n_steps,
+                               dtype=np.float64) * dt
+        self.times = times
+        matrix = np.empty((n_steps, len(self.sources)), dtype=np.float64)
+        for j, source in enumerate(self.sources):
+            trace = environment.trace(source)
+            idx = np.floor(times / trace.dt + TIME_INDEX_EPS).astype(np.int64)
+            np.clip(idx, 0, len(trace.values) - 1, out=idx)
+            matrix[:, j] = trace.values[idx]
+        self.matrix = matrix
+
+    def __len__(self) -> int:
+        return self.n_steps
+
+    def column_of(self, source: SourceType) -> int | None:
+        """Matrix column for one channel, or None if the channel is absent."""
+        return self._col_index.get(source)
+
+    def column(self, source: SourceType) -> np.ndarray:
+        """Dense per-step values of one channel (KeyError if absent)."""
+        return self.matrix[:, self._col_index[source]]
+
+    def sample(self, i: int) -> AmbientSample:
+        """Row ``i`` as an :class:`AmbientSample` (slow-path convenience)."""
+        row = self.matrix[i]
+        return AmbientSample(
+            {source: float(row[j]) for j, source in enumerate(self.sources)}
+        )
+
+    def __repr__(self) -> str:
+        return (f"CompiledEnvironment({self.environment.name!r}, "
+                f"steps={self.n_steps}, channels={len(self.sources)}, "
+                f"dt={self.dt})")

@@ -13,11 +13,29 @@ trace abstraction is the foundation of the whole reproduction.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["Trace"]
+__all__ = ["Trace", "TIME_INDEX_EPS", "time_to_index"]
+
+#: Relative tolerance used when mapping an absolute time to a sample index.
+#: ``t / dt`` lands a few ULPs below an exact integer whenever ``t`` was
+#: accumulated in floating point (e.g. ``3 * 1.0 -> 2.9999999999999996``),
+#: and plain truncation then returns the *previous* sample. Nudging by this
+#: epsilon before flooring makes exact step boundaries deterministic.
+TIME_INDEX_EPS = 1e-9
+
+
+def time_to_index(t: float, dt: float) -> int:
+    """Sample index covering absolute time ``t`` for timestep ``dt``.
+
+    Uses a tolerance-aware floor so times that are mathematically exact
+    step boundaries (but a few ULPs off in floating point) map to the
+    boundary sample rather than the one before it.
+    """
+    return int(math.floor(t / dt + TIME_INDEX_EPS))
 
 
 @dataclass
@@ -80,7 +98,7 @@ class Trace:
             raise ValueError(f"time must be non-negative, got {t}")
         if len(self.values) == 0:
             raise ValueError("cannot sample an empty trace")
-        idx = min(int(t / self.dt), len(self.values) - 1)
+        idx = min(time_to_index(t, self.dt), len(self.values) - 1)
         return float(self.values[idx])
 
     # ------------------------------------------------------------------
@@ -168,7 +186,9 @@ class Trace:
         old_t = self.times
         new_t = np.arange(n_new) * new_dt
         if new_dt < self.dt:
-            idx = np.minimum((new_t / self.dt).astype(int), len(self.values) - 1)
+            idx = np.minimum(
+                np.floor(new_t / self.dt + TIME_INDEX_EPS).astype(int),
+                len(self.values) - 1)
             vals = self.values[idx]
         else:
             ratio = new_dt / self.dt
@@ -184,8 +204,9 @@ class Trace:
         """Return the sub-trace covering ``[t_start, t_end)`` seconds."""
         if t_end < t_start:
             raise ValueError("t_end must be >= t_start")
-        i0 = max(0, int(t_start / self.dt))
-        i1 = min(len(self.values), int(np.ceil(t_end / self.dt)))
+        i0 = max(0, time_to_index(t_start, self.dt))
+        i1 = min(len(self.values),
+                 int(math.ceil(t_end / self.dt - TIME_INDEX_EPS)))
         return Trace(self.values[i0:i1].copy(), self.dt, name=self.name, units=self.units)
 
     @classmethod

@@ -156,14 +156,33 @@ class TheveninHarvester(Harvester):
         return math.inf
 
     # ------------------------------------------------------------------
+    def _thevenin_cached(self, ambient: float) -> tuple:
+        """One-entry memo over :meth:`thevenin`.
+
+        A simulation step queries the Thevenin pair several times (tracker
+        Voc, MPP, operating-point current) with the same ambient value;
+        ``thevenin`` is a pure function of that value, so the repeats are
+        free. The key includes ``current_frequency`` because resonant
+        harvesters (piezo, electromagnetic) are retuned at runtime by
+        smart-harvester controllers; all other model parameters are fixed
+        at construction.
+        """
+        key = (ambient, getattr(self, "current_frequency", None))
+        cached = getattr(self, "_thev_memo", None)
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        pair = self.thevenin(ambient)
+        self._thev_memo = (key, pair)
+        return pair
+
     def open_circuit_voltage(self, ambient: float) -> float:
-        voc, _ = self.thevenin(ambient)
+        voc, _ = self._thevenin_cached(ambient)
         return max(0.0, voc)
 
     def current_at(self, voltage: float, ambient: float) -> float:
         if voltage < 0:
             raise ValueError(f"voltage must be non-negative, got {voltage}")
-        voc, r_int = self.thevenin(ambient)
+        voc, r_int = self._thevenin_cached(ambient)
         if voc <= 0:
             return 0.0
         if r_int <= 0:
@@ -178,7 +197,7 @@ class TheveninHarvester(Harvester):
         return i
 
     def mpp(self, ambient: float) -> OperatingPoint:
-        voc, r_int = self.thevenin(ambient)
+        voc, r_int = self._thevenin_cached(ambient)
         if voc <= 0:
             return OperatingPoint(0.0, 0.0, 0.0)
         v = voc / 2.0

@@ -100,9 +100,23 @@ class WirelessSensorNode:
     # Demand model
     # ------------------------------------------------------------------
     def measurement_energy(self) -> float:
-        """Energy per measure-and-report event (J)."""
-        return (self.mcu_active_power_w * self.sense_time_s +
-                self.radio.packet_energy(self.payload_bytes))
+        """Energy per measure-and-report event (J).
+
+        Memoized on its inputs: it is queried at least twice per
+        simulation step (demand sizing and the step itself) and its
+        inputs only change on explicit reconfiguration.
+        """
+        radio = self.radio
+        key = (self.mcu_active_power_w, self.sense_time_s,
+               self.payload_bytes, radio.tx_power_w, radio.rx_power_w,
+               radio.data_rate_bps, radio.startup_energy_j)
+        cached = getattr(self, "_me_memo", None)
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        energy = (self.mcu_active_power_w * self.sense_time_s +
+                  self.radio.packet_energy(self.payload_bytes))
+        self._me_memo = (key, energy)
+        return energy
 
     def _reboot_power(self) -> float:
         return max(self.sleep_power_w,

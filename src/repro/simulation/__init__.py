@@ -1,9 +1,20 @@
-"""Fixed-step power-flow simulation: engine, events, recording, metrics."""
+"""Fixed-step power-flow simulation: engine, events, recording, metrics.
+
+Execution paths
+---------------
+``simulate()`` / :class:`Simulator` drive one system against one
+environment; by default (``fast="auto"``) a vectorized fast path handles
+eligible systems with bit-for-bit identical results (see
+:mod:`repro.simulation._fastpath`). :class:`SweepRunner` fans whole grids
+of :class:`ScenarioSpec` across worker processes for the comparative
+studies.
+"""
 
 from .engine import SimulationResult, Simulator, simulate
 from .events import EventSchedule, SimEvent, swap_harvester_event, swap_storage_event
 from .metrics import RunMetrics, compute_metrics
 from .recorder import Recorder
+from .sweep import ScenarioResult, ScenarioSpec, SweepResult, SweepRunner
 
 __all__ = [
     "Simulator",
@@ -16,4 +27,8 @@ __all__ = [
     "Recorder",
     "RunMetrics",
     "compute_metrics",
+    "ScenarioSpec",
+    "ScenarioResult",
+    "SweepResult",
+    "SweepRunner",
 ]

@@ -1,0 +1,369 @@
+"""Specialized hot-loop kernel for the vectorized fast path.
+
+The legacy engine spends most of each step in interpreter overhead:
+an :class:`AmbientSample` dict per step, wrapper methods on the bank and
+store, a frozen dataclass record per step, and redundant re-derivation of
+quantities that are constant for the whole run. This kernel executes the
+exact same per-step arithmetic with that overhead removed:
+
+* ambient channels come from a :class:`~repro.environment.
+  CompiledEnvironment` dense matrix (one list index per channel per step);
+* the single-supercapacitor storage bank is inlined — same expressions,
+  same operation order as :class:`~repro.storage.Supercapacitor` — with
+  run-constant subexpressions hoisted;
+* the output stage's damped fixed-point inversion is inlined for
+  :class:`BuckBoostConverter` / :class:`IdealConverter`;
+* results are written straight into the recorder's preallocated columnar
+  arrays; no per-step record objects exist.
+
+Stateful physics with model variety — trackers, harvesters, the input
+conditioner chain, the node, and energy managers — still run through
+their own objects, so every model in the library is supported unchanged.
+
+**Equivalence contract:** for an eligible system the kernel's recorded
+columns are bit-for-bit identical to the legacy per-step path
+(``fast=False``); ``tests/test_determinism.py`` enforces this on a mixed
+solar+wind+TEG platform. Anything outside the envelope — multiple or
+non-supercapacitor stores, backup stores, digital bus / MCU models,
+subclassed system components — is detected by :func:`eligible` and runs
+on the legacy path instead. Mid-run events are re-validated: an event
+that pushes the system outside the envelope hands the remaining steps
+back to the engine's legacy loop.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..conditioning.base import HarvestStep, InputConditioner, OutputConditioner
+from ..conditioning.converters import BuckBoostConverter, IdealConverter
+from ..core.system import HarvestingChannel, MultiSourceSystem, StorageBank
+from ..load.node import NodeState
+from ..storage.supercapacitor import Supercapacitor
+from .recorder import STATE_DEAD, STATE_REBOOTING, STATE_RUNNING
+
+__all__ = ["eligible", "run_kernel"]
+
+_INF = float("inf")
+_ZERO_STEP = HarvestStep(0.0, 0.0, 0.0, 0.0)
+
+
+def eligible(system) -> bool:
+    """Whether the fast-path kernel reproduces this system exactly.
+
+    The envelope is intentionally conservative: exact component types
+    only (subclasses may override the arithmetic the kernel inlines) and
+    a single non-backup supercapacitor store.
+    """
+    if type(system) is not MultiSourceSystem:
+        return False
+    if system.bus is not None or system.mcu is not None:
+        return False
+    bank = system.bank
+    if type(bank) is not StorageBank or len(bank.stores) != 1:
+        return False
+    store = bank.stores[0]
+    if type(store) is not Supercapacitor or store.is_backup:
+        return False
+    if type(system.output) is not OutputConditioner:
+        return False
+    for channel in system.channels:
+        if type(channel) is not HarvestingChannel or \
+                type(channel.conditioner) is not InputConditioner:
+            return False
+    return True
+
+
+def run_kernel(system, compiled, schedule, recorder, n_steps: int,
+               dt: float) -> int:
+    """Run up to ``n_steps`` steps; returns the number completed.
+
+    Returns early (with the recorder committed up to the boundary) when a
+    fired event pushes the system outside the kernel envelope; the engine
+    finishes the segment on the legacy path.
+    """
+    times = compiled.times.tolist()
+    matrix = compiled.matrix
+
+    col_cache: dict = {}
+
+    def channel_values(source):
+        j = compiled.column_of(source)
+        if j is None:
+            return None
+        values = col_cache.get(j)
+        if values is None:
+            values = col_cache[j] = matrix[:, j].tolist()
+        return values
+
+    def bind():
+        """Snapshot run-constant bindings (refreshed after events)."""
+        bank = system.bank
+        store = bank.stores[0]
+        output = system.output
+        out_conv = output.converter
+        chan = tuple((c, c.conditioner, channel_values(c.source_type))
+                     for c in system.channels)
+        return (bank, store, output, out_conv, chan,
+                system.manager, system.node,
+                system.total_quiescent_current_a)
+
+    (bank, store, output, out_conv, chan, manager, node, tq) = bind()
+
+    def store_consts(store):
+        c_fast = store.c_fast
+        half_cf = 0.5 * c_fast
+        min_v2 = store.min_voltage ** 2
+        return (
+            c_fast,
+            store.c_slow,
+            0.5 * store.c_slow,
+            store.capacitance_f,
+            store.capacity_j,
+            min_v2,
+            half_cf * store.rated_voltage ** 2,   # fast-branch full energy
+            half_cf * min_v2,                     # fast-branch energy floor
+            half_cf,
+            store.max_discharge_w,
+            1.0 - math.exp(-dt / store.redistribution_tau),
+            math.exp(-dt / (store.leakage_resistance * c_fast)),
+        )
+
+    (c_fast, c_slow, half_cs, cap_f, capacity_j, min_v2, fast_full_e,
+     fast_floor_e, half_cf, max_dis, alpha, leak_mult) = store_consts(store)
+
+    def output_consts(output, out_conv):
+        conv_type = type(out_conv)
+        if conv_type is IdealConverter:
+            mode = 0
+        elif conv_type is BuckBoostConverter:
+            mode = 1
+        else:
+            mode = 2
+        if mode == 1:
+            return (mode, output.min_input_voltage,
+                    out_conv.peak_efficiency, out_conv.overhead_power,
+                    out_conv.min_input_voltage, out_conv.max_input_voltage)
+        return (mode, output.min_input_voltage, 0.0, 0.0, 0.0, 0.0)
+
+    (out_mode, out_min_v, bb_eta, bb_ovh, bb_vmin,
+     bb_vmax) = output_consts(output, out_conv)
+
+    (scalars, state_arr, store_e, store_v, chan_p, base) = \
+        recorder.columns_for_writing()
+    col_t = scalars["t"]
+    col_raw = scalars["harvest_raw"]
+    col_del = scalars["harvest_delivered"]
+    col_mpp = scalars["harvest_mpp"]
+    col_acc = scalars["charge_accepted"]
+    col_qsc = scalars["quiescent"]
+    col_dem = scalars["node_demand"]
+    col_sup = scalars["node_supplied"]
+    col_con = scalars["node_consumed"]
+    col_bak = scalars["backup_power"]
+    col_mea = scalars["measurements"]
+
+    events = schedule._events
+    n_events = len(events)
+    sqrt = math.sqrt
+    RUNNING, DEAD = NodeState.RUNNING, NodeState.DEAD
+
+    for i in range(n_steps):
+        t = times[i]
+
+        # 0. Scheduled events, then revalidate the envelope.
+        if schedule._next < n_events and events[schedule._next].time <= t:
+            for event in schedule.due(t):
+                event.action(system)
+            if not eligible(system):
+                recorder.commit(i)
+                return i
+            (bank, store, output, out_conv, chan, manager, node, tq) = bind()
+            (c_fast, c_slow, half_cs, cap_f, capacity_j, min_v2, fast_full_e,
+             fast_floor_e, half_cf, max_dis, alpha,
+             leak_mult) = store_consts(store)
+            (out_mode, out_min_v, bb_eta, bb_ovh, bb_vmin,
+             bb_vmax) = output_consts(output, out_conv)
+
+        # 1. Management decisions (may charge/discharge the bank).
+        if manager is not None:
+            manager.control(t, dt, system)
+
+        v_f = store.v_fast
+        v_s = store.v_slow
+        tot_c = store.total_charged_j
+        tot_d = store.total_discharged_j
+        spilled = bank.spilled_j
+        row = base + i
+
+        # 2. Harvest into the storage bus.
+        bus_v = v_f
+        raw = 0.0
+        delivered = 0.0
+        mpp = 0.0
+        k = 0
+        for channel, conditioner, values in chan:
+            if channel.enabled:
+                hs = conditioner.step(
+                    channel.harvester,
+                    values[i] if values is not None else 0.0, dt, bus_v)
+            else:
+                hs = _ZERO_STEP
+            channel.last_step = hs
+            hs_delivered = hs.delivered_power
+            raw += hs.raw_power
+            delivered += hs_delivered
+            mpp += hs.mpp_power
+            chan_p[row, k] = hs_delivered
+            k += 1
+
+        if delivered > 0.0:
+            e_fast = half_cf * v_f ** 2
+            room = fast_full_e - e_fast
+            if room < 0.0:
+                room = 0.0
+            dj = delivered * dt
+            if dj > room:
+                dj = room
+            e_fast += dj
+            v_f = sqrt(2.0 * e_fast / c_fast)
+            tot_c += dj
+            accepted = dj / dt
+            rem = delivered - accepted
+            if rem > 0.0:
+                spilled += rem * dt
+        else:
+            accepted = 0.0
+
+        # 3. Standing (quiescent) losses.
+        iq = tq * (bus_v if bus_v > 0.0 else 0.0)
+        if iq > 0.0:
+            deliverable = iq if iq <= max_dis else max_dis
+            e_fast = half_cf * v_f ** 2
+            avail = e_fast - fast_floor_e
+            if avail < 0.0:
+                avail = 0.0
+            drawn = deliverable * dt
+            if drawn > avail:
+                drawn = avail
+            e_fast -= drawn
+            v_f = sqrt(2.0 * e_fast / c_fast)
+            tot_d += drawn
+            quiescent_drawn = drawn / dt
+        else:
+            quiescent_drawn = 0.0
+
+        # 4. Supply the node through the output stage.
+        demand = node.demand_power()
+        sv = v_f
+        if demand == 0.0:
+            needed = 0.0
+        elif sv < out_min_v:
+            needed = _INF
+        elif out_mode == 0:
+            needed = demand
+        elif out_mode == 1:
+            if sv < bb_vmin or sv > bb_vmax:
+                needed = _INF
+            else:
+                # Same damped fixed point as Converter.input_power, with
+                # the (run-constant) voltage-window test hoisted out.
+                p_in = demand
+                needed = None
+                for _ in range(30):
+                    eff = bb_eta * p_in / (p_in + bb_ovh)
+                    if eff <= 0.0:
+                        needed = _INF
+                        break
+                    p_new = demand / eff
+                    diff = p_new - p_in
+                    if diff < 0.0:
+                        diff = -diff
+                    if diff < 1e-12 * (p_in if p_in > 1.0 else 1.0):
+                        needed = p_new
+                        break
+                    p_in = 0.5 * (p_in + p_new)
+                if needed is None:
+                    needed = p_in
+        else:
+            needed = output.input_power_for(demand, sv)
+
+        if needed == _INF or demand <= 0.0:
+            supplied = 0.0
+            drawn_out = 0.0
+        else:
+            deliverable = needed if needed <= max_dis else max_dis
+            e_fast = half_cf * v_f ** 2
+            avail = e_fast - fast_floor_e
+            if avail < 0.0:
+                avail = 0.0
+            drawn = deliverable * dt
+            if drawn > avail:
+                drawn = avail
+            e_fast -= drawn
+            v_f = sqrt(2.0 * e_fast / c_fast)
+            tot_d += drawn
+            drawn_out = drawn / dt
+            supplied = demand * (drawn_out / needed)
+
+        node_result = node.step(supplied, dt)
+        consumed = node_result.consumed_w
+        if supplied > 0.0 and consumed < supplied - 1e-15:
+            # Return the unconsumed part of the draw to the bank.
+            unused = drawn_out * (1.0 - consumed / supplied)
+            if unused > 0.0:
+                e_fast = half_cf * v_f ** 2
+                room = fast_full_e - e_fast
+                if room < 0.0:
+                    room = 0.0
+                dj = unused * dt
+                if dj > room:
+                    dj = room
+                e_fast += dj
+                v_f = sqrt(2.0 * e_fast / c_fast)
+                tot_c += dj
+                rem = unused - dj / dt
+                if rem > 0.0:
+                    spilled += rem * dt
+
+        # 5. Storage self-discharge / charge redistribution.
+        if c_slow > 0.0:
+            v_eq = (c_fast * v_f + c_slow * v_s) / cap_f
+            v_f += alpha * (v_eq - v_f)
+            v_s += alpha * (v_eq - v_s)
+        v_f *= leak_mult
+
+        d_f = v_f ** 2 - min_v2
+        usable = half_cf * (d_f if d_f > 0.0 else 0.0)
+        if c_slow > 0.0:
+            d_s = v_s ** 2 - min_v2
+            usable += half_cs * (d_s if d_s > 0.0 else 0.0)
+        energy = usable if usable < capacity_j else capacity_j
+
+        # 6. Write back object state and record the step.
+        store.v_fast = v_f
+        store.v_slow = v_s
+        store.energy_j = energy
+        store.total_charged_j = tot_c
+        store.total_discharged_j = tot_d
+        bank.spilled_j = spilled
+
+        col_t[row] = t
+        col_raw[row] = raw
+        col_del[row] = delivered
+        col_mpp[row] = mpp
+        col_acc[row] = accepted
+        col_qsc[row] = quiescent_drawn
+        col_dem[row] = demand
+        col_sup[row] = supplied
+        col_con[row] = consumed
+        col_bak[row] = 0.0
+        col_mea[row] = node_result.measurements
+        state = node_result.state
+        state_arr[row] = STATE_RUNNING if state is RUNNING else \
+            (STATE_DEAD if state is DEAD else STATE_REBOOTING)
+        store_e[row, 0] = energy
+        store_v[row, 0] = v_f
+
+    recorder.commit(n_steps)
+    return n_steps

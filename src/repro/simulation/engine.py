@@ -5,12 +5,32 @@ Drives a :class:`~repro.core.MultiSourceSystem` against an
 (hot-swaps) and recording every step. This is the loop every experiment
 in DESIGN.md runs; determinism comes from the environment's seeded traces
 and the engine's fixed step order.
+
+Time is tracked as an integer step counter with ``time = t0 + i * dt``,
+never by accumulating ``time += dt``: over millions of steps the
+accumulated form drifts by many ULPs, silently shifting which trace
+sample and which scheduled event a step sees. The integer form is exact
+for any run length and makes segmented runs (repeated :meth:`Simulator.
+run` calls) identical to one long run.
+
+Two execution paths produce bit-for-bit identical results:
+
+* the **legacy per-step path** — ``environment.sample`` + ``system.step``
+  per step, retaining full :class:`SystemStepRecord` objects;
+* the **vectorized fast path** (``fast="auto"``/``True``) — ambient
+  channels pre-materialized into a dense matrix by
+  :class:`~repro.environment.CompiledEnvironment` and the hot loop run by
+  a specialized kernel (:mod:`repro.simulation._fastpath`) that writes
+  the recorder's columnar arrays directly. Systems outside the kernel's
+  envelope fall back to the legacy path transparently.
 """
 
 from __future__ import annotations
 
 from ..core.system import MultiSourceSystem
 from ..environment.ambient import Environment
+from ..environment.compiled import CompiledEnvironment
+from . import _fastpath
 from .events import EventSchedule, SimEvent
 from .metrics import RunMetrics, compute_metrics
 from .recorder import Recorder
@@ -48,15 +68,28 @@ class Simulator:
         Optional scheduled interventions.
     dt:
         Override simulation step, seconds.
+    fast:
+        ``"auto"`` (default) uses the vectorized fast path when the
+        system is inside the kernel's envelope and falls back to the
+        legacy per-step path otherwise; ``True`` requires the fast path
+        (ValueError if unsupported); ``False`` forces the legacy path.
+        Both paths produce bit-for-bit identical recorded columns.
     """
 
     def __init__(self, system: MultiSourceSystem, environment: Environment,
-                 events=None, dt: float | None = None):
+                 events=None, dt: float | None = None, fast="auto"):
         self.system = system
         self.environment = environment
         self.dt = dt if dt is not None else environment.dt
         if self.dt <= 0:
             raise ValueError("dt must be positive")
+        if fast not in ("auto", True, False):
+            raise ValueError(f"fast must be 'auto', True or False, got {fast!r}")
+        if fast is True and not _fastpath.eligible(system):
+            raise ValueError(
+                "fast=True but the system is outside the fast-path kernel's "
+                "envelope (see repro.simulation._fastpath.eligible)")
+        self.fast = fast
         if isinstance(events, EventSchedule):
             self.events = events
         else:
@@ -64,7 +97,18 @@ class Simulator:
                 [e if isinstance(e, SimEvent) else SimEvent(*e)
                  for e in (events or ())]
             )
-        self.time = 0.0  # absolute simulation time; persists across run()s
+        self._t0 = 0.0
+        self._steps_done = 0  # integer step counter; exact for any length
+
+    @property
+    def time(self) -> float:
+        """Absolute simulation time; persists across :meth:`run` calls.
+
+        Read-only and derived as ``t0 + steps_done * dt`` — the engine's
+        clock is the integer step counter, so it cannot be nudged by
+        assignment (the seed engine's accumulated ``time`` could be).
+        """
+        return self._t0 + self._steps_done * self.dt
 
     def run(self, duration: float | None = None) -> SimulationResult:
         """Simulate for ``duration`` seconds (default: environment length).
@@ -79,20 +123,36 @@ class Simulator:
         if duration <= 0:
             raise ValueError("duration must be positive")
         n_steps = max(1, int(round(duration / self.dt)))
-        recorder = Recorder(self.dt)
-        for _ in range(n_steps):
-            for event in self.events.due(self.time):
-                event.action(self.system)
-            ambient = self.environment.sample(self.time)
-            record = self.system.step(ambient, self.dt, self.time)
+        system, dt, t0 = self.system, self.dt, self._t0
+        use_fast = self.fast in ("auto", True) and _fastpath.eligible(system)
+        recorder = Recorder(dt, keep_records=not use_fast)
+        recorder.reserve(n_steps, len(system.bank.stores),
+                         len(system.channels))
+        i = 0
+        if use_fast:
+            compiled = CompiledEnvironment(
+                self.environment, t0, n_steps, dt,
+                step_offset=self._steps_done)
+            i = _fastpath.run_kernel(system, compiled, self.events, recorder,
+                                     n_steps, dt)
+        # Legacy per-step path — also the landing strip when an event
+        # pushed the system outside the kernel's envelope mid-run.
+        environment, events = self.environment, self.events
+        while i < n_steps:
+            t = t0 + (self._steps_done + i) * dt
+            for event in events.due(t):
+                event.action(system)
+            ambient = environment.sample(t)
+            record = system.step(ambient, dt, t)
             recorder.append(record)
-            self.time += self.dt
-        return SimulationResult(self.system, recorder,
-                                compute_metrics(recorder))
+            i += 1
+        self._steps_done += n_steps
+        return SimulationResult(system, recorder, compute_metrics(recorder))
 
 
 def simulate(system: MultiSourceSystem, environment: Environment,
              duration: float | None = None, events=None,
-             dt: float | None = None) -> SimulationResult:
+             dt: float | None = None, fast="auto") -> SimulationResult:
     """One-call convenience wrapper around :class:`Simulator`."""
-    return Simulator(system, environment, events=events, dt=dt).run(duration)
+    return Simulator(system, environment, events=events, dt=dt,
+                     fast=fast).run(duration)

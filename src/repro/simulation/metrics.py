@@ -10,8 +10,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..load.node import NodeState
-from .recorder import Recorder
+import numpy as np
+
+from .recorder import STATE_DEAD, STATE_RUNNING, Recorder
 
 __all__ = ["RunMetrics", "compute_metrics"]
 
@@ -71,47 +72,46 @@ class RunMetrics:
 
 
 def compute_metrics(recorder: Recorder) -> RunMetrics:
-    """Aggregate a recorded run into :class:`RunMetrics`."""
-    records = recorder.records
-    if not records:
+    """Aggregate a recorded run into :class:`RunMetrics`.
+
+    Reads the recorder's columnar arrays directly — one vectorized
+    reduction per metric instead of the seed's per-column record scans.
+    Because both engine paths (legacy per-step and vectorized fast path)
+    fill the same columns, metrics computed here are bit-for-bit
+    comparable across paths.
+    """
+    n = len(recorder)
+    if n == 0:
         raise ValueError("recorder is empty")
     dt = recorder.dt
-    duration = len(records) * dt
+    duration = n * dt
 
-    harvested_raw = sum(r.harvest_raw_w for r in records) * dt
-    delivered = sum(r.harvest_delivered_w for r in records) * dt
-    mpp = sum(r.harvest_mpp_w for r in records) * dt
-    accepted = sum(r.charge_accepted_w for r in records) * dt
-    quiescent = sum(r.quiescent_w for r in records) * dt
-    consumed = sum(r.node_result.consumed_w for r in records) * dt
-    demanded = sum(r.node_demand_w for r in records) * dt
-    backup = sum(r.backup_power_w for r in records) * dt
-    running = sum(1 for r in records if r.node_result.state is NodeState.RUNNING)
-    coverage = sum(1 for r in records if r.harvest_delivered_w > 0) / len(records)
-    measurements = sum(r.node_result.measurements for r in records)
+    delivered_w = recorder.column("harvest_delivered")
+    state = recorder.state_codes()
+    running_mask = state == STATE_RUNNING
+    running = int(np.count_nonzero(running_mask))
 
-    # Brownouts: RUNNING -> DEAD transitions in the recorded state history.
-    transitions = 0
-    prev_running = True
-    for r in records:
-        is_running = r.node_result.state is NodeState.RUNNING
-        if prev_running and r.node_result.state is NodeState.DEAD:
-            transitions += 1
-        prev_running = is_running
+    # Brownouts: RUNNING -> DEAD transitions in the recorded state history
+    # (a run beginning DEAD counts as one, matching the seed accounting).
+    dead_mask = state == STATE_DEAD
+    prev_running = np.empty(n, dtype=bool)
+    prev_running[0] = True
+    np.copyto(prev_running[1:], running_mask[:-1])
+    transitions = int(np.count_nonzero(prev_running & dead_mask))
 
     return RunMetrics(
         duration_s=duration,
-        harvested_raw_j=harvested_raw,
-        harvested_delivered_j=delivered,
-        mpp_available_j=mpp,
-        charge_accepted_j=accepted,
-        quiescent_j=quiescent,
-        node_consumed_j=consumed,
-        node_demand_j=demanded,
-        backup_used_j=backup,
-        uptime_fraction=running / len(records),
-        dead_time_s=(len(records) - running) * dt,
+        harvested_raw_j=float(np.sum(recorder.column("harvest_raw"))) * dt,
+        harvested_delivered_j=float(np.sum(delivered_w)) * dt,
+        mpp_available_j=float(np.sum(recorder.column("harvest_mpp"))) * dt,
+        charge_accepted_j=float(np.sum(recorder.column("charge_accepted"))) * dt,
+        quiescent_j=float(np.sum(recorder.column("quiescent"))) * dt,
+        node_consumed_j=float(np.sum(recorder.column("node_consumed"))) * dt,
+        node_demand_j=float(np.sum(recorder.column("node_demand"))) * dt,
+        backup_used_j=float(np.sum(recorder.column("backup_power"))) * dt,
+        uptime_fraction=running / n,
+        dead_time_s=(n - running) * dt,
         brownouts=transitions,
-        measurements=measurements,
-        harvest_coverage=coverage,
+        measurements=float(np.sum(recorder.column("measurements"))),
+        harvest_coverage=float(np.count_nonzero(delivered_w > 0)) / n,
     )

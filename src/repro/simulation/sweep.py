@@ -1,0 +1,235 @@
+"""Multi-scenario sweep execution.
+
+Every comparative claim in the survey — multi-source gain, buffer sizing,
+MPPT trade-offs — is answered by running *many* simulations that differ
+in one or two knobs. This module turns that pattern into data:
+
+* :class:`ScenarioSpec` — one fully-described simulation: a zero-argument
+  system factory, an environment (or environment factory seeded
+  deterministically per scenario), optional events, duration, and a
+  ``params`` dict of the knob values the scenario represents;
+* :class:`SweepRunner` — fans a list of specs across ``multiprocessing``
+  workers (falling back to in-process execution for non-picklable specs
+  or ``processes=1``) and returns a :class:`SweepResult`;
+* :class:`SweepResult` — an ordered, tidy results table: one row per
+  scenario carrying its params, its :class:`~repro.simulation.RunMetrics`,
+  and any extras gathered by the spec's ``collect`` hook.
+
+Determinism guarantee: scenario results depend only on the spec (factories
+plus the explicit per-scenario ``seed``), never on worker scheduling, so a
+parallel sweep is row-for-row identical to running the same specs
+sequentially through :func:`~repro.simulation.simulate`. Factories must be
+top-level callables (e.g. ``functools.partial`` over module-level
+functions) to cross process boundaries; closures still work, they just run
+in-process.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+import pickle
+from dataclasses import dataclass, field
+
+from ..environment.ambient import Environment
+from .engine import simulate
+from .metrics import RunMetrics
+
+__all__ = ["ScenarioSpec", "ScenarioResult", "SweepResult", "SweepRunner"]
+
+
+@dataclass
+class ScenarioSpec:
+    """One scenario of a sweep.
+
+    Parameters
+    ----------
+    name:
+        Row label, unique within a sweep.
+    system:
+        Zero-argument factory building a fresh
+        :class:`~repro.core.MultiSourceSystem`. A factory (not an
+        instance) because systems are stateful and each scenario must
+        start pristine.
+    environment:
+        Either a ready :class:`Environment` or a callable producing one;
+        callables receive ``seed=<spec.seed>`` when a seed is set, so
+        every scenario's stochastic traces are reproducible in isolation.
+    duration:
+        Simulated seconds (default: environment length).
+    dt:
+        Simulation step override, seconds.
+    events:
+        Scheduled interventions — a sequence, or a zero-argument callable
+        returning one (schedules are consumed by a run, so sharing a
+        sequence object across scenarios is only safe via a callable).
+    seed:
+        Per-scenario RNG seed handed to a callable ``environment``.
+    params:
+        Knob values this scenario represents; copied verbatim into the
+        result row (the sweep's "tidy table" identity columns).
+    collect:
+        Optional hook ``(SimulationResult) -> dict`` run in the worker to
+        extract extra per-scenario values (e.g. a coverage fraction from
+        the recorder) that plain metrics do not carry.
+    fast:
+        Engine path selection for this scenario (see
+        :func:`~repro.simulation.simulate`).
+    """
+
+    name: str
+    system: object
+    environment: object
+    duration: float | None = None
+    dt: float | None = None
+    events: object = None
+    seed: int | None = None
+    params: dict = field(default_factory=dict)
+    collect: object = None
+    fast: object = "auto"
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """One row of a sweep's results."""
+
+    name: str
+    params: dict
+    metrics: RunMetrics
+    n_steps: int
+    extras: dict
+
+    def row(self) -> dict:
+        """Flat tidy-table row: name, params, metric fields, extras."""
+        row = {"name": self.name}
+        row.update(self.params)
+        row.update(dataclasses.asdict(self.metrics))
+        row.update(self.extras)
+        return row
+
+
+class SweepResult:
+    """Ordered results of one sweep (same order as the input specs)."""
+
+    def __init__(self, results):
+        self.results = tuple(results)
+        self._by_name = {r.name: r for r in self.results}
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, index) -> ScenarioResult:
+        if isinstance(index, str):
+            return self._by_name[index]
+        return self.results[index]
+
+    def rows(self) -> list:
+        """The sweep as a tidy table: one flat dict per scenario."""
+        return [r.row() for r in self.results]
+
+    def column(self, key: str) -> list:
+        """One tidy-table column across all scenarios."""
+        return [r.row().get(key) for r in self.results]
+
+    def report(self, columns=("uptime_fraction", "harvested_delivered_j",
+                              "measurements"),
+               title: str = "sweep results") -> str:
+        """Quick textual table of selected columns (name column implied)."""
+        from ..analysis.reporting import render_table
+        body = []
+        for result in self.results:
+            row = result.row()
+            body.append((result.name,) + tuple(
+                f"{row[c]:.4g}" if isinstance(row.get(c), float)
+                else str(row.get(c, "-")) for c in columns))
+        return render_table(("name",) + tuple(columns), body, title=title)
+
+    def __repr__(self) -> str:
+        return f"SweepResult({len(self.results)} scenarios)"
+
+
+def _build_environment(spec: ScenarioSpec) -> Environment:
+    env = spec.environment
+    if isinstance(env, Environment):
+        return env
+    if callable(env):
+        if spec.seed is not None:
+            return env(seed=spec.seed)
+        return env()
+    raise TypeError(
+        f"scenario {spec.name!r}: environment must be an Environment or a "
+        f"callable producing one, got {env!r}")
+
+
+def _execute(payload) -> ScenarioResult:
+    """Worker entry point: run one scenario to a picklable result row."""
+    spec, fast = payload
+    system = spec.system()
+    environment = _build_environment(spec)
+    events = spec.events() if callable(spec.events) else spec.events
+    scenario_fast = spec.fast if spec.fast != "auto" else fast
+    result = simulate(system, environment, duration=spec.duration,
+                      events=events, dt=spec.dt, fast=scenario_fast)
+    extras = spec.collect(result) if spec.collect is not None else {}
+    return ScenarioResult(
+        name=spec.name,
+        params=dict(spec.params),
+        metrics=result.metrics,
+        n_steps=len(result.recorder),
+        extras=extras,
+    )
+
+
+class SweepRunner:
+    """Fan scenarios across processes; deterministic regardless of layout.
+
+    Parameters
+    ----------
+    processes:
+        Worker count. ``None`` (default) uses ``min(cpu_count,
+        n_scenarios)``; ``0`` or ``1`` runs in-process.
+    fast:
+        Default engine path for scenarios whose spec says ``"auto"``.
+    """
+
+    def __init__(self, processes: int | None = None, fast="auto"):
+        if processes is not None and processes < 0:
+            raise ValueError("processes must be non-negative")
+        self.processes = processes
+        self.fast = fast
+
+    def run(self, specs) -> SweepResult:
+        """Execute every spec; results keep the input order."""
+        specs = list(specs)
+        names = [s.name for s in specs]
+        if len(set(names)) != len(names):
+            raise ValueError("scenario names must be unique within a sweep")
+        payloads = [(spec, self.fast) for spec in specs]
+        n_proc = self.processes
+        if n_proc is None:
+            n_proc = min(len(specs), os.cpu_count() or 1)
+        if n_proc > 1 and len(specs) > 1 and self._picklable(payloads):
+            results = self._run_pool(payloads, n_proc)
+        else:
+            results = [_execute(p) for p in payloads]
+        return SweepResult(results)
+
+    @staticmethod
+    def _picklable(payloads) -> bool:
+        try:
+            pickle.dumps(payloads)
+            return True
+        except Exception:
+            return False
+
+    @staticmethod
+    def _run_pool(payloads, n_proc: int):
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else None)
+        with ctx.Pool(n_proc) as pool:
+            return pool.map(_execute, payloads, chunksize=1)

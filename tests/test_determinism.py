@@ -1,0 +1,185 @@
+"""Determinism suite: exact long-run event timing, segmented-run
+equivalence, and fast-path/legacy bit-for-bit equality.
+
+These tests pin the engine's time-indexing contract: simulation time is
+``t0 + i * dt`` on an integer step counter (never accumulated), so which
+trace sample and which scheduled event a step sees is exact for any run
+length, and the vectorized fast path reproduces the legacy per-step path
+bit for bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments.common import make_reference_system
+from repro.conditioning.mppt import FixedVoltage
+from repro.core.manager import ThresholdManager
+from repro.environment import Environment, SourceType, Trace
+from repro.environment.composite import outdoor_environment
+from repro.harvesters import (
+    MicroWindTurbine,
+    PhotovoltaicCell,
+    ThermoelectricGenerator,
+)
+from repro.simulation import SimEvent, Simulator, simulate, swap_storage_event
+from repro.storage import LiPolymerBattery, Supercapacitor
+
+DAY = 86_400.0
+
+ALL_COLUMNS = (
+    "t", "harvest_raw", "harvest_delivered", "harvest_mpp",
+    "charge_accepted", "quiescent", "node_demand", "node_supplied",
+    "node_consumed", "backup_power", "measurements", "stored_energy",
+    "bus_voltage", "alive",
+)
+
+
+def _mixed_system(manager=None):
+    """Solar + wind + TEG on one reference platform (fast-path eligible)."""
+    return make_reference_system(
+        [PhotovoltaicCell(area_cm2=40.0, efficiency=0.16, name="pv"),
+         MicroWindTurbine(rotor_diameter_m=0.12, name="wind"),
+         ThermoelectricGenerator(name="teg")],
+        capacitance_f=50.0, initial_soc=0.5, measurement_interval_s=120.0,
+        manager=manager)
+
+
+def _assert_recorders_identical(a, b):
+    assert len(a) == len(b)
+    for column in ALL_COLUMNS:
+        assert np.array_equal(a.column(column), b.column(column)), column
+    assert np.array_equal(a.state_codes(), b.state_codes())
+    for k in range(a.n_channels):
+        assert np.array_equal(a.channel_delivered_trace(k).values,
+                              b.channel_delivered_trace(k).values), k
+    for k in range(a.n_stores):
+        assert np.array_equal(a.store_energy_trace(k).values,
+                              b.store_energy_trace(k).values), k
+
+
+class TestMillionStepDeterminism:
+    def test_event_fires_at_exact_step_and_time_does_not_drift(self):
+        """A 1e6-step run at dt=0.01 s must fire an event at the exact
+        intended step. With the seed's ``time += dt`` accumulation the
+        clock is off by ULPs long before step 1e6; with integer-step time
+        it is exact for any run length."""
+        dt = 0.01
+        n_steps = 1_000_000
+        fire_step = n_steps - 3
+        duration = n_steps * dt
+
+        env = Environment(
+            {SourceType.THERMAL: Trace.constant(60.0, duration, dt=10.0)})
+        system = make_reference_system(
+            [ThermoelectricGenerator(name="teg")],
+            tracker_factory=lambda: FixedVoltage(0.6),
+            capacitance_f=25.0, measurement_interval_s=60.0)
+
+        def disable_channel(sys):
+            sys.channels[0].enabled = False
+
+        sim = Simulator(system, env,
+                        events=[SimEvent(fire_step * dt, disable_channel)],
+                        dt=dt)
+        result = sim.run(duration=duration)
+
+        delivered = result.recorder.column("harvest_delivered")
+        assert len(delivered) == n_steps
+        # Harvest is continuous until the event and zero from it onward.
+        zero_steps = np.nonzero(delivered == 0.0)[0]
+        assert zero_steps[0] == fire_step
+        assert np.all(delivered[:fire_step] > 0.0)
+        assert np.all(delivered[fire_step:] == 0.0)
+        # The engine clock lands exactly on n * dt.
+        assert sim.time == duration
+        # The recorded time column is the exact i * dt grid.
+        t = result.recorder.column("t")
+        assert t[-1] == (n_steps - 1) * dt
+        assert t[fire_step] == fire_step * dt
+
+    def test_segmented_runs_equal_single_run(self):
+        """simulate() in one call == the same steps split across
+        Simulator.run() segments, bit for bit."""
+        dt = 120.0
+        duration = 2 * DAY
+        env = outdoor_environment(duration=duration, dt=dt, seed=17)
+
+        single = simulate(_mixed_system(), env, duration=duration, dt=dt)
+
+        sim = Simulator(_mixed_system(), env, dt=dt)
+        segments = [sim.run(duration=piece)
+                    for piece in (0.3 * DAY, 0.7 * DAY, DAY)]
+        assert sim.time == single.recorder.column("t")[-1] + dt
+
+        whole = {c: np.concatenate([s.recorder.column(c) for s in segments])
+                 for c in ALL_COLUMNS}
+        for column in ALL_COLUMNS:
+            assert np.array_equal(whole[column], single.recorder.column(column)), column
+
+
+class TestFastPathEquivalence:
+    def test_mixed_source_bitwise(self):
+        """Fast path == legacy path, bit for bit, on a mixed
+        solar+wind+TEG platform with an adaptive manager."""
+        dt = 120.0
+        duration = 2 * DAY
+        env = outdoor_environment(duration=duration, dt=dt, seed=23)
+        legacy = simulate(_mixed_system(ThresholdManager()), env,
+                          duration=duration, dt=dt, fast=False)
+        fast = simulate(_mixed_system(ThresholdManager()), env,
+                        duration=duration, dt=dt, fast=True)
+        _assert_recorders_identical(legacy.recorder, fast.recorder)
+        assert legacy.metrics == fast.metrics
+
+    def test_event_rebind_keeps_equivalence(self):
+        """A mid-run supercap hot-swap keeps the kernel eligible; its
+        rebind must not perturb a single bit."""
+        dt = 120.0
+        duration = DAY
+        env = outdoor_environment(duration=duration, dt=dt, seed=29)
+
+        def events():
+            return [swap_storage_event(
+                0.4 * DAY, 0, Supercapacitor(capacitance_f=10.0,
+                                             initial_soc=0.2))]
+
+        legacy = simulate(_mixed_system(), env, duration=duration, dt=dt,
+                          events=events(), fast=False)
+        fast = simulate(_mixed_system(), env, duration=duration, dt=dt,
+                        events=events(), fast=True)
+        _assert_recorders_identical(legacy.recorder, fast.recorder)
+
+    def test_mid_run_fallback_keeps_equivalence(self):
+        """An event that swaps in a battery pushes the system outside the
+        kernel envelope mid-run; the kernel->legacy handover must keep the
+        recorded run identical to the pure legacy path."""
+        dt = 120.0
+        duration = DAY
+        env = outdoor_environment(duration=duration, dt=dt, seed=31)
+
+        def events():
+            return [swap_storage_event(
+                0.5 * DAY, 0, LiPolymerBattery(capacity_mah=50.0,
+                                               initial_soc=0.5))]
+
+        legacy = simulate(_mixed_system(), env, duration=duration, dt=dt,
+                          events=events(), fast=False)
+        fast = simulate(_mixed_system(), env, duration=duration, dt=dt,
+                        events=events(), fast="auto")
+        _assert_recorders_identical(legacy.recorder, fast.recorder)
+
+    def test_fast_true_rejects_ineligible_system(self):
+        system = make_reference_system(
+            [PhotovoltaicCell(area_cm2=20.0)],
+            stores=[LiPolymerBattery(capacity_mah=50.0)])
+        env = outdoor_environment(duration=3600.0, dt=60.0, seed=1)
+        with pytest.raises(ValueError, match="fast=True"):
+            simulate(system, env, dt=60.0, fast=True)
+
+    def test_fast_false_keeps_records(self):
+        env = outdoor_environment(duration=3600.0, dt=60.0, seed=1)
+        legacy = simulate(_mixed_system(), env, dt=60.0, fast=False)
+        assert len(legacy.recorder.records) == len(legacy.recorder)
+        fast = simulate(_mixed_system(), env, dt=60.0, fast=True)
+        with pytest.raises(AttributeError, match="fast-path"):
+            fast.recorder.records

@@ -68,6 +68,37 @@ class TestAt:
         with pytest.raises(ValueError, match="non-negative"):
             Trace([1.0], dt=1.0).at(-0.1)
 
+    def test_boundary_time_from_fp_accumulation(self):
+        """Accumulated times that land a few ULPs below an exact step
+        boundary must read the boundary sample, not the previous one."""
+        tr = Trace([0.0, 1.0, 2.0, 3.0, 4.0], dt=1.0)
+        t = 0.0
+        for _ in range(3):
+            t += 0.1
+        t *= 10  # 2.9999999999999996: mathematically 3.0
+        assert t != 3.0  # the classic FP drift this guards against
+        assert tr.at(t) == 3.0
+
+    def test_boundary_times_fractional_dt(self):
+        tr = Trace(np.arange(10, dtype=float), dt=0.1)
+        for i in range(10):
+            # i * 0.1 is inexact for most i; each must hit sample i.
+            assert tr.at(i * 0.1) == float(i)
+
+    def test_exact_boundaries_unchanged(self):
+        tr = Trace([5.0, 6.0, 7.0], dt=2.0)
+        assert tr.at(0.0) == 5.0
+        assert tr.at(2.0) == 6.0
+        assert tr.at(3.999999) == 6.0
+        assert tr.at(4.0) == 7.0
+
+    def test_mid_interval_times_not_promoted(self):
+        """The tolerance must not be so wide it rounds real mid-interval
+        times up to the next sample."""
+        tr = Trace([1.0, 2.0], dt=1.0)
+        assert tr.at(0.5) == 1.0
+        assert tr.at(0.9999) == 1.0
+
 
 class TestArithmetic:
     def test_add_traces(self):
