@@ -11,7 +11,7 @@ plug-and-play datasheets enable.
 Run:  python examples/indoor_monitor.py
 """
 
-from repro import build_system, simulate
+from repro import build, simulate, spec_for
 from repro.analysis import render_table
 from repro.environment import (
     BroadcastRFModel,
@@ -65,7 +65,9 @@ def main() -> None:
     print("System B (Plug-and-Play) at three mounting spots, one week each\n")
 
     for spot, env in spot_environments(duration, dt, seed=99).items():
-        system = build_system("B", initial_soc=0.6)
+        # The canonical declarative spec of System B (see repro.spec);
+        # the environments stay hand-built Environment instances.
+        system = build(spec_for("B", initial_soc=0.6))
         result = simulate(system, env)
         m = result.metrics
 

@@ -1,30 +1,40 @@
 #!/usr/bin/env python3
 """Quickstart: simulate the Smart Power Unit (System A) for a week.
 
-Builds the survey's Fig. 1 reference platform, runs it against a seeded
-outdoor environment, and prints the headline run metrics plus the
-regenerated Table I row for the platform.
+Describes the survey's Fig. 1 reference platform declaratively (a
+`RunSpec` — plain data that round-trips through JSON, see docs/specs.md),
+executes it, and prints the headline run metrics plus the regenerated
+Table I row for the platform.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import build_system, classify, outdoor_environment, simulate
+from repro import EnvironmentSpec, RunSpec, build, classify, run, spec_for
 from repro.analysis import render_architecture, render_kv
 
 DAY = 86_400.0
 
 
 def main() -> None:
-    # 1. Build System A — the survey's 'Smart Power Unit' (Fig. 1).
-    system = build_system("A", initial_soc=0.5)
-    print(render_architecture(system))
+    # 1. Describe the whole simulation as data: System A — the survey's
+    #    'Smart Power Unit' (Fig. 1) — on a deterministic week of
+    #    temperate outdoor weather.
+    spec = RunSpec(
+        system=spec_for("A", initial_soc=0.5),
+        environment=EnvironmentSpec("outdoor", duration=7 * DAY, dt=120.0,
+                                    seed=42),
+    )
+    print(render_architecture(build(spec.system)))
     print()
 
-    # 2. A deterministic week of temperate outdoor weather.
-    env = outdoor_environment(duration=7 * DAY, dt=120.0, seed=42)
+    # 2. The spec is serializable — this JSON is the simulation, and
+    #    `python -m repro run <file>` replays it bit-for-bit.
+    print(f"spec round-trips through {len(spec.to_json())} bytes of JSON")
+    spec = RunSpec.from_json(spec.to_json())
+    print()
 
-    # 3. Simulate.
-    result = simulate(system, env)
+    # 3. Execute it.
+    result = run(spec)
     m = result.metrics
 
     # 4. Report.
@@ -45,7 +55,7 @@ def main() -> None:
     print()
 
     # 5. Where this platform sits in the survey's Table I.
-    row = classify(system, device="A")
+    row = classify(result.system, device="A")
     for label, value in row.as_dict().items():
         print(f"  {label:<24} {value}")
 

@@ -47,7 +47,18 @@ from .environment import (
     urban_rf_environment,
 )
 from .simulation import SimulationResult, Simulator, simulate
-from .systems import SYSTEM_NAMES, all_systems, build_system
+from .spec import (
+    ComponentSpec,
+    EnvironmentSpec,
+    RunSpec,
+    SweepSpec,
+    SystemSpec,
+    build,
+    load_spec,
+    run,
+    run_sweep,
+)
+from .systems import SYSTEM_NAMES, all_systems, build_system, spec_for
 
 __version__ = "1.0.0"
 
@@ -57,6 +68,17 @@ __all__ = [
     "build_system",
     "all_systems",
     "SYSTEM_NAMES",
+    # declarative specs (repro.spec)
+    "ComponentSpec",
+    "SystemSpec",
+    "EnvironmentSpec",
+    "RunSpec",
+    "SweepSpec",
+    "build",
+    "run",
+    "run_sweep",
+    "spec_for",
+    "load_spec",
     # composition
     "MultiSourceSystem",
     "HarvestingChannel",

@@ -23,7 +23,8 @@ from dataclasses import dataclass
 
 from ..environment.ambient import Environment
 from ..simulation.engine import simulate
-from ..systems.registry import SYSTEM_NAMES, all_systems
+from ..spec.build import build
+from ..systems.registry import SYSTEM_BUILDERS, SYSTEM_NAMES, spec_for
 from .reporting import render_table
 
 __all__ = ["PlatformAssessment", "DeploymentAdvice", "advise"]
@@ -132,7 +133,10 @@ def advise(environment: Environment, days: float | None = None,
     sim_days = duration / 86_400.0
 
     assessments = []
-    for letter, system in all_systems(initial_soc=initial_soc).items():
+    for letter in SYSTEM_BUILDERS:
+        # Candidates come from the canonical declarative specs, so the
+        # ranking assesses exactly what `repro run` would execute.
+        system = build(spec_for(letter, initial_soc=initial_soc))
         result = simulate(system, environment, duration=duration)
         m = result.metrics
         match = _source_match(system, environment)

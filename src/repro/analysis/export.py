@@ -6,9 +6,12 @@ rows, trade-off scores, audits...) to JSON so downstream tooling —
 plotting scripts, CI dashboards, regression trackers — can consume the
 reproduction's numbers without importing the library.
 
-Enums become their values, tuples become lists, infinities become the
-strings ``"inf"`` / ``"-inf"`` (JSON has no infinity), and nested
-dataclasses recurse.
+Enums become their values, tuples become lists, non-finite floats become
+the strings ``"inf"`` / ``"-inf"`` / ``"nan"`` (strict JSON has none of
+them; Python's default ``NaN``/``Infinity`` output is invalid JSON that
+standard parsers reject), and nested dataclasses recurse. Serialisation
+runs with ``allow_nan=False`` so any non-finite value that ever escaped
+the conversion would fail loudly here rather than emit invalid JSON.
 """
 
 from __future__ import annotations
@@ -49,8 +52,9 @@ def to_jsonable(obj):
 
 
 def dumps_json(obj, indent: int = 2) -> str:
-    """Serialise a result object to a JSON string."""
-    return json.dumps(to_jsonable(obj), indent=indent, sort_keys=True)
+    """Serialise a result object to a strictly-valid JSON string."""
+    return json.dumps(to_jsonable(obj), indent=indent, sort_keys=True,
+                      allow_nan=False)
 
 
 def dump_json(obj, path, indent: int = 2) -> None:

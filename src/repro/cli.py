@@ -5,16 +5,30 @@ Subcommands:
 * ``table1``      — regenerate Table I and diff it against the paper.
 * ``figure A|B``  — print the architecture rendition of Fig. 1 / Fig. 2.
 * ``simulate X``  — run one of the seven systems on a chosen environment.
-* ``sweep``       — fan systems x environments across worker processes.
+* ``run``         — execute a RunSpec / SweepSpec JSON config file.
+* ``sweep``       — fan systems x environments across worker processes,
+  from grid flags or a ``--spec`` file.
+* ``spec``        — emit canonical spec JSON (or ``--registry`` to list
+  every registered component).
 * ``experiment``  — run a claim-validation experiment (e3..e11).
 * ``advise``      — rank all seven platforms for a deployment.
 * ``audit X``     — run a system and print the energy waterfall.
+
+Every simulating subcommand goes through the declarative spec layer
+(:mod:`repro.spec`): ``simulate A --env outdoor`` is sugar for building
+and running a :class:`~repro.spec.RunSpec`, and the exact spec any
+invocation executes can be exported with ``spec`` and replayed with
+``run`` — the config-file path to the same numbers.
 
 Examples::
 
     python -m repro table1
     python -m repro simulate A --env outdoor --days 7
+    python -m repro spec C --env outdoor --days 3 > run.json
+    python -m repro run run.json
     python -m repro sweep --systems A B C --envs outdoor indoor --days 3
+    python -m repro sweep --spec sweep.json --processes 4
+    python -m repro spec --registry
     python -m repro experiment e5
     python -m repro audit B --env indoor --days 3
 """
@@ -22,30 +36,36 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from functools import partial
 
 from .analysis import (advise, compare_with_paper, render_architecture,
                        render_table1)
 from .analysis.audit import audit_run
-from .environment import (
-    agricultural_environment,
-    indoor_industrial_environment,
-    outdoor_environment,
-    urban_rf_environment,
+from .analysis.export import dumps_json
+from .spec import (
+    EnvironmentSpec,
+    RunSpec,
+    SweepSpec,
+    build_environment,
+    describe_registry,
+    load_spec,
+    run,
+    run_sweep,
+    spec_for,
 )
-from .simulation import ScenarioSpec, SweepRunner, simulate
-from .systems import SYSTEM_NAMES, build_system
+from .systems import SYSTEM_NAMES
 
 __all__ = ["main"]
 
 DAY = 86_400.0
 
+#: CLI environment alias -> registered environment name (see repro.spec).
 ENVIRONMENTS = {
-    "outdoor": outdoor_environment,
-    "indoor": indoor_industrial_environment,
-    "agricultural": agricultural_environment,
-    "urban-rf": urban_rf_environment,
+    "outdoor": "outdoor",
+    "indoor": "indoor-industrial",
+    "agricultural": "agricultural",
+    "urban-rf": "urban-rf",
 }
 
 EXPERIMENTS = {
@@ -83,8 +103,20 @@ def _build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--dt", type=float, default=120.0)
     p_sim.add_argument("--seed", type=int, default=0)
 
+    p_run = sub.add_parser(
+        "run", help="execute a RunSpec/SweepSpec JSON config file")
+    p_run.add_argument("config", help="path to a spec JSON file "
+                                      "(kind: 'run' or 'sweep')")
+    p_run.add_argument("--processes", type=int, default=None,
+                       help="worker processes for sweep configs")
+    p_run.add_argument("--json", action="store_true",
+                       help="emit results as JSON instead of a table")
+
     p_swp = sub.add_parser(
         "sweep", help="run a systems x environments grid via SweepRunner")
+    p_swp.add_argument("--spec", metavar="FILE", default=None,
+                       help="run the scenarios of a SweepSpec JSON file "
+                            "instead of the grid flags")
     p_swp.add_argument("--systems", nargs="+", choices=sorted(SYSTEM_NAMES),
                        default=sorted(SYSTEM_NAMES),
                        help="system letters to include (default: all seven)")
@@ -97,6 +129,23 @@ def _build_parser() -> argparse.ArgumentParser:
     p_swp.add_argument("--processes", type=int, default=None,
                        help="worker processes (default: one per CPU, "
                             "capped at the scenario count)")
+
+    p_spc = sub.add_parser(
+        "spec", help="emit canonical spec JSON / inspect the registry")
+    p_spc.add_argument("system", nargs="?", choices=sorted(SYSTEM_NAMES),
+                       help="system letter whose canonical spec to emit")
+    p_spc.add_argument("--env", choices=sorted(ENVIRONMENTS), default=None,
+                       help="wrap the system spec in a full RunSpec "
+                            "against this environment")
+    p_spc.add_argument("--days", type=float, default=None,
+                       help="RunSpec duration (requires --env; default 3)")
+    p_spc.add_argument("--dt", type=float, default=None,
+                       help="RunSpec step (requires --env; default 300)")
+    p_spc.add_argument("--seed", type=int, default=None,
+                       help="RunSpec seed (requires --env; default 0)")
+    p_spc.add_argument("--registry", action="store_true",
+                       help="list every registered component and its "
+                            "parameters as JSON")
 
     p_exp = sub.add_parser("experiment", help="run a claim experiment")
     p_exp.add_argument("id", choices=sorted(EXPERIMENTS),
@@ -129,23 +178,26 @@ def _cmd_table1() -> int:
 
 
 def _cmd_figure(letter: str) -> int:
-    print(render_architecture(build_system(letter)))
+    from .spec import build
+    print(render_architecture(build(spec_for(letter))))
     return 0
 
 
-def _run_system(letter: str, env_name: str, days: float, dt: float,
-                seed: int):
-    system = build_system(letter)
-    env = ENVIRONMENTS[env_name](duration=days * DAY, dt=dt, seed=seed)
-    return system, simulate(system, env)
+def _cli_run_spec(letter: str, env_name: str, days: float, dt: float,
+                  seed: int, name: str = "") -> RunSpec:
+    """The RunSpec behind a simulate/audit/spec invocation."""
+    return RunSpec(
+        system=spec_for(letter),
+        environment=EnvironmentSpec(ENVIRONMENTS[env_name],
+                                    duration=days * DAY, dt=dt, seed=seed),
+        name=name or f"{letter}@{env_name}",
+        params={"system": letter, "environment": env_name},
+    )
 
 
-def _cmd_simulate(args) -> int:
-    system, result = _run_system(args.system, args.env, args.days, args.dt,
-                                 args.seed)
-    m = result.metrics
-    print(f"{SYSTEM_NAMES[args.system]} on {args.env}, "
-          f"{args.days:g} days (seed {args.seed})")
+def _print_metrics(title: str, metrics) -> None:
+    m = metrics
+    print(title)
     print(f"  uptime                {m.uptime_fraction * 100:.2f} %")
     print(f"  harvested (raw)       {m.harvested_raw_j:.1f} J")
     print(f"  harvested (to bus)    {m.harvested_delivered_j:.1f} J")
@@ -156,29 +208,122 @@ def _cmd_simulate(args) -> int:
     print(f"  measurements/day      {m.measurements_per_day:.0f}")
     print(f"  backup used           {m.backup_used_j:.2f} J")
     print(f"  brownouts             {m.brownouts}")
+
+
+def _cmd_simulate(args) -> int:
+    spec = _cli_run_spec(args.system, args.env, args.days, args.dt,
+                         args.seed)
+    result = run(spec)
+    _print_metrics(
+        f"{SYSTEM_NAMES[args.system]} on {args.env}, "
+        f"{args.days:g} days (seed {args.seed})", result.metrics)
     return 0
 
 
+def _load_spec_file(path):
+    """load_spec with CLI-friendly failure (message + exit code 2)."""
+    try:
+        return load_spec(path)
+    except KeyError as exc:
+        print(f"error: cannot load spec file {path}: missing required "
+              f"field {exc.args[0]!r}", file=sys.stderr)
+        return None
+    except (OSError, ValueError, TypeError) as exc:
+        print(f"error: cannot load spec file {path}: {exc}",
+              file=sys.stderr)
+        return None
+
+
+def _cmd_run(args) -> int:
+    spec = _load_spec_file(args.config)
+    if spec is None:
+        return 2
+    if isinstance(spec, RunSpec):
+        try:
+            result = run(spec)
+        except (KeyError, ValueError, TypeError) as exc:
+            print(f"error: cannot execute {args.config}: {exc}",
+                  file=sys.stderr)
+            return 2
+        if args.json:
+            print(dumps_json({"name": spec.label,
+                              "metrics": result.metrics}))
+        else:
+            _print_metrics(f"run: {spec.label}", result.metrics)
+        return 0
+    if isinstance(spec, SweepSpec):
+        try:
+            sweep = run_sweep(spec, processes=args.processes)
+        except (KeyError, ValueError, TypeError) as exc:
+            print(f"error: cannot execute {args.config}: {exc}",
+                  file=sys.stderr)
+            return 2
+        if args.json:
+            print(dumps_json(sweep.rows()))
+        else:
+            print(sweep.report(
+                columns=("uptime_fraction", "harvested_delivered_j",
+                         "quiescent_j", "measurements", "brownouts"),
+                title=f"sweep: {spec.name} ({len(sweep)} scenarios)"))
+        return 0
+    print(f"error: {args.config} holds a {type(spec).__name__}; "
+          f"'run' executes RunSpec or SweepSpec configs", file=sys.stderr)
+    return 2
+
+
 def _cmd_sweep(args) -> int:
-    specs = [
-        ScenarioSpec(
-            name=f"{letter}@{env_name}",
-            system=partial(build_system, letter),
-            environment=partial(ENVIRONMENTS[env_name],
-                                duration=args.days * DAY, dt=args.dt),
-            seed=args.seed,
-            dt=args.dt,
-            params={"system": letter, "environment": env_name},
+    if args.spec is not None:
+        spec = _load_spec_file(args.spec)
+        if spec is None:
+            return 2
+        if not isinstance(spec, SweepSpec):
+            print(f"error: --spec file must hold a SweepSpec, got "
+                  f"{type(spec).__name__}", file=sys.stderr)
+            return 2
+        title = f"sweep: {spec.name} ({len(spec.runs)} scenarios)"
+    else:
+        spec = SweepSpec(
+            runs=tuple(
+                _cli_run_spec(letter, env_name, args.days, args.dt,
+                              args.seed, name=f"{letter}@{env_name}")
+                for letter in args.systems
+                for env_name in args.envs
+            ),
+            name="cli-grid",
         )
-        for letter in args.systems
-        for env_name in args.envs
-    ]
-    sweep = SweepRunner(processes=args.processes).run(specs)
+        title = (f"sweep: {len(spec.runs)} scenarios, {args.days:g} days, "
+                 f"seed {args.seed}")
+    try:
+        sweep = run_sweep(spec, processes=args.processes)
+    except (KeyError, ValueError, TypeError) as exc:
+        print(f"error: cannot execute sweep: {exc}", file=sys.stderr)
+        return 2
     print(sweep.report(
         columns=("uptime_fraction", "harvested_delivered_j",
                  "quiescent_j", "measurements", "brownouts"),
-        title=f"sweep: {len(specs)} scenarios, {args.days:g} days, "
-              f"seed {args.seed}"))
+        title=title))
+    return 0
+
+
+def _cmd_spec(args) -> int:
+    if args.registry:
+        print(json.dumps(describe_registry(), indent=2, sort_keys=True))
+        return 0
+    if args.system is None:
+        print("error: give a system letter, or --registry",
+              file=sys.stderr)
+        return 2
+    if args.env is None:
+        if any(v is not None for v in (args.days, args.dt, args.seed)):
+            print("error: --days/--dt/--seed only apply to a full RunSpec; "
+                  "add --env to emit one", file=sys.stderr)
+            return 2
+        print(spec_for(args.system).to_json())
+        return 0
+    days = 3.0 if args.days is None else args.days
+    dt = 300.0 if args.dt is None else args.dt
+    seed = 0 if args.seed is None else args.seed
+    print(_cli_run_spec(args.system, args.env, days, dt, seed).to_json())
     return 0
 
 
@@ -192,8 +337,8 @@ def _cmd_experiment(exp_id: str) -> int:
 
 
 def _cmd_audit(args) -> int:
-    system, result = _run_system(args.system, args.env, args.days, args.dt,
-                                 args.seed)
+    result = run(_cli_run_spec(args.system, args.env, args.days, args.dt,
+                               args.seed))
     audit = audit_run(result.recorder)
     print(audit.report(
         title=f"Energy audit — {SYSTEM_NAMES[args.system]} on {args.env}, "
@@ -209,13 +354,19 @@ def main(argv=None) -> int:
         return _cmd_figure(args.system)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "run":
+        return _cmd_run(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "spec":
+        return _cmd_spec(args)
     if args.command == "experiment":
         return _cmd_experiment(args.id)
     if args.command == "advise":
-        env = ENVIRONMENTS[args.env](duration=args.days * DAY, dt=args.dt,
-                                     seed=args.seed)
+        env = build_environment(
+            EnvironmentSpec(ENVIRONMENTS[args.env],
+                            duration=args.days * DAY, dt=args.dt,
+                            seed=args.seed))
         print(advise(env).report())
         return 0
     if args.command == "audit":

@@ -21,6 +21,8 @@ conversion loss only.
 
 from __future__ import annotations
 
+from ..spec.registry import register
+
 import abc
 
 __all__ = [
@@ -77,6 +79,7 @@ class Converter(abc.ABC):
         return f"{type(self).__name__}(name={self.name!r})"
 
 
+@register("converter", "ideal")
 class IdealConverter(Converter):
     """Lossless stage — the oracle reference for efficiency studies."""
 
@@ -84,6 +87,7 @@ class IdealConverter(Converter):
         return 1.0
 
 
+@register("converter", "buck_boost")
 class BuckBoostConverter(Converter):
     """Switching buck-boost (System A's output stage).
 
@@ -124,6 +128,7 @@ class BuckBoostConverter(Converter):
         return self.peak_efficiency * p_in / (p_in + self.overhead_power)
 
 
+@register("converter", "boost")
 class BoostConverter(BuckBoostConverter):
     """Step-up switcher: like buck-boost but requires ``v_out >= v_in``."""
 
@@ -133,6 +138,7 @@ class BoostConverter(BuckBoostConverter):
         return super().efficiency(p_in, v_in, v_out)
 
 
+@register("converter", "linear_regulator")
 class LinearRegulator(Converter):
     """LDO linear regulator (System B's output stage).
 
@@ -156,6 +162,7 @@ class LinearRegulator(Converter):
         return min(1.0, v_out / v_in)
 
 
+@register("converter", "diode_rectifier")
 class DiodeRectifier(Converter):
     """Series diode / bridge: backflow prevention with a forward-drop tax.
 

@@ -31,6 +31,8 @@ Implemented trackers:
 
 from __future__ import annotations
 
+from ..spec.registry import register
+
 import abc
 
 from ..harvesters.base import Harvester
@@ -102,6 +104,7 @@ class MPPTracker(abc.ABC):
         return f"{type(self).__name__}(iq={self.quiescent_current_a * 1e6:.2f} uA)"
 
 
+@register("tracker", "oracle")
 class OracleMPPT(MPPTracker):
     """Perfect tracker: always at the true MPP, no overhead.
 
@@ -113,6 +116,7 @@ class OracleMPPT(MPPTracker):
         return TrackerStep(harvester.mpp(ambient).voltage)
 
 
+@register("tracker", "perturb_observe")
 class PerturbObserve(MPPTracker):
     """Classic perturb-and-observe hill climbing.
 
@@ -176,6 +180,7 @@ class PerturbObserve(MPPTracker):
         return TrackerStep(self._voltage)
 
 
+@register("tracker", "fractional_voc")
 class FractionalOpenCircuit(MPPTracker):
     """Fractional open-circuit-voltage tracking: ``V = k * Voc``.
 
@@ -240,6 +245,7 @@ class FractionalOpenCircuit(MPPTracker):
         return TrackerStep(self._target)
 
 
+@register("tracker", "incremental_conductance")
 class IncrementalConductance(MPPTracker):
     """Incremental conductance tracking.
 
@@ -304,6 +310,7 @@ class IncrementalConductance(MPPTracker):
         return TrackerStep(self._voltage)
 
 
+@register("tracker", "fixed_voltage")
 class FixedVoltage(MPPTracker):
     """Static operating point — System B's per-module compromise.
 

@@ -21,6 +21,8 @@ complexity and loss of efficiency by adding the extra functionality"
 
 from __future__ import annotations
 
+from ..spec.registry import register
+
 import abc
 
 from ..load.duty_cycle import (
@@ -77,6 +79,7 @@ class EnergyManager(abc.ABC):
         """The actual decision logic, run once per control period."""
 
 
+@register("manager", "static")
 class StaticManager(EnergyManager):
     """No adaptation; zero execution cost. The blind-platform baseline."""
 
@@ -87,6 +90,7 @@ class StaticManager(EnergyManager):
         return None
 
 
+@register("manager", "threshold")
 class ThresholdManager(EnergyManager):
     """SoC-staircase duty adaptation with gated backup activation.
 
@@ -124,6 +128,7 @@ class ThresholdManager(EnergyManager):
                 system.bank.backup_enabled = False
 
 
+@register("manager", "energy_neutral")
 class EnergyNeutralManager(EnergyManager):
     """Energy-neutral operation from full telemetry.
 

@@ -16,12 +16,15 @@ reactive managers in ``benchmarks/test_bench_predictive_manager.py``.
 
 from __future__ import annotations
 
+from ..spec.registry import register
+
 from .manager import EnergyManager
 from .prediction import HarvestPredictor, SlotEWMAPredictor
 
 __all__ = ["PredictiveEnergyManager"]
 
 
+@register("manager", "predictive")
 class PredictiveEnergyManager(EnergyManager):
     """Horizon-planning duty-cycle manager.
 

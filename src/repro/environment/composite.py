@@ -17,6 +17,8 @@ into the deployment archetypes the surveyed systems target:
 
 from __future__ import annotations
 
+from ..spec.registry import register
+
 from .ambient import Environment, SourceType
 from .indoor_light import OfficeLightingModel
 from .rf_field import BroadcastRFModel, ReaderRFModel
@@ -36,6 +38,7 @@ __all__ = [
 DAY = 86_400.0
 
 
+@register("environment", "outdoor")
 def outdoor_environment(duration: float = 7 * DAY, dt: float = 60.0, *,
                         cloudiness: float = 0.3, mean_wind: float = 5.0,
                         day_fraction: float = 0.5, seed: int = 0,
@@ -58,6 +61,7 @@ def outdoor_environment(duration: float = 7 * DAY, dt: float = 60.0, *,
     )
 
 
+@register("environment", "indoor-industrial")
 def indoor_industrial_environment(duration: float = 7 * DAY, dt: float = 60.0, *,
                                   work_lux: float = 400.0, accel_rms: float = 2.0,
                                   delta_t_running: float = 25.0,
@@ -80,6 +84,7 @@ def indoor_industrial_environment(duration: float = 7 * DAY, dt: float = 60.0, *
     )
 
 
+@register("environment", "agricultural")
 def agricultural_environment(duration: float = 7 * DAY, dt: float = 60.0, *,
                              cloudiness: float = 0.25, mean_wind: float = 4.0,
                              flow_speed: float = 1.0, seed: int = 0) -> Environment:
@@ -93,6 +98,7 @@ def agricultural_environment(duration: float = 7 * DAY, dt: float = 60.0, *,
     )
 
 
+@register("environment", "urban-rf")
 def urban_rf_environment(duration: float = 7 * DAY, dt: float = 60.0, *,
                          work_lux: float = 300.0, broadcast_density: float = 0.01,
                          seed: int = 0) -> Environment:

@@ -15,6 +15,8 @@ unchanged.
 
 from __future__ import annotations
 
+from ..spec.registry import register
+
 import math
 
 import numpy as np
@@ -113,6 +115,7 @@ class SeasonalSolarModel:
                      units="W/m^2")
 
 
+@register("environment", "seasonal-outdoor")
 def seasonal_outdoor_environment(duration: float = 90 * DAY,
                                  dt: float = 600.0, *,
                                  start_day_of_year: float = 0.0,

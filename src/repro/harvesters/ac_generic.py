@@ -11,6 +11,8 @@ is ``sqrt(2) * Vrms - 2 * Vdiode``.
 
 from __future__ import annotations
 
+from ..spec.registry import register
+
 import math
 
 from ..environment.ambient import SourceType
@@ -19,6 +21,7 @@ from .base import TheveninHarvester
 __all__ = ["GenericACDCInput"]
 
 
+@register("harvester", "ac_generic")
 class GenericACDCInput(TheveninHarvester):
     """Bridge-rectified generic AC (or DC) input.
 

@@ -15,6 +15,8 @@ remark captures.
 
 from __future__ import annotations
 
+from ..spec.registry import register
+
 import math
 
 from ..environment.ambient import SourceType
@@ -23,6 +25,7 @@ from .base import TheveninHarvester
 __all__ = ["ElectromagneticHarvester"]
 
 
+@register("harvester", "electromagnetic")
 class ElectromagneticHarvester(TheveninHarvester):
     """Magnet-and-coil resonant vibration harvester.
 

@@ -15,6 +15,8 @@ open-circuit-voltage MPPT method implemented in
 
 from __future__ import annotations
 
+from ..spec.registry import register
+
 import math
 
 from ..environment.ambient import SourceType
@@ -29,6 +31,7 @@ THERMAL_VOLTAGE = 0.02585
 STC_IRRADIANCE = 1000.0
 
 
+@register("harvester", "photovoltaic")
 class PhotovoltaicCell(Harvester):
     """Single-diode PV module.
 

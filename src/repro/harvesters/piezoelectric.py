@@ -21,6 +21,8 @@ result above.
 
 from __future__ import annotations
 
+from ..spec.registry import register
+
 import math
 
 from ..environment.ambient import SourceType
@@ -29,6 +31,7 @@ from .base import TheveninHarvester
 __all__ = ["PiezoelectricHarvester"]
 
 
+@register("harvester", "piezoelectric")
 class PiezoelectricHarvester(TheveninHarvester):
     """Cantilever piezoelectric vibration harvester.
 

@@ -15,6 +15,8 @@ function of input power calibrated by a half-efficiency point.
 
 from __future__ import annotations
 
+from ..spec.registry import register
+
 import math
 
 from ..environment.ambient import SourceType
@@ -23,6 +25,7 @@ from .base import TheveninHarvester
 __all__ = ["RFHarvester"]
 
 
+@register("harvester", "rf")
 class RFHarvester(TheveninHarvester):
     """Antenna + rectifier RF energy harvester.
 

@@ -15,12 +15,15 @@ motivate TEGs for machine monitoring.
 
 from __future__ import annotations
 
+from ..spec.registry import register
+
 from ..environment.ambient import SourceType
 from .base import TheveninHarvester
 
 __all__ = ["ThermoelectricGenerator"]
 
 
+@register("harvester", "thermoelectric")
 class ThermoelectricGenerator(TheveninHarvester):
     """Bi2Te3-style TEG module.
 

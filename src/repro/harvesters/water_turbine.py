@@ -11,6 +11,8 @@ as ceiling.
 
 from __future__ import annotations
 
+from ..spec.registry import register
+
 import math
 
 from ..environment.ambient import SourceType
@@ -22,6 +24,7 @@ __all__ = ["WaterTurbine"]
 WATER_DENSITY = 1000.0
 
 
+@register("harvester", "water_turbine")
 class WaterTurbine(TheveninHarvester):
     """Small in-pipe / in-channel water turbine.
 

@@ -18,6 +18,8 @@ micro turbines. Cut-in and survival cut-out speeds complete the model.
 
 from __future__ import annotations
 
+from ..spec.registry import register
+
 import math
 
 from ..environment.ambient import SourceType
@@ -29,6 +31,7 @@ __all__ = ["MicroWindTurbine"]
 AIR_DENSITY = 1.225
 
 
+@register("harvester", "wind_turbine")
 class MicroWindTurbine(TheveninHarvester):
     """Small horizontal-axis wind turbine with DC generator.
 

@@ -18,6 +18,8 @@ the outage itself, penalising designs that let the buffer empty.
 
 from __future__ import annotations
 
+from ..spec.registry import register
+
 import enum
 from dataclasses import dataclass
 
@@ -43,6 +45,7 @@ class NodeStepResult:
     packets: float        # packets transmitted this step
 
 
+@register("node", "wireless_sensor_node")
 class WirelessSensorNode:
     """Duty-cycled sensing node.
 

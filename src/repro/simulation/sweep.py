@@ -4,10 +4,12 @@ Every comparative claim in the survey — multi-source gain, buffer sizing,
 MPPT trade-offs — is answered by running *many* simulations that differ
 in one or two knobs. This module turns that pattern into data:
 
-* :class:`ScenarioSpec` — one fully-described simulation: a zero-argument
-  system factory, an environment (or environment factory seeded
-  deterministically per scenario), optional events, duration, and a
-  ``params`` dict of the knob values the scenario represents;
+* :class:`ScenarioSpec` — one fully-described simulation: a system (a
+  declarative :class:`~repro.spec.SystemSpec` or a zero-argument
+  factory), an environment (an :class:`~repro.spec.EnvironmentSpec`, a
+  ready :class:`Environment`, or a factory seeded deterministically per
+  scenario), optional events, duration, and a ``params`` dict of the
+  knob values the scenario represents;
 * :class:`SweepRunner` — fans a list of specs across ``multiprocessing``
   workers (falling back to in-process execution for non-picklable specs
   or ``processes=1``) and returns a :class:`SweepResult`;
@@ -15,13 +17,14 @@ in one or two knobs. This module turns that pattern into data:
   scenario carrying its params, its :class:`~repro.simulation.RunMetrics`,
   and any extras gathered by the spec's ``collect`` hook.
 
-Determinism guarantee: scenario results depend only on the spec (factories
-plus the explicit per-scenario ``seed``), never on worker scheduling, so a
-parallel sweep is row-for-row identical to running the same specs
-sequentially through :func:`~repro.simulation.simulate`. Factories must be
-top-level callables (e.g. ``functools.partial`` over module-level
-functions) to cross process boundaries; closures still work, they just run
-in-process.
+Determinism guarantee: scenario results depend only on the spec (specs or
+factories plus the explicit per-scenario ``seed``), never on worker
+scheduling, so a parallel sweep is row-for-row identical to running the
+same specs sequentially through :func:`~repro.simulation.simulate`.
+Declarative specs are plain data and always pickle, so they parallelize
+unconditionally; callable factories must be top-level callables (e.g.
+``functools.partial`` over module-level functions) to cross process
+boundaries — closures still work, they just run in-process.
 """
 
 from __future__ import annotations
@@ -33,6 +36,7 @@ import pickle
 from dataclasses import dataclass, field
 
 from ..environment.ambient import Environment
+from ..spec.specs import EnvironmentSpec, SystemSpec
 from .engine import simulate
 from .metrics import RunMetrics
 
@@ -48,14 +52,17 @@ class ScenarioSpec:
     name:
         Row label, unique within a sweep.
     system:
-        Zero-argument factory building a fresh
-        :class:`~repro.core.MultiSourceSystem`. A factory (not an
-        instance) because systems are stateful and each scenario must
-        start pristine.
+        A declarative :class:`~repro.spec.SystemSpec` (plain data, built
+        fresh in the worker — the preferred, always-picklable form) or a
+        zero-argument factory building a fresh
+        :class:`~repro.core.MultiSourceSystem`. Never an instance:
+        systems are stateful and each scenario must start pristine.
     environment:
-        Either a ready :class:`Environment` or a callable producing one;
-        callables receive ``seed=<spec.seed>`` when a seed is set, so
-        every scenario's stochastic traces are reproducible in isolation.
+        An :class:`~repro.spec.EnvironmentSpec` (built in the worker,
+        with ``spec.seed`` overriding its seed when set), a ready
+        :class:`Environment`, or a callable producing one; callables
+        receive ``seed=<spec.seed>`` when a seed is set, so every
+        scenario's stochastic traces are reproducible in isolation.
     duration:
         Simulated seconds (default: environment length).
     dt:
@@ -154,6 +161,9 @@ class SweepResult:
 
 def _build_environment(spec: ScenarioSpec) -> Environment:
     env = spec.environment
+    if isinstance(env, EnvironmentSpec):
+        from ..spec.build import build_environment
+        return build_environment(env, seed=spec.seed)
     if isinstance(env, Environment):
         return env
     if callable(env):
@@ -161,14 +171,26 @@ def _build_environment(spec: ScenarioSpec) -> Environment:
             return env(seed=spec.seed)
         return env()
     raise TypeError(
-        f"scenario {spec.name!r}: environment must be an Environment or a "
-        f"callable producing one, got {env!r}")
+        f"scenario {spec.name!r}: environment must be an EnvironmentSpec, "
+        f"an Environment, or a callable producing one, got {env!r}")
+
+
+def _build_system(spec: ScenarioSpec):
+    system = spec.system
+    if isinstance(system, SystemSpec):
+        from ..spec.build import build
+        return build(system)
+    if callable(system):
+        return system()
+    raise TypeError(
+        f"scenario {spec.name!r}: system must be a SystemSpec or a "
+        f"zero-argument factory, got {system!r}")
 
 
 def _execute(payload) -> ScenarioResult:
     """Worker entry point: run one scenario to a picklable result row."""
     spec, fast = payload
-    system = spec.system()
+    system = _build_system(spec)
     environment = _build_environment(spec)
     events = spec.events() if callable(spec.events) else spec.events
     scenario_fast = spec.fast if spec.fast != "auto" else fast

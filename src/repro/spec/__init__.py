@@ -1,0 +1,72 @@
+"""Declarative spec layer: serializable simulation descriptions.
+
+The single way to *describe* a simulation as plain data:
+
+>>> from repro.spec import spec_for, EnvironmentSpec, RunSpec, run
+>>> spec = RunSpec(system=spec_for("C"),
+...                environment=EnvironmentSpec("outdoor",
+...                                            duration=86_400, dt=300,
+...                                            seed=7))
+>>> result = run(spec)                      # same numbers as build_system
+>>> text = spec.to_json()                   # ship it anywhere
+>>> result2 = run(RunSpec.from_json(text))  # ... and reproduce exactly
+
+Three layers:
+
+* :mod:`repro.spec.registry` — every buildable component (harvesters,
+  storage, trackers, converters, managers, nodes, environments, and the
+  seven Table I systems) registered by name with introspectable
+  constructor parameters;
+* :mod:`repro.spec.specs` — frozen, dict/JSON round-trippable
+  ``ComponentSpec`` / ``SystemSpec`` / ``EnvironmentSpec`` / ``RunSpec``
+  / ``SweepSpec`` dataclasses;
+* :mod:`repro.spec.build` — ``build()`` / ``run()`` / ``run_sweep()``
+  resolvers materializing and executing the data.
+
+Because specs are data, they cross process boundaries freely — a
+``SweepSpec`` fans across workers with no module-level factory
+functions — and serialize to config files the CLI executes directly
+(``python -m repro run config.json``). See ``docs/specs.md``.
+"""
+
+from .build import (
+    build,
+    build_component,
+    build_environment,
+    describe_registry,
+    run,
+    run_sweep,
+    spec_for,
+    to_scenario,
+)
+from .registry import REGISTRY, ComponentRegistry, register
+from .specs import (
+    ComponentSpec,
+    EnvironmentSpec,
+    RunSpec,
+    SweepSpec,
+    SystemSpec,
+    load_spec,
+    spec_from_dict,
+)
+
+__all__ = [
+    "ComponentRegistry",
+    "REGISTRY",
+    "register",
+    "ComponentSpec",
+    "SystemSpec",
+    "EnvironmentSpec",
+    "RunSpec",
+    "SweepSpec",
+    "spec_from_dict",
+    "load_spec",
+    "build",
+    "build_component",
+    "build_environment",
+    "run",
+    "run_sweep",
+    "spec_for",
+    "to_scenario",
+    "describe_registry",
+]

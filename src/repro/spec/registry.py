@@ -1,0 +1,165 @@
+"""Component registry: every buildable part of a simulation, by name.
+
+The declarative spec layer (:mod:`repro.spec.specs`) describes simulations
+as plain data; this registry is what turns the names in that data back
+into live objects. Every component category the survey's platforms are
+composed from — harvesters, storage devices, MPP trackers, converters,
+energy managers, sensor-node loads, deployment environments, and the
+seven surveyed systems themselves — registers its factories here:
+
+>>> from repro.spec import REGISTRY
+>>> REGISTRY.names("system")
+['ambimax', 'cymbet_eval', 'ehlink', ...]
+>>> REGISTRY.parameters("harvester", "photovoltaic")["area_cm2"]
+{'default': 50.0, 'required': False}
+
+Factories register with the :func:`register` decorator::
+
+    @register("harvester", "photovoltaic")
+    class PhotovoltaicCell(TheveninHarvester):
+        ...
+
+This module is a dependency leaf (stdlib only) so that any component
+module anywhere in the package can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+__all__ = ["ComponentRegistry", "REGISTRY", "register"]
+
+#: The component categories a simulation spec can reference.
+CATEGORIES = (
+    "harvester",
+    "storage",
+    "tracker",
+    "converter",
+    "manager",
+    "node",
+    "environment",
+    "system",
+)
+
+
+class ComponentRegistry:
+    """Named factories per category, with introspectable parameters."""
+
+    def __init__(self, categories=CATEGORIES):
+        self._factories = {category: {} for category in categories}
+
+    # ------------------------------------------------------------------
+    def register(self, category: str, name: str):
+        """Decorator: register a class or factory under (category, name)."""
+        self._check_category(category)
+        if not name or not isinstance(name, str):
+            raise ValueError(f"component name must be a non-empty string, "
+                             f"got {name!r}")
+
+        def decorate(factory):
+            existing = self._factories[category].get(name)
+            if existing is not None and existing is not factory:
+                # Tolerate re-execution of the same definition (module
+                # reloads in tests); reject genuine collisions, including
+                # same-named factories from different modules.
+                def identity(obj):
+                    return (getattr(obj, "__module__", None),
+                            getattr(obj, "__qualname__", None))
+
+                if identity(existing) != identity(factory):
+                    raise ValueError(
+                        f"{category} {name!r} already registered "
+                        f"(by {existing!r})")
+            self._factories[category][name] = factory
+            return factory
+
+        return decorate
+
+    # ------------------------------------------------------------------
+    def get(self, category: str, name: str):
+        """The factory registered under (category, name)."""
+        self._check_category(category)
+        try:
+            return self._factories[category][name]
+        except KeyError:
+            raise KeyError(
+                f"unknown {category} {name!r}; registered {category}s: "
+                f"{self.names(category)}") from None
+
+    def has(self, category: str, name: str) -> bool:
+        self._check_category(category)
+        return name in self._factories[category]
+
+    def names(self, category: str) -> list:
+        """Registered names in one category, sorted."""
+        self._check_category(category)
+        return sorted(self._factories[category])
+
+    def categories(self) -> list:
+        return list(self._factories)
+
+    # ------------------------------------------------------------------
+    def parameters(self, category: str, name: str) -> dict:
+        """Constructor parameters of a registered factory.
+
+        Returns ``{param: {"default": <value or None>, "required": bool}}``
+        for every keyword-acceptable parameter, so tools (CLI, docs,
+        config validators) can enumerate a component's knobs without
+        instantiating it. ``*args``/``**kwargs`` catch-alls are skipped.
+        """
+        factory = self.get(category, name)
+        try:
+            signature = inspect.signature(factory)
+        except (TypeError, ValueError):
+            return {}
+        params = {}
+        for param in signature.parameters.values():
+            if param.kind in (inspect.Parameter.VAR_POSITIONAL,
+                              inspect.Parameter.VAR_KEYWORD):
+                continue
+            required = param.default is inspect.Parameter.empty
+            params[param.name] = {
+                "default": None if required else param.default,
+                "required": required,
+            }
+        return params
+
+    def describe(self, category: str | None = None) -> dict:
+        """JSON-able catalog of the registry (for ``repro spec --registry``)."""
+        categories = [category] if category is not None else self.categories()
+        catalog = {}
+        for cat in categories:
+            catalog[cat] = {
+                name: {param: ("<required>" if info["required"]
+                               else _describable(info["default"]))
+                       for param, info in self.parameters(cat, name).items()}
+                for name in self.names(cat)
+            }
+        return catalog
+
+    # ------------------------------------------------------------------
+    def _check_category(self, category: str) -> None:
+        if category not in self._factories:
+            raise KeyError(f"unknown component category {category!r}; "
+                           f"choose from {self.categories()}")
+
+    def __repr__(self) -> str:
+        counts = {cat: len(entries)
+                  for cat, entries in self._factories.items() if entries}
+        return f"ComponentRegistry({counts})"
+
+
+def _describable(value):
+    """Defaults as JSON-friendly values (non-primitive -> repr string)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_describable(item) for item in value]
+    return repr(value)
+
+
+#: The process-wide registry every component registers into.
+REGISTRY = ComponentRegistry()
+
+#: Shorthand decorator bound to :data:`REGISTRY`.
+register = REGISTRY.register

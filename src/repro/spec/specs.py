@@ -1,0 +1,415 @@
+"""Declarative simulation descriptions: frozen, JSON round-trippable specs.
+
+These dataclasses are the single way to *describe* a simulation as plain
+data, decoupled from the live objects that execute it:
+
+* :class:`ComponentSpec` — one registered component plus constructor
+  params (may nest further component specs);
+* :class:`SystemSpec` — a registered system builder plus its knobs;
+* :class:`EnvironmentSpec` — a registered environment factory plus
+  duration/step/seed;
+* :class:`RunSpec` — one complete simulation: system x environment x
+  engine options;
+* :class:`SweepSpec` — an ordered collection of runs for
+  :class:`~repro.simulation.SweepRunner`.
+
+Every spec round-trips through ``to_dict``/``from_dict`` and
+``to_json``/``from_json`` losslessly; :func:`spec_from_dict` /
+:func:`load_spec` dispatch on the embedded ``"kind"`` tag. Because specs
+are pure data they pickle trivially, which is what lets process-parallel
+sweeps accept them without module-level factory functions.
+
+Specs never import the rest of the package — resolution to live objects
+happens in :mod:`repro.spec.build`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ComponentSpec",
+    "SystemSpec",
+    "EnvironmentSpec",
+    "RunSpec",
+    "SweepSpec",
+    "spec_from_dict",
+    "load_spec",
+]
+
+#: Marker key identifying a nested component spec inside a params dict.
+COMPONENT_TAG = "$component"
+
+
+def _params_to_jsonable(value):
+    """Params tree -> JSON-able tree (nested specs become tagged dicts)."""
+    if isinstance(value, ComponentSpec):
+        return {COMPONENT_TAG: value.to_dict(tagless=True)}
+    if isinstance(value, dict):
+        return {str(k): _params_to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_params_to_jsonable(item) for item in value]
+    return value
+
+
+def _params_from_jsonable(value):
+    """Inverse of :func:`_params_to_jsonable`."""
+    if isinstance(value, dict):
+        if set(value) == {COMPONENT_TAG}:
+            return ComponentSpec.from_dict(value[COMPONENT_TAG])
+        return {k: _params_from_jsonable(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_params_from_jsonable(item) for item in value]
+    return value
+
+
+def _normalize_params(value):
+    """Canonicalize a params tree at construction time.
+
+    JSON has no tuples and only string keys, so sequences normalize to
+    lists and dict keys to strings up front — otherwise a round-tripped
+    spec would compare unequal to the authored one and factories would
+    see different container types depending on whether the spec came
+    from code or from a config file.
+    """
+    if isinstance(value, ComponentSpec):
+        return value
+    if isinstance(value, dict):
+        return {str(key): _normalize_params(item)
+                for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_normalize_params(item) for item in value]
+    return value
+
+
+def _checked_params(params, owner: str) -> dict:
+    """Validate-and-normalize a spec's params at construction time."""
+    if not isinstance(params, dict):
+        raise TypeError(f"{owner} params must be a dict, "
+                        f"got {type(params).__name__}: {params!r}")
+    return _normalize_params(params)
+
+
+class _JsonSpec:
+    """Shared JSON plumbing for every spec type."""
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True,
+                          allow_nan=False)
+
+    @classmethod
+    def from_json(cls, text: str):
+        data = json.loads(text)
+        return cls.from_dict(data)
+
+    def save(self, path) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+
+
+def _expect_kind(data: dict, kind: str) -> None:
+    if not isinstance(data, dict):
+        raise TypeError(f"{kind} spec data must be a dict, "
+                        f"got {type(data).__name__}: {data!r}")
+    found = data.get("kind", kind)  # tag optional on input
+    if found != kind:
+        raise ValueError(f"expected a {kind!r} spec, got kind={found!r}")
+
+
+@dataclass(frozen=True)
+class ComponentSpec(_JsonSpec):
+    """One registered component: ``(category, type)`` plus params.
+
+    ``params`` values must be JSON primitives, lists/dicts of them, or
+    nested :class:`ComponentSpec` instances (e.g. a manager spec carrying
+    a custom duty-cycle controller).
+    """
+
+    category: str
+    type: str
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.category or not isinstance(self.category, str):
+            raise ValueError(f"category must be a non-empty string, "
+                             f"got {self.category!r}")
+        if not self.type or not isinstance(self.type, str):
+            raise ValueError(f"type must be a non-empty string, "
+                             f"got {self.type!r}")
+        object.__setattr__(self, "params", _checked_params(self.params, "ComponentSpec"))
+
+    def to_dict(self, tagless: bool = False) -> dict:
+        data = {
+            "category": self.category,
+            "type": self.type,
+            "params": _params_to_jsonable(self.params),
+        }
+        if not tagless:
+            data["kind"] = "component"
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ComponentSpec":
+        _expect_kind(data, "component")
+        return cls(category=data["category"], type=data["type"],
+                   params=_params_from_jsonable(data.get("params", {})))
+
+
+@dataclass(frozen=True)
+class SystemSpec(_JsonSpec):
+    """A complete platform, as a registered system builder plus knobs.
+
+    ``system`` names a factory registered under category ``"system"``
+    (the seven Table I builders register as ``smart_power_unit``,
+    ``plug_and_play``, ``ambimax``, ``mpwinode``, ``max17710_eval``,
+    ``cymbet_eval``, ``ehlink``). ``params`` are the builder's keyword
+    arguments; values may nest :class:`ComponentSpec` (e.g. a custom
+    ``manager`` or ``node``), resolved recursively at build time.
+    """
+
+    system: str
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.system or not isinstance(self.system, str):
+            raise ValueError(f"system must be a non-empty registered name, "
+                             f"got {self.system!r}")
+        object.__setattr__(self, "params", _checked_params(self.params, "SystemSpec"))
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "system",
+            "system": self.system,
+            "params": _params_to_jsonable(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SystemSpec":
+        _expect_kind(data, "system")
+        return cls(system=data["system"],
+                   params=_params_from_jsonable(data.get("params", {})))
+
+
+@dataclass(frozen=True)
+class EnvironmentSpec(_JsonSpec):
+    """A deployment environment, as a registered factory plus knobs.
+
+    ``environment`` names a factory registered under category
+    ``"environment"`` (``outdoor``, ``indoor-industrial``,
+    ``agricultural``, ``urban-rf``, ``seasonal-outdoor``). ``duration``,
+    ``dt`` and ``seed`` are first-class because every factory takes them;
+    ``None`` leaves the factory's own default in force. Any other factory
+    keyword (``cloudiness``, ``work_lux``, ...) goes in ``params``.
+    """
+
+    environment: str
+    duration: float | None = None
+    dt: float | None = None
+    seed: int | None = None
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.environment or not isinstance(self.environment, str):
+            raise ValueError(f"environment must be a non-empty registered "
+                             f"name, got {self.environment!r}")
+        object.__setattr__(self, "params", _checked_params(self.params, "EnvironmentSpec"))
+
+    def factory_kwargs(self, seed: int | None = None) -> dict:
+        """Keyword arguments for the registered factory.
+
+        ``seed`` (when not None) overrides the spec's own seed — the hook
+        sweeps use for deterministic per-scenario seeding.
+        """
+        kwargs = dict(self.params)
+        if self.duration is not None:
+            kwargs["duration"] = self.duration
+        if self.dt is not None:
+            kwargs["dt"] = self.dt
+        effective_seed = self.seed if seed is None else seed
+        if effective_seed is not None:
+            kwargs["seed"] = effective_seed
+        return kwargs
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "environment",
+            "environment": self.environment,
+            "duration": self.duration,
+            "dt": self.dt,
+            "seed": self.seed,
+            "params": _params_to_jsonable(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EnvironmentSpec":
+        _expect_kind(data, "environment")
+        return cls(environment=data["environment"],
+                   duration=data.get("duration"),
+                   dt=data.get("dt"),
+                   seed=data.get("seed"),
+                   params=_params_from_jsonable(data.get("params", {})))
+
+
+@dataclass(frozen=True)
+class RunSpec(_JsonSpec):
+    """One fully-described simulation: what to build and how to run it.
+
+    ``duration``/``dt`` override the engine's defaults (environment
+    length / trace step); ``seed`` overrides the environment spec's seed;
+    ``fast`` selects the engine path (see
+    :func:`~repro.simulation.simulate`). ``params`` are tidy-table
+    identity columns copied verbatim into sweep result rows.
+    """
+
+    system: SystemSpec
+    environment: EnvironmentSpec
+    name: str = ""
+    duration: float | None = None
+    dt: float | None = None
+    seed: int | None = None
+    fast: object = "auto"
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not isinstance(self.system, SystemSpec):
+            raise TypeError(f"system must be a SystemSpec, "
+                            f"got {self.system!r}")
+        if not isinstance(self.environment, EnvironmentSpec):
+            raise TypeError(f"environment must be an EnvironmentSpec, "
+                            f"got {self.environment!r}")
+        object.__setattr__(self, "params", _checked_params(self.params, "RunSpec"))
+
+    @property
+    def label(self) -> str:
+        """Row label: explicit name, else ``<system>@<environment>``."""
+        return self.name or f"{self.system.system}@{self.environment.environment}"
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "run",
+            "name": self.name,
+            "system": self.system.to_dict(),
+            "environment": self.environment.to_dict(),
+            "duration": self.duration,
+            "dt": self.dt,
+            "seed": self.seed,
+            "fast": self.fast,
+            "params": _params_to_jsonable(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunSpec":
+        _expect_kind(data, "run")
+        return cls(system=SystemSpec.from_dict(data["system"]),
+                   environment=EnvironmentSpec.from_dict(data["environment"]),
+                   name=data.get("name", ""),
+                   duration=data.get("duration"),
+                   dt=data.get("dt"),
+                   seed=data.get("seed"),
+                   fast=data.get("fast", "auto"),
+                   params=_params_from_jsonable(data.get("params", {})))
+
+
+@dataclass(frozen=True)
+class SweepSpec(_JsonSpec):
+    """An ordered batch of runs for :class:`~repro.simulation.SweepRunner`.
+
+    ``processes`` is the runner default (overridable at execution time);
+    ``fast`` applies to runs whose spec says ``"auto"``.
+    """
+
+    runs: tuple = ()
+    name: str = "sweep"
+    processes: int | None = None
+    fast: object = "auto"
+
+    def __post_init__(self):
+        object.__setattr__(self, "runs", tuple(self.runs))
+        for run in self.runs:
+            if not isinstance(run, RunSpec):
+                raise TypeError(f"runs must be RunSpec instances, "
+                                f"got {run!r}")
+
+    @classmethod
+    def grid(cls, systems, environments, *, duration: float | None = None,
+             dt: float | None = None, seed: int | None = None,
+             name: str = "grid", processes: int | None = None,
+             fast: object = "auto") -> "SweepSpec":
+        """The cross product of systems x environments as one sweep.
+
+        ``systems`` entries are :class:`SystemSpec` or registered system
+        names; ``environments`` entries are :class:`EnvironmentSpec` or
+        registered environment names.
+        """
+        system_specs = [s if isinstance(s, SystemSpec) else SystemSpec(s)
+                        for s in systems]
+        env_specs = [e if isinstance(e, EnvironmentSpec) else EnvironmentSpec(e)
+                     for e in environments]
+        runs = []
+        seen: dict = {}
+        for system in system_specs:
+            for environment in env_specs:
+                # Variants of the same system/environment pair (e.g. two
+                # initial_soc values of one platform) get #2, #3, ... so
+                # row names stay unique within the sweep.
+                base = f"{system.system}@{environment.environment}"
+                seen[base] = seen.get(base, 0) + 1
+                label = base if seen[base] == 1 else f"{base}#{seen[base]}"
+                runs.append(RunSpec(
+                    system=system,
+                    environment=environment,
+                    name=label,
+                    duration=duration,
+                    dt=dt,
+                    seed=seed,
+                    params={"system": system.system,
+                            "environment": environment.environment},
+                ))
+        return cls(runs=tuple(runs), name=name, processes=processes,
+                   fast=fast)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "sweep",
+            "name": self.name,
+            "processes": self.processes,
+            "fast": self.fast,
+            "runs": [run.to_dict() for run in self.runs],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepSpec":
+        _expect_kind(data, "sweep")
+        return cls(runs=tuple(RunSpec.from_dict(r)
+                              for r in data.get("runs", ())),
+                   name=data.get("name", "sweep"),
+                   processes=data.get("processes"),
+                   fast=data.get("fast", "auto"))
+
+
+_KINDS = {
+    "component": ComponentSpec,
+    "system": SystemSpec,
+    "environment": EnvironmentSpec,
+    "run": RunSpec,
+    "sweep": SweepSpec,
+}
+
+
+def spec_from_dict(data: dict):
+    """Inflate any spec dict by its ``"kind"`` tag."""
+    if not isinstance(data, dict):
+        raise TypeError(f"spec data must be a dict, got {type(data).__name__}")
+    kind = data.get("kind")
+    if kind not in _KINDS:
+        raise ValueError(f"spec dict needs a 'kind' tag in "
+                         f"{sorted(_KINDS)}, got {kind!r}")
+    return _KINDS[kind].from_dict(data)
+
+
+def load_spec(path):
+    """Load any spec (run, sweep, system, ...) from a JSON file."""
+    with open(path) as handle:
+        return spec_from_dict(json.load(handle))

@@ -14,6 +14,8 @@ below are thin parameterisations with datasheet-typical constants.
 
 from __future__ import annotations
 
+from ..spec.registry import register
+
 import bisect
 
 from .base import EnergyStorage
@@ -112,6 +114,7 @@ class ChemistryBattery(EnergyStorage):
         return self.total_discharged_j / self.capacity_j
 
 
+@register("storage", "li_ion")
 class LiIonBattery(ChemistryBattery):
     """18650-class lithium-ion cell (3.7 V nominal)."""
 
@@ -131,6 +134,7 @@ class LiIonBattery(ChemistryBattery):
         )
 
 
+@register("storage", "li_polymer")
 class LiPolymerBattery(ChemistryBattery):
     """Lithium-polymer pouch cell; Li-ion curve, lighter rate limits."""
 
@@ -150,6 +154,7 @@ class LiPolymerBattery(ChemistryBattery):
         )
 
 
+@register("storage", "nimh")
 class NiMHBattery(ChemistryBattery):
     """Single NiMH cell (1.2 V nominal, flat discharge plateau)."""
 
@@ -169,6 +174,7 @@ class NiMHBattery(ChemistryBattery):
         )
 
 
+@register("storage", "aa_pack")
 class AABatteryPack(ChemistryBattery):
     """Series pack of AA NiMH cells (System C/D style '2xAA rech. batts.')."""
 
@@ -192,6 +198,7 @@ class AABatteryPack(ChemistryBattery):
         )
 
 
+@register("storage", "lithium_primary")
 class LithiumPrimaryCell(ChemistryBattery):
     """Non-rechargeable lithium primary (System B's backup store).
 
@@ -216,6 +223,7 @@ class LithiumPrimaryCell(ChemistryBattery):
         )
 
 
+@register("storage", "thin_film")
 class ThinFilmBattery(ChemistryBattery):
     """Solid-state thin-film micro-battery (EnerChip class).
 

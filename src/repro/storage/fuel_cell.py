@@ -11,11 +11,14 @@ fuel-cell backup experiment (E10) probes.
 
 from __future__ import annotations
 
+from ..spec.registry import register
+
 from .base import EnergyStorage
 
 __all__ = ["HydrogenFuelCell"]
 
 
+@register("storage", "hydrogen_fuel_cell")
 class HydrogenFuelCell(EnergyStorage):
     """Discharge-only hydrogen fuel cell with start-up latency.
 

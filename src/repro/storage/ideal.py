@@ -7,11 +7,14 @@ losses (e.g. the MPPT study E5 in DESIGN.md).
 
 from __future__ import annotations
 
+from ..spec.registry import register
+
 from .base import EnergyStorage
 
 __all__ = ["IdealStorage"]
 
 
+@register("storage", "ideal")
 class IdealStorage(EnergyStorage):
     """Lossless, leakage-free buffer with a constant terminal voltage."""
 

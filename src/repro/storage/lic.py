@@ -12,6 +12,8 @@ reference positions LICs as the buffer of choice for energy-neutral nodes.
 
 from __future__ import annotations
 
+from ..spec.registry import register
+
 import math
 
 from .base import EnergyStorage
@@ -19,6 +21,7 @@ from .base import EnergyStorage
 __all__ = ["LithiumIonCapacitor"]
 
 
+@register("storage", "lic")
 class LithiumIonCapacitor(EnergyStorage):
     """Lithium-ion capacitor: C*V physics inside a [v_min, v_max] window.
 

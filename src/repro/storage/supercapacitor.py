@@ -21,6 +21,8 @@ cap left idle loses voltage steadily through leakage.
 
 from __future__ import annotations
 
+from ..spec.registry import register
+
 import math
 
 from .base import EnergyStorage
@@ -28,6 +30,7 @@ from .base import EnergyStorage
 __all__ = ["Supercapacitor"]
 
 
+@register("storage", "supercapacitor")
 class Supercapacitor(EnergyStorage):
     """Three-branch supercapacitor.
 

@@ -1,25 +1,46 @@
-"""Executable models of the seven surveyed platforms (Table I, A-G)."""
+"""Executable models of the seven surveyed platforms (Table I, A-G).
 
-from .ambimax import build_ambimax
-from .cymbet_eval import build_cymbet_eval
-from .ehlink import build_ehlink
-from .max17710_eval import build_max17710_eval
-from .mpwinode import build_mpwinode
-from .plug_and_play import build_plug_and_play, make_module
-from .registry import SYSTEM_BUILDERS, SYSTEM_NAMES, all_systems, build_system
-from .smart_power_unit import build_smart_power_unit
+Each platform module exposes an imperative ``build_*`` function and a
+canonical declarative ``*_spec()`` twin (see :mod:`repro.spec`); the
+registry maps Table I letters onto both.
+"""
+
+from .ambimax import ambimax_spec, build_ambimax
+from .cymbet_eval import build_cymbet_eval, cymbet_eval_spec
+from .ehlink import build_ehlink, ehlink_spec
+from .max17710_eval import build_max17710_eval, max17710_eval_spec
+from .mpwinode import build_mpwinode, mpwinode_spec
+from .plug_and_play import build_plug_and_play, make_module, plug_and_play_spec
+from .registry import (
+    SYSTEM_BUILDERS,
+    SYSTEM_NAMES,
+    SYSTEM_SPECS,
+    all_systems,
+    build_system,
+    spec_for,
+)
+from .smart_power_unit import build_smart_power_unit, smart_power_unit_spec
 
 __all__ = [
     "build_smart_power_unit",
+    "smart_power_unit_spec",
     "build_plug_and_play",
+    "plug_and_play_spec",
     "make_module",
     "build_ambimax",
+    "ambimax_spec",
     "build_mpwinode",
+    "mpwinode_spec",
     "build_max17710_eval",
+    "max17710_eval_spec",
     "build_cymbet_eval",
+    "cymbet_eval_spec",
     "build_ehlink",
+    "ehlink_spec",
     "SYSTEM_BUILDERS",
     "SYSTEM_NAMES",
+    "SYSTEM_SPECS",
     "build_system",
     "all_systems",
+    "spec_for",
 ]

@@ -14,6 +14,9 @@ on board."
 
 from __future__ import annotations
 
+from ..spec.registry import register
+from ..spec.specs import SystemSpec
+
 from ..conditioning.base import InputConditioner, OutputConditioner
 from ..conditioning.converters import BuckBoostConverter
 from ..conditioning.mppt import FractionalOpenCircuit
@@ -36,12 +39,13 @@ from ..load.node import WirelessSensorNode
 from ..storage.batteries import LiPolymerBattery
 from ..storage.supercapacitor import Supercapacitor
 
-__all__ = ["build_ambimax", "AMBIMAX_QUIESCENT_A"]
+__all__ = ["build_ambimax", "ambimax_spec", "AMBIMAX_QUIESCENT_A"]
 
 #: Table I: "< 5 uA"; we model the platform at 4 uA.
 AMBIMAX_QUIESCENT_A = 4e-6
 
 
+@register("system", "ambimax")
 def build_ambimax(node: WirelessSensorNode | None = None, manager=None,
                   initial_soc: float = 0.5) -> MultiSourceSystem:
     """Build System C (AmbiMax)."""
@@ -129,3 +133,12 @@ def build_ambimax(node: WirelessSensorNode | None = None, manager=None,
                     output.quiescent_current_a)
     system.base_quiescent_a = max(0.0, AMBIMAX_QUIESCENT_A - component_iq)
     return system
+
+
+def ambimax_spec(**overrides) -> SystemSpec:
+    """Canonical declarative spec for System C.
+
+    ``build(ambimax_spec())`` reproduces :func:`build_ambimax` exactly;
+    keyword overrides flow into the builder (see :mod:`repro.spec`).
+    """
+    return SystemSpec(system="ambimax", params=dict(overrides))

@@ -12,6 +12,9 @@ the energy-awareness tasks and interface with the sensor node"
 
 from __future__ import annotations
 
+from ..spec.registry import register
+from ..spec.specs import SystemSpec
+
 from ..conditioning.base import InputConditioner, OutputConditioner
 from ..conditioning.converters import BuckBoostConverter
 from ..conditioning.mppt import FixedVoltage
@@ -37,7 +40,7 @@ from ..interfaces.power_unit_mcu import PowerUnitMCU
 from ..load.node import WirelessSensorNode
 from ..storage.batteries import LiIonBattery, ThinFilmBattery
 
-__all__ = ["build_cymbet_eval", "CYMBET_QUIESCENT_A"]
+__all__ = ["build_cymbet_eval", "cymbet_eval_spec", "CYMBET_QUIESCENT_A"]
 
 #: Table I quiescent current: 20 uA.
 CYMBET_QUIESCENT_A = 20e-6
@@ -46,6 +49,7 @@ CYMBET_QUIESCENT_A = 20e-6
 CYMBET_MCU_ADDRESS = 0x4A
 
 
+@register("system", "cymbet_eval")
 def build_cymbet_eval(node: WirelessSensorNode | None = None, manager=None,
                       initial_soc: float = 0.5) -> MultiSourceSystem:
     """Build System F (Cymbet EVAL-09)."""
@@ -165,3 +169,12 @@ def build_cymbet_eval(node: WirelessSensorNode | None = None, manager=None,
                     output.quiescent_current_a + mcu.quiescent_current_a)
     system.base_quiescent_a = max(0.0, CYMBET_QUIESCENT_A - component_iq)
     return system
+
+
+def cymbet_eval_spec(**overrides) -> SystemSpec:
+    """Canonical declarative spec for System F.
+
+    ``build(cymbet_eval_spec())`` reproduces :func:`build_cymbet_eval` exactly;
+    keyword overrides flow into the builder (see :mod:`repro.spec`).
+    """
+    return SystemSpec(system="cymbet_eval", params=dict(overrides))

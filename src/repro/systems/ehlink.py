@@ -11,6 +11,9 @@ monitoring, no digital interface, < 32 uA quiescent.
 
 from __future__ import annotations
 
+from ..spec.registry import register
+from ..spec.specs import SystemSpec
+
 from ..conditioning.base import InputConditioner, OutputConditioner
 from ..conditioning.converters import BoostConverter, LinearRegulator
 from ..conditioning.mppt import FixedVoltage
@@ -33,12 +36,13 @@ from ..harvesters.rf_harvester import RFHarvester
 from ..load.node import WirelessSensorNode
 from ..storage.batteries import ThinFilmBattery
 
-__all__ = ["build_ehlink", "EHLINK_QUIESCENT_A"]
+__all__ = ["build_ehlink", "ehlink_spec", "EHLINK_QUIESCENT_A"]
 
 #: Table I: "< 32 uA"; we model the platform at 28 uA.
 EHLINK_QUIESCENT_A = 28e-6
 
 
+@register("system", "ehlink")
 def build_ehlink(node: WirelessSensorNode | None = None, manager=None,
                  initial_soc: float = 0.5) -> MultiSourceSystem:
     """Build System G (EH-Link)."""
@@ -124,3 +128,12 @@ def build_ehlink(node: WirelessSensorNode | None = None, manager=None,
                     output.quiescent_current_a)
     system.base_quiescent_a = max(0.0, EHLINK_QUIESCENT_A - component_iq)
     return system
+
+
+def ehlink_spec(**overrides) -> SystemSpec:
+    """Canonical declarative spec for System G.
+
+    ``build(ehlink_spec())`` reproduces :func:`build_ehlink` exactly;
+    keyword overrides flow into the builder (see :mod:`repro.spec`).
+    """
+    return SystemSpec(system="ehlink", params=dict(overrides))

@@ -10,6 +10,9 @@ no monitoring, no digital interface, boost charging at a fixed point.
 
 from __future__ import annotations
 
+from ..spec.registry import register
+from ..spec.specs import SystemSpec
+
 from ..conditioning.base import InputConditioner, OutputConditioner
 from ..conditioning.converters import BoostConverter, LinearRegulator
 from ..conditioning.mppt import FixedVoltage
@@ -31,12 +34,13 @@ from ..harvesters.piezoelectric import PiezoelectricHarvester
 from ..load.node import WirelessSensorNode
 from ..storage.batteries import ThinFilmBattery
 
-__all__ = ["build_max17710_eval", "MAX17710_QUIESCENT_A"]
+__all__ = ["build_max17710_eval", "max17710_eval_spec", "MAX17710_QUIESCENT_A"]
 
 #: Table I: "< 1 uA"; we model the platform at 0.75 uA.
 MAX17710_QUIESCENT_A = 0.75e-6
 
 
+@register("system", "max17710_eval")
 def build_max17710_eval(node: WirelessSensorNode | None = None, manager=None,
                         initial_soc: float = 0.5) -> MultiSourceSystem:
     """Build System E (MAX17710 eval kit)."""
@@ -119,3 +123,12 @@ def build_max17710_eval(node: WirelessSensorNode | None = None, manager=None,
                     output.quiescent_current_a)
     system.base_quiescent_a = max(0.0, MAX17710_QUIESCENT_A - component_iq)
     return system
+
+
+def max17710_eval_spec(**overrides) -> SystemSpec:
+    """Canonical declarative spec for System E.
+
+    ``build(max17710_eval_spec())`` reproduces :func:`build_max17710_eval` exactly;
+    keyword overrides flow into the builder (see :mod:`repro.spec`).
+    """
+    return SystemSpec(system="max17710_eval", params=dict(overrides))

@@ -14,6 +14,9 @@ pack from three sources. Table I's distinguishing features:
 
 from __future__ import annotations
 
+from ..spec.registry import register
+from ..spec.specs import SystemSpec
+
 from ..conditioning.base import InputConditioner, OutputConditioner
 from ..conditioning.converters import BuckBoostConverter
 from ..conditioning.mppt import FixedVoltage
@@ -36,12 +39,13 @@ from ..harvesters.wind_turbine import MicroWindTurbine
 from ..load.node import WirelessSensorNode
 from ..storage.batteries import AABatteryPack
 
-__all__ = ["build_mpwinode", "MPWINODE_QUIESCENT_A"]
+__all__ = ["build_mpwinode", "mpwinode_spec", "MPWINODE_QUIESCENT_A"]
 
 #: Table I quiescent current: 75 uA (exact entry, no '<').
 MPWINODE_QUIESCENT_A = 75e-6
 
 
+@register("system", "mpwinode")
 def build_mpwinode(node: WirelessSensorNode | None = None, manager=None,
                    initial_soc: float = 0.5) -> MultiSourceSystem:
     """Build System D (MPWiNode)."""
@@ -120,3 +124,12 @@ def build_mpwinode(node: WirelessSensorNode | None = None, manager=None,
                     output.quiescent_current_a)
     system.base_quiescent_a = max(0.0, MPWINODE_QUIESCENT_A - component_iq)
     return system
+
+
+def mpwinode_spec(**overrides) -> SystemSpec:
+    """Canonical declarative spec for System D.
+
+    ``build(mpwinode_spec())`` reproduces :func:`build_mpwinode` exactly;
+    keyword overrides flow into the builder (see :mod:`repro.spec`).
+    """
+    return SystemSpec(system="mpwinode", params=dict(overrides))

@@ -17,6 +17,9 @@ of this system), no explicit digital interface to a power-unit MCU,
 
 from __future__ import annotations
 
+from ..spec.registry import register
+from ..spec.specs import SystemSpec
+
 from ..conditioning.base import InputConditioner, OutputConditioner
 from ..conditioning.converters import BuckBoostConverter, LinearRegulator
 from ..conditioning.interface_circuit import ModuleInterfaceCircuit
@@ -46,7 +49,7 @@ from ..load.node import WirelessSensorNode
 from ..storage.batteries import AABatteryPack, LithiumPrimaryCell
 from ..storage.supercapacitor import Supercapacitor
 
-__all__ = ["build_plug_and_play", "PNP_QUIESCENT_A", "make_module"]
+__all__ = ["build_plug_and_play", "plug_and_play_spec", "PNP_QUIESCENT_A", "make_module"]
 
 #: Table I quiescent current for the Plug-and-Play architecture.
 PNP_QUIESCENT_A = 7e-6
@@ -105,6 +108,7 @@ def _module_channel(module: ModuleInterfaceCircuit) -> HarvestingChannel:
     return HarvestingChannel(module.device, conditioner, name=module.name)
 
 
+@register("system", "plug_and_play")
 def build_plug_and_play(node: WirelessSensorNode | None = None,
                         manager=None, initial_soc: float = 0.5,
                         modules=None) -> MultiSourceSystem:
@@ -222,3 +226,12 @@ def build_plug_and_play(node: WirelessSensorNode | None = None,
                     output.quiescent_current_a)
     system.base_quiescent_a = max(0.0, PNP_QUIESCENT_A - component_iq)
     return system
+
+
+def plug_and_play_spec(**overrides) -> SystemSpec:
+    """Canonical declarative spec for System B.
+
+    ``build(plug_and_play_spec())`` reproduces :func:`build_plug_and_play` exactly;
+    keyword overrides flow into the builder (see :mod:`repro.spec`).
+    """
+    return SystemSpec(system="plug_and_play", params=dict(overrides))

@@ -1,24 +1,34 @@
 """Registry of the seven surveyed systems (Table I's columns A-G).
 
 Provides letter-keyed access to the builders so experiments can sweep the
-whole surveyed population:
+whole surveyed population, plus the canonical declarative specs of each
+platform (see :mod:`repro.spec`):
 
->>> from repro.systems import build_system, all_systems
+>>> from repro.systems import build_system, all_systems, spec_for
 >>> spu = build_system("A")
 >>> table_population = all_systems()
+>>> spec = spec_for("A")          # SystemSpec; build(spec) == build_system("A")
 """
 
 from __future__ import annotations
 
-from .ambimax import build_ambimax
-from .cymbet_eval import build_cymbet_eval
-from .ehlink import build_ehlink
-from .max17710_eval import build_max17710_eval
-from .mpwinode import build_mpwinode
-from .plug_and_play import build_plug_and_play
-from .smart_power_unit import build_smart_power_unit
+from ..spec.specs import SystemSpec
+from .ambimax import ambimax_spec, build_ambimax
+from .cymbet_eval import build_cymbet_eval, cymbet_eval_spec
+from .ehlink import build_ehlink, ehlink_spec
+from .max17710_eval import build_max17710_eval, max17710_eval_spec
+from .mpwinode import build_mpwinode, mpwinode_spec
+from .plug_and_play import build_plug_and_play, plug_and_play_spec
+from .smart_power_unit import build_smart_power_unit, smart_power_unit_spec
 
-__all__ = ["SYSTEM_BUILDERS", "SYSTEM_NAMES", "build_system", "all_systems"]
+__all__ = [
+    "SYSTEM_BUILDERS",
+    "SYSTEM_NAMES",
+    "SYSTEM_SPECS",
+    "build_system",
+    "all_systems",
+    "spec_for",
+]
 
 #: Letter -> builder, in Table I column order.
 SYSTEM_BUILDERS = {
@@ -42,16 +52,45 @@ SYSTEM_NAMES = {
     "G": "Microstrain EH-Link",
 }
 
+#: Letter -> canonical spec factory (the declarative twin of the builder).
+SYSTEM_SPECS = {
+    "A": smart_power_unit_spec,
+    "B": plug_and_play_spec,
+    "C": ambimax_spec,
+    "D": mpwinode_spec,
+    "E": max17710_eval_spec,
+    "F": cymbet_eval_spec,
+    "G": ehlink_spec,
+}
+
+
+def _normalize_letter(letter) -> str:
+    """Validate a Table I letter; raises the documented KeyError."""
+    if not isinstance(letter, str):
+        raise KeyError(
+            f"system letter must be a string "
+            f"(one of {sorted(SYSTEM_BUILDERS)}), got "
+            f"{type(letter).__name__}: {letter!r}")
+    key = letter.upper()
+    if key not in SYSTEM_BUILDERS:
+        raise KeyError(
+            f"unknown system {letter!r}; choose from "
+            f"{sorted(SYSTEM_BUILDERS)}")
+    return key
+
 
 def build_system(letter: str, **kwargs):
     """Build one surveyed system by its Table I letter."""
-    try:
-        builder = SYSTEM_BUILDERS[letter.upper()]
-    except KeyError:
-        raise KeyError(
-            f"unknown system {letter!r}; choose from {sorted(SYSTEM_BUILDERS)}"
-        ) from None
-    return builder(**kwargs)
+    return SYSTEM_BUILDERS[_normalize_letter(letter)](**kwargs)
+
+
+def spec_for(letter: str, **overrides) -> SystemSpec:
+    """Canonical :class:`~repro.spec.SystemSpec` of a Table I letter.
+
+    ``build(spec_for(x))`` is metric-identical to ``build_system(x)``;
+    keyword overrides flow into the builder spec's params.
+    """
+    return SYSTEM_SPECS[_normalize_letter(letter)](**overrides)
 
 
 def all_systems(**kwargs) -> dict:

@@ -18,6 +18,9 @@ budget "of the order of a few milliwatts":
 
 from __future__ import annotations
 
+from ..spec.registry import register
+from ..spec.specs import SystemSpec
+
 from ..conditioning.base import InputConditioner, OutputConditioner
 from ..conditioning.converters import BuckBoostConverter
 from ..conditioning.mppt import PerturbObserve
@@ -43,7 +46,7 @@ from ..storage.batteries import LiIonBattery
 from ..storage.fuel_cell import HydrogenFuelCell
 from ..storage.supercapacitor import Supercapacitor
 
-__all__ = ["build_smart_power_unit", "SPU_QUIESCENT_A"]
+__all__ = ["build_smart_power_unit", "smart_power_unit_spec", "SPU_QUIESCENT_A"]
 
 #: Table I quiescent current for the Smart Power Unit.
 SPU_QUIESCENT_A = 5e-6
@@ -52,6 +55,7 @@ SPU_QUIESCENT_A = 5e-6
 SPU_MCU_ADDRESS = 0x48
 
 
+@register("system", "smart_power_unit")
 def build_smart_power_unit(node: WirelessSensorNode | None = None,
                            manager=None, initial_soc: float = 0.5,
                            fuel_energy_j: float = 18_000.0,
@@ -190,3 +194,12 @@ def build_smart_power_unit(node: WirelessSensorNode | None = None,
                     output.quiescent_current_a + mcu.quiescent_current_a)
     system.base_quiescent_a = max(0.0, SPU_QUIESCENT_A - component_iq)
     return system
+
+
+def smart_power_unit_spec(**overrides) -> SystemSpec:
+    """Canonical declarative spec for System A.
+
+    ``build(smart_power_unit_spec())`` reproduces :func:`build_smart_power_unit` exactly;
+    keyword overrides flow into the builder (see :mod:`repro.spec`).
+    """
+    return SystemSpec(system="smart_power_unit", params=dict(overrides))

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -58,6 +60,159 @@ class TestSimulateCommand:
               "--seed", "9"])
         second = capsys.readouterr().out
         assert first == second
+
+
+class TestSpecCommand:
+    def test_system_spec_json(self, capsys):
+        assert main(["spec", "C"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "system"
+        assert payload["system"] == "ambimax"
+
+    def test_run_spec_json(self, capsys):
+        assert main(["spec", "A", "--env", "outdoor", "--days", "0.5",
+                     "--dt", "600", "--seed", "3"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "run"
+        assert payload["system"]["system"] == "smart_power_unit"
+        assert payload["environment"]["environment"] == "outdoor"
+        assert payload["environment"]["seed"] == 3
+
+    def test_registry_listing(self, capsys):
+        assert main(["spec", "--registry"]) == 0
+        catalog = json.loads(capsys.readouterr().out)
+        assert "photovoltaic" in catalog["harvester"]
+        assert "ambimax" in catalog["system"]
+
+    def test_no_arguments_is_an_error(self, capsys):
+        assert main(["spec"]) == 2
+
+    def test_run_flags_without_env_rejected(self, capsys):
+        """Regression: --days/--dt/--seed used to be silently ignored
+        without --env; now they demand one."""
+        assert main(["spec", "C", "--days", "5"]) == 2
+        assert "--env" in capsys.readouterr().err
+
+
+class TestRunCommand:
+    def _write_run_spec(self, tmp_path, capsys):
+        main(["spec", "B", "--env", "indoor", "--days", "0.3",
+              "--dt", "600"])
+        path = tmp_path / "run.json"
+        path.write_text(capsys.readouterr().out)
+        return path
+
+    def test_run_config_matches_simulate(self, tmp_path, capsys):
+        path = self._write_run_spec(tmp_path, capsys)
+        assert main(["run", str(path)]) == 0
+        run_out = capsys.readouterr().out
+        assert "uptime" in run_out
+        assert main(["simulate", "B", "--env", "indoor", "--days", "0.3",
+                     "--dt", "600"]) == 0
+        sim_out = capsys.readouterr().out
+        # Identical numbers: the config file is the simulate command.
+        assert run_out.splitlines()[1:] == sim_out.splitlines()[1:]
+
+    def test_run_json_output(self, tmp_path, capsys):
+        path = self._write_run_spec(tmp_path, capsys)
+        assert main(["run", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert 0.0 <= payload["metrics"]["uptime_fraction"] <= 1.0
+
+    def test_run_sweep_config(self, tmp_path, capsys):
+        from repro.spec import EnvironmentSpec, SweepSpec, spec_for
+        spec = SweepSpec.grid(
+            [spec_for(x) for x in "AC"],
+            [EnvironmentSpec("outdoor", duration=0.3 * 86_400.0, dt=600.0,
+                             seed=0)])
+        path = tmp_path / "sweep.json"
+        spec.save(path)
+        assert main(["run", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "smart_power_unit@outdoor" in out
+        assert "ambimax@outdoor" in out
+
+    def test_run_missing_config_is_clean_error(self, tmp_path, capsys):
+        assert main(["run", str(tmp_path / "absent.json")]) == 2
+        assert "cannot load spec file" in capsys.readouterr().err
+
+    def test_run_malformed_config_is_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        assert main(["run", str(path)]) == 2
+        assert "cannot load spec file" in capsys.readouterr().err
+
+    def test_run_unknown_component_is_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "unknown.json"
+        path.write_text(json.dumps({
+            "kind": "run",
+            "system": {"kind": "system", "system": "ambimaxx"},
+            "environment": {"kind": "environment",
+                            "environment": "outdoor"}}))
+        assert main(["run", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "cannot execute" in err
+        assert "ambimaxx" in err
+
+    def test_run_null_params_is_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "nullparams.json"
+        path.write_text(json.dumps({
+            "kind": "run",
+            "system": {"kind": "system", "system": "ambimax",
+                       "params": None},
+            "environment": {"kind": "environment",
+                            "environment": "outdoor"}}))
+        assert main(["run", str(path)]) == 2
+        assert "params must be a dict" in capsys.readouterr().err
+
+    def test_run_config_missing_field_names_it(self, tmp_path, capsys):
+        path = tmp_path / "incomplete.json"
+        path.write_text(json.dumps({"kind": "run", "environment": {
+            "kind": "environment", "environment": "outdoor"}}))
+        assert main(["run", str(path)]) == 2
+        assert "missing required field 'system'" in capsys.readouterr().err
+
+    def test_run_config_with_string_nested_spec_is_clean_error(
+            self, tmp_path, capsys):
+        """Regression: a string where a nested spec dict belongs used to
+        escape as a raw AttributeError traceback."""
+        path = tmp_path / "flat.json"
+        path.write_text(json.dumps({
+            "kind": "run", "system": "ambimax",
+            "environment": {"kind": "environment",
+                            "environment": "outdoor"}}))
+        assert main(["run", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "cannot load spec file" in err
+        assert "must be a dict" in err
+
+    def test_run_rejects_non_executable_spec(self, tmp_path, capsys):
+        from repro.spec import spec_for
+        path = tmp_path / "system.json"
+        spec_for("A").save(path)
+        assert main(["run", str(path)]) == 2
+
+
+class TestSweepSpecOption:
+    def test_sweep_from_spec_file(self, tmp_path, capsys):
+        from repro.spec import EnvironmentSpec, SweepSpec, spec_for
+        spec = SweepSpec.grid(
+            [spec_for("D")],
+            [EnvironmentSpec("agricultural", duration=0.3 * 86_400.0,
+                             dt=600.0, seed=1)], name="farm")
+        path = tmp_path / "sweep.json"
+        spec.save(path)
+        assert main(["sweep", "--spec", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "farm" in out
+        assert "mpwinode@agricultural" in out
+
+    def test_sweep_spec_rejects_run_config(self, tmp_path, capsys):
+        from repro.spec import EnvironmentSpec, RunSpec, spec_for
+        path = tmp_path / "run.json"
+        RunSpec(system=spec_for("A"),
+                environment=EnvironmentSpec("outdoor")).save(path)
+        assert main(["sweep", "--spec", str(path)]) == 2
 
 
 class TestExperimentCommand:

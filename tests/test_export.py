@@ -23,6 +23,25 @@ class TestToJsonable:
         assert to_jsonable(-math.inf) == "-inf"
         assert to_jsonable(math.nan) == "nan"
 
+    def test_nan_emits_strictly_valid_json(self):
+        """NaN anywhere in a result tree must serialise to the string
+        "nan", never to bare ``NaN`` (which standard JSON parsers
+        reject). ``parse_constant`` trips if a bare constant sneaks
+        through."""
+        payload = {"metrics": [1.0, math.nan, math.inf, -math.inf],
+                   "nested": {"v": math.nan}}
+        text = dumps_json(payload)
+        decoded = json.loads(
+            text, parse_constant=lambda name: pytest.fail(
+                f"invalid JSON constant emitted: {name}"))
+        assert decoded["metrics"] == [1.0, "nan", "inf", "-inf"]
+        assert decoded["nested"]["v"] == "nan"
+
+    def test_numpy_nan_emits_strictly_valid_json(self):
+        import numpy as np
+        text = dumps_json(np.array([np.nan, 2.0]))
+        assert json.loads(text) == ["nan", 2.0]
+
     def test_enums_become_values(self):
         from repro.environment import SourceType
         assert to_jsonable(SourceType.LIGHT) == "light"

@@ -1,0 +1,340 @@
+"""Tests for the declarative spec layer (repro.spec).
+
+Acceptance gates:
+
+* every Table I letter's canonical spec survives dict -> JSON -> rebuild
+  and simulates bit-identically to the hand-built system;
+* a spec-driven process-parallel sweep (pure data, no module-level
+  factories) matches the sequential legacy-factory sweep row-for-row.
+"""
+
+import json
+import pickle
+from functools import partial
+
+import numpy as np
+import pytest
+
+from repro.environment.composite import outdoor_environment
+from repro.simulation import ScenarioSpec, SweepRunner, simulate
+from repro.simulation.recorder import SCALAR_COLUMNS
+from repro.spec import (
+    REGISTRY,
+    ComponentSpec,
+    EnvironmentSpec,
+    RunSpec,
+    SweepSpec,
+    SystemSpec,
+    build,
+    build_component,
+    build_environment,
+    describe_registry,
+    load_spec,
+    run,
+    run_sweep,
+    spec_for,
+    spec_from_dict,
+    to_scenario,
+)
+from repro.systems import SYSTEM_BUILDERS, build_system
+
+DAY = 86_400.0
+LETTERS = sorted(SYSTEM_BUILDERS)
+
+#: Short shared environment for identity checks: enough steps to exercise
+#: managers and storage routing, short enough to keep the suite fast.
+ENV_KWARGS = dict(duration=0.15 * DAY, dt=300.0, seed=11)
+
+
+def short_env():
+    return outdoor_environment(**ENV_KWARGS)
+
+
+class TestRegistry:
+    def test_all_categories_populated(self):
+        for category in ("harvester", "storage", "tracker", "converter",
+                         "manager", "node", "environment", "system"):
+            assert REGISTRY.names(category), category
+
+    def test_seven_systems_registered(self):
+        assert REGISTRY.names("system") == sorted(
+            ["smart_power_unit", "plug_and_play", "ambimax", "mpwinode",
+             "max17710_eval", "cymbet_eval", "ehlink"])
+
+    def test_parameters_are_introspectable(self):
+        params = REGISTRY.parameters("harvester", "photovoltaic")
+        assert params["area_cm2"] == {"default": 50.0, "required": False}
+        assert "efficiency" in params
+
+    def test_unknown_lookups_fail_clearly(self):
+        with pytest.raises(KeyError, match="registered harvester"):
+            REGISTRY.get("harvester", "antimatter")
+        with pytest.raises(KeyError, match="category"):
+            REGISTRY.get("flux_capacitor", "x")
+
+    def test_cross_module_name_collision_rejected(self):
+        """Regression: a same-named factory from a different module must
+        not silently overwrite an existing registration."""
+        from repro.spec.registry import ComponentRegistry
+        registry = ComponentRegistry()
+
+        @registry.register("harvester", "clash")
+        class Dupe:  # noqa: F811
+            pass
+
+        impostor = type("Dupe", (), {})
+        impostor.__module__ = "somewhere.else"
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("harvester", "clash")(impostor)
+        # Re-registering the same definition stays tolerated.
+        assert registry.register("harvester", "clash")(Dupe) is Dupe
+
+    def test_describe_is_jsonable(self):
+        catalog = describe_registry()
+        text = json.dumps(catalog)
+        assert "photovoltaic" in text
+        assert "ambimax" in text
+
+
+class TestComponentSpecs:
+    def test_component_roundtrip(self):
+        spec = ComponentSpec("harvester", "photovoltaic",
+                             {"area_cm2": 12.5, "name": "pv"})
+        assert ComponentSpec.from_json(spec.to_json()) == spec
+
+    def test_component_builds(self):
+        pv = build_component(ComponentSpec(
+            "harvester", "photovoltaic", {"area_cm2": 12.5}))
+        assert pv.area_cm2 == 12.5
+
+    def test_nested_component_specs_resolve(self):
+        spec = SystemSpec("ambimax", params={
+            "manager": ComponentSpec("manager", "threshold",
+                                     {"backup_on_soc": 0.2,
+                                      "backup_off_soc": 0.4}),
+        })
+        rebuilt = SystemSpec.from_json(spec.to_json())
+        assert rebuilt == spec
+        system = build(rebuilt)
+        assert type(system.manager).__name__ == "ThresholdManager"
+        assert system.manager.backup_on_soc == 0.2
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            SystemSpec("")
+        with pytest.raises(ValueError):
+            ComponentSpec("harvester", "")
+        with pytest.raises(TypeError):
+            RunSpec(system="ambimax",
+                    environment=EnvironmentSpec("outdoor"))
+
+    def test_non_dict_params_rejected_at_construction(self):
+        """Regression: ``"params": null`` in a config must fail at load
+        time with a clear message, not deep inside factory_kwargs."""
+        for bad in (None, ["a"], "x"):
+            with pytest.raises(TypeError, match="params must be a dict"):
+                SystemSpec("ambimax", params=bad)
+            with pytest.raises(TypeError, match="params must be a dict"):
+                EnvironmentSpec("outdoor", params=bad)
+        with pytest.raises(TypeError, match="params must be a dict"):
+            EnvironmentSpec.from_dict(
+                {"kind": "environment", "environment": "outdoor",
+                 "params": None})
+
+    def test_non_string_dict_keys_normalize(self):
+        """Regression: non-string dict keys stringify at construction so
+        authored and round-tripped specs are equal."""
+        spec = EnvironmentSpec("outdoor", params={"profile": {1: 0.5}})
+        assert spec.params == {"profile": {"1": 0.5}}
+        assert EnvironmentSpec.from_json(spec.to_json()) == spec
+
+    def test_spec_from_dict_dispatches(self):
+        run_spec = RunSpec(system=spec_for("A"),
+                           environment=EnvironmentSpec("outdoor", seed=1))
+        assert spec_from_dict(run_spec.to_dict()) == run_spec
+        with pytest.raises(ValueError, match="kind"):
+            spec_from_dict({"no": "tag"})
+
+    def test_build_rejects_execution_specs(self):
+        run_spec = RunSpec(system=spec_for("A"),
+                           environment=EnvironmentSpec("outdoor"))
+        with pytest.raises(TypeError, match="run_sweep|run"):
+            build(run_spec)
+
+
+class TestCanonicalSpecs:
+    @pytest.mark.parametrize("letter", LETTERS)
+    def test_spec_roundtrips_to_identical_metrics(self, letter):
+        """A-G: spec -> JSON -> build simulates identically to the
+        hand-coded builder (identical RunMetrics on a short run)."""
+        spec = spec_for(letter)
+        rebuilt = SystemSpec.from_json(spec.to_json())
+        assert rebuilt == spec
+        via_spec = simulate(build(rebuilt), short_env())
+        via_builder = simulate(build_system(letter), short_env())
+        assert via_spec.metrics == via_builder.metrics
+
+    @pytest.mark.parametrize("letter", LETTERS)
+    def test_recorded_columns_bit_identical(self, letter):
+        """A-G: every recorded column matches bit-for-bit."""
+        rec_spec = simulate(
+            build(SystemSpec.from_json(spec_for(letter).to_json())),
+            short_env()).recorder
+        rec_builder = simulate(build_system(letter), short_env()).recorder
+        assert len(rec_spec) == len(rec_builder)
+        for name in SCALAR_COLUMNS:
+            assert np.array_equal(rec_spec.column(name),
+                                  rec_builder.column(name)), name
+        for i in range(rec_builder.n_stores):
+            assert np.array_equal(rec_spec.store_energy_trace(i).values,
+                                  rec_builder.store_energy_trace(i).values)
+
+    def test_overrides_flow_into_builder(self):
+        system = build(spec_for("C", initial_soc=0.9))
+        assert system.bank.stores[0].energy_j > \
+            build(spec_for("C", initial_soc=0.1)).bank.stores[0].energy_j
+
+    def test_spec_for_rejects_bad_letters(self):
+        with pytest.raises(KeyError, match="choose from"):
+            spec_for("Z")
+        with pytest.raises(KeyError, match="string"):
+            spec_for(3)
+
+
+class TestRunAndSweepSpecs:
+    def test_run_spec_executes_like_simulate(self):
+        spec = RunSpec(system=spec_for("D"),
+                       environment=EnvironmentSpec("outdoor", **ENV_KWARGS))
+        reloaded = RunSpec.from_json(spec.to_json())
+        result = run(reloaded)
+        direct = simulate(build_system("D"), short_env())
+        assert result.metrics == direct.metrics
+
+    def test_run_seed_overrides_environment_seed(self):
+        env_spec = EnvironmentSpec("outdoor", duration=0.1 * DAY, dt=600.0,
+                                   seed=1)
+        base = run(RunSpec(system=spec_for("C"), environment=env_spec))
+        reseeded = run(RunSpec(system=spec_for("C"), environment=env_spec,
+                               seed=2))
+        assert base.metrics != reseeded.metrics
+        direct = simulate(build_system("C"),
+                          outdoor_environment(duration=0.1 * DAY, dt=600.0,
+                                              seed=2))
+        assert reseeded.metrics == direct.metrics
+
+    def test_sweep_spec_roundtrip(self):
+        spec = SweepSpec.grid(
+            [spec_for(x) for x in "ABC"],
+            [EnvironmentSpec("outdoor", **ENV_KWARGS)],
+            name="grid-test")
+        assert SweepSpec.from_json(spec.to_json()) == spec
+        assert [r.label for r in spec.runs] == [
+            "smart_power_unit@outdoor", "plug_and_play@outdoor",
+            "ambimax@outdoor"]
+
+    def test_grid_disambiguates_same_system_variants(self):
+        """Regression: two variants of one platform in a grid must get
+        unique row names, not collide in the runner."""
+        spec = SweepSpec.grid(
+            [spec_for("A", initial_soc=0.2), spec_for("A", initial_soc=0.8)],
+            [EnvironmentSpec("outdoor", **ENV_KWARGS)])
+        names = [r.label for r in spec.runs]
+        assert names == ["smart_power_unit@outdoor",
+                         "smart_power_unit@outdoor#2"]
+        result = run_sweep(spec, processes=1)
+        assert (result[names[0]].metrics.harvested_delivered_j !=
+                result[names[1]].metrics.harvested_delivered_j or
+                result[names[0]].metrics != result[names[1]].metrics)
+
+    def test_tuple_params_roundtrip_losslessly(self):
+        """Regression: tuples normalize to lists at construction, so an
+        authored spec equals its JSON round-trip."""
+        spec = RunSpec(system=SystemSpec("ambimax"),
+                       environment=EnvironmentSpec(
+                           "outdoor",
+                           params={"overcast_windows": ((0.0, 3600.0),)}),
+                       params={"knobs": (1, 2)})
+        assert spec.params == {"knobs": [1, 2]}
+        assert RunSpec.from_json(spec.to_json()) == spec
+        build_environment(spec.environment)  # factory accepts the list form
+
+    def test_load_spec_file(self, tmp_path):
+        spec = RunSpec(system=spec_for("E"),
+                       environment=EnvironmentSpec("urban-rf", seed=0))
+        path = tmp_path / "run.json"
+        spec.save(path)
+        assert load_spec(path) == spec
+
+
+class TestSpecDrivenSweeps:
+    def _spec_scenarios(self):
+        return [
+            to_scenario(RunSpec(
+                system=spec_for(letter),
+                environment=EnvironmentSpec("outdoor", duration=0.15 * DAY,
+                                            dt=300.0),
+                name=f"{letter}@outdoor",
+                seed=11,
+                params={"system": letter},
+            ))
+            for letter in LETTERS
+        ]
+
+    def _legacy_scenarios(self):
+        return [
+            ScenarioSpec(
+                name=f"{letter}@outdoor",
+                system=partial(build_system, letter),
+                environment=partial(outdoor_environment,
+                                    duration=0.15 * DAY, dt=300.0),
+                seed=11,
+                params={"system": letter},
+            )
+            for letter in LETTERS
+        ]
+
+    def test_spec_scenarios_pickle_without_module_factories(self):
+        """Acceptance: pure-spec scenarios are plain data — they pickle
+        unconditionally, with no module-level factory functions."""
+        scenarios = self._spec_scenarios()
+        for scenario in scenarios:
+            assert isinstance(scenario.system, SystemSpec)
+            assert isinstance(scenario.environment, EnvironmentSpec)
+        payloads = [(s, "auto") for s in scenarios]
+        assert pickle.loads(pickle.dumps(payloads))
+        assert SweepRunner._picklable(payloads)
+
+    def test_parallel_spec_sweep_matches_sequential_legacy(self):
+        """Acceptance: SweepRunner with processes>1 on pure-spec
+        scenarios returns rows identical to the sequential legacy run."""
+        parallel = SweepRunner(processes=3).run(self._spec_scenarios())
+        sequential = SweepRunner(processes=1).run(self._legacy_scenarios())
+        assert len(parallel) == len(sequential) == len(LETTERS)
+        for spec_row, legacy_row in zip(parallel, sequential):
+            assert spec_row.name == legacy_row.name
+            assert spec_row.metrics == legacy_row.metrics
+            assert spec_row.n_steps == legacy_row.n_steps
+            assert spec_row.params == legacy_row.params
+
+    def test_run_sweep_executes_sweep_spec(self):
+        spec = SweepSpec.grid(
+            [spec_for(x) for x in "AD"],
+            [EnvironmentSpec("outdoor", **ENV_KWARGS)])
+        result = run_sweep(SweepSpec.from_json(spec.to_json()), processes=2)
+        direct = simulate(build_system("A"), short_env())
+        assert result["smart_power_unit@outdoor"].metrics == direct.metrics
+
+    def test_environment_spec_builds_standalone(self):
+        env = build_environment(EnvironmentSpec("outdoor", **ENV_KWARGS))
+        reference = short_env()
+        assert env.duration == reference.duration
+        for source in reference.sources:
+            assert np.array_equal(env.trace(source).values,
+                                  reference.trace(source).values)
+
+    def test_bad_system_in_scenario_rejected(self):
+        scenario = ScenarioSpec(name="bad", system="not-a-system",
+                                environment=partial(outdoor_environment,
+                                                    duration=3600.0))
+        with pytest.raises(TypeError, match="system"):
+            SweepRunner(processes=1).run([scenario])

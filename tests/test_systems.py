@@ -47,6 +47,18 @@ class TestRegistry:
         with pytest.raises(KeyError):
             build_system("Z")
 
+    def test_unknown_letter_lists_choices(self):
+        with pytest.raises(KeyError, match=r"choose from.*'A'"):
+            build_system("Z")
+
+    def test_non_string_letter_raises_documented_keyerror(self):
+        """Regression: a non-string key used to escape as AttributeError
+        from ``letter.upper()``; it must raise the documented KeyError
+        naming the valid letters."""
+        for bad in (3, None, ("A",), b"A"):
+            with pytest.raises(KeyError, match="must be a string"):
+                build_system(bad)
+
     def test_names_match_builders(self):
         assert sorted(SYSTEM_NAMES) == sorted(SYSTEM_BUILDERS)
 
