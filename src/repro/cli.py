@@ -20,6 +20,10 @@ and running a :class:`~repro.spec.RunSpec`, and the exact spec any
 invocation executes can be exported with ``spec`` and replayed with
 ``run`` — the config-file path to the same numbers.
 
+``simulate``/``run``/``sweep`` accept ``--fast {auto,on,off}`` to pin
+the engine path (the compiled kernel vs the legacy per-step loop — both
+bit-for-bit identical); output summaries report which path actually ran.
+
 Examples::
 
     python -m repro table1
@@ -68,6 +72,9 @@ ENVIRONMENTS = {
     "urban-rf": "urban-rf",
 }
 
+#: --fast flag value -> engine `fast` argument.
+FAST_MODES = {"auto": "auto", "on": True, "off": False}
+
 EXPERIMENTS = {
     "e3": ("multisource gain", "run_multisource_gain", {}),
     "e4": ("buffer sizing", "run_buffer_sizing", {}),
@@ -95,6 +102,15 @@ def _build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("system", choices=sorted(SYSTEM_NAMES),
                        help="system letter (A = Fig. 1, B = Fig. 2)")
 
+    def add_fast_flag(subparser):
+        subparser.add_argument(
+            "--fast", choices=sorted(FAST_MODES), default=None,
+            help="engine path: 'on' requires the compiled kernel, 'off' "
+                 "forces the legacy per-step loop, 'auto' picks. When the "
+                 "flag is omitted, the spec's own setting applies ('auto' "
+                 "unless a config file says otherwise); the path actually "
+                 "taken is reported in the summary")
+
     p_sim = sub.add_parser("simulate", help="simulate a surveyed system")
     p_sim.add_argument("system", choices=sorted(SYSTEM_NAMES))
     p_sim.add_argument("--env", choices=sorted(ENVIRONMENTS),
@@ -102,6 +118,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--days", type=float, default=7.0)
     p_sim.add_argument("--dt", type=float, default=120.0)
     p_sim.add_argument("--seed", type=int, default=0)
+    add_fast_flag(p_sim)
 
     p_run = sub.add_parser(
         "run", help="execute a RunSpec/SweepSpec JSON config file")
@@ -111,6 +128,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="worker processes for sweep configs")
     p_run.add_argument("--json", action="store_true",
                        help="emit results as JSON instead of a table")
+    add_fast_flag(p_run)
 
     p_swp = sub.add_parser(
         "sweep", help="run a systems x environments grid via SweepRunner")
@@ -129,6 +147,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p_swp.add_argument("--processes", type=int, default=None,
                        help="worker processes (default: one per CPU, "
                             "capped at the scenario count)")
+    add_fast_flag(p_swp)
 
     p_spc = sub.add_parser(
         "spec", help="emit canonical spec JSON / inspect the registry")
@@ -195,9 +214,18 @@ def _cli_run_spec(letter: str, env_name: str, days: float, dt: float,
     )
 
 
-def _print_metrics(title: str, metrics) -> None:
+def _cli_fast(args):
+    """Engine-path override from --fast (None = respect the spec)."""
+    if getattr(args, "fast", None) is None:
+        return None
+    return FAST_MODES[args.fast]
+
+
+def _print_metrics(title: str, metrics, execution_path=None) -> None:
     m = metrics
     print(title)
+    if execution_path is not None:
+        print(f"  execution path        {execution_path}")
     print(f"  uptime                {m.uptime_fraction * 100:.2f} %")
     print(f"  harvested (raw)       {m.harvested_raw_j:.1f} J")
     print(f"  harvested (to bus)    {m.harvested_delivered_j:.1f} J")
@@ -213,10 +241,11 @@ def _print_metrics(title: str, metrics) -> None:
 def _cmd_simulate(args) -> int:
     spec = _cli_run_spec(args.system, args.env, args.days, args.dt,
                          args.seed)
-    result = run(spec)
+    result = run(spec, fast=_cli_fast(args))
     _print_metrics(
         f"{SYSTEM_NAMES[args.system]} on {args.env}, "
-        f"{args.days:g} days (seed {args.seed})", result.metrics)
+        f"{args.days:g} days (seed {args.seed})", result.metrics,
+        execution_path=result.execution_path)
     return 0
 
 
@@ -240,20 +269,23 @@ def _cmd_run(args) -> int:
         return 2
     if isinstance(spec, RunSpec):
         try:
-            result = run(spec)
+            result = run(spec, fast=_cli_fast(args))
         except (KeyError, ValueError, TypeError) as exc:
             print(f"error: cannot execute {args.config}: {exc}",
                   file=sys.stderr)
             return 2
         if args.json:
             print(dumps_json({"name": spec.label,
-                              "metrics": result.metrics}))
+                              "metrics": result.metrics,
+                              "execution_path": result.execution_path}))
         else:
-            _print_metrics(f"run: {spec.label}", result.metrics)
+            _print_metrics(f"run: {spec.label}", result.metrics,
+                           execution_path=result.execution_path)
         return 0
     if isinstance(spec, SweepSpec):
         try:
-            sweep = run_sweep(spec, processes=args.processes)
+            sweep = run_sweep(spec, processes=args.processes,
+                              fast=_cli_fast(args))
         except (KeyError, ValueError, TypeError) as exc:
             print(f"error: cannot execute {args.config}: {exc}",
                   file=sys.stderr)
@@ -263,7 +295,8 @@ def _cmd_run(args) -> int:
         else:
             print(sweep.report(
                 columns=("uptime_fraction", "harvested_delivered_j",
-                         "quiescent_j", "measurements", "brownouts"),
+                         "quiescent_j", "measurements", "brownouts",
+                         "execution_path"),
                 title=f"sweep: {spec.name} ({len(sweep)} scenarios)"))
         return 0
     print(f"error: {args.config} holds a {type(spec).__name__}; "
@@ -294,13 +327,15 @@ def _cmd_sweep(args) -> int:
         title = (f"sweep: {len(spec.runs)} scenarios, {args.days:g} days, "
                  f"seed {args.seed}")
     try:
-        sweep = run_sweep(spec, processes=args.processes)
+        sweep = run_sweep(spec, processes=args.processes,
+                          fast=_cli_fast(args))
     except (KeyError, ValueError, TypeError) as exc:
         print(f"error: cannot execute sweep: {exc}", file=sys.stderr)
         return 2
     print(sweep.report(
         columns=("uptime_fraction", "harvested_delivered_j",
-                 "quiescent_j", "measurements", "brownouts"),
+                 "quiescent_j", "measurements", "brownouts",
+                 "execution_path"),
         title=title))
     return 0
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..harvesters.base import Harvester
-from .converters import Converter, IdealConverter
+from .converters import BuckBoostConverter, Converter, IdealConverter
 from .mppt import MPPTracker, OracleMPPT
 
 __all__ = ["HarvestStep", "InputConditioner", "OutputConditioner"]
@@ -98,6 +98,44 @@ class InputConditioner:
         """Clear tracker state (hot-swap of the attached harvester)."""
         self.tracker.reset()
 
+    # ------------------------------------------------------------------
+    # Kernel lowering (see repro.simulation.kernel)
+    # ------------------------------------------------------------------
+    def lower_kernel(self, dt: float):
+        """Closure ``(harvester, ambient_value, bus_v) -> HarvestStep``.
+
+        Replicates :meth:`step` with the tracker/converter dispatch and
+        validation hoisted; the tracker and converter contribute their
+        own lowerings (bound methods by default, so any model in the
+        library — or a user subclass — stays exact).
+        """
+        from ..simulation.kernel.protocol import ensure_unmodified
+        ensure_unmodified(self, InputConditioner, "step")
+        tracker = self.tracker
+        lower_tracker = getattr(tracker, "lower_kernel", None)
+        tracker_step = lower_tracker(dt) if lower_tracker is not None \
+            else tracker.step
+        converter = self.converter
+        lower_conv = getattr(converter, "lower_output_kernel", None)
+        converter_out = lower_conv(dt) if lower_conv is not None \
+            else converter.output_power
+
+        def step(harvester, value: float, bus_v: float) -> HarvestStep:
+            decision = tracker_step(harvester, value, dt)
+            mpp_power = harvester.max_power(value)
+            voltage = decision.voltage
+            if not decision.harvesting or voltage <= 0:
+                return HarvestStep(0.0, 0.0, voltage, mpp_power)
+            raw = harvester.power_at(voltage, value) * decision.duty
+            delivered = converter_out(raw, voltage, bus_v)
+            if delivered == 0.0 and raw > 0.0:
+                # Converter shut down: the input stage disconnects the
+                # harvester, so nothing is actually extracted either.
+                raw = 0.0
+            return HarvestStep(raw, delivered, voltage, mpp_power)
+
+        return step
+
     def __repr__(self) -> str:
         return (f"InputConditioner(name={self.name!r}, tracker={self.tracker!r}, "
                 f"converter={self.converter!r})")
@@ -156,6 +194,58 @@ class OutputConditioner:
             return float("inf")
         return self.converter.input_power(demand_w, store_voltage,
                                           self.output_voltage)
+
+    # ------------------------------------------------------------------
+    # Kernel lowering (see repro.simulation.kernel)
+    # ------------------------------------------------------------------
+    def lower_kernel(self, dt: float):
+        """Lowered output stage (see repro.simulation.kernel.protocol).
+
+        The ``needed(demand_w, store_v)`` closure replicates
+        :meth:`input_power_for` — brown-out window first, then the
+        converter's inversion, which the converter itself lowers
+        (inlined fixed point for a buck-boost, identity for an ideal
+        stage, the bound method otherwise).
+        """
+        from ..simulation.kernel.protocol import OutputLowering, \
+            ensure_unmodified
+        ensure_unmodified(self, OutputConditioner,
+                          "input_power_for", "can_supply")
+        converter = self.converter
+        min_v = self.min_input_voltage
+        v_out = self.output_voltage
+        inf = float("inf")
+        probe = converter.efficiency
+        lower_conv = getattr(converter, "lower_input_kernel", None)
+        converter_in = lower_conv(dt) if lower_conv is not None \
+            else converter.input_power
+        conv_type = type(converter)
+        if conv_type is IdealConverter:
+            def needed(demand_w: float, store_v: float) -> float:
+                if demand_w == 0.0:
+                    return 0.0
+                if store_v < min_v:
+                    return inf
+                return demand_w  # unit efficiency: probe passes, p_in=p_out
+        elif conv_type is BuckBoostConverter:
+            # The specialized inversion already tests the (run-constant)
+            # voltage window, which is exactly can_supply's probe here.
+            def needed(demand_w: float, store_v: float) -> float:
+                if demand_w == 0.0:
+                    return 0.0
+                if store_v < min_v:
+                    return inf
+                return converter_in(demand_w, store_v, v_out)
+        else:
+            def needed(demand_w: float, store_v: float) -> float:
+                if demand_w == 0.0:
+                    return 0.0
+                if store_v < min_v:
+                    return inf
+                if probe(1e-3, store_v, v_out) <= 0.0:
+                    return inf
+                return converter_in(demand_w, store_v, v_out)
+        return OutputLowering(self, needed)
 
     def __repr__(self) -> str:
         return (f"OutputConditioner(name={self.name!r}, vout={self.output_voltage}, "

@@ -75,6 +75,27 @@ class Converter(abc.ABC):
             p_in = 0.5 * (p_in + p_new)
         return p_in
 
+    # ------------------------------------------------------------------
+    # Kernel lowering (see repro.simulation.kernel)
+    # ------------------------------------------------------------------
+    def lower_output_kernel(self, dt: float):
+        """Forward-conversion closure ``(p_in, v_in, v_out) -> p_out``.
+
+        The bound :meth:`output_power` is exact for every converter;
+        converter classes whose efficiency curve is cheap to inline
+        (ideal, buck-boost) return a specialized closure instead.
+        """
+        return self.output_power
+
+    def lower_input_kernel(self, dt: float):
+        """Inversion closure ``(p_out, v_in, v_out) -> p_in``.
+
+        The bound :meth:`input_power` — including its damped fixed-point
+        iteration and its early-exit tolerance — is exact for every
+        converter, so the base lowering simply returns it.
+        """
+        return self.input_power
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"
 
@@ -85,6 +106,31 @@ class IdealConverter(Converter):
 
     def efficiency(self, p_in: float, v_in: float, v_out: float) -> float:
         return 1.0
+
+    def lower_output_kernel(self, dt: float):
+        from ..simulation.kernel.protocol import overridden_methods
+
+        def output_power(p_in: float, v_in: float, v_out: float) -> float:
+            # p_in * 1.0 is p_in for every float.
+            return p_in
+
+        if overridden_methods(self, IdealConverter,
+                              "efficiency", "output_power"):
+            return self.output_power  # subclass physics: stay exact
+        return output_power
+
+    def lower_input_kernel(self, dt: float):
+        from ..simulation.kernel.protocol import overridden_methods
+
+        def input_power(p_out: float, v_in: float, v_out: float) -> float:
+            # The base fixed point converges on the first iteration at
+            # unit efficiency and returns p_out unchanged.
+            return p_out
+
+        if overridden_methods(self, IdealConverter,
+                              "efficiency", "input_power"):
+            return self.input_power
+        return input_power
 
 
 @register("converter", "buck_boost")
@@ -126,6 +172,61 @@ class BuckBoostConverter(Converter):
         if not self.min_input_voltage <= v_in <= self.max_input_voltage:
             return 0.0
         return self.peak_efficiency * p_in / (p_in + self.overhead_power)
+
+    def lower_output_kernel(self, dt: float):
+        """Forward conversion with the knee curve and window inlined."""
+        from ..simulation.kernel.protocol import overridden_methods
+        if overridden_methods(self, BuckBoostConverter,
+                              "efficiency", "output_power"):
+            return self.output_power  # Boost subclass etc.: bound = exact
+        peak = self.peak_efficiency
+        overhead = self.overhead_power
+        v_lo = self.min_input_voltage
+        v_hi = self.max_input_voltage
+
+        def output_power(p_in: float, v_in: float, v_out: float) -> float:
+            if p_in == 0.0:
+                return 0.0
+            if v_lo <= v_in <= v_hi:
+                return p_in * (peak * p_in / (p_in + overhead))
+            return p_in * 0.0
+
+        return output_power
+
+    def lower_input_kernel(self, dt: float):
+        """The damped fixed-point inversion with efficiency inlined."""
+        from ..simulation.kernel.protocol import overridden_methods
+        if overridden_methods(self, BuckBoostConverter,
+                              "efficiency", "input_power"):
+            return self.input_power
+        peak = self.peak_efficiency
+        overhead = self.overhead_power
+        v_lo = self.min_input_voltage
+        v_hi = self.max_input_voltage
+        inf = float("inf")
+
+        def input_power(p_out: float, v_in: float, v_out: float) -> float:
+            if p_out == 0.0:
+                return 0.0
+            if v_in < v_lo or v_in > v_hi:
+                return inf
+            # Same damped fixed point as Converter.input_power, with the
+            # (run-constant) voltage-window test hoisted out of the loop.
+            p_in = p_out
+            for _ in range(30):
+                eff = peak * p_in / (p_in + overhead)
+                if eff <= 0.0:
+                    return inf
+                p_new = p_out / eff
+                diff = p_new - p_in
+                if diff < 0.0:
+                    diff = -diff
+                if diff < 1e-12 * (p_in if p_in > 1.0 else 1.0):
+                    return p_new
+                p_in = 0.5 * (p_in + p_new)
+            return p_in
+
+        return input_power
 
 
 @register("converter", "boost")

@@ -97,6 +97,16 @@ class MPPTracker(abc.ABC):
     def step(self, harvester: Harvester, ambient: float, dt: float) -> TrackerStep:
         """Select the operating point for the coming ``dt`` seconds."""
 
+    def lower_kernel(self, dt: float):
+        """Kernel closure ``(harvester, ambient, dt) -> TrackerStep``.
+
+        Trackers are stateful strategy objects whose decisions the kernel
+        replays through their own code, so the bound :meth:`step` is the
+        lowering — exact for every tracker, built-in or user-defined.
+        Subclasses may override this to hoist run constants.
+        """
+        return self.step
+
     def reset(self) -> None:
         """Clear internal state (called on hot-swap of the harvester)."""
 

@@ -78,6 +78,15 @@ class EnergyManager(abc.ABC):
     def _policy(self, t: float, dt: float, system) -> None:
         """The actual decision logic, run once per control period."""
 
+    def lower_kernel(self, dt: float):
+        """Kernel closure ``(t, dt, system) -> None``.
+
+        Managers run their own policy code inside the kernel (it fires
+        once per control period, not per step), so the bound
+        :meth:`control` is the lowering — exact for every manager.
+        """
+        return self.control
+
 
 @register("manager", "static")
 class StaticManager(EnergyManager):

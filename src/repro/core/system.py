@@ -78,6 +78,42 @@ class HarvestingChannel:
         self.conditioner.reset()
         return old
 
+    # ------------------------------------------------------------------
+    # Kernel lowering (see repro.simulation.kernel)
+    # ------------------------------------------------------------------
+    def lower_kernel(self, dt: float):
+        """Lowered channel: ``step(ambient_value, bus_v) -> HarvestStep``.
+
+        The harvester and the enabled flag are read per step (managers
+        may disable channels mid-run); the conditioner chain is hoisted
+        — it can only change through a scheduled event, which recompiles
+        the plan.
+        """
+        from ..simulation.kernel.protocol import (
+            ChannelLowering,
+            LoweringUnsupported,
+            ensure_unmodified,
+        )
+        ensure_unmodified(self, HarvestingChannel, "step", "swap_harvester")
+        lower_cond = getattr(self.conditioner, "lower_kernel", None)
+        if lower_cond is None:
+            raise LoweringUnsupported(
+                f"channel {self.name!r}: conditioner "
+                f"{type(self.conditioner).__name__} has no kernel lowering")
+        conditioner_step = lower_cond(dt)
+        channel = self
+        zero = HarvestStep(0.0, 0.0, 0.0, 0.0)
+
+        def step(value: float, bus_v: float) -> HarvestStep:
+            if channel.enabled:
+                hs = conditioner_step(channel.harvester, value, bus_v)
+            else:
+                hs = zero
+            channel.last_step = hs
+            return hs
+
+        return ChannelLowering(channel, self.source_type, step)
+
     def __repr__(self) -> str:
         return (f"HarvestingChannel(name={self.name!r}, "
                 f"source={self.source_type.value}, enabled={self.enabled})")
@@ -270,6 +306,121 @@ class StorageBank:
         if recognized:
             self.beliefs[index] = StorageBelief.of(new_store)
         return old
+
+    # ------------------------------------------------------------------
+    # Kernel lowering (see repro.simulation.kernel)
+    # ------------------------------------------------------------------
+    def lower_kernel(self, dt: float):
+        """Lowered bank: routing composed over the stores' lowerings.
+
+        Every store must lower (chemistry-specific hooks, see
+        :meth:`repro.storage.EnergyStorage.lower_kernel`); the charge
+        cascade, diode-OR bus voltage, highest-voltage-first discharge
+        and backup fallback are inlined here. The ambient/backup
+        partition is hoisted — membership changes only through
+        :meth:`swap`, which only scheduled events perform, and events
+        recompile the plan. ``backup_enabled`` is read per call
+        (managers toggle it mid-run).
+        """
+        from ..simulation.kernel.protocol import (
+            BankLowering,
+            LoweringUnsupported,
+            ensure_unmodified,
+        )
+        ensure_unmodified(self, StorageBank, "charge", "discharge",
+                          "voltage", "idle", "ambient_stores",
+                          "backup_stores")
+        bank = self
+        lowered = []
+        for store in self.stores:
+            lower = getattr(store, "lower_kernel", None)
+            if lower is None:
+                raise LoweringUnsupported(
+                    f"store {store.name!r} ({type(store).__name__}) has no "
+                    f"kernel lowering")
+            lowered.append(lower(dt))
+        ambient = [lw for lw in lowered if not lw.store.is_backup]
+        backup = [lw for lw in lowered if lw.store.is_backup]
+        store_objects = tuple(lw.store for lw in lowered)
+        store_voltages = tuple(lw.voltage for lw in lowered)
+
+        def idle() -> None:
+            for lw in lowered:
+                lw.idle()
+
+        if len(lowered) == 1 and not backup:
+            # Single ambient store: the diode-OR, the cascade, and the
+            # sort all collapse to the store's own closures.
+            only = lowered[0]
+            only_charge = only.charge
+
+            def charge(power_w: float) -> float:
+                accepted = only_charge(power_w)
+                remaining = power_w - accepted
+                if remaining > 0.0:
+                    bank.spilled_j += remaining * dt
+                return accepted
+
+            return BankLowering(bank, only.voltage, charge, only.discharge,
+                                idle, None, store_objects, store_voltages)
+
+        ambient_pairs = [(lw, lw.store) for lw in ambient]
+        backup_pairs = [(lw, lw.store) for lw in backup]
+        backup_stores = [lw.store for lw in backup]
+        fallback_voltage = (ambient[0] if ambient else lowered[0]).voltage
+
+        def _voltage_key(lw) -> float:
+            return lw.voltage()
+
+        def voltage() -> float:
+            candidates = [lw.voltage() for lw, store in ambient_pairs
+                          if not store.is_empty()]
+            if bank.backup_enabled:
+                candidates += [lw.voltage() for lw, store in backup_pairs
+                               if not store.is_empty()]
+            if candidates:
+                return max(candidates)
+            return fallback_voltage()
+
+        def charge(power_w: float) -> float:
+            remaining = power_w
+            accepted = 0.0
+            for lw in ambient:
+                if remaining <= 0:
+                    break
+                taken = lw.charge(remaining)
+                accepted += taken
+                remaining -= taken
+            if remaining > 0.0:
+                bank.spilled_j += remaining * dt
+            return accepted
+
+        def discharge(power_w: float) -> float:
+            remaining = power_w
+            delivered = 0.0
+            for lw in sorted(ambient, key=_voltage_key, reverse=True):
+                if remaining <= 0:
+                    break
+                got = lw.discharge(remaining)
+                delivered += got
+                remaining -= got
+            if remaining > 1e-15 and bank.backup_enabled:
+                for lw in backup:
+                    if remaining <= 0:
+                        break
+                    got = lw.discharge(remaining)
+                    delivered += got
+                    remaining -= got
+            return delivered
+
+        if backup_stores:
+            def backup_energy() -> float:
+                return sum(store.energy_j for store in backup_stores)
+        else:
+            backup_energy = None
+
+        return BankLowering(bank, voltage, charge, discharge, idle,
+                            backup_energy, store_objects, store_voltages)
 
     def __repr__(self) -> str:
         return f"StorageBank(stores={self.stores!r})"
@@ -547,6 +698,50 @@ class MultiSourceSystem:
         if not 0 <= channel_index < len(self.channels):
             raise IndexError(f"no channel at index {channel_index}")
         return self.channels[channel_index].swap_harvester(new_harvester)
+
+    # ------------------------------------------------------------------
+    # Kernel lowering (see repro.simulation.kernel)
+    # ------------------------------------------------------------------
+    def lower_kernel(self, dt: float):
+        """Lower every component of this platform for the kernel.
+
+        Raises :exc:`~repro.simulation.kernel.protocol.
+        LoweringUnsupported` when any component genuinely has no
+        lowering, in which case the engine runs the legacy per-step
+        path. The platform's standing current is hoisted here: no
+        manager can change it mid-run, and scheduled events (which can,
+        via hot-swaps) recompile the plan.
+        """
+        from ..simulation.kernel.protocol import (
+            LoweringUnsupported,
+            SystemLowering,
+            ensure_unmodified,
+        )
+        ensure_unmodified(self, MultiSourceSystem, "step",
+                          "total_quiescent_current_a")
+
+        def lower_or_refuse(component, role: str):
+            lower = getattr(component, "lower_kernel", None)
+            if lower is None:
+                raise LoweringUnsupported(
+                    f"{role} {type(component).__name__} has no kernel "
+                    f"lowering")
+            return lower(dt)
+
+        bank = lower_or_refuse(self.bank, "storage bank")
+        output = lower_or_refuse(self.output, "output stage")
+        channels = tuple(lower_or_refuse(channel, "channel")
+                         for channel in self.channels)
+        node = lower_or_refuse(self.node, "node")
+        manager = self.manager
+        if manager is None:
+            control = None
+        else:
+            lower_manager = getattr(manager, "lower_kernel", None)
+            control = lower_manager(dt) if lower_manager is not None \
+                else manager.control
+        return SystemLowering(self, bank, channels, output, node, control,
+                              self.total_quiescent_current_a, self.bus)
 
     def __repr__(self) -> str:
         return (f"MultiSourceSystem(name={self.architecture.short_name!r}, "

@@ -208,6 +208,24 @@ class WirelessSensorNode:
         self.total_energy_j += consumed * dt
         return NodeStepResult(NodeState.RUNNING, demand, consumed, done, done)
 
+    # ------------------------------------------------------------------
+    # Kernel lowering (see repro.simulation.kernel)
+    # ------------------------------------------------------------------
+    def lower_kernel(self, dt: float):
+        """Lowered node: the demand/step state machine, bound.
+
+        The node's brown-out/reboot state machine runs through its own
+        (already memoized) methods inside the kernel, so the bound
+        methods are the lowering — exact for this class; a subclass
+        that overrides the state machine has no lowering and drops the
+        system to the legacy path.
+        """
+        from ..simulation.kernel.protocol import NodeLowering, \
+            ensure_unmodified
+        ensure_unmodified(self, WirelessSensorNode, "demand_power", "step",
+                          "measurement_energy", "_reboot_power")
+        return NodeLowering(self, self.demand_power, self.step)
+
     def __repr__(self) -> str:
         return (f"WirelessSensorNode(state={self.state.value}, "
                 f"interval={self.measurement_interval_s:.0f}s, "

@@ -3,15 +3,20 @@
 Execution paths
 ---------------
 ``simulate()`` / :class:`Simulator` drive one system against one
-environment; by default (``fast="auto"``) a vectorized fast path handles
-eligible systems with bit-for-bit identical results (see
-:mod:`repro.simulation._fastpath`). :class:`SweepRunner` fans whole grids
-of :class:`ScenarioSpec` across worker processes for the comparative
-studies.
+environment; by default (``fast="auto"``) the composable kernel
+(:mod:`repro.simulation.kernel`) lowers every component to specialized
+per-step closures and executes with bit-for-bit identical results —
+all seven Table I systems are inside its envelope. ``fast=True``
+requires the kernel (raising :exc:`KernelFallback` if a mid-run event
+leaves it), ``fast=False`` forces the legacy per-step path, and
+:attr:`SimulationResult.execution_path` reports which path actually
+ran. :class:`SweepRunner` fans whole grids of :class:`ScenarioSpec`
+across worker processes for the comparative studies.
 """
 
 from .engine import SimulationResult, Simulator, simulate
 from .events import EventSchedule, SimEvent, swap_harvester_event, swap_storage_event
+from .kernel import KernelFallback, KernelPlan, LoweringUnsupported
 from .metrics import RunMetrics, compute_metrics
 from .recorder import Recorder
 from .sweep import ScenarioResult, ScenarioSpec, SweepResult, SweepRunner
@@ -31,4 +36,7 @@ __all__ = [
     "ScenarioResult",
     "SweepResult",
     "SweepRunner",
+    "KernelPlan",
+    "KernelFallback",
+    "LoweringUnsupported",
 ]

@@ -17,12 +17,16 @@ Two execution paths produce bit-for-bit identical results:
 
 * the **legacy per-step path** — ``environment.sample`` + ``system.step``
   per step, retaining full :class:`SystemStepRecord` objects;
-* the **vectorized fast path** (``fast="auto"``/``True``) — ambient
-  channels pre-materialized into a dense matrix by
-  :class:`~repro.environment.CompiledEnvironment` and the hot loop run by
-  a specialized kernel (:mod:`repro.simulation._fastpath`) that writes
-  the recorder's columnar arrays directly. Systems outside the kernel's
-  envelope fall back to the legacy path transparently.
+* the **compiled kernel** (``fast="auto"``/``True``) — ambient channels
+  pre-materialized into a dense matrix by
+  :class:`~repro.environment.CompiledEnvironment`, every component
+  lowered to specialized per-step closures
+  (:mod:`repro.simulation.kernel`), and the hot loop writing the
+  recorder's columnar arrays directly. All seven Table I systems lower;
+  a system with a component that has no lowering (e.g. a user subclass
+  overriding storage physics) falls back to the legacy path
+  transparently under ``fast="auto"`` — and *loudly* under
+  ``fast=True``, which raises instead of quietly degrading.
 """
 
 from __future__ import annotations
@@ -30,8 +34,9 @@ from __future__ import annotations
 from ..core.system import MultiSourceSystem
 from ..environment.ambient import Environment
 from ..environment.compiled import CompiledEnvironment
-from . import _fastpath
 from .events import EventSchedule, SimEvent
+from .kernel.plan import KernelPlan, run_plan, why_ineligible
+from .kernel.protocol import LoweringUnsupported
 from .metrics import RunMetrics, compute_metrics
 from .recorder import Recorder
 
@@ -42,16 +47,20 @@ class SimulationResult:
     """Bundle of a run's recorder, metrics, and final system state."""
 
     def __init__(self, system: MultiSourceSystem, recorder: Recorder,
-                 metrics: RunMetrics):
+                 metrics: RunMetrics, execution_path: str = "legacy"):
         self.system = system
         self.recorder = recorder
         self.metrics = metrics
+        #: Which engine path actually ran: ``"kernel"``, ``"legacy"``,
+        #: or ``"kernel+legacy"`` (a mid-run event forced a fallback).
+        self.execution_path = execution_path
 
     def __repr__(self) -> str:
         m = self.metrics
         return (f"SimulationResult(uptime={m.uptime_fraction:.3f}, "
                 f"harvested={m.harvested_delivered_j:.1f} J, "
-                f"measurements={m.measurements:.0f})")
+                f"measurements={m.measurements:.0f}, "
+                f"path={self.execution_path})")
 
 
 class Simulator:
@@ -69,11 +78,17 @@ class Simulator:
     dt:
         Override simulation step, seconds.
     fast:
-        ``"auto"`` (default) uses the vectorized fast path when the
-        system is inside the kernel's envelope and falls back to the
-        legacy per-step path otherwise; ``True`` requires the fast path
-        (ValueError if unsupported); ``False`` forces the legacy path.
-        Both paths produce bit-for-bit identical recorded columns.
+        ``"auto"`` (default) compiles the system onto the kernel
+        (:mod:`repro.simulation.kernel`) when every component lowers,
+        and falls back to the legacy per-step path otherwise — including
+        mid-run, when a scheduled event swaps in a component without a
+        lowering. ``True`` *requires* the kernel: construction raises
+        ``ValueError`` for an ineligible system, and a mid-run fallback
+        raises :exc:`~repro.simulation.kernel.KernelFallback` instead of
+        silently degrading. ``False`` forces the legacy path. Both paths
+        produce bit-for-bit identical recorded columns; the path that
+        actually ran is reported as :attr:`SimulationResult.
+        execution_path` / :attr:`last_execution_path`.
     """
 
     def __init__(self, system: MultiSourceSystem, environment: Environment,
@@ -85,10 +100,12 @@ class Simulator:
             raise ValueError("dt must be positive")
         if fast not in ("auto", True, False):
             raise ValueError(f"fast must be 'auto', True or False, got {fast!r}")
-        if fast is True and not _fastpath.eligible(system):
-            raise ValueError(
-                "fast=True but the system is outside the fast-path kernel's "
-                "envelope (see repro.simulation._fastpath.eligible)")
+        if fast is True:
+            reason = why_ineligible(system, self.dt)
+            if reason is not None:
+                raise ValueError(
+                    f"fast=True but the system is outside the kernel "
+                    f"envelope: {reason}")
         self.fast = fast
         if isinstance(events, EventSchedule):
             self.events = events
@@ -99,6 +116,8 @@ class Simulator:
             )
         self._t0 = 0.0
         self._steps_done = 0  # integer step counter; exact for any length
+        #: Execution path of the most recent :meth:`run` (None before).
+        self.last_execution_path: str | None = None
 
     @property
     def time(self) -> float:
@@ -124,17 +143,27 @@ class Simulator:
             raise ValueError("duration must be positive")
         n_steps = max(1, int(round(duration / self.dt)))
         system, dt, t0 = self.system, self.dt, self._t0
-        use_fast = self.fast in ("auto", True) and _fastpath.eligible(system)
-        recorder = Recorder(dt, keep_records=not use_fast)
+        plan = None
+        if self.fast in ("auto", True):
+            try:
+                plan = KernelPlan.compile(system, dt)
+            except LoweringUnsupported as exc:
+                if self.fast is True:
+                    raise ValueError(
+                        f"fast=True but the system is outside the kernel "
+                        f"envelope: {exc}") from exc
+        recorder = Recorder(dt, keep_records=plan is None)
         recorder.reserve(n_steps, len(system.bank.stores),
                          len(system.channels))
         i = 0
-        if use_fast:
+        path = "legacy"
+        if plan is not None:
             compiled = CompiledEnvironment(
                 self.environment, t0, n_steps, dt,
                 step_offset=self._steps_done)
-            i = _fastpath.run_kernel(system, compiled, self.events, recorder,
-                                     n_steps, dt)
+            i = run_plan(plan, compiled, self.events, recorder, n_steps, dt,
+                         strict=self.fast is True)
+            path = "kernel" if i == n_steps else "kernel+legacy"
         # Legacy per-step path — also the landing strip when an event
         # pushed the system outside the kernel's envelope mid-run.
         environment, events = self.environment, self.events
@@ -147,7 +176,9 @@ class Simulator:
             recorder.append(record)
             i += 1
         self._steps_done += n_steps
-        return SimulationResult(system, recorder, compute_metrics(recorder))
+        self.last_execution_path = path
+        return SimulationResult(system, recorder, compute_metrics(recorder),
+                                execution_path=path)
 
 
 def simulate(system: MultiSourceSystem, environment: Environment,

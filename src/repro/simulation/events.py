@@ -8,6 +8,7 @@ mid-run hardware changes against a running system.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 __all__ = ["SimEvent", "EventSchedule", "swap_storage_event", "swap_harvester_event"]
@@ -51,8 +52,30 @@ class EventSchedule:
             self.fired.append(event)
             yield event
 
+    def peek(self) -> SimEvent | None:
+        """The next pending event, without consuming it (None if done).
+
+        This (with :meth:`next_time` and :attr:`pending`) is the public
+        read API consumers such as the kernel use — the ``_events`` /
+        ``_next`` internals are an implementation detail.
+        """
+        if self._next < len(self._events):
+            return self._events[self._next]
+        return None
+
+    def next_time(self) -> float:
+        """Fire time of the next pending event (``inf`` when exhausted).
+
+        Stable between :meth:`due` calls — events cannot be added once
+        the schedule has started — so hot loops may hoist it and refresh
+        only after draining :meth:`due`.
+        """
+        event = self.peek()
+        return event.time if event is not None else math.inf
+
     @property
     def pending(self) -> int:
+        """Number of events not yet fired."""
         return len(self._events) - self._next
 
     def __len__(self) -> int:

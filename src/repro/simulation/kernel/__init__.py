@@ -1,0 +1,36 @@
+"""Composable kernel: per-component lowering for the fast path.
+
+Replaces the monolithic single-supercapacitor ``_fastpath`` kernel with a
+component lowering protocol (:mod:`~repro.simulation.kernel.protocol`)
+and a composition/driver layer (:mod:`~repro.simulation.kernel.plan`).
+Every component type — storage chemistries, converters and trackers,
+managers, the node — exposes a ``lower_kernel(dt)`` hook emitting
+specialized per-step closures, so *every* Table I system (A–G) executes
+on the kernel with recorded columns bit-for-bit identical to the legacy
+per-step path. See ``docs/kernel.md`` for the protocol and for how to
+add a lowering to a new component type.
+
+Only :mod:`.protocol` is imported eagerly (it has no repro dependencies,
+so component modules can import it without cycles); the plan layer loads
+on first attribute access.
+"""
+
+from .protocol import KernelFallback, LoweringUnsupported
+
+__all__ = [
+    "KernelFallback",
+    "LoweringUnsupported",
+    "KernelPlan",
+    "eligible",
+    "why_ineligible",
+    "run_plan",
+]
+
+_PLAN_EXPORTS = ("KernelPlan", "eligible", "why_ineligible", "run_plan")
+
+
+def __getattr__(name: str):
+    if name in _PLAN_EXPORTS:
+        from . import plan
+        return getattr(plan, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

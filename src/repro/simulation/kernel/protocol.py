@@ -1,0 +1,187 @@
+"""Component lowering protocol for the composable kernel.
+
+The kernel executes a simulation with the interpreter overhead of the
+legacy per-step path removed, while staying **bit-for-bit identical** to
+it. Instead of one hand-inlined special case (the old
+``repro.simulation._fastpath`` supported single-supercapacitor systems
+only), every component type *lowers itself*: it exposes a
+``lower_kernel(dt) -> <Lowering>`` hook that emits specialized per-step
+closures over hoisted run constants, and a
+:class:`~repro.simulation.kernel.plan.KernelPlan` composes the lowered
+pieces for an arbitrary :class:`~repro.core.MultiSourceSystem`.
+
+Contract for every lowering closure:
+
+* **Exactness** — a closure performs the same floating-point operations
+  in the same order as the component method it replaces. Hoisting is
+  only allowed for subexpressions whose value cannot change between
+  steps (run constants), and expressions must be copied operator by
+  operator (e.g. ``0.5 * c * v ** 2`` hoists to ``half_c = 0.5 * c``
+  then ``half_c * v ** 2`` — the same association order).
+* **Live state** — closures read and write the component's *own
+  attributes* directly, never shadow copies, so managers, monitors, bus
+  devices, and scheduled events observe exactly the state they would see
+  on the legacy path at every step boundary.
+* **Capability, not trust** — a lowering that inlines arithmetic must
+  refuse instances whose class overrides the methods being inlined
+  (:func:`ensure_unmodified`); such a component *genuinely has no
+  lowering* and the whole system falls back to the legacy path. Closures
+  that merely call a bound method (e.g. a tracker's ``step``) are exact
+  for any subclass and never refuse.
+
+A hook signals "no lowering" by raising :exc:`LoweringUnsupported`; the
+plan converts that into legacy fallback (or a hard error under
+``fast=True`` strict mode, see :exc:`KernelFallback`).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "LoweringUnsupported",
+    "KernelFallback",
+    "ensure_unmodified",
+    "overridden_methods",
+    "StoreLowering",
+    "BankLowering",
+    "ChannelLowering",
+    "OutputLowering",
+    "NodeLowering",
+    "SystemLowering",
+]
+
+
+class LoweringUnsupported(Exception):
+    """A component has no kernel lowering; the system runs legacy."""
+
+
+class KernelFallback(RuntimeError):
+    """Raised under ``fast=True`` when a mid-run event pushes the system
+    outside the kernel envelope.
+
+    With ``fast="auto"`` the engine degrades to the legacy path
+    transparently; strict mode promised the kernel, so quietly running
+    an order of magnitude slower would be a lie — it raises instead.
+    """
+
+
+def _resolve(cls: type, name: str):
+    """The attribute ``cls`` actually uses for ``name`` (MRO walk)."""
+    for klass in cls.__mro__:
+        if name in klass.__dict__:
+            return klass.__dict__[name]
+    return None
+
+
+def overridden_methods(obj, base: type, *names: str) -> list:
+    """Which of ``names`` ``type(obj)`` resolves differently from ``base``."""
+    cls = type(obj)
+    return [name for name in names
+            if _resolve(cls, name) is not _resolve(base, name)]
+
+
+def ensure_unmodified(obj, base: type, *names: str) -> None:
+    """Refuse to lower an instance whose class overrides inlined methods.
+
+    Raises :exc:`LoweringUnsupported` naming the offending methods — the
+    subclass may legitimately change the physics the lowering would
+    inline, so the only safe answer is "no lowering" (the subclass can
+    define its own ``lower_kernel`` / ``_kernel_*`` hook to opt back in).
+    """
+    changed = overridden_methods(obj, base, *names)
+    if changed:
+        raise LoweringUnsupported(
+            f"{type(obj).__name__} overrides {', '.join(changed)}() of "
+            f"{base.__name__} and defines no kernel lowering of its own")
+
+
+class StoreLowering:
+    """Lowered energy store: per-step closures sharing the store's state.
+
+    ``voltage() -> V``, ``charge(power_w) -> accepted_w``,
+    ``discharge(power_w) -> delivered_w`` and ``idle()`` replicate the
+    store's methods with ``dt`` baked in and validation hoisted out.
+    """
+
+    __slots__ = ("store", "voltage", "charge", "discharge", "idle")
+
+    def __init__(self, store, voltage, charge, discharge, idle):
+        self.store = store
+        self.voltage = voltage
+        self.charge = charge
+        self.discharge = discharge
+        self.idle = idle
+
+
+class BankLowering:
+    """Lowered storage bank: routing composed over store lowerings."""
+
+    __slots__ = ("bank", "voltage", "charge", "discharge", "idle",
+                 "backup_energy", "store_objects", "store_voltages")
+
+    def __init__(self, bank, voltage, charge, discharge, idle,
+                 backup_energy, store_objects, store_voltages):
+        self.bank = bank
+        self.voltage = voltage
+        self.charge = charge
+        self.discharge = discharge
+        self.idle = idle
+        #: () -> total backup-store energy (J), or None when the bank has
+        #: no backup stores (the backup_power column is then constant 0).
+        self.backup_energy = backup_energy
+        #: Stores in bank order, for the recorder's per-store energy
+        #: column (energy_j is an attribute read on both paths).
+        self.store_objects = store_objects
+        #: Terminal-voltage closures in bank order (per-store column).
+        self.store_voltages = store_voltages
+
+
+class ChannelLowering:
+    """Lowered harvesting channel: ``step(ambient_value, bus_v)``."""
+
+    __slots__ = ("channel", "source_type", "step")
+
+    def __init__(self, channel, source_type, step):
+        self.channel = channel
+        self.source_type = source_type
+        self.step = step
+
+
+class OutputLowering:
+    """Lowered output stage: ``needed(demand_w, store_v) -> input W``."""
+
+    __slots__ = ("output", "needed")
+
+    def __init__(self, output, needed):
+        self.output = output
+        self.needed = needed
+
+
+class NodeLowering:
+    """Lowered node: ``demand() -> W`` and ``step(supplied_w, dt)``."""
+
+    __slots__ = ("node", "demand", "step")
+
+    def __init__(self, node, demand, step):
+        self.node = node
+        self.demand = demand
+        self.step = step
+
+
+class SystemLowering:
+    """Every lowered piece of one system, ready for plan composition."""
+
+    __slots__ = ("system", "bank", "channels", "output", "node",
+                 "manager_control", "quiescent_a", "bus")
+
+    def __init__(self, system, bank, channels, output, node,
+                 manager_control, quiescent_a, bus):
+        self.system = system
+        self.bank = bank
+        self.channels = channels
+        self.output = output
+        self.node = node
+        #: (t, dt, system) -> None, or None for unmanaged platforms.
+        self.manager_control = manager_control
+        #: Hoisted MultiSourceSystem.total_quiescent_current_a.
+        self.quiescent_a = quiescent_a
+        self.bus = bus

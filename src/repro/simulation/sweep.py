@@ -106,6 +106,9 @@ class ScenarioResult:
     metrics: RunMetrics
     n_steps: int
     extras: dict
+    #: Engine path that actually ran this scenario ("kernel", "legacy",
+    #: or "kernel+legacy" after a mid-run fallback).
+    execution_path: str = "legacy"
 
     def row(self) -> dict:
         """Flat tidy-table row: name, params, metric fields, extras."""
@@ -113,6 +116,7 @@ class ScenarioResult:
         row.update(self.params)
         row.update(dataclasses.asdict(self.metrics))
         row.update(self.extras)
+        row["execution_path"] = self.execution_path
         return row
 
 
@@ -203,6 +207,7 @@ def _execute(payload) -> ScenarioResult:
         metrics=result.metrics,
         n_steps=len(result.recorder),
         extras=extras,
+        execution_path=result.execution_path,
     )
 
 

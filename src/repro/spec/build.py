@@ -21,6 +21,8 @@ module must never import them back at import time.
 
 from __future__ import annotations
 
+import dataclasses
+
 from .registry import REGISTRY
 from .specs import ComponentSpec, EnvironmentSpec, RunSpec, SweepSpec, SystemSpec
 
@@ -169,17 +171,25 @@ def to_scenario(spec: RunSpec):
     )
 
 
-def run_sweep(spec: SweepSpec, *, processes: int | None = None):
+def run_sweep(spec: SweepSpec, *, processes: int | None = None, fast=None):
     """Execute every run of a sweep spec via
     :class:`~repro.simulation.SweepRunner`; returns a
-    :class:`~repro.simulation.SweepResult` in input order."""
+    :class:`~repro.simulation.SweepResult` in input order.
+
+    ``fast`` (when given) overrides the engine-path selection of every
+    scenario — how the CLI's ``--fast on/off`` reaches a sweep.
+    """
     from ..simulation.sweep import SweepRunner
     if not isinstance(spec, SweepSpec):
         raise TypeError(f"run_sweep() takes a SweepSpec, "
                         f"got {type(spec).__name__}")
     effective = spec.processes if processes is None else processes
-    runner = SweepRunner(processes=effective, fast=spec.fast)
-    return runner.run([to_scenario(run_spec) for run_spec in spec.runs])
+    runner = SweepRunner(processes=effective,
+                         fast=spec.fast if fast is None else fast)
+    scenarios = [to_scenario(run_spec) for run_spec in spec.runs]
+    if fast is not None:
+        scenarios = [dataclasses.replace(s, fast=fast) for s in scenarios]
+    return runner.run(scenarios)
 
 
 def describe_registry(category: str | None = None) -> dict:

@@ -170,6 +170,112 @@ class EnergyStorage(abc.ABC):
         self.energy_j -= lost
         return lost
 
+    # ------------------------------------------------------------------
+    # Kernel lowering (see repro.simulation.kernel)
+    # ------------------------------------------------------------------
+    def lower_kernel(self, dt: float):
+        """Lower this store to kernel closures.
+
+        Composed from four hooks — :meth:`_kernel_voltage`,
+        :meth:`_kernel_charge`, :meth:`_kernel_discharge`,
+        :meth:`_kernel_idle` — so a chemistry overrides only the physics
+        it specializes. Each hook either returns a closure that is
+        bit-for-bit equivalent to the corresponding method or raises
+        :exc:`~repro.simulation.kernel.protocol.LoweringUnsupported`
+        (e.g. for a subclass that overrides the inlined arithmetic),
+        which drops the whole system to the legacy path.
+        """
+        from ..simulation.kernel.protocol import StoreLowering
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        return StoreLowering(self, self._kernel_voltage(dt),
+                             self._kernel_charge(dt),
+                             self._kernel_discharge(dt),
+                             self._kernel_idle(dt))
+
+    def _kernel_voltage(self, dt: float):
+        """Terminal-voltage closure. The bound method is exact for any
+        chemistry; subclasses may return an inlined specialization."""
+        return self.voltage
+
+    def _kernel_charge(self, dt: float):
+        """Inlined :meth:`charge` with run constants hoisted."""
+        from ..simulation.kernel.protocol import ensure_unmodified
+        ensure_unmodified(self, EnergyStorage, "charge", "headroom_j")
+        store = self
+        rechargeable = self.rechargeable
+        max_c = self.max_charge_w
+        eff_c = self.charge_efficiency
+        eff_dt = dt * eff_c
+
+        def charge(power_w: float) -> float:
+            if not rechargeable or power_w == 0.0:
+                return 0.0
+            accepted = power_w if power_w <= max_c else max_c
+            stored = accepted * dt * eff_c
+            headroom = store.capacity_j - store.energy_j
+            if headroom < 0.0:
+                headroom = 0.0
+            if stored > headroom:
+                stored = headroom
+                accepted = stored / eff_dt
+            store.energy_j += stored
+            store.total_charged_j += stored
+            return accepted
+
+        return charge
+
+    def _kernel_discharge(self, dt: float):
+        """Inlined :meth:`discharge` with run constants hoisted."""
+        from ..simulation.kernel.protocol import ensure_unmodified
+        ensure_unmodified(self, EnergyStorage, "discharge")
+        return self._kernel_base_discharge(dt)
+
+    def _kernel_base_discharge(self, dt: float):
+        """The base-class discharge closure, without the override guard.
+
+        Chemistries whose ``discharge`` wraps ``super().discharge`` (the
+        fuel cell's warm-up ramp) reuse this for the inner call — the
+        ``super()`` call is lexically bound to this class, so the closure
+        stays exact even though the subclass overrides ``discharge``.
+        """
+        store = self
+        max_d = self.max_discharge_w
+        eff_d = self.discharge_efficiency
+
+        def discharge(power_w: float) -> float:
+            if power_w == 0.0:
+                return 0.0
+            deliverable = power_w if power_w <= max_d else max_d
+            drawn = deliverable * dt / eff_d
+            if drawn > store.energy_j:
+                drawn = store.energy_j
+                deliverable = drawn * eff_d / dt
+            store.energy_j -= drawn
+            store.total_discharged_j += drawn
+            return deliverable
+
+        return discharge
+
+    def _kernel_idle(self, dt: float):
+        """Inlined :meth:`step_idle` with the decay factor hoisted."""
+        from ..simulation.kernel.protocol import ensure_unmodified
+        ensure_unmodified(self, EnergyStorage, "step_idle")
+        return self._kernel_base_idle(dt)
+
+    def _kernel_base_idle(self, dt: float):
+        """The base-class self-discharge closure, without the guard."""
+        store = self
+        sd = self.self_discharge_per_day
+        keep = (1.0 - sd) ** (dt / 86_400.0)
+
+        def idle() -> None:
+            if sd <= 0.0 or store.energy_j <= 0.0:
+                return
+            store.energy_j -= store.energy_j * (1.0 - keep)
+
+        return idle
+
     def __repr__(self) -> str:
         return (f"{type(self).__name__}(name={self.name!r}, "
                 f"soc={self.soc:.3f}, capacity={self.capacity_j:.1f} J)")

@@ -113,6 +113,37 @@ class ChemistryBattery(EnergyStorage):
         """Full-equivalent cycles consumed so far."""
         return self.total_discharged_j / self.capacity_j
 
+    # ------------------------------------------------------------------
+    # Kernel lowering (see repro.simulation.kernel)
+    # ------------------------------------------------------------------
+    def _kernel_voltage(self, dt: float):
+        """Inlined :meth:`voltage` with the OCV polyline hoisted.
+
+        Charge/discharge/idle lower through the
+        :class:`~repro.storage.base.EnergyStorage` base hooks — battery
+        chemistries parameterize the base physics, they do not override
+        it.
+        """
+        from ..simulation.kernel.protocol import ensure_unmodified
+        ensure_unmodified(self, ChemistryBattery, "voltage", "soc")
+        store = self
+        socs, volts = self._ocv_soc, self._ocv_v
+        soc_lo, soc_hi = socs[0], socs[-1]
+        v_lo, v_hi = volts[0], volts[-1]
+        bisect_right = bisect.bisect_right
+
+        def voltage() -> float:
+            s = store.energy_j / store.capacity_j
+            if s <= soc_lo:
+                return v_lo
+            if s >= soc_hi:
+                return v_hi
+            i = bisect_right(socs, s)
+            frac = (s - socs[i - 1]) / (socs[i] - socs[i - 1])
+            return volts[i - 1] + frac * (volts[i] - volts[i - 1])
+
+        return voltage
+
 
 @register("storage", "li_ion")
 class LiIonBattery(ChemistryBattery):

@@ -111,3 +111,66 @@ class HydrogenFuelCell(EnergyStorage):
     @property
     def fuel_remaining_fraction(self) -> float:
         return self.soc
+
+    # ------------------------------------------------------------------
+    # Kernel lowering (see repro.simulation.kernel)
+    # ------------------------------------------------------------------
+    def _kernel_voltage(self, dt: float):
+        from ..simulation.kernel.protocol import ensure_unmodified
+        ensure_unmodified(self, HydrogenFuelCell, "voltage")
+        store = self
+        out_v = self.output_voltage
+
+        def voltage() -> float:
+            return out_v if store.energy_j > 0 else 0.0
+
+        return voltage
+
+    def _kernel_discharge(self, dt: float):
+        """Inlined :meth:`discharge`: warm-up ramp + base discharge."""
+        from ..simulation.kernel.protocol import ensure_unmodified
+        ensure_unmodified(self, HydrogenFuelCell, "discharge",
+                          "available_power", "is_warm", "_cool")
+        base_discharge = self._kernel_base_discharge(dt)
+        store = self
+        max_d = self.max_discharge_w
+        startup = self.startup_time
+        warm_cap = startup + dt
+
+        def discharge(power_w: float) -> float:
+            if power_w == 0.0:
+                # Not being used this step: the stack cools down.
+                store._warmup = max(0.0, store._warmup - dt)
+                return 0.0
+            if store._warmup == 0.0 and store.energy_j > 0:
+                store.starts += 1
+            # available_power(), inlined.
+            if store.energy_j <= 0:
+                ceiling = 0.0
+            elif startup == 0 or store._warmup >= startup:
+                ceiling = max_d
+            else:
+                ceiling = max_d * (store._warmup / startup)
+            if ceiling > 0:
+                delivered = base_discharge(
+                    power_w if power_w <= ceiling else ceiling)
+            else:
+                delivered = 0.0
+            warmed = store._warmup + dt
+            store._warmup = warmed if warmed <= warm_cap else warm_cap
+            return delivered
+
+        return discharge
+
+    def _kernel_idle(self, dt: float):
+        """Base self-discharge (zero for a sealed cartridge) + cooling."""
+        from ..simulation.kernel.protocol import ensure_unmodified
+        ensure_unmodified(self, HydrogenFuelCell, "step_idle", "_cool")
+        base_idle = self._kernel_base_idle(dt)
+        store = self
+
+        def idle() -> None:
+            base_idle()
+            store._warmup = max(0.0, store._warmup - dt)
+
+        return idle

@@ -81,3 +81,53 @@ class LithiumIonCapacitor(EnergyStorage):
         lost = max(0.0, self.energy_j - e_new)
         self.energy_j -= lost
         return lost
+
+    # ------------------------------------------------------------------
+    # Kernel lowering (see repro.simulation.kernel)
+    # ------------------------------------------------------------------
+    def _kernel_voltage(self, dt: float):
+        """Inlined :meth:`voltage`: E = C/2 (V^2 - Vmin^2) inverted."""
+        from ..simulation.kernel.protocol import ensure_unmodified
+        ensure_unmodified(self, LithiumIonCapacitor, "voltage")
+        store = self
+        cap = self.capacitance_f
+        min_v2 = self.min_voltage ** 2
+        max_v = self.max_voltage
+        sqrt = math.sqrt
+
+        def voltage() -> float:
+            v_sq = min_v2 + 2.0 * store.energy_j / cap
+            v = sqrt(v_sq)
+            return max_v if max_v <= v else v
+
+        return voltage
+
+    def _kernel_idle(self, dt: float):
+        """Inlined :meth:`step_idle` with the RC decay factor hoisted."""
+        from ..simulation.kernel.protocol import ensure_unmodified
+        ensure_unmodified(self, LithiumIonCapacitor, "step_idle", "voltage")
+        store = self
+        cap = self.capacitance_f
+        half_cap = 0.5 * cap
+        min_v = self.min_voltage
+        min_v2 = min_v ** 2
+        max_v = self.max_voltage
+        decay = math.exp(-dt / (self.leakage_resistance * cap))
+        sqrt = math.sqrt
+
+        def idle() -> None:
+            v_sq = min_v2 + 2.0 * store.energy_j / cap
+            v = sqrt(v_sq)
+            if v > max_v:
+                v = max_v
+            if v <= min_v or store.energy_j <= 0:
+                return
+            v_new = v * decay
+            if v_new < min_v:
+                v_new = min_v
+            e_new = half_cap * (v_new ** 2 - min_v2)
+            lost = store.energy_j - e_new
+            if lost > 0.0:
+                store.energy_j -= lost
+
+        return idle

@@ -185,3 +185,127 @@ class Supercapacitor(EnergyStorage):
     def leakage_power(self) -> float:
         """Instantaneous terminal leakage power V^2/R (W), for reports."""
         return self.v_fast ** 2 / self.leakage_resistance
+
+    # ------------------------------------------------------------------
+    # Kernel lowering (see repro.simulation.kernel)
+    # ------------------------------------------------------------------
+    def _kernel_consts(self, dt: float) -> tuple:
+        """Hoisted three-branch run constants, shared by the hooks."""
+        c_fast = self.c_fast
+        half_cf = 0.5 * c_fast
+        min_v2 = self.min_voltage ** 2
+        return (
+            c_fast,
+            self.c_slow,
+            0.5 * self.c_slow,
+            self.capacitance_f,
+            self.capacity_j,
+            min_v2,
+            half_cf * self.rated_voltage ** 2,   # fast-branch full energy
+            half_cf * min_v2,                    # fast-branch energy floor
+            half_cf,
+            1.0 - math.exp(-dt / self.redistribution_tau),
+            math.exp(-dt / (self.leakage_resistance * c_fast)),
+        )
+
+    def _kernel_guard(self) -> None:
+        from ..simulation.kernel.protocol import ensure_unmodified
+        ensure_unmodified(self, Supercapacitor, "charge", "discharge",
+                          "step_idle", "voltage", "_usable_energy",
+                          "_sync_energy")
+
+    def _kernel_sync(self, dt: float):
+        """Inlined :meth:`_sync_energy` over both branches."""
+        (c_fast, c_slow, half_cs, cap_f, capacity_j, min_v2, full_e,
+         floor_e, half_cf, alpha, leak) = self._kernel_consts(dt)
+        store = self
+
+        def sync() -> None:
+            d_f = store.v_fast ** 2 - min_v2
+            usable = half_cf * (d_f if d_f > 0.0 else 0.0)
+            if c_slow > 0.0:
+                d_s = store.v_slow ** 2 - min_v2
+                usable += half_cs * (d_s if d_s > 0.0 else 0.0)
+            store.energy_j = usable if usable < capacity_j else capacity_j
+
+        return sync
+
+    def _kernel_voltage(self, dt: float):
+        self._kernel_guard()
+        store = self
+
+        def voltage() -> float:
+            return store.v_fast
+
+        return voltage
+
+    def _kernel_charge(self, dt: float):
+        self._kernel_guard()
+        (c_fast, c_slow, half_cs, cap_f, capacity_j, min_v2, full_e,
+         floor_e, half_cf, alpha, leak) = self._kernel_consts(dt)
+        store = self
+        sync = self._kernel_sync(dt)
+        sqrt = math.sqrt
+
+        def charge(power_w: float) -> float:
+            if power_w == 0.0:
+                return 0.0
+            e_fast = half_cf * store.v_fast ** 2
+            room = full_e - e_fast
+            if room < 0.0:
+                room = 0.0
+            delivered = power_w * dt
+            if delivered > room:
+                delivered = room
+            e_fast += delivered
+            store.v_fast = sqrt(2.0 * e_fast / c_fast)
+            sync()
+            store.total_charged_j += delivered
+            return delivered / dt
+
+        return charge
+
+    def _kernel_discharge(self, dt: float):
+        self._kernel_guard()
+        (c_fast, c_slow, half_cs, cap_f, capacity_j, min_v2, full_e,
+         floor_e, half_cf, alpha, leak) = self._kernel_consts(dt)
+        store = self
+        sync = self._kernel_sync(dt)
+        sqrt = math.sqrt
+        max_d = self.max_discharge_w
+
+        def discharge(power_w: float) -> float:
+            if power_w == 0.0:
+                return 0.0
+            deliverable = power_w if power_w <= max_d else max_d
+            e_fast = half_cf * store.v_fast ** 2
+            available = e_fast - floor_e
+            if available < 0.0:
+                available = 0.0
+            drawn = deliverable * dt
+            if drawn > available:
+                drawn = available
+            e_fast -= drawn
+            store.v_fast = sqrt(2.0 * e_fast / c_fast)
+            sync()
+            store.total_discharged_j += drawn
+            return drawn / dt
+
+        return discharge
+
+    def _kernel_idle(self, dt: float):
+        self._kernel_guard()
+        (c_fast, c_slow, half_cs, cap_f, capacity_j, min_v2, full_e,
+         floor_e, half_cf, alpha, leak) = self._kernel_consts(dt)
+        store = self
+        sync = self._kernel_sync(dt)
+
+        def idle() -> None:
+            if c_slow > 0.0:
+                v_eq = (c_fast * store.v_fast + c_slow * store.v_slow) / cap_f
+                store.v_fast += alpha * (v_eq - store.v_fast)
+                store.v_slow += alpha * (v_eq - store.v_slow)
+            store.v_fast *= leak
+            sync()
+
+        return idle

@@ -43,6 +43,22 @@ class TestSimulateCommand:
                      "--dt", "300"]) == 0
         assert "Plug-and-Play" in capsys.readouterr().out
 
+    def test_reports_execution_path_and_fast_flag(self, capsys):
+        assert main(["simulate", "A", "--days", "0.5", "--dt", "300"]) == 0
+        assert "execution path        kernel" in capsys.readouterr().out
+        assert main(["simulate", "A", "--days", "0.5", "--dt", "300",
+                     "--fast", "off"]) == 0
+        legacy_out = capsys.readouterr().out
+        assert "execution path        legacy" in legacy_out
+        assert main(["simulate", "A", "--days", "0.5", "--dt", "300",
+                     "--fast", "on"]) == 0
+        kernel_out = capsys.readouterr().out
+        assert "execution path        kernel" in kernel_out
+        # Same numbers either way: the paths are bit-for-bit equivalent.
+        strip = lambda s: [line for line in s.splitlines()  # noqa: E731
+                           if "execution path" not in line]
+        assert strip(kernel_out) == strip(legacy_out)
+
     def test_seed_changes_output(self, capsys):
         main(["simulate", "A", "--days", "0.5", "--dt", "300",
               "--seed", "1"])

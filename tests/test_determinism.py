@@ -22,7 +22,9 @@ from repro.harvesters import (
     ThermoelectricGenerator,
 )
 from repro.simulation import SimEvent, Simulator, simulate, swap_storage_event
-from repro.storage import LiPolymerBattery, Supercapacitor
+from repro.simulation.kernel import KernelFallback
+from repro.storage import AgingStorage, LiPolymerBattery, Supercapacitor
+from repro.systems import SYSTEM_BUILDERS, build_system
 
 DAY = 86_400.0
 
@@ -130,6 +132,25 @@ class TestFastPathEquivalence:
                         duration=duration, dt=dt, fast=True)
         _assert_recorders_identical(legacy.recorder, fast.recorder)
         assert legacy.metrics == fast.metrics
+        assert legacy.execution_path == "legacy"
+        assert fast.execution_path == "kernel"
+
+    @pytest.mark.parametrize("letter", sorted(SYSTEM_BUILDERS))
+    def test_table1_system_bitwise(self, letter):
+        """Every Table I platform (A-G) — multi-store banks, batteries,
+        LIC-class stores, fuel-cell backup, bus/MCU systems included —
+        runs on the compiled kernel bit-for-bit identical to the legacy
+        per-step path."""
+        dt = 120.0
+        duration = 2 * DAY
+        env = outdoor_environment(duration=duration, dt=dt, seed=23)
+        legacy = simulate(build_system(letter), env, duration=duration,
+                          dt=dt, fast=False)
+        fast = simulate(build_system(letter), env, duration=duration,
+                        dt=dt, fast=True)
+        assert fast.execution_path == "kernel"
+        _assert_recorders_identical(legacy.recorder, fast.recorder)
+        assert legacy.metrics == fast.metrics
 
     def test_event_rebind_keeps_equivalence(self):
         """A mid-run supercap hot-swap keeps the kernel eligible; its
@@ -147,31 +168,70 @@ class TestFastPathEquivalence:
                           events=events(), fast=False)
         fast = simulate(_mixed_system(), env, duration=duration, dt=dt,
                         events=events(), fast=True)
+        assert fast.execution_path == "kernel"
+        _assert_recorders_identical(legacy.recorder, fast.recorder)
+
+    def test_non_supercap_hot_swap_stays_on_kernel(self):
+        """A mid-run battery hot-swap on a battery-buffered platform
+        (System D-style) rebinds the kernel without leaving it — battery
+        chemistries carry their own lowering now."""
+        dt = 120.0
+        duration = DAY
+        env = outdoor_environment(duration=duration, dt=dt, seed=37)
+
+        def events():
+            return [swap_storage_event(
+                0.4 * DAY, 0, LiPolymerBattery(capacity_mah=150.0,
+                                               initial_soc=0.3))]
+
+        legacy = simulate(build_system("D"), env, duration=duration, dt=dt,
+                          events=events(), fast=False)
+        fast = simulate(build_system("D"), env, duration=duration, dt=dt,
+                        events=events(), fast=True)
+        assert fast.execution_path == "kernel"
         _assert_recorders_identical(legacy.recorder, fast.recorder)
 
     def test_mid_run_fallback_keeps_equivalence(self):
-        """An event that swaps in a battery pushes the system outside the
-        kernel envelope mid-run; the kernel->legacy handover must keep the
-        recorded run identical to the pure legacy path."""
+        """An event that swaps in a store without a kernel lowering (an
+        AgingStorage wrapper overrides the storage physics) pushes the
+        system outside the envelope mid-run; the kernel->legacy handover
+        must keep the recorded run identical to the pure legacy path."""
         dt = 120.0
         duration = DAY
         env = outdoor_environment(duration=duration, dt=dt, seed=31)
 
         def events():
             return [swap_storage_event(
-                0.5 * DAY, 0, LiPolymerBattery(capacity_mah=50.0,
-                                               initial_soc=0.5))]
+                0.5 * DAY, 0,
+                AgingStorage(LiPolymerBattery(capacity_mah=50.0,
+                                              initial_soc=0.5)))]
 
         legacy = simulate(_mixed_system(), env, duration=duration, dt=dt,
                           events=events(), fast=False)
         fast = simulate(_mixed_system(), env, duration=duration, dt=dt,
                         events=events(), fast="auto")
+        assert fast.execution_path == "kernel+legacy"
         _assert_recorders_identical(legacy.recorder, fast.recorder)
 
+    def test_strict_mode_raises_on_mid_run_fallback(self):
+        """fast=True promised the kernel; a mid-run event that leaves the
+        envelope must raise, not silently degrade to the legacy loop."""
+        dt = 120.0
+        env = outdoor_environment(duration=DAY, dt=dt, seed=31)
+        events = [swap_storage_event(
+            0.5 * DAY, 0,
+            AgingStorage(LiPolymerBattery(capacity_mah=50.0,
+                                          initial_soc=0.5)))]
+        with pytest.raises(KernelFallback, match="outside the kernel"):
+            simulate(_mixed_system(), env, duration=DAY, dt=dt,
+                     events=events, fast=True)
+
     def test_fast_true_rejects_ineligible_system(self):
+        """A store whose subclass overrides the storage physics has no
+        lowering, so the whole system is outside the kernel envelope."""
         system = make_reference_system(
             [PhotovoltaicCell(area_cm2=20.0)],
-            stores=[LiPolymerBattery(capacity_mah=50.0)])
+            stores=[AgingStorage(LiPolymerBattery(capacity_mah=50.0))])
         env = outdoor_environment(duration=3600.0, dt=60.0, seed=1)
         with pytest.raises(ValueError, match="fast=True"):
             simulate(system, env, dt=60.0, fast=True)
