@@ -6,16 +6,27 @@ Acceptance targets of the batched-execution subsystem:
   >= 3x the seed engine's per-step rate (the seed per-step algorithm is
   preserved verbatim as the engine's ``fast=False`` path, so it *is* the
   baseline being measured);
+* the lockstep batched kernel runs an eligible 256-scenario grid at
+  >= 5x the in-process per-scenario throughput, with bit-identical rows;
 * a :class:`~repro.simulation.SweepRunner` fan-out over >= 8 scenarios
   produces metrics identical to sequential ``simulate()`` calls.
+
+Each benchmark appends its steps/sec-per-path record to the
+``BENCH_sweep.json`` trajectory artifact (path overridable via the
+``BENCH_SWEEP_JSON`` environment variable) so perf regressions are
+visible across PRs, not just within one run.
 """
 
+import json
+import os
 import time
 from functools import partial
+from pathlib import Path
 
 import numpy as np
 
 from repro.analysis.experiments.common import make_reference_system
+from repro.conditioning.mppt import FixedVoltage
 from repro.environment.composite import outdoor_environment
 from repro.harvesters import PhotovoltaicCell
 from repro.simulation import ScenarioSpec, SweepRunner, simulate
@@ -26,6 +37,10 @@ DAY = 86_400.0
 #: Speedup the fast path must sustain over the seed per-step engine.
 REQUIRED_SPEEDUP = 3.0
 
+#: Speedup the batched kernel must sustain over the in-process
+#: per-scenario path on the 256-scenario grid.
+BATCHED_REQUIRED_SPEEDUP = 5.0
+
 #: 1M-step single-scenario benchmark geometry.
 FAST_STEPS = 1_000_000
 FAST_DT = DAY / FAST_STEPS
@@ -33,6 +48,29 @@ FAST_DT = DAY / FAST_STEPS
 #: and compared by per-step rate — running the seed loop for the full
 #: million steps would only make the suite slower, not the ratio fairer.
 LEGACY_STEPS = 100_000
+
+#: Batched grid geometry: 256 scenarios x 2 days at one-minute steps.
+GRID_SCENARIOS = 256
+GRID_DT = 60.0
+GRID_STEPS = int(2 * DAY / GRID_DT)
+#: The in-process baseline is timed on a grid prefix and compared by
+#: per-scenario-step rate (same rationale as LEGACY_STEPS above).
+GRID_BASELINE_SCENARIOS = 32
+
+
+def _record_bench(benchmark: str, payload: dict) -> None:
+    """Append one record to the BENCH_sweep.json trajectory artifact."""
+    path = Path(os.environ.get(
+        "BENCH_SWEEP_JSON",
+        Path(__file__).resolve().parent.parent / "BENCH_sweep.json"))
+    try:
+        history = json.loads(path.read_text())
+        if not isinstance(history, dict) or "runs" not in history:
+            history = {"runs": []}
+    except (OSError, ValueError):
+        history = {"runs": []}
+    history["runs"].append({"benchmark": benchmark, **payload})
+    path.write_text(json.dumps(history, indent=2) + "\n")
 
 
 def _bench_system():
@@ -80,6 +118,11 @@ def test_bench_fastpath_1m_steps():
     print(f"fast path   : {fast_rate * 1e6:7.2f} us/step "
           f"({FAST_STEPS} steps)")
     print(f"speedup     : {speedup:.2f}x (required >= {REQUIRED_SPEEDUP}x)")
+    _record_bench("fastpath_1m", {
+        "legacy_steps_per_s": 1.0 / legacy_rate,
+        "kernel_steps_per_s": 1.0 / fast_rate,
+        "speedup": speedup,
+    })
     assert len(fast.recorder) == FAST_STEPS
     assert speedup >= REQUIRED_SPEEDUP
 
@@ -118,6 +161,71 @@ def test_bench_kernel_non_supercap_system():
     # noise-prone on shared CI runners. The hard >= 3x gate is above.
     assert fast_rate < 1.5 * legacy_rate, \
         "the kernel must not be drastically slower than the legacy path"
+
+
+def build_batched_grid_system(capacitance_f: float):
+    """Batch-eligible platform (fixed-point conditioning, supercap)."""
+    return make_reference_system(
+        [PhotovoltaicCell(area_cm2=40.0, efficiency=0.16, name="pv")],
+        tracker_factory=lambda: FixedVoltage(2.0),
+        capacitance_f=capacitance_f, measurement_interval_s=120.0)
+
+
+def test_bench_batched_sweep_grid():
+    """256-scenario buffer-sizing grid: the lockstep batched kernel must
+    sustain >= 5x the in-process per-scenario throughput, bit-identical
+    rows. The baseline is timed on a grid prefix and compared by
+    per-scenario-step rate (running all 256 scenarios through the
+    per-scenario path would only make the suite slower, not the ratio
+    fairer)."""
+    env = outdoor_environment(duration=2 * DAY, dt=GRID_DT, seed=3)
+    capacitances = [10.0 + 0.5 * k for k in range(GRID_SCENARIOS)]
+
+    def make_specs(count):
+        return [
+            ScenarioSpec(name=f"cap-{k}",
+                         system=partial(build_batched_grid_system, cap),
+                         environment=env, duration=2 * DAY,
+                         params={"capacitance_f": cap})
+            for k, cap in enumerate(capacitances[:count])
+        ]
+
+    t0 = time.perf_counter()
+    baseline = SweepRunner(processes=1, batch=False).run(
+        make_specs(GRID_BASELINE_SCENARIOS))
+    baseline_rate = (time.perf_counter() - t0) / \
+        (GRID_BASELINE_SCENARIOS * GRID_STEPS)
+
+    t0 = time.perf_counter()
+    batched = SweepRunner(processes=1, batch=True).run(
+        make_specs(GRID_SCENARIOS))
+    batched_rate = (time.perf_counter() - t0) / \
+        (GRID_SCENARIOS * GRID_STEPS)
+
+    assert all(r.execution_path == "batched" for r in batched)
+    # Bit-identical rows: the batched prefix must equal the per-scenario
+    # baseline row for row (full-grid bitwise coverage lives in
+    # tests/test_batched.py).
+    for base_row, batched_row in zip(baseline, batched):
+        assert base_row.metrics == batched_row.metrics, base_row.name
+        assert base_row.n_steps == batched_row.n_steps
+
+    speedup = baseline_rate / batched_rate
+    print()
+    print(f"in-process : {baseline_rate * 1e6:7.2f} us/scenario-step "
+          f"({GRID_BASELINE_SCENARIOS} scenarios)")
+    print(f"batched    : {batched_rate * 1e6:7.2f} us/scenario-step "
+          f"({GRID_SCENARIOS} scenarios)")
+    print(f"speedup    : {speedup:.2f}x "
+          f"(required >= {BATCHED_REQUIRED_SPEEDUP}x)")
+    _record_bench("batched_sweep_grid", {
+        "n_scenarios": GRID_SCENARIOS,
+        "n_steps": GRID_STEPS,
+        "inprocess_steps_per_s": 1.0 / baseline_rate,
+        "batched_steps_per_s": 1.0 / batched_rate,
+        "speedup": speedup,
+    })
+    assert speedup >= BATCHED_REQUIRED_SPEEDUP
 
 
 def test_bench_sweep_fanout_matches_sequential(once):

@@ -147,6 +147,12 @@ def _build_parser() -> argparse.ArgumentParser:
     p_swp.add_argument("--processes", type=int, default=None,
                        help="worker processes (default: one per CPU, "
                             "capped at the scenario count)")
+    p_swp.add_argument("--batch", choices=("auto", "on", "off"),
+                       default="auto",
+                       help="lockstep batched tier: 'auto' uses it for "
+                            "eligible scenario groups, 'on' requires it "
+                            "for every scenario, 'off' disables it; rows "
+                            "report the tier in execution_path")
     add_fast_flag(p_swp)
 
     p_spc = sub.add_parser(
@@ -326,9 +332,10 @@ def _cmd_sweep(args) -> int:
         )
         title = (f"sweep: {len(spec.runs)} scenarios, {args.days:g} days, "
                  f"seed {args.seed}")
+    batch = {"auto": "auto", "on": True, "off": False}[args.batch]
     try:
         sweep = run_sweep(spec, processes=args.processes,
-                          fast=_cli_fast(args))
+                          fast=_cli_fast(args), batch=batch)
     except (KeyError, ValueError, TypeError) as exc:
         print(f"error: cannot execute sweep: {exc}", file=sys.stderr)
         return 2

@@ -136,6 +136,40 @@ class InputConditioner:
 
         return step
 
+    # ------------------------------------------------------------------
+    # Batched lowering (see repro.simulation.kernel.batched)
+    # ------------------------------------------------------------------
+    def lower_batched(self, dt: float, siblings, harvesters):
+        """Validate and lower one channel position's conditioning chain.
+
+        Returns ``(tracker_prepare, surface_builder, converter_out)``:
+        the tracker's schedule builder, the harvester group's batched
+        surface builder, and the vectorized forward-conversion closure.
+        Compile-time only — the ambient-dependent precompute happens in
+        the channel lowering's ``prepare``.
+        """
+        from ..simulation.kernel.protocol import (
+            LoweringUnsupported,
+            ensure_unmodified,
+        )
+        from ..simulation.kernel.batched import same_class
+        same_class(siblings, "conditioner")
+        for conditioner in siblings:
+            ensure_unmodified(conditioner, InputConditioner, "step")
+        trackers = [c.tracker for c in siblings]
+        same_class(trackers, "tracker")
+        tracker_prepare = trackers[0].lower_batched(dt, trackers)
+        surface_builder = harvesters[0].lower_batched(harvesters)
+        converters = [c.converter for c in siblings]
+        same_class(converters, "converter")
+        lower_out = getattr(converters[0], "lower_output_batched", None)
+        if lower_out is None:
+            raise LoweringUnsupported(
+                f"{type(converters[0]).__name__} has no batched output "
+                f"lowering")
+        converter_out = lower_out(dt, converters)
+        return tracker_prepare, surface_builder, converter_out
+
     def __repr__(self) -> str:
         return (f"InputConditioner(name={self.name!r}, tracker={self.tracker!r}, "
                 f"converter={self.converter!r})")
@@ -246,6 +280,60 @@ class OutputConditioner:
                     return inf
                 return converter_in(demand_w, store_v, v_out)
         return OutputLowering(self, needed)
+
+    # ------------------------------------------------------------------
+    # Batched lowering (see repro.simulation.kernel.batched)
+    # ------------------------------------------------------------------
+    def lower_batched(self, dt: float, siblings):
+        """Vectorized output stage mirroring :meth:`lower_kernel`'s three
+        converter specializations (ideal / buck-boost / generic probe)."""
+        import numpy as np
+        from ..simulation.kernel.protocol import (
+            LoweringUnsupported,
+            ensure_unmodified,
+        )
+        from ..simulation.kernel.batched import (
+            BatchedOutputLowering,
+            gather,
+            same_class,
+        )
+        same_class(siblings, "output stage")
+        for output in siblings:
+            ensure_unmodified(output, OutputConditioner,
+                              "input_power_for", "can_supply")
+        converters = [o.converter for o in siblings]
+        conv_cls = same_class(converters, "output converter")
+        min_v = gather(siblings, lambda o: o.min_input_voltage)
+        v_out = gather(siblings, lambda o: o.output_voltage)
+        inf = float("inf")
+        lower_in = getattr(converters[0], "lower_input_batched", None)
+        if lower_in is None:
+            raise LoweringUnsupported(
+                f"{conv_cls.__name__} has no batched input lowering")
+        converter_in = lower_in(dt, converters)
+        if conv_cls is IdealConverter:
+            def needed(demand_w, store_v):
+                return np.where(demand_w == 0.0, 0.0,
+                                np.where(store_v < min_v, inf, demand_w))
+        elif conv_cls is BuckBoostConverter:
+            def needed(demand_w, store_v):
+                return np.where(
+                    demand_w == 0.0, 0.0,
+                    np.where(store_v < min_v, inf,
+                             converter_in(demand_w, store_v, v_out)))
+        else:
+            probe_fn = converters[0]._batch_efficiency_hook(converters)
+            if probe_fn is None:
+                raise LoweringUnsupported(
+                    f"{conv_cls.__name__} has no batched efficiency probe")
+
+            def needed(demand_w, store_v):
+                probe = probe_fn(1e-3, store_v, v_out)
+                return np.where(
+                    demand_w == 0.0, 0.0,
+                    np.where((store_v < min_v) | (probe <= 0.0), inf,
+                             converter_in(demand_w, store_v, v_out)))
+        return BatchedOutputLowering(tuple(siblings), needed)
 
     def __repr__(self) -> str:
         return (f"OutputConditioner(name={self.name!r}, vout={self.output_voltage}, "

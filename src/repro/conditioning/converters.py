@@ -35,6 +35,20 @@ __all__ = [
 ]
 
 
+def _batch_guard(siblings, base: type, *names) -> None:
+    """Refuse a batched converter lowering for overridden physics."""
+    from ..simulation.kernel.protocol import (
+        LoweringUnsupported,
+        overridden_methods,
+    )
+    for conv in siblings:
+        changed = overridden_methods(conv, base, *names)
+        if changed:
+            raise LoweringUnsupported(
+                f"{type(conv).__name__} overrides {', '.join(changed)}() "
+                f"of {base.__name__} and has no batched lowering of its own")
+
+
 class Converter(abc.ABC):
     """Abstract DC-DC conversion stage."""
 
@@ -96,6 +110,52 @@ class Converter(abc.ABC):
         """
         return self.input_power
 
+    # ------------------------------------------------------------------
+    # Batched lowering (see repro.simulation.kernel.batched)
+    # ------------------------------------------------------------------
+    def _batch_efficiency_hook(self, siblings):
+        """``(p, v_in, v_out) -> eff`` over lanes, or None if the class
+        has no vectorized efficiency (then the group cannot batch)."""
+        from ..simulation.kernel.protocol import overridden_methods
+        builder = getattr(type(self), "_batch_efficiency", None)
+        if builder is None or overridden_methods(self, Converter,
+                                                 "output_power",
+                                                 "input_power"):
+            return None
+        return self._batch_efficiency(siblings)
+
+    def lower_output_batched(self, dt: float, siblings):
+        """Vectorized twin of the bound :meth:`output_power` path."""
+        import numpy as np
+        from ..simulation.kernel.protocol import LoweringUnsupported
+        eff_fn = self._batch_efficiency_hook(siblings)
+        if eff_fn is None:
+            raise LoweringUnsupported(
+                f"{type(self).__name__} has no batched output lowering")
+
+        def output_power(p_in, v_in, v_out):
+            eff = eff_fn(p_in, v_in, v_out)
+            return np.where(p_in == 0.0, 0.0, p_in * eff)
+
+        return output_power
+
+    def lower_input_batched(self, dt: float, siblings):
+        """Vectorized twin of the bound :meth:`input_power` fixed point."""
+        import numpy as np
+        from ..simulation.kernel.protocol import LoweringUnsupported
+        from ..simulation.kernel.batched import damped_fixed_point
+        eff_fn = self._batch_efficiency_hook(siblings)
+        if eff_fn is None:
+            raise LoweringUnsupported(
+                f"{type(self).__name__} has no batched input lowering")
+
+        def input_power(p_out, v_in, v_out):
+            core = damped_fixed_point(
+                p_out, lambda p: eff_fn(p, v_in, v_out))
+            return np.where(p_out == 0.0, 0.0, core)
+
+        return input_power
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"
 
@@ -130,6 +190,26 @@ class IdealConverter(Converter):
         if overridden_methods(self, IdealConverter,
                               "efficiency", "input_power"):
             return self.input_power
+        return input_power
+
+    # ------------------------------------------------------------------
+    # Batched lowering (see repro.simulation.kernel.batched)
+    # ------------------------------------------------------------------
+    def lower_output_batched(self, dt: float, siblings):
+        _batch_guard(siblings, IdealConverter, "efficiency", "output_power")
+
+        def output_power(p_in, v_in, v_out):
+            # p_in * 1.0 is p_in for every float.
+            return p_in
+
+        return output_power
+
+    def lower_input_batched(self, dt: float, siblings):
+        _batch_guard(siblings, IdealConverter, "efficiency", "input_power")
+
+        def input_power(p_out, v_in, v_out):
+            return p_out
+
         return input_power
 
 
@@ -228,6 +308,64 @@ class BuckBoostConverter(Converter):
 
         return input_power
 
+    # ------------------------------------------------------------------
+    # Batched lowering (see repro.simulation.kernel.batched)
+    # ------------------------------------------------------------------
+    def lower_output_batched(self, dt: float, siblings):
+        """Vectorized twin of the inlined kernel closure."""
+        import numpy as np
+        from ..simulation.kernel.batched import gather
+        _batch_guard(siblings, BuckBoostConverter,
+                     "efficiency", "output_power")
+        peak = gather(siblings, lambda c: c.peak_efficiency)
+        overhead = gather(siblings, lambda c: c.overhead_power)
+        v_lo = gather(siblings, lambda c: c.min_input_voltage)
+        v_hi = gather(siblings, lambda c: c.max_input_voltage)
+
+        def output_power(p_in, v_in, v_out):
+            in_window = (v_lo <= v_in) & (v_in <= v_hi)
+            res = np.where(in_window,
+                           p_in * (peak * p_in / (p_in + overhead)),
+                           p_in * 0.0)
+            return np.where(p_in == 0.0, 0.0, res)
+
+        return output_power
+
+    def lower_input_batched(self, dt: float, siblings):
+        """Vectorized damped fixed point, memoized on the demand vector.
+
+        The knee efficiency depends only on input power, so the solved
+        ``p_in`` is a pure per-lane function of ``p_out`` — and a
+        sweep's node demand vector is constant for long stretches. The
+        last solve is reused whenever ``p_out`` repeats bit-for-bit,
+        which collapses the per-step fixed point to one array compare on
+        the common path.
+        """
+        import numpy as np
+        from ..simulation.kernel.batched import damped_fixed_point, gather
+        _batch_guard(siblings, BuckBoostConverter,
+                     "efficiency", "input_power")
+        peak = gather(siblings, lambda c: c.peak_efficiency)
+        overhead = gather(siblings, lambda c: c.overhead_power)
+        v_lo = gather(siblings, lambda c: c.min_input_voltage)
+        v_hi = gather(siblings, lambda c: c.max_input_voltage)
+        inf = float("inf")
+        memo: list = [None, None]
+
+        def input_power(p_out, v_in, v_out):
+            if memo[0] is not None and np.array_equal(memo[0], p_out):
+                core = memo[1]
+            else:
+                core = damped_fixed_point(
+                    p_out, lambda p: peak * p / (p + overhead))
+                memo[0] = p_out.copy() if hasattr(p_out, "copy") else p_out
+                memo[1] = core
+            out_of_window = (v_in < v_lo) | (v_in > v_hi)
+            return np.where(p_out == 0.0, 0.0,
+                            np.where(out_of_window, inf, core))
+
+        return input_power
+
 
 @register("converter", "boost")
 class BoostConverter(BuckBoostConverter):
@@ -237,6 +375,72 @@ class BoostConverter(BuckBoostConverter):
         if v_out < v_in:
             return 0.0
         return super().efficiency(p_in, v_in, v_out)
+
+    # ------------------------------------------------------------------
+    # Batched lowering (see repro.simulation.kernel.batched)
+    # ------------------------------------------------------------------
+    def lower_output_batched(self, dt: float, siblings):
+        """Vectorized twin of the *bound* ``output_power`` path.
+
+        The scalar kernel runs Boost through the bound method (its
+        ``efficiency`` override defeats the buck-boost inlining), i.e.
+        ``p_in * self.efficiency(p_in, v_in, v_out)`` — replicated here
+        with the step-up direction test first.
+        """
+        import numpy as np
+        from ..simulation.kernel.batched import gather
+        _batch_guard(siblings, BoostConverter, "efficiency", "output_power")
+        peak = gather(siblings, lambda c: c.peak_efficiency)
+        overhead = gather(siblings, lambda c: c.overhead_power)
+        v_lo = gather(siblings, lambda c: c.min_input_voltage)
+        v_hi = gather(siblings, lambda c: c.max_input_voltage)
+
+        def output_power(p_in, v_in, v_out):
+            in_window = (v_lo <= v_in) & (v_in <= v_hi)
+            eff = np.where((v_out < v_in) | ~in_window | (p_in <= 0.0),
+                           0.0, peak * p_in / (p_in + overhead))
+            return np.where(p_in == 0.0, 0.0, p_in * eff)
+
+        return output_power
+
+    def _batch_efficiency(self, siblings):
+        import numpy as np
+        from ..simulation.kernel.batched import gather
+        _batch_guard(siblings, BoostConverter, "efficiency")
+        peak = gather(siblings, lambda c: c.peak_efficiency)
+        overhead = gather(siblings, lambda c: c.overhead_power)
+        v_lo = gather(siblings, lambda c: c.min_input_voltage)
+        v_hi = gather(siblings, lambda c: c.max_input_voltage)
+
+        def efficiency(p_in, v_in, v_out):
+            dead = (v_out < v_in) | (p_in <= 0.0) | (v_in < v_lo) | \
+                (v_in > v_hi)
+            return np.where(dead, 0.0, peak * p_in / (p_in + overhead))
+
+        return efficiency
+
+    def lower_input_batched(self, dt: float, siblings):
+        """Boost as an *output* stage inverts through the generic fixed
+        point over its own efficiency (matching the bound
+        ``input_power`` the scalar kernel uses)."""
+        import numpy as np
+        from ..simulation.kernel.batched import damped_fixed_point, gather
+        _batch_guard(siblings, BoostConverter, "efficiency", "input_power")
+        peak = gather(siblings, lambda c: c.peak_efficiency)
+        overhead = gather(siblings, lambda c: c.overhead_power)
+        v_lo = gather(siblings, lambda c: c.min_input_voltage)
+        v_hi = gather(siblings, lambda c: c.max_input_voltage)
+
+        def input_power(p_out, v_in, v_out):
+            def eff(p):
+                return np.where((v_out < v_in) | (v_in < v_lo) |
+                                (v_in > v_hi) | (p <= 0.0),
+                                0.0, peak * p / (p + overhead))
+
+            core = damped_fixed_point(p_out, eff)
+            return np.where(p_out == 0.0, 0.0, core)
+
+        return input_power
 
 
 @register("converter", "linear_regulator")
@@ -261,6 +465,22 @@ class LinearRegulator(Converter):
         if v_in < v_out + self.dropout_voltage:
             return 0.0
         return min(1.0, v_out / v_in)
+
+    # ------------------------------------------------------------------
+    # Batched lowering (see repro.simulation.kernel.batched)
+    # ------------------------------------------------------------------
+    def _batch_efficiency(self, siblings):
+        import numpy as np
+        from ..simulation.kernel.batched import gather
+        _batch_guard(siblings, LinearRegulator, "efficiency")
+        dropout = gather(siblings, lambda c: c.dropout_voltage)
+
+        def efficiency(p_in, v_in, v_out):
+            dead = (p_in <= 0.0) | (v_in <= 0.0) | (v_out <= 0.0) | \
+                (v_in < v_out + dropout)
+            return np.where(dead, 0.0, np.minimum(1.0, v_out / v_in))
+
+        return efficiency
 
 
 @register("converter", "diode_rectifier")
@@ -293,3 +513,18 @@ class DiodeRectifier(Converter):
         if v_in <= self.total_drop:
             return 0.0
         return (v_in - self.total_drop) / v_in
+
+    # ------------------------------------------------------------------
+    # Batched lowering (see repro.simulation.kernel.batched)
+    # ------------------------------------------------------------------
+    def _batch_efficiency(self, siblings):
+        import numpy as np
+        from ..simulation.kernel.batched import gather
+        _batch_guard(siblings, DiodeRectifier, "efficiency")
+        drop = gather(siblings, lambda c: c.total_drop)
+
+        def efficiency(p_in, v_in, v_out):
+            dead = (p_in <= 0.0) | (v_in <= 0.0) | (v_in <= drop)
+            return np.where(dead, 0.0, (v_in - drop) / v_in)
+
+        return efficiency

@@ -107,6 +107,21 @@ class MPPTracker(abc.ABC):
         """
         return self.step
 
+    def lower_batched(self, dt: float, siblings):
+        """Batched schedule builder (see kernel.batched.TrackerSchedule).
+
+        A batched tracker precomputes its whole-run decisions as
+        ``(n_steps, width)`` tensors from the ambient tensor alone —
+        possible exactly when the decision depends only on ambient
+        values and the step index, never on harvested-power feedback.
+        Hill-climbing trackers (P&O, incremental conductance) carry that
+        feedback and have no batched lowering: the base hook refuses and
+        the scenario runs on the per-scenario path.
+        """
+        from ..simulation.kernel.protocol import LoweringUnsupported
+        raise LoweringUnsupported(
+            f"{type(self).__name__} has no batched lowering")
+
     def reset(self) -> None:
         """Clear internal state (called on hot-swap of the harvester)."""
 
@@ -124,6 +139,20 @@ class OracleMPPT(MPPTracker):
 
     def step(self, harvester: Harvester, ambient: float, dt: float) -> TrackerStep:
         return TrackerStep(harvester.mpp(ambient).voltage)
+
+    # ------------------------------------------------------------------
+    # Batched lowering (see repro.simulation.kernel.batched)
+    # ------------------------------------------------------------------
+    def lower_batched(self, dt: float, siblings):
+        from ..simulation.kernel.batched import TrackerSchedule, same_class
+        same_class(siblings, "tracker")
+
+        class _OraclePrepare:
+            @staticmethod
+            def prepare(surface, values):
+                return TrackerSchedule(surface.mpp_voltage())
+
+        return _OraclePrepare()
 
 
 @register("tracker", "perturb_observe")
@@ -254,6 +283,69 @@ class FractionalOpenCircuit(MPPTracker):
             return TrackerStep(self._target, duty=1.0 - self.blackout_fraction)
         return TrackerStep(self._target)
 
+    # ------------------------------------------------------------------
+    # Batched lowering (see repro.simulation.kernel.batched)
+    # ------------------------------------------------------------------
+    def lower_batched(self, dt: float, siblings):
+        """Batched fractional-Voc schedule.
+
+        The sampling schedule depends only on the step index (the
+        ``_since_sample`` accumulator advances by the run-constant
+        ``dt``), so the whole-run decision tensor is precomputed by a
+        lane-vectorized replay of :meth:`step` — including the exact
+        float accumulation of ``_since_sample``.
+        """
+        import numpy as np
+        from ..simulation.kernel.batched import (
+            TrackerSchedule,
+            gather,
+            same_class,
+        )
+        same_class(siblings, "tracker")
+
+        class _FracVocPrepare:
+            @staticmethod
+            def prepare(surface, values):
+                n_steps, width = values.shape
+                lanes = siblings[:width] if width < len(siblings) \
+                    else siblings
+                period = gather(lanes, lambda t: t.sample_period)
+                fraction = gather(lanes, lambda t: t.fraction)
+                # Per-lane branch selection is a run constant: which of
+                # the three sampling regimes applies depends only on dt
+                # vs sample_time/sample_period.
+                blackout = np.array([dt <= t.sample_time for t in lanes])
+                duty_fire = gather(
+                    lanes,
+                    lambda t: 1.0 if dt <= t.sample_time else
+                    (1.0 - t.sample_time / dt if dt < t.sample_period
+                     else 1.0 - t.blackout_fraction))
+                since = gather(lanes, lambda t: t._since_sample)
+                target = gather(lanes, lambda t: t._target)
+                voc = surface.voc
+                voltage = np.empty((n_steps, width))
+                harvesting = np.ones((n_steps, width), dtype=bool)
+                duty = np.ones((n_steps, width))
+                for i in range(n_steps):
+                    since = since + dt
+                    fire = since >= period
+                    target = np.where(fire, fraction * voc[i], target)
+                    since = np.where(fire, 0.0, since)
+                    voltage[i] = target
+                    harvesting[i] = ~(fire & blackout)
+                    duty[i] = np.where(fire, duty_fire, 1.0)
+
+                def writeback() -> None:
+                    final_since = np.broadcast_to(since, (len(siblings),))
+                    final_target = np.broadcast_to(target, (len(siblings),))
+                    for k, tracker in enumerate(siblings):
+                        tracker._since_sample = float(final_since[k])
+                        tracker._target = float(final_target[k])
+
+                return TrackerSchedule(voltage, harvesting, duty, writeback)
+
+        return _FracVocPrepare()
+
 
 @register("tracker", "incremental_conductance")
 class IncrementalConductance(MPPTracker):
@@ -346,3 +438,26 @@ class FixedVoltage(MPPTracker):
     def step(self, harvester: Harvester, ambient: float, dt: float) -> TrackerStep:
         voc = harvester.open_circuit_voltage(ambient)
         return TrackerStep(min(self.voltage, voc))
+
+    # ------------------------------------------------------------------
+    # Batched lowering (see repro.simulation.kernel.batched)
+    # ------------------------------------------------------------------
+    def lower_batched(self, dt: float, siblings):
+        import numpy as np
+        from ..simulation.kernel.batched import (
+            TrackerSchedule,
+            gather,
+            same_class,
+        )
+        same_class(siblings, "tracker")
+
+        class _FixedPrepare:
+            @staticmethod
+            def prepare(surface, values):
+                fixed = gather(siblings[:values.shape[1]]
+                               if values.shape[1] < len(siblings)
+                               else siblings, lambda t: t.voltage)
+                voc = surface.voc
+                return TrackerSchedule(np.where(fixed <= voc, fixed, voc))
+
+        return _FixedPrepare()

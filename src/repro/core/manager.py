@@ -87,6 +87,15 @@ class EnergyManager(abc.ABC):
         """
         return self.control
 
+    def lower_batched(self, dt: float, siblings):
+        """Batched lowering: policies read monitors and steer the bank,
+        which the lockstep loop cannot replay generically — only
+        managers proven side-effect-free (:class:`StaticManager`) batch;
+        everything else routes the scenario to the per-scenario path."""
+        from ..simulation.kernel.protocol import LoweringUnsupported
+        raise LoweringUnsupported(
+            f"{type(self).__name__} has no batched lowering")
+
 
 @register("manager", "static")
 class StaticManager(EnergyManager):
@@ -97,6 +106,52 @@ class StaticManager(EnergyManager):
 
     def _policy(self, t, dt, system) -> None:
         return None
+
+    # ------------------------------------------------------------------
+    # Batched lowering (see repro.simulation.kernel.batched)
+    # ------------------------------------------------------------------
+    def lower_batched(self, dt: float, siblings):
+        """Static managers never touch the simulation (no policy, zero
+        wake-up energy), so the hot loop skips them entirely and the
+        bookkeeping counters are replayed exactly at writeback."""
+        from ..simulation.kernel.protocol import (
+            LoweringUnsupported,
+            ensure_unmodified,
+        )
+        from ..simulation.kernel.batched import (
+            BatchedManagerLowering,
+            same_class,
+        )
+        same_class(siblings, "manager")
+        for manager in siblings:
+            ensure_unmodified(manager, EnergyManager, "control")
+            ensure_unmodified(manager, StaticManager, "_policy")
+            if manager.wakeup_energy_j != 0.0:
+                raise LoweringUnsupported(
+                    "a manager with non-zero wake-up energy discharges "
+                    "the bank and has no batched lowering")
+
+        def writeback(n_steps: int) -> None:
+            # Exact replay of control()'s accumulator per distinct
+            # (initial counter, period) pair, shared across lanes.
+            replayed: dict = {}
+            for manager in siblings:
+                key = (manager._since_control, manager.control_period)
+                if key not in replayed:
+                    since, period = key
+                    passes = 0
+                    for _ in range(n_steps):
+                        since += dt
+                        if since < period:
+                            continue
+                        since = 0.0
+                        passes += 1
+                    replayed[key] = (since, passes)
+                since, passes = replayed[key]
+                manager._since_control = since
+                manager.control_passes += passes
+
+        return BatchedManagerLowering(tuple(siblings), None, writeback)
 
 
 @register("manager", "threshold")

@@ -114,6 +114,55 @@ class HarvestingChannel:
 
         return ChannelLowering(channel, self.source_type, step)
 
+    # ------------------------------------------------------------------
+    # Batched lowering (see repro.simulation.kernel.batched)
+    # ------------------------------------------------------------------
+    def lower_batched(self, dt: float, siblings):
+        """Lower one channel position across a scenario group.
+
+        The conditioner chain validates and lowers at compile time; the
+        ambient-dependent precompute runs in the returned lowering's
+        ``prepare``. Lanes whose channel hardware pickles to identical
+        bytes *and* see an identical ambient column collapse to one
+        shared column (the common sweep shape: same environment,
+        different storage/node knobs).
+        """
+        import pickle
+
+        import numpy as np
+        from ..simulation.kernel.batched import (
+            BatchedChannelLowering,
+            same_class,
+        )
+        from ..simulation.kernel.protocol import ensure_unmodified
+        same_class(siblings, "channel")
+        for channel in siblings:
+            ensure_unmodified(channel, HarvestingChannel, "step",
+                              "swap_harvester")
+        conditioners = [c.conditioner for c in siblings]
+        harvesters = [c.harvester for c in siblings]
+        tracker_prepare, surface_builder, converter_out = \
+            conditioners[0].lower_batched(dt, conditioners, harvesters)
+        flags = [bool(c.enabled) for c in siblings]
+        if all(flags):
+            enabled = True
+        elif not any(flags):
+            enabled = False
+        else:
+            enabled = np.array(flags)
+        compressible = False
+        if enabled is True and len(siblings) > 1:
+            try:
+                blobs = {pickle.dumps((c.harvester, c.conditioner))
+                         for c in siblings}
+                compressible = len(blobs) == 1
+            except Exception:
+                compressible = False
+
+        return BatchedChannelLowering(
+            tuple(siblings), self.source_type, tracker_prepare,
+            surface_builder, converter_out, enabled, compressible)
+
     def __repr__(self) -> str:
         return (f"HarvestingChannel(name={self.name!r}, "
                 f"source={self.source_type.value}, enabled={self.enabled})")
@@ -422,8 +471,134 @@ class StorageBank:
         return BankLowering(bank, voltage, charge, discharge, idle,
                             backup_energy, store_objects, store_voltages)
 
-    def __repr__(self) -> str:
-        return f"StorageBank(stores={self.stores!r})"
+    # ------------------------------------------------------------------
+    # Batched lowering (see repro.simulation.kernel.batched)
+    # ------------------------------------------------------------------
+    def lower_batched(self, dt: float, siblings):
+        """Lower a group of same-shape banks for lockstep stepping.
+
+        Stores lower position by position (chemistry hooks over shared
+        ``(n,)`` arrays); the charge cascade, diode-OR voltage, and the
+        stable highest-voltage-first discharge are vectorized here with
+        per-lane rank selection. Backup cascades (fuel cells, primary
+        cells) are outside the batched envelope — those scenarios run
+        per-scenario.
+        """
+        import numpy as np
+        from ..simulation.kernel.batched import (
+            BatchState,
+            BatchedBankLowering,
+            gather,
+            same_class,
+        )
+        from ..simulation.kernel.protocol import (
+            LoweringUnsupported,
+            ensure_unmodified,
+        )
+        same_class(siblings, "storage bank")
+        n_stores = len(self.stores)
+        for bank in siblings:
+            ensure_unmodified(bank, StorageBank, "charge", "discharge",
+                              "voltage", "idle", "ambient_stores",
+                              "backup_stores")
+            if len(bank.stores) != n_stores:
+                raise LoweringUnsupported(
+                    "banks in a batch must hold the same number of stores")
+            for store in bank.stores:
+                if store.is_backup:
+                    raise LoweringUnsupported(
+                        f"backup store {store.name!r} "
+                        f"({type(store).__name__}): the backup cascade "
+                        f"has no batched lowering")
+                # The diode-OR inlines the base emptiness test.
+                ensure_unmodified(store, EnergyStorage, "is_empty", "soc")
+        lowered = []
+        for position in range(n_stores):
+            stores = [bank.stores[position] for bank in siblings]
+            lower = getattr(stores[0], "lower_batched", None)
+            if lower is None:
+                raise LoweringUnsupported(
+                    f"store {stores[0].name!r} "
+                    f"({type(stores[0]).__name__}) has no batched lowering")
+            lowered.append(lower(dt, stores))
+        state = BatchState()
+        state.spilled = gather(siblings, lambda b: b.spilled_j)
+        capacities = [gather(lw.stores, lambda s: s.capacity_j)
+                      for lw in lowered]
+
+        def idle() -> None:
+            for lw in lowered:
+                lw.idle()
+
+        def writeback() -> None:
+            for lw in lowered:
+                lw.writeback()
+            for k, bank in enumerate(siblings):
+                bank.spilled_j = float(state.spilled[k])
+
+        if n_stores == 1:
+            only = lowered[0]
+            only_charge = only.charge
+
+            def charge(power_w):
+                accepted = only_charge(power_w)
+                remaining = power_w - accepted
+                spill = remaining > 0.0
+                state.spilled = state.spilled + np.where(
+                    spill, remaining * dt, 0.0)
+                return accepted
+
+            return BatchedBankLowering(
+                tuple(siblings), state, only.voltage, charge,
+                only.discharge, idle, tuple(lowered), writeback)
+
+        neg_inf = float("-inf")
+
+        def voltage():
+            best = None
+            first_v = None
+            for lw, capacity in zip(lowered, capacities):
+                v = lw.voltage()
+                if first_v is None:
+                    first_v = v
+                occupied = (lw.state.energy / capacity) > 1e-6
+                candidate = np.where(occupied, v, neg_inf)
+                best = candidate if best is None else \
+                    np.maximum(best, candidate)
+            return np.where(best == neg_inf, first_v, best)
+
+        def charge(power_w):
+            remaining = power_w
+            accepted = 0.0
+            for lw in lowered:
+                taken = lw.charge(np.where(remaining > 0.0, remaining, 0.0))
+                accepted = accepted + taken
+                remaining = remaining - taken
+            spill = remaining > 0.0
+            state.spilled = state.spilled + np.where(
+                spill, remaining * dt, 0.0)
+            return accepted
+
+        def discharge(power_w):
+            voltages = np.vstack([lw.voltage() for lw in lowered])
+            order = np.argsort(-voltages, axis=0, kind="stable")
+            remaining = np.broadcast_to(
+                np.asarray(power_w, dtype=np.float64),
+                order.shape[1:]).copy()
+            delivered = 0.0
+            for rank in range(n_stores):
+                selected = order[rank]
+                for j, lw in enumerate(lowered):
+                    got = lw.discharge(
+                        np.where((selected == j) & (remaining > 0.0),
+                                 remaining, 0.0))
+                    delivered = delivered + got
+                    remaining = remaining - got
+            return delivered
+
+        return BatchedBankLowering(
+            tuple(siblings), state, voltage, charge, discharge, idle,
+            tuple(lowered), writeback)
 
 
 class EnergyMonitor:
@@ -742,6 +917,60 @@ class MultiSourceSystem:
                 else manager.control
         return SystemLowering(self, bank, channels, output, node, control,
                               self.total_quiescent_current_a, self.bus)
+
+    # ------------------------------------------------------------------
+    # Batched lowering (see repro.simulation.kernel.batched)
+    # ------------------------------------------------------------------
+    def lower_batched(self, dt: float, siblings):
+        """Lower every component of a same-topology scenario group.
+
+        Raises :exc:`~repro.simulation.kernel.protocol.
+        LoweringUnsupported` when any component position has no batched
+        lowering — the sweep runner then routes those scenarios through
+        the per-scenario engine. Platforms with a digital bus/MCU are
+        outside the envelope (bus devices spend energy through Python
+        transaction objects the lockstep loop cannot replay).
+        """
+        from ..simulation.kernel.batched import (
+            BatchedSystemLowering,
+            gather,
+            same_class,
+        )
+        from ..simulation.kernel.protocol import (
+            LoweringUnsupported,
+            ensure_unmodified,
+        )
+        same_class(siblings, "system")
+        n_channels = len(self.channels)
+        for system in siblings:
+            ensure_unmodified(system, MultiSourceSystem, "step",
+                              "total_quiescent_current_a")
+            if system.bus is not None or system.mcu is not None or \
+                    system.slots is not None:
+                raise LoweringUnsupported(
+                    "bus/MCU platforms have no batched lowering")
+            if len(system.channels) != n_channels:
+                raise LoweringUnsupported(
+                    "systems in a batch must share the channel count")
+        bank = self.bank.lower_batched(dt, [s.bank for s in siblings])
+        output = self.output.lower_batched(dt, [s.output for s in siblings])
+        channels = tuple(
+            self.channels[position].lower_batched(
+                dt, [s.channels[position] for s in siblings])
+            for position in range(n_channels))
+        node = self.node.lower_batched(dt, [s.node for s in siblings])
+        managers = [s.manager for s in siblings]
+        if all(m is None for m in managers):
+            manager = None
+        elif any(m is None for m in managers):
+            raise LoweringUnsupported(
+                "a batch cannot mix managed and unmanaged systems")
+        else:
+            same_class(managers, "manager")
+            manager = managers[0].lower_batched(dt, managers)
+        quiescent = gather(siblings, lambda s: s.total_quiescent_current_a)
+        return BatchedSystemLowering(tuple(siblings), bank, channels,
+                                     output, node, manager, quiescent)
 
     def __repr__(self) -> str:
         return (f"MultiSourceSystem(name={self.architecture.short_name!r}, "

@@ -82,6 +82,25 @@ class CompiledEnvironment:
             np.clip(idx, 0, len(trace.values) - 1, out=idx)
             matrix[:, j] = trace.values[idx]
         self.matrix = matrix
+        # Lazily-materialized Python-list views for the kernel hot loop
+        # (indexing a list beats indexing an ndarray from CPython). Cached
+        # here — not rebuilt per run_plan call — so event-triggered
+        # recompiles and segmented runs do not re-convert the matrix.
+        self._times_list: list | None = None
+        self._column_lists: dict = {}
+
+    def times_list(self) -> list:
+        """Row times as a cached Python list (kernel hot-loop view)."""
+        if self._times_list is None:
+            self._times_list = self.times.tolist()
+        return self._times_list
+
+    def column_list(self, j: int) -> list:
+        """Matrix column ``j`` as a cached Python list (kernel view)."""
+        values = self._column_lists.get(j)
+        if values is None:
+            values = self._column_lists[j] = self.matrix[:, j].tolist()
+        return values
 
     def __len__(self) -> int:
         return self.n_steps

@@ -125,6 +125,22 @@ class Harvester(abc.ABC):
         """Power (W) at the maximum power point."""
         return self.mpp(ambient).power
 
+    # ------------------------------------------------------------------
+    # Batched lowering (see repro.simulation.kernel.batched)
+    # ------------------------------------------------------------------
+    def lower_batched(self, siblings):
+        """Surface builder for a group of identical-class harvesters.
+
+        Returns an object whose ``build(values, width)`` precomputes the
+        I-V surface over a stacked ambient tensor (``voc``, ``power_at``,
+        ``mpp_voltage``/``mpp_power``) bit-identically to the scalar
+        methods. The base class has no batched surface — subclasses with
+        vectorizable physics opt in.
+        """
+        from ..simulation.kernel.protocol import LoweringUnsupported
+        raise LoweringUnsupported(
+            f"{type(self).__name__} has no batched lowering")
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r}, source={self.source_type.value})"
 
@@ -208,3 +224,97 @@ class TheveninHarvester(Harvester):
         # Ceiling-limited: power plateau; report the matched voltage point
         # at the capped power.
         return OperatingPoint(v, ceiling / v, ceiling)
+
+    # ------------------------------------------------------------------
+    # Batched lowering (see repro.simulation.kernel.batched)
+    # ------------------------------------------------------------------
+    def lower_batched(self, siblings):
+        """Generic batched Thevenin surface.
+
+        A subclass opts in by providing ``_batch_thevenin(siblings,
+        values) -> (voc, r_int)`` (and optionally
+        ``_batch_power_ceiling(siblings, values) -> ceiling | None``),
+        each the vectorized twin of its scalar method. The surface
+        replicates :meth:`current_at`/:meth:`power_at`/:meth:`mpp`
+        expression by expression over those tensors.
+        """
+        from ..simulation.kernel.protocol import (
+            LoweringUnsupported,
+            ensure_unmodified,
+        )
+        from ..simulation.kernel.batched import same_class
+        cls = same_class(siblings, "harvester")
+        if getattr(cls, "_batch_thevenin", None) is None:
+            raise LoweringUnsupported(
+                f"{cls.__name__} has no batched lowering "
+                f"(no _batch_thevenin hook)")
+        for harvester in siblings:
+            ensure_unmodified(
+                harvester, TheveninHarvester, "current_at", "power_at",
+                "mpp", "max_power", "open_circuit_voltage",
+                "_thevenin_cached")
+        return _TheveninSurfaceBuilder(siblings)
+
+    def _batch_power_ceiling(self, siblings, values):
+        """Vectorized :meth:`power_ceiling`; ``None`` = uncapped (inf)."""
+        return None
+
+
+class _TheveninSurfaceBuilder:
+    __slots__ = ("siblings",)
+
+    def __init__(self, siblings):
+        self.siblings = siblings
+
+    def build(self, values, width: int):
+        lanes = self.siblings[:width] if width == 1 else self.siblings
+        first = lanes[0]
+        voc_raw, r_int = first._batch_thevenin(lanes, values)
+        ceiling = first._batch_power_ceiling(lanes, values)
+        return _TheveninSurface(voc_raw, r_int, ceiling)
+
+
+class _TheveninSurface:
+    """Vectorized Thevenin I-V surface over one ambient tensor."""
+
+    __slots__ = ("voc_raw", "r_int", "ceiling", "voc", "_mpp")
+
+    def __init__(self, voc_raw, r_int, ceiling):
+        import numpy as np
+        self.voc_raw = voc_raw
+        self.r_int = r_int
+        self.ceiling = ceiling  # None means "no physical cap" (inf)
+        # open_circuit_voltage: max(0.0, voc)
+        self.voc = np.where(voc_raw > 0.0, voc_raw, 0.0)
+        self._mpp = None
+
+    def power_at(self, voltage):
+        """Twin of ``voltage * TheveninHarvester.current_at(voltage)``."""
+        import numpy as np
+        voc, r = self.voc_raw, self.r_int
+        i = (voc - voltage) / r
+        i = np.where((voc <= 0.0) | (i <= 0.0), 0.0, i)
+        if self.ceiling is not None:
+            over = (voltage > 0.0) & (voltage * i > self.ceiling)
+            i = np.where(over, self.ceiling / voltage, i)
+        return voltage * i
+
+    def _compute_mpp(self):
+        import numpy as np
+        voc, r = self.voc_raw, self.r_int
+        v = voc / 2.0
+        p = voc * voc / (4.0 * r)
+        if self.ceiling is not None:
+            p = np.where(p <= self.ceiling, p, self.ceiling)
+        dead = voc <= 0.0
+        self._mpp = (np.where(dead, 0.0, v), np.where(dead, 0.0, p))
+
+    def mpp_voltage(self):
+        if self._mpp is None:
+            self._compute_mpp()
+        return self._mpp[0]
+
+    def mpp_power(self):
+        if self._mpp is None:
+            self._compute_mpp()
+        return self._mpp[1]

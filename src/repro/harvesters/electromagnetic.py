@@ -105,3 +105,34 @@ class ElectromagneticHarvester(TheveninHarvester):
         # Cap matched power at the mechanical bound via effective Rint.
         r_int = max(self.coil_resistance, voc * voc / (4.0 * p))
         return voc, r_int
+
+    # ------------------------------------------------------------------
+    # Batched lowering (see repro.simulation.kernel.batched)
+    # ------------------------------------------------------------------
+    def _batch_thevenin(self, siblings, values):
+        import numpy as np
+        from ..simulation.kernel.batched import exact_pow, gather
+        mass = gather(siblings, lambda h: h.proof_mass_kg)
+        p_denom = gather(
+            siblings,
+            lambda h: 8.0 * h.damping_ratio *
+            (2.0 * math.pi * h.resonant_frequency))
+        gain = gather(siblings,
+                      lambda h: h.detuning_gain(h.current_frequency))
+        sqrt_gain = gather(
+            siblings,
+            lambda h: math.sqrt(h.detuning_gain(h.current_frequency)))
+        v_denom = gather(
+            siblings,
+            lambda h: 2.0 * h.damping_ratio *
+            (2.0 * math.pi * h.resonant_frequency))
+        k_t = gather(siblings, lambda h: h.transduction_constant)
+        coil_r = gather(siblings, lambda h: h.coil_resistance)
+        accel = np.where(values > 0.0, values, 0.0)
+        p = mass * exact_pow(accel, 2) / p_denom * gain
+        dead = p <= 0.0
+        velocity = accel / v_denom * sqrt_gain
+        voc = k_t * velocity
+        r_int = np.maximum(coil_r, voc * voc / (4.0 * p))
+        return (np.where(dead, 0.0, voc),
+                np.where(dead, coil_r, r_int))

@@ -159,3 +159,124 @@ class PhotovoltaicCell(Harvester):
         if voc <= 0 or isc <= 0:
             return 0.0
         return self.mpp(ambient).power / (voc * isc)
+
+    # ------------------------------------------------------------------
+    # Batched lowering (see repro.simulation.kernel.batched)
+    # ------------------------------------------------------------------
+    def lower_batched(self, siblings):
+        """Batched single-diode surface.
+
+        Vectorizes the diode equation, Voc, and the Newton MPP solve
+        over a stacked ambient tensor. Transcendental call sites go
+        through the exact-libm maps (numpy's SIMD ``exp``/``log1p``/
+        ``expm1`` round differently on ~0.1% of inputs), and each lane's
+        Newton iteration freezes at *its* convergence step, reproducing
+        the scalar iteration history bit for bit. The rare
+        Newton-failure lanes fall back to the scalar golden-section
+        method per lane, exactly like :meth:`mpp`.
+        """
+        from ..simulation.kernel.protocol import ensure_unmodified
+        from ..simulation.kernel.batched import same_class
+        same_class(siblings, "harvester")
+        for harvester in siblings:
+            ensure_unmodified(
+                harvester, PhotovoltaicCell, "current_at", "power_at",
+                "mpp", "max_power", "open_circuit_voltage", "photocurrent")
+        return _PVSurfaceBuilder(siblings)
+
+
+class _PVSurfaceBuilder:
+    __slots__ = ("siblings",)
+
+    def __init__(self, siblings):
+        self.siblings = siblings
+
+    def build(self, values, width: int):
+        return _PVSurface(self.siblings[:width] if width == 1
+                          else self.siblings, values)
+
+
+class _PVSurface:
+    __slots__ = ("lanes", "values", "nvt", "i0", "iph", "pos", "voc", "_mpp")
+
+    def __init__(self, lanes, values):
+        import numpy as np
+        from ..simulation.kernel.batched import exact_log1p, gather
+        self.lanes = lanes
+        self.values = values
+        self.nvt = gather(lanes, lambda h: h._nvt)
+        self.i0 = gather(lanes, lambda h: h.i0)
+        iph_per = gather(lanes, lambda h: h._iph_per_w_m2)
+        self.iph = iph_per * values
+        self.pos = self.iph > 0.0
+        self.voc = np.where(self.pos,
+                            self.nvt * exact_log1p(self.iph / self.i0), 0.0)
+        self._mpp = None
+
+    def _current_at(self, voltage):
+        """Twin of :meth:`PhotovoltaicCell.current_at` (validation
+        hoisted: tracker voltages are never negative)."""
+        import numpy as np
+        from ..simulation.kernel.batched import exact_expm1
+        arg = voltage / self.nvt
+        big = arg > 500.0
+        i = self.iph - self.i0 * exact_expm1(np.where(big, 0.0, arg))
+        i = np.where(i > 0.0, i, 0.0)
+        return np.where(self.pos & ~big, i, 0.0)
+
+    def power_at(self, voltage):
+        return voltage * self._current_at(voltage)
+
+    def _compute_mpp(self):
+        import numpy as np
+        from ..simulation.kernel.batched import exact_exp, exact_log
+        iph, i0, nvt = self.iph, self.i0, self.nvt
+        shape = iph.shape
+        k = ((iph + i0) / i0).ravel()
+        # Initial guess x ~ ln(k) - ln(1 + ln(k)), clamped like the scalar.
+        lk = exact_log(np.where(k > 0.0, k, 1.0))
+        inner = np.where(lk > 1e-9, lk, 1e-9)
+        x = lk - exact_log(1.0 + inner)
+        x = np.where(x > 1e-6, x, 1e-6)
+        converged = np.zeros(x.shape, dtype=bool)
+        active = np.nonzero(k > 0.0)[0]
+        for _ in range(50):
+            if active.size == 0:
+                break
+            xa = x[active]
+            ex = exact_exp(xa)
+            f = ex * (1.0 + xa) - k[active]
+            fp = ex * (2.0 + xa)
+            xa = xa - f / fp
+            x[active] = xa
+            conv = np.abs(f / fp) < 1e-12 * np.where(np.abs(xa) > 1.0,
+                                                     np.abs(xa), 1.0)
+            converged[active] |= conv
+            active = active[~conv]
+        x = x.reshape(shape)
+        converged = converged.reshape(shape)
+        v = x * nvt
+        i = self._current_at(v)
+        p = v * i
+        # Newton-failure lanes: the scalar method's golden-section
+        # fallback, run through the scalar code itself (exact and rare).
+        fallback = (~converged | (x <= 0.0)) & self.pos
+        if fallback.any():
+            width = shape[1]
+            for row, col in zip(*np.nonzero(fallback)):
+                lane = self.lanes[col if width > 1 else 0]
+                op = lane.mpp(float(self.values[row, col]))
+                v[row, col] = op.voltage
+                p[row, col] = op.power
+        dead = ~self.pos
+        self._mpp = (np.where(dead, 0.0, v), np.where(dead, 0.0, p))
+
+    def mpp_voltage(self):
+        if self._mpp is None:
+            self._compute_mpp()
+        return self._mpp[0]
+
+    def mpp_power(self):
+        if self._mpp is None:
+            self._compute_mpp()
+        return self._mpp[1]

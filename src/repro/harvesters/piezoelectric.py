@@ -118,3 +118,31 @@ class PiezoelectricHarvester(TheveninHarvester):
         # Choose Rint so that Voc^2 / (4 R) equals the mechanical result.
         r_int = voc * voc / (4.0 * p_matched)
         return voc, r_int
+
+    # ------------------------------------------------------------------
+    # Batched lowering (see repro.simulation.kernel.batched)
+    # ------------------------------------------------------------------
+    def _batch_thevenin(self, siblings, values):
+        import numpy as np
+        from ..simulation.kernel.batched import exact_pow, gather
+        # Per-lane constants, hoisted with scalar Python arithmetic in
+        # the methods' association order (current_frequency is fixed for
+        # the run: smart-harvester retuning is outside the batched
+        # envelope because it needs a managing controller).
+        k_v = gather(siblings, lambda h: h.voltage_per_ms2)
+        sqrt_gain = gather(
+            siblings,
+            lambda h: math.sqrt(h.detuning_gain(h.current_frequency)))
+        gain = gather(siblings,
+                      lambda h: h.detuning_gain(h.current_frequency))
+        mass = gather(siblings, lambda h: h.proof_mass_kg)
+        denom = gather(
+            siblings,
+            lambda h: 8.0 * h.damping_ratio *
+            (2.0 * math.pi * h.resonant_frequency))
+        accel = np.where(values > 0.0, values, 0.0)
+        voc = k_v * accel * sqrt_gain
+        p_matched = mass * exact_pow(accel, 2) / denom * gain
+        dead = (voc <= 0.0) | (p_matched <= 0.0)
+        r_int = voc * voc / (4.0 * p_matched)
+        return (np.where(dead, 0.0, voc), np.where(dead, 1.0, r_int))

@@ -97,3 +97,23 @@ class RFHarvester(TheveninHarvester):
             voc *= math.sqrt(p_dc / 1e-6)
         r_int = voc * voc / (4.0 * p_dc)
         return voc, r_int
+
+    # ------------------------------------------------------------------
+    # Batched lowering (see repro.simulation.kernel.batched)
+    # ------------------------------------------------------------------
+    def _batch_thevenin(self, siblings, values):
+        import numpy as np
+        from ..simulation.kernel.batched import gather
+        aperture = gather(siblings, lambda h: h.effective_aperture_m2)
+        peak = gather(siblings, lambda h: h.peak_efficiency)
+        half_w = gather(siblings, lambda h: h.half_efficiency_w)
+        v_out = gather(siblings, lambda h: h.output_voltage)
+        density = np.where(values > 0.0, values, 0.0)
+        p_in = density * aperture
+        eff = np.where(p_in <= 0.0, 0.0, peak * p_in / (p_in + half_w))
+        p_dc = p_in * eff
+        dead = p_dc <= 0.0
+        voc = np.where(p_dc < 1e-6,
+                       v_out * np.sqrt(p_dc / 1e-6), v_out)
+        r_int = voc * voc / (4.0 * p_dc)
+        return (np.where(dead, 0.0, voc), np.where(dead, 1.0, r_int))

@@ -87,3 +87,25 @@ class WaterTurbine(TheveninHarvester):
     def power_ceiling(self, ambient: float) -> float:
         ceiling = self.hydraulic_power(max(0.0, ambient))
         return ceiling if ceiling > 0 else math.inf
+
+    # ------------------------------------------------------------------
+    # Batched lowering (see repro.simulation.kernel.batched)
+    # ------------------------------------------------------------------
+    def _batch_thevenin(self, siblings, values):
+        import numpy as np
+        from ..simulation.kernel.batched import gather
+        cut_in = gather(siblings, lambda h: h.cut_in_speed)
+        kv = gather(siblings, lambda h: h.kv)
+        r_int = gather(siblings, lambda h: h.internal_resistance)
+        voc = np.where(values < cut_in, 0.0, kv * values)
+        return voc, np.broadcast_to(r_int, values.shape)
+
+    def _batch_power_ceiling(self, siblings, values):
+        import numpy as np
+        from ..simulation.kernel.batched import exact_pow, gather
+        cut_in = gather(siblings, lambda h: h.cut_in_speed)
+        k = gather(siblings, lambda h: 0.5 * WATER_DENSITY *
+                   h.swept_area_m2 * h.power_coefficient)
+        fs = np.where(values > 0.0, values, 0.0)
+        hydro = np.where(fs < cut_in, 0.0, k * exact_pow(fs, 3))
+        return np.where(hydro > 0.0, hydro, math.inf)

@@ -99,3 +99,31 @@ class MicroWindTurbine(TheveninHarvester):
     def power_ceiling(self, ambient: float) -> float:
         ceiling = self.aerodynamic_power(max(0.0, ambient))
         return ceiling if ceiling > 0 else math.inf
+
+    # ------------------------------------------------------------------
+    # Batched lowering (see repro.simulation.kernel.batched)
+    # ------------------------------------------------------------------
+    def _batch_thevenin(self, siblings, values):
+        import numpy as np
+        from ..simulation.kernel.batched import gather
+        cut_in = gather(siblings, lambda h: h.cut_in_speed)
+        cut_out = gather(siblings, lambda h: h.cut_out_speed)
+        kv = gather(siblings, lambda h: h.kv)
+        r_int = gather(siblings, lambda h: h.internal_resistance)
+        stalled = (values < cut_in) | (values > cut_out)
+        voc = np.where(stalled, 0.0, kv * values)
+        return voc, np.broadcast_to(r_int, values.shape)
+
+    def _batch_power_ceiling(self, siblings, values):
+        import numpy as np
+        from ..simulation.kernel.batched import exact_pow, gather
+        cut_in = gather(siblings, lambda h: h.cut_in_speed)
+        cut_out = gather(siblings, lambda h: h.cut_out_speed)
+        # 0.5 * rho * A * Cp hoisted with scalar Python arithmetic, in
+        # the method's association order.
+        k = gather(siblings, lambda h: 0.5 * AIR_DENSITY *
+                   h.swept_area_m2 * h.power_coefficient)
+        ws = np.where(values > 0.0, values, 0.0)
+        aero = np.where((ws < cut_in) | (ws > cut_out), 0.0,
+                        k * exact_pow(ws, 3))
+        return np.where(aero > 0.0, aero, math.inf)

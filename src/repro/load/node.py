@@ -226,6 +226,126 @@ class WirelessSensorNode:
                           "measurement_energy", "_reboot_power")
         return NodeLowering(self, self.demand_power, self.step)
 
+    # ------------------------------------------------------------------
+    # Batched lowering (see repro.simulation.kernel.batched)
+    # ------------------------------------------------------------------
+    def lower_batched(self, dt: float, siblings):
+        """Lockstep brown-out state machine over ``(n,)`` lanes.
+
+        Replicates :meth:`step` branch by branch with masks: each lane
+        takes exactly one of {stay-dead, reboot-fail, rebooting,
+        brown-out, running} per step, and every counter receives the
+        single addition the scalar branch would perform. The demand
+        model is hoisted (``measurement_interval_s`` only changes under
+        managing controllers, which are outside the batched envelope).
+        """
+        import numpy as np
+        from ..simulation.kernel.protocol import ensure_unmodified
+        from ..simulation.kernel.batched import (
+            STATE_DEAD,
+            STATE_REBOOTING,
+            STATE_RUNNING,
+            BatchState,
+            BatchedNodeLowering,
+            gather,
+            node_state_from_code,
+            same_class,
+        )
+        same_class(siblings, "node")
+        for node in siblings:
+            ensure_unmodified(node, WirelessSensorNode, "demand_power",
+                              "step", "measurement_energy", "_reboot_power")
+        sleep = gather(siblings, lambda n: n.sleep_power_w)
+        run_demand = gather(
+            siblings,
+            lambda n: n.sleep_power_w +
+            n.measurement_energy() / n.measurement_interval_s)
+        reboot_power = gather(siblings, lambda n: n._reboot_power())
+        reboot_time = gather(siblings, lambda n: n.reboot_time_s)
+        full_rate = gather(siblings, lambda n: dt / n.measurement_interval_s)
+        needed_margin = gather(
+            siblings,
+            lambda n: (n.sleep_power_w + n.measurement_energy() /
+                       n.measurement_interval_s) - n.sleep_power_w)
+        no_margin = needed_margin <= 0.0
+
+        from ..simulation.kernel.batched import _STATE_CODE
+        state = BatchState()
+        state.code = np.array([_STATE_CODE[n.state] for n in siblings],
+                              dtype=np.int8)
+        state.reboot_remaining = gather(siblings,
+                                        lambda n: n._reboot_remaining)
+        state.measurements = gather(siblings, lambda n: n.total_measurements)
+        state.packets = gather(siblings, lambda n: n.total_packets)
+        state.energy = gather(siblings, lambda n: n.total_energy_j)
+        state.dead_seconds = gather(siblings, lambda n: n.dead_seconds)
+        state.brownouts = np.array([n.brownouts for n in siblings],
+                                   dtype=np.int64)
+
+        def demand():
+            return np.where(state.code == STATE_RUNNING, run_demand,
+                            reboot_power)
+
+        def step(supplied):
+            code = state.code
+            was_dead = code == STATE_DEAD
+            revive = was_dead & (supplied >= sleep)
+            stay_dead = was_dead & ~revive
+            rebooting = revive | (code == STATE_REBOOTING)
+            fail = rebooting & (supplied < reboot_power)
+            ok = rebooting & ~fail
+            rr = np.where(revive, reboot_time, state.reboot_remaining)
+            reboot_spent = np.minimum(dt, np.maximum(rr, 0.0))
+            rr_new = rr - dt
+            consumed_reb = (reboot_power * reboot_spent +
+                           sleep * (dt - reboot_spent)) / dt
+            finish = ok & (rr_new <= 0.0)
+            running = code == STATE_RUNNING
+            brown = running & (supplied < sleep)
+            alive = running & ~brown
+            consumed_run = np.minimum(run_demand, supplied)
+            margin = consumed_run - sleep
+            done = full_rate * np.minimum(1.0, margin / needed_margin)
+            done = np.where(alive & ~no_margin, done, 0.0)
+
+            state.code = np.where(
+                stay_dead | fail | brown, STATE_DEAD,
+                np.where(finish, STATE_RUNNING,
+                         np.where(ok, STATE_REBOOTING,
+                                  code))).astype(np.int8)
+            state.reboot_remaining = np.where(ok, rr_new, rr)
+            state.dead_seconds = state.dead_seconds + np.where(
+                stay_dead | fail | brown, dt,
+                np.where(ok, reboot_spent, 0.0))
+            state.brownouts = state.brownouts + brown
+            state.energy = state.energy + np.where(
+                ok, consumed_reb * dt,
+                np.where(alive, consumed_run * dt, 0.0))
+            state.measurements = state.measurements + done
+            state.packets = state.packets + done
+
+            result_code = np.where(
+                stay_dead | fail | brown, STATE_DEAD,
+                np.where(ok, STATE_REBOOTING, STATE_RUNNING)).astype(np.int8)
+            consumed = np.where(ok, consumed_reb,
+                                np.where(alive, consumed_run, 0.0))
+            # (The scalar result's demand_w is not returned: the
+            # recorder's node_demand column is the pre-step demand().)
+            return result_code, consumed, done
+
+        def writeback() -> None:
+            for k, node in enumerate(siblings):
+                node.state = node_state_from_code(state.code[k])
+                node._reboot_remaining = float(state.reboot_remaining[k])
+                node.total_measurements = float(state.measurements[k])
+                node.total_packets = float(state.packets[k])
+                node.total_energy_j = float(state.energy[k])
+                node.dead_seconds = float(state.dead_seconds[k])
+                node.brownouts = int(state.brownouts[k])
+
+        return BatchedNodeLowering(tuple(siblings), state, demand, step,
+                                   writeback)
+
     def __repr__(self) -> str:
         return (f"WirelessSensorNode(state={self.state.value}, "
                 f"interval={self.measurement_interval_s:.0f}s, "

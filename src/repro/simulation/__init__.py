@@ -16,12 +16,20 @@ across worker processes for the comparative studies.
 
 from .engine import SimulationResult, Simulator, simulate
 from .events import EventSchedule, SimEvent, swap_harvester_event, swap_storage_event
-from .kernel import KernelFallback, KernelPlan, LoweringUnsupported
+from .kernel import (
+    KernelFallback,
+    KernelPlan,
+    LoweringUnsupported,
+    batch_eligible,
+    why_batch_ineligible,
+)
 from .metrics import RunMetrics, compute_metrics
 from .recorder import Recorder
 from .sweep import ScenarioResult, ScenarioSpec, SweepResult, SweepRunner
 
 __all__ = [
+    "batch_eligible",
+    "why_batch_ineligible",
     "Simulator",
     "SimulationResult",
     "simulate",

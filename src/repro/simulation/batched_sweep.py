@@ -1,0 +1,133 @@
+"""The sweep runner's batched execution tier.
+
+Bridges :class:`~repro.simulation.sweep.SweepRunner` and the batched
+kernel (:mod:`repro.simulation.kernel.batched`): scenarios are probed
+cheaply, grouped by system topology, compiled into one
+:class:`BatchedPlan` per group, and stepped in lockstep. Scenarios the
+envelope excludes — carrying events, forced ``fast=False``, or built
+from components without a batched lowering — are handed back with a
+reason so the runner can route them through the per-scenario tiers.
+
+Determinism: a batched scenario's rows are bit-for-bit what the
+per-scenario kernel would have produced, so tier selection never changes
+results — only throughput.
+"""
+
+from __future__ import annotations
+
+from ..environment.compiled import CompiledEnvironment
+from .engine import SimulationResult
+from .kernel.batched import BatchedPlan, group_signature, run_batched
+from .kernel.protocol import LoweringUnsupported
+from .metrics import compute_metrics
+from .recorder import Recorder
+
+__all__ = ["run_batched_tier"]
+
+
+def _no_events(spec) -> bool:
+    events = spec.events
+    if events is None:
+        return True
+    if callable(events):
+        return False  # schedules behind factories are opaque: fall back
+    try:
+        return len(events) == 0
+    except TypeError:
+        return False
+
+
+def run_batched_tier(specs, default_fast):
+    """Try to run each spec on the batched kernel.
+
+    Returns ``(results, remainder, reasons)``: a dict mapping spec index
+    to its :class:`ScenarioResult`, the input-order indices that must
+    run on the per-scenario tiers, and (for reporting / ``batch=True``
+    errors) each skipped index's reason.
+    """
+    from .sweep import ScenarioResult, _build_environment, _build_system
+
+    results: dict = {}
+    remainder: list = []
+    reasons: dict = {}
+    groups: dict = {}
+
+    for index, spec in enumerate(specs):
+        scenario_fast = spec.fast if spec.fast != "auto" else default_fast
+        if scenario_fast is False:
+            remainder.append(index)
+            reasons[index] = "fast=False forces the per-scenario legacy path"
+            continue
+        if not _no_events(spec):
+            remainder.append(index)
+            reasons[index] = "scheduled events run per-scenario"
+            continue
+        system = _build_system(spec)
+        # Probe eligibility on the system alone before paying for the
+        # environment (stochastic trace synthesis dwarfs system
+        # construction): ineligible scenarios fall back without ever
+        # building their environment here, and member-level refusals
+        # are decided per scenario, not per group. Compile validity is
+        # independent of dt, so a placeholder works when the spec
+        # leaves dt to the environment.
+        try:
+            BatchedPlan.compile([system],
+                                spec.dt if spec.dt is not None else 1.0)
+        except LoweringUnsupported as exc:
+            remainder.append(index)
+            reasons[index] = str(exc)
+            continue
+        environment = _build_environment(spec)
+        dt = spec.dt if spec.dt is not None else environment.dt
+        duration = spec.duration if spec.duration is not None \
+            else environment.duration
+        if dt <= 0 or duration <= 0:
+            # Hand invalid geometry to the per-scenario path so the
+            # canonical Simulator errors are raised.
+            remainder.append(index)
+            reasons[index] = "invalid dt/duration"
+            continue
+        n_steps = max(1, int(round(duration / dt)))
+        try:
+            key = group_signature(system, dt, n_steps)
+        except Exception:
+            remainder.append(index)
+            reasons[index] = "unrecognized system shape"
+            continue
+        groups.setdefault(key, []).append(
+            (index, spec, system, environment, n_steps, dt))
+
+    for entries in groups.values():
+        indices = [e[0] for e in entries]
+        systems = [e[2] for e in entries]
+        n_steps = entries[0][4]
+        dt = entries[0][5]
+        try:
+            plan = BatchedPlan.compile(systems, dt)
+        except LoweringUnsupported as exc:
+            remainder.extend(indices)
+            for index in indices:
+                reasons[index] = str(exc)
+            continue
+        compileds = [CompiledEnvironment(env, 0.0, n_steps, dt)
+                     for _, _, _, env, _, _ in entries]
+        recorders = [Recorder(dt, keep_records=False) for _ in entries]
+        run_batched(plan, compileds, recorders, n_steps, dt)
+        for (index, spec, system, _, _, _), recorder in zip(entries,
+                                                            recorders):
+            metrics = compute_metrics(recorder)
+            extras = {}
+            if spec.collect is not None:
+                extras = spec.collect(SimulationResult(
+                    system, recorder, metrics, execution_path="batched"))
+            results[index] = ScenarioResult(
+                name=spec.name,
+                params=dict(spec.params),
+                metrics=metrics,
+                n_steps=len(recorder),
+                extras=extras,
+                execution_path="batched",
+            )
+
+    remainder.sort()
+    return results, remainder, reasons

@@ -24,13 +24,22 @@ __all__ = [
     "eligible",
     "why_ineligible",
     "run_plan",
+    "BatchedPlan",
+    "batch_eligible",
+    "why_batch_ineligible",
+    "run_batched",
 ]
 
 _PLAN_EXPORTS = ("KernelPlan", "eligible", "why_ineligible", "run_plan")
+_BATCHED_EXPORTS = ("BatchedPlan", "batch_eligible", "why_batch_ineligible",
+                    "run_batched", "group_signature")
 
 
 def __getattr__(name: str):
     if name in _PLAN_EXPORTS:
         from . import plan
         return getattr(plan, name)
+    if name in _BATCHED_EXPORTS:
+        from . import batched
+        return getattr(batched, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

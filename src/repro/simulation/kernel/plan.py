@@ -80,19 +80,13 @@ def run_plan(plan: KernelPlan, compiled, schedule, recorder, n_steps: int,
     silent degradation raises :exc:`KernelFallback` instead.
     """
     system = plan.system
-    times = compiled.times.tolist()
-    matrix = compiled.matrix
-
-    col_cache: dict = {}
+    times = compiled.times_list()
 
     def values_for(source):
         j = compiled.column_of(source)
         if j is None:
             return None
-        values = col_cache.get(j)
-        if values is None:
-            values = col_cache[j] = matrix[:, j].tolist()
-        return values
+        return compiled.column_list(j)
 
     def bind(lowering):
         """Hoist the lowering's closures (refreshed after events)."""

@@ -212,22 +212,47 @@ def _execute(payload) -> ScenarioResult:
 
 
 class SweepRunner:
-    """Fan scenarios across processes; deterministic regardless of layout.
+    """Tiered sweep executor; deterministic regardless of layout.
+
+    Execution tiers, per scenario:
+
+    1. **Batched** (``batch="auto"``, the default) — scenarios whose
+       system topology is inside the batched-kernel envelope (see
+       :mod:`repro.simulation.kernel.batched`) are grouped by topology
+       and stepped *in lockstep* as numpy state vectors, bit-for-bit
+       identical to running them one by one.
+    2. **Multiprocessing** — remaining picklable scenarios fan out
+       across worker processes.
+    3. **In-process** — everything else.
+
+    Rows keep the input order whatever tier ran them, and
+    ``execution_path`` reports which one did (``"batched"``,
+    ``"kernel"``, ``"legacy"``, or ``"kernel+legacy"``).
 
     Parameters
     ----------
     processes:
-        Worker count. ``None`` (default) uses ``min(cpu_count,
-        n_scenarios)``; ``0`` or ``1`` runs in-process.
+        Worker count for the multiprocessing tier. ``None`` (default)
+        uses ``min(cpu_count, n_scenarios)``; ``0`` or ``1`` runs
+        in-process.
     fast:
         Default engine path for scenarios whose spec says ``"auto"``.
+    batch:
+        ``"auto"`` uses the batched tier where eligible and falls back
+        transparently; ``True`` *requires* it (raising ``ValueError``
+        naming the first ineligible scenario); ``False`` disables it.
     """
 
-    def __init__(self, processes: int | None = None, fast="auto"):
+    def __init__(self, processes: int | None = None, fast="auto",
+                 batch="auto"):
         if processes is not None and processes < 0:
             raise ValueError("processes must be non-negative")
+        if batch not in ("auto", True, False):
+            raise ValueError(
+                f"batch must be 'auto', True or False, got {batch!r}")
         self.processes = processes
         self.fast = fast
+        self.batch = batch
 
     def run(self, specs) -> SweepResult:
         """Execute every spec; results keep the input order."""
@@ -235,20 +260,39 @@ class SweepRunner:
         names = [s.name for s in specs]
         if len(set(names)) != len(names):
             raise ValueError("scenario names must be unique within a sweep")
-        payloads = [(spec, self.fast) for spec in specs]
+        results: list = [None] * len(specs)
+        remainder = list(range(len(specs)))
+        if self.batch in ("auto", True) and specs:
+            from .batched_sweep import run_batched_tier
+            batched, remainder, reasons = run_batched_tier(specs, self.fast)
+            if self.batch is True and remainder:
+                index = remainder[0]
+                raise ValueError(
+                    f"batch=True but scenario {specs[index].name!r} is "
+                    f"outside the batched envelope: "
+                    f"{reasons.get(index, 'no batched lowering')}")
+            for index, result in batched.items():
+                results[index] = result
+        payloads = [(specs[i], self.fast) for i in remainder]
         n_proc = self.processes
         if n_proc is None:
-            n_proc = min(len(specs), os.cpu_count() or 1)
-        if n_proc > 1 and len(specs) > 1 and self._picklable(payloads):
-            results = self._run_pool(payloads, n_proc)
+            n_proc = min(len(payloads), os.cpu_count() or 1) if payloads \
+                else 1
+        if n_proc > 1 and len(payloads) > 1 and \
+                all(self._picklable(p) for p in payloads):
+            rest = self._run_pool(payloads, n_proc)
         else:
-            results = [_execute(p) for p in payloads]
+            rest = [_execute(p) for p in payloads]
+        for index, result in zip(remainder, rest):
+            results[index] = result
         return SweepResult(results)
 
     @staticmethod
-    def _picklable(payloads) -> bool:
+    def _picklable(payload) -> bool:
+        """Probe one payload (not the whole list: probing spec by spec
+        keeps peak memory at one serialized scenario, not the grid)."""
         try:
-            pickle.dumps(payloads)
+            pickle.dumps(payload)
             return True
         except Exception:
             return False
@@ -258,5 +302,8 @@ class SweepRunner:
         methods = multiprocessing.get_all_start_methods()
         ctx = multiprocessing.get_context(
             "fork" if "fork" in methods else None)
+        # Batch work into chunks so pool IPC amortizes over ~4 chunks
+        # per worker instead of one round-trip per scenario.
+        chunksize = max(1, len(payloads) // (4 * n_proc))
         with ctx.Pool(n_proc) as pool:
-            return pool.map(_execute, payloads, chunksize=1)
+            return pool.map(_execute, payloads, chunksize=chunksize)

@@ -171,13 +171,16 @@ def to_scenario(spec: RunSpec):
     )
 
 
-def run_sweep(spec: SweepSpec, *, processes: int | None = None, fast=None):
+def run_sweep(spec: SweepSpec, *, processes: int | None = None, fast=None,
+              batch="auto"):
     """Execute every run of a sweep spec via
     :class:`~repro.simulation.SweepRunner`; returns a
     :class:`~repro.simulation.SweepResult` in input order.
 
     ``fast`` (when given) overrides the engine-path selection of every
     scenario — how the CLI's ``--fast on/off`` reaches a sweep.
+    ``batch`` selects the lockstep batched tier (``"auto"``/``True``/
+    ``False``, see :class:`~repro.simulation.SweepRunner`).
     """
     from ..simulation.sweep import SweepRunner
     if not isinstance(spec, SweepSpec):
@@ -185,7 +188,8 @@ def run_sweep(spec: SweepSpec, *, processes: int | None = None, fast=None):
                         f"got {type(spec).__name__}")
     effective = spec.processes if processes is None else processes
     runner = SweepRunner(processes=effective,
-                         fast=spec.fast if fast is None else fast)
+                         fast=spec.fast if fast is None else fast,
+                         batch=batch)
     scenarios = [to_scenario(run_spec) for run_spec in spec.runs]
     if fast is not None:
         scenarios = [dataclasses.replace(s, fast=fast) for s in scenarios]

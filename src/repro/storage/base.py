@@ -276,6 +276,126 @@ class EnergyStorage(abc.ABC):
 
         return idle
 
+    # ------------------------------------------------------------------
+    # Batched lowering (see repro.simulation.kernel.batched)
+    # ------------------------------------------------------------------
+    def lower_batched(self, dt: float, siblings):
+        """Lower a group of same-chemistry stores to lockstep closures.
+
+        Mirrors :meth:`lower_kernel`'s hook structure: chemistry-specific
+        ``_batch_{voltage,charge,discharge,idle}`` hooks operate on
+        shared ``(n,)`` state arrays (``state.energy`` plus whatever the
+        chemistry adds in ``_batch_init``). A chemistry that overrides
+        scalar physics without providing the matching batched hook
+        raises :exc:`LoweringUnsupported` and the scenario runs on the
+        per-scenario path instead.
+        """
+        from ..simulation.kernel.batched import (
+            BatchState,
+            BatchedStoreLowering,
+            gather,
+            same_class,
+        )
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        same_class(siblings, "store")
+        state = BatchState()
+        state.energy = gather(siblings, lambda s: s.energy_j)
+        state.charged = gather(siblings, lambda s: s.total_charged_j)
+        state.discharged = gather(siblings, lambda s: s.total_discharged_j)
+        self._batch_init(dt, siblings, state)
+
+        def writeback() -> None:
+            self._batch_writeback(siblings, state)
+
+        return BatchedStoreLowering(
+            tuple(siblings), state,
+            self._batch_voltage(dt, siblings, state),
+            self._batch_charge(dt, siblings, state),
+            self._batch_discharge(dt, siblings, state),
+            self._batch_idle(dt, siblings, state),
+            writeback)
+
+    def _batch_init(self, dt: float, siblings, state) -> None:
+        """Chemistry hook: add extra shared state arrays (default none)."""
+
+    def _batch_writeback(self, siblings, state) -> None:
+        """Scatter final array state back onto the store objects."""
+        for k, store in enumerate(siblings):
+            store.energy_j = float(state.energy[k])
+            store.total_charged_j = float(state.charged[k])
+            store.total_discharged_j = float(state.discharged[k])
+
+    def _batch_voltage(self, dt: float, siblings, state):
+        """Terminal-voltage closure ``() -> (n,)``; chemistry-specific."""
+        from ..simulation.kernel.protocol import LoweringUnsupported
+        raise LoweringUnsupported(
+            f"{type(self).__name__} has no batched voltage lowering")
+
+    def _batch_charge(self, dt: float, siblings, state):
+        """Vectorized twin of :meth:`_kernel_charge` (same expressions,
+        with the early returns turned into state-write masks)."""
+        import numpy as np
+        rechargeable = np.array([s.rechargeable for s in siblings])
+        from ..simulation.kernel.batched import gather
+        max_c = gather(siblings, lambda s: s.max_charge_w)
+        eff_c = gather(siblings, lambda s: s.charge_efficiency)
+        eff_dt = gather(siblings, lambda s: dt * s.charge_efficiency)
+        capacity = gather(siblings, lambda s: s.capacity_j)
+
+        def charge(power_w):
+            act = rechargeable & (power_w != 0.0)
+            accepted = np.minimum(power_w, max_c)
+            stored = accepted * dt * eff_c
+            headroom = capacity - state.energy
+            headroom = np.where(headroom < 0.0, 0.0, headroom)
+            over = stored > headroom
+            stored = np.where(over, headroom, stored)
+            accepted = np.where(over, stored / eff_dt, accepted)
+            stored = np.where(act, stored, 0.0)
+            state.energy = state.energy + stored
+            state.charged = state.charged + stored
+            return np.where(act, accepted, 0.0)
+
+        return charge
+
+    def _batch_discharge(self, dt: float, siblings, state):
+        """Vectorized twin of :meth:`_kernel_base_discharge`."""
+        import numpy as np
+        from ..simulation.kernel.batched import gather
+        max_d = gather(siblings, lambda s: s.max_discharge_w)
+        eff_d = gather(siblings, lambda s: s.discharge_efficiency)
+
+        def discharge(power_w):
+            act = power_w != 0.0
+            deliverable = np.minimum(power_w, max_d)
+            drawn = deliverable * dt / eff_d
+            over = drawn > state.energy
+            drawn = np.where(over, state.energy, drawn)
+            deliverable = np.where(over, drawn * eff_d / dt, deliverable)
+            drawn = np.where(act, drawn, 0.0)
+            state.energy = state.energy - drawn
+            state.discharged = state.discharged + drawn
+            return np.where(act, deliverable, 0.0)
+
+        return discharge
+
+    def _batch_idle(self, dt: float, siblings, state):
+        """Vectorized twin of :meth:`_kernel_base_idle`."""
+        import numpy as np
+        from ..simulation.kernel.batched import gather
+        sd = gather(siblings, lambda s: s.self_discharge_per_day)
+        one_minus_keep = gather(
+            siblings,
+            lambda s: 1.0 - (1.0 - s.self_discharge_per_day) ** (dt / 86_400.0))
+
+        def idle() -> None:
+            act = (sd > 0.0) & (state.energy > 0.0)
+            lost = state.energy * one_minus_keep
+            state.energy = state.energy - np.where(act, lost, 0.0)
+
+        return idle
+
     def __repr__(self) -> str:
         return (f"{type(self).__name__}(name={self.name!r}, "
                 f"soc={self.soc:.3f}, capacity={self.capacity_j:.1f} J)")

@@ -144,6 +144,49 @@ class ChemistryBattery(EnergyStorage):
 
         return voltage
 
+    # ------------------------------------------------------------------
+    # Batched lowering (see repro.simulation.kernel.batched)
+    # ------------------------------------------------------------------
+    def _batch_voltage(self, dt: float, siblings, state):
+        """Vectorized OCV polyline (``np.searchsorted`` == ``bisect``).
+
+        The interpolation gathers curve points by per-lane index, which
+        needs one shared curve across the group — scenarios with
+        different OCV curves land in different sweep groups (the group
+        signature includes the curve), so this only refuses hand-built
+        mixed batches.
+        """
+        import numpy as np
+        from ..simulation.kernel.protocol import (
+            LoweringUnsupported,
+            ensure_unmodified,
+        )
+        from ..simulation.kernel.batched import gather
+        socs_list, volts_list = self._ocv_soc, self._ocv_v
+        for store in siblings:
+            ensure_unmodified(store, ChemistryBattery, "voltage", "soc")
+            if store._ocv_soc != socs_list or store._ocv_v != volts_list:
+                raise LoweringUnsupported(
+                    "batched battery lowering needs one OCV curve across "
+                    "the group")
+        capacity = gather(siblings, lambda s: s.capacity_j)
+        socs = np.array(socs_list)
+        volts = np.array(volts_list)
+        soc_lo, soc_hi = socs_list[0], socs_list[-1]
+        v_lo, v_hi = volts_list[0], volts_list[-1]
+        top = len(socs_list) - 1
+
+        def voltage():
+            s = state.energy / capacity
+            i = np.searchsorted(socs, s, side="right")
+            np.clip(i, 1, top, out=i)
+            frac = (s - socs[i - 1]) / (socs[i] - socs[i - 1])
+            v = volts[i - 1] + frac * (volts[i] - volts[i - 1])
+            return np.where(s <= soc_lo, v_lo,
+                            np.where(s >= soc_hi, v_hi, v))
+
+        return voltage
+
 
 @register("storage", "li_ion")
 class LiIonBattery(ChemistryBattery):

@@ -44,3 +44,19 @@ class IdealStorage(EnergyStorage):
             return nominal if store.energy_j > 0 else 0.0
 
         return voltage
+
+    # ------------------------------------------------------------------
+    # Batched lowering (see repro.simulation.kernel.batched)
+    # ------------------------------------------------------------------
+    def _batch_voltage(self, dt: float, siblings, state):
+        import numpy as np
+        from ..simulation.kernel.protocol import ensure_unmodified
+        from ..simulation.kernel.batched import gather
+        for store in siblings:
+            ensure_unmodified(store, IdealStorage, "voltage")
+        nominal = gather(siblings, lambda s: s.nominal_voltage)
+
+        def voltage():
+            return np.where(state.energy > 0.0, nominal, 0.0)
+
+        return voltage

@@ -102,10 +102,19 @@ class Supercapacitor(EnergyStorage):
         return math.sqrt(max(0.0, 2.0 * total / self.capacitance_f))
 
     def _usable_energy(self) -> float:
-        """Usable energy across both branches (J), floor at min_voltage."""
-        e_fast = 0.5 * self.c_fast * max(0.0, self.v_fast ** 2 - self.min_voltage ** 2)
+        """Usable energy across both branches (J), floor at min_voltage.
+
+        State squarings are written ``v * v`` (not ``v ** 2``): libm's
+        ``pow`` and a plain product differ by 1 ULP on a small fraction
+        of inputs, and the batched sweep kernel evaluates this expression
+        with numpy (whose squaring is a product) — the product form keeps
+        the legacy, kernel and batched paths bit-for-bit identical.
+        """
+        e_fast = 0.5 * self.c_fast * max(0.0, self.v_fast * self.v_fast -
+                                         self.min_voltage ** 2)
         if self.c_slow > 0:
-            e_slow = 0.5 * self.c_slow * max(0.0, self.v_slow ** 2 - self.min_voltage ** 2)
+            e_slow = 0.5 * self.c_slow * max(0.0, self.v_slow * self.v_slow -
+                                             self.min_voltage ** 2)
         else:
             e_slow = 0.0
         return e_fast + e_slow
@@ -128,7 +137,7 @@ class Supercapacitor(EnergyStorage):
         if power_w == 0.0:
             return 0.0
         # Energy enters the fast branch; clamp at rated voltage.
-        e_fast = 0.5 * self.c_fast * self.v_fast ** 2
+        e_fast = 0.5 * self.c_fast * (self.v_fast * self.v_fast)
         room = 0.5 * self.c_fast * self.rated_voltage ** 2 - e_fast
         delivered = min(power_w * dt, max(0.0, room))
         e_fast += delivered
@@ -145,7 +154,7 @@ class Supercapacitor(EnergyStorage):
         if power_w == 0.0:
             return 0.0
         deliverable = min(power_w, self.max_discharge_w)
-        e_fast = 0.5 * self.c_fast * self.v_fast ** 2
+        e_fast = 0.5 * self.c_fast * (self.v_fast * self.v_fast)
         floor = 0.5 * self.c_fast * self.min_voltage ** 2
         available = max(0.0, e_fast - floor)
         drawn = min(deliverable * dt, available)
@@ -221,10 +230,10 @@ class Supercapacitor(EnergyStorage):
         store = self
 
         def sync() -> None:
-            d_f = store.v_fast ** 2 - min_v2
+            d_f = store.v_fast * store.v_fast - min_v2
             usable = half_cf * (d_f if d_f > 0.0 else 0.0)
             if c_slow > 0.0:
-                d_s = store.v_slow ** 2 - min_v2
+                d_s = store.v_slow * store.v_slow - min_v2
                 usable += half_cs * (d_s if d_s > 0.0 else 0.0)
             store.energy_j = usable if usable < capacity_j else capacity_j
 
@@ -250,7 +259,7 @@ class Supercapacitor(EnergyStorage):
         def charge(power_w: float) -> float:
             if power_w == 0.0:
                 return 0.0
-            e_fast = half_cf * store.v_fast ** 2
+            e_fast = half_cf * (store.v_fast * store.v_fast)
             room = full_e - e_fast
             if room < 0.0:
                 room = 0.0
@@ -278,7 +287,7 @@ class Supercapacitor(EnergyStorage):
             if power_w == 0.0:
                 return 0.0
             deliverable = power_w if power_w <= max_d else max_d
-            e_fast = half_cf * store.v_fast ** 2
+            e_fast = half_cf * (store.v_fast * store.v_fast)
             available = e_fast - floor_e
             if available < 0.0:
                 available = 0.0
@@ -307,5 +316,121 @@ class Supercapacitor(EnergyStorage):
                 store.v_slow += alpha * (v_eq - store.v_slow)
             store.v_fast *= leak
             sync()
+
+        return idle
+
+    # ------------------------------------------------------------------
+    # Batched lowering (see repro.simulation.kernel.batched)
+    # ------------------------------------------------------------------
+    def _batch_init(self, dt: float, siblings, state) -> None:
+        """Shared branch-voltage arrays + the hoisted run constants."""
+        import numpy as np
+        for store in siblings:
+            store._kernel_guard()
+        state.v_fast = np.array([s.v_fast for s in siblings])
+        state.v_slow = np.array([s.v_slow for s in siblings])
+        # Per-lane constants via the *scalar* helper: identical Python
+        # arithmetic to what the scalar kernel hoists.
+        consts = [s._kernel_consts(dt) for s in siblings]
+        state.sc_consts = tuple(np.array(col, dtype=np.float64)
+                                for col in zip(*consts))
+
+    def _batch_writeback(self, siblings, state) -> None:
+        super()._batch_writeback(siblings, state)
+        for k, store in enumerate(siblings):
+            store.v_fast = float(state.v_fast[k])
+            store.v_slow = float(state.v_slow[k])
+
+    def _batch_sync(self, state):
+        """Vectorized :meth:`_kernel_sync`; ``act`` gates state writes."""
+        import numpy as np
+        (c_fast, c_slow, half_cs, cap_f, capacity_j, min_v2, full_e,
+         floor_e, half_cf, alpha, leak) = state.sc_consts
+        has_slow = c_slow > 0.0
+
+        def sync(act) -> None:
+            d_f = state.v_fast * state.v_fast - min_v2
+            usable = half_cf * np.where(d_f > 0.0, d_f, 0.0)
+            d_s = state.v_slow * state.v_slow - min_v2
+            usable = usable + np.where(
+                has_slow, half_cs * np.where(d_s > 0.0, d_s, 0.0), 0.0)
+            new_energy = np.where(usable < capacity_j, usable, capacity_j)
+            if act is None:
+                state.energy = new_energy
+            else:
+                state.energy = np.where(act, new_energy, state.energy)
+
+        return sync
+
+    def _batch_voltage(self, dt: float, siblings, state):
+        def voltage():
+            return state.v_fast
+
+        return voltage
+
+    def _batch_charge(self, dt: float, siblings, state):
+        import numpy as np
+        (c_fast, c_slow, half_cs, cap_f, capacity_j, min_v2, full_e,
+         floor_e, half_cf, alpha, leak) = state.sc_consts
+        sync = self._batch_sync(state)
+
+        def charge(power_w):
+            act = power_w != 0.0
+            e_fast = half_cf * (state.v_fast * state.v_fast)
+            room = full_e - e_fast
+            room = np.where(room < 0.0, 0.0, room)
+            delivered = power_w * dt
+            delivered = np.where(delivered > room, room, delivered)
+            e_fast = e_fast + delivered
+            state.v_fast = np.where(act, np.sqrt(2.0 * e_fast / c_fast),
+                                    state.v_fast)
+            sync(act)
+            state.charged = state.charged + np.where(act, delivered, 0.0)
+            return np.where(act, delivered / dt, 0.0)
+
+        return charge
+
+    def _batch_discharge(self, dt: float, siblings, state):
+        import numpy as np
+        from ..simulation.kernel.batched import gather
+        (c_fast, c_slow, half_cs, cap_f, capacity_j, min_v2, full_e,
+         floor_e, half_cf, alpha, leak) = state.sc_consts
+        max_d = gather(siblings, lambda s: s.max_discharge_w)
+        sync = self._batch_sync(state)
+
+        def discharge(power_w):
+            act = power_w != 0.0
+            deliverable = np.minimum(power_w, max_d)
+            e_fast = half_cf * (state.v_fast * state.v_fast)
+            available = e_fast - floor_e
+            available = np.where(available < 0.0, 0.0, available)
+            drawn = deliverable * dt
+            drawn = np.where(drawn > available, available, drawn)
+            e_fast = e_fast - drawn
+            state.v_fast = np.where(act, np.sqrt(2.0 * e_fast / c_fast),
+                                    state.v_fast)
+            sync(act)
+            state.discharged = state.discharged + np.where(act, drawn, 0.0)
+            return np.where(act, drawn / dt, 0.0)
+
+        return discharge
+
+    def _batch_idle(self, dt: float, siblings, state):
+        import numpy as np
+        (c_fast, c_slow, half_cs, cap_f, capacity_j, min_v2, full_e,
+         floor_e, half_cf, alpha, leak) = state.sc_consts
+        has_slow = c_slow > 0.0
+        sync = self._batch_sync(state)
+
+        def idle() -> None:
+            v_eq = (c_fast * state.v_fast + c_slow * state.v_slow) / cap_f
+            state.v_fast = np.where(
+                has_slow, state.v_fast + alpha * (v_eq - state.v_fast),
+                state.v_fast)
+            state.v_slow = np.where(
+                has_slow, state.v_slow + alpha * (v_eq - state.v_slow),
+                state.v_slow)
+            state.v_fast = state.v_fast * leak
+            sync(None)
 
         return idle

@@ -1,0 +1,320 @@
+"""Batched sweep kernel: bit-exactness, eligibility, and fallback.
+
+The batched kernel's contract is that grouping scenarios and stepping
+them in lockstep changes *throughput only*: every recorder column, every
+metric, and the final component state must be bit-for-bit what the
+per-scenario kernel produces. These tests enforce that per eligible
+Table I system and on seeded stochastic grids, and pin the fallback
+behaviour for everything outside the envelope (events, fuel-cell
+backups, hill-climbing trackers, bus platforms).
+"""
+
+from functools import partial
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments.common import make_reference_system
+from repro.conditioning.mppt import FixedVoltage
+from repro.environment.composite import (
+    indoor_industrial_environment,
+    outdoor_environment,
+)
+from repro.harvesters import PhotovoltaicCell
+from repro.simulation import (
+    ScenarioSpec,
+    SweepRunner,
+    batch_eligible,
+    simulate,
+    swap_storage_event,
+    why_batch_ineligible,
+)
+from repro.simulation.kernel.plan import eligible as kernel_eligible
+from repro.storage import Supercapacitor
+from repro.storage.fuel_cell import HydrogenFuelCell
+from repro.systems import SYSTEM_BUILDERS, build_system
+
+DAY = 86_400.0
+
+#: Table I letters inside / outside the batched envelope today.
+BATCH_ELIGIBLE = ("C", "D", "E", "G")
+BATCH_INELIGIBLE = ("A", "B", "F")
+
+#: Every scalar recorder column, including the derived ones.
+COLUMNS = ("harvest_raw", "harvest_delivered", "harvest_mpp",
+           "charge_accepted", "quiescent", "node_demand", "node_supplied",
+           "node_consumed", "backup_power", "measurements", "stored_energy",
+           "bus_voltage", "alive")
+
+ENV_FOR = {"C": outdoor_environment, "D": outdoor_environment,
+           "E": indoor_industrial_environment,
+           "G": indoor_industrial_environment}
+
+
+def build_fixed_pv(capacitance_f: float = 50.0):
+    """A batch-eligible reference platform (FixedVoltage conditioning)."""
+    return make_reference_system(
+        [PhotovoltaicCell(area_cm2=40.0, efficiency=0.16, name="pv")],
+        tracker_factory=lambda: FixedVoltage(2.0),
+        capacitance_f=capacitance_f, measurement_interval_s=120.0)
+
+
+def _grab_recorders():
+    """A collect hook capturing each scenario's recorder and system."""
+    captured = []
+
+    def collect(result):
+        captured.append(result)
+        return {}
+
+    return captured, collect
+
+
+def assert_bitwise_equal(recorder, reference, label: str) -> None:
+    for column in COLUMNS:
+        assert np.array_equal(recorder.column(column),
+                              reference.column(column)), \
+            f"{label}: column {column!r} diverged"
+    assert np.array_equal(recorder.state_codes(), reference.state_codes()), \
+        f"{label}: node state history diverged"
+    for index in range(recorder.n_stores):
+        assert np.array_equal(recorder.store_energy_trace(index).values,
+                              reference.store_energy_trace(index).values), \
+            f"{label}: store {index} energy diverged"
+    for index in range(recorder.n_channels):
+        assert np.array_equal(
+            recorder.channel_delivered_trace(index).values,
+            reference.channel_delivered_trace(index).values), \
+            f"{label}: channel {index} power diverged"
+
+
+class TestEligibility:
+    def test_table1_envelope(self):
+        for letter in BATCH_ELIGIBLE:
+            assert batch_eligible(build_system(letter), 300.0), letter
+        for letter in BATCH_INELIGIBLE:
+            reason = why_batch_ineligible(build_system(letter), 300.0)
+            assert reason is not None, letter
+
+    def test_ineligible_reasons_name_the_component(self):
+        assert "bus/MCU" in why_batch_ineligible(build_system("A"), 300.0)
+        pando = make_reference_system(
+            [PhotovoltaicCell(area_cm2=40.0, name="pv")])
+        assert "PerturbObserve" in why_batch_ineligible(pando, 300.0)
+        fuel = make_reference_system(
+            [PhotovoltaicCell(area_cm2=40.0, name="pv")],
+            tracker_factory=lambda: FixedVoltage(2.0),
+            stores=[Supercapacitor(capacitance_f=50.0, name="sc"),
+                    HydrogenFuelCell(name="fc")])
+        assert "backup" in why_batch_ineligible(fuel, 300.0)
+
+    def test_batched_envelope_is_inside_kernel_envelope(self):
+        """Anything the batched kernel accepts, the scalar kernel must
+        accept too (the batched compile validates through it)."""
+        for letter in SYSTEM_BUILDERS:
+            system = build_system(letter)
+            if batch_eligible(system, 300.0):
+                assert kernel_eligible(build_system(letter), 300.0), letter
+
+    def test_subclassed_physics_refused(self):
+        class TunedSupercap(Supercapacitor):
+            def charge(self, power_w, dt):
+                return super().charge(power_w, dt) * 0.5
+
+        system = make_reference_system(
+            [PhotovoltaicCell(area_cm2=40.0, name="pv")],
+            tracker_factory=lambda: FixedVoltage(2.0),
+            stores=[TunedSupercap(capacitance_f=50.0, name="tuned")])
+        reason = why_batch_ineligible(system, 300.0)
+        assert reason is not None and "TunedSupercap" in reason
+
+
+class TestBitExactness:
+    @pytest.mark.parametrize("letter", BATCH_ELIGIBLE)
+    def test_table1_system_matches_scalar_kernel(self, letter):
+        """Each eligible Table I platform: a small grid over initial SoC
+        and environment seed, every recorded bit equal to per-scenario
+        kernel runs."""
+        envf = ENV_FOR[letter]
+        captured, collect = _grab_recorders()
+        specs = [
+            ScenarioSpec(
+                name=f"{letter}-{k}",
+                system=partial(build_system, letter,
+                               initial_soc=0.25 + 0.15 * k),
+                environment=partial(envf, duration=DAY, dt=300.0),
+                duration=DAY, seed=40 + k, params={"k": k},
+                collect=collect)
+            for k in range(3)
+        ]
+        sweep = SweepRunner(processes=1, batch="auto").run(specs)
+        assert [r.execution_path for r in sweep] == ["batched"] * 3
+        for k, (row, result) in enumerate(zip(sweep, captured)):
+            reference = simulate(
+                build_system(letter, initial_soc=0.25 + 0.15 * k),
+                envf(duration=DAY, dt=300.0, seed=40 + k),
+                duration=DAY, fast=True)
+            assert reference.execution_path == "kernel"
+            assert_bitwise_equal(result.recorder, reference.recorder,
+                                 row.name)
+            assert row.metrics == reference.metrics, row.name
+
+    def test_seeded_stochastic_grid(self):
+        """Param x seed grid (distinct stochastic environments per lane,
+        so no column compression): still bit-identical."""
+        captured, collect = _grab_recorders()
+        cases = [(cap, seed) for cap in (15.0, 60.0) for seed in (1, 2, 3)]
+        specs = [
+            ScenarioSpec(
+                name=f"c{cap:g}-s{seed}",
+                system=partial(build_fixed_pv, cap),
+                environment=partial(outdoor_environment, duration=DAY,
+                                    dt=300.0),
+                duration=DAY, seed=seed, params={"cap": cap, "seed": seed},
+                collect=collect)
+            for cap, seed in cases
+        ]
+        sweep = SweepRunner(processes=1, batch="auto").run(specs)
+        assert all(r.execution_path == "batched" for r in sweep)
+        for (cap, seed), row, result in zip(cases, sweep, captured):
+            reference = simulate(
+                build_fixed_pv(cap),
+                outdoor_environment(duration=DAY, dt=300.0, seed=seed),
+                duration=DAY, fast=True)
+            assert_bitwise_equal(result.recorder, reference.recorder,
+                                 row.name)
+            assert row.metrics == reference.metrics
+
+    def test_shared_environment_grid(self):
+        """One shared environment across the grid (the compressed-column
+        fast path): still bit-identical."""
+        env = outdoor_environment(duration=DAY, dt=300.0, seed=9)
+        captured, collect = _grab_recorders()
+        specs = [
+            ScenarioSpec(name=f"c{cap:g}", system=partial(build_fixed_pv, cap),
+                         environment=env, duration=DAY,
+                         params={"cap": cap}, collect=collect)
+            for cap in (10.0, 25.0, 50.0, 100.0)
+        ]
+        sweep = SweepRunner(processes=1, batch="auto").run(specs)
+        assert all(r.execution_path == "batched" for r in sweep)
+        for row, result in zip(sweep, captured):
+            reference = simulate(build_fixed_pv(row.params["cap"]), env,
+                                 duration=DAY, fast=True)
+            assert_bitwise_equal(result.recorder, reference.recorder,
+                                 row.name)
+            assert row.metrics == reference.metrics
+
+    def test_final_component_state_written_back(self):
+        """After a batched run the component objects hold exactly the
+        state a per-scenario run leaves behind."""
+        captured, collect = _grab_recorders()
+        specs = [
+            ScenarioSpec(name=f"soc{k}",
+                         system=partial(build_system, "D",
+                                        initial_soc=0.2 + 0.2 * k),
+                         environment=partial(outdoor_environment,
+                                             duration=DAY, dt=300.0),
+                         duration=DAY, seed=5, params={"k": k},
+                         collect=collect)
+            for k in range(3)
+        ]
+        SweepRunner(processes=1, batch="auto").run(specs)
+        for k, result in enumerate(captured):
+            reference = simulate(
+                build_system("D", initial_soc=0.2 + 0.2 * k),
+                outdoor_environment(duration=DAY, dt=300.0, seed=5),
+                duration=DAY, fast=True)
+            system, ref = result.system, reference.system
+            assert system.node.state == ref.node.state
+            assert system.node.total_measurements == \
+                ref.node.total_measurements
+            assert system.node.total_energy_j == ref.node.total_energy_j
+            assert system.node.dead_seconds == ref.node.dead_seconds
+            assert system.node.brownouts == ref.node.brownouts
+            assert system.bank.spilled_j == ref.bank.spilled_j
+            for store, ref_store in zip(system.bank.stores, ref.bank.stores):
+                assert store.energy_j == ref_store.energy_j
+                assert store.total_charged_j == ref_store.total_charged_j
+                assert store.total_discharged_j == ref_store.total_discharged_j
+            assert system.manager.control_passes == \
+                ref.manager.control_passes
+            assert system.manager._since_control == \
+                ref.manager._since_control
+            for channel, ref_channel in zip(system.channels, ref.channels):
+                assert channel.last_step == ref_channel.last_step
+
+
+class TestFallback:
+    def _mixed_specs(self):
+        env = partial(outdoor_environment, duration=DAY, dt=600.0)
+
+        def make_events():
+            return [swap_storage_event(
+                0.5 * DAY, 0, Supercapacitor(capacitance_f=20.0))]
+
+        return [
+            ScenarioSpec(name="pando",
+                         system=lambda: make_reference_system(
+                             [PhotovoltaicCell(area_cm2=40.0, name="pv")]),
+                         environment=env, seed=1),
+            ScenarioSpec(name="fuelcell",
+                         system=lambda: make_reference_system(
+                             [PhotovoltaicCell(area_cm2=40.0, name="pv")],
+                             tracker_factory=lambda: FixedVoltage(2.0),
+                             stores=[Supercapacitor(capacitance_f=50.0,
+                                                    name="sc"),
+                                     HydrogenFuelCell(name="fc")]),
+                         environment=env, seed=1),
+            ScenarioSpec(name="events", system=partial(build_system, "D"),
+                         environment=env, seed=1,
+                         events=make_events),
+            ScenarioSpec(name="eligible", system=partial(build_system, "D"),
+                         environment=env, seed=1),
+        ]
+
+    def test_mixed_sweep_routes_and_preserves_order(self):
+        sweep = SweepRunner(processes=1, batch="auto").run(
+            self._mixed_specs())
+        assert [r.name for r in sweep] == ["pando", "fuelcell", "events",
+                                           "eligible"]
+        paths = {r.name: r.execution_path for r in sweep}
+        assert paths["eligible"] == "batched"
+        # Fallback scenarios run the per-scenario engine and report it.
+        assert paths["pando"] == "kernel"
+        assert paths["fuelcell"] == "kernel"
+        assert paths["events"] == "kernel"
+
+    def test_event_scenario_rows_match_per_scenario_run(self):
+        """An event-carrying scenario in a batched sweep produces the
+        same row as running it alone."""
+        specs = self._mixed_specs()
+        mixed = SweepRunner(processes=1, batch="auto").run(specs)
+        solo = SweepRunner(processes=1, batch=False).run(
+            self._mixed_specs())
+        for a, b in zip(mixed, solo):
+            assert a.metrics == b.metrics, a.name
+
+    def test_batch_true_requires_the_envelope(self):
+        with pytest.raises(ValueError, match="PerturbObserve"):
+            SweepRunner(processes=1, batch=True).run(self._mixed_specs())
+
+    def test_batch_true_accepts_eligible_grids(self):
+        env = partial(outdoor_environment, duration=DAY, dt=600.0)
+        specs = [ScenarioSpec(name=f"d{k}",
+                              system=partial(build_system, "D"),
+                              environment=env, seed=k)
+                 for k in range(2)]
+        sweep = SweepRunner(processes=1, batch=True).run(specs)
+        assert all(r.execution_path == "batched" for r in sweep)
+
+    def test_batch_off_disables_the_tier(self):
+        env = partial(outdoor_environment, duration=DAY, dt=600.0)
+        specs = [ScenarioSpec(name="d0", system=partial(build_system, "D"),
+                              environment=env, seed=0)]
+        sweep = SweepRunner(processes=1, batch=False).run(specs)
+        assert sweep["d0"].execution_path == "kernel"
+
+    def test_invalid_batch_value_rejected(self):
+        with pytest.raises(ValueError, match="batch"):
+            SweepRunner(batch="yes")
