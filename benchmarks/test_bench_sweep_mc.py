@@ -1,0 +1,109 @@
+"""Monte Carlo ensemble benchmark: replicate grids must ride the
+batched tier.
+
+Acceptance target of the ensemble engine: a 256-replicate ensemble of
+an eligible Table I platform (System C, AmbiMax) runs
+``execution_path="batched"`` end-to-end and sustains >= 5x the
+per-scenario in-process throughput. Unlike the buffer-sizing grid in
+``test_bench_sweep.py``, every lane here carries its *own* stochastic
+ambient draw (per-replicate seeds), so the batched kernel's
+shared-column compression never engages — this gate prices the honest
+uncompressed ensemble workload.
+
+The baseline is timed on a replicate prefix and compared by
+per-replicate-step rate (running all 256 replicates through the
+per-scenario path would only make the suite slower, not the ratio
+fairer). Each run appends its steps/sec-per-path record to the
+``BENCH_sweep.json`` trajectory artifact.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.spec import EnvironmentSpec, MonteCarloSpec, RunSpec, spec_for
+from repro.simulation import run_ensemble
+
+DAY = 86_400.0
+
+#: Speedup the batched ensemble must sustain over per-scenario
+#: in-process execution.
+REQUIRED_SPEEDUP = 5.0
+
+#: Ensemble geometry: 256 replicates x 1 day at one-minute steps.
+REPLICATES = 256
+ENSEMBLE_DT = 60.0
+ENSEMBLE_STEPS = int(DAY / ENSEMBLE_DT)
+#: The in-process baseline is timed on a replicate prefix.
+BASELINE_REPLICATES = 32
+
+ROOT_SEED = 42
+
+
+def _record_bench(benchmark: str, payload: dict) -> None:
+    """Append one record to the BENCH_sweep.json trajectory artifact."""
+    path = Path(os.environ.get(
+        "BENCH_SWEEP_JSON",
+        Path(__file__).resolve().parent.parent / "BENCH_sweep.json"))
+    try:
+        history = json.loads(path.read_text())
+        if not isinstance(history, dict) or "runs" not in history:
+            history = {"runs": []}
+    except (OSError, ValueError):
+        history = {"runs": []}
+    history["runs"].append({"benchmark": benchmark, **payload})
+    path.write_text(json.dumps(history, indent=2) + "\n")
+
+
+def _ensemble_spec(replicates: int) -> MonteCarloSpec:
+    return MonteCarloSpec(
+        run=RunSpec(system=spec_for("C"),
+                    environment=EnvironmentSpec("outdoor", duration=DAY,
+                                                dt=ENSEMBLE_DT),
+                    name="C@outdoor"),
+        replicates=replicates,
+        root_seed=ROOT_SEED,
+    )
+
+
+def test_bench_ensemble_rides_the_batched_tier():
+    """256-replicate System C ensemble: batched >= 5x in-process, with
+    bit-identical replicate rows on the shared prefix."""
+    t0 = time.perf_counter()
+    baseline = run_ensemble(_ensemble_spec(BASELINE_REPLICATES),
+                            tier="in-process")
+    baseline_rate = (time.perf_counter() - t0) / \
+        (BASELINE_REPLICATES * ENSEMBLE_STEPS)
+
+    t0 = time.perf_counter()
+    batched = run_ensemble(_ensemble_spec(REPLICATES), tier="batched")
+    batched_rate = (time.perf_counter() - t0) / \
+        (REPLICATES * ENSEMBLE_STEPS)
+
+    assert batched.execution_paths() == {"batched": REPLICATES}
+    assert len(batched) == REPLICATES
+
+    # Replicate seeds are prefix-stable, so the baseline prefix must be
+    # bit-for-bit the batched ensemble's first rows — and so must every
+    # quantile summary computed over that prefix.
+    assert baseline.seeds == batched.seeds[:BASELINE_REPLICATES]
+    for base_row, batched_row in zip(baseline, batched):
+        assert base_row.metrics == batched_row.metrics, base_row.name
+        assert base_row.n_steps == batched_row.n_steps
+
+    speedup = baseline_rate / batched_rate
+    print()
+    print(f"in-process : {baseline_rate * 1e6:7.2f} us/replicate-step "
+          f"({BASELINE_REPLICATES} replicates)")
+    print(f"batched    : {batched_rate * 1e6:7.2f} us/replicate-step "
+          f"({REPLICATES} replicates)")
+    print(f"speedup    : {speedup:.2f}x (required >= {REQUIRED_SPEEDUP}x)")
+    _record_bench("montecarlo_ensemble", {
+        "n_replicates": REPLICATES,
+        "n_steps": ENSEMBLE_STEPS,
+        "inprocess_steps_per_s": 1.0 / baseline_rate,
+        "batched_steps_per_s": 1.0 / batched_rate,
+        "speedup": speedup,
+    })
+    assert speedup >= REQUIRED_SPEEDUP

@@ -7,10 +7,13 @@ from .figures import architecture_graph, render_architecture
 from .reporting import format_si, render_kv, render_table
 from .robustness import SeedSweep, sweep_seeds
 from .table1 import (
+    ENSEMBLE_METRICS,
     PAPER_TABLE_I,
     Table1Comparison,
     compare_with_paper,
+    ensemble_table1,
     generate_table1,
+    render_ensemble_table1,
     render_table1,
 )
 
@@ -19,10 +22,13 @@ __all__ = [
     "render_kv",
     "format_si",
     "PAPER_TABLE_I",
+    "ENSEMBLE_METRICS",
     "generate_table1",
     "render_table1",
     "compare_with_paper",
     "Table1Comparison",
+    "ensemble_table1",
+    "render_ensemble_table1",
     "architecture_graph",
     "EnergyAudit",
     "audit_run",

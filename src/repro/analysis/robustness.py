@@ -7,6 +7,12 @@ reports mean, spread, and the fraction of seeds on which a predicate
 (e.g. "multi-source gain > 1") holds — the number quoted in
 EXPERIMENTS.md's robustness notes and checked by
 ``benchmarks/test_bench_robustness.py``.
+
+:meth:`SeedSweep.from_ensemble` adapts a Monte Carlo
+:class:`~repro.simulation.EnsembleResult` (see
+:mod:`repro.simulation.montecarlo`) into the same reporting shape, so
+predicate-robustness checks run directly on batched-tier ensembles
+instead of re-simulating per seed.
 """
 
 from __future__ import annotations
@@ -26,6 +32,19 @@ class SeedSweep:
     label: str
     seeds: tuple
     values: tuple
+
+    @classmethod
+    def from_ensemble(cls, ensemble, metric: str,
+                      label: str = "") -> "SeedSweep":
+        """Adapt an :class:`~repro.simulation.EnsembleResult`.
+
+        ``metric`` is any :class:`~repro.simulation.RunMetrics` field or
+        property (or extras key) of the ensemble's replicates; the
+        replicate seed stream becomes the sweep's seed axis.
+        """
+        return cls(label=label or metric,
+                   seeds=tuple(ensemble.seeds),
+                   values=tuple(float(v) for v in ensemble.metric(metric)))
 
     def __post_init__(self):
         if len(self.seeds) != len(self.values):

@@ -5,6 +5,12 @@ regeneration derives the same rows from the live system models
 (:func:`repro.core.classify`) and :func:`compare_with_paper` reports
 agreement cell-by-cell, with bound-aware comparison for the "< x uA"
 quiescent entries and set comparison for device-type lists.
+
+:func:`ensemble_table1` extends the single-trace verdicts with
+uncertainty: each device column is simulated as a Monte Carlo ensemble
+(:mod:`repro.simulation.montecarlo`) and every behavioural metric cell
+is annotated with its replicate p5/p95 band — the paper's comparisons
+restated as distributions over weather draws instead of one trace.
 """
 
 from __future__ import annotations
@@ -17,10 +23,13 @@ from .reporting import render_table
 
 __all__ = [
     "PAPER_TABLE_I",
+    "ENSEMBLE_METRICS",
     "generate_table1",
     "render_table1",
     "compare_with_paper",
     "Table1Comparison",
+    "ensemble_table1",
+    "render_ensemble_table1",
 ]
 
 #: The survey's Table I, transcribed. Keys are device letters; values are
@@ -156,6 +165,82 @@ def render_table1(rows: dict | None = None) -> str:
     return render_table(headers, body,
                         title="TABLE I — CATEGORIZATION OF MULTI-SOURCE "
                               "ENERGY HARVESTING SYSTEMS (regenerated)")
+
+
+#: Behavioural metrics annotated with replicate bands by
+#: :func:`ensemble_table1` (any RunMetrics field/property works).
+ENSEMBLE_METRICS = (
+    "uptime_fraction",
+    "harvested_delivered_j",
+    "quiescent_j",
+    "measurements_per_day",
+)
+
+_DAY = 86_400.0
+
+
+def ensemble_table1(letters=None, *, environment: str = "outdoor",
+                    duration: float = 2 * _DAY, dt: float = 300.0,
+                    replicates: int = 16, root_seed: int = 0,
+                    tier: str = "auto",
+                    metrics=ENSEMBLE_METRICS) -> dict:
+    """Simulate each device column as a Monte Carlo ensemble.
+
+    Returns ``letter -> {metric: MetricSummary}``. Every letter's
+    ensemble uses the *same* replicate seed stream (stream 0 of
+    ``root_seed``), so replicate ``i`` sees the same weather draw on
+    every platform — the Table I comparison is paired per draw, which
+    is what makes cross-column band differences meaningful. Letters
+    inside the batched envelope ride the lockstep tier; the rest fall
+    back per scenario under ``tier="auto"``.
+    """
+    from ..simulation.montecarlo import run_ensemble
+    from ..spec.build import spec_for
+    from ..spec.specs import EnvironmentSpec, RunSpec
+    if letters is None:
+        letters = sorted(PAPER_TABLE_I)
+    table = {}
+    for letter in letters:
+        spec = RunSpec(
+            system=spec_for(letter),
+            environment=EnvironmentSpec(environment, duration=duration,
+                                        dt=dt),
+            name=f"{letter}@{environment}",
+        )
+        ensemble = run_ensemble(spec, replicates, root_seed=root_seed,
+                                tier=tier)
+        table[letter] = {metric: ensemble.summary(metric)
+                         for metric in metrics}
+    return table
+
+
+def render_ensemble_table1(table: dict | None = None, *,
+                           low: float = 0.05, high: float = 0.95,
+                           **ensemble_kwargs) -> str:
+    """Render the ensemble table: cells are ``mean [p_low, p_high]``.
+
+    ``low``/``high`` must be among the summarized quantile levels
+    (:attr:`MetricSummary.quantiles`); other levels raise ``KeyError``
+    naming the available ones.
+    """
+    if table is None:
+        table = ensemble_table1(**ensemble_kwargs)
+    letters = sorted(table)
+    metrics = list(next(iter(table.values()))) if table else []
+    headers = [f"Metric (mean [p{100 * low:g}, p{100 * high:g}])"] + letters
+    body = []
+    for metric in metrics:
+        row = [metric]
+        for letter in letters:
+            s = table[letter][metric]
+            lo, hi = s.band(low, high)
+            row.append(f"{s.mean:.4g} [{lo:.4g}, {hi:.4g}]")
+        body.append(row)
+    n = next(iter(table.values()))[metrics[0]].n if table and metrics else 0
+    return render_table(
+        headers, body,
+        title=f"TABLE I metrics under ambient uncertainty "
+              f"({n} replicates per device)")
 
 
 def _parse_quiescent(text: str) -> tuple:

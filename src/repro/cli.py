@@ -5,9 +5,14 @@ Subcommands:
 * ``table1``      — regenerate Table I and diff it against the paper.
 * ``figure A|B``  — print the architecture rendition of Fig. 1 / Fig. 2.
 * ``simulate X``  — run one of the seven systems on a chosen environment.
-* ``run``         — execute a RunSpec / SweepSpec JSON config file.
+* ``run``         — execute a RunSpec / SweepSpec / MonteCarloSpec JSON
+  config file.
 * ``sweep``       — fan systems x environments across worker processes,
-  from grid flags or a ``--spec`` file.
+  from grid flags or a ``--spec`` file (``--replicates N`` expands every
+  run into N seed-replicated variants).
+* ``mc``          — Monte Carlo ensemble of one system x environment:
+  N seed replicates ride the lockstep batched tier and aggregate into a
+  quantile summary (mean/std/p5/p50/p95 + CI per metric).
 * ``spec``        — emit canonical spec JSON (or ``--registry`` to list
   every registered component).
 * ``experiment``  — run a claim-validation experiment (e3..e11).
@@ -32,6 +37,9 @@ Examples::
     python -m repro run run.json
     python -m repro sweep --systems A B C --envs outdoor indoor --days 3
     python -m repro sweep --spec sweep.json --processes 4
+    python -m repro sweep --systems C --replicates 16 --days 1
+    python -m repro mc C --env outdoor --days 2 --replicates 64
+    python -m repro mc --spec mc.json --tier batched
     python -m repro spec --registry
     python -m repro experiment e5
     python -m repro audit B --env indoor --days 3
@@ -40,6 +48,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 
@@ -49,12 +58,14 @@ from .analysis.audit import audit_run
 from .analysis.export import dumps_json
 from .spec import (
     EnvironmentSpec,
+    MonteCarloSpec,
     RunSpec,
     SweepSpec,
     build_environment,
     describe_registry,
     load_spec,
     run,
+    run_montecarlo,
     run_sweep,
     spec_for,
 )
@@ -121,9 +132,11 @@ def _build_parser() -> argparse.ArgumentParser:
     add_fast_flag(p_sim)
 
     p_run = sub.add_parser(
-        "run", help="execute a RunSpec/SweepSpec JSON config file")
+        "run", help="execute a RunSpec/SweepSpec/MonteCarloSpec JSON "
+                    "config file")
     p_run.add_argument("config", help="path to a spec JSON file "
-                                      "(kind: 'run' or 'sweep')")
+                                      "(kind: 'run', 'sweep', or "
+                                      "'montecarlo')")
     p_run.add_argument("--processes", type=int, default=None,
                        help="worker processes for sweep configs")
     p_run.add_argument("--json", action="store_true",
@@ -147,6 +160,10 @@ def _build_parser() -> argparse.ArgumentParser:
     p_swp.add_argument("--processes", type=int, default=None,
                        help="worker processes (default: one per CPU, "
                             "capped at the scenario count)")
+    p_swp.add_argument("--replicates", type=int, default=1,
+                       help="expand every run into N seed-replicated "
+                            "variants (replicate seed streams derived "
+                            "from --seed; default 1 = no replication)")
     p_swp.add_argument("--batch", choices=("auto", "on", "off"),
                        default="auto",
                        help="lockstep batched tier: 'auto' uses it for "
@@ -154,6 +171,42 @@ def _build_parser() -> argparse.ArgumentParser:
                             "for every scenario, 'off' disables it; rows "
                             "report the tier in execution_path")
     add_fast_flag(p_swp)
+
+    p_mc = sub.add_parser(
+        "mc", help="Monte Carlo ensemble of one system x environment")
+    p_mc.add_argument("system", nargs="?", choices=sorted(SYSTEM_NAMES),
+                      help="system letter (omit when using --spec)")
+    p_mc.add_argument("--spec", metavar="FILE", default=None,
+                      help="run a MonteCarloSpec JSON file instead of "
+                           "the grid flags (--replicates/--seed still "
+                           "override the file's values)")
+    p_mc.add_argument("--env", choices=sorted(ENVIRONMENTS), default=None,
+                      help="deployment environment (default outdoor; "
+                           "flag mode only)")
+    p_mc.add_argument("--days", type=float, default=None,
+                      help="simulated days (default 2; flag mode only)")
+    p_mc.add_argument("--dt", type=float, default=None,
+                      help="simulation step, seconds (default 300; "
+                           "flag mode only)")
+    p_mc.add_argument("--seed", type=int, default=None,
+                      help="root seed of the replicate seed stream "
+                           "(default 0, or the spec file's root_seed)")
+    p_mc.add_argument("--replicates", type=int, default=None,
+                      help="ensemble size (default 32, or the spec "
+                           "file's value)")
+    p_mc.add_argument("--tier", choices=("auto", "batched",
+                                         "multiprocessing", "in-process"),
+                      default="auto",
+                      help="execution tier: 'auto' picks (batched -> "
+                           "multiprocessing -> in-process), the others "
+                           "pin one tier; all three produce bitwise-"
+                           "identical replicate rows")
+    p_mc.add_argument("--processes", type=int, default=None,
+                      help="worker processes for the multiprocessing tier")
+    p_mc.add_argument("--json", action="store_true",
+                      help="emit the per-metric summaries and replicate "
+                           "rows as JSON instead of a table")
+    add_fast_flag(p_mc)
 
     p_spc = sub.add_parser(
         "spec", help="emit canonical spec JSON / inspect the registry")
@@ -305,8 +358,22 @@ def _cmd_run(args) -> int:
                          "execution_path"),
                 title=f"sweep: {spec.name} ({len(sweep)} scenarios)"))
         return 0
+    if isinstance(spec, MonteCarloSpec):
+        try:
+            ensemble = run_montecarlo(spec, processes=args.processes,
+                                      fast=_cli_fast(args))
+        except (KeyError, ValueError, TypeError) as exc:
+            print(f"error: cannot execute {args.config}: {exc}",
+                  file=sys.stderr)
+            return 2
+        if args.json:
+            print(dumps_json(_ensemble_jsonable(ensemble)))
+        else:
+            print(ensemble.report())
+        return 0
     print(f"error: {args.config} holds a {type(spec).__name__}; "
-          f"'run' executes RunSpec or SweepSpec configs", file=sys.stderr)
+          f"'run' executes RunSpec, SweepSpec, or MonteCarloSpec configs",
+          file=sys.stderr)
     return 2
 
 
@@ -332,6 +399,15 @@ def _cmd_sweep(args) -> int:
         )
         title = (f"sweep: {len(spec.runs)} scenarios, {args.days:g} days, "
                  f"seed {args.seed}")
+    if args.replicates < 1:
+        print("error: --replicates must be a positive integer",
+              file=sys.stderr)
+        return 2
+    if args.replicates > 1:
+        from .simulation.montecarlo import replicate_sweep
+        spec = replicate_sweep(spec, args.replicates, root_seed=args.seed)
+        title = (f"{title} x{args.replicates} replicates "
+                 f"({len(spec.runs)} rows)")
     batch = {"auto": "auto", "on": True, "off": False}[args.batch]
     try:
         sweep = run_sweep(spec, processes=args.processes,
@@ -344,6 +420,80 @@ def _cmd_sweep(args) -> int:
                  "quiescent_j", "measurements", "brownouts",
                  "execution_path"),
         title=title))
+    return 0
+
+
+def _ensemble_jsonable(ensemble) -> dict:
+    """JSON payload of an ensemble: summaries + per-replicate rows."""
+    return {
+        "name": ensemble.name,
+        "replicates": ensemble.replicates,
+        "root_seed": ensemble.root_seed,
+        "execution_paths": ensemble.execution_paths(),
+        "summaries": ensemble.summaries(),
+        "rows": ensemble.rows(),
+    }
+
+
+def _cmd_mc(args) -> int:
+    if args.spec is not None:
+        if args.system is not None or \
+                any(v is not None for v in (args.env, args.days, args.dt)):
+            print("error: --spec carries the run itself; a system letter "
+                  "and --env/--days/--dt only apply in flag mode "
+                  "(--replicates/--seed/--tier still override)",
+                  file=sys.stderr)
+            return 2
+        spec = _load_spec_file(args.spec)
+        if spec is None:
+            return 2
+        if not isinstance(spec, MonteCarloSpec):
+            print(f"error: --spec file must hold a MonteCarloSpec, got "
+                  f"{type(spec).__name__}", file=sys.stderr)
+            return 2
+        overrides = {}
+        if args.replicates is not None:
+            overrides["replicates"] = args.replicates
+        if args.seed is not None:
+            overrides["root_seed"] = args.seed
+        if overrides:
+            try:
+                spec = dataclasses.replace(spec, **overrides)
+            except (ValueError, TypeError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+    elif args.system is None:
+        print("error: give a system letter, or --spec FILE",
+              file=sys.stderr)
+        return 2
+    else:
+        try:
+            spec = MonteCarloSpec(
+                run=_cli_run_spec(args.system,
+                                  args.env if args.env is not None
+                                  else "outdoor",
+                                  args.days if args.days is not None
+                                  else 2.0,
+                                  args.dt if args.dt is not None else 300.0,
+                                  seed=0),
+                replicates=args.replicates if args.replicates is not None
+                else 32,
+                root_seed=args.seed if args.seed is not None else 0,
+            )
+        except (ValueError, TypeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    try:
+        ensemble = run_montecarlo(spec, tier=args.tier,
+                                  processes=args.processes,
+                                  fast=_cli_fast(args))
+    except (KeyError, ValueError, TypeError) as exc:
+        print(f"error: cannot execute ensemble: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(dumps_json(_ensemble_jsonable(ensemble)))
+    else:
+        print(ensemble.report())
     return 0
 
 
@@ -400,6 +550,8 @@ def main(argv=None) -> int:
         return _cmd_run(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "mc":
+        return _cmd_mc(args)
     if args.command == "spec":
         return _cmd_spec(args)
     if args.command == "experiment":

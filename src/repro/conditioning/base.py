@@ -120,9 +120,33 @@ class InputConditioner:
         converter_out = lower_conv(dt) if lower_conv is not None \
             else converter.output_power
 
+        # Single-slot MPP memo: max_power is a pure function of
+        # (harvester, ambient) for every library harvester, and at fine
+        # simulation steps the ambient value repeats for many steps in a
+        # row (it only changes when the trace row does), so the Newton/
+        # golden MPP solve is the hot loop's dominant cost. The memo is
+        # keyed on the harvester object (hot-swaps invalidate it) and
+        # only engages for library harvesters — a user subclass with a
+        # stateful max_power keeps today's call-per-step behaviour.
+        memo_harvester = None
+        memo_pure = False
+        memo_value: float | None = None
+        memo_mpp = 0.0
+
         def step(harvester, value: float, bus_v: float) -> HarvestStep:
+            nonlocal memo_harvester, memo_pure, memo_value, memo_mpp
             decision = tracker_step(harvester, value, dt)
-            mpp_power = harvester.max_power(value)
+            if harvester is not memo_harvester:
+                memo_harvester = harvester
+                memo_pure = type(harvester).__module__.startswith(
+                    "repro.harvesters")
+                memo_value = None
+            if memo_pure and value == memo_value:
+                mpp_power = memo_mpp
+            else:
+                mpp_power = harvester.max_power(value)
+                memo_value = value
+                memo_mpp = mpp_power
             voltage = decision.voltage
             if not decision.harvesting or voltage <= 0:
                 return HarvestStep(0.0, 0.0, voltage, mpp_power)

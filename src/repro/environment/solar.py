@@ -74,12 +74,17 @@ class SolarModel:
         without full astronomical geometry, which the survey's claims do not
         require.
         """
-        tod = (t % DAY) / DAY  # time of day in [0, 1)
+        return float(self._clear_sky_array(np.asarray([float(t)]))[0])
+
+    def _clear_sky_array(self, times: np.ndarray) -> np.ndarray:
+        """Vectorized raised cosine; the single formula behind both the
+        scalar :meth:`clear_sky` and whole-trace synthesis."""
+        tod = (times % DAY) / DAY  # time of day in [0, 1)
         half_day = self.day_fraction / 2.0
         phase = (tod - 0.5) / half_day  # 0 at noon, +-1 at sunrise/sunset
-        if abs(phase) >= 1.0:
-            return 0.0
-        return self.peak_irradiance * 0.5 * (1.0 + math.cos(math.pi * phase))
+        return np.where(
+            np.abs(phase) >= 1.0, 0.0,
+            self.peak_irradiance * 0.5 * (1.0 + np.cos(np.pi * phase)))
 
     # ------------------------------------------------------------------
     def trace(self, duration: float, dt: float = 60.0,
@@ -101,14 +106,20 @@ class SolarModel:
         rng = np.random.default_rng(self.seed)
         times = np.arange(n) * dt
 
-        clear = np.array([self.clear_sky(t) for t in times])
+        # Vectorized synthesis: ensemble sweeps build hundreds of seeded
+        # traces, so trace construction is a measured hot path.
+        clear = self._clear_sky_array(times)
 
         # Slow synoptic cloud cover: mean-reverting bounded random walk.
+        # One bulk draw preserves the bit stream of the per-step scalar
+        # draws; the recurrence itself is sequential.
         cover = np.empty(n)
         c = self.cloudiness
-        for i in range(n):
-            c += self.cloud_volatility * math.sqrt(dt / 3600.0) * rng.standard_normal()
-            c += 0.02 * (self.cloudiness - c) * (dt / 3600.0)
+        vol = self.cloud_volatility * math.sqrt(dt / 3600.0)
+        hours = dt / 3600.0
+        for i, z in enumerate(rng.standard_normal(n).tolist()):
+            c += vol * z
+            c += 0.02 * (self.cloudiness - c) * hours
             c = min(max(c, 0.0), 0.98)
             cover[i] = c
 

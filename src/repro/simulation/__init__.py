@@ -24,6 +24,13 @@ from .kernel import (
     why_batch_ineligible,
 )
 from .metrics import RunMetrics, compute_metrics
+from .montecarlo import (
+    EnsembleResult,
+    MetricSummary,
+    replicate_seeds,
+    replicate_sweep,
+    run_ensemble,
+)
 from .recorder import Recorder
 from .sweep import ScenarioResult, ScenarioSpec, SweepResult, SweepRunner
 
@@ -44,6 +51,11 @@ __all__ = [
     "ScenarioResult",
     "SweepResult",
     "SweepRunner",
+    "EnsembleResult",
+    "MetricSummary",
+    "replicate_seeds",
+    "replicate_sweep",
+    "run_ensemble",
     "KernelPlan",
     "KernelFallback",
     "LoweringUnsupported",

@@ -67,9 +67,12 @@ def run_batched_tier(specs, default_fast):
         # environment (stochastic trace synthesis dwarfs system
         # construction): ineligible scenarios fall back without ever
         # building their environment here, and member-level refusals
-        # are decided per scenario, not per group. Compile validity is
-        # independent of dt, so a placeholder works when the spec
-        # leaves dt to the environment.
+        # are decided per scenario, not per group. Eligibility can hinge
+        # on instance state the topology signature cannot see (e.g. a
+        # manager's wake-up energy), so the probe runs per scenario —
+        # never cached across them. Compile validity is independent of
+        # dt, so a placeholder works when the spec leaves dt to the
+        # environment.
         try:
             BatchedPlan.compile([system],
                                 spec.dt if spec.dt is not None else 1.0)

@@ -35,6 +35,7 @@ from .build import (
     build_environment,
     describe_registry,
     run,
+    run_montecarlo,
     run_sweep,
     spec_for,
     to_scenario,
@@ -43,6 +44,7 @@ from .registry import REGISTRY, ComponentRegistry, register
 from .specs import (
     ComponentSpec,
     EnvironmentSpec,
+    MonteCarloSpec,
     RunSpec,
     SweepSpec,
     SystemSpec,
@@ -59,6 +61,7 @@ __all__ = [
     "EnvironmentSpec",
     "RunSpec",
     "SweepSpec",
+    "MonteCarloSpec",
     "spec_from_dict",
     "load_spec",
     "build",
@@ -66,6 +69,7 @@ __all__ = [
     "build_environment",
     "run",
     "run_sweep",
+    "run_montecarlo",
     "spec_for",
     "to_scenario",
     "describe_registry",

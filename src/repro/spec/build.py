@@ -24,7 +24,14 @@ from __future__ import annotations
 import dataclasses
 
 from .registry import REGISTRY
-from .specs import ComponentSpec, EnvironmentSpec, RunSpec, SweepSpec, SystemSpec
+from .specs import (
+    ComponentSpec,
+    EnvironmentSpec,
+    MonteCarloSpec,
+    RunSpec,
+    SweepSpec,
+    SystemSpec,
+)
 
 __all__ = [
     "build",
@@ -32,6 +39,7 @@ __all__ = [
     "build_environment",
     "run",
     "run_sweep",
+    "run_montecarlo",
     "spec_for",
     "to_scenario",
     "describe_registry",
@@ -194,6 +202,24 @@ def run_sweep(spec: SweepSpec, *, processes: int | None = None, fast=None,
     if fast is not None:
         scenarios = [dataclasses.replace(s, fast=fast) for s in scenarios]
     return runner.run(scenarios)
+
+
+def run_montecarlo(spec: MonteCarloSpec, *, tier: str = "auto",
+                   processes: int | None = None, fast=None):
+    """Execute a Monte Carlo spec via
+    :func:`repro.simulation.montecarlo.run_ensemble`; returns an
+    :class:`~repro.simulation.EnsembleResult`.
+
+    ``tier`` pins the execution tier (``"auto"`` / ``"batched"`` /
+    ``"multiprocessing"`` / ``"in-process"``); ``fast`` (when given)
+    overrides the engine-path selection of every replicate.
+    """
+    from ..simulation.montecarlo import run_ensemble
+    if not isinstance(spec, MonteCarloSpec):
+        raise TypeError(f"run_montecarlo() takes a MonteCarloSpec, "
+                        f"got {type(spec).__name__}")
+    return run_ensemble(spec, tier=tier, processes=processes,
+                        fast="auto" if fast is None else fast)
 
 
 def describe_registry(category: str | None = None) -> dict:

@@ -11,7 +11,9 @@ data, decoupled from the live objects that execute it:
 * :class:`RunSpec` — one complete simulation: system x environment x
   engine options;
 * :class:`SweepSpec` — an ordered collection of runs for
-  :class:`~repro.simulation.SweepRunner`.
+  :class:`~repro.simulation.SweepRunner`;
+* :class:`MonteCarloSpec` — one run expanded into an N-replicate
+  Monte Carlo ensemble (see :mod:`repro.simulation.montecarlo`).
 
 Every spec round-trips through ``to_dict``/``from_dict`` and
 ``to_json``/``from_json`` losslessly; :func:`spec_from_dict` /
@@ -34,6 +36,7 @@ __all__ = [
     "EnvironmentSpec",
     "RunSpec",
     "SweepSpec",
+    "MonteCarloSpec",
     "spec_from_dict",
     "load_spec",
 ]
@@ -389,12 +392,76 @@ class SweepSpec(_JsonSpec):
                    fast=data.get("fast", "auto"))
 
 
+@dataclass(frozen=True)
+class MonteCarloSpec(_JsonSpec):
+    """One run expanded into an N-replicate Monte Carlo ensemble.
+
+    ``replicates`` seed-replicated variants of ``run`` are derived from
+    ``root_seed`` (the seed-stream contract of
+    :func:`repro.simulation.montecarlo.replicate_seeds` — identical
+    across execution tiers); ``quantiles`` are the levels reported by
+    the ensemble summary. The run's own ``seed`` is ignored: every
+    replicate draws its seed from the stream.
+    """
+
+    run: RunSpec
+    replicates: int = 32
+    root_seed: int = 0
+    quantiles: tuple = (0.05, 0.25, 0.5, 0.75, 0.95)
+    name: str = ""
+
+    def __post_init__(self):
+        if not isinstance(self.run, RunSpec):
+            raise TypeError(f"run must be a RunSpec, got {self.run!r}")
+        if not isinstance(self.replicates, int) or \
+                isinstance(self.replicates, bool) or self.replicates < 1:
+            raise ValueError(f"replicates must be a positive integer, "
+                             f"got {self.replicates!r}")
+        if not isinstance(self.root_seed, int) or \
+                isinstance(self.root_seed, bool):
+            raise ValueError(f"root_seed must be an integer, "
+                             f"got {self.root_seed!r}")
+        levels = tuple(float(q) for q in self.quantiles)
+        if not levels or any(not 0.0 <= q <= 1.0 for q in levels) or \
+                list(levels) != sorted(set(levels)):
+            raise ValueError(
+                f"quantiles must be distinct ascending levels in [0, 1], "
+                f"got {self.quantiles!r}")
+        object.__setattr__(self, "quantiles", levels)
+
+    @property
+    def label(self) -> str:
+        """Row label: explicit name, else ``<run label> xN``."""
+        return self.name or f"{self.run.label} x{self.replicates}"
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "montecarlo",
+            "name": self.name,
+            "run": self.run.to_dict(),
+            "replicates": self.replicates,
+            "root_seed": self.root_seed,
+            "quantiles": list(self.quantiles),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MonteCarloSpec":
+        _expect_kind(data, "montecarlo")
+        return cls(run=RunSpec.from_dict(data["run"]),
+                   replicates=data.get("replicates", 32),
+                   root_seed=data.get("root_seed", 0),
+                   quantiles=tuple(data.get("quantiles",
+                                            (0.05, 0.25, 0.5, 0.75, 0.95))),
+                   name=data.get("name", ""))
+
+
 _KINDS = {
     "component": ComponentSpec,
     "system": SystemSpec,
     "environment": EnvironmentSpec,
     "run": RunSpec,
     "sweep": SweepSpec,
+    "montecarlo": MonteCarloSpec,
 }
 
 

@@ -231,6 +231,115 @@ class TestSweepSpecOption:
         assert main(["sweep", "--spec", str(path)]) == 2
 
 
+class TestMonteCarloCommand:
+    def test_mc_runs_batched(self, capsys):
+        assert main(["mc", "C", "--days", "0.1", "--dt", "600",
+                     "--replicates", "4", "--tier", "batched"]) == 0
+        out = capsys.readouterr().out
+        assert "4 replicates" in out
+        assert "batched x4" in out
+        assert "p95" in out
+
+    def test_mc_json_payload(self, capsys):
+        assert main(["mc", "C", "--days", "0.1", "--dt", "600",
+                     "--replicates", "3", "--seed", "9", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["replicates"] == 3
+        assert payload["root_seed"] == 9
+        assert len(payload["rows"]) == 3
+        assert payload["rows"][0]["replicate"] == 0
+        assert 0.0 <= \
+            payload["summaries"]["uptime_fraction"]["mean"] <= 1.0
+
+    def test_mc_is_deterministic(self, capsys):
+        argv = ["mc", "C", "--days", "0.1", "--dt", "600",
+                "--replicates", "3", "--seed", "5"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_mc_spec_file(self, tmp_path, capsys):
+        from repro.spec import EnvironmentSpec, MonteCarloSpec, RunSpec, spec_for
+        spec = MonteCarloSpec(
+            run=RunSpec(system=spec_for("C"),
+                        environment=EnvironmentSpec(
+                            "outdoor", duration=0.1 * 86_400.0, dt=600.0)),
+            replicates=3, root_seed=2)
+        path = tmp_path / "mc.json"
+        spec.save(path)
+        assert main(["mc", "--spec", str(path)]) == 0
+        assert "3 replicates" in capsys.readouterr().out
+        # The generic `run` command executes the same config.
+        assert main(["run", str(path)]) == 0
+        assert "3 replicates" in capsys.readouterr().out
+
+    def test_mc_requires_system_or_spec(self, capsys):
+        assert main(["mc"]) == 2
+        assert "--spec" in capsys.readouterr().err
+
+    def test_mc_spec_honors_replicate_and_seed_overrides(self, tmp_path,
+                                                         capsys):
+        from repro.spec import EnvironmentSpec, MonteCarloSpec, RunSpec, spec_for
+        spec = MonteCarloSpec(
+            run=RunSpec(system=spec_for("C"),
+                        environment=EnvironmentSpec(
+                            "outdoor", duration=0.1 * 86_400.0, dt=600.0)),
+            replicates=32, root_seed=0)
+        path = tmp_path / "mc.json"
+        spec.save(path)
+        assert main(["mc", "--spec", str(path), "--replicates", "2",
+                     "--seed", "13"]) == 0
+        out = capsys.readouterr().out
+        assert "2 replicates" in out
+        assert "root seed 13" in out
+
+    def test_mc_spec_rejects_flag_mode_overrides(self, tmp_path, capsys):
+        from repro.spec import EnvironmentSpec, MonteCarloSpec, RunSpec, spec_for
+        spec = MonteCarloSpec(
+            run=RunSpec(system=spec_for("C"),
+                        environment=EnvironmentSpec(
+                            "outdoor", duration=0.1 * 86_400.0, dt=600.0)),
+            replicates=2)
+        path = tmp_path / "mc.json"
+        spec.save(path)
+        assert main(["mc", "--spec", str(path), "--days", "5"]) == 2
+        assert "flag mode" in capsys.readouterr().err
+
+    def test_mc_spec_rejects_run_config(self, tmp_path, capsys):
+        from repro.spec import EnvironmentSpec, RunSpec, spec_for
+        path = tmp_path / "run.json"
+        RunSpec(system=spec_for("C"),
+                environment=EnvironmentSpec("outdoor")).save(path)
+        assert main(["mc", "--spec", str(path)]) == 2
+        assert "MonteCarloSpec" in capsys.readouterr().err
+
+    def test_mc_invalid_replicates_is_clean_error(self, capsys):
+        assert main(["mc", "C", "--replicates", "0"]) == 2
+        assert "replicates" in capsys.readouterr().err
+
+    def test_mc_ineligible_tier_is_clean_error(self, capsys):
+        assert main(["mc", "A", "--days", "0.1", "--dt", "600",
+                     "--replicates", "2", "--tier", "batched"]) == 2
+        assert "cannot execute ensemble" in capsys.readouterr().err
+
+
+class TestSweepReplicates:
+    def test_expansion_and_identity_columns(self, capsys):
+        assert main(["sweep", "--systems", "C", "--envs", "outdoor",
+                     "--days", "0.1", "--dt", "600",
+                     "--replicates", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "x3 replicates (3 rows)" in out
+        for i in range(3):
+            assert f"C@outdoor#r{i}" in out
+
+    def test_replicates_must_be_positive(self, capsys):
+        assert main(["sweep", "--systems", "C", "--days", "0.1",
+                     "--replicates", "0"]) == 2
+        assert "--replicates" in capsys.readouterr().err
+
+
 class TestExperimentCommand:
     def test_e6_runs(self, capsys):
         assert main(["experiment", "e6"]) == 0

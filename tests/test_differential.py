@@ -1,0 +1,172 @@
+"""Spec-fuzzing differential suite: legacy == kernel == batched.
+
+A seeded generator draws random valid ``SystemSpec``/``RunSpec``
+combinations from the ``repro.spec`` registry catalog (random Table I
+platform + initial SoC, random registered environment + jittered knobs,
+random geometry and seed). Every fuzzed case is executed on the legacy
+per-step engine and then differentially on the other two execution
+paths:
+
+* inside the kernel envelope, ``fast=True`` must reproduce the legacy
+  recorder bit for bit; outside it, ``why_ineligible`` must name a
+  reason (non-empty) and ``fast="auto"`` must land on ``"legacy"``;
+* inside the batched envelope, a ``batch=True`` single-scenario sweep
+  must reproduce the legacy recorder bit for bit; outside it,
+  ``why_batch_ineligible`` must name a reason and a ``batch="auto"``
+  sweep must fall back off the batched tier.
+
+The corpus is deterministic (fixed per-case seeds), so a failure here
+is a reproducible counterexample, not a flake.
+"""
+
+import dataclasses
+import random
+
+import numpy as np
+import pytest
+
+from repro.simulation import SweepRunner, why_batch_ineligible
+from repro.simulation.kernel.plan import why_ineligible
+from repro.spec import (
+    REGISTRY,
+    EnvironmentSpec,
+    RunSpec,
+    SystemSpec,
+    build,
+    run as run_spec,
+    to_scenario,
+)
+
+DAY = 86_400.0
+
+#: Number of fuzzed cases; each is fully determined by its index.
+CASES = 16
+
+#: Valid jitter ranges for registered environment knobs. Every float
+#: knob of every registered environment factory that appears here may be
+#: fuzzed; knobs not listed keep their catalog defaults.
+ENV_PARAM_RANGES = {
+    "cloudiness": (0.0, 0.9),
+    "mean_wind": (1.0, 8.0),
+    "day_fraction": (0.3, 0.7),
+    "flow_speed": (0.2, 2.0),
+    "work_lux": (100.0, 800.0),
+    "accel_rms": (0.5, 4.0),
+    "delta_t_running": (5.0, 40.0),
+    "broadcast_density": (0.002, 0.05),
+    "winter_wind_boost": (0.0, 0.5),
+    "start_day_of_year": (0.0, 365.0),
+}
+
+#: Recorder columns compared bitwise (incl. the derived ones).
+COLUMNS = ("harvest_raw", "harvest_delivered", "harvest_mpp",
+           "charge_accepted", "quiescent", "node_demand", "node_supplied",
+           "node_consumed", "backup_power", "measurements", "stored_energy",
+           "bus_voltage", "alive")
+
+
+def fuzz_spec(index: int) -> RunSpec:
+    """The fuzzed RunSpec of one case — a pure function of the index."""
+    rng = random.Random(0xD1F5 * 1000 + index)
+    system_name = rng.choice(REGISTRY.names("system"))
+    system = SystemSpec(system_name,
+                        {"initial_soc": round(rng.uniform(0.05, 0.95), 3)})
+    env_name = rng.choice(REGISTRY.names("environment"))
+    env_params = {}
+    for param in REGISTRY.parameters("environment", env_name):
+        if param in ENV_PARAM_RANGES and rng.random() < 0.5:
+            lo, hi = ENV_PARAM_RANGES[param]
+            env_params[param] = round(rng.uniform(lo, hi), 4)
+    dt = rng.choice((300.0, 600.0, 900.0))
+    duration = rng.choice((0.05, 0.1)) * DAY
+    return RunSpec(
+        system=system,
+        environment=EnvironmentSpec(env_name, duration=duration, dt=dt,
+                                    params=env_params),
+        name=f"fuzz{index}-{system_name}@{env_name}",
+        duration=duration,
+        dt=dt,
+        seed=rng.randrange(1 << 20),
+    )
+
+
+def assert_bitwise_equal(recorder, reference, label: str) -> None:
+    assert len(recorder) == len(reference), f"{label}: step count diverged"
+    for column in COLUMNS:
+        assert np.array_equal(recorder.column(column),
+                              reference.column(column)), \
+            f"{label}: column {column!r} diverged"
+    assert np.array_equal(recorder.state_codes(),
+                          reference.state_codes()), \
+        f"{label}: node state history diverged"
+    for index in range(recorder.n_stores):
+        assert np.array_equal(recorder.store_energy_trace(index).values,
+                              reference.store_energy_trace(index).values), \
+            f"{label}: store {index} energy diverged"
+    for index in range(recorder.n_channels):
+        assert np.array_equal(
+            recorder.channel_delivered_trace(index).values,
+            reference.channel_delivered_trace(index).values), \
+            f"{label}: channel {index} power diverged"
+
+
+def _batched_recorder(spec: RunSpec, batch):
+    """Run one spec as a single-scenario sweep on the given batch tier,
+    returning the (sweep row, captured SimulationResult)."""
+    captured = []
+    scenario = dataclasses.replace(to_scenario(spec),
+                                   collect=captured.append)
+    sweep = SweepRunner(processes=1, batch=batch).run([scenario])
+    return sweep[0], captured[0] if captured else None
+
+
+class TestFuzzedDifferential:
+    def test_corpus_is_deterministic(self):
+        assert [fuzz_spec(i) for i in range(CASES)] == \
+            [fuzz_spec(i) for i in range(CASES)]
+
+    def test_corpus_exercises_both_batch_outcomes(self):
+        """The fixed corpus must cover both sides of the batched
+        envelope, or the differential below degenerates."""
+        eligibility = {
+            why_batch_ineligible(build(fuzz_spec(i).system),
+                                 fuzz_spec(i).dt) is None
+            for i in range(CASES)
+        }
+        assert eligibility == {True, False}
+
+    @pytest.mark.parametrize("index", range(CASES))
+    def test_legacy_kernel_batched_agree(self, index):
+        spec = fuzz_spec(index)
+        legacy = run_spec(spec, fast=False)
+        assert legacy.execution_path == "legacy"
+
+        # Kernel differential.
+        kernel_reason = why_ineligible(build(spec.system), spec.dt)
+        if kernel_reason is None:
+            kernel = run_spec(spec, fast=True)
+            assert kernel.execution_path == "kernel"
+            assert_bitwise_equal(kernel.recorder, legacy.recorder,
+                                 f"{spec.name} kernel")
+            assert kernel.metrics == legacy.metrics
+        else:
+            assert isinstance(kernel_reason, str) and kernel_reason.strip(), \
+                f"{spec.name}: fallback must carry a reason"
+            auto = run_spec(spec, fast="auto")
+            assert auto.execution_path == "legacy"
+            assert auto.metrics == legacy.metrics
+
+        # Batched differential.
+        batch_reason = why_batch_ineligible(build(spec.system), spec.dt)
+        if batch_reason is None:
+            row, result = _batched_recorder(spec, batch=True)
+            assert row.execution_path == "batched"
+            assert_bitwise_equal(result.recorder, legacy.recorder,
+                                 f"{spec.name} batched")
+            assert row.metrics == legacy.metrics
+        else:
+            assert isinstance(batch_reason, str) and batch_reason.strip(), \
+                f"{spec.name}: batched fallback must carry a reason"
+            row, _ = _batched_recorder(spec, batch="auto")
+            assert row.execution_path != "batched"
+            assert row.metrics == legacy.metrics
