@@ -41,6 +41,11 @@ REQUIRED_SPEEDUP = 3.0
 #: per-scenario path on the 256-scenario grid.
 BATCHED_REQUIRED_SPEEDUP = 5.0
 
+#: Speedup the masked-lane batched kernel must sustain on the formerly
+#: un-batchable Table I platforms (A/B/F: P&O trackers, fuel-cell
+#: backup, bus/MCU, module slots) over the in-process path.
+MASKED_LANE_REQUIRED_SPEEDUP = 4.0
+
 #: 1M-step single-scenario benchmark geometry.
 FAST_STEPS = 1_000_000
 FAST_DT = DAY / FAST_STEPS
@@ -226,6 +231,64 @@ def test_bench_batched_sweep_grid():
         "speedup": speedup,
     })
     assert speedup >= BATCHED_REQUIRED_SPEEDUP
+
+
+def test_bench_masked_lane_table1_grid():
+    """256-scenario System A/B/F grid: the platforms the all-or-nothing
+    batched kernel refused (hill-climbing trackers, fuel-cell backup
+    cascades, bus/MCU and module-slot interfaces) must now ride the
+    masked-lane lockstep tier at >= 4x the in-process per-scenario
+    throughput, bit-identical rows. Baseline timed on a grid prefix and
+    compared by per-scenario-step rate, as above."""
+    letters = ("A", "B", "F")
+    env = outdoor_environment(duration=2 * DAY, dt=GRID_DT, seed=5)
+    cases = [(letters[k % 3], 0.15 + 0.7 * (k / GRID_SCENARIOS))
+             for k in range(GRID_SCENARIOS)]
+
+    def make_specs(count):
+        return [
+            ScenarioSpec(name=f"{letter}-{k}",
+                         system=partial(build_system, letter,
+                                        initial_soc=round(soc, 4)),
+                         environment=env, duration=2 * DAY,
+                         params={"system": letter, "initial_soc": soc})
+            for k, (letter, soc) in enumerate(cases[:count])
+        ]
+
+    t0 = time.perf_counter()
+    baseline = SweepRunner(processes=1, batch=False).run(
+        make_specs(GRID_BASELINE_SCENARIOS))
+    baseline_rate = (time.perf_counter() - t0) / \
+        (GRID_BASELINE_SCENARIOS * GRID_STEPS)
+
+    t0 = time.perf_counter()
+    batched = SweepRunner(processes=1, batch=True).run(
+        make_specs(GRID_SCENARIOS))
+    batched_rate = (time.perf_counter() - t0) / \
+        (GRID_SCENARIOS * GRID_STEPS)
+
+    assert all(r.execution_path == "batched" for r in batched)
+    for base_row, batched_row in zip(baseline, batched):
+        assert base_row.metrics == batched_row.metrics, base_row.name
+        assert base_row.n_steps == batched_row.n_steps
+
+    speedup = baseline_rate / batched_rate
+    print()
+    print(f"in-process : {baseline_rate * 1e6:7.2f} us/scenario-step "
+          f"({GRID_BASELINE_SCENARIOS} scenarios)")
+    print(f"batched    : {batched_rate * 1e6:7.2f} us/scenario-step "
+          f"({GRID_SCENARIOS} scenarios, systems A/B/F)")
+    print(f"speedup    : {speedup:.2f}x "
+          f"(required >= {MASKED_LANE_REQUIRED_SPEEDUP}x)")
+    _record_bench("masked_lane_table1_grid", {
+        "systems": list(letters),
+        "n_scenarios": GRID_SCENARIOS,
+        "n_steps": GRID_STEPS,
+        "inprocess_steps_per_s": 1.0 / baseline_rate,
+        "batched_steps_per_s": 1.0 / batched_rate,
+        "speedup": speedup,
+    })
+    assert speedup >= MASKED_LANE_REQUIRED_SPEEDUP
 
 
 def test_bench_sweep_fanout_matches_sequential(once):

@@ -36,6 +36,7 @@ Examples::
     python -m repro spec C --env outdoor --days 3 > run.json
     python -m repro run run.json
     python -m repro sweep --systems A B C --envs outdoor indoor --days 3
+    python -m repro sweep --systems A B F --batch on --explain --days 1
     python -m repro sweep --spec sweep.json --processes 4
     python -m repro sweep --systems C --replicates 16 --days 1
     python -m repro mc C --env outdoor --days 2 --replicates 64
@@ -170,6 +171,12 @@ def _build_parser() -> argparse.ArgumentParser:
                             "eligible scenario groups, 'on' requires it "
                             "for every scenario, 'off' disables it; rows "
                             "report the tier in execution_path")
+    p_swp.add_argument("--explain", action="store_true",
+                       help="after the sweep, print each fallback row's "
+                            "capability report (which component refused "
+                            "the batched tier, which capability it "
+                            "lacks, and the divergence batching it "
+                            "would cause)")
     add_fast_flag(p_swp)
 
     p_mc = sub.add_parser(
@@ -420,7 +427,33 @@ def _cmd_sweep(args) -> int:
                  "quiescent_j", "measurements", "brownouts",
                  "execution_path"),
         title=title))
+    if args.explain:
+        print()
+        print(_explain_batch(sweep))
     return 0
+
+
+def _explain_batch(sweep) -> str:
+    """Capability-report table for rows that missed the batched tier."""
+    from .analysis.reporting import render_table
+    body = []
+    for result in sweep:
+        report = result.extras.get("batch_fallback_reason")
+        if report is None:
+            continue
+        body.append((result.name, result.execution_path,
+                     getattr(report, "component", "?"),
+                     getattr(report, "capability", "?"),
+                     getattr(report, "divergence", None) or "-",
+                     getattr(report, "detail", str(report))))
+    if not body:
+        return ("batched tier: every scenario rode the lockstep kernel "
+                "(no capability refusals)")
+    return render_table(
+        ("scenario", "path", "component", "missing capability",
+         "divergence", "detail"),
+        body,
+        title=f"batched tier: {len(body)} scenario(s) fell back")
 
 
 def _ensemble_jsonable(ensemble) -> dict:

@@ -184,6 +184,13 @@ class InputConditioner:
         same_class(trackers, "tracker")
         tracker_prepare = trackers[0].lower_batched(dt, trackers)
         surface_builder = harvesters[0].lower_batched(harvesters)
+        if getattr(tracker_prepare, "needs_iv_rows", False) and \
+                not getattr(surface_builder, "provides_iv_rows", False):
+            raise LoweringUnsupported(
+                f"{type(trackers[0]).__name__} replays its hill climb "
+                f"against per-row I-V queries, which "
+                f"{type(harvesters[0]).__name__}'s batched surface does "
+                f"not provide")
         converters = [c.converter for c in siblings]
         same_class(converters, "converter")
         lower_out = getattr(converters[0], "lower_output_batched", None)

@@ -111,12 +111,15 @@ class MPPTracker(abc.ABC):
         """Batched schedule builder (see kernel.batched.TrackerSchedule).
 
         A batched tracker precomputes its whole-run decisions as
-        ``(n_steps, width)`` tensors from the ambient tensor alone —
-        possible exactly when the decision depends only on ambient
-        values and the step index, never on harvested-power feedback.
-        Hill-climbing trackers (P&O, incremental conductance) carry that
-        feedback and have no batched lowering: the base hook refuses and
-        the scenario runs on the per-scenario path.
+        ``(n_steps, width)`` tensors from the ambient tensor. Trackers
+        whose decisions depend only on ambient values and the step index
+        vectorize in closed form; hill-climbing trackers (P&O,
+        incremental conductance) feed harvested power back into the next
+        decision and instead *replay* their update law row by row over
+        per-lane state arrays, querying the batched I-V surface through
+        its ``power_at_row``/``current_at_row`` hooks (declared via
+        ``needs_iv_rows`` on the prepare object). The base hook refuses;
+        subclasses opt in.
         """
         from ..simulation.kernel.protocol import LoweringUnsupported
         raise LoweringUnsupported(
@@ -217,6 +220,97 @@ class PerturbObserve(MPPTracker):
             self._voltage += self._direction * self.step_fraction * voc
             self._voltage = min(max(self._voltage, 0.0), voc)
         return TrackerStep(self._voltage)
+
+    # ------------------------------------------------------------------
+    # Batched lowering (see repro.simulation.kernel.batched)
+    # ------------------------------------------------------------------
+    def lower_batched(self, dt: float, siblings):
+        """Batched P&O: per-lane replay of the hill climb.
+
+        P&O feeds harvested power back into its next decision, so the
+        schedule cannot be a closed-form tensor. Instead ``prepare``
+        replays :meth:`step` row by row with per-lane state arrays
+        (voltage, last power, direction, elapsed), evaluating power on
+        the batched I-V surface's ``power_at_row``. Every mask mirrors
+        a branch or early return of the scalar update law, and the
+        ``None`` sentinels become explicit has-value masks, so each
+        lane's voltage walk is bit-identical to its scalar run.
+        """
+        import numpy as np
+        from ..simulation.kernel.batched import (
+            TrackerSchedule,
+            gather,
+            same_class,
+        )
+        same_class(siblings, "tracker")
+
+        class _PandOPrepare:
+            #: Requires a surface with per-row I-V access (checked at
+            #: compile time by InputConditioner.lower_batched).
+            needs_iv_rows = True
+
+            @staticmethod
+            def prepare(surface, values):
+                n_steps, width = values.shape
+                lanes = siblings[:width] if width < len(siblings) \
+                    else siblings
+                period = gather(lanes, lambda t: t.update_period)
+                step_frac = gather(lanes, lambda t: t.step_fraction)
+                volt = gather(lanes, lambda t: t._voltage
+                              if t._voltage is not None else 0.0)
+                has_v = np.array([t._voltage is not None for t in lanes])
+                last_p = gather(lanes, lambda t: t._last_power
+                                if t._last_power is not None else 0.0)
+                has_p = np.array([t._last_power is not None for t in lanes])
+                direction = gather(lanes, lambda t: t._direction)
+                elapsed = gather(lanes, lambda t: t._elapsed)
+                voltage = np.empty((n_steps, width))
+                for i in range(n_steps):
+                    voc = surface.voc[i]
+                    alive = voc > 0.0
+                    # Dead source: drop state, re-seed on recovery.
+                    has_v = has_v & alive
+                    has_p = has_p & alive
+                    volt = np.where(alive & ~has_v, 0.5 * voc, volt)
+                    has_v = has_v | alive
+                    # The scalar early-return precedes the accumulator.
+                    elapsed = np.where(alive, elapsed + dt, elapsed)
+                    updates = np.where(alive,
+                                       np.trunc(elapsed / period), 0.0)
+                    elapsed = elapsed - updates * period
+                    ucap = np.minimum(updates, 64.0)
+                    for k in range(int(ucap.max())):
+                        act = ucap > k
+                        power = surface.power_at_row(i, volt)
+                        flip = act & has_p & (power < last_p)
+                        direction = np.where(flip, -direction, direction)
+                        last_p = np.where(act, power, last_p)
+                        has_p = has_p | act
+                        stepped = volt + direction * step_frac * voc
+                        volt = np.where(
+                            act,
+                            np.minimum(np.maximum(stepped, 0.0), voc),
+                            volt)
+                    voltage[i] = np.where(alive, volt, 0.0)
+
+                def writeback() -> None:
+                    n_all = (len(siblings),)
+                    f_v = np.broadcast_to(volt, n_all)
+                    f_hv = np.broadcast_to(has_v, n_all)
+                    f_p = np.broadcast_to(last_p, n_all)
+                    f_hp = np.broadcast_to(has_p, n_all)
+                    f_dir = np.broadcast_to(direction, n_all)
+                    f_el = np.broadcast_to(elapsed, n_all)
+                    for k, tracker in enumerate(siblings):
+                        tracker._voltage = float(f_v[k]) if f_hv[k] else None
+                        tracker._last_power = \
+                            float(f_p[k]) if f_hp[k] else None
+                        tracker._direction = float(f_dir[k])
+                        tracker._elapsed = float(f_el[k])
+
+                return TrackerSchedule(voltage, writeback=writeback)
+
+        return _PandOPrepare()
 
 
 @register("tracker", "fractional_voc")
@@ -410,6 +504,86 @@ class IncrementalConductance(MPPTracker):
             elif di_dv < target_slope:
                 self._voltage = max(v - self.step_fraction * voc, 0.0)
         return TrackerStep(self._voltage)
+
+    # ------------------------------------------------------------------
+    # Batched lowering (see repro.simulation.kernel.batched)
+    # ------------------------------------------------------------------
+    def lower_batched(self, dt: float, siblings):
+        """Batched incremental conductance: per-lane replay.
+
+        Same structure as the P&O replay — per-lane state arrays stepped
+        row by row — with the slope test evaluated through the surface's
+        ``current_at_row``. The ``di_dv == target_slope`` equality branch
+        keeps the *stored* (possibly unclamped) voltage, exactly like
+        the scalar update law.
+        """
+        import numpy as np
+        from ..simulation.kernel.batched import (
+            TrackerSchedule,
+            gather,
+            same_class,
+        )
+        same_class(siblings, "tracker")
+
+        class _IncCondPrepare:
+            #: Requires a surface with per-row I-V access (checked at
+            #: compile time by InputConditioner.lower_batched).
+            needs_iv_rows = True
+
+            @staticmethod
+            def prepare(surface, values):
+                n_steps, width = values.shape
+                lanes = siblings[:width] if width < len(siblings) \
+                    else siblings
+                period = gather(lanes, lambda t: t.update_period)
+                step_frac = gather(lanes, lambda t: t.step_fraction)
+                probe_frac = gather(lanes, lambda t: t.probe_fraction)
+                volt = gather(lanes, lambda t: t._voltage
+                              if t._voltage is not None else 0.0)
+                has_v = np.array([t._voltage is not None for t in lanes])
+                elapsed = gather(lanes, lambda t: t._elapsed)
+                voltage = np.empty((n_steps, width))
+                for i in range(n_steps):
+                    voc = surface.voc[i]
+                    alive = voc > 0.0
+                    has_v = has_v & alive
+                    volt = np.where(alive & ~has_v, 0.5 * voc, volt)
+                    has_v = has_v | alive
+                    elapsed = np.where(alive, elapsed + dt, elapsed)
+                    updates = np.where(alive,
+                                       np.trunc(elapsed / period), 0.0)
+                    elapsed = elapsed - updates * period
+                    ucap = np.minimum(updates, 64.0)
+                    for k in range(int(ucap.max())):
+                        act = ucap > k
+                        v = np.minimum(np.maximum(volt, 1e-6), voc)
+                        dv = np.maximum(probe_frac * voc, 1e-9)
+                        i0 = surface.current_at_row(i, v)
+                        i1 = surface.current_at_row(
+                            i, np.minimum(v + dv, voc))
+                        di_dv = (i1 - i0) / dv
+                        target_slope = -i0 / v
+                        up = act & (di_dv > target_slope)
+                        down = act & (di_dv < target_slope)
+                        volt = np.where(
+                            up, np.minimum(v + step_frac * voc, voc),
+                            np.where(down,
+                                     np.maximum(v - step_frac * voc, 0.0),
+                                     volt))
+                    voltage[i] = np.where(alive, volt, 0.0)
+
+                def writeback() -> None:
+                    n_all = (len(siblings),)
+                    f_v = np.broadcast_to(volt, n_all)
+                    f_hv = np.broadcast_to(has_v, n_all)
+                    f_el = np.broadcast_to(elapsed, n_all)
+                    for k, tracker in enumerate(siblings):
+                        tracker._voltage = float(f_v[k]) if f_hv[k] else None
+                        tracker._elapsed = float(f_el[k])
+
+                return TrackerSchedule(voltage, writeback=writeback)
+
+        return _IncCondPrepare()
 
 
 @register("tracker", "fixed_voltage")

@@ -87,11 +87,12 @@ class EnergyManager(abc.ABC):
         """
         return self.control
 
-    def lower_batched(self, dt: float, siblings):
-        """Batched lowering: policies read monitors and steer the bank,
-        which the lockstep loop cannot replay generically — only
-        managers proven side-effect-free (:class:`StaticManager`) batch;
-        everything else routes the scenario to the per-scenario path."""
+    def lower_batched(self, dt: float, siblings, context=None):
+        """Batched lowering: a custom policy reads monitors and steers
+        the bank in ways the lockstep loop cannot replay generically —
+        only managers with a vectorized policy (the concrete classes in
+        this module) batch; everything else routes the scenario to the
+        per-scenario path."""
         from ..simulation.kernel.protocol import LoweringUnsupported
         raise LoweringUnsupported(
             f"{type(self).__name__} has no batched lowering")
@@ -110,7 +111,7 @@ class StaticManager(EnergyManager):
     # ------------------------------------------------------------------
     # Batched lowering (see repro.simulation.kernel.batched)
     # ------------------------------------------------------------------
-    def lower_batched(self, dt: float, siblings):
+    def lower_batched(self, dt: float, siblings, context=None):
         """Static managers never touch the simulation (no policy, zero
         wake-up energy), so the hot loop skips them entirely and the
         bookkeeping counters are replayed exactly at writeback."""
@@ -154,6 +155,97 @@ class StaticManager(EnergyManager):
         return BatchedManagerLowering(tuple(siblings), None, writeback)
 
 
+def _lower_gated_manager_batched(manager_cls, dt: float, siblings, context):
+    """Shared batched lowering for the SoC-gated periodic managers.
+
+    :class:`ThresholdManager` and :class:`EnergyNeutralManager` run the
+    same policy shape — duty-cycle controller update + backup hysteresis
+    — so one vectorized counter machine serves both. The generic
+    :meth:`EnergyManager.control` accumulator becomes per-lane arrays;
+    the wake-up discharge routes through the batched bank (masked to
+    firing lanes, zeros elsewhere — a proven-exact no-op); monitor
+    telemetry comes from :func:`~repro.core.system.lower_monitor_batched`
+    so policies see the live state arrays mid-step.
+    """
+    import numpy as np
+
+    from ..simulation.kernel.batched import (
+        BatchedManagerLowering,
+        gather,
+        same_class,
+    )
+    from ..simulation.kernel.protocol import (
+        LoweringUnsupported,
+        ensure_unmodified,
+    )
+    from .system import lower_monitor_batched
+
+    same_class(siblings, "manager")
+    if context is None:
+        raise LoweringUnsupported(
+            f"{type(siblings[0]).__name__} needs the lowered system "
+            f"context to batch")
+    for manager in siblings:
+        ensure_unmodified(manager, EnergyManager, "control")
+        ensure_unmodified(manager, manager_cls, "_policy")
+
+    controllers = [m.controller for m in siblings]
+    same_class(controllers, "duty-cycle controller")
+    lower_controller = getattr(controllers[0], "lower_batched", None)
+    if lower_controller is None:
+        raise LoweringUnsupported(
+            f"{type(controllers[0]).__name__} has no batched lowering")
+    controller = lower_controller(dt, controllers, context.node)
+    soc_estimate, input_power = lower_monitor_batched(
+        context.systems, context.bank, context.channels)
+
+    period = gather(siblings, lambda m: m.control_period)
+    wakeup = gather(siblings, lambda m: m.wakeup_energy_j)
+    wake_power = gather(siblings, lambda m: m.wakeup_energy_j / dt)
+    wake_mask = wakeup > 0.0
+    any_wakeup = bool(wake_mask.any())
+    backup_on = gather(siblings, lambda m: m.backup_on_soc)
+    backup_off = gather(siblings, lambda m: m.backup_off_soc)
+
+    since = gather(siblings, lambda m: m._since_control)
+    passes = np.array([m.control_passes for m in siblings], dtype=np.int64)
+    spent = gather(siblings, lambda m: m.energy_spent_j)
+
+    bank_discharge = context.bank.discharge
+    bank_state = context.bank.state
+
+    def control():
+        nonlocal since, passes, spent
+        since = since + dt
+        fire = since >= period
+        if not fire.any():
+            return
+        since = np.where(fire, 0.0, since)
+        passes = passes + fire
+        spent = spent + np.where(fire, wakeup, 0.0)
+        if any_wakeup:
+            bank_discharge(np.where(fire & wake_mask, wake_power, 0.0))
+        # _policy over the firing lanes.
+        soc, soc_none = soc_estimate()
+        inp = input_power() if input_power is not None else None
+        controller.update(fire, soc, soc_none, inp)
+        gate = fire & ~soc_none
+        turn_on = gate & (soc <= backup_on)
+        turn_off = gate & ~(soc <= backup_on) & (soc >= backup_off)
+        bank_state.backup_enabled = np.where(
+            turn_on, True, np.where(turn_off, False,
+                                    bank_state.backup_enabled))
+
+    def writeback(n_steps: int) -> None:
+        for k, manager in enumerate(siblings):
+            manager._since_control = float(since[k])
+            manager.control_passes = int(passes[k])
+            manager.energy_spent_j = float(spent[k])
+        controller.writeback()
+
+    return BatchedManagerLowering(tuple(siblings), control, writeback)
+
+
 @register("manager", "threshold")
 class ThresholdManager(EnergyManager):
     """SoC-staircase duty adaptation with gated backup activation.
@@ -191,6 +283,14 @@ class ThresholdManager(EnergyManager):
             elif soc >= self.backup_off_soc:
                 system.bank.backup_enabled = False
 
+    # ------------------------------------------------------------------
+    # Batched lowering (see repro.simulation.kernel.batched)
+    # ------------------------------------------------------------------
+    def lower_batched(self, dt: float, siblings, context=None):
+        """Vectorized counter machine + SoC-gated policy over lanes."""
+        return _lower_gated_manager_batched(ThresholdManager, dt, siblings,
+                                            context)
+
 
 @register("manager", "energy_neutral")
 class EnergyNeutralManager(EnergyManager):
@@ -222,3 +322,11 @@ class EnergyNeutralManager(EnergyManager):
                 system.bank.backup_enabled = True
             elif soc >= self.backup_off_soc:
                 system.bank.backup_enabled = False
+
+    # ------------------------------------------------------------------
+    # Batched lowering (see repro.simulation.kernel.batched)
+    # ------------------------------------------------------------------
+    def lower_batched(self, dt: float, siblings, context=None):
+        """Vectorized counter machine + SoC-gated policy over lanes."""
+        return _lower_gated_manager_batched(EnergyNeutralManager, dt,
+                                            siblings, context)

@@ -478,11 +478,12 @@ class StorageBank:
         """Lower a group of same-shape banks for lockstep stepping.
 
         Stores lower position by position (chemistry hooks over shared
-        ``(n,)`` arrays); the charge cascade, diode-OR voltage, and the
-        stable highest-voltage-first discharge are vectorized here with
-        per-lane rank selection. Backup cascades (fuel cells, primary
-        cells) are outside the batched envelope — those scenarios run
-        per-scenario.
+        ``(n,)`` arrays); the charge cascade, diode-OR voltage, the
+        stable highest-voltage-first discharge, *and* the backup cascade
+        (fuel cells, primary cells) are vectorized here with per-lane
+        rank selection and a per-lane ``backup_enabled`` mask that
+        manager lowerings toggle mid-run, exactly like the scalar
+        closures read ``bank.backup_enabled`` per call.
         """
         import numpy as np
         from ..simulation.kernel.batched import (
@@ -497,6 +498,7 @@ class StorageBank:
         )
         same_class(siblings, "storage bank")
         n_stores = len(self.stores)
+        n_lanes = len(siblings)
         for bank in siblings:
             ensure_unmodified(bank, StorageBank, "charge", "discharge",
                               "voltage", "idle", "ambient_stores",
@@ -505,11 +507,6 @@ class StorageBank:
                 raise LoweringUnsupported(
                     "banks in a batch must hold the same number of stores")
             for store in bank.stores:
-                if store.is_backup:
-                    raise LoweringUnsupported(
-                        f"backup store {store.name!r} "
-                        f"({type(store).__name__}): the backup cascade "
-                        f"has no batched lowering")
                 # The diode-OR inlines the base emptiness test.
                 ensure_unmodified(store, EnergyStorage, "is_empty", "soc")
         lowered = []
@@ -523,8 +520,18 @@ class StorageBank:
             lowered.append(lower(dt, stores))
         state = BatchState()
         state.spilled = gather(siblings, lambda b: b.spilled_j)
+        state.backup_enabled = np.array(
+            [bool(b.backup_enabled) for b in siblings])
         capacities = [gather(lw.stores, lambda s: s.capacity_j)
                       for lw in lowered]
+        # is_backup is a class attribute and each position shares one
+        # concrete class, so the partition is position-wise.
+        ambient_pairs = [(lw, cap) for lw, cap in zip(lowered, capacities)
+                         if not lw.stores[0].is_backup]
+        backup_pairs = [(lw, cap) for lw, cap in zip(lowered, capacities)
+                        if lw.stores[0].is_backup]
+        ambient = [lw for lw, _ in ambient_pairs]
+        backup = [lw for lw, _ in backup_pairs]
 
         def idle() -> None:
             for lw in lowered:
@@ -535,8 +542,11 @@ class StorageBank:
                 lw.writeback()
             for k, bank in enumerate(siblings):
                 bank.spilled_j = float(state.spilled[k])
+                bank.backup_enabled = bool(state.backup_enabled[k])
 
-        if n_stores == 1:
+        if n_stores == 1 and not backup:
+            # Single ambient store: the diode-OR, the cascade, and the
+            # sort all collapse to the store's own closures.
             only = lowered[0]
             only_charge = only.charge
 
@@ -550,27 +560,32 @@ class StorageBank:
 
             return BatchedBankLowering(
                 tuple(siblings), state, only.voltage, charge,
-                only.discharge, idle, tuple(lowered), writeback)
+                only.discharge, idle, None, tuple(lowered), writeback)
 
         neg_inf = float("-inf")
+        fallback = (ambient[0] if ambient else lowered[0]).voltage
 
         def voltage():
             best = None
-            first_v = None
-            for lw, capacity in zip(lowered, capacities):
+            for lw, capacity in ambient_pairs:
                 v = lw.voltage()
-                if first_v is None:
-                    first_v = v
                 occupied = (lw.state.energy / capacity) > 1e-6
                 candidate = np.where(occupied, v, neg_inf)
                 best = candidate if best is None else \
                     np.maximum(best, candidate)
-            return np.where(best == neg_inf, first_v, best)
+            for lw, capacity in backup_pairs:
+                v = lw.voltage()
+                occupied = ((lw.state.energy / capacity) > 1e-6) & \
+                    state.backup_enabled
+                candidate = np.where(occupied, v, neg_inf)
+                best = candidate if best is None else \
+                    np.maximum(best, candidate)
+            return np.where(best == neg_inf, fallback(), best)
 
         def charge(power_w):
             remaining = power_w
             accepted = 0.0
-            for lw in lowered:
+            for lw in ambient:
                 taken = lw.charge(np.where(remaining > 0.0, remaining, 0.0))
                 accepted = accepted + taken
                 remaining = remaining - taken
@@ -580,25 +595,42 @@ class StorageBank:
             return accepted
 
         def discharge(power_w):
-            voltages = np.vstack([lw.voltage() for lw in lowered])
-            order = np.argsort(-voltages, axis=0, kind="stable")
             remaining = np.broadcast_to(
-                np.asarray(power_w, dtype=np.float64),
-                order.shape[1:]).copy()
+                np.asarray(power_w, dtype=np.float64), (n_lanes,)).copy()
             delivered = 0.0
-            for rank in range(n_stores):
-                selected = order[rank]
-                for j, lw in enumerate(lowered):
+            if ambient:
+                voltages = np.vstack([lw.voltage() for lw in ambient])
+                order = np.argsort(-voltages, axis=0, kind="stable")
+                for rank in range(len(ambient)):
+                    selected = order[rank]
+                    for j, lw in enumerate(ambient):
+                        got = lw.discharge(
+                            np.where((selected == j) & (remaining > 0.0),
+                                     remaining, 0.0))
+                        delivered = delivered + got
+                        remaining = remaining - got
+            if backup:
+                engage = (remaining > 1e-15) & state.backup_enabled
+                for lw in backup:
                     got = lw.discharge(
-                        np.where((selected == j) & (remaining > 0.0),
+                        np.where(engage & (remaining > 0.0),
                                  remaining, 0.0))
                     delivered = delivered + got
                     remaining = remaining - got
             return delivered
 
+        if backup:
+            def backup_energy():
+                total = 0.0
+                for lw in backup:
+                    total = total + lw.state.energy
+                return total
+        else:
+            backup_energy = None
+
         return BatchedBankLowering(
             tuple(siblings), state, voltage, charge, discharge, idle,
-            tuple(lowered), writeback)
+            backup_energy, tuple(lowered), writeback)
 
 
 class EnergyMonitor:
@@ -701,6 +733,157 @@ def _full_voltage(store: EnergyStorage) -> float | None:
     if volts:
         return volts[-1]
     return getattr(store, "nominal_voltage", None)
+
+
+def lower_monitor_batched(systems, bank, channels):
+    """Vectorized :class:`EnergyMonitor` telemetry over a scenario group.
+
+    Returns ``(soc_estimate, input_power)`` closures reading the *live*
+    batched state (store lowering voltages, channel last-step rows)
+    instead of the stale component objects — the same point-in-time view
+    the scalar manager gets from the real objects mid-step.
+    ``soc_estimate() -> (values, none_mask)`` mirrors the scalar method's
+    ``None`` returns per lane; ``input_power`` is ``None`` below FULL
+    capability (capability is required uniform across the batch).
+    """
+    import numpy as np
+
+    from ..simulation.kernel.batched import exact_pow, gather, same_class
+    from ..simulation.kernel.protocol import LoweringUnsupported
+
+    monitors = [s.monitor for s in systems]
+    if len({m.capability for m in monitors}) > 1:
+        raise LoweringUnsupported(
+            "a batch cannot mix monitoring capabilities")
+    capability = monitors[0].capability
+    n = len(systems)
+
+    if capability >= MonitoringCapability.FULL:
+        # Per non-backup store position: a belief-based energy estimator
+        # over that position's live lowered voltage.
+        estimators = []
+        for pos, store_lw in enumerate(bank.stores):
+            if store_lw.stores[0].is_backup:
+                continue
+            beliefs = [s.bank.beliefs[pos] for s in systems]
+            protos = [b.prototype for b in beliefs]
+            same_class(protos, "storage belief")
+            capacity = gather(beliefs, lambda b: b.capacity_j)
+            proto = protos[0]
+            if getattr(proto, "capacitance_f", None) is not None:
+                cap_f = gather(protos, lambda p: p.capacitance_f)
+                v_min = gather(protos,
+                               lambda p: getattr(p, "min_voltage", 0.0))
+                v_min_sq = gather(
+                    protos, lambda p: getattr(p, "min_voltage", 0.0) ** 2)
+
+                def estimate(v, cap_f=cap_f, v_min=v_min,
+                             v_min_sq=v_min_sq, capacity=capacity):
+                    e = 0.5 * cap_f * (exact_pow(v, 2.0) - v_min_sq)
+                    e = np.where(v <= v_min, 0.0, e)
+                    return np.minimum(e, capacity)
+            elif getattr(proto, "_ocv_soc", None) is not None and \
+                    getattr(proto, "_ocv_v", None) is not None:
+                if len({(tuple(p._ocv_soc), tuple(p._ocv_v))
+                        for p in protos}) > 1:
+                    raise LoweringUnsupported(
+                        "a batch cannot mix believed OCV curves at one "
+                        "store position")
+                socs = np.array(proto._ocv_soc, dtype=np.float64)
+                volts = np.array(proto._ocv_v, dtype=np.float64)
+                proto_cap = gather(protos, lambda p: p.capacity_j)
+
+                def estimate(v, socs=socs, volts=volts,
+                             proto_cap=proto_cap, capacity=capacity):
+                    idx = np.clip(
+                        np.searchsorted(volts, v, side="left"),
+                        1, len(volts) - 1)
+                    span = volts[idx] - volts[idx - 1]
+                    frac = np.where(span <= 0.0, 0.0,
+                                    (v - volts[idx - 1]) / span)
+                    soc = socs[idx - 1] + frac * (socs[idx] - socs[idx - 1])
+                    e = np.where(v <= volts[0], 0.0,
+                                 np.where(v >= volts[-1], proto_cap,
+                                          soc * proto_cap))
+                    return np.minimum(e, capacity)
+            else:
+                # Voltage uninformative (ideal / fuel-cell chemistry):
+                # the blind half-capacity estimate.
+                def estimate(v, capacity=capacity):
+                    return 0.5 * capacity
+
+            estimators.append((store_lw, estimate))
+
+        cap_total = gather(
+            systems,
+            lambda s: sum(b.capacity_j for st, b in
+                          zip(s.bank.stores, s.bank.beliefs)
+                          if not st.is_backup))
+        soc_none = cap_total <= 0.0
+
+        def soc_estimate():
+            total = 0.0
+            for store_lw, estimate in estimators:
+                total = total + estimate(store_lw.voltage())
+            return np.minimum(1.0, total / cap_total), soc_none
+
+        # input_power: previous step's total delivered power, seeded
+        # from the channels' pre-run last_step state before step 0.
+        chan_info = []
+        for ch_lw in channels:
+            init_has = np.array(
+                [c.last_step is not None for c in ch_lw.channels])
+            init_del = gather(
+                ch_lw.channels,
+                lambda c: c.last_step.delivered_power
+                if c.last_step is not None else 0.0)
+            chan_info.append((ch_lw, init_has, init_del))
+
+        def input_power():
+            total = 0
+            for ch_lw, init_has, init_del in chan_info:
+                live = ch_lw.last_delivered()
+                if live is None:
+                    total = total + np.where(init_has, init_del, 0.0)
+                else:
+                    total = total + live
+            return total
+
+        return soc_estimate, input_power
+
+    if capability >= MonitoringCapability.STORE_VOLTAGE:
+        # Crude proxy: quantised bus voltage over the believed full
+        # scale. Both the ADC scale and the believed-full voltage are
+        # compile-time constants per lane.
+        adc_scale = gather(monitors, lambda m: float(2 ** m.adc_bits))
+        believed = [
+            max((_full_voltage(b.prototype) for st, b in
+                 zip(s.bank.stores, s.bank.beliefs) if not st.is_backup),
+                default=None)
+            for s in systems
+        ]
+        soc_none = np.array([not bf for bf in believed])
+        full_v = np.array([bf if bf else 1.0 for bf in believed],
+                          dtype=np.float64)
+        bank_voltage = bank.voltage
+
+        def soc_estimate():
+            v = bank_voltage()
+            full_scale = np.where(v > 5.0, np.maximum(v, 1e-9), 5.0)
+            lsb = full_scale / adc_scale
+            quantised = np.trunc(v / lsb) * lsb
+            return np.minimum(1.0, quantised / full_v), soc_none
+
+        return soc_estimate, None
+
+    # Blind platform: soc always None, no input power.
+    soc_none = np.ones(n, dtype=bool)
+    zeros = np.zeros(n, dtype=np.float64)
+
+    def soc_estimate():
+        return zeros, soc_none
+
+    return soc_estimate, None
 
 
 @dataclass(frozen=True)
@@ -927,11 +1110,14 @@ class MultiSourceSystem:
         Raises :exc:`~repro.simulation.kernel.protocol.
         LoweringUnsupported` when any component position has no batched
         lowering — the sweep runner then routes those scenarios through
-        the per-scenario engine. Platforms with a digital bus/MCU are
-        outside the envelope (bus devices spend energy through Python
-        transaction objects the lockstep loop cannot replay).
+        the per-scenario engine. Digital bus/MCU platforms are inside
+        the envelope: bus devices only spend energy on explicit register
+        transactions (never mid-run), so the energy any pre-run
+        transactions left pending is hoisted here and drained on the
+        first lockstep step, exactly where the scalar path charges it.
         """
         from ..simulation.kernel.batched import (
+            BatchedManagerContext,
             BatchedSystemLowering,
             gather,
             same_class,
@@ -945,10 +1131,6 @@ class MultiSourceSystem:
         for system in siblings:
             ensure_unmodified(system, MultiSourceSystem, "step",
                               "total_quiescent_current_a")
-            if system.bus is not None or system.mcu is not None or \
-                    system.slots is not None:
-                raise LoweringUnsupported(
-                    "bus/MCU platforms have no batched lowering")
             if len(system.channels) != n_channels:
                 raise LoweringUnsupported(
                     "systems in a batch must share the channel count")
@@ -967,10 +1149,25 @@ class MultiSourceSystem:
                 "a batch cannot mix managed and unmanaged systems")
         else:
             same_class(managers, "manager")
-            manager = managers[0].lower_batched(dt, managers)
+            context = BatchedManagerContext(tuple(siblings), bank,
+                                            channels, node)
+            manager = managers[0].lower_batched(dt, managers, context)
         quiescent = gather(siblings, lambda s: s.total_quiescent_current_a)
+        # Bus transactions charged since the last step: the scalar path
+        # adds ``pending / dt`` to the standing draw every step, but the
+        # lockstep loop never executes transactions, so only the energy
+        # already pending at compile time is ever non-zero — it drains on
+        # step 0 and the per-step term is an exact ``+ 0.0`` afterwards.
+        if any(s.bus is not None for s in siblings):
+            bus_pending_w = gather(
+                siblings,
+                lambda s: 0.0 if s.bus is None
+                else (s.bus.energy_spent_j - s._bus_energy_charged_j) / dt)
+        else:
+            bus_pending_w = None
         return BatchedSystemLowering(tuple(siblings), bank, channels,
-                                     output, node, manager, quiescent)
+                                     output, node, manager, quiescent,
+                                     bus_pending_w)
 
     def __repr__(self) -> str:
         return (f"MultiSourceSystem(name={self.architecture.short_name!r}, "

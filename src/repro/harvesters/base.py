@@ -263,6 +263,10 @@ class TheveninHarvester(Harvester):
 class _TheveninSurfaceBuilder:
     __slots__ = ("siblings",)
 
+    #: The surface supports per-row I-V queries (``current_at_row`` /
+    #: ``power_at_row``) — required by hill-climbing tracker replays.
+    provides_iv_rows = True
+
     def __init__(self, siblings):
         self.siblings = siblings
 
@@ -298,6 +302,28 @@ class _TheveninSurface:
             over = (voltage > 0.0) & (voltage * i > self.ceiling)
             i = np.where(over, self.ceiling / voltage, i)
         return voltage * i
+
+    @staticmethod
+    def _row(tensor, i: int):
+        return tensor[i] if getattr(tensor, "ndim", 0) == 2 else tensor
+
+    def current_at_row(self, i: int, voltage):
+        """Step-``i`` twin of :meth:`TheveninHarvester.current_at` for
+        per-lane tracker replay (validation hoisted: tracker voltages
+        are never negative)."""
+        import numpy as np
+        voc = self._row(self.voc_raw, i)
+        r = self._row(self.r_int, i)
+        cur = (voc - voltage) / r
+        cur = np.where((voc <= 0.0) | (cur <= 0.0), 0.0, cur)
+        if self.ceiling is not None:
+            ceil = self._row(self.ceiling, i)
+            over = (voltage > 0.0) & (voltage * cur > ceil)
+            cur = np.where(over, ceil / voltage, cur)
+        return cur
+
+    def power_at_row(self, i: int, voltage):
+        return voltage * self.current_at_row(i, voltage)
 
     def _compute_mpp(self):
         import numpy as np

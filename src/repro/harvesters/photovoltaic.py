@@ -188,6 +188,10 @@ class PhotovoltaicCell(Harvester):
 class _PVSurfaceBuilder:
     __slots__ = ("siblings",)
 
+    #: The surface supports per-row I-V queries (``current_at_row`` /
+    #: ``power_at_row``) — required by hill-climbing tracker replays.
+    provides_iv_rows = True
+
     def __init__(self, siblings):
         self.siblings = siblings
 
@@ -226,6 +230,20 @@ class _PVSurface:
 
     def power_at(self, voltage):
         return voltage * self._current_at(voltage)
+
+    def current_at_row(self, i: int, voltage):
+        """Step-``i`` twin of :meth:`PhotovoltaicCell.current_at` for
+        per-lane tracker replay."""
+        import numpy as np
+        from ..simulation.kernel.batched import exact_expm1
+        arg = voltage / self.nvt
+        big = arg > 500.0
+        cur = self.iph[i] - self.i0 * exact_expm1(np.where(big, 0.0, arg))
+        cur = np.where(cur > 0.0, cur, 0.0)
+        return np.where(self.pos[i] & ~big, cur, 0.0)
+
+    def power_at_row(self, i: int, voltage):
+        return voltage * self.current_at_row(i, voltage)
 
     def _compute_mpp(self):
         import numpy as np

@@ -71,6 +71,16 @@ class ThermoelectricGenerator(TheveninHarvester):
         delta_t = min(max(0.0, ambient), self.max_delta_t)
         return self.seebeck_total * delta_t, self.internal_resistance
 
+    def _batch_thevenin(self, siblings, values):
+        """Vectorized twin of :meth:`thevenin` (Seebeck line, clamped dT)."""
+        import numpy as np
+        from ..simulation.kernel.batched import gather
+        max_dt = gather(siblings, lambda h: h.max_delta_t)
+        seebeck = gather(siblings, lambda h: h.seebeck_total)
+        r_int = gather(siblings, lambda h: h.internal_resistance)
+        delta_t = np.minimum(np.where(values > 0.0, values, 0.0), max_dt)
+        return seebeck * delta_t, np.broadcast_to(r_int, values.shape)
+
     def matched_power(self, delta_t: float) -> float:
         """Analytic matched-load power at a given gradient (W)."""
         voc = self.seebeck_total * min(max(0.0, delta_t), self.max_delta_t)

@@ -46,6 +46,24 @@ class DutyCycleController(abc.ABC):
         """
 
 
+class _BatchedController:
+    """A controller group lowered over lanes (see kernel.batched).
+
+    ``update(fire, soc, soc_none, input_power)`` is the masked twin of
+    :meth:`DutyCycleController.update`: ``fire`` marks the lanes whose
+    manager fired this step, ``soc``/``soc_none`` carry the per-lane SoC
+    estimate and its None-mask, and ``input_power`` is a per-lane row or
+    ``None`` below FULL monitoring capability.
+    """
+
+    __slots__ = ("controllers", "update", "writeback")
+
+    def __init__(self, controllers, update, writeback):
+        self.controllers = controllers
+        self.update = update
+        self.writeback = writeback
+
+
 class FixedDutyCycle(DutyCycleController):
     """Never adapts; the baseline for experiment E7."""
 
@@ -56,6 +74,25 @@ class FixedDutyCycle(DutyCycleController):
 
     def update(self, node: WirelessSensorNode, soc, input_power_w, dt) -> None:
         node.set_measurement_interval(self.interval_s)
+
+    # ------------------------------------------------------------------
+    # Batched lowering (see repro.simulation.kernel.batched)
+    # ------------------------------------------------------------------
+    def lower_batched(self, dt: float, controllers, node):
+        """Set the fixed interval on every firing lane, like the scalar."""
+        from ..simulation.kernel.protocol import ensure_unmodified
+        from ..simulation.kernel.batched import gather
+        for controller in controllers:
+            ensure_unmodified(controller, FixedDutyCycle, "update")
+        interval = gather(controllers, lambda c: c.interval_s)
+
+        def update(fire, soc, soc_none, input_power):
+            node.set_interval(fire, interval)
+
+        def writeback() -> None:
+            return None
+
+        return _BatchedController(tuple(controllers), update, writeback)
 
 
 class ThresholdDutyCycle(DutyCycleController):
@@ -104,6 +141,62 @@ class ThresholdDutyCycle(DutyCycleController):
                 index = self._current_index
         self._current_index = index
         node.set_measurement_interval(self.levels[index][1])
+
+    # ------------------------------------------------------------------
+    # Batched lowering (see repro.simulation.kernel.batched)
+    # ------------------------------------------------------------------
+    def lower_batched(self, dt: float, controllers, node):
+        """Vectorized staircase: per-lane level index with hysteresis.
+
+        Thresholds are descending, so the scalar ``next(...)`` search is
+        the argmax of the first satisfied row; lanes differing only in
+        level *values* share the ``(n, levels)`` arrays, but the level
+        count must match across the batch.
+        """
+        import numpy as np
+
+        from ..simulation.kernel.protocol import (
+            LoweringUnsupported,
+            ensure_unmodified,
+        )
+        from ..simulation.kernel.batched import gather
+
+        n_levels = len(self.levels)
+        for controller in controllers:
+            ensure_unmodified(controller, ThresholdDutyCycle, "update")
+            if len(controller.levels) != n_levels:
+                raise LoweringUnsupported(
+                    "threshold controllers in a batch must share the "
+                    "level count")
+        thresholds = np.array([[t for t, _ in c.levels]
+                               for c in controllers], dtype=np.float64)
+        intervals = np.array([[i for _, i in c.levels]
+                              for c in controllers], dtype=np.float64)
+        hysteresis = gather(controllers, lambda c: c.hysteresis)
+        index = np.array([c._current_index for c in controllers],
+                         dtype=np.int64)
+
+        def update(fire, soc, soc_none, input_power):
+            nonlocal index
+            act = fire & ~soc_none
+            if not act.any():
+                return
+            # First level whose threshold the SoC meets (thresholds
+            # descend and end at 0.0, so every non-negative SoC matches).
+            first = np.argmax(soc[:, None] >= thresholds, axis=1)
+            chosen_thr = np.take_along_axis(
+                thresholds, first[:, None], axis=1)[:, 0]
+            blocked = (first < index) & (soc < chosen_thr + hysteresis)
+            new_index = np.where(blocked, index, first)
+            index = np.where(act, new_index, index)
+            node.set_interval(act, np.take_along_axis(
+                intervals, index[:, None], axis=1)[:, 0])
+
+        def writeback() -> None:
+            for k, controller in enumerate(controllers):
+                controller._current_index = int(index[k])
+
+        return _BatchedController(tuple(controllers), update, writeback)
 
 
 class EnergyNeutralController(DutyCycleController):
@@ -177,3 +270,69 @@ class EnergyNeutralController(DutyCycleController):
         interval = node.measurement_energy() / spendable
         interval = min(max(interval, self.min_interval_s), self.max_interval_s)
         node.set_measurement_interval(interval)
+
+    # ------------------------------------------------------------------
+    # Batched lowering (see repro.simulation.kernel.batched)
+    # ------------------------------------------------------------------
+    def lower_batched(self, dt: float, controllers, node):
+        """Vectorized energy-neutral law with a per-lane EWMA estimate.
+
+        The estimator's None-before-first-telemetry state becomes a
+        ``has_estimate`` mask; every arithmetic step copies the scalar
+        expression order (seed, EWMA blend, margin, SoC steering, clamp).
+        Lanes whose ``spendable`` margin is non-positive take the
+        max-interval branch through a mask, so the division producing
+        inf/nan on those lanes is discarded exactly where the scalar
+        code returns early.
+        """
+        import numpy as np
+
+        from ..simulation.kernel.protocol import ensure_unmodified
+        from ..simulation.kernel.batched import gather
+
+        for controller in controllers:
+            ensure_unmodified(controller, EnergyNeutralController, "update")
+        target = gather(controllers, lambda c: c.target_soc)
+        margin = gather(controllers, lambda c: c.margin)
+        alpha = gather(controllers, lambda c: min(1.0, dt / c.ewma_tau_s))
+        min_interval = gather(controllers, lambda c: c.min_interval_s)
+        max_interval = gather(controllers, lambda c: c.max_interval_s)
+        sleep = gather(node.nodes, lambda n: n.sleep_power_w)
+        measure_energy = gather(node.nodes, lambda n: n.measurement_energy())
+        estimate = gather(
+            controllers,
+            lambda c: c._harvest_estimate_w
+            if c._harvest_estimate_w is not None else 0.0)
+        has_estimate = np.array(
+            [c._harvest_estimate_w is not None for c in controllers])
+
+        def update(fire, soc, soc_none, input_power):
+            nonlocal estimate, has_estimate
+            if input_power is not None:
+                seed = fire & ~has_estimate
+                blend = fire & has_estimate
+                estimate = np.where(
+                    blend,
+                    estimate + alpha * (input_power - estimate),
+                    np.where(seed, input_power, estimate))
+                has_estimate = has_estimate | fire
+            act = fire & ~(~has_estimate & soc_none)
+            if not act.any():
+                return
+            budget = np.where(has_estimate, estimate, 0.0) * margin
+            steer = 1.0 + 2.0 * (soc - target)
+            steer = np.where(steer > 0.0, steer, 0.0)
+            budget = np.where(soc_none, budget, budget * steer)
+            spendable = budget - sleep
+            starved = spendable <= 0.0
+            interval = measure_energy / spendable
+            interval = np.minimum(np.maximum(interval, min_interval),
+                                  max_interval)
+            node.set_interval(act, np.where(starved, max_interval, interval))
+
+        def writeback() -> None:
+            for k, controller in enumerate(controllers):
+                controller._harvest_estimate_w = \
+                    float(estimate[k]) if has_estimate[k] else None
+
+        return _BatchedController(tuple(controllers), update, writeback)

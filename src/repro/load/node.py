@@ -236,8 +236,11 @@ class WirelessSensorNode:
         takes exactly one of {stay-dead, reboot-fail, rebooting,
         brown-out, running} per step, and every counter receives the
         single addition the scalar branch would perform. The demand
-        model is hoisted (``measurement_interval_s`` only changes under
-        managing controllers, which are outside the batched envelope).
+        model hangs off the per-lane ``state.interval`` array: manager
+        lowerings retune it mid-run through ``set_interval``, which
+        rebinds the interval-derived arrays with the same elementwise
+        expressions the scalar :meth:`demand_power` evaluates fresh on
+        every call.
         """
         import numpy as np
         from ..simulation.kernel.protocol import ensure_unmodified
@@ -256,21 +259,27 @@ class WirelessSensorNode:
             ensure_unmodified(node, WirelessSensorNode, "demand_power",
                               "step", "measurement_energy", "_reboot_power")
         sleep = gather(siblings, lambda n: n.sleep_power_w)
-        run_demand = gather(
-            siblings,
-            lambda n: n.sleep_power_w +
-            n.measurement_energy() / n.measurement_interval_s)
+        measure_energy = gather(siblings, lambda n: n.measurement_energy())
         reboot_power = gather(siblings, lambda n: n._reboot_power())
         reboot_time = gather(siblings, lambda n: n.reboot_time_s)
-        full_rate = gather(siblings, lambda n: dt / n.measurement_interval_s)
-        needed_margin = gather(
-            siblings,
-            lambda n: (n.sleep_power_w + n.measurement_energy() /
-                       n.measurement_interval_s) - n.sleep_power_w)
-        no_margin = needed_margin <= 0.0
 
         from ..simulation.kernel.batched import _STATE_CODE
         state = BatchState()
+        # Demand model, per lane. The initial arrays are Python-hoisted
+        # (exact scalar bits); set_interval rebinds them with IEEE-exact
+        # elementwise twins of the same expressions.
+        state.interval = gather(siblings, lambda n: n.measurement_interval_s)
+        state.run_demand = gather(
+            siblings,
+            lambda n: n.sleep_power_w +
+            n.measurement_energy() / n.measurement_interval_s)
+        state.full_rate = gather(siblings,
+                                 lambda n: dt / n.measurement_interval_s)
+        state.needed_margin = gather(
+            siblings,
+            lambda n: (n.sleep_power_w + n.measurement_energy() /
+                       n.measurement_interval_s) - n.sleep_power_w)
+        state.no_margin = state.needed_margin <= 0.0
         state.code = np.array([_STATE_CODE[n.state] for n in siblings],
                               dtype=np.int8)
         state.reboot_remaining = gather(siblings,
@@ -283,8 +292,18 @@ class WirelessSensorNode:
                                    dtype=np.int64)
 
         def demand():
-            return np.where(state.code == STATE_RUNNING, run_demand,
+            return np.where(state.code == STATE_RUNNING, state.run_demand,
                             reboot_power)
+
+        def set_interval(mask, interval_s):
+            """Masked :meth:`set_measurement_interval` over lanes."""
+            interval = np.where(mask, interval_s, state.interval)
+            state.interval = interval
+            run_demand = sleep + measure_energy / interval
+            state.run_demand = run_demand
+            state.full_rate = dt / interval
+            state.needed_margin = run_demand - sleep
+            state.no_margin = state.needed_margin <= 0.0
 
         def step(supplied):
             code = state.code
@@ -303,10 +322,11 @@ class WirelessSensorNode:
             running = code == STATE_RUNNING
             brown = running & (supplied < sleep)
             alive = running & ~brown
-            consumed_run = np.minimum(run_demand, supplied)
+            consumed_run = np.minimum(state.run_demand, supplied)
             margin = consumed_run - sleep
-            done = full_rate * np.minimum(1.0, margin / needed_margin)
-            done = np.where(alive & ~no_margin, done, 0.0)
+            done = state.full_rate * np.minimum(
+                1.0, margin / state.needed_margin)
+            done = np.where(alive & ~state.no_margin, done, 0.0)
 
             state.code = np.where(
                 stay_dead | fail | brown, STATE_DEAD,
@@ -337,6 +357,7 @@ class WirelessSensorNode:
             for k, node in enumerate(siblings):
                 node.state = node_state_from_code(state.code[k])
                 node._reboot_remaining = float(state.reboot_remaining[k])
+                node.measurement_interval_s = float(state.interval[k])
                 node.total_measurements = float(state.measurements[k])
                 node.total_packets = float(state.packets[k])
                 node.total_energy_j = float(state.energy[k])
@@ -344,7 +365,7 @@ class WirelessSensorNode:
                 node.brownouts = int(state.brownouts[k])
 
         return BatchedNodeLowering(tuple(siblings), state, demand, step,
-                                   writeback)
+                                   set_interval, writeback)
 
     def __repr__(self) -> str:
         return (f"WirelessSensorNode(state={self.state.value}, "

@@ -17,9 +17,11 @@ across worker processes for the comparative studies.
 from .engine import SimulationResult, Simulator, simulate
 from .events import EventSchedule, SimEvent, swap_harvester_event, swap_storage_event
 from .kernel import (
+    CapabilityReport,
     KernelFallback,
     KernelPlan,
     LoweringUnsupported,
+    batch_capability_report,
     batch_eligible,
     why_batch_ineligible,
 )
@@ -35,6 +37,8 @@ from .recorder import Recorder
 from .sweep import ScenarioResult, ScenarioSpec, SweepResult, SweepRunner
 
 __all__ = [
+    "CapabilityReport",
+    "batch_capability_report",
     "batch_eligible",
     "why_batch_ineligible",
     "Simulator",

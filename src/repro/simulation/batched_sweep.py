@@ -2,11 +2,15 @@
 
 Bridges :class:`~repro.simulation.sweep.SweepRunner` and the batched
 kernel (:mod:`repro.simulation.kernel.batched`): scenarios are probed
-cheaply, grouped by system topology, compiled into one
-:class:`BatchedPlan` per group, and stepped in lockstep. Scenarios the
-envelope excludes — carrying events, forced ``fast=False``, or built
-from components without a batched lowering — are handed back with a
-reason so the runner can route them through the per-scenario tiers.
+cheaply (one probe per *topology group*, memoized on the group
+signature), grouped by system topology, compiled into one
+:class:`BatchedPlan` per group, and stepped in lockstep. Scenarios with
+scheduled events ride along: the masked-lane model segments the run at
+event horizons and peels diverging lanes into a scalar side-channel
+(see :func:`~repro.simulation.kernel.batched.run_batched`). Scenarios
+the envelope excludes — forced ``fast=False``, or built from components
+without a batched lowering — are handed back with a capability report
+so the runner can route them through the per-scenario tiers.
 
 Determinism: a batched scenario's rows are bit-for-bit what the
 per-scenario kernel would have produced, so tier selection never changes
@@ -17,24 +21,32 @@ from __future__ import annotations
 
 from ..environment.compiled import CompiledEnvironment
 from .engine import SimulationResult
+from .events import EventSchedule, SimEvent
 from .kernel.batched import BatchedPlan, group_signature, run_batched
-from .kernel.protocol import LoweringUnsupported
+from .kernel.protocol import CapabilityReport, LoweringUnsupported
 from .metrics import compute_metrics
 from .recorder import Recorder
 
 __all__ = ["run_batched_tier"]
 
+_UNPROBED = object()
 
-def _no_events(spec) -> bool:
-    events = spec.events
+
+def _build_schedule(spec) -> EventSchedule | None:
+    """The spec's events as a fresh :class:`EventSchedule` (None if none).
+
+    Mirrors the engine's normalization: callables are invoked (schedules
+    are consumed by a run, so factories are how specs share them), bare
+    tuples become :class:`SimEvent`.
+    """
+    events = spec.events() if callable(spec.events) else spec.events
     if events is None:
-        return True
-    if callable(events):
-        return False  # schedules behind factories are opaque: fall back
-    try:
-        return len(events) == 0
-    except TypeError:
-        return False
+        return None
+    if isinstance(events, EventSchedule):
+        return events if len(events) else None
+    events = [e if isinstance(e, SimEvent) else SimEvent(*e)
+              for e in events]
+    return EventSchedule(events) if events else None
 
 
 def run_batched_tier(specs, default_fast):
@@ -42,8 +54,9 @@ def run_batched_tier(specs, default_fast):
 
     Returns ``(results, remainder, reasons)``: a dict mapping spec index
     to its :class:`ScenarioResult`, the input-order indices that must
-    run on the per-scenario tiers, and (for reporting / ``batch=True``
-    errors) each skipped index's reason.
+    run on the per-scenario tiers, and each skipped index's
+    :class:`~repro.simulation.kernel.protocol.CapabilityReport` (for
+    fallback-row extras, ``batch=True`` errors, and ``--explain``).
     """
     from .sweep import ScenarioResult, _build_environment, _build_system
 
@@ -51,34 +64,49 @@ def run_batched_tier(specs, default_fast):
     remainder: list = []
     reasons: dict = {}
     groups: dict = {}
+    # Eligibility probes are memoized per topology signature: every
+    # scenario of one group shares component classes and capabilities,
+    # so one compile probe answers for all of them. The group compile
+    # below stays authoritative — a member refusing on instance state
+    # the signature cannot see is re-probed individually there.
+    probe_cache: dict = {}
 
     for index, spec in enumerate(specs):
         scenario_fast = spec.fast if spec.fast != "auto" else default_fast
         if scenario_fast is False:
             remainder.append(index)
-            reasons[index] = "fast=False forces the per-scenario legacy path"
-            continue
-        if not _no_events(spec):
-            remainder.append(index)
-            reasons[index] = "scheduled events run per-scenario"
+            reasons[index] = CapabilityReport(
+                component="scenario", capability="compiled execution",
+                detail="fast=False forces the per-scenario legacy path")
             continue
         system = _build_system(spec)
+        probe_dt = spec.dt if spec.dt is not None else 1.0
+        try:
+            topo_key = group_signature(system, probe_dt, 0)
+        except Exception:
+            remainder.append(index)
+            reasons[index] = CapabilityReport(
+                component=type(system).__name__,
+                capability="recognizable topology signature",
+                detail="unrecognized system shape")
+            continue
         # Probe eligibility on the system alone before paying for the
         # environment (stochastic trace synthesis dwarfs system
         # construction): ineligible scenarios fall back without ever
-        # building their environment here, and member-level refusals
-        # are decided per scenario, not per group. Eligibility can hinge
-        # on instance state the topology signature cannot see (e.g. a
-        # manager's wake-up energy), so the probe runs per scenario —
-        # never cached across them. Compile validity is independent of
-        # dt, so a placeholder works when the spec leaves dt to the
-        # environment.
-        try:
-            BatchedPlan.compile([system],
-                                spec.dt if spec.dt is not None else 1.0)
-        except LoweringUnsupported as exc:
+        # building their environment here. Compile validity is
+        # independent of dt, so a placeholder works when the spec
+        # leaves dt to the environment.
+        reason = probe_cache.get(topo_key, _UNPROBED)
+        if reason is _UNPROBED:
+            try:
+                BatchedPlan.compile([system], probe_dt)
+                reason = None
+            except LoweringUnsupported as exc:
+                reason = exc.capability_report()
+            probe_cache[topo_key] = reason
+        if reason is not None:
             remainder.append(index)
-            reasons[index] = str(exc)
+            reasons[index] = reason
             continue
         environment = _build_environment(spec)
         dt = spec.dt if spec.dt is not None else environment.dt
@@ -88,48 +116,66 @@ def run_batched_tier(specs, default_fast):
             # Hand invalid geometry to the per-scenario path so the
             # canonical Simulator errors are raised.
             remainder.append(index)
-            reasons[index] = "invalid dt/duration"
+            reasons[index] = CapabilityReport(
+                component="scenario", capability="valid run geometry",
+                detail="invalid dt/duration")
             continue
         n_steps = max(1, int(round(duration / dt)))
-        try:
-            key = group_signature(system, dt, n_steps)
-        except Exception:
-            remainder.append(index)
-            reasons[index] = "unrecognized system shape"
-            continue
+        key = group_signature(system, dt, n_steps)
         groups.setdefault(key, []).append(
             (index, spec, system, environment, n_steps, dt))
 
     for entries in groups.values():
-        indices = [e[0] for e in entries]
-        systems = [e[2] for e in entries]
         n_steps = entries[0][4]
         dt = entries[0][5]
+        systems = [e[2] for e in entries]
         try:
             plan = BatchedPlan.compile(systems, dt)
-        except LoweringUnsupported as exc:
-            remainder.extend(indices)
-            for index in indices:
-                reasons[index] = str(exc)
-            continue
+        except LoweringUnsupported:
+            # The memoized probe vouched for the topology, but a member
+            # refuses on instance state the signature cannot see (e.g.
+            # a replaced method). Re-probe individually, hand refusers
+            # back, and retry with the survivors once.
+            kept = []
+            for entry in entries:
+                try:
+                    BatchedPlan.compile([entry[2]], dt)
+                    kept.append(entry)
+                except LoweringUnsupported as exc:
+                    remainder.append(entry[0])
+                    reasons[entry[0]] = exc.capability_report()
+            plan = None
+            if kept:
+                try:
+                    plan = BatchedPlan.compile([e[2] for e in kept], dt)
+                except LoweringUnsupported as exc:
+                    for entry in kept:
+                        remainder.append(entry[0])
+                        reasons[entry[0]] = exc.capability_report()
+                    kept = []
+            entries = kept
+            if plan is None:
+                continue
         compileds = [CompiledEnvironment(env, 0.0, n_steps, dt)
                      for _, _, _, env, _, _ in entries]
         recorders = [Recorder(dt, keep_records=False) for _ in entries]
-        run_batched(plan, compileds, recorders, n_steps, dt)
-        for (index, spec, system, _, _, _), recorder in zip(entries,
-                                                            recorders):
+        schedules = [_build_schedule(spec) for _, spec, _, _, _, _ in entries]
+        paths = run_batched(plan, compileds, recorders, n_steps, dt,
+                            schedules)
+        for (index, spec, system, _, _, _), recorder, path in zip(
+                entries, recorders, paths):
             metrics = compute_metrics(recorder)
             extras = {}
             if spec.collect is not None:
                 extras = spec.collect(SimulationResult(
-                    system, recorder, metrics, execution_path="batched"))
+                    system, recorder, metrics, execution_path=path))
             results[index] = ScenarioResult(
                 name=spec.name,
                 params=dict(spec.params),
                 metrics=metrics,
                 n_steps=len(recorder),
                 extras=extras,
-                execution_path="batched",
+                execution_path=path,
             )
 
     remainder.sort()

@@ -15,9 +15,10 @@ so component modules can import it without cycles); the plan layer loads
 on first attribute access.
 """
 
-from .protocol import KernelFallback, LoweringUnsupported
+from .protocol import CapabilityReport, KernelFallback, LoweringUnsupported
 
 __all__ = [
+    "CapabilityReport",
     "KernelFallback",
     "LoweringUnsupported",
     "KernelPlan",
@@ -25,13 +26,15 @@ __all__ = [
     "why_ineligible",
     "run_plan",
     "BatchedPlan",
+    "batch_capability_report",
     "batch_eligible",
     "why_batch_ineligible",
     "run_batched",
 ]
 
 _PLAN_EXPORTS = ("KernelPlan", "eligible", "why_ineligible", "run_plan")
-_BATCHED_EXPORTS = ("BatchedPlan", "batch_eligible", "why_batch_ineligible",
+_BATCHED_EXPORTS = ("BatchedPlan", "batch_capability_report",
+                    "batch_eligible", "why_batch_ineligible",
                     "run_batched", "group_signature")
 
 

@@ -30,14 +30,28 @@ Results are **bit-for-bit identical per scenario** to the scalar kernel
   functions elementwise. Plain arithmetic, ``np.sqrt``, and
   ``np.searchsorted`` are exact matches and stay vectorized.
 
-Eligibility is per component, exactly like the scalar kernel but with a
-narrower envelope: a component type without a batched lowering
-(``lower_batched`` hooks raising :exc:`LoweringUnsupported`) drops the
-*scenario* back to the per-scenario path — never the whole sweep. The
-batched envelope currently excludes bus/MCU platforms, backup-store
-cascades (fuel cells, primary cells), stateful hill-climbing trackers
-(P&O, incremental conductance) and non-static managers; Table I systems
-C, D, E and G are inside it.
+Eligibility is per component, exactly like the scalar kernel: a
+component type without a batched lowering (``lower_batched`` hooks
+raising :exc:`LoweringUnsupported`) drops the *scenario* back to the
+per-scenario path — never the whole sweep. The envelope covers all
+seven Table I systems: bus/MCU platforms (pre-run transaction energy is
+hoisted and drained on the first step), backup-store cascades (fuel
+cells, primary cells — per-lane ``backup_enabled`` masks), stateful
+hill-climbing trackers (P&O, incremental conductance — replayed as
+per-lane schedule columns), and the periodic managers (vectorized
+counter machine + SoC-gated policy).
+
+Scheduled events run under a **masked-lane execution model**
+(:func:`run_batched`): the grid steps in lockstep between *event
+horizons*; at a horizon every lane's state is written back onto the
+real component objects, due events fire on their lanes, and the group
+re-lowers and rejoins lockstep. Write-back/re-gather equality is
+enforced for untouched lanes at every rejoin. Lanes whose events push
+them outside the envelope *peel* into a scalar side-channel — their
+recorder prefix is filled from the batch buffers and the remaining
+steps run on the scalar kernel (``run_plan(start=...)``) or, failing
+that, the legacy per-step loop — while the surviving lanes keep the
+lockstep speedup.
 """
 
 from __future__ import annotations
@@ -64,8 +78,10 @@ __all__ = [
     "BatchedOutputLowering",
     "BatchedNodeLowering",
     "BatchedManagerLowering",
+    "BatchedManagerContext",
     "BatchedSystemLowering",
     "TrackerSchedule",
+    "batch_capability_report",
     "batch_eligible",
     "why_batch_ineligible",
     "group_signature",
@@ -116,7 +132,10 @@ def same_class(objs, role: str) -> type:
             raise LoweringUnsupported(
                 f"{role} group mixes {cls.__name__} and "
                 f"{type(obj).__name__}; a batch must share one concrete "
-                f"class per component position")
+                f"class per component position",
+                component=role,
+                capability="homogeneous component class across the group",
+                divergence="every step")
     return cls
 
 
@@ -214,17 +233,18 @@ class BatchedBankLowering:
     """Lowered bank group: routing composed over store lowerings."""
 
     __slots__ = ("banks", "state", "voltage", "charge", "discharge",
-                 "idle", "stores", "writeback")
+                 "idle", "backup_energy", "stores", "writeback")
 
     def __init__(self, banks, state, voltage, charge, discharge, idle,
-                 stores, writeback):
+                 backup_energy, stores, writeback):
         self.banks = banks
         self.state = state
         self.voltage = voltage
         self.charge = charge
         self.discharge = discharge
         self.idle = idle
-        #: Store lowerings in bank order (per-store recorder columns).
+        #: ``() -> (n,)`` total backup energy, or None without backups.
+        self.backup_energy = backup_energy
         self.stores = stores
         self.writeback = writeback
 
@@ -326,6 +346,16 @@ class BatchedChannelLowering:
         self._last = (raw, delivered, volt, self._mpp_pre[i])
         return raw, delivered, self._mpp_pre[i]
 
+    def last_delivered(self):
+        """Previous step's delivered-power row, or None before step 0.
+
+        What a FULL-capability monitor's ``input_power`` reads: the
+        manager control pass runs *before* the harvest phase, so at step
+        ``i`` it sees step ``i - 1``'s delivery (and, before the first
+        step, the channels' pre-run ``last_step`` state).
+        """
+        return self._last[1] if self._last is not None else None
+
     def writeback(self) -> None:
         """Final object state: tracker internals + the last HarvestStep."""
         from ...conditioning.base import HarvestStep
@@ -353,13 +383,17 @@ class BatchedOutputLowering:
 class BatchedNodeLowering:
     """Lowered node group: the brown-out state machine over lanes."""
 
-    __slots__ = ("nodes", "state", "demand", "step", "writeback")
+    __slots__ = ("nodes", "state", "demand", "step", "set_interval",
+                 "writeback")
 
-    def __init__(self, nodes, state, demand, step, writeback):
+    def __init__(self, nodes, state, demand, step, set_interval, writeback):
         self.nodes = nodes
         self.state = state
         self.demand = demand
         self.step = step
+        #: ``(mask, interval_s) -> None`` masked per-lane duty-cycle
+        #: update (what manager lowerings drive).
+        self.set_interval = set_interval
         self.writeback = writeback
 
 
@@ -369,7 +403,9 @@ class BatchedManagerLowering:
     ``control`` is ``None`` for managers whose control pass cannot touch
     the simulation (StaticManager: zero wake-up energy, no policy) — the
     hot loop skips them entirely and :meth:`writeback` replays the
-    bookkeeping counters exactly.
+    bookkeeping counters exactly. Periodic managers supply a live
+    ``control()`` that the hot loop invokes at the top of every step,
+    mirroring the scalar kernel's phase order.
     """
 
     __slots__ = ("managers", "control", "writeback")
@@ -380,14 +416,32 @@ class BatchedManagerLowering:
         self.writeback = writeback
 
 
+class BatchedManagerContext:
+    """What a manager lowering may touch: the rest of the lowered system.
+
+    Passed by :meth:`MultiSourceSystem.lower_batched` so manager
+    lowerings can drive the batched bank (wake-up discharge, backup
+    gating), retune the node's duty cycle, and read monitor telemetry
+    from the live state arrays instead of the stale component objects.
+    """
+
+    __slots__ = ("systems", "bank", "channels", "node")
+
+    def __init__(self, systems, bank, channels, node):
+        self.systems = systems
+        self.bank = bank
+        self.channels = channels
+        self.node = node
+
+
 class BatchedSystemLowering:
     """Every lowered piece of one scenario group."""
 
     __slots__ = ("systems", "bank", "channels", "output", "node",
-                 "manager", "quiescent_a")
+                 "manager", "quiescent_a", "bus_pending_w")
 
     def __init__(self, systems, bank, channels, output, node, manager,
-                 quiescent_a):
+                 quiescent_a, bus_pending_w=None):
         self.systems = systems
         self.bank = bank
         self.channels = channels
@@ -396,6 +450,10 @@ class BatchedSystemLowering:
         self.manager = manager
         #: Hoisted per-scenario standing current, ``(n,)``.
         self.quiescent_a = quiescent_a
+        #: Bus-transaction energy pending at compile time, as a power
+        #: term drained on the first step, ``(n,)`` — or None when no
+        #: lane carries a register bus.
+        self.bus_pending_w = bus_pending_w
 
 
 # ----------------------------------------------------------------------
@@ -429,27 +487,52 @@ class BatchedPlan:
             lower_scalar = getattr(system, "lower_kernel", None)
             if lower_scalar is None:
                 raise LoweringUnsupported(
-                    f"{type(system).__name__} has no kernel lowering")
+                    f"{type(system).__name__} has no kernel lowering",
+                    component=type(system).__name__,
+                    capability="kernel lowering hook",
+                    divergence="every step")
             lower_scalar(dt)
         lower = getattr(systems[0], "lower_batched", None)
         if lower is None:
             raise LoweringUnsupported(
-                f"{type(systems[0]).__name__} has no batched lowering")
+                f"{type(systems[0]).__name__} has no batched lowering",
+                component=type(systems[0]).__name__,
+                capability="batched lowering hook",
+                divergence="every step")
         return cls(systems, dt, lower(dt, systems))
 
 
 def batch_eligible(system, dt: float = 1.0) -> bool:
     """Whether a single scenario's system is inside the batched envelope."""
-    return why_batch_ineligible(system, dt) is None
+    return batch_capability_report(system, dt) is None
 
 
-def why_batch_ineligible(system, dt: float = 1.0) -> str | None:
-    """Human-readable reason the system cannot batch (None if it can)."""
+def batch_capability_report(system, dt: float = 1.0):
+    """The system's batched-eligibility verdict as capability negotiation.
+
+    Returns ``None`` when every component lowers (the scenario can ride
+    the lockstep tier), else the refusing component's
+    :class:`~repro.simulation.kernel.protocol.CapabilityReport` — which
+    component refused, which capability it lacks, and how the state
+    would diverge if it were batched anyway. The sweep runner attaches
+    this to fallback rows; ``batch=True`` errors and ``repro mc --tier
+    batched`` print it verbatim.
+    """
     try:
         BatchedPlan.compile([system], dt)
     except LoweringUnsupported as exc:
-        return str(exc)
+        return exc.capability_report()
     return None
+
+
+def why_batch_ineligible(system, dt: float = 1.0) -> str | None:
+    """Human-readable reason the system cannot batch (None if it can).
+
+    String facade over :func:`batch_capability_report`, kept for callers
+    that only need prose.
+    """
+    report = batch_capability_report(system, dt)
+    return None if report is None else report.detail
 
 
 def _store_signature(store) -> tuple:
@@ -480,56 +563,33 @@ def group_signature(system, dt: float, n_steps: int) -> tuple:
         tuple(_store_signature(s) for s in system.bank.stores),
         (type(system.output), type(system.output.converter)),
         type(system.node),
-        type(system.manager) if system.manager is not None else None,
+        (type(system.manager),
+         type(getattr(system.manager, "controller", None)))
+        if system.manager is not None else None,
+        system.monitor.capability,
         (system.bus is not None, system.mcu is not None,
          system.slots is not None),
     )
 
 
 # ----------------------------------------------------------------------
-# The lockstep hot loop
+# The lockstep hot loop (masked-lane execution)
 # ----------------------------------------------------------------------
-def run_batched(plan: BatchedPlan, compileds, recorders, n_steps: int,
-                dt: float) -> None:
-    """Run a scenario group in lockstep and fill one recorder each.
+def _run_segment(lowering, buffers, state_buf, store_e_buf, store_v_buf,
+                 chan_buf, sel, seg_start: int, horizon: int,
+                 dt: float) -> None:
+    """One divergence-free lockstep stretch, steps ``[seg_start, horizon)``.
 
-    ``compileds`` are the scenarios' :class:`CompiledEnvironment`
-    windows (same ``n_steps``/``dt``, ``t0 = 0``); ``recorders`` are
-    fresh :class:`~repro.simulation.Recorder` instances. On return each
-    recorder holds exactly the columns the scalar kernel would have
-    written, and every component object carries its final state.
+    ``sel`` selects the active lanes' columns in the full-width batch
+    buffers (``slice(None)`` while no lane has peeled). Channel
+    lowerings were prepared on exactly this window, so their local step
+    index is ``i - seg_start``.
     """
-    lowering = plan.lowering
-    n = len(plan.systems)
-    if not (len(compileds) == len(recorders) == n):
-        raise ValueError("one compiled environment and recorder per scenario")
     bank = lowering.bank
     node = lowering.node
     output_needed = lowering.output.needed
     channels = lowering.channels
     tq = lowering.quiescent_a
-    n_stores = len(bank.stores)
-    n_channels = len(channels)
-
-    # Stacked ambient tensor, one (n_steps, n) slab per channel.
-    with np.errstate(all="ignore"):
-        for channel in channels:
-            values = np.zeros((n_steps, n), dtype=np.float64)
-            for s, compiled in enumerate(compileds):
-                j = compiled.column_of(channel.source_type)
-                if j is not None:
-                    values[:, s] = compiled.matrix[:, j]
-            channel.prepare(values)
-
-    # Batched recorder buffers, (n_steps, n) per column; sliced back into
-    # per-scenario recorders after the loop.
-    buffers = {name: np.empty((n_steps, n), dtype=np.float64)
-               for name in SCALAR_COLUMNS
-               if name not in ("t", "backup_power")}
-    state_buf = np.empty((n_steps, n), dtype=np.int8)
-    store_e_buf = np.empty((n_steps, n, n_stores), dtype=np.float64)
-    store_v_buf = np.empty((n_steps, n, n_stores), dtype=np.float64)
-    chan_buf = np.empty((n_steps, n, n_channels), dtype=np.float64)
 
     b_raw = buffers["harvest_raw"]
     b_del = buffers["harvest_delivered"]
@@ -539,21 +599,30 @@ def run_batched(plan: BatchedPlan, compileds, recorders, n_steps: int,
     b_dem = buffers["node_demand"]
     b_sup = buffers["node_supplied"]
     b_con = buffers["node_consumed"]
+    b_bak = buffers["backup_power"]
     b_mea = buffers["measurements"]
 
     bank_voltage = bank.voltage
     bank_charge = bank.charge
     bank_discharge = bank.discharge
     bank_idle = bank.idle
+    backup_energy = bank.backup_energy
     node_demand = node.demand
     node_step = node.step
     store_lowerings = bank.stores
+    manager_control = (lowering.manager.control
+                       if lowering.manager is not None else None)
+    bus_pending = lowering.bus_pending_w
 
     with np.errstate(all="ignore"):
-        for i in range(n_steps):
-            # 1. Management decisions: only no-op managers batch, so
-            #    there is nothing to run here (counters replay at
-            #    writeback).
+        for i in range(seg_start, horizon):
+            # 1. Management decisions. No-op managers (StaticManager)
+            #    lower control to None and replay their counters at
+            #    writeback; periodic managers run their vectorized
+            #    counter machine + policy here, before harvest, exactly
+            #    like the scalar phase order.
+            if manager_control is not None:
+                manager_control()
 
             # 2. Harvest into the storage bus.
             bus_v = bank_voltage()
@@ -562,19 +631,26 @@ def run_batched(plan: BatchedPlan, compileds, recorders, n_steps: int,
             mpp = 0.0
             k = 0
             for channel in channels:
-                ch_raw, ch_del, ch_mpp = channel.step(i, bus_v)
+                ch_raw, ch_del, ch_mpp = channel.step(i - seg_start, bus_v)
                 raw = raw + ch_raw
                 delivered = delivered + ch_del
                 mpp = mpp + ch_mpp
-                chan_buf[i, :, k] = ch_del
+                chan_buf[i, sel, k] = ch_del
                 k += 1
             accepted = bank_charge(np.where(delivered > 0.0, delivered, 0.0))
 
-            # 3. Standing (quiescent) losses.
+            # 3. Standing (quiescent) losses, including any bus
+            #    transactions charged before the segment (transactions
+            #    never happen mid-segment, so the pending term is zero —
+            #    an exact no-op addition — after the first step).
             iq = tq * np.where(bus_v > 0.0, bus_v, 0.0)
+            if i == seg_start and bus_pending is not None:
+                iq = iq + bus_pending
             quiescent = bank_discharge(np.where(iq > 0.0, iq, 0.0))
 
             # 4. Supply the node through the output stage.
+            if backup_energy is not None:
+                backup_before = backup_energy()
             demand = node_demand()
             sv = bank_voltage()
             needed = output_needed(demand, sv)
@@ -587,44 +663,297 @@ def run_batched(plan: BatchedPlan, compileds, recorders, n_steps: int,
             if refund.any():
                 bank_charge(np.where(
                     refund, drawn * (1.0 - consumed / supplied), 0.0))
+            if backup_energy is not None:
+                dropped = backup_before - backup_energy()
+                b_bak[i, sel] = np.where(dropped > 0.0, dropped, 0.0) / dt
+            else:
+                b_bak[i, sel] = 0.0
 
             # 5. Storage self-discharge / charge redistribution.
             bank_idle()
 
             # 6. Record the step.
-            b_raw[i] = raw
-            b_del[i] = delivered
-            b_mpp[i] = mpp
-            b_acc[i] = accepted
-            b_qsc[i] = quiescent
-            b_dem[i] = demand
-            b_sup[i] = supplied
-            b_con[i] = consumed
-            b_mea[i] = measured
-            state_buf[i] = node_state
+            b_raw[i, sel] = raw
+            b_del[i, sel] = delivered
+            b_mpp[i, sel] = mpp
+            b_acc[i, sel] = accepted
+            b_qsc[i, sel] = quiescent
+            b_dem[i, sel] = demand
+            b_sup[i, sel] = supplied
+            b_con[i, sel] = consumed
+            b_mea[i, sel] = measured
+            state_buf[i, sel] = node_state
             k = 0
             for st in store_lowerings:
-                store_e_buf[i, :, k] = st.state.energy
-                store_v_buf[i, :, k] = st.voltage()
+                store_e_buf[i, sel, k] = st.state.energy
+                store_v_buf[i, sel, k] = st.voltage()
                 k += 1
 
-    # Final component state back onto the per-scenario objects.
-    bank.writeback()
-    node.writeback()
+
+def _writeback(lowering, seg_steps: int) -> None:
+    """Final in-flight state back onto the real component objects."""
+    if lowering.bus_pending_w is not None:
+        # Mirror the scalar path's bus accounting: everything spent on
+        # the bus so far has now been charged against the bank.
+        for system in lowering.systems:
+            if system.bus is not None:
+                system._bus_energy_charged_j = system.bus.energy_spent_j
+    lowering.bank.writeback()
+    lowering.node.writeback()
     if lowering.manager is not None:
-        lowering.manager.writeback(n_steps)
-    for channel in channels:
+        lowering.manager.writeback(seg_steps)
+    for channel in lowering.channels:
         channel.writeback()
 
-    # Slice the batch buffers back into per-scenario columnar recorders.
+
+def _enforce_rejoin(snapshot, lowering, lanes, fired_lanes) -> None:
+    """Write-back/re-gather equality for lanes no event touched.
+
+    The rejoin contract of the masked-lane model: lowering state written
+    back onto the component objects and re-gathered by the next
+    segment's compile must be bit-identical, or the lockstep run would
+    silently diverge from the scalar path. Representative state (every
+    store's energy, the node's measurement interval) is checked at every
+    rejoin; events legitimately mutate their own lanes, so those are
+    exempt.
+    """
+    if snapshot is None:
+        return
+    stores = lowering.bank.stores
+    interval = lowering.node.state.interval
+    for pos, lane in enumerate(lanes):
+        if lane in fired_lanes or lane not in snapshot:
+            continue
+        energies, node_interval = snapshot[lane]
+        regathered = tuple(float(st.state.energy[pos]) for st in stores)
+        if regathered != energies or float(interval[pos]) != node_interval:
+            raise RuntimeError(
+                f"masked-lane rejoin: written-back state diverged on "
+                f"untouched lane {lane}: stores {energies} -> "
+                f"{regathered}")
+
+
+def run_batched(plan: BatchedPlan, compileds, recorders, n_steps: int,
+                dt: float, schedules=None) -> list:
+    """Run a scenario group in lockstep and fill one recorder each.
+
+    ``compileds`` are the scenarios' :class:`CompiledEnvironment`
+    windows (same ``n_steps``/``dt``, ``t0 = 0``); ``recorders`` are
+    fresh :class:`~repro.simulation.Recorder` instances. On return each
+    recorder holds exactly the columns the scalar kernel would have
+    written, and every component object carries its final state.
+
+    ``schedules`` is an optional per-lane list of
+    :class:`~repro.simulation.EventSchedule` (or None). Lanes without
+    events step in lockstep end to end. Scheduled events segment the
+    run at *event horizons*: the whole group's state is written back,
+    due events fire on their lanes' real objects, and the group
+    re-lowers and rejoins lockstep (write-back equality enforced for
+    untouched lanes). A lane whose event pushes it outside the batched
+    envelope peels into the scalar side-channel: its recorder prefix is
+    filled from the batch buffers and the remaining steps run through
+    :func:`~repro.simulation.kernel.plan.run_plan` (``start=`` the peel
+    step) or, beyond the scalar envelope, the legacy per-step loop.
+
+    Returns one execution-path string per lane: ``"batched"`` for
+    lockstep end-to-end, ``"batched+kernel"`` / ``"batched+legacy"`` /
+    ``"batched+kernel+legacy"`` for peeled lanes.
+    """
+    from ..events import EventSchedule
+    from .plan import KernelPlan, run_plan
+
+    n = len(plan.systems)
+    if not (len(compileds) == len(recorders) == n):
+        raise ValueError("one compiled environment and recorder per scenario")
+    if schedules is None:
+        schedules = [None] * n
+    elif len(schedules) != n:
+        raise ValueError("one event schedule (or None) per scenario")
+
+    lowering = plan.lowering
+    n_stores = len(lowering.bank.stores)
+    n_channels = len(lowering.channels)
     times = compileds[0].times
+
+    # Batched recorder buffers, (n_steps, n) per column; sliced back into
+    # per-scenario recorders at the end. Peeled lanes keep their prefix.
+    buffers = {name: np.empty((n_steps, n), dtype=np.float64)
+               for name in SCALAR_COLUMNS if name != "t"}
+    state_buf = np.empty((n_steps, n), dtype=np.int8)
+    store_e_buf = np.empty((n_steps, n, n_stores), dtype=np.float64)
+    store_v_buf = np.empty((n_steps, n, n_stores), dtype=np.float64)
+    chan_buf = np.empty((n_steps, n, n_channels), dtype=np.float64)
+
+    systems = list(plan.systems)
+    lanes = list(range(n))
+    paths = ["batched"] * n
+    peels: list = []        # (original lane, resume step)
+    snapshot = None         # lane -> written-back state evidence
+    seg_start = 0
+
+    while seg_start < n_steps and systems:
+        # 0. Divergence bucket: fire events due at the segment start on
+        #    their lanes' real objects (state was written back at the
+        #    previous horizon), then re-lower the group and rejoin.
+        t_seg = times[seg_start]
+        fired_lanes = set()
+        for pos, lane in enumerate(lanes):
+            sched = schedules[lane]
+            if sched is not None and sched.next_time() <= t_seg:
+                for event in sched.due(t_seg):
+                    event.action(systems[pos])
+                fired_lanes.add(lane)
+        if fired_lanes:
+            # Partition by topology signature: a lane whose event moved
+            # it onto a different topology (class change anywhere) can
+            # no longer share the plan and peels; same-topology
+            # mutations (e.g. a like-for-like hot-swap) rejoin.
+            sigs = []
+            for system in systems:
+                try:
+                    sigs.append(group_signature(system, dt, 0))
+                except Exception:
+                    sigs.append(None)
+            base_sig = None
+            for pos, lane in enumerate(lanes):
+                if lane not in fired_lanes:
+                    base_sig = sigs[pos]
+                    break
+            if base_sig is None:
+                # Every lane fired: keep the largest surviving cohort.
+                counts: dict = {}
+                for sig in sigs:
+                    if sig is not None:
+                        counts[sig] = counts.get(sig, 0) + 1
+                if counts:
+                    base_sig = max(counts, key=counts.get)
+            keep_pos = [p for p in range(len(systems))
+                        if sigs[p] is not None and sigs[p] == base_sig]
+            lowering = None
+            while keep_pos:
+                try:
+                    lowering = BatchedPlan.compile(
+                        [systems[p] for p in keep_pos], dt).lowering
+                    break
+                except LoweringUnsupported:
+                    # Instance-level refusal the signature cannot see:
+                    # drop the fired lanes from the cohort and retry;
+                    # an untouched cohort that still refuses peels
+                    # wholesale (it compiled before, so this is a
+                    # defensive dead end, not an expected path).
+                    if not any(lanes[p] in fired_lanes for p in keep_pos):
+                        keep_pos = []
+                        break
+                    keep_pos = [p for p in keep_pos
+                                if lanes[p] not in fired_lanes]
+            if len(keep_pos) < len(systems):
+                kept = set(keep_pos)
+                for pos, lane in enumerate(lanes):
+                    if pos not in kept:
+                        peels.append((lane, seg_start))
+                systems = [systems[p] for p in keep_pos]
+                lanes = [lanes[p] for p in keep_pos]
+            if not systems:
+                break
+            _enforce_rejoin(snapshot, lowering, lanes, fired_lanes)
+
+        # 1. Next event horizon across the active lanes (due events were
+        #    just drained, so the horizon lies strictly ahead).
+        horizon = n_steps
+        for lane in lanes:
+            sched = schedules[lane]
+            if sched is None or sched.pending == 0:
+                continue
+            step = int(np.searchsorted(times, sched.next_time(),
+                                       side="left"))
+            if step < horizon:
+                horizon = step
+
+        # 2. Prepare the segment's ambient window and run it in lockstep.
+        seg_steps = horizon - seg_start
+        sel = np.asarray(lanes) if len(lanes) < n else slice(None)
+        with np.errstate(all="ignore"):
+            for channel in lowering.channels:
+                values = np.zeros((seg_steps, len(lanes)), dtype=np.float64)
+                for j, lane in enumerate(lanes):
+                    col = compileds[lane].column_of(channel.source_type)
+                    if col is not None:
+                        values[:, j] = compileds[lane].matrix[
+                            seg_start:horizon, col]
+                channel.prepare(values)
+        _run_segment(lowering, buffers, state_buf, store_e_buf,
+                     store_v_buf, chan_buf, sel, seg_start, horizon, dt)
+
+        # 3. Write the in-flight state back onto the component objects
+        #    and keep evidence for the next rejoin's equality check.
+        _writeback(lowering, seg_steps)
+        bank_stores = lowering.bank.stores
+        interval = lowering.node.state.interval
+        snapshot = {
+            lane: (tuple(float(st.state.energy[pos]) for st in bank_stores),
+                   float(interval[pos]))
+            for pos, lane in enumerate(lanes)
+        }
+        seg_start = horizon
+
+    # Scalar side-channel for peeled lanes: prefix from the batch
+    # buffers, remainder on the scalar kernel (or the legacy loop).
+    def finish_peeled(lane: int, resume: int) -> str:
+        system = plan.systems[lane]
+        recorder = recorders[lane]
+        sched = schedules[lane]
+        if sched is None:
+            sched = EventSchedule()
+        recorder.reserve(n_steps, n_stores, n_channels)
+        scalars, state_arr, store_e, store_v, chan_p, base = \
+            recorder.columns_for_writing()
+        end = base + resume
+        scalars["t"][base:end] = times[:resume]
+        for name, buf in buffers.items():
+            scalars[name][base:end] = buf[:resume, lane]
+        state_arr[base:end] = state_buf[:resume, lane]
+        store_e[base:end] = store_e_buf[:resume, lane, :]
+        store_v[base:end] = store_v_buf[:resume, lane, :]
+        chan_p[base:end] = chan_buf[:resume, lane, :]
+        done = resume
+        path = "batched"
+        try:
+            kplan = KernelPlan.compile(system, dt)
+        except LoweringUnsupported:
+            kplan = None
+            recorder.commit(resume)
+        if kplan is not None:
+            done = run_plan(kplan, compileds[lane], sched, recorder,
+                            n_steps, dt, start=resume)
+            path = "batched+kernel"
+        if done < n_steps:
+            # Legacy landing strip — the engine's fallback loop, fed by
+            # the compiled window (sample-for-sample identical to the
+            # raw environment).
+            compiled = compileds[lane]
+            while done < n_steps:
+                t = times[done]
+                for event in sched.due(t):
+                    event.action(system)
+                record = system.step(compiled.sample(done), dt, t)
+                recorder.append(record)
+                done += 1
+            path = "batched+legacy" if path == "batched" \
+                else "batched+kernel+legacy"
+        return path
+
+    peeled_at = dict(peels)
     for s, recorder in enumerate(recorders):
+        resume = peeled_at.get(s)
+        if resume is not None:
+            paths[s] = finish_peeled(s, resume)
+            continue
+        # Full-lockstep lane: slice the batch buffers into its recorder.
         recorder.reserve(n_steps, n_stores, n_channels)
         scalars, state_arr, store_e, store_v, chan_p, base = \
             recorder.columns_for_writing()
         end = base + n_steps
         scalars["t"][base:end] = times
-        scalars["backup_power"][base:end] = 0.0
         for name, buf in buffers.items():
             scalars[name][base:end] = buf[:, s]
         state_arr[base:end] = state_buf[:, s]
@@ -632,6 +961,7 @@ def run_batched(plan: BatchedPlan, compileds, recorders, n_steps: int,
         store_v[base:end] = store_v_buf[:, s, :]
         chan_p[base:end] = chan_buf[:, s, :]
         recorder.commit(n_steps)
+    return paths
 
 
 def node_state_from_code(code: int) -> NodeState:

@@ -71,13 +71,18 @@ def why_ineligible(system, dt: float = 1.0) -> str | None:
 
 
 def run_plan(plan: KernelPlan, compiled, schedule, recorder, n_steps: int,
-             dt: float, strict: bool = False) -> int:
-    """Run up to ``n_steps`` steps; returns the number completed.
+             dt: float, strict: bool = False, start: int = 0) -> int:
+    """Run steps ``start .. n_steps - 1``; returns the number completed.
 
     Returns early (with the recorder committed up to the boundary) when a
     fired event pushes the system outside the kernel envelope; the engine
     finishes the segment on the legacy path. Under ``strict`` that
     silent degradation raises :exc:`KernelFallback` instead.
+
+    ``start`` resumes a partially-written segment: the caller has already
+    filled recorder rows ``0 .. start - 1`` (uncommitted) and stepped the
+    system to the same boundary — the batched tier uses this as the
+    scalar side-channel for lanes peeled out of a lockstep run.
     """
     system = plan.system
     times = compiled.times_list()
@@ -121,7 +126,7 @@ def run_plan(plan: KernelPlan, compiled, schedule, recorder, n_steps: int,
     next_event_t = schedule.next_time()
     RUNNING, DEAD = NodeState.RUNNING, NodeState.DEAD
 
-    for i in range(n_steps):
+    for i in range(start, n_steps):
         t = times[i]
 
         # 0. Scheduled events, then revalidate the envelope by

@@ -36,7 +36,10 @@ plan converts that into legacy fallback (or a hard error under
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 __all__ = [
+    "CapabilityReport",
     "LoweringUnsupported",
     "KernelFallback",
     "ensure_unmodified",
@@ -50,8 +53,70 @@ __all__ = [
 ]
 
 
+@dataclass(frozen=True)
+class CapabilityReport:
+    """Structured account of why a component refused to lower.
+
+    A refusal is capability negotiation, not an error: the report names
+    the *component* that refused, the *capability* it lacks, the
+    human-readable *detail*, and the *divergence* the missing capability
+    would cause if the lowering ran anyway (how often the lockstep state
+    would drift from the per-scenario truth — ``"every step"`` for
+    replaced physics, ``"per event"`` for shapes only the scalar
+    side-channel can follow, ``None`` when not applicable). Sweep rows
+    carry the report in their extras (``batch_fallback_reason``) and
+    ``repro sweep --batch on --explain`` renders it as a table.
+    """
+
+    component: str
+    capability: str
+    detail: str
+    divergence: str | None = None
+
+    def as_dict(self) -> dict:
+        """Flat JSON-friendly payload (sweep-row extras, ``--json``)."""
+        return {"component": self.component, "capability": self.capability,
+                "detail": self.detail, "divergence": self.divergence}
+
+    def __str__(self) -> str:
+        tail = f" (would diverge {self.divergence})" if self.divergence \
+            else ""
+        return f"{self.component}: missing {self.capability} — " \
+               f"{self.detail}{tail}"
+
+
 class LoweringUnsupported(Exception):
-    """A component has no kernel lowering; the system runs legacy."""
+    """A component has no kernel lowering; the system runs legacy.
+
+    Raise sites may attach structured identity (``component``,
+    ``capability``, ``divergence``); :meth:`capability_report` always
+    yields a full :class:`CapabilityReport`, synthesizing conservative
+    defaults for plain-string raises.
+    """
+
+    def __init__(self, message: str, *, component: str | None = None,
+                 capability: str | None = None,
+                 divergence: str | None = None):
+        super().__init__(message)
+        self.component = component
+        self.capability = capability
+        self.divergence = divergence
+
+    def capability_report(self) -> CapabilityReport:
+        """The refusal as a structured :class:`CapabilityReport`."""
+        detail = str(self)
+        component = self.component
+        if component is None:
+            # Raise-site convention: messages lead with the refusing
+            # component's class name ("TunedSupercap overrides ...").
+            component = detail.split()[0].rstrip(":,") if detail else \
+                "unknown"
+        return CapabilityReport(
+            component=component,
+            capability=self.capability or "lowering",
+            detail=detail,
+            divergence=self.divergence,
+        )
 
 
 class KernelFallback(RuntimeError):
@@ -91,7 +156,10 @@ def ensure_unmodified(obj, base: type, *names: str) -> None:
     if changed:
         raise LoweringUnsupported(
             f"{type(obj).__name__} overrides {', '.join(changed)}() of "
-            f"{base.__name__} and defines no kernel lowering of its own")
+            f"{base.__name__} and defines no kernel lowering of its own",
+            component=type(obj).__name__,
+            capability=f"unmodified {base.__name__} physics",
+            divergence="every step")
 
 
 class StoreLowering:

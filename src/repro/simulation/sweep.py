@@ -262,6 +262,7 @@ class SweepRunner:
             raise ValueError("scenario names must be unique within a sweep")
         results: list = [None] * len(specs)
         remainder = list(range(len(specs)))
+        reasons: dict = {}
         if self.batch in ("auto", True) and specs:
             from .batched_sweep import run_batched_tier
             batched, remainder, reasons = run_batched_tier(specs, self.fast)
@@ -285,6 +286,12 @@ class SweepRunner:
             rest = [_execute(p) for p in payloads]
         for index, result in zip(remainder, rest):
             results[index] = result
+            # Fallback rows carry the batched tier's capability report,
+            # so a mixed sweep explains *why* each row missed the tier
+            # (``repro sweep --batch on --explain`` renders these).
+            report = reasons.get(index)
+            if report is not None:
+                result.extras.setdefault("batch_fallback_reason", report)
         return SweepResult(results)
 
     @staticmethod

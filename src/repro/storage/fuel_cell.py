@@ -174,3 +174,81 @@ class HydrogenFuelCell(EnergyStorage):
             store._warmup = max(0.0, store._warmup - dt)
 
         return idle
+
+    # ------------------------------------------------------------------
+    # Batched lowering (see repro.simulation.kernel.batched)
+    # ------------------------------------------------------------------
+    def _batch_init(self, dt: float, siblings, state) -> None:
+        import numpy as np
+        from ..simulation.kernel.batched import gather
+        from ..simulation.kernel.protocol import ensure_unmodified
+        for store in siblings:
+            ensure_unmodified(store, HydrogenFuelCell, "voltage",
+                              "discharge", "available_power", "is_warm",
+                              "_cool", "step_idle")
+        state.warmup = gather(siblings, lambda s: s._warmup)
+        state.starts = np.array([s.starts for s in siblings], dtype=np.int64)
+
+    def _batch_writeback(self, siblings, state) -> None:
+        super()._batch_writeback(siblings, state)
+        for k, store in enumerate(siblings):
+            store._warmup = float(state.warmup[k])
+            store.starts = int(state.starts[k])
+
+    def _batch_voltage(self, dt: float, siblings, state):
+        """Vectorized twin of :meth:`_kernel_voltage`."""
+        import numpy as np
+        from ..simulation.kernel.batched import gather
+        out_v = gather(siblings, lambda s: s.output_voltage)
+
+        def voltage():
+            return np.where(state.energy > 0.0, out_v, 0.0)
+
+        return voltage
+
+    def _batch_discharge(self, dt: float, siblings, state):
+        """Vectorized twin of :meth:`_kernel_discharge`.
+
+        Lanes receiving zero power are complete no-ops: the bank's
+        cascade only calls a backup store's discharge when the lane has
+        residual demand, so the scalar cooling-on-unused branch never
+        runs inside the kernel — cooling happens in :meth:`_batch_idle`
+        every step, exactly like the scalar closures.
+        """
+        import numpy as np
+        from ..simulation.kernel.batched import gather
+        base_discharge = super()._batch_discharge(dt, siblings, state)
+        max_d = gather(siblings, lambda s: s.max_discharge_w)
+        startup = gather(siblings, lambda s: s.startup_time)
+        warm_cap = gather(siblings, lambda s: s.startup_time + dt)
+
+        def discharge(power_w):
+            act = power_w != 0.0
+            state.starts = state.starts + (
+                act & (state.warmup == 0.0) & (state.energy > 0.0))
+            # available_power(), vectorized.
+            ceiling = np.where(
+                state.energy <= 0.0, 0.0,
+                np.where((startup == 0.0) | (state.warmup >= startup),
+                         max_d, max_d * (state.warmup / startup)))
+            request = np.where(act & (ceiling > 0.0),
+                               np.minimum(power_w, ceiling), 0.0)
+            delivered = base_discharge(request)
+            warmed = state.warmup + dt
+            state.warmup = np.where(act, np.minimum(warmed, warm_cap),
+                                    state.warmup)
+            return delivered
+
+        return discharge
+
+    def _batch_idle(self, dt: float, siblings, state):
+        """Vectorized twin of :meth:`_kernel_idle` (base idle + cooling)."""
+        import numpy as np
+        base_idle = super()._batch_idle(dt, siblings, state)
+
+        def idle() -> None:
+            base_idle()
+            cooled = state.warmup - dt
+            state.warmup = np.where(cooled > 0.0, cooled, 0.0)
+
+        return idle

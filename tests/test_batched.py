@@ -1,12 +1,15 @@
-"""Batched sweep kernel: bit-exactness, eligibility, and fallback.
+"""Batched sweep kernel: bit-exactness, eligibility, and masked lanes.
 
 The batched kernel's contract is that grouping scenarios and stepping
 them in lockstep changes *throughput only*: every recorder column, every
 metric, and the final component state must be bit-for-bit what the
-per-scenario kernel produces. These tests enforce that per eligible
-Table I system and on seeded stochastic grids, and pin the fallback
-behaviour for everything outside the envelope (events, fuel-cell
-backups, hill-climbing trackers, bus platforms).
+per-scenario kernel produces. These tests enforce that for all seven
+Table I systems (the masked-lane model batches hill-climbing trackers,
+fuel-cell backup cascades, bus/MCU platforms, and scheduled events),
+exercise divergence buckets — lanes that peel into the scalar
+side-channel and lanes that rejoin lockstep after an event horizon —
+and pin the capability-negotiation behaviour for shapes that genuinely
+have no batched lowering (replaced physics).
 """
 
 from functools import partial
@@ -22,23 +25,26 @@ from repro.environment.composite import (
 )
 from repro.harvesters import PhotovoltaicCell
 from repro.simulation import (
+    CapabilityReport,
     ScenarioSpec,
     SweepRunner,
+    batch_capability_report,
     batch_eligible,
     simulate,
+    swap_harvester_event,
     swap_storage_event,
     why_batch_ineligible,
 )
 from repro.simulation.kernel.plan import eligible as kernel_eligible
 from repro.storage import Supercapacitor
-from repro.storage.fuel_cell import HydrogenFuelCell
+from repro.storage.batteries import LiIonBattery
 from repro.systems import SYSTEM_BUILDERS, build_system
 
 DAY = 86_400.0
 
-#: Table I letters inside / outside the batched envelope today.
-BATCH_ELIGIBLE = ("C", "D", "E", "G")
-BATCH_INELIGIBLE = ("A", "B", "F")
+#: Every Table I letter is inside the batched envelope now that the
+#: masked-lane model batches trackers, backups, and bus platforms.
+BATCH_ELIGIBLE = ("A", "B", "C", "D", "E", "F", "G")
 
 #: Every scalar recorder column, including the derived ones.
 COLUMNS = ("harvest_raw", "harvest_delivered", "harvest_mpp",
@@ -46,9 +52,25 @@ COLUMNS = ("harvest_raw", "harvest_delivered", "harvest_mpp",
            "node_consumed", "backup_power", "measurements", "stored_energy",
            "bus_voltage", "alive")
 
-ENV_FOR = {"C": outdoor_environment, "D": outdoor_environment,
+ENV_FOR = {"A": outdoor_environment, "B": indoor_industrial_environment,
+           "C": outdoor_environment, "D": outdoor_environment,
            "E": indoor_industrial_environment,
+           "F": indoor_industrial_environment,
            "G": indoor_industrial_environment}
+
+
+class TunedSupercap(Supercapacitor):
+    """Replaced physics: genuinely outside every compiled envelope."""
+
+    def charge(self, power_w, dt):
+        return super().charge(power_w * 0.5, dt)
+
+
+def build_tuned():
+    return make_reference_system(
+        [PhotovoltaicCell(area_cm2=40.0, name="pv")],
+        tracker_factory=lambda: FixedVoltage(2.0),
+        stores=[TunedSupercap(capacitance_f=50.0, name="tuned")])
 
 
 def build_fixed_pv(capacitance_f: float = 50.0):
@@ -90,23 +112,23 @@ def assert_bitwise_equal(recorder, reference, label: str) -> None:
 
 class TestEligibility:
     def test_table1_envelope(self):
+        """All seven survey platforms batch — including A (P&O trackers,
+        fuel-cell backup, bus/MCU), B (module slots), and F (windowed
+        converters, bus), which the pre-masked-lane kernel refused."""
         for letter in BATCH_ELIGIBLE:
             assert batch_eligible(build_system(letter), 300.0), letter
-        for letter in BATCH_INELIGIBLE:
-            reason = why_batch_ineligible(build_system(letter), 300.0)
-            assert reason is not None, letter
 
-    def test_ineligible_reasons_name_the_component(self):
-        assert "bus/MCU" in why_batch_ineligible(build_system("A"), 300.0)
-        pando = make_reference_system(
-            [PhotovoltaicCell(area_cm2=40.0, name="pv")])
-        assert "PerturbObserve" in why_batch_ineligible(pando, 300.0)
-        fuel = make_reference_system(
-            [PhotovoltaicCell(area_cm2=40.0, name="pv")],
-            tracker_factory=lambda: FixedVoltage(2.0),
-            stores=[Supercapacitor(capacitance_f=50.0, name="sc"),
-                    HydrogenFuelCell(name="fc")])
-        assert "backup" in why_batch_ineligible(fuel, 300.0)
+    def test_capability_report_names_the_component(self):
+        report = batch_capability_report(build_tuned(), 300.0)
+        assert isinstance(report, CapabilityReport)
+        assert report.component == "TunedSupercap"
+        assert "Supercapacitor physics" in report.capability
+        assert report.divergence == "every step"
+        assert "charge" in report.detail
+        # The string facade stays in sync with the structured report.
+        assert why_batch_ineligible(build_tuned(), 300.0) == report.detail
+        # And an eligible system negotiates to "no refusal".
+        assert batch_capability_report(build_system("A"), 300.0) is None
 
     def test_batched_envelope_is_inside_kernel_envelope(self):
         """Anything the batched kernel accepts, the scalar kernel must
@@ -254,17 +276,11 @@ class TestFallback:
                 0.5 * DAY, 0, Supercapacitor(capacitance_f=20.0))]
 
         return [
+            ScenarioSpec(name="tuned", system=build_tuned,
+                         environment=env, seed=1),
             ScenarioSpec(name="pando",
                          system=lambda: make_reference_system(
                              [PhotovoltaicCell(area_cm2=40.0, name="pv")]),
-                         environment=env, seed=1),
-            ScenarioSpec(name="fuelcell",
-                         system=lambda: make_reference_system(
-                             [PhotovoltaicCell(area_cm2=40.0, name="pv")],
-                             tracker_factory=lambda: FixedVoltage(2.0),
-                             stores=[Supercapacitor(capacitance_f=50.0,
-                                                    name="sc"),
-                                     HydrogenFuelCell(name="fc")]),
                          environment=env, seed=1),
             ScenarioSpec(name="events", system=partial(build_system, "D"),
                          environment=env, seed=1,
@@ -276,14 +292,28 @@ class TestFallback:
     def test_mixed_sweep_routes_and_preserves_order(self):
         sweep = SweepRunner(processes=1, batch="auto").run(
             self._mixed_specs())
-        assert [r.name for r in sweep] == ["pando", "fuelcell", "events",
+        assert [r.name for r in sweep] == ["tuned", "pando", "events",
                                            "eligible"]
         paths = {r.name: r.execution_path for r in sweep}
+        # P&O trackers and scheduled events batch now; only replaced
+        # physics falls off the tier (and off the scalar kernel too).
         assert paths["eligible"] == "batched"
-        # Fallback scenarios run the per-scenario engine and report it.
-        assert paths["pando"] == "kernel"
-        assert paths["fuelcell"] == "kernel"
-        assert paths["events"] == "kernel"
+        assert paths["pando"] == "batched"
+        # The swap changes the store class, so the lane peels into the
+        # scalar side-channel mid-run — still the batched tier (the
+        # per-bucket path contract is pinned in TestMaskedLane).
+        assert paths["events"] == "batched+kernel"
+        assert paths["tuned"] == "legacy"
+
+    def test_fallback_rows_carry_the_capability_report(self):
+        sweep = SweepRunner(processes=1, batch="auto").run(
+            self._mixed_specs())
+        report = sweep["tuned"].extras["batch_fallback_reason"]
+        assert isinstance(report, CapabilityReport)
+        assert report.component == "TunedSupercap"
+        assert report.divergence == "every step"
+        for name in ("pando", "events", "eligible"):
+            assert "batch_fallback_reason" not in sweep[name].extras, name
 
     def test_event_scenario_rows_match_per_scenario_run(self):
         """An event-carrying scenario in a batched sweep produces the
@@ -296,8 +326,21 @@ class TestFallback:
             assert a.metrics == b.metrics, a.name
 
     def test_batch_true_requires_the_envelope(self):
-        with pytest.raises(ValueError, match="PerturbObserve"):
+        with pytest.raises(ValueError, match="TunedSupercap"):
             SweepRunner(processes=1, batch=True).run(self._mixed_specs())
+
+    def test_batch_true_accepts_event_grids(self):
+        """batch=True admits event-carrying scenarios: events are inside
+        the masked-lane envelope, not a refusal."""
+        env = partial(outdoor_environment, duration=DAY, dt=600.0)
+        specs = [ScenarioSpec(
+            name=f"ev{k}", system=partial(build_system, "D"),
+            environment=env, seed=k,
+            events=lambda: [swap_storage_event(
+                0.25 * DAY, 0, Supercapacitor(capacitance_f=30.0))])
+            for k in range(2)]
+        sweep = SweepRunner(processes=1, batch=True).run(specs)
+        assert all(r.execution_path.startswith("batched") for r in sweep)
 
     def test_batch_true_accepts_eligible_grids(self):
         env = partial(outdoor_environment, duration=DAY, dt=600.0)
@@ -318,3 +361,158 @@ class TestFallback:
     def test_invalid_batch_value_rejected(self):
         with pytest.raises(ValueError, match="batch"):
             SweepRunner(batch="yes")
+
+
+class TestMaskedLane:
+    """Divergence buckets: events segment the lockstep run at horizons;
+    lanes whose mutated topology still matches the group rejoin (with
+    write-back equality enforced), lanes that leave the envelope peel
+    into the scalar side-channel — every shape bit-for-bit equal to a
+    per-scenario run with the same schedule."""
+
+    DT = 300.0
+
+    @staticmethod
+    def _pv(area=6.0):
+        return PhotovoltaicCell(area_cm2=area, efficiency=0.12, name="pv")
+
+    @classmethod
+    def _build(cls, cap):
+        from repro.core.manager import ThresholdManager
+        return make_reference_system([cls._pv()], capacitance_f=cap,
+                                     initial_soc=0.4,
+                                     manager=ThresholdManager())
+
+    # Event shapes and the execution path each must land on. Same-class
+    # swaps keep the topology signature and REJOIN lockstep; cross-class
+    # swaps (and t=0 swaps) peel to the scalar kernel side-channel; a
+    # swap to a store with no lowering at all lands on the legacy strip.
+    @staticmethod
+    def _same_class():
+        return [swap_storage_event(6 * 3600.0, 0,
+                                   Supercapacitor(capacitance_f=40.0,
+                                                  rated_voltage=5.0,
+                                                  initial_soc=0.6,
+                                                  name="spare"))]
+
+    @staticmethod
+    def _cross_class():
+        return [swap_storage_event(6 * 3600.0, 0,
+                                   LiIonBattery(capacity_mah=150.0,
+                                                initial_soc=0.5,
+                                                name="cell"))]
+
+    @classmethod
+    def _harvester(cls):
+        return [swap_harvester_event(4 * 3600.0, 0, cls._pv(area=20.0))]
+
+    @classmethod
+    def _double(cls):
+        return [swap_harvester_event(3 * 3600.0, 0, cls._pv(area=2.0)),
+                swap_storage_event(15 * 3600.0, 0,
+                                   Supercapacitor(capacitance_f=10.0,
+                                                  rated_voltage=5.0,
+                                                  initial_soc=0.3,
+                                                  name="late"))]
+
+    @staticmethod
+    def _t0():
+        return [swap_storage_event(0.0, 0,
+                                   LiIonBattery(capacity_mah=80.0,
+                                                initial_soc=0.7,
+                                                name="zero"))]
+
+    @staticmethod
+    def _legacy():
+        return [swap_storage_event(6 * 3600.0, 0,
+                                   TunedSupercap(capacitance_f=20.0,
+                                                 rated_voltage=5.0,
+                                                 initial_soc=0.5,
+                                                 name="odd"))]
+
+    def _cases(self):
+        return [
+            ("none", None, "batched"),
+            ("same-class", self._same_class, "batched"),
+            ("cross-class", self._cross_class, "batched+kernel"),
+            ("harvester", self._harvester, "batched"),
+            ("double", self._double, "batched"),
+            ("t0", self._t0, "batched+kernel"),
+            ("legacy", self._legacy, "batched+legacy"),
+        ]
+
+    def test_event_shapes_bitwise_and_write_back(self):
+        """Every divergence bucket in one mixed grid: expected path,
+        bitwise recorders, metrics, and final component state all equal
+        to per-scenario ``simulate(..., events=...)`` runs."""
+        captured, collect = _grab_recorders()
+        cases = self._cases()
+        caps = (8.0, 25.0)
+        specs = [
+            ScenarioSpec(name=f"{label}-{k}",
+                         system=partial(self._build, cap),
+                         environment=partial(outdoor_environment,
+                                             duration=DAY, dt=self.DT),
+                         duration=DAY, seed=40 + k, events=events,
+                         params={}, collect=collect)
+            for label, events, _ in cases
+            for k, cap in enumerate(caps)
+        ]
+        sweep = SweepRunner(processes=1, batch="auto").run(specs)
+        i = 0
+        for label, events, want_path in cases:
+            for k, cap in enumerate(caps):
+                row, result = sweep[i], captured[i]
+                assert row.execution_path == want_path, \
+                    (row.name, row.execution_path, want_path)
+                ref = simulate(self._build(cap),
+                               outdoor_environment(duration=DAY, dt=self.DT,
+                                                   seed=40 + k),
+                               duration=DAY, dt=self.DT,
+                               events=events() if events else None)
+                assert_bitwise_equal(result.recorder, ref.recorder,
+                                     row.name)
+                assert row.metrics == ref.metrics, row.name
+                rs, bs = ref.system, result.system
+                assert type(bs.bank.stores[0]) is type(rs.bank.stores[0])
+                assert bs.bank.stores[0].energy_j == \
+                    rs.bank.stores[0].energy_j, row.name
+                assert bs.node.measurement_interval_s == \
+                    rs.node.measurement_interval_s, row.name
+                assert bs.manager.control_passes == \
+                    rs.manager.control_passes, row.name
+                i += 1
+
+    def test_table1_event_scenarios_stay_batched(self):
+        """A System A grid where one lane hot-swaps a harvester: the
+        swapped lane rejoins lockstep (same topology signature) and the
+        untouched lanes' write-back is unaffected — all bitwise."""
+        from repro.harvesters import PhotovoltaicCell as PV
+        captured, collect = _grab_recorders()
+
+        def events_for(k):
+            if k != 1:
+                return None
+            return lambda: [swap_harvester_event(
+                6 * 3600.0, 0, PV(area_cm2=30.0, efficiency=0.2,
+                                  name="swapped"))]
+
+        specs = [
+            ScenarioSpec(name=f"A-{k}", system=partial(build_system, "A"),
+                         environment=partial(outdoor_environment,
+                                             duration=DAY, dt=self.DT),
+                         duration=DAY, seed=70 + k, events=events_for(k),
+                         params={}, collect=collect)
+            for k in range(3)
+        ]
+        sweep = SweepRunner(processes=1, batch="auto").run(specs)
+        assert [r.execution_path for r in sweep] == ["batched"] * 3
+        for k, (row, result) in enumerate(zip(sweep, captured)):
+            events = events_for(k)
+            ref = simulate(build_system("A"),
+                           outdoor_environment(duration=DAY, dt=self.DT,
+                                               seed=70 + k),
+                           duration=DAY, dt=self.DT,
+                           events=events() if events else None)
+            assert_bitwise_equal(result.recorder, ref.recorder, row.name)
+            assert row.metrics == ref.metrics, row.name

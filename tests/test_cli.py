@@ -318,10 +318,24 @@ class TestMonteCarloCommand:
         assert main(["mc", "C", "--replicates", "0"]) == 2
         assert "replicates" in capsys.readouterr().err
 
-    def test_mc_ineligible_tier_is_clean_error(self, capsys):
+    def test_mc_table1_platforms_ride_the_batched_tier(self, capsys):
+        """System A (trackers, backup, bus/MCU) now pins tier=batched
+        cleanly — the masked-lane envelope covers it."""
+        assert main(["mc", "A", "--days", "0.05", "--dt", "600",
+                     "--replicates", "2", "--tier", "batched"]) == 0
+        assert "batched x2" in capsys.readouterr().out
+
+    def test_mc_ineligible_tier_fails_with_capability_report(self, capsys):
+        """A refused batched pin explains itself with the capability
+        report (here: fast=off denies compiled execution), not a
+        generic tier error."""
         assert main(["mc", "A", "--days", "0.1", "--dt", "600",
-                     "--replicates", "2", "--tier", "batched"]) == 2
-        assert "cannot execute ensemble" in capsys.readouterr().err
+                     "--replicates", "2", "--tier", "batched",
+                     "--fast", "off"]) == 2
+        err = capsys.readouterr().err
+        assert "cannot execute ensemble" in err
+        assert "missing compiled execution" in err
+        assert "fast=False forces the per-scenario legacy path" in err
 
 
 class TestSweepReplicates:
@@ -338,6 +352,22 @@ class TestSweepReplicates:
         assert main(["sweep", "--systems", "C", "--days", "0.1",
                      "--replicates", "0"]) == 2
         assert "--replicates" in capsys.readouterr().err
+
+
+class TestSweepExplain:
+    def test_explain_reports_clean_lockstep(self, capsys):
+        assert main(["sweep", "--systems", "A", "B", "--days", "0.05",
+                     "--dt", "600", "--batch", "on", "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "batched tier: every scenario rode the lockstep kernel" in out
+
+    def test_explain_tables_capability_refusals(self, capsys):
+        assert main(["sweep", "--systems", "A", "--days", "0.05",
+                     "--dt", "600", "--fast", "off", "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "missing capability" in out
+        assert "compiled execution" in out
+        assert "fast=False forces the per-scenario legacy path" in out
 
 
 class TestExperimentCommand:

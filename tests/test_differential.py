@@ -15,17 +15,44 @@ paths:
   ``why_batch_ineligible`` must name a reason and a ``batch="auto"``
   sweep must fall back off the batched tier.
 
+The masked-lane envelope covers every registry platform — fuel-cell
+backup cascades, P&O/IncCond hill-climbing trackers, bus/MCU
+platforms — so the registry corpus exercises all of them on the
+batched tier. A second seeded generator draws *event schedules*
+(same-class and cross-class storage swaps, harvester swaps, t=0
+events) over fuzzed reference platforms, pinning the divergence
+buckets: rejoining lanes and peeled lanes must both reproduce a
+per-scenario run bit for bit. Shapes with genuinely no lowering
+(replaced physics) keep the fallback contract honest.
+
 The corpus is deterministic (fixed per-case seeds), so a failure here
 is a reproducible counterexample, not a flake.
 """
 
 import dataclasses
 import random
+from functools import partial
 
 import numpy as np
 import pytest
 
-from repro.simulation import SweepRunner, why_batch_ineligible
+from repro.analysis.experiments.common import make_reference_system
+from repro.conditioning.mppt import (
+    FixedVoltage,
+    IncrementalConductance,
+    PerturbObserve,
+)
+from repro.core.manager import ThresholdManager
+from repro.environment.composite import outdoor_environment
+from repro.harvesters import PhotovoltaicCell
+from repro.simulation import (
+    ScenarioSpec,
+    SweepRunner,
+    simulate,
+    swap_harvester_event,
+    swap_storage_event,
+    why_batch_ineligible,
+)
 from repro.simulation.kernel.plan import why_ineligible
 from repro.spec import (
     REGISTRY,
@@ -36,6 +63,9 @@ from repro.spec import (
     run as run_spec,
     to_scenario,
 )
+from repro.storage import Supercapacitor
+from repro.storage.batteries import LiIonBattery
+from repro.storage.fuel_cell import HydrogenFuelCell
 
 DAY = 86_400.0
 
@@ -90,6 +120,93 @@ def fuzz_spec(index: int) -> RunSpec:
     )
 
 
+class _RetunedSupercap(Supercapacitor):
+    """Replaced physics — no lowering can vouch for it."""
+
+    def charge(self, power_w, dt):
+        return super().charge(power_w * 0.9, dt)
+
+
+class _NoisyPV(PhotovoltaicCell):
+    """Replaced transducer physics — same refusal, different layer."""
+
+    def power_at(self, ambient, voltage):
+        return super().power_at(ambient, voltage) * 1.01
+
+
+#: Shapes that genuinely have no batched lowering: the capability
+#: negotiation must refuse them (and explain itself), never guess.
+INELIGIBLE_SYSTEMS = {
+    "retuned-store": lambda: make_reference_system(
+        [PhotovoltaicCell(area_cm2=40.0, name="pv")],
+        tracker_factory=lambda: FixedVoltage(2.0),
+        stores=[_RetunedSupercap(capacitance_f=50.0, name="odd")]),
+    "noisy-harvester": lambda: make_reference_system(
+        [_NoisyPV(area_cm2=40.0, name="noisy")],
+        tracker_factory=lambda: FixedVoltage(2.0)),
+}
+
+
+def fuzz_event_case(index: int):
+    """One fuzzed (system builder, event factory) pair — pure in index.
+
+    Draws the shapes the masked-lane model exists for: hill-climbing
+    trackers (P&O / IncCond), optional fuel-cell backup cascades, and a
+    random schedule of storage/harvester swaps whose targets force
+    different divergence buckets (same-class rejoin, cross-class peel,
+    t=0 peel).
+    """
+    rng = random.Random(0xE1E7 * 1000 + index)
+    tracker = rng.choice((None,  # make_reference_system default: P&O
+                          lambda: PerturbObserve(step_fraction=0.05),
+                          lambda: IncrementalConductance(step_fraction=0.05),
+                          lambda: FixedVoltage(2.0)))
+    cap = round(rng.uniform(6.0, 60.0), 2)
+    with_backup = rng.random() < 0.4
+    with_manager = rng.random() < 0.5
+    area = round(rng.uniform(4.0, 30.0), 2)
+    soc = round(rng.uniform(0.2, 0.8), 3)
+
+    def build_system():
+        # Everything constructed fresh per call: the sweep run and the
+        # per-scenario reference must not share mutable component state.
+        stores = [Supercapacitor(capacitance_f=cap, initial_soc=soc,
+                                 name="buf")]
+        if with_backup:
+            stores.append(HydrogenFuelCell(name="fc"))
+        return make_reference_system(
+            [PhotovoltaicCell(area_cm2=area, efficiency=0.12, name="pv")],
+            tracker_factory=tracker, initial_soc=soc, stores=stores,
+            manager=ThresholdManager() if with_manager else None)
+
+    n_events = rng.randrange(0, 3)
+    drawn = []
+    for _ in range(n_events):
+        t = rng.choice((0.0, round(rng.uniform(0.0, DAY), 0)))
+        kind = rng.choice(("same-store", "cross-store", "harvester"))
+        drawn.append((t, kind, round(rng.uniform(5.0, 50.0), 2),
+                      round(rng.uniform(0.2, 0.8), 3)))
+
+    def make_events():
+        events = []
+        for t, kind, size, esoc in drawn:
+            if kind == "same-store":
+                events.append(swap_storage_event(
+                    t, 0, Supercapacitor(capacitance_f=size,
+                                         initial_soc=esoc, name="swap")))
+            elif kind == "cross-store":
+                events.append(swap_storage_event(
+                    t, 0, LiIonBattery(capacity_mah=10.0 * size,
+                                       initial_soc=esoc, name="cell")))
+            else:
+                events.append(swap_harvester_event(
+                    t, 0, PhotovoltaicCell(area_cm2=size, efficiency=0.12,
+                                           name="new-pv")))
+        return sorted(events, key=lambda e: e.time)
+
+    return build_system, (make_events if drawn else None), rng.randrange(64)
+
+
 def assert_bitwise_equal(recorder, reference, label: str) -> None:
     assert len(recorder) == len(reference), f"{label}: step count diverged"
     for column in COLUMNS:
@@ -126,14 +243,37 @@ class TestFuzzedDifferential:
             [fuzz_spec(i) for i in range(CASES)]
 
     def test_corpus_exercises_both_batch_outcomes(self):
-        """The fixed corpus must cover both sides of the batched
-        envelope, or the differential below degenerates."""
+        """The registry corpus all batches now (the masked-lane envelope
+        covers every Table I platform); the False side of the envelope
+        is covered by explicitly-ineligible shapes, so the differential
+        below cannot degenerate to one branch."""
         eligibility = {
             why_batch_ineligible(build(fuzz_spec(i).system),
                                  fuzz_spec(i).dt) is None
             for i in range(CASES)
         }
-        assert eligibility == {True, False}
+        assert eligibility == {True}
+        for build_ineligible in INELIGIBLE_SYSTEMS.values():
+            assert why_batch_ineligible(build_ineligible(), 600.0) \
+                is not None
+
+    @pytest.mark.parametrize("shape", sorted(INELIGIBLE_SYSTEMS))
+    def test_ineligible_shapes_keep_the_fallback_contract(self, shape):
+        """Genuinely un-lowerable shapes: the reason is non-empty, a
+        batch="auto" sweep falls off the tier, and the fallback row
+        matches a tier-disabled run."""
+        build_ineligible = INELIGIBLE_SYSTEMS[shape]
+        reason = why_batch_ineligible(build_ineligible(), 600.0)
+        assert isinstance(reason, str) and reason.strip()
+        env = partial(outdoor_environment, duration=0.05 * DAY, dt=600.0)
+        spec = ScenarioSpec(name=shape, system=build_ineligible,
+                            environment=env, seed=9)
+        auto = SweepRunner(processes=1, batch="auto").run([spec])
+        off = SweepRunner(processes=1, batch=False).run(
+            [ScenarioSpec(name=shape, system=build_ineligible,
+                          environment=env, seed=9)])
+        assert auto[0].execution_path != "batched"
+        assert auto[0].metrics == off[0].metrics
 
     @pytest.mark.parametrize("index", range(CASES))
     def test_legacy_kernel_batched_agree(self, index):
@@ -170,3 +310,48 @@ class TestFuzzedDifferential:
             row, _ = _batched_recorder(spec, batch="auto")
             assert row.execution_path != "batched"
             assert row.metrics == legacy.metrics
+
+
+#: Number of fuzzed event-schedule cases (see :func:`fuzz_event_case`).
+EVENT_CASES = 10
+
+
+class TestFuzzedEventDifferential:
+    """Masked-lane differential: fuzzed event schedules over fuzzed
+    platforms (hill-climbing trackers, fuel-cell backups), batched tier
+    vs per-scenario engine, bit for bit."""
+
+    def test_event_corpus_is_deterministic(self):
+        a = [fuzz_event_case(i)[2] for i in range(EVENT_CASES)]
+        b = [fuzz_event_case(i)[2] for i in range(EVENT_CASES)]
+        assert a == b
+
+    @pytest.mark.parametrize("index", range(EVENT_CASES))
+    def test_batched_matches_per_scenario_run(self, index):
+        build_system, make_events, seed = fuzz_event_case(index)
+        envf = partial(outdoor_environment, duration=DAY, dt=600.0)
+        captured = []
+        scenario = ScenarioSpec(
+            name=f"event-fuzz{index}", system=build_system,
+            environment=envf, duration=DAY, seed=seed,
+            events=make_events, collect=captured.append)
+        row = SweepRunner(processes=1, batch="auto").run([scenario])[0]
+        # Event-carrying lanes ride the batched tier: they rejoin
+        # lockstep or peel into the scalar side-channel, never refuse.
+        assert row.execution_path.startswith("batched"), row.execution_path
+
+        reference = simulate(
+            build_system(), envf(seed=seed), duration=DAY, dt=600.0,
+            events=make_events() if make_events is not None else None)
+        result = captured[0]
+        assert_bitwise_equal(result.recorder, reference.recorder,
+                             scenario.name)
+        assert row.metrics == reference.metrics
+        # Write-back: the lane's component objects end bit-identical to
+        # the per-scenario system, whatever bucket the lane took.
+        for store, ref_store in zip(result.system.bank.stores,
+                                    reference.system.bank.stores):
+            assert type(store) is type(ref_store)
+            assert store.energy_j == ref_store.energy_j
+        assert result.system.node.total_measurements == \
+            reference.system.node.total_measurements

@@ -230,12 +230,46 @@ class TestEnsemble:
         assert [r.name for r in ensemble] == [f"d-ref#r{i}"
                                               for i in range(4)]
 
+    def test_formerly_ineligible_table1_systems_now_batch(self):
+        """A (P&O trackers, fuel-cell backup, bus/MCU) rides the batched
+        tier — the masked-lane envelope covers all of Table I."""
+        ensemble = run_ensemble(mc_spec(letter="A", replicates=3),
+                                tier="auto")
+        assert ensemble.execution_paths() == {"batched": 3}
+
     def test_ineligible_system_falls_back_and_batched_tier_refuses(self):
-        spec = mc_spec(letter="A", replicates=3)
-        ensemble = run_ensemble(spec, tier="auto")
+        """Replaced physics stays outside every envelope: tier="auto"
+        falls back, and pinning tier="batched" fails with the refusing
+        component's capability report, not a generic tier error."""
+        from repro.analysis.experiments.common import make_reference_system
+        from repro.conditioning.mppt import FixedVoltage
+        from repro.harvesters import PhotovoltaicCell
+        from repro.storage import Supercapacitor
+
+        class WarpedSupercap(Supercapacitor):
+            def charge(self, power_w, dt):
+                return super().charge(power_w * 0.7, dt)
+
+        base = ScenarioSpec(
+            name="warped",
+            system=lambda: make_reference_system(
+                [PhotovoltaicCell(area_cm2=40.0, name="pv")],
+                tracker_factory=lambda: FixedVoltage(2.0),
+                stores=[WarpedSupercap(capacitance_f=50.0, name="w")]),
+            environment=partial(outdoor_environment, duration=0.05 * DAY,
+                                dt=600.0),
+            duration=0.05 * DAY,
+        )
+        ensemble = run_ensemble(base, 3, root_seed=3, tier="auto")
         assert "batched" not in ensemble.execution_paths()
-        with pytest.raises(ValueError, match="batched envelope"):
-            run_ensemble(spec, tier="batched")
+        with pytest.raises(ValueError, match="batched envelope") as err:
+            run_ensemble(base, 3, root_seed=3, tier="batched")
+        # The error carries the capability report: component, missing
+        # capability, and the divergence batching would have caused.
+        message = str(err.value)
+        assert "WarpedSupercap" in message
+        assert "Supercapacitor physics" in message
+        assert "every step" in message
 
     def test_unknown_tier_rejected(self):
         with pytest.raises(ValueError, match="tier"):
