@@ -11,25 +11,28 @@ Acceptance targets of the batched-execution subsystem:
 * a :class:`~repro.simulation.SweepRunner` fan-out over >= 8 scenarios
   produces metrics identical to sequential ``simulate()`` calls.
 
-Each benchmark appends its steps/sec-per-path record to the
+Each benchmark appends its steps/sec-per-path record through the
+catalog manifest (:func:`repro.catalog.record_bench`); the
 ``BENCH_sweep.json`` trajectory artifact (path overridable via the
-``BENCH_SWEEP_JSON`` environment variable) so perf regressions are
-visible across PRs, not just within one run.
+``BENCH_SWEEP_JSON`` environment variable; store overridable via
+``BENCH_CATALOG``) is regenerated from the store after every append,
+so perf regressions stay visible across PRs with the same filename CI
+always uploaded.
 """
 
-import json
-import os
 import time
 from functools import partial
-from pathlib import Path
 
 import numpy as np
 
 from repro.analysis.experiments.common import make_reference_system
+from repro.catalog import Catalog, record_bench
 from repro.conditioning.mppt import FixedVoltage
 from repro.environment.composite import outdoor_environment
 from repro.harvesters import PhotovoltaicCell
 from repro.simulation import ScenarioSpec, SweepRunner, simulate
+from repro.spec import EnvironmentSpec, RunSpec, SweepSpec, run_sweep, \
+    spec_for
 from repro.systems import build_system
 
 DAY = 86_400.0
@@ -63,19 +66,9 @@ GRID_STEPS = int(2 * DAY / GRID_DT)
 GRID_BASELINE_SCENARIOS = 32
 
 
-def _record_bench(benchmark: str, payload: dict) -> None:
-    """Append one record to the BENCH_sweep.json trajectory artifact."""
-    path = Path(os.environ.get(
-        "BENCH_SWEEP_JSON",
-        Path(__file__).resolve().parent.parent / "BENCH_sweep.json"))
-    try:
-        history = json.loads(path.read_text())
-        if not isinstance(history, dict) or "runs" not in history:
-            history = {"runs": []}
-    except (OSError, ValueError):
-        history = {"runs": []}
-    history["runs"].append({"benchmark": benchmark, **payload})
-    path.write_text(json.dumps(history, indent=2) + "\n")
+#: Speedup a full-hit catalog rerun must sustain over the simulating
+#: first pass of the same 256-scenario grid.
+CACHE_REQUIRED_SPEEDUP = 50.0
 
 
 def _bench_system():
@@ -123,7 +116,7 @@ def test_bench_fastpath_1m_steps():
     print(f"fast path   : {fast_rate * 1e6:7.2f} us/step "
           f"({FAST_STEPS} steps)")
     print(f"speedup     : {speedup:.2f}x (required >= {REQUIRED_SPEEDUP}x)")
-    _record_bench("fastpath_1m", {
+    record_bench("fastpath_1m", {
         "legacy_steps_per_s": 1.0 / legacy_rate,
         "kernel_steps_per_s": 1.0 / fast_rate,
         "speedup": speedup,
@@ -223,7 +216,7 @@ def test_bench_batched_sweep_grid():
           f"({GRID_SCENARIOS} scenarios)")
     print(f"speedup    : {speedup:.2f}x "
           f"(required >= {BATCHED_REQUIRED_SPEEDUP}x)")
-    _record_bench("batched_sweep_grid", {
+    record_bench("batched_sweep_grid", {
         "n_scenarios": GRID_SCENARIOS,
         "n_steps": GRID_STEPS,
         "inprocess_steps_per_s": 1.0 / baseline_rate,
@@ -280,7 +273,7 @@ def test_bench_masked_lane_table1_grid():
           f"({GRID_SCENARIOS} scenarios, systems A/B/F)")
     print(f"speedup    : {speedup:.2f}x "
           f"(required >= {MASKED_LANE_REQUIRED_SPEEDUP}x)")
-    _record_bench("masked_lane_table1_grid", {
+    record_bench("masked_lane_table1_grid", {
         "systems": list(letters),
         "n_scenarios": GRID_SCENARIOS,
         "n_steps": GRID_STEPS,
@@ -328,3 +321,69 @@ def test_bench_sweep_fanout_matches_sequential(once):
     harvested = sweep.column("harvested_delivered_j")
     assert all(b > a for a, b in zip(harvested, harvested[1:])), \
         "harvest must rise monotonically with PV area"
+
+
+def make_cache_grid_spec(seed: int = 3) -> SweepSpec:
+    """A 256-scenario declarative grid (System C across initial SOCs):
+    fully cacheable — plain SystemSpec/EnvironmentSpec rows, no
+    factories — so every row has a content-addressed cache key."""
+    runs = tuple(
+        RunSpec(
+            system=spec_for("C", initial_soc=round(0.1 + 0.8 * k /
+                                                   GRID_SCENARIOS, 6)),
+            environment=EnvironmentSpec("outdoor", duration=2 * DAY,
+                                        dt=GRID_DT, seed=seed),
+            name=f"soc-{k}",
+            params={"k": k},
+        )
+        for k in range(GRID_SCENARIOS)
+    )
+    return SweepSpec(runs=runs, name="catalog-cache-grid")
+
+
+def test_bench_catalog_cache_hit_sweep(tmp_path):
+    """Dedup-cache gate: rerunning the identical 256-scenario grid
+    against the catalog must perform *zero* simulations (every row a
+    manifest hit, verified via the store's hit counters) and return
+    bitwise-identical rows >= 50x faster than the simulating pass."""
+    spec = make_cache_grid_spec()
+    store = tmp_path / "store"
+
+    catalog = Catalog(store)
+    t0 = time.perf_counter()
+    first = run_sweep(spec, processes=1, catalog=catalog)
+    first_seconds = time.perf_counter() - t0
+    assert first.catalog_report.hits == 0
+    assert first.catalog_report.archived == GRID_SCENARIOS
+
+    # A fresh handle, as a rerun in a new process would open.
+    catalog = Catalog(store)
+    t0 = time.perf_counter()
+    second = run_sweep(spec, processes=1, catalog=catalog)
+    second_seconds = time.perf_counter() - t0
+
+    # Zero simulations: every scenario resolved as a manifest hit, and
+    # the store's persistent hit counters agree.
+    assert second.catalog_report.hits == GRID_SCENARIOS
+    assert second.catalog_report.simulated == 0
+    assert catalog.total_hits() == GRID_SCENARIOS
+
+    # Bitwise identity against the archived originals, row for row.
+    for first_row, second_row in zip(first, second):
+        assert first_row.metrics == second_row.metrics, first_row.name
+        assert first_row.n_steps == second_row.n_steps
+        assert first_row.name == second_row.name
+
+    speedup = first_seconds / second_seconds
+    print()
+    print(f"simulate : {first_seconds:7.3f} s ({GRID_SCENARIOS} scenarios)")
+    print(f"cache    : {second_seconds:7.3f} s (all manifest hits)")
+    print(f"speedup  : {speedup:.1f}x (required >= "
+          f"{CACHE_REQUIRED_SPEEDUP}x)")
+    record_bench("catalog_cache_hit", {
+        "n_scenarios": GRID_SCENARIOS,
+        "simulate_seconds": first_seconds,
+        "cache_seconds": second_seconds,
+        "speedup": speedup,
+    })
+    assert speedup >= CACHE_REQUIRED_SPEEDUP

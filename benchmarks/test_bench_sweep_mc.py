@@ -13,15 +13,14 @@ uncompressed ensemble workload.
 The baseline is timed on a replicate prefix and compared by
 per-replicate-step rate (running all 256 replicates through the
 per-scenario path would only make the suite slower, not the ratio
-fairer). Each run appends its steps/sec-per-path record to the
-``BENCH_sweep.json`` trajectory artifact.
+fairer). Each run appends its steps/sec-per-path record through the
+catalog manifest (:func:`repro.catalog.record_bench`), which
+regenerates the ``BENCH_sweep.json`` trajectory artifact.
 """
 
-import json
-import os
 import time
-from pathlib import Path
 
+from repro.catalog import record_bench
 from repro.spec import EnvironmentSpec, MonteCarloSpec, RunSpec, spec_for
 from repro.simulation import run_ensemble
 
@@ -39,21 +38,6 @@ ENSEMBLE_STEPS = int(DAY / ENSEMBLE_DT)
 BASELINE_REPLICATES = 32
 
 ROOT_SEED = 42
-
-
-def _record_bench(benchmark: str, payload: dict) -> None:
-    """Append one record to the BENCH_sweep.json trajectory artifact."""
-    path = Path(os.environ.get(
-        "BENCH_SWEEP_JSON",
-        Path(__file__).resolve().parent.parent / "BENCH_sweep.json"))
-    try:
-        history = json.loads(path.read_text())
-        if not isinstance(history, dict) or "runs" not in history:
-            history = {"runs": []}
-    except (OSError, ValueError):
-        history = {"runs": []}
-    history["runs"].append({"benchmark": benchmark, **payload})
-    path.write_text(json.dumps(history, indent=2) + "\n")
 
 
 def _ensemble_spec(replicates: int) -> MonteCarloSpec:
@@ -99,7 +83,7 @@ def test_bench_ensemble_rides_the_batched_tier():
     print(f"batched    : {batched_rate * 1e6:7.2f} us/replicate-step "
           f"({REPLICATES} replicates)")
     print(f"speedup    : {speedup:.2f}x (required >= {REQUIRED_SPEEDUP}x)")
-    _record_bench("montecarlo_ensemble", {
+    record_bench("montecarlo_ensemble", {
         "n_replicates": REPLICATES,
         "n_steps": ENSEMBLE_STEPS,
         "inprocess_steps_per_s": 1.0 / baseline_rate,

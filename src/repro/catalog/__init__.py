@@ -1,0 +1,55 @@
+"""Content-addressed scenario/result catalog.
+
+A persistent store keyed by the SHA-256 of canonical spec JSON. Three
+capabilities ride on it:
+
+* **dedup cache** — ``run``/``sweep``/``mc`` with a catalog attached
+  consult the store before simulating and return archived rows bitwise
+  on ``(spec_hash, seed, code_version)`` hits;
+* **checkpoint/resume** — sweeps and ensembles archive each scenario as
+  it completes, so an interrupted grid resumes with only the missing
+  remainder (resume *is* dedup);
+* **query layer** — :meth:`Catalog.query` and the ``repro catalog``
+  CLI filter the manifest by system, environment, metric band, seed, or
+  seed stream.
+
+See :mod:`repro.catalog.hashing` for what counts as cache identity and
+``docs/catalog.md`` for the user guide.
+"""
+
+from ..spec.canonical import spec_hash
+from .artifacts import (ARTIFACT_SCHEMA, columns_to_rows, have_pyarrow,
+                        read_artifact, resolve_format, rows_to_columns,
+                        write_artifact)
+from .bench import bench_trajectory, import_trajectory, record_bench, \
+    write_trajectory
+from .gc import GcReport, collect_garbage
+from .hashing import CacheKey, code_version, scenario_cache_key
+from .manifest import Manifest, ManifestRecord, record_matches
+from .store import Catalog, CatalogError, CatalogReport
+
+__all__ = [
+    "ARTIFACT_SCHEMA",
+    "CacheKey",
+    "Catalog",
+    "CatalogError",
+    "CatalogReport",
+    "GcReport",
+    "Manifest",
+    "ManifestRecord",
+    "bench_trajectory",
+    "code_version",
+    "collect_garbage",
+    "columns_to_rows",
+    "have_pyarrow",
+    "import_trajectory",
+    "read_artifact",
+    "record_bench",
+    "record_matches",
+    "resolve_format",
+    "rows_to_columns",
+    "scenario_cache_key",
+    "spec_hash",
+    "write_artifact",
+    "write_trajectory",
+]

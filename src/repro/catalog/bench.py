@@ -1,0 +1,98 @@
+"""Benchmark trajectory records through the catalog manifest.
+
+Benchmarks used to append straight to ``BENCH_sweep.json``. Now the
+catalog manifest is the source of truth — each sample is a
+``kind="bench"`` record — and ``BENCH_sweep.json`` is a *query output*
+regenerated from the catalog after every append (same filename, same
+``{"runs": [...]}`` shape, so the CI upload path and any downstream
+trajectory tooling keep working unchanged).
+
+``record_bench`` is the one entry point the benchmark suites call. It
+resolves the store from ``BENCH_CATALOG`` (default: a ``.bench-catalog``
+directory next to the trajectory file), seeds it from a pre-existing
+``BENCH_sweep.json`` on first contact so no history is lost at the
+migration boundary, appends the new sample, and rewrites the trajectory
+file from the catalog.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+__all__ = ["record_bench", "bench_trajectory", "import_trajectory",
+           "write_trajectory", "default_trajectory_path",
+           "default_bench_catalog"]
+
+
+def default_trajectory_path() -> Path:
+    """``BENCH_SWEEP_JSON`` env override, else repo-root file."""
+    return Path(os.environ.get(
+        "BENCH_SWEEP_JSON",
+        Path(__file__).resolve().parents[3] / "BENCH_sweep.json"))
+
+
+def default_bench_catalog(trajectory: Path):
+    """The benchmark store: ``BENCH_CATALOG`` env override, else a
+    ``.bench-catalog`` directory beside the trajectory file."""
+    from .store import Catalog
+    root = os.environ.get("BENCH_CATALOG",
+                          str(trajectory.parent / ".bench-catalog"))
+    return Catalog(root)
+
+
+def bench_trajectory(catalog) -> dict:
+    """The trajectory document (``{"runs": [...]}``) a catalog's bench
+    records describe, in append order."""
+    runs = []
+    for record in catalog.bench_records():
+        runs.append({"benchmark": record.name, **record.payload})
+    return {"runs": runs}
+
+
+def import_trajectory(catalog, path) -> int:
+    """Seed a catalog with the samples of a legacy trajectory file.
+
+    No-op (returning 0) when the catalog already holds bench records or
+    the file is absent/unreadable — imports happen exactly once, at the
+    migration boundary.
+    """
+    if catalog.bench_records():
+        return 0
+    try:
+        history = json.loads(Path(path).read_text())
+    except (OSError, ValueError):
+        return 0
+    runs = history.get("runs") if isinstance(history, dict) else None
+    if not isinstance(runs, list):
+        return 0
+    imported = 0
+    for run in runs:
+        if not isinstance(run, dict):
+            continue
+        payload = {key: value for key, value in run.items()
+                   if key != "benchmark"}
+        catalog.append_bench(str(run.get("benchmark", "unknown")), payload)
+        imported += 1
+    return imported
+
+
+def write_trajectory(catalog, path) -> dict:
+    """Regenerate the trajectory file from the catalog (the query output
+    CI uploads)."""
+    document = bench_trajectory(catalog)
+    Path(path).write_text(json.dumps(document, indent=2) + "\n")
+    return document
+
+
+def record_bench(benchmark: str, payload: dict, *, catalog=None,
+                 trajectory=None) -> None:
+    """Append one benchmark sample and refresh the trajectory file."""
+    trajectory = default_trajectory_path() if trajectory is None \
+        else Path(trajectory)
+    if catalog is None:
+        catalog = default_bench_catalog(trajectory)
+    import_trajectory(catalog, trajectory)
+    catalog.append_bench(benchmark, payload)
+    write_trajectory(catalog, trajectory)

@@ -1,0 +1,124 @@
+"""Cache identity: what makes two simulations "the same run".
+
+The catalog's dedup contract is ``(spec_hash, seed, code_version)``:
+
+* ``spec_hash`` — SHA-256 of the canonical JSON of the *simulation-
+  relevant* scenario description (system spec, environment spec with the
+  seed field normalized out, duration, dt). The engine-path selection
+  (``fast``) is deliberately excluded: every execution path is bit-for-
+  bit identical by contract (the differential suite enforces it), so the
+  path a run happened to take is provenance, not identity. Row identity
+  columns (``name``, ``params``) are likewise excluded — they label the
+  row, they do not change the physics — and are re-applied from the
+  *requesting* scenario when an archived result is restored.
+* ``seed`` — the effective RNG seed (the scenario's own seed, falling
+  back to the environment spec's), recorded separately so seed-stream
+  queries can find replicate families without recomputing hashes.
+* ``code_version`` — a content hash over the installed ``repro``
+  package's Python sources. Any code change (a numeric fix, a kernel
+  tweak) changes the version and cleanly misses the cache instead of
+  returning stale rows; ``repro catalog gc --stale`` reclaims them.
+
+Only fully declarative scenarios are cacheable: a callable system or
+environment factory, a ``collect`` hook, or an event schedule cannot be
+hashed, so those scenarios simply bypass the catalog (they still run,
+they are just never archived or deduplicated).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..spec.canonical import spec_hash
+from ..spec.specs import EnvironmentSpec, SystemSpec
+
+__all__ = ["CacheKey", "scenario_cache_key", "code_version"]
+
+_CODE_VERSION: str | None = None
+
+
+def code_version() -> str:
+    """Content hash of the installed ``repro`` package's sources.
+
+    Computed once per process: SHA-256 over every ``.py`` file of the
+    package (path + bytes), truncated to 12 hex chars. The
+    ``REPRO_CODE_VERSION`` environment variable overrides it — tests use
+    that to simulate upgrades, and deployments that version their builds
+    externally can pin it to a release tag.
+    """
+    override = os.environ.get("REPRO_CODE_VERSION")
+    if override:
+        return override
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        package_root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(path.relative_to(package_root).as_posix().encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _CODE_VERSION = digest.hexdigest()[:12]
+    return _CODE_VERSION
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """Dedup identity of one cacheable scenario."""
+
+    spec_hash: str
+    seed: int | None
+    #: Registered system / environment names, carried for manifest rows
+    #: and query filters (not part of the hash input themselves — they
+    #: are already inside the hashed key document).
+    system: str
+    environment: str
+    #: The canonical key document the hash covers; archived verbatim
+    #: under ``specs/`` so ``catalog show`` can display exactly what a
+    #: hash addresses. Not part of equality (the hash already is).
+    key_dict: dict = field(compare=False, hash=False, repr=False,
+                           default_factory=dict)
+
+
+def scenario_cache_key(scenario) -> CacheKey | None:
+    """The :class:`CacheKey` of a scenario, or None if uncacheable.
+
+    ``scenario`` is anything shaped like
+    :class:`~repro.simulation.ScenarioSpec` (duck-typed so this module
+    never imports the simulation layer). Cacheable means fully
+    declarative: a :class:`~repro.spec.SystemSpec` system, an
+    :class:`~repro.spec.EnvironmentSpec` environment, no event schedule,
+    and no ``collect`` hook (hooks compute extras the hash cannot see).
+    """
+    system = getattr(scenario, "system", None)
+    environment = getattr(scenario, "environment", None)
+    if not isinstance(system, SystemSpec):
+        return None
+    if not isinstance(environment, EnvironmentSpec):
+        return None
+    if getattr(scenario, "events", None) is not None:
+        return None
+    if getattr(scenario, "collect", None) is not None:
+        return None
+    seed = getattr(scenario, "seed", None)
+    if seed is None:
+        seed = environment.seed
+    env_dict = environment.to_dict()
+    env_dict["seed"] = None  # the effective seed is keyed separately
+    key_dict = {
+        "kind": "scenario-key",
+        "system": system.to_dict(),
+        "environment": env_dict,
+        "duration": getattr(scenario, "duration", None),
+        "dt": getattr(scenario, "dt", None),
+    }
+    return CacheKey(
+        spec_hash=spec_hash(key_dict),
+        seed=None if seed is None else int(seed),
+        system=system.system,
+        environment=environment.environment,
+        key_dict=key_dict,
+    )

@@ -13,11 +13,19 @@ Subcommands:
 * ``mc``          — Monte Carlo ensemble of one system x environment:
   N seed replicates ride the lockstep batched tier and aggregate into a
   quantile summary (mean/std/p5/p50/p95 + CI per metric).
-* ``spec``        — emit canonical spec JSON (or ``--registry`` to list
-  every registered component).
+* ``spec``        — emit canonical spec JSON (``--hash`` for its
+  content address, ``--registry`` to list every registered component).
+* ``catalog``     — inspect / maintain a content-addressed result store
+  (``ls``, ``show``, ``query``, ``gc``, ``bench``).
 * ``experiment``  — run a claim-validation experiment (e3..e11).
 * ``advise``      — rank all seven platforms for a deployment.
 * ``audit X``     — run a system and print the energy waterfall.
+
+``run``/``sweep``/``mc`` accept ``--catalog PATH``: scenarios already
+archived in the store return their rows without simulating (dedup on
+content-addressed spec hash + seed + code version), fresh scenarios
+archive as they complete (so an interrupted sweep resumes with only the
+missing remainder), and the summary reports the hit/miss counts.
 
 Every simulating subcommand goes through the declarative spec layer
 (:mod:`repro.spec`): ``simulate A --env outdoor`` is sugar for building
@@ -39,9 +47,14 @@ Examples::
     python -m repro sweep --systems A B F --batch on --explain --days 1
     python -m repro sweep --spec sweep.json --processes 4
     python -m repro sweep --systems C --replicates 16 --days 1
+    python -m repro sweep --systems A B --catalog results-store
     python -m repro mc C --env outdoor --days 2 --replicates 64
     python -m repro mc --spec mc.json --tier batched
     python -m repro spec --registry
+    python -m repro spec C --env outdoor --hash
+    python -m repro catalog ls results-store
+    python -m repro catalog query results-store --system smart_power_unit
+    python -m repro catalog gc results-store --stale
     python -m repro experiment e5
     python -m repro audit B --env indoor --days 3
 """
@@ -123,6 +136,14 @@ def _build_parser() -> argparse.ArgumentParser:
                  "unless a config file says otherwise); the path actually "
                  "taken is reported in the summary")
 
+    def add_catalog_flag(subparser):
+        subparser.add_argument(
+            "--catalog", metavar="PATH", default=None,
+            help="content-addressed result store: archived scenarios "
+                 "return their rows without simulating, fresh scenarios "
+                 "archive as they complete (checkpoint/resume), and the "
+                 "summary reports the hit/miss counts")
+
     p_sim = sub.add_parser("simulate", help="simulate a surveyed system")
     p_sim.add_argument("system", choices=sorted(SYSTEM_NAMES))
     p_sim.add_argument("--env", choices=sorted(ENVIRONMENTS),
@@ -143,6 +164,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--json", action="store_true",
                        help="emit results as JSON instead of a table")
     add_fast_flag(p_run)
+    add_catalog_flag(p_run)
 
     p_swp = sub.add_parser(
         "sweep", help="run a systems x environments grid via SweepRunner")
@@ -178,6 +200,7 @@ def _build_parser() -> argparse.ArgumentParser:
                             "lacks, and the divergence batching it "
                             "would cause)")
     add_fast_flag(p_swp)
+    add_catalog_flag(p_swp)
 
     p_mc = sub.add_parser(
         "mc", help="Monte Carlo ensemble of one system x environment")
@@ -214,6 +237,7 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="emit the per-metric summaries and replicate "
                            "rows as JSON instead of a table")
     add_fast_flag(p_mc)
+    add_catalog_flag(p_mc)
 
     p_spc = sub.add_parser(
         "spec", help="emit canonical spec JSON / inspect the registry")
@@ -231,6 +255,76 @@ def _build_parser() -> argparse.ArgumentParser:
     p_spc.add_argument("--registry", action="store_true",
                        help="list every registered component and its "
                             "parameters as JSON")
+    p_spc.add_argument("--hash", action="store_true",
+                       help="print the spec's content address (SHA-256 "
+                            "of its canonical JSON) instead of the JSON "
+                            "itself — the identity the catalog keys on")
+
+    p_cat = sub.add_parser(
+        "catalog", help="inspect / maintain a content-addressed "
+                        "result store")
+    cat_sub = p_cat.add_subparsers(dest="catalog_command", required=True)
+
+    c_ls = cat_sub.add_parser("ls", help="list archived runs")
+    c_ls.add_argument("path", help="catalog directory")
+    c_ls.add_argument("--kind", choices=("run", "bench"), default="run",
+                      help="record kind to list (default: run)")
+
+    c_show = cat_sub.add_parser(
+        "show", help="show one archived run (record, spec document, "
+                     "hit count)")
+    c_show.add_argument("path", help="catalog directory")
+    c_show.add_argument("run_id", help="run id, or a unique run-id / "
+                                       "spec-hash prefix")
+
+    c_q = cat_sub.add_parser("query", help="filter archived runs")
+    c_q.add_argument("path", help="catalog directory")
+    c_q.add_argument("--system", default=None,
+                     help="registered system name (e.g. smart_power_unit)")
+    c_q.add_argument("--environment", default=None,
+                     help="registered environment name (e.g. outdoor)")
+    c_q.add_argument("--name", default=None,
+                     help="row-name prefix filter")
+    c_q.add_argument("--seed", type=int, default=None,
+                     help="exact effective seed")
+    c_q.add_argument("--spec-hash", default=None, metavar="HEX",
+                     help="spec-hash prefix filter")
+    c_q.add_argument("--metric-band", nargs=3, default=None,
+                     metavar=("METRIC", "LOW", "HIGH"),
+                     help="keep runs whose archived METRIC lies in "
+                          "[LOW, HIGH] ('-' leaves a bound open), e.g. "
+                          "--metric-band uptime_fraction 0.9 -")
+    c_q.add_argument("--seed-stream", nargs=3, type=int, default=None,
+                     metavar=("ROOT_SEED", "STREAM", "N"),
+                     help="keep runs whose seed belongs to the first N "
+                          "replicate seeds of this root seed / stream "
+                          "(finds an ensemble's replicate family)")
+    c_q.add_argument("--json", action="store_true",
+                     help="emit matching records as JSON")
+
+    c_gc = cat_sub.add_parser(
+        "gc", help="prune records and sweep unreferenced files")
+    c_gc.add_argument("path", help="catalog directory")
+    c_gc.add_argument("--stale", action="store_true",
+                      help="drop runs archived under a different code "
+                           "version (their keys can never hit again)")
+    c_gc.add_argument("--keep-last", type=int, default=None, metavar="N",
+                      help="keep only the newest N runs per "
+                           "(spec hash, seed) family")
+    c_gc.add_argument("--keep-days", type=float, default=None, metavar="D",
+                      help="drop runs older than D days")
+    c_gc.add_argument("--dry-run", action="store_true",
+                      help="report what would be removed without "
+                           "touching the store")
+
+    c_bench = cat_sub.add_parser(
+        "bench", help="emit the benchmark trajectory JSON from the "
+                      "store's bench records (the BENCH_sweep.json "
+                      "document CI uploads)")
+    c_bench.add_argument("path", help="catalog directory")
+    c_bench.add_argument("-o", "--output", default=None, metavar="FILE",
+                         help="write the trajectory document here "
+                              "(default: stdout)")
 
     p_exp = sub.add_parser("experiment", help="run a claim experiment")
     p_exp.add_argument("id", choices=sorted(EXPERIMENTS),
@@ -287,6 +381,28 @@ def _cli_fast(args):
     return FAST_MODES[args.fast]
 
 
+def _open_catalog(args):
+    """The Catalog behind --catalog / a catalog subcommand path.
+
+    Returns ``(catalog, error_code)``: ``(None, None)`` when no catalog
+    was requested, ``(None, 2)`` after printing the failure.
+    """
+    path = getattr(args, "catalog", None) or getattr(args, "path", None)
+    if path is None:
+        return None, None
+    from .catalog import Catalog, CatalogError
+    try:
+        return Catalog(path), None
+    except (CatalogError, RuntimeError, OSError, ValueError) as exc:
+        print(f"error: cannot open catalog {path}: {exc}", file=sys.stderr)
+        return None, 2
+
+
+def _print_catalog_report(report) -> None:
+    if report is not None:
+        print(report)
+
+
 def _print_metrics(title: str, metrics, execution_path=None) -> None:
     m = metrics
     print(title)
@@ -333,25 +449,48 @@ def _cmd_run(args) -> int:
     spec = _load_spec_file(args.config)
     if spec is None:
         return 2
+    catalog, code = _open_catalog(args)
+    if code is not None:
+        return code
     if isinstance(spec, RunSpec):
         try:
-            result = run(spec, fast=_cli_fast(args))
+            if catalog is not None:
+                # Route through the sweep machinery so the single run
+                # hits the dedup cache / archives like any scenario.
+                from .simulation.sweep import SweepRunner
+                from .spec import to_scenario
+                scenario = to_scenario(spec)
+                fast = _cli_fast(args)
+                if fast is not None:
+                    scenario = dataclasses.replace(scenario, fast=fast)
+                sweep = SweepRunner(processes=1, catalog=catalog).run(
+                    [scenario])
+                row = sweep[0]
+                metrics, path = row.metrics, row.execution_path
+                report = sweep.catalog_report
+            else:
+                result = run(spec, fast=_cli_fast(args))
+                metrics, path = result.metrics, result.execution_path
+                report = None
         except (KeyError, ValueError, TypeError) as exc:
             print(f"error: cannot execute {args.config}: {exc}",
                   file=sys.stderr)
             return 2
         if args.json:
-            print(dumps_json({"name": spec.label,
-                              "metrics": result.metrics,
-                              "execution_path": result.execution_path}))
+            payload = {"name": spec.label, "metrics": metrics,
+                       "execution_path": path}
+            if report is not None:
+                payload["catalog"] = report.to_dict()
+            print(dumps_json(payload))
         else:
-            _print_metrics(f"run: {spec.label}", result.metrics,
-                           execution_path=result.execution_path)
+            _print_metrics(f"run: {spec.label}", metrics,
+                           execution_path=path)
+            _print_catalog_report(report)
         return 0
     if isinstance(spec, SweepSpec):
         try:
             sweep = run_sweep(spec, processes=args.processes,
-                              fast=_cli_fast(args))
+                              fast=_cli_fast(args), catalog=catalog)
         except (KeyError, ValueError, TypeError) as exc:
             print(f"error: cannot execute {args.config}: {exc}",
                   file=sys.stderr)
@@ -364,19 +503,25 @@ def _cmd_run(args) -> int:
                          "quiescent_j", "measurements", "brownouts",
                          "execution_path"),
                 title=f"sweep: {spec.name} ({len(sweep)} scenarios)"))
+            _print_catalog_report(sweep.catalog_report)
         return 0
     if isinstance(spec, MonteCarloSpec):
         try:
             ensemble = run_montecarlo(spec, processes=args.processes,
-                                      fast=_cli_fast(args))
+                                      fast=_cli_fast(args),
+                                      catalog=catalog)
         except (KeyError, ValueError, TypeError) as exc:
             print(f"error: cannot execute {args.config}: {exc}",
                   file=sys.stderr)
             return 2
         if args.json:
-            print(dumps_json(_ensemble_jsonable(ensemble)))
+            payload = _ensemble_jsonable(ensemble)
+            if ensemble.catalog_report is not None:
+                payload["catalog"] = ensemble.catalog_report.to_dict()
+            print(dumps_json(payload))
         else:
             print(ensemble.report())
+            _print_catalog_report(ensemble.catalog_report)
         return 0
     print(f"error: {args.config} holds a {type(spec).__name__}; "
           f"'run' executes RunSpec, SweepSpec, or MonteCarloSpec configs",
@@ -416,9 +561,13 @@ def _cmd_sweep(args) -> int:
         title = (f"{title} x{args.replicates} replicates "
                  f"({len(spec.runs)} rows)")
     batch = {"auto": "auto", "on": True, "off": False}[args.batch]
+    catalog, code = _open_catalog(args)
+    if code is not None:
+        return code
     try:
         sweep = run_sweep(spec, processes=args.processes,
-                          fast=_cli_fast(args), batch=batch)
+                          fast=_cli_fast(args), batch=batch,
+                          catalog=catalog)
     except (KeyError, ValueError, TypeError) as exc:
         print(f"error: cannot execute sweep: {exc}", file=sys.stderr)
         return 2
@@ -427,6 +576,7 @@ def _cmd_sweep(args) -> int:
                  "quiescent_j", "measurements", "brownouts",
                  "execution_path"),
         title=title))
+    _print_catalog_report(sweep.catalog_report)
     if args.explain:
         print()
         print(_explain_batch(sweep))
@@ -516,17 +666,24 @@ def _cmd_mc(args) -> int:
         except (ValueError, TypeError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+    catalog, code = _open_catalog(args)
+    if code is not None:
+        return code
     try:
         ensemble = run_montecarlo(spec, tier=args.tier,
                                   processes=args.processes,
-                                  fast=_cli_fast(args))
+                                  fast=_cli_fast(args), catalog=catalog)
     except (KeyError, ValueError, TypeError) as exc:
         print(f"error: cannot execute ensemble: {exc}", file=sys.stderr)
         return 2
     if args.json:
-        print(dumps_json(_ensemble_jsonable(ensemble)))
+        payload = _ensemble_jsonable(ensemble)
+        if ensemble.catalog_report is not None:
+            payload["catalog"] = ensemble.catalog_report.to_dict()
+        print(dumps_json(payload))
     else:
         print(ensemble.report())
+        _print_catalog_report(ensemble.catalog_report)
     return 0
 
 
@@ -543,13 +700,125 @@ def _cmd_spec(args) -> int:
             print("error: --days/--dt/--seed only apply to a full RunSpec; "
                   "add --env to emit one", file=sys.stderr)
             return 2
-        print(spec_for(args.system).to_json())
-        return 0
-    days = 3.0 if args.days is None else args.days
-    dt = 300.0 if args.dt is None else args.dt
-    seed = 0 if args.seed is None else args.seed
-    print(_cli_run_spec(args.system, args.env, days, dt, seed).to_json())
+        spec = spec_for(args.system)
+    else:
+        days = 3.0 if args.days is None else args.days
+        dt = 300.0 if args.dt is None else args.dt
+        seed = 0 if args.seed is None else args.seed
+        spec = _cli_run_spec(args.system, args.env, days, dt, seed)
+    if args.hash:
+        from .spec import spec_hash
+        print(spec_hash(spec))
+    else:
+        print(spec.to_json())
     return 0
+
+
+def _cmd_catalog(args) -> int:
+    from .analysis.reporting import render_table
+    catalog, code = _open_catalog(args)
+    if code is not None:
+        return code
+    if args.catalog_command == "ls":
+        records = catalog.query(kind=args.kind)
+        if not records:
+            print(f"catalog {catalog.root}: no {args.kind} records")
+            return 0
+        if args.kind == "bench":
+            body = [(r.run_id, r.name, r.code_version, r.created_at)
+                    for r in records]
+            print(render_table(("run id", "benchmark", "code", "created"),
+                               body,
+                               title=f"catalog {catalog.root}: "
+                                     f"{len(records)} bench record(s)"))
+            return 0
+        hits = catalog.hit_counts()
+        body = [(r.run_id, r.name, r.system, r.environment,
+                 "-" if r.seed is None else str(r.seed),
+                 r.execution_path, str(hits.get(r.run_id, 0)),
+                 r.created_at)
+                for r in records]
+        print(render_table(
+            ("run id", "name", "system", "environment", "seed", "path",
+             "hits", "created"),
+            body,
+            title=f"catalog {catalog.root}: {len(records)} run(s)"))
+        return 0
+    if args.catalog_command == "show":
+        record = catalog.manifest.by_run_id(args.run_id)
+        if record is None:
+            print(f"error: no unique record matches {args.run_id!r}",
+                  file=sys.stderr)
+            return 2
+        payload = {"record": record.to_dict(),
+                   "hits": catalog.hit_counts().get(record.run_id, 0)}
+        if record.spec_hash:
+            from .catalog import CatalogError
+            try:
+                payload["spec_document"] = \
+                    catalog.spec_document(record.spec_hash)
+            except CatalogError:
+                pass
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    if args.catalog_command == "query":
+        metric_band = None
+        if args.metric_band is not None:
+            metric, low, high = args.metric_band
+            try:
+                metric_band = (metric,
+                               None if low == "-" else float(low),
+                               None if high == "-" else float(high))
+            except ValueError:
+                print("error: --metric-band bounds must be numbers "
+                      "or '-'", file=sys.stderr)
+                return 2
+        seed_stream = tuple(args.seed_stream) \
+            if args.seed_stream is not None else None
+        records = catalog.query(
+            system=args.system, environment=args.environment,
+            name=args.name, seed=args.seed, spec_hash=args.spec_hash,
+            metric_band=metric_band, seed_stream=seed_stream)
+        if args.json:
+            print(json.dumps([r.to_dict() for r in records], indent=2,
+                             sort_keys=True))
+            return 0
+        if not records:
+            print("no matching records")
+            return 0
+        body = [(r.run_id, r.name, r.system, r.environment,
+                 "-" if r.seed is None else str(r.seed),
+                 f"{r.metrics.get('uptime_fraction', float('nan')):.4g}",
+                 f"{r.metrics.get('harvested_delivered_j', float('nan')):.4g}")
+                for r in records]
+        print(render_table(
+            ("run id", "name", "system", "environment", "seed",
+             "uptime", "delivered J"),
+            body, title=f"{len(records)} matching run(s)"))
+        return 0
+    if args.catalog_command == "gc":
+        report = catalog.gc(stale=args.stale, keep_last=args.keep_last,
+                            keep_days=args.keep_days,
+                            dry_run=args.dry_run)
+        verb = "would remove" if report.dry_run else "removed"
+        print(f"gc: {verb} {report.removed} record(s), "
+              f"{len(report.removed_artifacts)} artifact(s), "
+              f"{len(report.removed_specs)} spec document(s); "
+              f"{report.kept_records} record(s) kept")
+        for run_id in report.removed_records:
+            print(f"  - {run_id}")
+        return 0
+    if args.catalog_command == "bench":
+        from .catalog import bench_trajectory, write_trajectory
+        if args.output is not None:
+            document = write_trajectory(catalog, args.output)
+            print(f"wrote {len(document['runs'])} benchmark record(s) "
+                  f"to {args.output}")
+        else:
+            print(json.dumps(bench_trajectory(catalog), indent=2))
+        return 0
+    raise AssertionError(
+        f"unhandled catalog command {args.catalog_command!r}")
 
 
 def _cmd_experiment(exp_id: str) -> int:
@@ -587,6 +856,8 @@ def main(argv=None) -> int:
         return _cmd_mc(args)
     if args.command == "spec":
         return _cmd_spec(args)
+    if args.command == "catalog":
+        return _cmd_catalog(args)
     if args.command == "experiment":
         return _cmd_experiment(args.id)
     if args.command == "advise":

@@ -19,6 +19,8 @@ results — only throughput.
 
 from __future__ import annotations
 
+import time
+
 from ..environment.compiled import CompiledEnvironment
 from .engine import SimulationResult
 from .events import EventSchedule, SimEvent
@@ -49,7 +51,7 @@ def _build_schedule(spec) -> EventSchedule | None:
     return EventSchedule(events) if events else None
 
 
-def run_batched_tier(specs, default_fast):
+def run_batched_tier(specs, default_fast, on_result=None):
     """Try to run each spec on the batched kernel.
 
     Returns ``(results, remainder, reasons)``: a dict mapping spec index
@@ -57,6 +59,12 @@ def run_batched_tier(specs, default_fast):
     run on the per-scenario tiers, and each skipped index's
     :class:`~repro.simulation.kernel.protocol.CapabilityReport` (for
     fallback-row extras, ``batch=True`` errors, and ``--explain``).
+
+    ``on_result(index, result, wall_time_s)``, when given, fires for
+    each scenario as its topology group completes (lockstep groups
+    finish whole, so per-scenario completion *is* per-group completion;
+    the reported wall time is the group's divided across its lanes).
+    The catalog uses this to checkpoint batched sweeps incrementally.
     """
     from .sweep import ScenarioResult, _build_environment, _build_system
 
@@ -160,8 +168,10 @@ def run_batched_tier(specs, default_fast):
                      for _, _, _, env, _, _ in entries]
         recorders = [Recorder(dt, keep_records=False) for _ in entries]
         schedules = [_build_schedule(spec) for _, spec, _, _, _, _ in entries]
+        t0 = time.perf_counter()
         paths = run_batched(plan, compileds, recorders, n_steps, dt,
                             schedules)
+        lane_seconds = (time.perf_counter() - t0) / max(1, len(entries))
         for (index, spec, system, _, _, _), recorder, path in zip(
                 entries, recorders, paths):
             metrics = compute_metrics(recorder)
@@ -177,6 +187,8 @@ def run_batched_tier(specs, default_fast):
                 extras=extras,
                 execution_path=path,
             )
+            if on_result is not None:
+                on_result(index, results[index], lane_seconds)
 
     remainder.sort()
     return results, remainder, reasons

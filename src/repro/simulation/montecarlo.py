@@ -170,12 +170,15 @@ class EnsembleResult:
     """
 
     def __init__(self, name: str, results, seeds, root_seed: int,
-                 quantiles=DEFAULT_QUANTILES):
+                 quantiles=DEFAULT_QUANTILES, catalog_report=None):
         self.name = name
         self.results = tuple(results)
         self.seeds = tuple(seeds)
         self.root_seed = root_seed
         self.quantiles = tuple(quantiles)
+        #: Catalog hit/miss/archive counts when the ensemble ran against
+        #: a catalog (else None).
+        self.catalog_report = catalog_report
         if len(self.results) != len(self.seeds):
             raise ValueError("one seed per replicate result")
         if not self.results:
@@ -274,17 +277,21 @@ class EnsembleResult:
                 f"root_seed={self.root_seed})")
 
 
-def _tier_runner(tier: str, processes, fast) -> SweepRunner:
+def _tier_runner(tier: str, processes, fast, catalog=None) -> SweepRunner:
     if tier == "auto":
-        return SweepRunner(processes=processes, fast=fast, batch="auto")
+        return SweepRunner(processes=processes, fast=fast, batch="auto",
+                           catalog=catalog)
     if tier == "batched":
         # Lockstep execution needs no pool; the (empty) remainder runs
         # in-process. batch=True raises on any ineligible replicate.
-        return SweepRunner(processes=1, fast=fast, batch=True)
+        return SweepRunner(processes=1, fast=fast, batch=True,
+                           catalog=catalog)
     if tier == "multiprocessing":
-        return SweepRunner(processes=processes, fast=fast, batch=False)
+        return SweepRunner(processes=processes, fast=fast, batch=False,
+                           catalog=catalog)
     if tier == "in-process":
-        return SweepRunner(processes=1, fast=fast, batch=False)
+        return SweepRunner(processes=1, fast=fast, batch=False,
+                           catalog=catalog)
     raise ValueError(f"tier must be one of {EXECUTION_TIERS}, got {tier!r}")
 
 
@@ -304,7 +311,8 @@ def _base_scenario(spec) -> ScenarioSpec:
 def run_ensemble(spec, replicates: int | None = None, *,
                  root_seed: int | None = None, quantiles=None,
                  tier: str = "auto", processes: int | None = None,
-                 fast="auto", stream: int = 0) -> EnsembleResult:
+                 fast="auto", stream: int = 0,
+                 catalog=None) -> EnsembleResult:
     """Run one spec as an N-replicate Monte Carlo ensemble.
 
     Parameters
@@ -332,6 +340,13 @@ def run_ensemble(spec, replicates: int | None = None, *,
         Engine path default for replicates whose spec says ``"auto"``.
     stream:
         Seed-stream index (see :func:`replicate_seeds`).
+    catalog:
+        Optional :class:`~repro.catalog.Catalog`: replicates hit the
+        dedup cache individually (each is one ``(spec_hash, seed,
+        code_version)`` key), completed replicates checkpoint as they
+        finish, and an interrupted ensemble resumes with only the
+        missing seeds. The result's ``catalog_report`` carries the
+        counts.
 
     Each replicate is the base scenario with its own derived seed; the
     seed overrides the environment spec/factory seed, so every lane
@@ -371,9 +386,10 @@ def run_ensemble(spec, replicates: int | None = None, *,
         )
         for i, seed in enumerate(seeds)
     ]
-    sweep = _tier_runner(tier, processes, fast).run(scenarios)
+    sweep = _tier_runner(tier, processes, fast, catalog).run(scenarios)
     return EnsembleResult(name=name, results=sweep.results, seeds=seeds,
-                          root_seed=root_seed, quantiles=quantiles)
+                          root_seed=root_seed, quantiles=quantiles,
+                          catalog_report=sweep.catalog_report)
 
 
 def replicate_sweep(spec, replicates: int, root_seed: int = 0):

@@ -33,6 +33,7 @@ import dataclasses
 import multiprocessing
 import os
 import pickle
+import time
 from dataclasses import dataclass, field
 
 from ..environment.ambient import Environment
@@ -121,11 +122,16 @@ class ScenarioResult:
 
 
 class SweepResult:
-    """Ordered results of one sweep (same order as the input specs)."""
+    """Ordered results of one sweep (same order as the input specs).
 
-    def __init__(self, results):
+    When the sweep ran against a catalog, ``catalog_report`` carries the
+    session's hit/miss/archive counts (else it is None).
+    """
+
+    def __init__(self, results, catalog_report=None):
         self.results = tuple(results)
         self._by_name = {r.name: r for r in self.results}
+        self.catalog_report = catalog_report
 
     def __len__(self) -> int:
         return len(self.results)
@@ -241,10 +247,19 @@ class SweepRunner:
         ``"auto"`` uses the batched tier where eligible and falls back
         transparently; ``True`` *requires* it (raising ``ValueError``
         naming the first ineligible scenario); ``False`` disables it.
+    catalog:
+        Optional :class:`~repro.catalog.Catalog`. Before anything runs,
+        every cacheable scenario is looked up by its
+        ``(spec_hash, seed, code_version)`` key and archived rows are
+        restored bitwise (zero simulations on a full hit). Misses
+        execute normally and are archived *as each scenario completes*
+        — on every tier — so an interrupted sweep resumes with only the
+        missing remainder: checkpoint/resume is the same mechanism as
+        dedup. The result's ``catalog_report`` carries the counts.
     """
 
     def __init__(self, processes: int | None = None, fast="auto",
-                 batch="auto"):
+                 batch="auto", catalog=None):
         if processes is not None and processes < 0:
             raise ValueError("processes must be non-negative")
         if batch not in ("auto", True, False):
@@ -253,6 +268,7 @@ class SweepRunner:
         self.processes = processes
         self.fast = fast
         self.batch = batch
+        self.catalog = catalog
 
     def run(self, specs) -> SweepResult:
         """Execute every spec; results keep the input order."""
@@ -261,19 +277,35 @@ class SweepRunner:
         if len(set(names)) != len(names):
             raise ValueError("scenario names must be unique within a sweep")
         results: list = [None] * len(specs)
-        remainder = list(range(len(specs)))
+        keys: list = [None] * len(specs)
+        report = None
+        pending = list(range(len(specs)))
+        if self.catalog is not None:
+            from ..catalog.store import CatalogReport
+            report = CatalogReport()
+            pending = self._restore_hits(specs, results, keys, report)
+        remainder = pending
         reasons: dict = {}
-        if self.batch in ("auto", True) and specs:
+        if self.batch in ("auto", True) and pending:
             from .batched_sweep import run_batched_tier
-            batched, remainder, reasons = run_batched_tier(specs, self.fast)
-            if self.batch is True and remainder:
-                index = remainder[0]
+            pending_specs = [specs[i] for i in pending]
+            on_result = None
+            if self.catalog is not None:
+                def on_result(local_index, result, wall_time_s):
+                    self._archive(keys[pending[local_index]], result,
+                                  report, wall_time_s)
+            batched, local_remainder, local_reasons = run_batched_tier(
+                pending_specs, self.fast, on_result=on_result)
+            if self.batch is True and local_remainder:
+                index = pending[local_remainder[0]]
                 raise ValueError(
                     f"batch=True but scenario {specs[index].name!r} is "
                     f"outside the batched envelope: "
-                    f"{reasons.get(index, 'no batched lowering')}")
-            for index, result in batched.items():
-                results[index] = result
+                    f"{local_reasons.get(local_remainder[0], 'no batched lowering')}")
+            for local_index, result in batched.items():
+                results[pending[local_index]] = result
+            remainder = [pending[i] for i in local_remainder]
+            reasons = {pending[i]: r for i, r in local_reasons.items()}
         payloads = [(specs[i], self.fast) for i in remainder]
         n_proc = self.processes
         if n_proc is None:
@@ -281,18 +313,75 @@ class SweepRunner:
                 else 1
         if n_proc > 1 and len(payloads) > 1 and \
                 all(self._picklable(p) for p in payloads):
-            rest = self._run_pool(payloads, n_proc)
+            rest = self._run_pool(payloads, n_proc, remainder, keys, report)
         else:
-            rest = [_execute(p) for p in payloads]
+            rest = self._run_inprocess(payloads, remainder, keys, report)
         for index, result in zip(remainder, rest):
             results[index] = result
             # Fallback rows carry the batched tier's capability report,
             # so a mixed sweep explains *why* each row missed the tier
             # (``repro sweep --batch on --explain`` renders these).
-            report = reasons.get(index)
+            fallback = reasons.get(index)
+            if fallback is not None:
+                result.extras.setdefault("batch_fallback_reason", fallback)
+        return SweepResult(results, catalog_report=report)
+
+    # ------------------------------------------------------------------
+    # Catalog integration
+    # ------------------------------------------------------------------
+    def _restore_hits(self, specs, results, keys, report) -> list:
+        """Fill ``results`` with archived rows; return the miss indices.
+
+        The restore path never touches artifact files (manifest rows
+        carry the full result), which is what keeps a full-hit sweep
+        orders of magnitude faster than simulating.
+        """
+        from ..catalog.hashing import scenario_cache_key
+        from ..catalog.store import CatalogError
+        pending = []
+        hit_ids = []
+        for index, spec in enumerate(specs):
+            key = scenario_cache_key(spec)
+            keys[index] = key
+            if key is None:
+                report.uncacheable += 1
+                pending.append(index)
+                continue
+            record = self.catalog.lookup(key)
+            restored = None
+            if record is not None:
+                try:
+                    restored = self.catalog.restore(
+                        record, name=spec.name, params=dict(spec.params))
+                except CatalogError:
+                    restored = None  # unreadable record == miss
+            if restored is None:
+                report.misses += 1
+                pending.append(index)
+            else:
+                report.hits += 1
+                hit_ids.append(record.run_id)
+                results[index] = restored
+        self.catalog.record_hits(hit_ids)
+        return pending
+
+    def _archive(self, key, result, report, wall_time_s: float) -> None:
+        """Checkpoint one completed scenario (no-op when uncacheable)."""
+        if key is None or report is None:
+            return
+        if self.catalog.archive(key, result, wall_time_s) is not None:
+            report.archived += 1
+
+    def _run_inprocess(self, payloads, indices, keys, report) -> list:
+        rest = []
+        for payload, index in zip(payloads, indices):
+            t0 = time.perf_counter()
+            result = _execute(payload)
             if report is not None:
-                result.extras.setdefault("batch_fallback_reason", report)
-        return SweepResult(results)
+                self._archive(keys[index], result, report,
+                              time.perf_counter() - t0)
+            rest.append(result)
+        return rest
 
     @staticmethod
     def _picklable(payload) -> bool:
@@ -304,8 +393,8 @@ class SweepRunner:
         except Exception:
             return False
 
-    @staticmethod
-    def _run_pool(payloads, n_proc: int):
+    def _run_pool(self, payloads, n_proc: int, indices=None, keys=None,
+                  report=None):
         methods = multiprocessing.get_all_start_methods()
         ctx = multiprocessing.get_context(
             "fork" if "fork" in methods else None)
@@ -313,4 +402,16 @@ class SweepRunner:
         # per worker instead of one round-trip per scenario.
         chunksize = max(1, len(payloads) // (4 * n_proc))
         with ctx.Pool(n_proc) as pool:
-            return pool.map(_execute, payloads, chunksize=chunksize)
+            if report is None:
+                return pool.map(_execute, payloads, chunksize=chunksize)
+            # With a catalog attached, stream results back (imap keeps
+            # input order) and checkpoint each scenario as it lands —
+            # a crash loses at most the in-flight chunk, and archiving
+            # stays in the parent (the store is single-writer).
+            rest = []
+            for result, index in zip(
+                    pool.imap(_execute, payloads, chunksize=chunksize),
+                    indices):
+                self._archive(keys[index], result, report, 0.0)
+                rest.append(result)
+            return rest

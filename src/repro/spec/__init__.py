@@ -40,6 +40,7 @@ from .build import (
     spec_for,
     to_scenario,
 )
+from .canonical import canonical_bytes, canonical_dumps, spec_hash
 from .registry import REGISTRY, ComponentRegistry, register
 from .specs import (
     ComponentSpec,
@@ -64,6 +65,9 @@ __all__ = [
     "MonteCarloSpec",
     "spec_from_dict",
     "load_spec",
+    "canonical_bytes",
+    "canonical_dumps",
+    "spec_hash",
     "build",
     "build_component",
     "build_environment",

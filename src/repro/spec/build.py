@@ -180,7 +180,7 @@ def to_scenario(spec: RunSpec):
 
 
 def run_sweep(spec: SweepSpec, *, processes: int | None = None, fast=None,
-              batch="auto"):
+              batch="auto", catalog=None):
     """Execute every run of a sweep spec via
     :class:`~repro.simulation.SweepRunner`; returns a
     :class:`~repro.simulation.SweepResult` in input order.
@@ -188,7 +188,9 @@ def run_sweep(spec: SweepSpec, *, processes: int | None = None, fast=None,
     ``fast`` (when given) overrides the engine-path selection of every
     scenario — how the CLI's ``--fast on/off`` reaches a sweep.
     ``batch`` selects the lockstep batched tier (``"auto"``/``True``/
-    ``False``, see :class:`~repro.simulation.SweepRunner`).
+    ``False``, see :class:`~repro.simulation.SweepRunner`). ``catalog``
+    (a :class:`~repro.catalog.Catalog`) enables the dedup cache and
+    per-scenario checkpointing.
     """
     from ..simulation.sweep import SweepRunner
     if not isinstance(spec, SweepSpec):
@@ -197,7 +199,7 @@ def run_sweep(spec: SweepSpec, *, processes: int | None = None, fast=None,
     effective = spec.processes if processes is None else processes
     runner = SweepRunner(processes=effective,
                          fast=spec.fast if fast is None else fast,
-                         batch=batch)
+                         batch=batch, catalog=catalog)
     scenarios = [to_scenario(run_spec) for run_spec in spec.runs]
     if fast is not None:
         scenarios = [dataclasses.replace(s, fast=fast) for s in scenarios]
@@ -205,21 +207,23 @@ def run_sweep(spec: SweepSpec, *, processes: int | None = None, fast=None,
 
 
 def run_montecarlo(spec: MonteCarloSpec, *, tier: str = "auto",
-                   processes: int | None = None, fast=None):
+                   processes: int | None = None, fast=None, catalog=None):
     """Execute a Monte Carlo spec via
     :func:`repro.simulation.montecarlo.run_ensemble`; returns an
     :class:`~repro.simulation.EnsembleResult`.
 
     ``tier`` pins the execution tier (``"auto"`` / ``"batched"`` /
     ``"multiprocessing"`` / ``"in-process"``); ``fast`` (when given)
-    overrides the engine-path selection of every replicate.
+    overrides the engine-path selection of every replicate; ``catalog``
+    enables per-replicate dedup and checkpointing.
     """
     from ..simulation.montecarlo import run_ensemble
     if not isinstance(spec, MonteCarloSpec):
         raise TypeError(f"run_montecarlo() takes a MonteCarloSpec, "
                         f"got {type(spec).__name__}")
     return run_ensemble(spec, tier=tier, processes=processes,
-                        fast="auto" if fast is None else fast)
+                        fast="auto" if fast is None else fast,
+                        catalog=catalog)
 
 
 def describe_registry(category: str | None = None) -> dict:

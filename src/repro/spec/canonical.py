@@ -1,0 +1,70 @@
+"""Canonical spec serialization: one byte representation, one hash.
+
+Every spec in :mod:`repro.spec.specs` serializes through this module, so
+there is exactly one definition of "the bytes of a spec":
+
+* :func:`canonical_dumps` — the canonical JSON *text* (sorted keys,
+  strict floats, no NaN); ``indent`` is presentation only and does not
+  change what the document says;
+* :func:`canonical_bytes` — the canonical UTF-8 byte string (compact
+  indent-free form) that content addressing is defined over;
+* :func:`spec_hash` — SHA-256 hex digest of :func:`canonical_bytes`,
+  the identity the :mod:`repro.catalog` store keys specs by.
+
+The hash contract: two specs hash identically iff they describe the same
+simulation. ``sort_keys`` makes the hash invariant under dict key
+ordering, and because JSON numbers parse to IEEE-754 doubles before they
+are re-serialized with Python's shortest round-trip ``repr``, it is also
+invariant under float *formatting* (``0.5`` vs ``0.50`` vs ``5e-1`` in a
+config file all hash the same). Anything that changes the simulation —
+a parameter value, a seed, a component type — changes the bytes and
+therefore the hash.
+
+This module never imports the rest of the package (the spec layer's
+standing rule), so hashing a spec can never drag in simulation code.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+__all__ = ["canonical_dumps", "canonical_bytes", "spec_hash"]
+
+
+def _as_dict(spec) -> dict:
+    """A spec (or an already-plain dict tree) as its dict form."""
+    if isinstance(spec, dict):
+        return spec
+    to_dict = getattr(spec, "to_dict", None)
+    if to_dict is None:
+        raise TypeError(
+            f"cannot canonicalize {type(spec).__name__}: expected a spec "
+            f"with to_dict() or a plain dict tree")
+    return to_dict()
+
+
+def canonical_dumps(spec, indent: int | None = None) -> str:
+    """The canonical JSON text of a spec.
+
+    ``indent`` only affects whitespace; key order and number formatting
+    are fixed (``sort_keys``, shortest round-trip float ``repr``), so an
+    indented document parses back to byte-identical canonical form.
+    """
+    return json.dumps(_as_dict(spec), indent=indent, sort_keys=True,
+                      allow_nan=False)
+
+
+def canonical_bytes(spec) -> bytes:
+    """The canonical UTF-8 bytes of a spec — what content hashes cover."""
+    return canonical_dumps(spec).encode("utf-8")
+
+
+def spec_hash(spec) -> str:
+    """SHA-256 hex digest of :func:`canonical_bytes`.
+
+    The content address of a spec: invariant under dict key ordering and
+    float formatting of the source document, sensitive to every value
+    that describes the simulation.
+    """
+    return hashlib.sha256(canonical_bytes(spec)).hexdigest()

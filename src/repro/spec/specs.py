@@ -30,6 +30,8 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 
+from .canonical import canonical_dumps
+
 __all__ = [
     "ComponentSpec",
     "SystemSpec",
@@ -95,11 +97,15 @@ def _checked_params(params, owner: str) -> dict:
 
 
 class _JsonSpec:
-    """Shared JSON plumbing for every spec type."""
+    """Shared JSON plumbing for every spec type.
+
+    Serialization routes through :mod:`repro.spec.canonical` so the JSON
+    a spec emits and the bytes its content hash covers are the same
+    single source of truth.
+    """
 
     def to_json(self, indent: int = 2) -> str:
-        return json.dumps(self.to_dict(), indent=indent, sort_keys=True,
-                          allow_nan=False)
+        return canonical_dumps(self, indent=indent)
 
     @classmethod
     def from_json(cls, text: str):

@@ -401,3 +401,135 @@ class TestAdviseCommand:
         out = capsys.readouterr().out
         assert "recommendation" in out
         assert "Deployment advice" in out
+
+
+class TestSpecHashFlag:
+    def test_prints_the_content_address(self, capsys):
+        assert main(["spec", "C", "--hash"]) == 0
+        digest = capsys.readouterr().out.strip()
+        assert len(digest) == 64
+        int(digest, 16)  # hex SHA-256
+
+    def test_hash_is_deterministic_and_spec_sensitive(self, capsys):
+        main(["spec", "C", "--hash"])
+        first = capsys.readouterr().out.strip()
+        main(["spec", "C", "--hash"])
+        assert capsys.readouterr().out.strip() == first
+        main(["spec", "A", "--hash"])
+        assert capsys.readouterr().out.strip() != first
+        # Wrapping the system in a RunSpec changes the addressed document.
+        main(["spec", "C", "--env", "outdoor", "--hash"])
+        assert capsys.readouterr().out.strip() != first
+
+
+class TestCatalogCLI:
+    SWEEP = ["sweep", "--systems", "C", "--envs", "outdoor",
+             "--days", "0.05", "--dt", "300", "--seed", "3"]
+
+    def _seed_store(self, store, capsys):
+        assert main(self.SWEEP + ["--catalog", store]) == 0
+        return capsys.readouterr().out
+
+    def test_sweep_dedup_cycle_reports_hits(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        first = self._seed_store(store, capsys)
+        assert "catalog: 0 hit(s), 1 miss(es), 1 archived" in first
+        assert main(self.SWEEP + ["--catalog", store]) == 0
+        second = capsys.readouterr().out
+        assert "catalog: 1 hit(s), 0 miss(es), 0 archived" in second
+        # The cached rows render identically — only the summary differs.
+        strip = lambda s: [line for line in s.splitlines()  # noqa: E731
+                           if not line.startswith("catalog:")]
+        assert strip(first) == strip(second)
+
+    def test_mc_catalog_json_carries_the_report(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        argv = ["mc", "C", "--days", "0.05", "--dt", "300",
+                "--replicates", "2", "--seed", "11", "--json",
+                "--catalog", store]
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["catalog"]["misses"] == 2
+        assert payload["catalog"]["archived"] == 2
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["catalog"]["hits"] == 2
+        assert payload["catalog"]["misses"] == 0
+
+    def test_ls_renders_runs_with_hit_counts(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        self._seed_store(store, capsys)
+        main(self.SWEEP + ["--catalog", store])
+        capsys.readouterr()
+        assert main(["catalog", "ls", store]) == 0
+        out = capsys.readouterr().out
+        assert "1 run(s)" in out
+        assert "ambimax" in out
+        assert "outdoor" in out
+
+    def test_ls_empty_store(self, tmp_path, capsys):
+        store = str(tmp_path / "empty")
+        assert main(["catalog", "ls", store]) == 0
+        assert "no run records" in capsys.readouterr().out
+
+    def test_show_resolves_a_prefix(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        self._seed_store(store, capsys)
+        main(["catalog", "ls", store])
+        capsys.readouterr()
+        from repro.catalog import Catalog
+        record = next(iter(Catalog(store).manifest))
+        assert main(["catalog", "show", store, record.run_id[:8]]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["record"]["run_id"] == record.run_id
+        assert payload["spec_document"]["kind"] == "scenario-key"
+        assert main(["catalog", "show", store, "zzz-no-such"]) == 2
+
+    def test_query_filters_and_json(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        self._seed_store(store, capsys)
+        assert main(["catalog", "query", store, "--system", "ambimax",
+                     "--json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert len(records) == 1
+        assert records[0]["environment"] == "outdoor"
+        assert main(["catalog", "query", store, "--system", "ehlink"]) == 0
+        assert "no matching records" in capsys.readouterr().out
+        assert main(["catalog", "query", store, "--metric-band",
+                     "uptime_fraction", "-", "1.0", "--json"]) == 0
+        assert len(json.loads(capsys.readouterr().out)) == 1
+        assert main(["catalog", "query", store, "--metric-band",
+                     "uptime_fraction", "bogus", "1.0"]) == 2
+
+    def test_gc_stale_prunes_superseded_runs(self, tmp_path, capsys,
+                                             monkeypatch):
+        store = str(tmp_path / "store")
+        monkeypatch.setenv("REPRO_CODE_VERSION", "v-old")
+        self._seed_store(store, capsys)
+        monkeypatch.setenv("REPRO_CODE_VERSION", "v-new")
+        assert main(["catalog", "gc", store, "--stale", "--dry-run"]) == 0
+        assert "would remove 1 record(s)" in capsys.readouterr().out
+        assert main(["catalog", "gc", store, "--stale"]) == 0
+        assert "removed 1 record(s)" in capsys.readouterr().out
+        assert main(["catalog", "ls", store]) == 0
+        assert "no run records" in capsys.readouterr().out
+
+    def test_bench_emits_the_trajectory_document(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        from repro.catalog import Catalog
+        Catalog(store).append_bench("sweep", {"speedup": 12.0})
+        assert main(["catalog", "bench", store]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["runs"] == [{"benchmark": "sweep",
+                                     "speedup": 12.0}]
+        out_file = tmp_path / "BENCH_sweep.json"
+        assert main(["catalog", "bench", store, "-o",
+                     str(out_file)]) == 0
+        assert json.loads(out_file.read_text()) == document
+
+    def test_unreadable_catalog_is_a_clean_error(self, tmp_path, capsys):
+        root = tmp_path / "broken"
+        root.mkdir()
+        (root / "catalog.json").write_text('{"layout": 99}\n')
+        assert main(["catalog", "ls", str(root)]) == 2
+        assert "cannot open catalog" in capsys.readouterr().err

@@ -355,3 +355,75 @@ class TestFuzzedEventDifferential:
             assert store.energy_j == ref_store.energy_j
         assert result.system.node.total_measurements == \
             reference.system.node.total_measurements
+
+
+# ---------------------------------------------------------------------------
+# Catalog round-trip arm
+# ---------------------------------------------------------------------------
+class TestCatalogRoundTripDifferential:
+    """Catalog arm of the differential contract.
+
+    A fuzzed spec, once archived, must restore bitwise — from the
+    manifest record and from the columnar artifact alike — and a dedup
+    hit must be row-for-row identical to a fresh simulation on every
+    execution tier. Anything less would make the cache a source of
+    silent numeric drift.
+    """
+
+    #: Per-scenario tier layouts a cached row must agree with (the pool
+    #: tier is exercised corpus-wide below: one scenario never pools).
+    TIERS = ({"batch": "auto", "processes": 1},
+             {"batch": False, "processes": 1})
+
+    @pytest.mark.parametrize("index", range(CASES))
+    def test_archived_rows_restore_bitwise(self, index, tmp_path):
+        from repro.catalog import Catalog
+        spec = fuzz_spec(index)
+        catalog = Catalog(tmp_path / "store")
+        first = SweepRunner(processes=1, catalog=catalog).run(
+            [to_scenario(spec)])
+        assert first.catalog_report.archived == 1
+        (record,) = catalog.manifest
+        row = first[0]
+        restored = catalog.restore(record)
+        (from_artifact,) = catalog.load_rows(record)
+        for clone in (restored, from_artifact):
+            assert clone.metrics == row.metrics, spec.name
+            assert clone.n_steps == row.n_steps
+            assert clone.name == row.name
+            assert clone.params == row.params
+
+    @pytest.mark.parametrize("index", range(CASES))
+    def test_dedup_hit_equals_fresh_run_on_every_tier(self, index,
+                                                      tmp_path):
+        from repro.catalog import Catalog
+        spec = fuzz_spec(index)
+        store = tmp_path / "store"
+        SweepRunner(processes=1,
+                    catalog=Catalog(store)).run([to_scenario(spec)])
+        for kwargs in self.TIERS:
+            fresh = SweepRunner(**kwargs).run([to_scenario(spec)])[0]
+            cached = SweepRunner(catalog=Catalog(store),
+                                 **kwargs).run([to_scenario(spec)])
+            assert cached.catalog_report.hits == 1
+            assert cached[0].metrics == fresh.metrics, spec.name
+            assert cached[0].n_steps == fresh.n_steps
+
+    def test_corpus_round_trips_through_the_pool_tier(self, tmp_path):
+        from repro.catalog import Catalog
+        store = tmp_path / "store"
+        scenarios = [to_scenario(fuzz_spec(i)) for i in range(CASES)]
+        first = SweepRunner(processes=4, batch=False,
+                            catalog=Catalog(store)).run(scenarios)
+        assert first.catalog_report.archived == CASES
+        again = SweepRunner(processes=4, batch=False,
+                            catalog=Catalog(store)).run(
+            [to_scenario(fuzz_spec(i)) for i in range(CASES)])
+        assert again.catalog_report.hits == CASES
+        assert again.catalog_report.simulated == 0
+        reference = SweepRunner(processes=1, batch=False).run(
+            [to_scenario(fuzz_spec(i)) for i in range(CASES)])
+        for cached, fresh in zip(again, reference):
+            assert cached.metrics == fresh.metrics, fresh.name
+            assert cached.n_steps == fresh.n_steps
+            assert cached.params == fresh.params
