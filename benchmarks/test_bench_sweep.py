@@ -70,6 +70,10 @@ GRID_BASELINE_SCENARIOS = 32
 #: first pass of the same 256-scenario grid.
 CACHE_REQUIRED_SPEEDUP = 50.0
 
+#: Speedup the fused codegen tier must sustain over the seed per-step
+#: engine on the 1M-step reference scenario (warm compile cache).
+CODEGEN_REQUIRED_SPEEDUP = 10.0
+
 
 def _bench_system():
     return make_reference_system(
@@ -123,6 +127,75 @@ def test_bench_fastpath_1m_steps():
     })
     assert len(fast.recorder) == FAST_STEPS
     assert speedup >= REQUIRED_SPEEDUP
+
+
+def test_bench_codegen_fastpath_1m_steps():
+    """1M-step reference scenario on the fused codegen tier.
+
+    Gates three things at once: >= 10x over the seed engine at
+    steady-state (warm compile cache), zero recompilations on a second
+    identical run (the in-process cache hit is asserted, and its
+    counter must increment), and a bit-for-bit legacy prefix. The
+    cold-compile cost is recorded separately as ``compile_s`` so the
+    trajectory distinguishes cold from warm rows.
+    """
+    from repro.simulation.kernel import clear_codegen_cache, codegen_stats
+
+    env = _bench_environment(DAY)
+
+    t0 = time.perf_counter()
+    legacy = simulate(_bench_system(), env,
+                      duration=LEGACY_STEPS * FAST_DT, dt=FAST_DT,
+                      fast=False)
+    legacy_rate = (time.perf_counter() - t0) / LEGACY_STEPS
+
+    clear_codegen_cache()
+    before = codegen_stats()
+    cold = simulate(_bench_system(), env, duration=DAY, dt=FAST_DT,
+                    fast="codegen")
+    after_cold = codegen_stats()
+    assert cold.execution_path == "codegen"
+    assert after_cold["compiles"] == before["compiles"] + 1
+    compile_s = after_cold["compile_s"] - before["compile_s"]
+
+    # Warm cache: an identical spec must reuse the compiled artifact —
+    # no new compilation, hit counter up by exactly one.
+    t0 = time.perf_counter()
+    warm = simulate(_bench_system(), env, duration=DAY, dt=FAST_DT,
+                    fast="codegen")
+    warm_rate = (time.perf_counter() - t0) / FAST_STEPS
+    after_warm = codegen_stats()
+    assert warm.execution_path == "codegen"
+    assert after_warm["compiles"] == after_cold["compiles"]
+    assert after_warm["emitted"] == after_cold["emitted"]
+    assert after_warm["hits"] == after_cold["hits"] + 1
+
+    # Faithful replacement: legacy prefix bit-for-bit, and the warm run
+    # reproduces the cold run over the full million steps.
+    prefix = simulate(_bench_system(), env,
+                      duration=LEGACY_STEPS * FAST_DT, dt=FAST_DT,
+                      fast="codegen")
+    for column in ("harvest_delivered", "stored_energy", "node_consumed"):
+        assert np.array_equal(prefix.recorder.column(column),
+                              legacy.recorder.column(column)), column
+        assert np.array_equal(warm.recorder.column(column),
+                              cold.recorder.column(column)), column
+
+    speedup = legacy_rate / warm_rate
+    print()
+    print(f"seed engine : {legacy_rate * 1e6:7.2f} us/step "
+          f"({LEGACY_STEPS} steps)")
+    print(f"codegen     : {warm_rate * 1e6:7.2f} us/step "
+          f"({FAST_STEPS} steps, compile {compile_s * 1e3:.1f} ms)")
+    print(f"speedup     : {speedup:.2f}x "
+          f"(required >= {CODEGEN_REQUIRED_SPEEDUP}x)")
+    record_bench("fastpath_1m", {
+        "legacy_steps_per_s": 1.0 / legacy_rate,
+        "codegen_steps_per_s": 1.0 / warm_rate,
+        "codegen_speedup": speedup,
+    }, compile_s=compile_s)
+    assert len(warm.recorder) == FAST_STEPS
+    assert speedup >= CODEGEN_REQUIRED_SPEEDUP
 
 
 def test_bench_kernel_non_supercap_system():

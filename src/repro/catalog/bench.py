@@ -87,12 +87,20 @@ def write_trajectory(catalog, path) -> dict:
 
 
 def record_bench(benchmark: str, payload: dict, *, catalog=None,
-                 trajectory=None) -> None:
-    """Append one benchmark sample and refresh the trajectory file."""
+                 trajectory=None, compile_s: float | None = None) -> None:
+    """Append one benchmark sample and refresh the trajectory file.
+
+    ``compile_s`` records one-time compilation cost (the codegen tier's
+    source-emission + ``compile()`` time) separately from steady-state
+    throughput, so trajectory rows distinguish cold-compile runs from
+    warm-cache runs (``compile_s == 0.0``).
+    """
     trajectory = default_trajectory_path() if trajectory is None \
         else Path(trajectory)
     if catalog is None:
         catalog = default_bench_catalog(trajectory)
+    if compile_s is not None:
+        payload = dict(payload, compile_s=compile_s)
     import_trajectory(catalog, trajectory)
     catalog.append_bench(benchmark, payload)
     write_trajectory(catalog, trajectory)

@@ -33,9 +33,13 @@ and running a :class:`~repro.spec.RunSpec`, and the exact spec any
 invocation executes can be exported with ``spec`` and replayed with
 ``run`` — the config-file path to the same numbers.
 
-``simulate``/``run``/``sweep`` accept ``--fast {auto,on,off}`` to pin
-the engine path (the compiled kernel vs the legacy per-step loop — both
-bit-for-bit identical); output summaries report which path actually ran.
+``simulate``/``run``/``sweep`` accept ``--fast {auto,codegen,on,off}``
+to pin the engine path: ``on`` requires the compiled kernel, ``off``
+forces the legacy per-step loop, ``codegen`` prefers the fused
+compiled tier (the kernel plan emitted as one flat step function,
+cached on ``(spec_hash, dt, code_version)`` — see ``docs/codegen.md``),
+and ``auto`` picks. All paths are bit-for-bit identical; output
+summaries report which one actually ran.
 
 Examples::
 
@@ -98,7 +102,8 @@ ENVIRONMENTS = {
 }
 
 #: --fast flag value -> engine `fast` argument.
-FAST_MODES = {"auto": "auto", "on": True, "off": False}
+FAST_MODES = {"auto": "auto", "on": True, "off": False,
+              "codegen": "codegen"}
 
 EXPERIMENTS = {
     "e3": ("multisource gain", "run_multisource_gain", {}),
@@ -131,10 +136,11 @@ def _build_parser() -> argparse.ArgumentParser:
         subparser.add_argument(
             "--fast", choices=sorted(FAST_MODES), default=None,
             help="engine path: 'on' requires the compiled kernel, 'off' "
-                 "forces the legacy per-step loop, 'auto' picks. When the "
-                 "flag is omitted, the spec's own setting applies ('auto' "
-                 "unless a config file says otherwise); the path actually "
-                 "taken is reported in the summary")
+                 "forces the legacy per-step loop, 'codegen' prefers the "
+                 "fused compiled tier (cached on spec hash), 'auto' "
+                 "picks. When the flag is omitted, the spec's own setting "
+                 "applies ('auto' unless a config file says otherwise); "
+                 "the path actually taken is reported in the summary")
 
     def add_catalog_flag(subparser):
         subparser.add_argument(
@@ -584,26 +590,34 @@ def _cmd_sweep(args) -> int:
 
 
 def _explain_batch(sweep) -> str:
-    """Capability-report table for rows that missed the batched tier."""
+    """Capability-report table for rows that missed a compiled tier.
+
+    Renders both kinds of refusal side by side: rows that fell out of
+    the lockstep batched tier (``batch_fallback_reason``) and fallback
+    lanes that could not compile on the fused codegen tier either
+    (``codegen_fallback_reason``).
+    """
     from .analysis.reporting import render_table
     body = []
     for result in sweep:
-        report = result.extras.get("batch_fallback_reason")
-        if report is None:
-            continue
-        body.append((result.name, result.execution_path,
-                     getattr(report, "component", "?"),
-                     getattr(report, "capability", "?"),
-                     getattr(report, "divergence", None) or "-",
-                     getattr(report, "detail", str(report))))
+        for tier, key in (("batched", "batch_fallback_reason"),
+                          ("codegen", "codegen_fallback_reason")):
+            report = result.extras.get(key)
+            if report is None:
+                continue
+            body.append((result.name, result.execution_path, tier,
+                         getattr(report, "component", "?"),
+                         getattr(report, "capability", "?"),
+                         getattr(report, "divergence", None) or "-",
+                         getattr(report, "detail", str(report))))
     if not body:
-        return ("batched tier: every scenario rode the lockstep kernel "
+        return ("compiled tiers: every scenario rode a compiled path "
                 "(no capability refusals)")
     return render_table(
-        ("scenario", "path", "component", "missing capability",
+        ("scenario", "path", "tier", "component", "missing capability",
          "divergence", "detail"),
         body,
-        title=f"batched tier: {len(body)} scenario(s) fell back")
+        title=f"compiled tiers: {len(body)} capability refusal(s)")
 
 
 def _ensemble_jsonable(ensemble) -> dict:

@@ -27,6 +27,15 @@ Two execution paths produce bit-for-bit identical results:
   overriding storage physics) falls back to the legacy path
   transparently under ``fast="auto"`` — and *loudly* under
   ``fast=True``, which raises instead of quietly degrading.
+
+A third tier, ``fast="codegen"``, compiles the *same* kernel plan one
+step further: :mod:`repro.simulation.kernel.codegen` emits the fused
+step-function source for the whole system and caches the compiled
+artifact on ``(spec_hash, dt, code_version)``, eliminating per-component
+closure dispatch entirely. It shares the kernel's eligibility envelope
+and numerics contract, so its recorded columns are bit-for-bit identical
+to both other paths; an ineligible system degrades to legacy and the
+refusal is reported on :attr:`SimulationResult.codegen_fallback`.
 """
 
 from __future__ import annotations
@@ -35,6 +44,7 @@ from ..core.system import MultiSourceSystem
 from ..environment.ambient import Environment
 from ..environment.compiled import CompiledEnvironment
 from .events import EventSchedule, SimEvent
+from .kernel.codegen import prepare_codegen
 from .kernel.plan import KernelPlan, run_plan, why_ineligible
 from .kernel.protocol import LoweringUnsupported
 from .metrics import RunMetrics, compute_metrics
@@ -47,13 +57,20 @@ class SimulationResult:
     """Bundle of a run's recorder, metrics, and final system state."""
 
     def __init__(self, system: MultiSourceSystem, recorder: Recorder,
-                 metrics: RunMetrics, execution_path: str = "legacy"):
+                 metrics: RunMetrics, execution_path: str = "legacy",
+                 codegen_fallback=None):
         self.system = system
         self.recorder = recorder
         self.metrics = metrics
         #: Which engine path actually ran: ``"kernel"``, ``"legacy"``,
-        #: or ``"kernel+legacy"`` (a mid-run event forced a fallback).
+        #: ``"kernel+legacy"`` (a mid-run event forced a fallback), or —
+        #: under ``fast="codegen"`` — ``"codegen"`` /
+        #: ``"codegen+kernel"`` / ``"codegen+kernel+legacy"``.
         self.execution_path = execution_path
+        #: Under ``fast="codegen"``, the :class:`~repro.simulation.
+        #: kernel.protocol.CapabilityReport` explaining why the system
+        #: could not compile at all (``None`` when codegen ran).
+        self.codegen_fallback = codegen_fallback
 
     def __repr__(self) -> str:
         m = self.metrics
@@ -85,9 +102,16 @@ class Simulator:
         lowering. ``True`` *requires* the kernel: construction raises
         ``ValueError`` for an ineligible system, and a mid-run fallback
         raises :exc:`~repro.simulation.kernel.KernelFallback` instead of
-        silently degrading. ``False`` forces the legacy path. Both paths
-        produce bit-for-bit identical recorded columns; the path that
-        actually ran is reported as :attr:`SimulationResult.
+        silently degrading. ``False`` forces the legacy path.
+        ``"codegen"`` prefers the fused compiled tier
+        (:mod:`repro.simulation.kernel.codegen`): the kernel plan is
+        emitted as one flat step function, compiled once, and cached on
+        ``(spec_hash, dt, code_version)``; an ineligible system degrades
+        to legacy with the refusal reported on
+        :attr:`SimulationResult.codegen_fallback`, and a mid-run event
+        hands off to the scalar kernel (``"codegen+kernel"``). All
+        paths produce bit-for-bit identical recorded columns; the path
+        that actually ran is reported as :attr:`SimulationResult.
         execution_path` / :attr:`last_execution_path`.
     """
 
@@ -98,8 +122,10 @@ class Simulator:
         self.dt = dt if dt is not None else environment.dt
         if self.dt <= 0:
             raise ValueError("dt must be positive")
-        if fast not in ("auto", True, False):
-            raise ValueError(f"fast must be 'auto', True or False, got {fast!r}")
+        if fast not in ("auto", True, False, "codegen"):
+            raise ValueError(
+                f"fast must be 'auto', 'codegen', True or False, "
+                f"got {fast!r}")
         if fast is True:
             reason = why_ineligible(system, self.dt)
             if reason is not None:
@@ -144,7 +170,8 @@ class Simulator:
         n_steps = max(1, int(round(duration / self.dt)))
         system, dt, t0 = self.system, self.dt, self._t0
         plan = None
-        if self.fast in ("auto", True):
+        codegen_fallback = None
+        if self.fast in ("auto", True, "codegen"):
             try:
                 plan = KernelPlan.compile(system, dt)
             except LoweringUnsupported as exc:
@@ -152,6 +179,8 @@ class Simulator:
                     raise ValueError(
                         f"fast=True but the system is outside the kernel "
                         f"envelope: {exc}") from exc
+                if self.fast == "codegen":
+                    codegen_fallback = exc.capability_report()
         recorder = Recorder(dt, keep_records=plan is None)
         recorder.reserve(n_steps, len(system.bank.stores),
                          len(system.channels))
@@ -161,9 +190,23 @@ class Simulator:
             compiled = CompiledEnvironment(
                 self.environment, t0, n_steps, dt,
                 step_offset=self._steps_done)
-            i = run_plan(plan, compiled, self.events, recorder, n_steps, dt,
-                         strict=self.fast is True)
-            path = "kernel" if i == n_steps else "kernel+legacy"
+            if self.fast == "codegen":
+                # Fused tier first; an event boundary hands the
+                # remainder of the segment to the scalar kernel, which
+                # fires the event and carries on (or peels to legacy).
+                runner = prepare_codegen(plan, compiled)
+                i = runner(self.events, recorder, n_steps)
+                if i == n_steps:
+                    path = "codegen"
+                else:
+                    i = run_plan(plan, compiled, self.events, recorder,
+                                 n_steps, dt, start=i)
+                    path = "codegen+kernel" if i == n_steps \
+                        else "codegen+kernel+legacy"
+            else:
+                i = run_plan(plan, compiled, self.events, recorder,
+                             n_steps, dt, strict=self.fast is True)
+                path = "kernel" if i == n_steps else "kernel+legacy"
         # Legacy per-step path — also the landing strip when an event
         # pushed the system outside the kernel's envelope mid-run.
         environment, events = self.environment, self.events
@@ -178,7 +221,8 @@ class Simulator:
         self._steps_done += n_steps
         self.last_execution_path = path
         return SimulationResult(system, recorder, compute_metrics(recorder),
-                                execution_path=path)
+                                execution_path=path,
+                                codegen_fallback=codegen_fallback)
 
 
 def simulate(system: MultiSourceSystem, environment: Environment,

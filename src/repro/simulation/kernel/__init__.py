@@ -10,6 +10,12 @@ on the kernel with recorded columns bit-for-bit identical to the legacy
 per-step path. See ``docs/kernel.md`` for the protocol and for how to
 add a lowering to a new component type.
 
+Two further targets build on the same lowerings: :mod:`.batched` steps
+same-topology scenario grids in lockstep as numpy state vectors, and
+:mod:`.codegen` fuses a single plan into one flat compiled step
+function cached on ``(spec_hash, dt, code_version)`` (see
+``docs/codegen.md``).
+
 Only :mod:`.protocol` is imported eagerly (it has no repro dependencies,
 so component modules can import it without cycles); the plan layer loads
 on first attribute access.
@@ -30,12 +36,20 @@ __all__ = [
     "batch_eligible",
     "why_batch_ineligible",
     "run_batched",
+    "prepare_codegen",
+    "codegen_stats",
+    "reset_codegen_stats",
+    "clear_codegen_cache",
+    "codegen_cache_identity",
 ]
 
 _PLAN_EXPORTS = ("KernelPlan", "eligible", "why_ineligible", "run_plan")
 _BATCHED_EXPORTS = ("BatchedPlan", "batch_capability_report",
                     "batch_eligible", "why_batch_ineligible",
                     "run_batched", "group_signature")
+_CODEGEN_EXPORTS = ("prepare_codegen", "codegen_stats",
+                    "reset_codegen_stats", "clear_codegen_cache",
+                    "codegen_cache_identity")
 
 
 def __getattr__(name: str):
@@ -45,4 +59,7 @@ def __getattr__(name: str):
     if name in _BATCHED_EXPORTS:
         from . import batched
         return getattr(batched, name)
+    if name in _CODEGEN_EXPORTS:
+        from . import codegen
+        return getattr(codegen, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,1037 @@
+"""Codegen tier: fuse a kernel plan into one compiled step function.
+
+Third lowering target beside the scalar kernel (:mod:`.plan`) and the
+batched tier (:mod:`.batched`). The scalar kernel already hoists every
+run constant into per-component closures; this module walks the same
+lowering and *emits source* for the whole system — bank, channels,
+output stage and node inlined into one flat loop body with the hoisted
+constants baked in as literals — then compiles it once and caches the
+artifact, keyed on ``(spec_hash, dt, code_version)``.
+
+Two emission modes share one generated signature:
+
+* **fused** — the supercapacitor three-branch physics, the buck-boost
+  knee/fixed-point, the P&O hill climb and the node brown-out state
+  machine are emitted as straight-line Python over plain float locals
+  (no attribute access, no call dispatch in the hot loop); only the
+  leaf harvester physics (``open_circuit_voltage`` / ``power_at`` /
+  ``max_power``) remains as bound-method calls, behind pure
+  single-slot memos keyed on the ambient value. Engaged for the
+  single-supercap / buck-boost / P&O / plain-node platform shape.
+* **driver** — a generated twin of :func:`.plan.run_plan`'s loop body
+  with the lowering's closures bound in the prologue and the channel /
+  store loops unrolled; exact for every kernel-eligible system, so the
+  codegen path reports ``execution_path == "codegen"`` for all seven
+  Table I systems.
+
+Numerics contract (PR 4): the emitted code performs the same
+floating-point operations in the same order as the scalar kernel —
+state squarings stay ``v * v``, exact-libm call sites (``math.sqrt``,
+the hoisted ``math.exp`` constants) are preserved, float literals are
+baked with ``repr`` (shortest round-trip, exact), and every branch /
+early return / accumulator of the component code is replicated.
+Both modes are bitwise identical to the legacy and scalar-kernel
+paths; the differential and determinism suites enforce it.
+
+Scheduled events never fire inside generated code: the loop breaks at
+the event boundary, writes its locals back to the component objects,
+and the engine finishes the segment on the scalar kernel (which fires
+the event at its loop top) — mirroring the batched tier's peel-out.
+
+Compilation backend: ``numba.njit`` is attempted when the ``[codegen]``
+extra is installed, falling back permanently to the ``exec``-compiled
+pure-Python function on any numba failure (the emitted code calls
+bound harvester methods, which nopython mode rejects today — the
+wrapper exists so a future object-free emission can light it up
+without changing callers). The pure-Python function already clears the
+performance gate by eliminating per-component dispatch.
+
+Cache identity: ``(spec_hash, dt, code_version)`` via
+:mod:`repro.catalog.hashing` — the same canonical-JSON hash `repro
+spec --hash` prints. Spec-built systems carry it as
+``_codegen_spec_hash``; hand-built systems fall back to a structural
+signature (in-process caching only). The on-disk source cache under
+``$REPRO_CODEGEN_CACHE`` (default ``~/.cache/repro/codegen``) lets
+repeated CLI runs and ensemble replicates skip emission entirely; the
+in-process compile cache (keyed on the source digest) makes a second
+identical run perform zero compilations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time as _time
+
+import math
+
+from ...conditioning.base import HarvestStep
+from ...load.node import NodeState
+from .protocol import LoweringUnsupported
+
+try:  # pragma: no cover - exercised only with the [codegen] extra
+    import numba
+except ImportError:  # the pure-Python backend is the tested baseline
+    numba = None
+
+__all__ = [
+    "prepare_codegen",
+    "codegen_stats",
+    "reset_codegen_stats",
+    "clear_codegen_cache",
+    "codegen_cache_identity",
+]
+
+_INF = float("inf")
+
+#: Compiled artifacts keyed on the emitted source's digest. A second
+#: identical run (same spec hash, dt, code version) lands here and
+#: performs zero compilations — the warm-cache contract.
+_COMPILE_CACHE: dict = {}
+#: Emitted source keyed on the full cache identity, so repeated plan
+#: preparations (ensemble replicates) skip emission too.
+_SOURCE_MEMO: dict = {}
+
+_STATS_ZERO = {
+    "hits": 0,          # compile-cache hits (no compilation performed)
+    "misses": 0,        # compile-cache misses
+    "compiles": 0,      # actual exec-compilations performed
+    "compile_s": 0.0,   # cumulative wall time spent compiling
+    "disk_hits": 0,     # sources loaded from the on-disk cache
+    "emitted": 0,       # sources emitted fresh
+    "numba_failures": 0,
+}
+_STATS = dict(_STATS_ZERO)
+
+
+def codegen_stats() -> dict:
+    """Snapshot of the cache/compile counters (copies; safe to keep)."""
+    return dict(_STATS)
+
+
+def reset_codegen_stats() -> None:
+    _STATS.update(_STATS_ZERO)
+
+
+def clear_codegen_cache() -> None:
+    """Drop the in-process caches (the on-disk source cache persists)."""
+    _COMPILE_CACHE.clear()
+    _SOURCE_MEMO.clear()
+
+
+def codegen_cache_identity(system, dt: float) -> dict:
+    """The documented cache identity for ``system`` at ``dt``.
+
+    ``spec_hash`` is the canonical-JSON SHA-256 attached by
+    :func:`repro.spec.build.build` — byte-for-byte what ``repro spec
+    --hash`` prints — or None for hand-built systems (which cache
+    in-process only, on a structural signature).
+    """
+    from ...catalog.hashing import code_version
+    spec_hash = getattr(system, "_codegen_spec_hash", None)
+    return {
+        "spec_hash": spec_hash,
+        "dt": repr(float(dt)),
+        "code_version": code_version(),
+    }
+
+
+# ----------------------------------------------------------------------
+# Literal baking
+# ----------------------------------------------------------------------
+def _lit(x) -> str:
+    """Bake a run constant as an exact Python literal.
+
+    ``repr`` of a float is the shortest round-trip representation —
+    parsing it back yields the identical bits, so hoisted constants in
+    generated source equal the closure-captured ones exactly.
+    """
+    f = float(x)
+    if f != f:
+        return "float('nan')"
+    if f == _INF:
+        return "float('inf')"
+    if f == -_INF:
+        return "-float('inf')"
+    return repr(f)
+
+
+# ----------------------------------------------------------------------
+# Compilation backend
+# ----------------------------------------------------------------------
+class _CompiledStep:
+    """Compiled step function with a numba attempt and a sticky fallback.
+
+    The first call tries ``numba.njit`` when the extra is installed;
+    nopython typing runs before any of the function body executes, so a
+    failure has no side effects and the wrapper falls back permanently
+    to the exec-compiled pure-Python function.
+    """
+
+    __slots__ = ("pyfunc", "source_digest", "_state", "_jitted")
+
+    def __init__(self, pyfunc, source_digest: str):
+        self.pyfunc = pyfunc
+        self.source_digest = source_digest
+        self._state = "try" if numba is not None else "python"
+        self._jitted = None
+
+    @property
+    def backend(self) -> str:
+        return "numba" if self._state == "numba" else "python"
+
+    def __call__(self, *args):
+        if self._state == "python":
+            return self.pyfunc(*args)
+        if self._state == "numba":
+            return self._jitted(*args)
+        try:  # pragma: no cover - needs the [codegen] extra
+            jitted = numba.njit(self.pyfunc)
+            result = jitted(*args)
+        except Exception:
+            _STATS["numba_failures"] += 1
+            self._state = "python"
+            return self.pyfunc(*args)
+        self._jitted = jitted  # pragma: no cover
+        self._state = "numba"  # pragma: no cover
+        return result  # pragma: no cover
+
+
+def _compile(source: str) -> _CompiledStep:
+    """Compile emitted source, deduplicated on its digest.
+
+    The hit counter only increments here: one warm ``simulate`` is one
+    hit and zero compilations, which the warm-cache tests assert.
+    """
+    digest = hashlib.sha256(source.encode()).hexdigest()
+    cached = _COMPILE_CACHE.get(digest)
+    if cached is not None:
+        _STATS["hits"] += 1
+        return cached
+    _STATS["misses"] += 1
+    t0 = _time.perf_counter()
+    namespace: dict = {}
+    code = compile(source, f"<repro-codegen {digest[:12]}>", "exec")
+    exec(code, namespace)
+    step = _CompiledStep(namespace["_codegen_run"], digest)
+    _STATS["compiles"] += 1
+    _STATS["compile_s"] += _time.perf_counter() - t0
+    _COMPILE_CACHE[digest] = step
+    return step
+
+
+# ----------------------------------------------------------------------
+# Source cache (in-process memo + on-disk)
+# ----------------------------------------------------------------------
+def _cache_dir() -> str:
+    override = os.environ.get("REPRO_CODEGEN_CACHE")
+    if override:
+        return override
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro",
+                        "codegen")
+
+
+def _source_key(system, dt: float, mode: str, sig) -> tuple:
+    """Full cache identity for one emitted source.
+
+    The headline triple ``(spec_hash, dt, code_version)`` is the
+    documented identity; ``mode`` and the baked-configuration signature
+    ride along as a drift guard, so a system mutated *after* spec
+    construction (or a hand-built system without a spec hash) can never
+    collide with a stale artifact.
+    """
+    from ...catalog.hashing import code_version
+    spec_hash = getattr(system, "_codegen_spec_hash", None)
+    return (spec_hash, repr(float(dt)), code_version(), mode, repr(sig))
+
+
+def _disk_path(key: tuple) -> str:
+    digest = hashlib.sha256("\x1f".join(map(str, key)).encode()).hexdigest()
+    return os.path.join(_cache_dir(), f"{digest}.py")
+
+
+def _load_or_emit(system, dt: float, mode: str, sig, emit) -> str:
+    """Source for ``(system, dt, mode, sig)``: memo -> disk -> emit."""
+    key = _source_key(system, dt, mode, sig)
+    source = _SOURCE_MEMO.get(key)
+    if source is not None:
+        return source
+    # On-disk source cache: only for spec-built systems, whose headline
+    # identity is content-addressed and survives process restarts.
+    path = _disk_path(key) if key[0] is not None else None
+    if path is not None:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                source = fh.read()
+            _STATS["disk_hits"] += 1
+        except OSError:
+            source = None
+    if source is None:
+        source = emit()
+        _STATS["emitted"] += 1
+        if path is not None:
+            try:
+                os.makedirs(os.path.dirname(path), exist_ok=True)
+                tmp = f"{path}.tmp.{os.getpid()}"
+                with open(tmp, "w", encoding="utf-8") as fh:
+                    fh.write(source)
+                os.replace(tmp, path)
+            except OSError:
+                pass  # disk cache is best-effort
+    _SOURCE_MEMO[key] = source
+    return source
+
+
+# ----------------------------------------------------------------------
+# Driver-mode emitter: a generated twin of run_plan's loop body
+# ----------------------------------------------------------------------
+_SIGNATURE = ("def _codegen_run(lowering, system, times, avs, scalars, "
+              "state_arr, store_e, store_v, chan_p, base, next_event_t, "
+              "n_steps, start, ctx):")
+
+_SCALAR_COLS = (
+    ("col_t", "t"), ("col_raw", "harvest_raw"),
+    ("col_del", "harvest_delivered"), ("col_mpp", "harvest_mpp"),
+    ("col_acc", "charge_accepted"), ("col_qsc", "quiescent"),
+    ("col_dem", "node_demand"), ("col_sup", "node_supplied"),
+    ("col_con", "node_consumed"), ("col_bak", "backup_power"),
+    ("col_mea", "measurements"),
+)
+
+
+def _driver_shape(lowering, has_cols) -> tuple:
+    return (
+        len(lowering.channels),
+        tuple(has_cols),
+        lowering.bus is not None,
+        lowering.manager_control is not None,
+        lowering.bank.backup_energy is not None,
+        len(lowering.bank.store_objects),
+    )
+
+
+def _emit_driver(shape) -> str:
+    """Emit the scalar-kernel loop with closures bound and loops unrolled.
+
+    Semantically a line-for-line twin of :func:`.plan.run_plan`'s body:
+    same phase order, same accumulation order (``raw = 0.0`` then
+    ``+=`` per channel, preserving -0.0 semantics), same guards — with
+    the event clause replaced by a boundary break (the engine resumes
+    on the scalar kernel, which fires the event).
+    """
+    (n_channels, has_cols, has_bus, has_control, has_backup,
+     n_stores) = shape
+    L: list[str] = [_SIGNATURE]
+    A = L.append
+    A("    RUNNING = ctx['RUNNING']")
+    A("    DEAD = ctx['DEAD']")
+    A("    INF = float('inf')")
+    A("    bank = lowering.bank")
+    A("    bank_voltage = bank.voltage")
+    A("    bank_charge = bank.charge")
+    A("    bank_discharge = bank.discharge")
+    A("    bank_idle = bank.idle")
+    if has_backup:
+        A("    backup_energy = bank.backup_energy")
+    for k in range(n_channels):
+        A(f"    chan_step_{k} = lowering.channels[{k}].step")
+        if has_cols[k]:
+            A(f"    av_{k} = avs[{k}]")
+    A("    out_needed = lowering.output.needed")
+    A("    node_demand = lowering.node.demand")
+    A("    node_step = lowering.node.step")
+    if has_control:
+        A("    control = lowering.manager_control")
+    A("    tq = lowering.quiescent_a")
+    if has_bus:
+        A("    bus = lowering.bus")
+    for k in range(n_stores):
+        A(f"    store_{k} = bank.store_objects[{k}]")
+        A(f"    store_vv_{k} = bank.store_voltages[{k}]")
+    for name, col in _SCALAR_COLS:
+        A(f"    {name} = scalars['{col}']")
+    A("    dt = ctx['dt']")
+    A("    for i in range(start, n_steps):")
+    A("        t = times[i]")
+    A("        if next_event_t <= t:")
+    A("            done = i")
+    A("            break")
+    if has_control:
+        A("        control(t, dt, system)")
+    A("        bus_v = bank_voltage()")
+    A("        row = base + i")
+    A("        raw = 0.0")
+    A("        delivered = 0.0")
+    A("        mpp = 0.0")
+    for k in range(n_channels):
+        value = f"av_{k}[i]" if has_cols[k] else "0.0"
+        A(f"        hs = chan_step_{k}({value}, bus_v)")
+        A("        raw += hs.raw_power")
+        A("        hs_delivered = hs.delivered_power")
+        A("        delivered += hs_delivered")
+        A("        mpp += hs.mpp_power")
+        A(f"        chan_p[row, {k}] = hs_delivered")
+    A("        accepted = bank_charge(delivered) if delivered > 0.0 "
+      "else 0.0")
+    A("        iq = tq * (bus_v if bus_v > 0.0 else 0.0)")
+    if has_bus:
+        A("        pending = bus.energy_spent_j - "
+          "system._bus_energy_charged_j")
+        A("        system._bus_energy_charged_j = bus.energy_spent_j")
+        A("        iq += pending / dt")
+    A("        quiescent_drawn = bank_discharge(iq) if iq > 0.0 else 0.0")
+    if has_backup:
+        A("        backup_before = backup_energy()")
+    A("        demand = node_demand()")
+    A("        sv = bank_voltage()")
+    A("        needed = out_needed(demand, sv)")
+    A("        if needed == INF or demand <= 0.0:")
+    A("            supplied = 0.0")
+    A("            drawn = 0.0")
+    A("        else:")
+    A("            drawn = bank_discharge(needed)")
+    A("            supplied = demand * (drawn / needed) if needed > 0.0 "
+      "else 0.0")
+    A("        node_result = node_step(supplied, dt)")
+    A("        consumed = node_result.consumed_w")
+    A("        if supplied > 0.0 and consumed < supplied - 1e-15:")
+    A("            bank_charge(drawn * (1.0 - consumed / supplied))")
+    if has_backup:
+        A("        dropped = backup_before - backup_energy()")
+        A("        backup_power = (dropped if dropped > 0.0 else 0.0) / dt")
+    else:
+        A("        backup_power = 0.0")
+    A("        bank_idle()")
+    A("        col_t[row] = t")
+    A("        col_raw[row] = raw")
+    A("        col_del[row] = delivered")
+    A("        col_mpp[row] = mpp")
+    A("        col_acc[row] = accepted")
+    A("        col_qsc[row] = quiescent_drawn")
+    A("        col_dem[row] = demand")
+    A("        col_sup[row] = supplied")
+    A("        col_con[row] = consumed")
+    A("        col_bak[row] = backup_power")
+    A("        col_mea[row] = node_result.measurements")
+    A("        state = node_result.state")
+    A("        state_arr[row] = 0 if state is RUNNING else "
+      "(1 if state is DEAD else 2)")
+    for k in range(n_stores):
+        A(f"        store_e[row, {k}] = store_{k}.energy_j")
+        A(f"        store_v[row, {k}] = store_vv_{k}()")
+    A("    else:")
+    A("        done = n_steps")
+    A("    return done")
+    A("")
+    return "\n".join(L)
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+class CodegenRunner:
+    """A compiled step function bound to one plan + environment segment.
+
+    Calling it runs steps ``start .. n_steps - 1`` (or up to the first
+    scheduled-event boundary) and returns the number completed; the
+    recorder is committed only on full completion — partial segments
+    are committed by the scalar-kernel continuation, exactly like the
+    batched tier's peel-out.
+    """
+
+    __slots__ = ("plan", "compiled", "step_fn", "mode", "_avs", "_times",
+                 "_ctx")
+
+    def __init__(self, plan, compiled, step_fn, mode: str):
+        self.plan = plan
+        self.compiled = compiled
+        self.step_fn = step_fn
+        self.mode = mode
+        self._times = compiled.times_list()
+
+        def values_for(source):
+            j = compiled.column_of(source)
+            if j is None:
+                return None
+            return compiled.column_list(j)
+
+        self._avs = tuple(values_for(lw.source_type)
+                          for lw in plan.lowering.channels)
+        self._ctx = {
+            "RUNNING": NodeState.RUNNING,
+            "DEAD": NodeState.DEAD,
+            "REBOOTING": NodeState.REBOOTING,
+            "HarvestStep": HarvestStep,
+            "sqrt": math.sqrt,
+            "dt": plan.dt,
+        }
+
+    @property
+    def backend(self) -> str:
+        return self.step_fn.backend
+
+    def __call__(self, schedule, recorder, n_steps: int,
+                 start: int = 0) -> int:
+        (scalars, state_arr, store_e, store_v, chan_p, base) = \
+            recorder.columns_for_writing()
+        next_event_t = schedule.next_time()
+        done = self.step_fn(
+            self.plan.lowering, self.plan.system, self._times, self._avs,
+            scalars, state_arr, store_e, store_v, chan_p, base,
+            next_event_t, n_steps, start, self._ctx)
+        if done == n_steps:
+            recorder.commit(n_steps)
+        return done
+
+
+def prepare_codegen(plan, compiled) -> CodegenRunner:
+    """Lower ``plan`` onto the codegen tier.
+
+    Chooses the fused emission when the platform shape qualifies (see
+    :func:`_fused_config`), the generated driver otherwise — both are
+    bitwise-exact, so this choice is a pure performance decision and
+    never affects eligibility: any plan the scalar kernel compiled can
+    run here.
+    """
+    system = plan.system
+    dt = plan.dt
+    has_cols = tuple(compiled.column_of(lw.source_type) is not None
+                     for lw in plan.lowering.channels)
+    cfg = _fused_config(plan, has_cols)
+    if cfg is not None:
+        source = _load_or_emit(system, dt, "fused", cfg["sig"],
+                               lambda: _emit_fused(cfg))
+        mode = "fused"
+    else:
+        shape = _driver_shape(plan.lowering, has_cols)
+        source = _load_or_emit(system, dt, "driver", shape,
+                               lambda: _emit_driver(shape))
+        mode = "driver"
+    step_fn = _compile(source)
+    return CodegenRunner(plan, compiled, step_fn, mode)
+
+
+# ----------------------------------------------------------------------
+# Fused-mode gate
+# ----------------------------------------------------------------------
+def _fused_config(plan, has_cols):
+    """Collect the fused emission's baked constants, or None.
+
+    The fused emitter inlines exact twins of specific component
+    classes, so it engages only when every component *is* (not merely
+    derives from) the class whose arithmetic it bakes: one
+    :class:`Supercapacitor` behind a plain bank, buck-boost output,
+    P&O + buck-boost channels over library harvesters, a plain node,
+    and at most a zero-wakeup :class:`StaticManager`. Everything else
+    runs the generated driver — same bits, less fusion.
+    """
+    from ...conditioning.base import InputConditioner, OutputConditioner
+    from ...conditioning.converters import BuckBoostConverter
+    from ...conditioning.mppt import PerturbObserve
+    from ...core.manager import StaticManager
+    from ...core.system import (
+        HarvestingChannel,
+        MultiSourceSystem,
+        StorageBank,
+    )
+    from ...load.node import WirelessSensorNode
+    from ...storage.supercapacitor import Supercapacitor
+
+    lowering = plan.lowering
+    system = plan.system
+    dt = plan.dt
+    if type(system) is not MultiSourceSystem:
+        return None
+    if lowering.bus is not None or lowering.bank.backup_energy is not None:
+        return None
+    bank = system.bank
+    if type(bank) is not StorageBank or len(bank.stores) != 1:
+        return None
+    store = bank.stores[0]
+    if type(store) is not Supercapacitor:
+        return None
+    mgr = system.manager
+    if mgr is not None and (type(mgr) is not StaticManager or
+                            mgr.wakeup_energy_j != 0.0):
+        return None
+    output = system.output
+    if type(output) is not OutputConditioner:
+        return None
+    oconv = output.converter
+    if type(oconv) is not BuckBoostConverter:
+        return None
+    node = system.node
+    if type(node) is not WirelessSensorNode:
+        return None
+    channels = []
+    for k, ch in enumerate(system.channels):
+        if type(ch) is not HarvestingChannel or not ch.enabled:
+            return None
+        cond = ch.conditioner
+        if type(cond) is not InputConditioner:
+            return None
+        tracker = cond.tracker
+        if type(tracker) is not PerturbObserve:
+            return None
+        cconv = cond.converter
+        if type(cconv) is not BuckBoostConverter:
+            return None
+        if not type(ch.harvester).__module__.startswith("repro.harvesters"):
+            return None
+        channels.append({
+            "has_col": bool(has_cols[k]),
+            "period": _lit(tracker.update_period),
+            "frac": _lit(tracker.step_fraction),
+            "cvlo": _lit(cconv.min_input_voltage),
+            "cvhi": _lit(cconv.max_input_voltage),
+            "cpeak": _lit(cconv.peak_efficiency),
+            "cover": _lit(cconv.overhead_power),
+        })
+    demand_run = (node.sleep_power_w +
+                  node.measurement_energy() / node.measurement_interval_s)
+    reboot_power = node._reboot_power()
+    if demand_run <= 0.0 or reboot_power <= 0.0:
+        # The §4 emission elides run_plan's ``demand <= 0.0`` test.
+        return None
+    needed_margin = demand_run - node.sleep_power_w
+    (c_fast, c_slow, half_cs, cap_f, capacity_j, min_v2, full_e,
+     floor_e, half_cf, alpha, leak) = store._kernel_consts(dt)
+    cfg = {
+        "dt": _lit(dt),
+        "tq": _lit(lowering.quiescent_a),
+        "c_fast": _lit(c_fast), "c_slow": _lit(c_slow),
+        "half_cs": _lit(half_cs), "cap_f": _lit(cap_f),
+        "capacity": _lit(capacity_j), "min_v2": _lit(min_v2),
+        "full_e": _lit(full_e), "floor_e": _lit(floor_e),
+        "half_cf": _lit(half_cf), "alpha": _lit(alpha), "leak": _lit(leak),
+        "has_slow": c_slow > 0.0,
+        "max_d": (None if store.max_discharge_w == _INF
+                  else _lit(store.max_discharge_w)),
+        "sleep": _lit(node.sleep_power_w),
+        "reboot_power": _lit(reboot_power),
+        "reboot_time": _lit(node.reboot_time_s),
+        "demand_run": _lit(demand_run),
+        "full_rate": _lit(dt / node.measurement_interval_s),
+        "needed_margin": _lit(needed_margin),
+        "no_margin": needed_margin <= 0.0,
+        "out_min_v": _lit(output.min_input_voltage),
+        "opeak": _lit(oconv.peak_efficiency),
+        "oover": _lit(oconv.overhead_power),
+        "ovlo": _lit(oconv.min_input_voltage),
+        "ovhi": _lit(oconv.max_input_voltage),
+        "manager": mgr is not None,
+        "mgr_period": _lit(mgr.control_period) if mgr is not None else None,
+        "channels": channels,
+    }
+    cfg["sig"] = repr([(key, cfg[key]) for key in sorted(cfg)])
+    return cfg
+
+
+# ----------------------------------------------------------------------
+# Fused-mode emitter
+# ----------------------------------------------------------------------
+def _sync_lines(ind: str, c) -> list:
+    """Inlined ``Supercapacitor._kernel_sync`` over the float locals."""
+    lines = [
+        f"{ind}d_f = v_fast * v_fast - {c['min_v2']}",
+        f"{ind}usable = {c['half_cf']} * (d_f if d_f > 0.0 else 0.0)",
+    ]
+    if c["has_slow"]:
+        lines += [
+            f"{ind}d_s = v_slow * v_slow - {c['min_v2']}",
+            f"{ind}usable += {c['half_cs']} * (d_s if d_s > 0.0 else 0.0)",
+        ]
+    lines.append(f"{ind}sc_energy = usable if usable < {c['capacity']} "
+                 f"else {c['capacity']}")
+    return lines
+
+
+def _charge_lines(ind: str, c, pvar: str, accvar: str) -> list:
+    """Inlined bank charge (store charge + single-store spill wrapper).
+
+    Caller guarantees ``pvar != 0.0`` (run_plan's ``delivered > 0.0``
+    gate / the return-to-bank nonzero check subsume the closure's
+    zero-power early return).
+    """
+    lines = [
+        f"{ind}e_fast = {c['half_cf']} * (v_fast * v_fast)",
+        f"{ind}room = {c['full_e']} - e_fast",
+        f"{ind}if room < 0.0:",
+        f"{ind}    room = 0.0",
+        f"{ind}dj = {pvar} * {c['dt']}",
+        f"{ind}if dj > room:",
+        f"{ind}    dj = room",
+        f"{ind}e_fast += dj",
+        f"{ind}v_fast = sqrt(2.0 * e_fast / {c['c_fast']})",
+    ]
+    lines += _sync_lines(ind, c)
+    lines += [
+        f"{ind}sc_charged += dj",
+        f"{ind}{accvar} = dj / {c['dt']}",
+        f"{ind}remaining = {pvar} - {accvar}",
+        f"{ind}if remaining > 0.0:",
+        f"{ind}    spilled += remaining * {c['dt']}",
+    ]
+    return lines
+
+
+def _discharge_lines(ind: str, c, pvar: str, outvar: str) -> list:
+    """Inlined store discharge; caller guarantees ``pvar != 0.0``."""
+    if c["max_d"] is None:
+        deliverable = pvar  # max_discharge_w == inf: min() is identity
+    else:
+        deliverable = (f"({pvar} if {pvar} <= {c['max_d']} "
+                       f"else {c['max_d']})")
+    lines = [
+        f"{ind}e_fast = {c['half_cf']} * (v_fast * v_fast)",
+        f"{ind}available = e_fast - {c['floor_e']}",
+        f"{ind}if available < 0.0:",
+        f"{ind}    available = 0.0",
+        f"{ind}dj = {deliverable} * {c['dt']}",
+        f"{ind}if dj > available:",
+        f"{ind}    dj = available",
+        f"{ind}e_fast -= dj",
+        f"{ind}v_fast = sqrt(2.0 * e_fast / {c['c_fast']})",
+    ]
+    lines += _sync_lines(ind, c)
+    lines += [
+        f"{ind}sc_discharged += dj",
+        f"{ind}{outvar} = dj / {c['dt']}",
+    ]
+    return lines
+
+
+def _emit_fused(c) -> str:
+    """Emit the fully-fused loop for the qualifying platform shape.
+
+    All mutable state lives in plain Python locals for the whole
+    segment; component objects are read once in the prologue and
+    written back once at the boundary. Only the leaf harvester physics
+    (``open_circuit_voltage`` / ``power_at`` / ``max_power``) stays as
+    bound-method calls, behind single-slot memos that are sound because
+    library harvesters are pure in ``(voltage, ambient)`` — the same
+    purity assumption the scalar kernel's MPP memo and the batched
+    tier's I-V surfaces already rely on. The buck-boost forward curve
+    ignores its output voltage and P&O's duty is exactly 1.0, so the
+    per-channel ``(raw, delivered)`` pair is pure in (tracker voltage,
+    ambient value) and memoizes on that key bit-exactly.
+    """
+    DT = c["dt"]
+    L: list[str] = [_SIGNATURE]
+    A = L.append
+    E = L.extend
+    A("    RUNNING = ctx['RUNNING']")
+    A("    DEAD = ctx['DEAD']")
+    A("    REBOOTING = ctx['REBOOTING']")
+    A("    HarvestStep = ctx['HarvestStep']")
+    A("    sqrt = ctx['sqrt']")
+    A("    _int = int")
+    A("    _min = min")
+    A("    _max = max")
+    A("    INF = float('inf')")
+    A("    node = system.node")
+    A("    bank = system.bank")
+    A("    store = bank.stores[0]")
+    if c["manager"]:
+        A("    mgr = system.manager")
+    for k, ch in enumerate(c["channels"]):
+        A(f"    ch_{k} = system.channels[{k}]")
+        A(f"    h_voc_{k} = ch_{k}.harvester.open_circuit_voltage")
+        A(f"    h_pat_{k} = ch_{k}.harvester.power_at")
+        A(f"    h_max_{k} = ch_{k}.harvester.max_power")
+        A(f"    tr_{k} = ch_{k}.conditioner.tracker")
+        if ch["has_col"]:
+            A(f"    av_{k} = avs[{k}]")
+    for name, col in _SCALAR_COLS:
+        A(f"    {name} = scalars['{col}']")
+    # -- state unpack: objects -> locals --------------------------------
+    A("    v_fast = store.v_fast")
+    A("    v_slow = store.v_slow")
+    A("    sc_energy = store.energy_j")
+    A("    sc_charged = store.total_charged_j")
+    A("    sc_discharged = store.total_discharged_j")
+    A("    spilled = bank.spilled_j")
+    A("    nstate = 0 if node.state is RUNNING else "
+      "(1 if node.state is DEAD else 2)")
+    A("    nreboot = node._reboot_remaining")
+    A("    nmeas = node.total_measurements")
+    A("    npack = node.total_packets")
+    A("    nenergy = node.total_energy_j")
+    A("    ndead = node.dead_seconds")
+    A("    nbrown = node.brownouts")
+    if c["manager"]:
+        A("    mgr_since = mgr._since_control")
+        A("    mgr_passes = mgr.control_passes")
+        A("    mgr_spent = mgr.energy_spent_j")
+    for k in range(len(c["channels"])):
+        A(f"    _tv = tr_{k}._voltage")
+        A(f"    thasv_{k} = _tv is not None")
+        A(f"    tv_{k} = _tv if thasv_{k} else 0.0")
+        A(f"    _tp = tr_{k}._last_power")
+        A(f"    thasp_{k} = _tp is not None")
+        A(f"    tlp_{k} = _tp if thasp_{k} else 0.0")
+        A(f"    tdir_{k} = tr_{k}._direction")
+        A(f"    tel_{k} = tr_{k}._elapsed")
+        A(f"    vochas_{k} = False")
+        A(f"    vockey_{k} = 0.0")
+        A(f"    vocval_{k} = 0.0")
+        A(f"    mhas_{k} = False")
+        A(f"    mkey_{k} = 0.0")
+        A(f"    mval_{k} = 0.0")
+        A(f"    chas_{k} = False")
+        A(f"    ckv_{k} = 0.0")
+        A(f"    cka_{k} = 0.0")
+        A(f"    cmraw_{k} = 0.0")
+        A(f"    cmdel_{k} = 0.0")
+    A("    onhas = False")
+    A("    onkey = 0.0")
+    A("    onval = 0.0")
+    A("    done = n_steps")
+    A("    for i in range(start, n_steps):")
+    A("        t = times[i]")
+    A("        if next_event_t <= t:")
+    A("            done = i")
+    A("            break")
+    if c["manager"]:
+        # StaticManager.control with wakeup_energy_j == 0 and a no-op
+        # policy: only the scheduling counters remain.
+        A(f"        mgr_since += {DT}")
+        A(f"        if mgr_since >= {c['mgr_period']}:")
+        A("            mgr_since = 0.0")
+        A("            mgr_passes += 1")
+        A("            mgr_spent += 0.0")
+    A("        bus_v = v_fast")
+    A("        row = base + i")
+    A("        raw = 0.0")
+    A("        delivered = 0.0")
+    A("        mpp = 0.0")
+    for k, ch in enumerate(c["channels"]):
+        value = f"av_{k}[i]" if ch["has_col"] else "0.0"
+        A(f"        av = {value}")
+        # P&O hill climb, inlined; Voc behind a pure single-slot memo.
+        A(f"        if vochas_{k} and av == vockey_{k}:")
+        A(f"            voc = vocval_{k}")
+        A("        else:")
+        A(f"            voc = h_voc_{k}(av)")
+        A(f"            vockey_{k} = av")
+        A(f"            vocval_{k} = voc")
+        A(f"            vochas_{k} = True")
+        A("        if voc <= 0.0:")
+        A(f"            thasv_{k} = False")
+        A(f"            thasp_{k} = False")
+        A(f"            tvolt_{k} = 0.0")
+        A("        else:")
+        A(f"            if not thasv_{k}:")
+        A(f"                tv_{k} = 0.5 * voc")
+        A(f"                thasv_{k} = True")
+        A(f"            tel_{k} += {DT}")
+        A(f"            updates = _int(tel_{k} / {ch['period']})")
+        A(f"            tel_{k} -= updates * {ch['period']}")
+        A("            if updates > 64:")
+        A("                updates = 64")
+        A("            for _u in range(updates):")
+        A(f"                power = h_pat_{k}(tv_{k}, av)")
+        A(f"                if thasp_{k} and power < tlp_{k}:")
+        A(f"                    tdir_{k} = -tdir_{k}")
+        A(f"                tlp_{k} = power")
+        A(f"                thasp_{k} = True")
+        A(f"                tv_{k} += tdir_{k} * {ch['frac']} * voc")
+        A(f"                tv_{k} = _min(_max(tv_{k}, 0.0), voc)")
+        A(f"            tvolt_{k} = tv_{k}")
+        # Single-slot MPP memo (the scalar kernel's, flag-based).
+        A(f"        if mhas_{k} and av == mkey_{k}:")
+        A(f"            mpp_{k} = mval_{k}")
+        A("        else:")
+        A(f"            mpp_{k} = h_max_{k}(av)")
+        A(f"            mkey_{k} = av")
+        A(f"            mval_{k} = mpp_{k}")
+        A(f"            mhas_{k} = True")
+        # Conditioner chain: P&O always harvests at duty 1.0 (x * 1.0
+        # is x for every float, so the multiply is omitted), and the
+        # buck-boost forward curve ignores bus_v — (raw, delivered) is
+        # pure in (tracker voltage, ambient) and memoizes exactly.
+        A(f"        if tvolt_{k} <= 0.0:")
+        A(f"            raw_{k} = 0.0")
+        A(f"            del_{k} = 0.0")
+        A(f"        elif chas_{k} and tvolt_{k} == ckv_{k} "
+          f"and av == cka_{k}:")
+        A(f"            raw_{k} = cmraw_{k}")
+        A(f"            del_{k} = cmdel_{k}")
+        A("        else:")
+        A(f"            raw_{k} = h_pat_{k}(tvolt_{k}, av)")
+        A(f"            if raw_{k} == 0.0:")
+        A(f"                del_{k} = 0.0")
+        A(f"            elif {ch['cvlo']} <= tvolt_{k} <= {ch['cvhi']}:")
+        A(f"                del_{k} = raw_{k} * ({ch['cpeak']} * raw_{k} "
+          f"/ (raw_{k} + {ch['cover']}))")
+        A("            else:")
+        A(f"                del_{k} = raw_{k} * 0.0")
+        A(f"            if del_{k} == 0.0 and raw_{k} > 0.0:")
+        A(f"                raw_{k} = 0.0")
+        A(f"            ckv_{k} = tvolt_{k}")
+        A(f"            cka_{k} = av")
+        A(f"            cmraw_{k} = raw_{k}")
+        A(f"            cmdel_{k} = del_{k}")
+        A(f"            chas_{k} = True")
+        A(f"        raw += raw_{k}")
+        A(f"        delivered += del_{k}")
+        A(f"        mpp += mpp_{k}")
+        A(f"        chan_p[row, {k}] = del_{k}")
+    # §2 tail: charge the bank with the harvested power.
+    A("        if delivered > 0.0:")
+    E(_charge_lines("            ", c, "delivered", "accepted"))
+    A("        else:")
+    A("            accepted = 0.0")
+    # §3 quiescent losses (no bus in the fused envelope).
+    A(f"        iq = {c['tq']} * (bus_v if bus_v > 0.0 else 0.0)")
+    A("        if iq > 0.0:")
+    E(_discharge_lines("            ", c, "iq", "quiescent_drawn"))
+    A("        else:")
+    A("            quiescent_drawn = 0.0")
+    # §4 supply the node through the output stage.
+    A(f"        demand = {c['demand_run']} if nstate == 0 "
+      f"else {c['reboot_power']}")
+    A("        sv = v_fast")
+    # Brown-out window + converter window; past them the buck-boost
+    # inversion is pure in demand, which takes only two values.
+    A(f"        if sv < {c['out_min_v']} or sv < {c['ovlo']} "
+      f"or sv > {c['ovhi']}:")
+    A("            needed = INF")
+    A("        elif onhas and demand == onkey:")
+    A("            needed = onval")
+    A("        else:")
+    A("            p_in = demand")
+    A("            for _u in range(30):")
+    A(f"                eff = {c['opeak']} * p_in / (p_in + {c['oover']})")
+    A("                if eff <= 0.0:")
+    A("                    needed = INF")
+    A("                    break")
+    A("                p_new = demand / eff")
+    A("                diff = p_new - p_in")
+    A("                if diff < 0.0:")
+    A("                    diff = -diff")
+    A("                if diff < 1e-12 * (p_in if p_in > 1.0 else 1.0):")
+    A("                    needed = p_new")
+    A("                    break")
+    A("                p_in = 0.5 * (p_in + p_new)")
+    A("            else:")
+    A("                needed = p_in")
+    A("            onkey = demand")
+    A("            onval = needed")
+    A("            onhas = True")
+    A("        if needed == INF:")
+    A("            supplied = 0.0")
+    A("            drawn = 0.0")
+    A("        else:")
+    E(_discharge_lines("            ", c, "needed", "drawn"))
+    A("            supplied = demand * (drawn / needed) "
+      "if needed > 0.0 else 0.0")
+    # Node brown-out state machine, states as recorder codes 0/1/2.
+    A(f"        if nstate == 1 and supplied < {c['sleep']}:")
+    A(f"            ndead += {DT}")
+    A("            res_state = 1")
+    A("            consumed = 0.0")
+    A("            meas = 0.0")
+    A("        else:")
+    A("            if nstate == 1:")
+    A("                nstate = 2")
+    A(f"                nreboot = {c['reboot_time']}")
+    A("            if nstate == 2:")
+    A(f"                if supplied < {c['reboot_power']}:")
+    A("                    nstate = 1")
+    A(f"                    ndead += {DT}")
+    A("                    res_state = 1")
+    A("                    consumed = 0.0")
+    A("                    meas = 0.0")
+    A("                else:")
+    A(f"                    reboot_spent = _min({DT}, "
+      f"_max(nreboot, 0.0))")
+    A(f"                    nreboot -= {DT}")
+    A(f"                    consumed = ({c['reboot_power']} * reboot_spent"
+      f" + {c['sleep']} * ({DT} - reboot_spent)) / {DT}")
+    A(f"                    nenergy += consumed * {DT}")
+    A("                    if nreboot <= 0.0:")
+    A("                        nstate = 0")
+    A("                    ndead += reboot_spent")
+    A("                    res_state = 2")
+    A("                    meas = 0.0")
+    A(f"            elif supplied < {c['sleep']}:")
+    A("                nstate = 1")
+    A("                nbrown += 1")
+    A(f"                ndead += {DT}")
+    A("                res_state = 1")
+    A("                consumed = 0.0")
+    A("                meas = 0.0")
+    A("            else:")
+    A(f"                consumed = {c['demand_run']} "
+      f"if {c['demand_run']} <= supplied else supplied")
+    if c["no_margin"]:
+        A("                meas = 0.0")
+    else:
+        A(f"                margin = consumed - {c['sleep']}")
+        A(f"                _fr = margin / {c['needed_margin']}")
+        A(f"                meas = {c['full_rate']} * "
+          f"(1.0 if 1.0 <= _fr else _fr)")
+    A("                nmeas += meas")
+    A("                npack += meas")
+    A(f"                nenergy += consumed * {DT}")
+    A("                res_state = 0")
+    # Return the unconsumed part of the draw to the bank.
+    A("        if supplied > 0.0 and consumed < supplied - 1e-15:")
+    A("            _rp = drawn * (1.0 - consumed / supplied)")
+    A("            if _rp != 0.0:")
+    E(_charge_lines("                ", c, "_rp", "_racc"))
+    # §5 idle: redistribution + leakage.
+    if c["has_slow"]:
+        A(f"        v_eq = ({c['c_fast']} * v_fast + {c['c_slow']} * "
+          f"v_slow) / {c['cap_f']}")
+        A(f"        v_fast += {c['alpha']} * (v_eq - v_fast)")
+        A(f"        v_slow += {c['alpha']} * (v_eq - v_slow)")
+    A(f"        v_fast *= {c['leak']}")
+    E(_sync_lines("        ", c))
+    # §6 record.
+    A("        col_t[row] = t")
+    A("        col_raw[row] = raw")
+    A("        col_del[row] = delivered")
+    A("        col_mpp[row] = mpp")
+    A("        col_acc[row] = accepted")
+    A("        col_qsc[row] = quiescent_drawn")
+    A("        col_dem[row] = demand")
+    A("        col_sup[row] = supplied")
+    A("        col_con[row] = consumed")
+    A("        col_bak[row] = 0.0")
+    A("        col_mea[row] = meas")
+    A("        state_arr[row] = res_state")
+    A("        store_e[row, 0] = sc_energy")
+    A("        store_v[row, 0] = v_fast")
+    # -- write-back: locals -> objects (only if any step ran) -----------
+    A("    if done > start:")
+    A("        store.v_fast = v_fast")
+    A("        store.v_slow = v_slow")
+    A("        store.energy_j = sc_energy")
+    A("        store.total_charged_j = sc_charged")
+    A("        store.total_discharged_j = sc_discharged")
+    A("        bank.spilled_j = spilled")
+    A("        node.state = RUNNING if nstate == 0 else "
+      "(DEAD if nstate == 1 else REBOOTING)")
+    A("        node._reboot_remaining = nreboot")
+    A("        node.total_measurements = nmeas")
+    A("        node.total_packets = npack")
+    A("        node.total_energy_j = nenergy")
+    A("        node.dead_seconds = ndead")
+    A("        node.brownouts = nbrown")
+    if c["manager"]:
+        A("        mgr._since_control = mgr_since")
+        A("        mgr.control_passes = mgr_passes")
+        A("        mgr.energy_spent_j = mgr_spent")
+    for k in range(len(c["channels"])):
+        A(f"        tr_{k}._voltage = tv_{k} if thasv_{k} else None")
+        A(f"        tr_{k}._last_power = tlp_{k} if thasp_{k} else None")
+        A(f"        tr_{k}._direction = tdir_{k}")
+        A(f"        tr_{k}._elapsed = tel_{k}")
+        A(f"        ch_{k}.last_step = HarvestStep(raw_{k}, del_{k}, "
+          f"tvolt_{k}, mpp_{k})")
+    A("    return done")
+    A("")
+    return "\n".join(L)
+

@@ -359,7 +359,7 @@ class TestSweepExplain:
         assert main(["sweep", "--systems", "A", "B", "--days", "0.05",
                      "--dt", "600", "--batch", "on", "--explain"]) == 0
         out = capsys.readouterr().out
-        assert "batched tier: every scenario rode the lockstep kernel" in out
+        assert "compiled tiers: every scenario rode a compiled path" in out
 
     def test_explain_tables_capability_refusals(self, capsys):
         assert main(["sweep", "--systems", "A", "--days", "0.05",

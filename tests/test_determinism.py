@@ -152,6 +152,48 @@ class TestFastPathEquivalence:
         _assert_recorders_identical(legacy.recorder, fast.recorder)
         assert legacy.metrics == fast.metrics
 
+    @pytest.mark.parametrize("letter", sorted(SYSTEM_BUILDERS))
+    def test_table1_system_codegen_bitwise(self, letter):
+        """Every Table I platform (A-G) on the fused codegen tier:
+        recorded columns bit-for-bit identical to the legacy per-step
+        path, with no capability fallback."""
+        dt = 120.0
+        duration = 2 * DAY
+        env = outdoor_environment(duration=duration, dt=dt, seed=23)
+        legacy = simulate(build_system(letter), env, duration=duration,
+                          dt=dt, fast=False)
+        codegen = simulate(build_system(letter), env, duration=duration,
+                           dt=dt, fast="codegen")
+        assert codegen.execution_path == "codegen"
+        assert codegen.codegen_fallback is None
+        _assert_recorders_identical(legacy.recorder, codegen.recorder)
+        assert legacy.metrics == codegen.metrics
+
+    def test_codegen_event_hands_off_to_scalar_kernel(self):
+        """A mid-run event stops the fused loop at the step boundary;
+        the scalar kernel fires the event and finishes the segment.
+        The codegen prefix + scalar remainder must equal a pure scalar
+        run — and the legacy run — bitwise."""
+        dt = 120.0
+        env = outdoor_environment(duration=DAY, dt=dt, seed=29)
+
+        def events():
+            return [swap_storage_event(
+                0.4 * DAY, 0, Supercapacitor(capacitance_f=10.0,
+                                             initial_soc=0.2))]
+
+        legacy = simulate(_mixed_system(), env, duration=DAY, dt=dt,
+                          events=events(), fast=False)
+        scalar = simulate(_mixed_system(), env, duration=DAY, dt=dt,
+                          events=events(), fast=True)
+        codegen = simulate(_mixed_system(), env, duration=DAY, dt=dt,
+                           events=events(), fast="codegen")
+        assert scalar.execution_path == "kernel"
+        assert codegen.execution_path == "codegen+kernel"
+        _assert_recorders_identical(scalar.recorder, codegen.recorder)
+        _assert_recorders_identical(legacy.recorder, codegen.recorder)
+        assert legacy.metrics == codegen.metrics
+
     def test_event_rebind_keeps_equivalence(self):
         """A mid-run supercap hot-swap keeps the kernel eligible; its
         rebind must not perturb a single bit."""

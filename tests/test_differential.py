@@ -275,6 +275,28 @@ class TestFuzzedDifferential:
         assert auto[0].execution_path != "batched"
         assert auto[0].metrics == off[0].metrics
 
+    def test_codegen_fallback_surfaces_capability_report(self):
+        """Replaced storage physics misses the codegen tier too (it
+        shares the scalar kernel's envelope, unlike ``_NoisyPV`` whose
+        harvester override only the batched tier refuses): the sweep
+        row must carry a non-empty structured CapabilityReport in its
+        extras, and ``sweep --explain`` must render it."""
+        from repro.cli import _explain_batch
+        shape = "retuned-store"
+        build_ineligible = INELIGIBLE_SYSTEMS[shape]
+        env = partial(outdoor_environment, duration=0.05 * DAY, dt=600.0)
+        spec = ScenarioSpec(name=shape, system=build_ineligible,
+                            environment=env, seed=9)
+        sweep = SweepRunner(processes=1, batch="auto").run([spec])
+        row = sweep[0]
+        assert row.execution_path == "legacy"
+        report = row.extras.get("codegen_fallback_reason")
+        assert report is not None
+        assert report.component and report.capability and report.detail
+        rendered = _explain_batch(sweep)
+        assert report.component in rendered
+        assert "codegen" in rendered
+
     @pytest.mark.parametrize("index", range(CASES))
     def test_legacy_kernel_batched_agree(self, index):
         spec = fuzz_spec(index)
@@ -295,6 +317,25 @@ class TestFuzzedDifferential:
             auto = run_spec(spec, fast="auto")
             assert auto.execution_path == "legacy"
             assert auto.metrics == legacy.metrics
+
+        # Codegen differential: the fused tier shares the scalar
+        # kernel's eligibility envelope, so wherever the kernel ran
+        # bitwise, codegen must too — and wherever it refused, codegen
+        # must degrade to legacy carrying a structured report.
+        codegen = run_spec(spec, fast="codegen")
+        if kernel_reason is None:
+            assert codegen.execution_path == "codegen"
+            assert codegen.codegen_fallback is None
+            assert_bitwise_equal(codegen.recorder, legacy.recorder,
+                                 f"{spec.name} codegen")
+            assert codegen.metrics == legacy.metrics
+        else:
+            assert codegen.execution_path == "legacy"
+            report = codegen.codegen_fallback
+            assert report is not None, \
+                f"{spec.name}: codegen fallback must carry a report"
+            assert report.component and report.capability and report.detail
+            assert codegen.metrics == legacy.metrics
 
         # Batched differential.
         batch_reason = why_batch_ineligible(build(spec.system), spec.dt)
