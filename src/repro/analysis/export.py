@@ -26,14 +26,20 @@ __all__ = ["to_jsonable", "dump_json", "dumps_json"]
 
 def to_jsonable(obj):
     """Recursively convert a result object into JSON-safe primitives."""
-    if obj is None or isinstance(obj, (bool, int, str)):
+    if obj is None or isinstance(obj, (bool, str)):
         return obj
+    if isinstance(obj, int):
+        # Collapse subclasses (IntEnum, ...) to the plain value; np.int64
+        # is NOT an int subclass and takes the tolist/item path below.
+        return int(obj)
     if isinstance(obj, float):
         if math.isinf(obj):
             return "inf" if obj > 0 else "-inf"
         if math.isnan(obj):
             return "nan"
-        return obj
+        # float() strips subclasses: np.float64 passes the isinstance
+        # check but must not leak into consumers as a numpy object.
+        return float(obj)
     if isinstance(obj, enum.Enum):
         return obj.value
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):

@@ -51,15 +51,23 @@ def bench_trajectory(catalog) -> dict:
     return {"runs": runs}
 
 
-def import_trajectory(catalog, path) -> int:
-    """Seed a catalog with the samples of a legacy trajectory file.
+def _sample_key(benchmark, payload) -> tuple:
+    """Content identity of one trajectory sample (order-insensitive)."""
+    return (str(benchmark), json.dumps(payload, sort_keys=True))
 
-    No-op (returning 0) when the catalog already holds bench records or
-    the file is absent/unreadable — imports happen exactly once, at the
-    migration boundary.
+
+def import_trajectory(catalog, path) -> int:
+    """Seed a catalog with any trajectory samples it does not yet hold.
+
+    Idempotent per *record*, not per file: samples are matched by
+    content (benchmark name + payload, as a multiset, so repeated
+    identical samples import once each), and only the missing ones are
+    appended. The old all-or-nothing guard — skip the whole file as soon
+    as the catalog held *any* bench record — silently dropped the legacy
+    history whenever one new sample landed in a fresh store first (the
+    empty-``BENCH_sweep.json`` regeneration bug). Returns the number of
+    samples imported; 0 when the file is absent or unreadable.
     """
-    if catalog.bench_records():
-        return 0
     try:
         history = json.loads(Path(path).read_text())
     except (OSError, ValueError):
@@ -67,21 +75,39 @@ def import_trajectory(catalog, path) -> int:
     runs = history.get("runs") if isinstance(history, dict) else None
     if not isinstance(runs, list):
         return 0
+    held: dict = {}
+    for record in catalog.bench_records():
+        key = _sample_key(record.name, record.payload)
+        held[key] = held.get(key, 0) + 1
     imported = 0
     for run in runs:
         if not isinstance(run, dict):
             continue
+        name = str(run.get("benchmark", "unknown"))
         payload = {key: value for key, value in run.items()
                    if key != "benchmark"}
-        catalog.append_bench(str(run.get("benchmark", "unknown")), payload)
+        key = _sample_key(name, payload)
+        if held.get(key, 0) > 0:
+            held[key] -= 1
+            continue
+        catalog.append_bench(name, payload)
         imported += 1
     return imported
 
 
-def write_trajectory(catalog, path) -> dict:
+def write_trajectory(catalog, path, *, require_runs: bool = False) -> dict:
     """Regenerate the trajectory file from the catalog (the query output
-    CI uploads)."""
+    CI uploads).
+
+    ``require_runs=True`` refuses to write an empty document — the
+    guard that keeps a mis-resolved or freshly-gc'd store from silently
+    replacing the benchmark history with ``{"runs": []}``.
+    """
     document = bench_trajectory(catalog)
+    if require_runs and not document["runs"]:
+        raise RuntimeError(
+            f"benchmark trajectory is empty: {catalog.root} holds no "
+            f"bench records; refusing to overwrite {path}")
     Path(path).write_text(json.dumps(document, indent=2) + "\n")
     return document
 
@@ -103,4 +129,7 @@ def record_bench(benchmark: str, payload: dict, *, catalog=None,
         payload = dict(payload, compile_s=compile_s)
     import_trajectory(catalog, trajectory)
     catalog.append_bench(benchmark, payload)
-    write_trajectory(catalog, trajectory)
+    # A sample was just appended, so an empty document here means the
+    # store dropped it — fail the benchmark run loudly instead of
+    # regenerating the trajectory to [].
+    write_trajectory(catalog, trajectory, require_runs=True)

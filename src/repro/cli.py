@@ -13,6 +13,10 @@ Subcommands:
 * ``mc``          — Monte Carlo ensemble of one system x environment:
   N seed replicates ride the lockstep batched tier and aggregate into a
   quantile summary (mean/std/p5/p50/p95 + CI per metric).
+* ``fleet``       — multi-node co-simulation on one ambient field:
+  ``fleet run`` executes one fleet (same-hardware nodes become lockstep
+  batched lanes, radio links become quasi-static listen power) and
+  ``fleet mc`` repeats it under N ambient realizations.
 * ``spec``        — emit canonical spec JSON (``--hash`` for its
   content address, ``--registry`` to list every registered component).
 * ``catalog``     — inspect / maintain a content-addressed result store
@@ -54,6 +58,8 @@ Examples::
     python -m repro sweep --systems A B --catalog results-store
     python -m repro mc C --env outdoor --days 2 --replicates 64
     python -m repro mc --spec mc.json --tier batched
+    python -m repro fleet run C --nodes 16 --topology ring --spread 0.2
+    python -m repro fleet mc C --nodes 8 --replicates 16 --json
     python -m repro spec --registry
     python -m repro spec C --env outdoor --hash
     python -m repro catalog ls results-store
@@ -76,6 +82,7 @@ from .analysis.audit import audit_run
 from .analysis.export import dumps_json
 from .spec import (
     EnvironmentSpec,
+    FleetSpec,
     MonteCarloSpec,
     RunSpec,
     SweepSpec,
@@ -83,6 +90,7 @@ from .spec import (
     describe_registry,
     load_spec,
     run,
+    run_fleet,
     run_montecarlo,
     run_sweep,
     spec_for,
@@ -244,6 +252,77 @@ def _build_parser() -> argparse.ArgumentParser:
                            "rows as JSON instead of a table")
     add_fast_flag(p_mc)
     add_catalog_flag(p_mc)
+
+    p_flt = sub.add_parser(
+        "fleet", help="multi-node fleet co-simulation on one ambient "
+                      "field (batched lanes + radio listen coupling)")
+    flt_sub = p_flt.add_subparsers(dest="fleet_command", required=True)
+
+    def add_fleet_flags(subparser):
+        subparser.add_argument(
+            "system", nargs="?", choices=sorted(SYSTEM_NAMES),
+            help="system letter of a same-hardware fleet (omit when "
+                 "using --spec)")
+        subparser.add_argument(
+            "--spec", metavar="FILE", default=None,
+            help="run a FleetSpec JSON file instead of the flags")
+        subparser.add_argument("--env", choices=sorted(ENVIRONMENTS),
+                               default=None,
+                               help="shared ambient field (default "
+                                    "outdoor; flag mode only)")
+        subparser.add_argument("--nodes", type=int, default=None,
+                               help="fleet size (default 8; flag mode "
+                                    "only)")
+        subparser.add_argument("--topology",
+                               choices=("none", "ring", "star", "line"),
+                               default=None,
+                               help="radio link topology (default ring; "
+                                    "links add quasi-static listen "
+                                    "power to each receiver)")
+        subparser.add_argument("--spread", type=float, default=None,
+                               help="micro-siting diversity: node "
+                                    "ambient scales span [1-s, 1+s] "
+                                    "(default 0 = identical siting)")
+        subparser.add_argument("--days", type=float, default=None,
+                               help="simulated days (default 2; flag "
+                                    "mode only)")
+        subparser.add_argument("--dt", type=float, default=None,
+                               help="simulation step, seconds (default "
+                                    "300; flag mode only)")
+        subparser.add_argument("--seed", type=int, default=None,
+                               help="ambient seed ('run') / root seed "
+                                    "of the replicate stream ('mc'); "
+                                    "default 0")
+        subparser.add_argument("--listen", type=float, default=None,
+                               metavar="S",
+                               help="receiver idle-listen window per "
+                                    "frame, seconds (default 0.002; "
+                                    "flag mode only)")
+        subparser.add_argument("--tier",
+                               choices=("auto", "batched",
+                                        "multiprocessing", "in-process"),
+                               default="auto",
+                               help="execution tier for the per-node "
+                                    "lanes; all three produce bitwise-"
+                                    "identical rows")
+        subparser.add_argument("--processes", type=int, default=None,
+                               help="worker processes for the "
+                                    "multiprocessing tier")
+        subparser.add_argument("--json", action="store_true",
+                               help="emit fleet metrics and per-node "
+                                    "rows as JSON instead of a table")
+        add_fast_flag(subparser)
+        add_catalog_flag(subparser)
+
+    f_run = flt_sub.add_parser(
+        "run", help="one fleet on one ambient realization")
+    add_fleet_flags(f_run)
+
+    f_mc = flt_sub.add_parser(
+        "mc", help="fleet under N ambient realizations (Monte Carlo)")
+    add_fleet_flags(f_mc)
+    f_mc.add_argument("--replicates", type=int, default=16,
+                      help="number of ambient realizations (default 16)")
 
     p_spc = sub.add_parser(
         "spec", help="emit canonical spec JSON / inspect the registry")
@@ -529,9 +608,26 @@ def _cmd_run(args) -> int:
             print(ensemble.report())
             _print_catalog_report(ensemble.catalog_report)
         return 0
+    if isinstance(spec, FleetSpec):
+        try:
+            result = run_fleet(spec, processes=args.processes,
+                               fast=_cli_fast(args), catalog=catalog)
+        except (KeyError, ValueError, TypeError) as exc:
+            print(f"error: cannot execute {args.config}: {exc}",
+                  file=sys.stderr)
+            return 2
+        if args.json:
+            payload = _fleet_jsonable(result)
+            if result.catalog_report is not None:
+                payload["catalog"] = result.catalog_report.to_dict()
+            print(dumps_json(payload))
+        else:
+            print(result.report())
+            _print_catalog_report(result.catalog_report)
+        return 0
     print(f"error: {args.config} holds a {type(spec).__name__}; "
-          f"'run' executes RunSpec, SweepSpec, or MonteCarloSpec configs",
-          file=sys.stderr)
+          f"'run' executes RunSpec, SweepSpec, MonteCarloSpec, or "
+          f"FleetSpec configs", file=sys.stderr)
     return 2
 
 
@@ -701,6 +797,121 @@ def _cmd_mc(args) -> int:
     return 0
 
 
+def _fleet_jsonable(result) -> dict:
+    """JSON payload of one fleet run: aggregate + per-node rows."""
+    return {
+        "name": result.spec.label,
+        "fleet_metrics": result.metrics,
+        "execution_paths": result.execution_paths(),
+        "rows": result.rows(),
+    }
+
+
+def _fleet_spec_from_args(args):
+    """Resolve the fleet subcommands' flags into a FleetSpec (or None)."""
+    flag_mode_values = (args.env, args.nodes, args.topology, args.spread,
+                        args.days, args.dt, args.listen)
+    if args.spec is not None:
+        if args.system is not None or \
+                any(v is not None for v in flag_mode_values):
+            print("error: --spec carries the fleet itself; a system "
+                  "letter and --env/--nodes/--topology/--spread/--days/"
+                  "--dt/--listen only apply in flag mode",
+                  file=sys.stderr)
+            return None
+        spec = _load_spec_file(args.spec)
+        if spec is None:
+            return None
+        if not isinstance(spec, FleetSpec):
+            print(f"error: --spec file must hold a FleetSpec, got "
+                  f"{type(spec).__name__}", file=sys.stderr)
+            return None
+        return spec
+    if args.system is None:
+        print("error: give a system letter, or --spec FILE",
+              file=sys.stderr)
+        return None
+    from .fleet import homogeneous_fleet
+    env_name = args.env if args.env is not None else "outdoor"
+    nodes = args.nodes if args.nodes is not None else 8
+    days = args.days if args.days is not None else 2.0
+    dt = args.dt if args.dt is not None else 300.0
+    seed = args.seed if args.seed is not None else 0
+    try:
+        environment = EnvironmentSpec(ENVIRONMENTS[env_name],
+                                      duration=days * DAY, dt=dt,
+                                      seed=seed)
+        return homogeneous_fleet(
+            spec_for(args.system), environment, nodes,
+            topology=args.topology if args.topology is not None
+            else "ring",
+            spread=args.spread if args.spread is not None else 0.0,
+            seed=seed,
+            listen_window_s=args.listen if args.listen is not None
+            else 0.002,
+            name=f"fleet-{args.system}x{nodes}",
+        )
+    except (ValueError, TypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+
+
+def _cmd_fleet(args) -> int:
+    spec = _fleet_spec_from_args(args)
+    if spec is None:
+        return 2
+    catalog, code = _open_catalog(args)
+    if code is not None:
+        return code
+    if args.fleet_command == "run":
+        try:
+            result = run_fleet(spec, tier=args.tier,
+                               processes=args.processes,
+                               fast=_cli_fast(args), catalog=catalog)
+        except (KeyError, ValueError, TypeError) as exc:
+            print(f"error: cannot execute fleet: {exc}", file=sys.stderr)
+            return 2
+        if args.json:
+            payload = _fleet_jsonable(result)
+            if result.catalog_report is not None:
+                payload["catalog"] = result.catalog_report.to_dict()
+            print(dumps_json(payload))
+        else:
+            print(result.report())
+            _print_catalog_report(result.catalog_report)
+        return 0
+    if args.fleet_command == "mc":
+        from .fleet import run_fleet_ensemble
+        try:
+            ensemble = run_fleet_ensemble(
+                spec, args.replicates,
+                root_seed=args.seed if args.seed is not None else 0,
+                tier=args.tier, processes=args.processes,
+                fast=_cli_fast(args), catalog=catalog)
+        except (KeyError, ValueError, TypeError) as exc:
+            print(f"error: cannot execute fleet ensemble: {exc}",
+                  file=sys.stderr)
+            return 2
+        if args.json:
+            payload = {
+                "name": ensemble.name,
+                "replicates": ensemble.replicates,
+                "root_seed": ensemble.root_seed,
+                "execution_paths": ensemble.execution_paths(),
+                "summaries": ensemble.summaries(),
+                "rows": ensemble.rows(),
+            }
+            if ensemble.catalog_report is not None:
+                payload["catalog"] = ensemble.catalog_report.to_dict()
+            print(dumps_json(payload))
+        else:
+            print(ensemble.report())
+            _print_catalog_report(ensemble.catalog_report)
+        return 0
+    raise AssertionError(
+        f"unhandled fleet command {args.fleet_command!r}")
+
+
 def _cmd_spec(args) -> int:
     if args.registry:
         print(json.dumps(describe_registry(), indent=2, sort_keys=True))
@@ -823,9 +1034,26 @@ def _cmd_catalog(args) -> int:
             print(f"  - {run_id}")
         return 0
     if args.catalog_command == "bench":
-        from .catalog import bench_trajectory, write_trajectory
+        from .catalog import (bench_trajectory, default_trajectory_path,
+                              import_trajectory, write_trajectory)
         if args.output is not None:
-            document = write_trajectory(catalog, args.output)
+            # Fold any committed legacy history into the store first, so
+            # regenerating against a fresh clone's empty .bench-catalog
+            # extends the trajectory instead of truncating it to [].
+            legacy = default_trajectory_path()
+            imported = import_trajectory(catalog, legacy)
+            if imported:
+                print(f"imported {imported} legacy sample(s) "
+                      f"from {legacy}")
+            try:
+                document = write_trajectory(catalog, args.output,
+                                            require_runs=True)
+            except RuntimeError:
+                print(f"error: benchmark trajectory is empty — "
+                      f"{catalog.root} holds no bench records and "
+                      f"{legacy} has no history to import",
+                      file=sys.stderr)
+                return 1
             print(f"wrote {len(document['runs'])} benchmark record(s) "
                   f"to {args.output}")
         else:
@@ -868,6 +1096,8 @@ def main(argv=None) -> int:
         return _cmd_sweep(args)
     if args.command == "mc":
         return _cmd_mc(args)
+    if args.command == "fleet":
+        return _cmd_fleet(args)
     if args.command == "spec":
         return _cmd_spec(args)
     if args.command == "catalog":

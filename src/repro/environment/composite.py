@@ -33,9 +33,44 @@ __all__ = [
     "indoor_industrial_environment",
     "agricultural_environment",
     "urban_rf_environment",
+    "scaled_environment",
 ]
 
 DAY = 86_400.0
+
+
+@register("environment", "scaled")
+def scaled_environment(duration: float | None = None,
+                       dt: float | None = None, *,
+                       base: str = "outdoor", scale: float = 1.0,
+                       offset: float = 0.0, base_params: dict | None = None,
+                       seed: int = 0) -> Environment:
+    """An affine per-channel transform of a registered base environment.
+
+    Every channel trace of the base becomes ``trace * scale + offset``
+    (offsets in the channel's native units). The base environment is
+    built from the same ``seed``, so N scaled variants of one seed share
+    a single stochastic realization — how fleet nodes see one ambient
+    field through per-node micro-siting factors (partial shading, mast
+    height, distance to the machine). The identity transform
+    (``scale == 1.0 and offset == 0.0``) returns the base environment
+    itself, bit-for-bit.
+    """
+    from ..spec.registry import REGISTRY
+    if scale < 0:
+        raise ValueError(f"scale must be non-negative, got {scale}")
+    kwargs = dict(base_params or {})
+    if duration is not None:
+        kwargs["duration"] = duration
+    if dt is not None:
+        kwargs["dt"] = dt
+    environment = REGISTRY.get("environment", base)(seed=seed, **kwargs)
+    if scale == 1.0 and offset == 0.0:
+        return environment
+    channels = {source: environment.trace(source) * scale + offset
+                for source in environment.sources}
+    return Environment(channels,
+                       name=f"{environment.name}*{scale:g}{offset:+g}")
 
 
 @register("environment", "outdoor")

@@ -1,0 +1,49 @@
+"""Multi-node fleet co-simulation on the shared-ambient batched kernel.
+
+The survey's motivating workload is *networks* of energy-harvesting
+nodes, not single devices: a deployment succeeds or fails on fleet-level
+quantities — what fraction of sites stays up, how much data the network
+yields, when the first node dies. This package turns a declarative
+:class:`~repro.spec.FleetSpec` into exactly that:
+
+* :func:`fleet_scenarios` — compile a fleet into one
+  :class:`~repro.simulation.ScenarioSpec` per node: a shared ambient
+  realization reshaped per node (scale/offset), and radio links resolved
+  into quasi-static listen power added to each receiver's sleep floor;
+* :func:`run_fleet` — execute the node lanes through the tiered
+  :class:`~repro.simulation.SweepRunner` (same-hardware fleets ride the
+  lockstep batched kernel, one lane per node) and aggregate
+  :class:`FleetMetrics`;
+* :func:`run_fleet_ensemble` — the fleet under N ambient realizations,
+  summarized through the Monte Carlo machinery.
+
+Determinism: a fleet's per-node rows are the rows the per-scenario
+engine would produce for the same derived specs, so fleet metrics are
+bitwise identical across the batched / multiprocessing / in-process
+tiers (enforced in ``tests/test_differential.py``). Because the derived
+scenarios are fully declarative, fleet runs dedup and checkpoint through
+the :mod:`repro.catalog` store like any sweep. See ``docs/fleet.md``.
+"""
+
+from .compile import fleet_links, fleet_scenarios, homogeneous_fleet
+from .metrics import FleetMetrics, fleet_metrics
+from .run import (
+    FLEET_REPORT_METRICS,
+    FleetEnsembleResult,
+    FleetResult,
+    run_fleet,
+    run_fleet_ensemble,
+)
+
+__all__ = [
+    "FLEET_REPORT_METRICS",
+    "FleetEnsembleResult",
+    "FleetMetrics",
+    "FleetResult",
+    "fleet_links",
+    "fleet_metrics",
+    "fleet_scenarios",
+    "homogeneous_fleet",
+    "run_fleet",
+    "run_fleet_ensemble",
+]

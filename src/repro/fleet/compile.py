@@ -1,0 +1,242 @@
+"""Compile a :class:`~repro.spec.FleetSpec` into per-node scenarios.
+
+The compilation is the whole trick: a fleet is *declarative* data, and
+everything that couples nodes — the shared ambient field, per-node
+micro-siting, radio listen cost — is resolved here into N ordinary
+:class:`~repro.simulation.ScenarioSpec` rows. After compilation the
+tiered sweep engine sees nothing fleet-shaped, so same-hardware fleets
+lower onto the lockstep batched kernel (one lane per node), results
+dedup through the catalog, and cross-tier bitwise determinism is
+inherited rather than re-proven.
+
+Radio coupling is **quasi-static**: for each link ``(src, dst)`` the
+receiver pays ``radio.rx_energy(payload_src, listen_window_s)`` once per
+sender measurement interval, folded into its sleep-floor power at
+compile time. A dynamic per-step exchange would break lane lockstep (and
+with it batched-tier determinism); the quasi-static form keeps the
+survey-level question — how neighbor traffic erodes a node's energy
+budget — while staying exactly representable as a per-node spec.
+"""
+
+from __future__ import annotations
+
+from ..spec.canonical import spec_hash
+from ..spec.specs import (
+    ComponentSpec,
+    EnvironmentSpec,
+    FleetNodeSpec,
+    FleetSpec,
+    SystemSpec,
+)
+
+__all__ = ["fleet_links", "fleet_scenarios", "homogeneous_fleet",
+           "listen_powers"]
+
+#: Named link topologies accepted by :func:`fleet_links`.
+TOPOLOGIES = ("none", "ring", "star", "line")
+
+
+def fleet_links(topology: str, n: int) -> tuple:
+    """Directed link set ``((src, dst), ...)`` of a named topology.
+
+    * ``none`` — isolated nodes (no radio coupling);
+    * ``ring`` — node ``i`` transmits to ``(i + 1) % n``;
+    * ``star`` — every leaf transmits to hub node 0;
+    * ``line`` — node ``i`` transmits to ``i + 1`` (open chain).
+    """
+    if n < 1:
+        raise ValueError(f"fleet needs at least one node, got {n}")
+    if topology == "none":
+        return ()
+    if topology == "ring":
+        if n < 2:
+            return ()
+        return tuple((i, (i + 1) % n) for i in range(n))
+    if topology == "star":
+        return tuple((i, 0) for i in range(1, n))
+    if topology == "line":
+        return tuple((i, i + 1) for i in range(n - 1))
+    raise ValueError(
+        f"unknown topology {topology!r}; expected one of {TOPOLOGIES}")
+
+
+def _node_system_spec(spec: FleetSpec, node: FleetNodeSpec) -> SystemSpec:
+    """The declarative system of one node: fleet base + node overrides."""
+    base = node.system if node.system is not None else spec.system
+    if not node.params:
+        return base
+    return SystemSpec(base.system, params={**base.params, **node.params})
+
+
+def _live_nodes(system_specs) -> list:
+    """Build each distinct system once and return its live sensor node.
+
+    The live node is the source of truth for coupling inputs (radio
+    parameters, payload, measurement interval, sleep floor): builders
+    apply their own defaults and overrides, so reading the constructed
+    object is the only way to see the node a spec *actually* produces.
+    Building runs no simulation — attributes are pristine.
+    """
+    from ..spec.build import build
+    cache: dict = {}
+    nodes = []
+    for system_spec in system_specs:
+        key = spec_hash(system_spec)
+        if key not in cache:
+            cache[key] = build(system_spec).node
+        nodes.append(cache[key])
+    return nodes
+
+
+def listen_powers(spec: FleetSpec, live_nodes) -> list:
+    """Per-receiver standing listen power (W) implied by the link set.
+
+    Each link ``(src, dst)`` costs the receiver one
+    :meth:`~repro.load.RadioModel.rx_energy` — startup, frame air time,
+    ACK transmission, plus the idle-listen window — per sender
+    measurement interval. Summed in link order, so the result is
+    deterministic for a given spec.
+    """
+    extra = [0.0] * len(spec.nodes)
+    for src, dst in spec.links:
+        sender = live_nodes[src]
+        receiver = live_nodes[dst]
+        energy = receiver.radio.rx_energy(sender.payload_bytes,
+                                          spec.listen_window_s)
+        extra[dst] += energy / sender.measurement_interval_s
+    return extra
+
+
+def _node_component(live_node, sleep_power_w: float) -> ComponentSpec:
+    """Declarative twin of a live node with an overridden sleep floor.
+
+    Spells out every constructor parameter (not just the override) so the
+    injected spec stays faithful even when the builder's own node differs
+    from class defaults.
+    """
+    radio = live_node.radio
+    return ComponentSpec("node", "wireless_sensor_node", params={
+        "sleep_power_w": sleep_power_w,
+        "mcu_active_power_w": live_node.mcu_active_power_w,
+        "sense_time_s": live_node.sense_time_s,
+        "payload_bytes": live_node.payload_bytes,
+        "measurement_interval_s": live_node.measurement_interval_s,
+        "radio": ComponentSpec("radio", "packet_radio", params={
+            "tx_power_w": radio.tx_power_w,
+            "rx_power_w": radio.rx_power_w,
+            "data_rate_bps": radio.data_rate_bps,
+            "startup_energy_j": radio.startup_energy_j,
+        }),
+        "reboot_time_s": live_node.reboot_time_s,
+        "reboot_energy_j": live_node.reboot_energy_j,
+    })
+
+
+def _node_environment(spec: FleetSpec, node: FleetNodeSpec) -> EnvironmentSpec:
+    """Per-node view of the shared ambient field.
+
+    The identity transform keeps the fleet's environment spec unchanged,
+    so unperturbed nodes stay spec-identical to a plain single-node run
+    (and hit the same catalog entries). Non-identity nodes wrap the base
+    in the registered ``scaled`` factory, which rebuilds the *same*
+    stochastic realization (same seed) and applies the affine reshape.
+    """
+    base = spec.environment
+    if node.scale == 1.0 and node.offset == 0.0:
+        return base
+    return EnvironmentSpec(
+        "scaled",
+        duration=base.duration,
+        dt=base.dt,
+        seed=base.seed,
+        params={
+            "base": base.environment,
+            "scale": node.scale,
+            "offset": node.offset,
+            "base_params": dict(base.params),
+        },
+    )
+
+
+def fleet_scenarios(spec: FleetSpec) -> list:
+    """Lower a fleet into one :class:`ScenarioSpec` per node.
+
+    Rows are named ``<fleet label>/<node name>`` and carry the node's
+    fleet coordinates (index, name, scale, offset, listen power) in
+    ``params``. Nodes with zero listen power keep their system spec
+    untouched — a link-free fleet of stock nodes compiles to exactly the
+    scenarios a plain sweep over the same systems would produce.
+    """
+    from ..simulation.sweep import ScenarioSpec
+
+    system_specs = [_node_system_spec(spec, node) for node in spec.nodes]
+    live_nodes = _live_nodes(system_specs)
+    extra = listen_powers(spec, live_nodes)
+
+    scenarios = []
+    for index, node in enumerate(spec.nodes):
+        system_spec = system_specs[index]
+        increment = extra[index]
+        if increment > 0.0:
+            live = live_nodes[index]
+            component = _node_component(live,
+                                        live.sleep_power_w + increment)
+            system_spec = SystemSpec(
+                system_spec.system,
+                params={**system_spec.params, "node": component})
+        name = spec.node_name(index)
+        scenarios.append(ScenarioSpec(
+            name=f"{spec.label}/{name}",
+            system=system_spec,
+            environment=_node_environment(spec, node),
+            duration=spec.duration,
+            dt=spec.dt,
+            seed=spec.seed,
+            params={
+                "fleet": spec.label,
+                "node": index,
+                "node_name": name,
+                "scale": node.scale,
+                "offset": node.offset,
+                "listen_power_w": increment,
+            },
+            fast=spec.fast,
+        ))
+    return scenarios
+
+
+def homogeneous_fleet(system: SystemSpec, environment: EnvironmentSpec,
+                      n: int, *, topology: str = "ring",
+                      spread: float = 0.0,
+                      duration: float | None = None, dt: float | None = None,
+                      seed: int | None = None, name: str = "fleet",
+                      listen_window_s: float = 0.002,
+                      fast: object = "auto") -> FleetSpec:
+    """A same-hardware fleet of ``n`` nodes on one ambient field.
+
+    ``spread`` models micro-siting diversity: node scales are spaced
+    evenly across ``[1 - spread, 1 + spread]`` (deterministic in the node
+    index; ``spread=0`` leaves every node on the unscaled field). This is
+    the shape the batched tier accelerates best — identical hardware,
+    one lane per node.
+    """
+    if not 0.0 <= spread < 1.0:
+        raise ValueError(f"spread must be in [0, 1), got {spread}")
+    nodes = []
+    for index in range(n):
+        scale = 1.0
+        if spread and n > 1:
+            scale = 1.0 - spread + (2.0 * spread * index) / (n - 1)
+        nodes.append(FleetNodeSpec(scale=scale))
+    return FleetSpec(
+        system=system,
+        environment=environment,
+        nodes=tuple(nodes),
+        links=fleet_links(topology, n),
+        duration=duration,
+        dt=dt,
+        seed=seed,
+        listen_window_s=listen_window_s,
+        name=name,
+        fast=fast,
+    )

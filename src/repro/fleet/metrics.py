@@ -1,0 +1,103 @@
+"""Fleet-level metrics: what a deployment is judged by.
+
+The survey's systems exist to keep *networks* of sensing sites alive;
+per-node :class:`~repro.simulation.RunMetrics` rows aggregate here into
+the deployment-level quantities:
+
+* **coverage fraction** — mean node uptime fraction: the expected share
+  of sites reporting at any instant;
+* **data yield** — total measurements delivered by the fleet;
+* **first death / fleet lifetime** — when the network first degrades.
+  ``first_death_s`` keeps the per-node ``-1`` sentinel semantics (no
+  death anywhere -> ``-1``); ``fleet_lifetime_s`` is the *censored* form
+  (min node lifetime, where an undying node lives the full duration), so
+  it is always a physical time and safe to average or quantile.
+
+All values are pure functions of the per-node metric rows — no recorder
+access, no collect hooks — so fleet summaries can be rebuilt from
+catalog-restored rows and stay bitwise identical across execution tiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FleetMetrics", "fleet_metrics", "node_lifetime_s"]
+
+
+def node_lifetime_s(metrics) -> float:
+    """Censored lifetime of one node: time to first death, else duration."""
+    if metrics.first_dead_s >= 0.0:
+        return metrics.first_dead_s
+    return metrics.duration_s
+
+
+@dataclass(frozen=True)
+class FleetMetrics:
+    """Aggregate of one fleet run (one ambient realization)."""
+
+    nodes: int
+    duration_s: float
+    coverage_fraction: float      # mean per-node uptime fraction
+    data_yield: float             # total fleet measurements
+    deaths: int                   # nodes that died at least once
+    first_death_s: float          # earliest node death; -1.0 if none died
+    fleet_lifetime_s: float       # min censored node lifetime
+    mean_lifetime_s: float        # mean censored node lifetime
+    #: ``((level, seconds), ...)`` quantiles of censored node lifetimes.
+    lifetime_quantiles: tuple = ()
+
+    def lifetime_quantile(self, level: float) -> float:
+        """Look up one computed lifetime quantile by its level."""
+        for quantile_level, value in self.lifetime_quantiles:
+            if quantile_level == level:
+                return value
+        raise KeyError(f"quantile {level} was not computed; "
+                       f"have {[q for q, _ in self.lifetime_quantiles]}")
+
+    def row(self) -> dict:
+        """Flat tidy row (quantiles flattened to ``lifetime_q<level>``)."""
+        row = {
+            "nodes": self.nodes,
+            "duration_s": self.duration_s,
+            "coverage_fraction": self.coverage_fraction,
+            "data_yield": self.data_yield,
+            "deaths": self.deaths,
+            "first_death_s": self.first_death_s,
+            "fleet_lifetime_s": self.fleet_lifetime_s,
+            "mean_lifetime_s": self.mean_lifetime_s,
+        }
+        for level, value in self.lifetime_quantiles:
+            row[f"lifetime_q{level:g}"] = value
+        return row
+
+
+def fleet_metrics(node_metrics, quantiles=(0.05, 0.25, 0.5, 0.75, 0.95)):
+    """Aggregate per-node :class:`RunMetrics` into :class:`FleetMetrics`.
+
+    ``node_metrics`` is the ordered sequence of per-node metric rows of
+    one fleet run. Aggregations use numpy reductions over the node axis
+    and cast to native floats, so results are independent of node count
+    chunking and JSON-safe.
+    """
+    rows = list(node_metrics)
+    if not rows:
+        raise ValueError("fleet_metrics needs at least one node row")
+    lifetimes = np.array([node_lifetime_s(m) for m in rows], dtype=float)
+    death_times = [m.first_dead_s for m in rows if m.first_dead_s >= 0.0]
+    quantile_values = np.quantile(lifetimes, quantiles) if quantiles else ()
+    return FleetMetrics(
+        nodes=len(rows),
+        duration_s=float(max(m.duration_s for m in rows)),
+        coverage_fraction=float(np.mean([m.uptime_fraction for m in rows])),
+        data_yield=float(np.sum([m.measurements for m in rows])),
+        deaths=len(death_times),
+        first_death_s=min(death_times) if death_times else -1.0,
+        fleet_lifetime_s=float(np.min(lifetimes)),
+        mean_lifetime_s=float(np.mean(lifetimes)),
+        lifetime_quantiles=tuple(
+            (float(level), float(value))
+            for level, value in zip(quantiles, quantile_values)),
+    )

@@ -1,0 +1,258 @@
+"""Execute compiled fleets through the tiered sweep engine.
+
+:func:`run_fleet` runs one fleet (one ambient realization) and
+:func:`run_fleet_ensemble` runs it under many realizations, reusing the
+Monte Carlo seed-stream and summary machinery. Both accept the same
+``tier`` selector as :func:`~repro.simulation.run_ensemble`: ``auto``,
+``batched`` (same-hardware fleets in lockstep, one lane per node, and a
+hard error if a lane cannot batch), ``multiprocessing``, ``in-process``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..simulation.montecarlo import replicate_seeds, summarize
+from .compile import fleet_scenarios
+from .metrics import fleet_metrics
+
+__all__ = ["FLEET_REPORT_METRICS", "FleetResult", "FleetEnsembleResult",
+           "run_fleet", "run_fleet_ensemble"]
+
+#: Default metric set for fleet ensemble summaries and reports.
+FLEET_REPORT_METRICS = ("coverage_fraction", "data_yield",
+                        "fleet_lifetime_s", "mean_lifetime_s", "deaths")
+
+
+class FleetResult:
+    """One fleet run: per-node rows plus the fleet aggregate.
+
+    ``results`` holds the per-node :class:`ScenarioResult` rows in node
+    order; ``metrics`` is the :class:`~repro.fleet.FleetMetrics`
+    aggregate over them (computed with the spec's quantile set).
+    """
+
+    def __init__(self, spec, results, catalog_report=None):
+        self.spec = spec
+        self.results = tuple(results)
+        if len(self.results) != len(spec.nodes):
+            raise ValueError(
+                f"fleet {spec.label!r} expects {len(spec.nodes)} node "
+                f"rows, got {len(self.results)}")
+        self.catalog_report = catalog_report
+        self.metrics = fleet_metrics(
+            [result.metrics for result in self.results],
+            quantiles=spec.quantiles)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def execution_paths(self) -> dict:
+        """``{execution_path: node count}`` across the fleet."""
+        counts: dict = {}
+        for result in self.results:
+            counts[result.execution_path] = \
+                counts.get(result.execution_path, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def rows(self) -> list:
+        """Per-node tidy table (flat dict per node)."""
+        return [result.row() for result in self.results]
+
+    def row(self) -> dict:
+        """Flat fleet-level row: label plus the aggregate metrics."""
+        row = {"name": self.spec.label}
+        row.update(self.metrics.row())
+        return row
+
+    def report(self) -> str:
+        """Per-node table plus the fleet aggregate lines."""
+        from ..analysis.reporting import render_table
+        headers = ("node", "uptime", "measurements", "first death (s)",
+                   "listen (uW)", "path")
+        body = []
+        for result in self.results:
+            m = result.metrics
+            first = "-" if m.first_dead_s < 0 else f"{m.first_dead_s:.0f}"
+            listen_uw = result.params.get("listen_power_w", 0.0) * 1e6
+            body.append((
+                result.params.get("node_name", result.name),
+                f"{m.uptime_fraction:.4f}", f"{m.measurements:.0f}",
+                first, f"{listen_uw:.3g}", result.execution_path,
+            ))
+        fm = self.metrics
+        paths = ", ".join(f"{path} x{count}"
+                          for path, count in self.execution_paths().items())
+        first = ("none" if fm.first_death_s < 0
+                 else f"{fm.first_death_s:.0f} s")
+        return (
+            f"{render_table(headers, body, title=f'fleet: {self.spec.label}')}\n"
+            f"coverage {fm.coverage_fraction:.4f} | "
+            f"yield {fm.data_yield:.0f} measurements | "
+            f"deaths {fm.deaths}/{fm.nodes} (first: {first}) | "
+            f"fleet lifetime {fm.fleet_lifetime_s:.0f} s\n"
+            f"execution: {paths}"
+        )
+
+    def __repr__(self) -> str:
+        return (f"FleetResult({self.spec.label!r}, "
+                f"{len(self.results)} nodes)")
+
+
+def run_fleet(spec, *, tier: str = "auto", processes=None, fast=None,
+              catalog=None) -> FleetResult:
+    """Run one fleet through the tiered sweep engine.
+
+    ``fast`` (when given) overrides the spec's engine-path selection for
+    every node. With a ``catalog``, derived node scenarios dedup against
+    prior runs — including the same nodes appearing in earlier fleets or
+    plain sweeps.
+    """
+    from ..simulation.montecarlo import _tier_runner
+    scenarios = fleet_scenarios(spec)
+    if fast is not None:
+        scenarios = [dataclasses.replace(s, fast=fast) for s in scenarios]
+    runner = _tier_runner(tier, processes, spec.fast if fast is None else fast,
+                          catalog)
+    sweep = runner.run(scenarios)
+    return FleetResult(spec, sweep.results, sweep.catalog_report)
+
+
+class FleetEnsembleResult:
+    """A fleet under many ambient realizations.
+
+    ``fleets`` holds one :class:`FleetResult` per replicate in
+    seed-stream order; :meth:`summary` collapses any
+    :class:`~repro.fleet.FleetMetrics` field across replicates into the
+    same :class:`~repro.simulation.MetricSummary` the scalar Monte Carlo
+    engine produces.
+    """
+
+    def __init__(self, spec, fleets, seeds, root_seed: int,
+                 catalog_report=None):
+        self.spec = spec
+        self.name = spec.label
+        self.fleets = tuple(fleets)
+        self.seeds = tuple(seeds)
+        self.root_seed = root_seed
+        self.quantiles = tuple(spec.quantiles)
+        self.catalog_report = catalog_report
+        if len(self.fleets) != len(self.seeds):
+            raise ValueError("one seed per fleet replicate")
+        if not self.fleets:
+            raise ValueError("fleet ensemble needs at least one replicate")
+
+    def __len__(self) -> int:
+        return len(self.fleets)
+
+    def __iter__(self):
+        return iter(self.fleets)
+
+    def __getitem__(self, index):
+        return self.fleets[index]
+
+    @property
+    def replicates(self) -> int:
+        return len(self.fleets)
+
+    def metric(self, name: str) -> np.ndarray:
+        """One fleet metric across replicates, in replicate order."""
+        values = np.empty(len(self.fleets), dtype=np.float64)
+        for i, fleet in enumerate(self.fleets):
+            values[i] = float(getattr(fleet.metrics, name))
+        return values
+
+    def summary(self, name: str):
+        """Distributional summary of one fleet metric."""
+        return summarize(name, self.metric(name), self.quantiles)
+
+    def summaries(self, metrics=FLEET_REPORT_METRICS) -> dict:
+        """``{metric: MetricSummary}`` for a set of fleet metrics."""
+        return {name: self.summary(name) for name in metrics}
+
+    def execution_paths(self) -> dict:
+        """``{execution_path: node-run count}`` across all replicates."""
+        counts: dict = {}
+        for fleet in self.fleets:
+            for path, count in fleet.execution_paths().items():
+                counts[path] = counts.get(path, 0) + count
+        return dict(sorted(counts.items()))
+
+    def rows(self) -> list:
+        """Per-replicate fleet-level tidy table."""
+        rows = []
+        for index, (fleet, seed) in enumerate(zip(self.fleets, self.seeds)):
+            row = fleet.row()
+            row["replicate"] = index
+            row["seed"] = seed
+            rows.append(row)
+        return rows
+
+    def report(self, metrics=FLEET_REPORT_METRICS) -> str:
+        """Quantile table of the fleet metrics across replicates."""
+        from ..analysis.reporting import render_table
+        headers = ("metric", "mean", "std", "p5", "p50", "p95",
+                   "ci95 (mean)")
+        levels = tuple(sorted(set(self.quantiles) | {0.05, 0.5, 0.95}))
+        body = []
+        for name in metrics:
+            s = summarize(name, self.metric(name), levels)
+            body.append((
+                name, f"{s.mean:.4g}", f"{s.std:.4g}",
+                f"{s.quantile(0.05):.4g}", f"{s.quantile(0.5):.4g}",
+                f"{s.quantile(0.95):.4g}",
+                f"[{s.ci_low:.4g}, {s.ci_high:.4g}]",
+            ))
+        paths = ", ".join(f"{path} x{count}"
+                          for path, count in self.execution_paths().items())
+        title = (f"fleet ensemble: {self.name} — {len(self)} replicates, "
+                 f"root seed {self.root_seed}")
+        return (f"{render_table(headers, body, title=title)}\n"
+                f"execution: {paths}")
+
+    def __repr__(self) -> str:
+        return (f"FleetEnsembleResult({self.name!r}, {len(self)} "
+                f"replicates, root_seed={self.root_seed})")
+
+
+def run_fleet_ensemble(spec, replicates: int = 16, *, root_seed: int = 0,
+                       stream: int = 0, tier: str = "auto", processes=None,
+                       fast=None, catalog=None) -> FleetEnsembleResult:
+    """Run a fleet under ``replicates`` ambient realizations.
+
+    The fleet is compiled once; each replicate re-seeds the derived node
+    scenarios from the Monte Carlo seed stream (so per-node scaled
+    environments within one replicate still share a single stochastic
+    realization). All ``replicates * nodes`` scenarios run as one sweep,
+    which lets the batched tier pack every lane of every replicate into
+    one lockstep kernel invocation.
+    """
+    from ..simulation.montecarlo import _tier_runner
+    if replicates < 1:
+        raise ValueError(f"replicates must be >= 1, got {replicates}")
+    base = fleet_scenarios(spec)
+    if fast is not None:
+        base = [dataclasses.replace(s, fast=fast) for s in base]
+    seeds = replicate_seeds(root_seed, replicates, stream)
+    scenarios = []
+    for index, seed in enumerate(seeds):
+        for scenario in base:
+            scenarios.append(dataclasses.replace(
+                scenario,
+                name=f"{scenario.name}#r{index}",
+                seed=seed,
+                params={**scenario.params, "replicate": index, "seed": seed},
+            ))
+    runner = _tier_runner(tier, processes, spec.fast if fast is None else fast,
+                          catalog)
+    sweep = runner.run(scenarios)
+    n = len(base)
+    fleets = [FleetResult(spec, sweep.results[index * n:(index + 1) * n])
+              for index in range(replicates)]
+    return FleetEnsembleResult(spec, fleets, seeds, root_seed,
+                               catalog_report=sweep.catalog_report)

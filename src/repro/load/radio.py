@@ -6,13 +6,30 @@ The model is a per-event energy accounting of a low-power transceiver in
 the 802.15.4 class (the EH-Link of Table I is a 2.4 GHz node): transmit
 energy scales with payload at the radio's data rate and TX power draw, and
 each packet carries a fixed startup/synthesizer overhead.
+
+802.15.4 frames are bounded: the PHY caps a frame at 127 bytes, and with
+the modeled 17 B PHY+MAC overhead a single frame carries at most 110 B of
+payload. Payloads beyond that fragment into multiple frames, each paying
+the full per-frame overhead (startup energy, framing bytes, ACK listen) —
+large packets are *more* expensive per byte, never silently cheaper.
 """
 
 from __future__ import annotations
 
-__all__ = ["RadioModel"]
+from ..spec.registry import register
+
+__all__ = ["RadioModel", "MAX_FRAME_BYTES", "FRAME_OVERHEAD_BYTES",
+           "MAX_PAYLOAD_BYTES"]
+
+#: 802.15.4 PHY frame cap (aMaxPHYPacketSize), bytes.
+MAX_FRAME_BYTES = 127
+#: Modeled PHY+MAC framing overhead per frame, bytes.
+FRAME_OVERHEAD_BYTES = 17
+#: Largest payload one frame can carry under the modeled overhead.
+MAX_PAYLOAD_BYTES = MAX_FRAME_BYTES - FRAME_OVERHEAD_BYTES
 
 
+@register("radio", "packet_radio")
 class RadioModel:
     """Packet-energy model of a low-power transceiver.
 
@@ -25,7 +42,7 @@ class RadioModel:
     data_rate_bps:
         Physical data rate (802.15.4: 250 kbit/s).
     startup_energy_j:
-        Fixed per-packet cost (oscillator+PLL startup, CSMA).
+        Fixed per-frame cost (oscillator+PLL startup, CSMA).
     """
 
     def __init__(self, tx_power_w: float = 0.075, rx_power_w: float = 0.060,
@@ -41,17 +58,76 @@ class RadioModel:
         self.data_rate_bps = data_rate_bps
         self.startup_energy_j = startup_energy_j
 
-    def tx_time(self, payload_bytes: int) -> float:
-        """Air time (s) for a payload plus 802.15.4-style framing."""
+    @staticmethod
+    def fragments(payload_bytes: int) -> tuple:
+        """Per-frame payload sizes after 802.15.4 MTU fragmentation.
+
+        A payload within :data:`MAX_PAYLOAD_BYTES` is one frame; anything
+        larger splits into full frames plus a remainder. An empty payload
+        is still one (header-only) frame — the packet exists.
+        """
         if payload_bytes < 0:
             raise ValueError("payload_bytes must be non-negative")
-        framed_bits = (payload_bytes + 17) * 8  # PHY+MAC overhead ~17 B
+        if payload_bytes <= MAX_PAYLOAD_BYTES:
+            return (payload_bytes,)
+        full, rest = divmod(payload_bytes, MAX_PAYLOAD_BYTES)
+        sizes = (MAX_PAYLOAD_BYTES,) * full
+        return sizes + (rest,) if rest else sizes
+
+    def tx_time(self, payload_bytes: int) -> float:
+        """Air time (s) for a *single-frame* payload plus framing.
+
+        Raises ``ValueError`` beyond the 802.15.4 MTU: a 127 B frame
+        carries at most :data:`MAX_PAYLOAD_BYTES` of payload under the
+        modeled 17 B overhead — use :meth:`packet_energy`, which
+        fragments, for larger packets.
+        """
+        if payload_bytes < 0:
+            raise ValueError("payload_bytes must be non-negative")
+        if payload_bytes > MAX_PAYLOAD_BYTES:
+            raise ValueError(
+                f"payload of {payload_bytes} B exceeds the 802.15.4 frame "
+                f"limit of {MAX_PAYLOAD_BYTES} B "
+                f"({MAX_FRAME_BYTES} B frame - {FRAME_OVERHEAD_BYTES} B "
+                f"overhead); packet_energy() fragments automatically")
+        framed_bits = (payload_bytes + FRAME_OVERHEAD_BYTES) * 8
         return framed_bits / self.data_rate_bps
 
+    def ack_time(self) -> float:
+        """Air time (s) of one header-only acknowledgement frame."""
+        return self.tx_time(0)
+
     def packet_energy(self, payload_bytes: int, ack_listen_s: float = 0.002) -> float:
-        """Total energy (J) to send one packet and listen for its ACK."""
+        """Total energy (J) to send one packet and listen for its ACKs.
+
+        Payloads beyond the MTU fragment into multiple frames; every
+        frame pays the full startup energy, its own air time, and its own
+        ACK listen window.
+        """
         if ack_listen_s < 0:
             raise ValueError("ack_listen_s must be non-negative")
-        return (self.startup_energy_j +
-                self.tx_power_w * self.tx_time(payload_bytes) +
-                self.rx_power_w * ack_listen_s)
+        energy = 0.0
+        for size in self.fragments(payload_bytes):
+            energy += (self.startup_energy_j +
+                       self.tx_power_w * self.tx_time(size) +
+                       self.rx_power_w * ack_listen_s)
+        return energy
+
+    def rx_energy(self, payload_bytes: int, listen_s: float = 0.0) -> float:
+        """Total energy (J) for a neighbor to receive one packet.
+
+        The receive-side mirror of :meth:`packet_energy`: per frame, the
+        receiver pays its own radio startup, listens for the frame's air
+        time, and transmits a header-only ACK; ``listen_s`` adds one idle
+        listen window per packet (the receiver must be awake before the
+        first bit arrives). This is what couples a fleet node's energy
+        budget to its neighbors' transmissions (see ``docs/fleet.md``).
+        """
+        if listen_s < 0:
+            raise ValueError("listen_s must be non-negative")
+        energy = self.rx_power_w * listen_s
+        for size in self.fragments(payload_bytes):
+            energy += (self.startup_energy_j +
+                       self.rx_power_w * self.tx_time(size) +
+                       self.tx_power_w * self.ack_time())
+        return energy

@@ -35,6 +35,10 @@ class RunMetrics:
     brownouts: int
     measurements: float
     harvest_coverage: float       # fraction of steps with delivered power > 0
+    #: Sim time (s) at the start of the first recorded DEAD step;
+    #: -1.0 when the node never died. The per-node input to fleet
+    #: lifetime metrics (see :mod:`repro.fleet`).
+    first_dead_s: float = -1.0
 
     @property
     def tracking_efficiency(self) -> float:
@@ -99,6 +103,9 @@ def compute_metrics(recorder: Recorder) -> RunMetrics:
     np.copyto(prev_running[1:], running_mask[:-1])
     transitions = int(np.count_nonzero(prev_running & dead_mask))
 
+    dead_indices = np.flatnonzero(dead_mask)
+    first_dead = float(dead_indices[0]) * dt if dead_indices.size else -1.0
+
     return RunMetrics(
         duration_s=duration,
         harvested_raw_j=float(np.sum(recorder.column("harvest_raw"))) * dt,
@@ -114,4 +121,5 @@ def compute_metrics(recorder: Recorder) -> RunMetrics:
         brownouts=transitions,
         measurements=float(np.sum(recorder.column("measurements"))),
         harvest_coverage=float(np.count_nonzero(delivered_w > 0)) / n,
+        first_dead_s=first_dead,
     )

@@ -35,6 +35,7 @@ from .build import (
     build_environment,
     describe_registry,
     run,
+    run_fleet,
     run_montecarlo,
     run_sweep,
     spec_for,
@@ -45,6 +46,8 @@ from .registry import REGISTRY, ComponentRegistry, register
 from .specs import (
     ComponentSpec,
     EnvironmentSpec,
+    FleetNodeSpec,
+    FleetSpec,
     MonteCarloSpec,
     RunSpec,
     SweepSpec,
@@ -63,6 +66,8 @@ __all__ = [
     "RunSpec",
     "SweepSpec",
     "MonteCarloSpec",
+    "FleetNodeSpec",
+    "FleetSpec",
     "spec_from_dict",
     "load_spec",
     "canonical_bytes",
@@ -74,6 +79,7 @@ __all__ = [
     "run",
     "run_sweep",
     "run_montecarlo",
+    "run_fleet",
     "spec_for",
     "to_scenario",
     "describe_registry",

@@ -40,6 +40,7 @@ __all__ = [
     "run",
     "run_sweep",
     "run_montecarlo",
+    "run_fleet",
     "spec_for",
     "to_scenario",
     "describe_registry",
@@ -232,6 +233,25 @@ def run_montecarlo(spec: MonteCarloSpec, *, tier: str = "auto",
     return run_ensemble(spec, tier=tier, processes=processes,
                         fast="auto" if fast is None else fast,
                         catalog=catalog)
+
+
+def run_fleet(spec, *, tier: str = "auto", processes: int | None = None,
+              fast=None, catalog=None):
+    """Execute a :class:`~repro.spec.specs.FleetSpec` via
+    :func:`repro.fleet.run_fleet`; returns a
+    :class:`~repro.fleet.FleetResult`.
+
+    Same knobs as :func:`run_montecarlo`: ``tier`` pins the execution
+    tier, ``fast`` overrides every node's engine path, ``catalog``
+    dedups the derived per-node scenarios.
+    """
+    from ..fleet import run_fleet as _run_fleet
+    from .specs import FleetSpec
+    if not isinstance(spec, FleetSpec):
+        raise TypeError(f"run_fleet() takes a FleetSpec, "
+                        f"got {type(spec).__name__}")
+    return _run_fleet(spec, tier=tier, processes=processes, fast=fast,
+                      catalog=catalog)
 
 
 def describe_registry(category: str | None = None) -> dict:

@@ -32,6 +32,27 @@ import json
 __all__ = ["canonical_dumps", "canonical_bytes", "spec_hash"]
 
 
+def _coerce_scalar(value):
+    """Last-resort encoder hook: numpy scalars -> native Python scalars.
+
+    ``json.dumps`` rejects ``np.int64``/``np.bool_`` outright (they are
+    not ``int``/``bool`` subclasses), so a spec params tree that picked
+    up numpy values from an analysis sweep would crash — or, worse,
+    serialize through a repr that is not canonical JSON, silently
+    splitting the spec-hash space. Zero-dimensional ``item()`` carriers
+    collapse to the native scalar they wrap; everything else stays a
+    ``TypeError``, loudly (no numpy import here — the spec layer stays
+    dependency-free and the hook duck-types on the scalar protocol).
+    """
+    item = getattr(value, "item", None)
+    if item is not None and getattr(value, "ndim", 0) == 0:
+        native = item()
+        if isinstance(native, (bool, int, float, str)):
+            return native
+    raise TypeError(f"Object of type {type(value).__name__} "
+                    f"is not JSON serializable")
+
+
 def _as_dict(spec) -> dict:
     """A spec (or an already-plain dict tree) as its dict form."""
     if isinstance(spec, dict):
@@ -52,7 +73,7 @@ def canonical_dumps(spec, indent: int | None = None) -> str:
     indented document parses back to byte-identical canonical form.
     """
     return json.dumps(_as_dict(spec), indent=indent, sort_keys=True,
-                      allow_nan=False)
+                      allow_nan=False, default=_coerce_scalar)
 
 
 def canonical_bytes(spec) -> bytes:

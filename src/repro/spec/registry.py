@@ -37,6 +37,7 @@ CATEGORIES = (
     "converter",
     "manager",
     "node",
+    "radio",
     "environment",
     "system",
 )

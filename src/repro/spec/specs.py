@@ -13,7 +13,9 @@ data, decoupled from the live objects that execute it:
 * :class:`SweepSpec` — an ordered collection of runs for
   :class:`~repro.simulation.SweepRunner`;
 * :class:`MonteCarloSpec` — one run expanded into an N-replicate
-  Monte Carlo ensemble (see :mod:`repro.simulation.montecarlo`).
+  Monte Carlo ensemble (see :mod:`repro.simulation.montecarlo`);
+* :class:`FleetSpec` / :class:`FleetNodeSpec` — N nodes co-simulated on
+  one shared ambient field with radio links (see :mod:`repro.fleet`).
 
 Every spec round-trips through ``to_dict``/``from_dict`` and
 ``to_json``/``from_json`` losslessly; :func:`spec_from_dict` /
@@ -39,6 +41,8 @@ __all__ = [
     "RunSpec",
     "SweepSpec",
     "MonteCarloSpec",
+    "FleetNodeSpec",
+    "FleetSpec",
     "spec_from_dict",
     "load_spec",
 ]
@@ -85,6 +89,20 @@ def _normalize_params(value):
                 for key, item in value.items()}
     if isinstance(value, (list, tuple)):
         return [_normalize_params(item) for item in value]
+    # Numpy scalars (np.float64 grid values, np.int64 indices) leak into
+    # params from analysis sweeps; canonical JSON either rejects them
+    # (np.int64) or risks non-canonical formatting, so they collapse to
+    # the native scalar here — duck-typed on the 0-d ``item()`` protocol
+    # to keep the spec layer free of a numpy import. The exact-type check
+    # (not isinstance) also catches np.float64, which subclasses float
+    # but should not reach factories or pickle as a numpy object.
+    if type(value) not in (bool, int, float, str, bytes) and \
+            value is not None:
+        item = getattr(value, "item", None)
+        if item is not None and getattr(value, "ndim", 0) == 0:
+            native = item()
+            if isinstance(native, (bool, int, float, str)):
+                return native
     return value
 
 
@@ -461,6 +479,183 @@ class MonteCarloSpec(_JsonSpec):
                    name=data.get("name", ""))
 
 
+@dataclass(frozen=True)
+class FleetNodeSpec(_JsonSpec):
+    """One node of a fleet: its ambient exposure and hardware deltas.
+
+    ``scale``/``offset`` transform the fleet's shared ambient field for
+    this node (every channel trace becomes ``trace * scale + offset``,
+    offsets in the channel's native units) — micro-siting without
+    re-drawing the stochastic realization. ``system`` (when given)
+    replaces the fleet's base platform for this node — a heterogeneous
+    fleet; ``params`` are builder-keyword overrides merged over the base
+    platform's params.
+    """
+
+    name: str = ""
+    scale: float = 1.0
+    offset: float = 0.0
+    system: SystemSpec | None = None
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not isinstance(self.scale, (int, float)) or self.scale < 0:
+            raise ValueError(f"scale must be a non-negative number, "
+                             f"got {self.scale!r}")
+        if not isinstance(self.offset, (int, float)):
+            raise ValueError(f"offset must be a number, got {self.offset!r}")
+        if self.system is not None and not isinstance(self.system, SystemSpec):
+            raise TypeError(f"system must be a SystemSpec or None, "
+                            f"got {self.system!r}")
+        object.__setattr__(self, "scale", float(self.scale))
+        object.__setattr__(self, "offset", float(self.offset))
+        object.__setattr__(self, "params",
+                           _checked_params(self.params, "FleetNodeSpec"))
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "fleetnode",
+            "name": self.name,
+            "scale": self.scale,
+            "offset": self.offset,
+            "system": None if self.system is None else self.system.to_dict(),
+            "params": _params_to_jsonable(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FleetNodeSpec":
+        _expect_kind(data, "fleetnode")
+        system = data.get("system")
+        return cls(name=data.get("name", ""),
+                   scale=data.get("scale", 1.0),
+                   offset=data.get("offset", 0.0),
+                   system=None if system is None
+                   else SystemSpec.from_dict(system),
+                   params=_params_from_jsonable(data.get("params", {})))
+
+
+@dataclass(frozen=True)
+class FleetSpec(_JsonSpec):
+    """N nodes co-simulated on one shared ambient field with radio links.
+
+    ``system``/``environment`` are the fleet-wide base platform and the
+    shared ambient realization (every node sees the *same* stochastic
+    draw, reshaped per node by its :class:`FleetNodeSpec` scale/offset).
+    ``links`` are directed ``(sender, receiver)`` index pairs; each link
+    couples the receiver's energy budget to the sender's transmissions
+    through the radio model (quasi-static listen power — see
+    ``docs/fleet.md``). ``listen_window_s`` is the per-packet idle listen
+    window a receiver keeps open; ``quantiles`` are the fleet-lifetime
+    quantile levels reported by the fleet metrics.
+
+    ``duration``/``dt``/``seed`` override the environment spec exactly
+    as in :class:`RunSpec`; ``fast`` selects the engine path of every
+    node lane.
+    """
+
+    system: SystemSpec
+    environment: EnvironmentSpec
+    nodes: tuple = ()
+    links: tuple = ()
+    duration: float | None = None
+    dt: float | None = None
+    seed: int | None = None
+    listen_window_s: float = 0.002
+    quantiles: tuple = (0.05, 0.25, 0.5, 0.75, 0.95)
+    name: str = "fleet"
+    fast: object = "auto"
+
+    def __post_init__(self):
+        if not isinstance(self.system, SystemSpec):
+            raise TypeError(f"system must be a SystemSpec, "
+                            f"got {self.system!r}")
+        if not isinstance(self.environment, EnvironmentSpec):
+            raise TypeError(f"environment must be an EnvironmentSpec, "
+                            f"got {self.environment!r}")
+        nodes = tuple(self.nodes)
+        if not nodes:
+            raise ValueError("a fleet needs at least one node")
+        for node in nodes:
+            if not isinstance(node, FleetNodeSpec):
+                raise TypeError(f"nodes must be FleetNodeSpec instances, "
+                                f"got {node!r}")
+        links = []
+        for link in self.links:
+            pair = tuple(link)
+            if len(pair) != 2:
+                raise ValueError(f"links must be (sender, receiver) "
+                                 f"pairs, got {link!r}")
+            src, dst = (int(pair[0]), int(pair[1]))
+            if not (0 <= src < len(nodes) and 0 <= dst < len(nodes)):
+                raise ValueError(f"link {link!r} references a node outside "
+                                 f"0..{len(nodes) - 1}")
+            if src == dst:
+                raise ValueError(f"link {link!r} is a self-loop")
+            links.append((src, dst))
+        if not isinstance(self.listen_window_s, (int, float)) or \
+                self.listen_window_s < 0:
+            raise ValueError(f"listen_window_s must be non-negative, "
+                             f"got {self.listen_window_s!r}")
+        levels = tuple(float(q) for q in self.quantiles)
+        if not levels or any(not 0.0 <= q <= 1.0 for q in levels) or \
+                list(levels) != sorted(set(levels)):
+            raise ValueError(
+                f"quantiles must be distinct ascending levels in [0, 1], "
+                f"got {self.quantiles!r}")
+        object.__setattr__(self, "nodes", nodes)
+        object.__setattr__(self, "links", tuple(links))
+        object.__setattr__(self, "listen_window_s",
+                           float(self.listen_window_s))
+        object.__setattr__(self, "quantiles", levels)
+
+    @property
+    def label(self) -> str:
+        """Row label: explicit name, else ``fleet(<system>xN)``."""
+        if self.name and self.name != "fleet":
+            return self.name
+        return f"fleet({self.system.system}x{len(self.nodes)})"
+
+    def node_name(self, index: int) -> str:
+        """Display name of one node (explicit name, else ``n<index>``)."""
+        explicit = self.nodes[index].name
+        return explicit or f"n{index:02d}"
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "fleet",
+            "name": self.name,
+            "system": self.system.to_dict(),
+            "environment": self.environment.to_dict(),
+            "nodes": [node.to_dict() for node in self.nodes],
+            "links": [list(link) for link in self.links],
+            "duration": self.duration,
+            "dt": self.dt,
+            "seed": self.seed,
+            "listen_window_s": self.listen_window_s,
+            "quantiles": list(self.quantiles),
+            "fast": self.fast,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FleetSpec":
+        _expect_kind(data, "fleet")
+        return cls(
+            system=SystemSpec.from_dict(data["system"]),
+            environment=EnvironmentSpec.from_dict(data["environment"]),
+            nodes=tuple(FleetNodeSpec.from_dict(n)
+                        for n in data.get("nodes", ())),
+            links=tuple(tuple(link) for link in data.get("links", ())),
+            duration=data.get("duration"),
+            dt=data.get("dt"),
+            seed=data.get("seed"),
+            listen_window_s=data.get("listen_window_s", 0.002),
+            quantiles=tuple(data.get("quantiles",
+                                     (0.05, 0.25, 0.5, 0.75, 0.95))),
+            name=data.get("name", "fleet"),
+            fast=data.get("fast", "auto"),
+        )
+
+
 _KINDS = {
     "component": ComponentSpec,
     "system": SystemSpec,
@@ -468,6 +663,8 @@ _KINDS = {
     "run": RunSpec,
     "sweep": SweepSpec,
     "montecarlo": MonteCarloSpec,
+    "fleetnode": FleetNodeSpec,
+    "fleet": FleetSpec,
 }
 
 

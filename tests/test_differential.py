@@ -468,3 +468,50 @@ class TestCatalogRoundTripDifferential:
             assert cached.metrics == fresh.metrics, fresh.name
             assert cached.n_steps == fresh.n_steps
             assert cached.params == fresh.params
+
+
+# ---------------------------------------------------------------------------
+# Fleet cross-tier determinism
+# ---------------------------------------------------------------------------
+class TestFleetTierDifferential:
+    """A same-hardware fleet must report execution_path="batched" on the
+    batched tier and produce bitwise-identical per-node rows and fleet
+    metrics on all three execution tiers."""
+
+    NODES = 6
+
+    def _spec(self):
+        from repro.fleet import homogeneous_fleet
+        from repro.spec import EnvironmentSpec, spec_for
+        environment = EnvironmentSpec("outdoor", duration=86_400.0,
+                                      dt=300.0, seed=17)
+        return homogeneous_fleet(spec_for("C"), environment, self.NODES,
+                                 topology="ring", spread=0.3, seed=17,
+                                 name="diff-fleet")
+
+    def test_fleet_rows_bitwise_identical_across_tiers(self):
+        from repro.fleet import run_fleet
+        spec = self._spec()
+        batched = run_fleet(spec, tier="batched")
+        assert batched.execution_paths() == {"batched": self.NODES}
+        for tier in ("multiprocessing", "in-process"):
+            other = run_fleet(spec, tier=tier, processes=2)
+            for batched_row, other_row in zip(batched.results,
+                                              other.results):
+                assert batched_row.metrics == other_row.metrics, \
+                    (tier, batched_row.name)
+                assert batched_row.n_steps == other_row.n_steps
+                assert batched_row.params == other_row.params
+            assert other.metrics == batched.metrics, tier
+
+    def test_fleet_ensemble_bitwise_identical_across_tiers(self):
+        from repro.fleet import run_fleet_ensemble
+        spec = self._spec()
+        batched = run_fleet_ensemble(spec, replicates=2, root_seed=23,
+                                     tier="batched")
+        assert set(batched.execution_paths()) == {"batched"}
+        for tier in ("multiprocessing", "in-process"):
+            other = run_fleet_ensemble(spec, replicates=2, root_seed=23,
+                                       tier=tier, processes=2)
+            assert [fleet.metrics for fleet in other] == \
+                [fleet.metrics for fleet in batched], tier

@@ -58,6 +58,39 @@ class TestToJsonable:
         with pytest.raises(TypeError):
             to_jsonable(object())
 
+    def test_numpy_scalars_collapse_to_native_types(self):
+        """Regression: numpy scalars leaking out of sweep-row extras or
+        metric summaries crashed ``dumps_json(allow_nan=False)`` (raw
+        np.float64 NaN bypasses the math.isnan stringification when the
+        subclass isn't stripped) and made spec hashes type-dependent."""
+        import numpy as np
+        for value, expected in ((np.float64(2.5), 2.5),
+                                (np.int64(7), 7),
+                                (np.bool_(True), True)):
+            converted = to_jsonable(value)
+            assert converted == expected
+            assert type(converted) is type(expected)
+        # A NaN hidden inside a numpy scalar must still stringify.
+        assert to_jsonable(np.float64("nan")) == "nan"
+        assert to_jsonable(np.float64("inf")) == "inf"
+        # End to end: a row dict polluted with numpy scalars serialises
+        # under allow_nan=False.
+        row = {"uptime": np.float64(0.5), "count": np.int64(3),
+               "bad": np.float64("nan")}
+        assert json.loads(dumps_json(row)) == \
+            {"uptime": 0.5, "count": 3, "bad": "nan"}
+
+    def test_int_and_float_subclasses_collapse(self):
+        import enum
+
+        class Level(enum.IntEnum):
+            HIGH = 2
+
+        converted = to_jsonable(Level.HIGH)
+        assert converted == 2 and type(converted) is int
+        converted = to_jsonable({"v": Level.HIGH})
+        assert type(converted["v"]) is int
+
 
 class TestResultExport:
     def test_experiment_result_roundtrips(self):

@@ -10,6 +10,11 @@ from repro.load import (
     ThresholdDutyCycle,
     WirelessSensorNode,
 )
+from repro.load.radio import (
+    FRAME_OVERHEAD_BYTES,
+    MAX_FRAME_BYTES,
+    MAX_PAYLOAD_BYTES,
+)
 
 
 class TestRadioModel:
@@ -32,6 +37,66 @@ class TestRadioModel:
             RadioModel().tx_time(-1)
         with pytest.raises(ValueError):
             RadioModel().packet_energy(10, ack_listen_s=-1.0)
+
+    def test_mtu_pins_the_802_15_4_frame_geometry(self):
+        # 127 B PHY frame - 17 B overhead = 110 B max payload: the
+        # numbers the fragmentation contract is stated in.
+        assert MAX_FRAME_BYTES == 127
+        assert FRAME_OVERHEAD_BYTES == 17
+        assert MAX_PAYLOAD_BYTES == 110
+
+    def test_fragments_split_at_the_mtu(self):
+        assert RadioModel.fragments(0) == (0,)
+        assert RadioModel.fragments(110) == (110,)
+        assert RadioModel.fragments(111) == (110, 1)
+        assert RadioModel.fragments(220) == (110, 110)
+        assert RadioModel.fragments(250) == (110, 110, 30)
+        with pytest.raises(ValueError):
+            RadioModel.fragments(-1)
+
+    def test_tx_time_refuses_oversized_single_frames(self):
+        # Regression: tx_time silently accepted payloads beyond the
+        # 802.15.4 MTU, pricing a 127 B frame's worth of framing on an
+        # impossible single-frame transmission.
+        radio = RadioModel()
+        radio.tx_time(MAX_PAYLOAD_BYTES)  # at the cap: fine
+        with pytest.raises(ValueError):
+            radio.tx_time(MAX_PAYLOAD_BYTES + 1)
+
+    def test_oversized_packets_pay_per_frame_overhead(self):
+        radio = RadioModel(tx_power_w=0.075, rx_power_w=0.06,
+                           startup_energy_j=150e-6)
+        two_frames = radio.packet_energy(220, ack_listen_s=0.002)
+        one_frame = radio.packet_energy(110, ack_listen_s=0.002)
+        # Exactly two full frames: each pays startup + framing + ACK
+        # listen, so the fragmented packet is never cheaper per byte.
+        assert two_frames == pytest.approx(2 * one_frame)
+        assert radio.packet_energy(111) > radio.packet_energy(110)
+
+    def test_single_frame_energy_is_unchanged_by_fragmentation(self):
+        # The <= 110 B path must price exactly as before the MTU fix
+        # (bitwise: the catalog keys archived rows on these numbers).
+        radio = RadioModel(tx_power_w=0.075, rx_power_w=0.06,
+                           startup_energy_j=150e-6)
+        for payload in (0, 10, 24, 100, 110):
+            expected = (150e-6 + 0.075 * radio.tx_time(payload)
+                        + 0.06 * 0.002)
+            assert radio.packet_energy(payload, ack_listen_s=0.002) == \
+                expected
+
+    def test_rx_energy_mirrors_the_frame_accounting(self):
+        radio = RadioModel(tx_power_w=0.075, rx_power_w=0.06,
+                           startup_energy_j=150e-6)
+        listen = 0.002
+        one = radio.rx_energy(24, listen)
+        expected = (0.06 * listen + 150e-6 + 0.06 * radio.tx_time(24)
+                    + 0.075 * radio.ack_time())
+        assert one == pytest.approx(expected)
+        # The per-frame cost fragments exactly like the TX side.
+        assert radio.rx_energy(220, listen) == pytest.approx(
+            0.06 * listen + 2 * (150e-6 + 0.06 * radio.tx_time(110)
+                                 + 0.075 * radio.ack_time()))
+        assert radio.rx_energy(0, 0.0) > 0.0  # a frame still arrives
 
 
 class TestNodeDemand:
